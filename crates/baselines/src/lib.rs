@@ -1,0 +1,17 @@
+//! Baseline techniques the paper compares against.
+//!
+//! * [`hls`] — the HLS statistical model of Oskin, Chong and Farrens
+//!   (ISCA 2000), as characterised in §5 of the Eeckhout et al. paper:
+//!   one hundred synthetic basic blocks with normally-distributed
+//!   sizes, instructions drawn from the *overall* instruction-mix
+//!   distribution (no per-block structure), global branch
+//!   predictability and global cache statistics. Comparing it to the
+//!   SFG approach isolates the value of control-flow modeling
+//!   (Figure 7).
+//! * [`simpoint`] — SimPoint phase sampling (Sherwood et al.,
+//!   ASPLOS 2002): basic-block vectors per interval, random projection,
+//!   k-means with a Bayesian score, and weighted execution-driven
+//!   simulation of one representative interval per phase (Figure 8).
+
+pub mod hls;
+pub mod simpoint;

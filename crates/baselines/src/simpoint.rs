@@ -1,0 +1,291 @@
+//! SimPoint phase sampling (Sherwood et al., ASPLOS 2002).
+//!
+//! The paper compares statistical simulation against SimPoint
+//! (Figure 8, Table 1): the dynamic stream is split into fixed-size
+//! intervals; each interval is summarised by a **basic-block vector**
+//! (BBV); BBVs are randomly projected to a low dimension and clustered
+//! with k-means (k chosen by a Bayesian information criterion); one
+//! representative interval per cluster is then simulated with the
+//! execution-driven simulator and the results combined with cluster
+//! weights.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ssim_func::Machine;
+use ssim_isa::Program;
+use ssim_uarch::{ExecSim, MachineConfig};
+use std::collections::HashMap;
+
+/// Dimensionality of the random projection (SimPoint's default is 15).
+pub const PROJECTED_DIMS: usize = 15;
+
+/// One chosen simulation point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPoint {
+    /// Interval index (0-based) into the profiled stream.
+    pub interval: usize,
+    /// Weight of this point's phase (fraction of intervals).
+    pub weight: f64,
+}
+
+/// Configuration for phase analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct SimPointConfig {
+    /// Instructions per interval.
+    pub interval_len: u64,
+    /// Number of intervals to analyse.
+    pub intervals: usize,
+    /// Maximum clusters to consider.
+    pub max_k: usize,
+    /// RNG seed for projection and k-means initialisation.
+    pub seed: u64,
+}
+
+impl Default for SimPointConfig {
+    fn default() -> Self {
+        SimPointConfig { interval_len: 1_000_000, intervals: 20, max_k: 6, seed: 1 }
+    }
+}
+
+/// Collects per-interval basic-block vectors, already projected to
+/// [`PROJECTED_DIMS`] dimensions and normalised.
+fn collect_bbvs(program: &Program, cfg: &SimPointConfig, skip: u64) -> Vec<[f64; PROJECTED_DIMS]> {
+    let mut machine = Machine::new(program);
+    for _ in 0..skip {
+        if machine.step().is_none() {
+            break;
+        }
+    }
+    // Random projection: each basic block (keyed by start PC) maps to a
+    // deterministic pseudo-random +-1 vector derived from its PC.
+    let project = |pc: usize| -> [f64; PROJECTED_DIMS] {
+        let mut h = pc as u64 ^ 0x9e37_79b9_7f4a_7c15;
+        let mut v = [0.0; PROJECTED_DIMS];
+        for slot in &mut v {
+            h ^= h << 13;
+            h ^= h >> 7;
+            h ^= h << 17;
+            *slot = if h & 1 == 1 { 1.0 } else { -1.0 };
+        }
+        v
+    };
+    let mut projections: HashMap<usize, [f64; PROJECTED_DIMS]> = HashMap::new();
+
+    let mut bbvs = Vec::with_capacity(cfg.intervals);
+    'outer: for _ in 0..cfg.intervals {
+        let mut bbv = [0.0; PROJECTED_DIMS];
+        let mut block_start = machine.pc();
+        let mut block_len = 0u64;
+        let mut count = 0u64;
+        while count < cfg.interval_len {
+            let Some(exec) = machine.step() else {
+                if count == 0 {
+                    break 'outer;
+                }
+                break;
+            };
+            count += 1;
+            block_len += 1;
+            if exec.instr.is_control() {
+                let p = projections.entry(block_start).or_insert_with(|| project(block_start));
+                for (acc, x) in bbv.iter_mut().zip(p.iter()) {
+                    *acc += *x * block_len as f64;
+                }
+                block_start = exec.next_pc;
+                block_len = 0;
+            }
+        }
+        // Normalise to unit L1-ish scale so interval length cancels.
+        let norm: f64 = bbv.iter().map(|x| x.abs()).sum::<f64>().max(1e-12);
+        for x in &mut bbv {
+            *x /= norm;
+        }
+        bbvs.push(bbv);
+        if machine.halted() {
+            break;
+        }
+    }
+    bbvs
+}
+
+fn kmeans(
+    points: &[[f64; PROJECTED_DIMS]],
+    k: usize,
+    rng: &mut SmallRng,
+) -> (Vec<usize>, Vec<[f64; PROJECTED_DIMS]>, f64) {
+    let n = points.len();
+    let mut centroids: Vec<[f64; PROJECTED_DIMS]> =
+        (0..k).map(|_| points[rng.gen_range(0..n)]).collect();
+    let mut assign = vec![0usize; n];
+    let dist2 = |a: &[f64; PROJECTED_DIMS], b: &[f64; PROJECTED_DIMS]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    };
+    for _ in 0..50 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(p, &centroids[a]).partial_cmp(&dist2(p, &centroids[b])).unwrap()
+                })
+                .expect("k > 0");
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![[0.0; PROJECTED_DIMS]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assign[i]] += 1;
+            for (s, x) in sums[assign[i]].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c];
+            } else {
+                centroids[c] = points[rng.gen_range(0..n)];
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let sse: f64 = points.iter().enumerate().map(|(i, p)| dist2(p, &centroids[assign[i]])).sum();
+    (assign, centroids, sse)
+}
+
+/// Chooses representative simulation points for `program`.
+///
+/// Runs k-means for `k = 1..=max_k` and keeps the clustering with the
+/// best BIC-style score; the representative of each cluster is the
+/// interval closest to its centroid, weighted by cluster population.
+pub fn choose(program: &Program, cfg: &SimPointConfig, skip: u64) -> Vec<SimPoint> {
+    let bbvs = collect_bbvs(program, cfg, skip);
+    if bbvs.is_empty() {
+        return Vec::new();
+    }
+    let n = bbvs.len();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut best: Option<(f64, Vec<usize>, Vec<[f64; PROJECTED_DIMS]>, usize)> = None;
+    for k in 1..=cfg.max_k.min(n) {
+        let (assign, centroids, sse) = kmeans(&bbvs, k, &mut rng);
+        // BIC-flavoured score: likelihood term + model complexity
+        // penalty (simplified spherical-Gaussian form).
+        let variance = (sse / n as f64).max(1e-9);
+        let score = -(n as f64) * variance.ln() - (k as f64) * (n as f64).ln();
+        if best.as_ref().is_none_or(|(s, ..)| score > *s) {
+            best = Some((score, assign, centroids, k));
+        }
+    }
+    let (_, assign, centroids, k) = best.expect("at least k = 1 was evaluated");
+
+    let dist2 = |a: &[f64; PROJECTED_DIMS], b: &[f64; PROJECTED_DIMS]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    };
+    let mut points = Vec::new();
+    for c in 0..k {
+        let members: Vec<usize> = (0..n).filter(|&i| assign[i] == c).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let rep = *members
+            .iter()
+            .min_by(|&&a, &&b| {
+                dist2(&bbvs[a], &centroids[c])
+                    .partial_cmp(&dist2(&bbvs[b], &centroids[c]))
+                    .unwrap()
+            })
+            .expect("cluster is non-empty");
+        points.push(SimPoint { interval: rep, weight: members.len() as f64 / n as f64 });
+    }
+    points.sort_by_key(|p| p.interval);
+    points
+}
+
+/// Estimates IPC by execution-driven simulation of the chosen points.
+///
+/// Each representative interval is simulated in isolation (after
+/// fast-forwarding to its start) and the per-point IPCs are combined
+/// with the phase weights.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn estimate_ipc(
+    program: &Program,
+    machine: &MachineConfig,
+    points: &[SimPoint],
+    cfg: &SimPointConfig,
+    skip: u64,
+) -> f64 {
+    assert!(!points.is_empty(), "no simulation points chosen");
+    let mut ipc = 0.0;
+    for p in points {
+        let mut sim = ExecSim::new(machine, program);
+        // Fast-forward architecturally, but warm the locality
+        // structures over the run-up to the interval so the sample is
+        // not biased by compulsory misses.
+        sim.skip(skip);
+        sim.warm_skip(p.interval as u64 * cfg.interval_len);
+        let r = sim.run(cfg.interval_len);
+        ipc += p.weight * r.ipc();
+    }
+    ipc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimPointConfig {
+        SimPointConfig { interval_len: 200_000, intervals: 10, max_k: 4, seed: 7 }
+    }
+
+    #[test]
+    fn chooses_weighted_points() {
+        let program = ssim_workloads::by_name("bzip2").unwrap().program();
+        let points = choose(&program, &cfg(), 0);
+        assert!(!points.is_empty());
+        assert!(points.len() <= 4);
+        let total: f64 = points.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to 1, got {total}");
+        for p in &points {
+            assert!(p.interval < 10);
+        }
+    }
+
+    #[test]
+    fn phase_program_gets_multiple_clusters() {
+        // bzip2 alternates RLE and MTF phases within a round; with
+        // small intervals the BBVs separate.
+        let program = ssim_workloads::by_name("bzip2").unwrap().program();
+        let points = choose(
+            &program,
+            &SimPointConfig { interval_len: 100_000, intervals: 16, max_k: 5, seed: 3 },
+            2_200_000, // skip init
+        );
+        assert!(points.len() >= 2, "expected phase separation, got {points:?}");
+    }
+
+    #[test]
+    fn estimates_plausible_ipc() {
+        let program = ssim_workloads::by_name("crafty").unwrap().program();
+        let c = SimPointConfig { interval_len: 150_000, intervals: 8, max_k: 3, seed: 1 };
+        let points = choose(&program, &c, 0);
+        let ipc = estimate_ipc(&program, &MachineConfig::baseline(), &points, &c, 0);
+        assert!(ipc > 0.2 && ipc < 8.0, "IPC {ipc}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let program = ssim_workloads::by_name("vpr").unwrap().program();
+        let a = choose(&program, &cfg(), 0);
+        let b = choose(&program, &cfg(), 0);
+        assert_eq!(a, b);
+    }
+}

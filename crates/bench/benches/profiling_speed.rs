@@ -1,0 +1,43 @@
+//! Criterion bench: statistical profiling and synthetic trace
+//! generation throughput.
+//!
+//! Profiling is the one full pass statistical simulation needs per
+//! (cache, predictor) configuration; generation runs once per trace.
+//! Both must stay cheap relative to execution-driven simulation for
+//! the methodology to pay off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ssim::prelude::*;
+
+const N: u64 = 300_000;
+
+fn bench_profiling(c: &mut Criterion) {
+    let machine = MachineConfig::baseline();
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.throughput(Throughput::Elements(N));
+
+    for name in ["crafty"] {
+        let workload = ssim::workloads::by_name(name).expect("known workload");
+        let program = workload.program();
+        group.bench_with_input(BenchmarkId::new("profile_k1", name), &(), |b, ()| {
+            b.iter(|| {
+                profile(
+                    &program,
+                    &ProfileConfig::new(&machine).skip(1_000_000).instructions(N),
+                )
+            });
+        });
+
+        let p = profile(&program, &ProfileConfig::new(&machine).skip(1_000_000).instructions(N));
+        group.bench_with_input(BenchmarkId::new("generate_r20", name), &(), |b, ()| {
+            b.iter(|| p.generate(20, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: synthetic-trace simulation vs execution-driven
+//! simulation throughput.
+//!
+//! The paper's speed claim rests on two factors: the synthetic trace is
+//! 1,000–100,000× shorter, *and* simulating one synthetic instruction
+//! is cheaper than one execution-driven instruction (no caches, no
+//! predictors). This bench measures the per-instruction costs; the
+//! trace-length reduction multiplies on top.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ssim::prelude::*;
+
+const N: u64 = 100_000;
+
+fn bench_simulators(c: &mut Criterion) {
+    let machine = MachineConfig::baseline();
+    let mut group = c.benchmark_group("simulation_speed");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.throughput(Throughput::Elements(N));
+
+    for name in ["gzip"] {
+        let workload = ssim::workloads::by_name(name).expect("known workload");
+        let program = workload.program();
+
+        group.bench_with_input(BenchmarkId::new("execution_driven", name), &(), |b, ()| {
+            b.iter(|| {
+                let mut sim = ExecSim::new(&machine, &program);
+                sim.skip(1_000_000);
+                sim.run(N)
+            });
+        });
+
+        let p = profile(
+            &program,
+            &ProfileConfig::new(&machine).skip(1_000_000).instructions(1_000_000),
+        );
+        let r = (p.instructions() / N).max(1);
+        let trace = p.generate(r, 1);
+        group.bench_with_input(BenchmarkId::new("synthetic_trace", name), &(), |b, ()| {
+            b.iter(|| simulate_trace(&trace, &machine));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

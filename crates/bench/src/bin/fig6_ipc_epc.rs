@@ -1,0 +1,61 @@
+//! Figure 6 (+ §4.2.3): absolute accuracy of statistical simulation
+//! for performance (IPC) and energy (EPC), plus the energy-delay
+//! product.
+//!
+//! The paper reports, on the baseline 8-wide machine: mean IPC error
+//! 6.6% (max 14.2%, parser), mean EPC error 4% (max 9.5%, bzip2) and
+//! mean EDP error 11%.
+
+use ssim::prelude::*;
+use ssim_bench::{banner, eds, profiled, ss, workloads, Budget};
+
+fn main() {
+    banner("Figure 6", "absolute IPC / EPC / EDP accuracy on the baseline machine");
+    let budget = Budget::from_env();
+    let machine = MachineConfig::baseline();
+    let power = PowerModel::new(&machine);
+
+    println!(
+        "{:<10} {:>8} {:>8} {:>7} {:>8} {:>8} {:>7} {:>7}",
+        "workload", "EDS-IPC", "SS-IPC", "err%", "EDS-EPC", "SS-EPC", "err%", "EDPerr%"
+    );
+    let (mut ipc_errs, mut epc_errs, mut edp_errs) = (Vec::new(), Vec::new(), Vec::new());
+    for w in workloads() {
+        let reference = eds(&machine, w, &budget);
+        let p = profiled(&machine, w, &budget);
+        let predicted = ss(&p, &machine, 1);
+
+        let eds_epc = power.evaluate(&reference.activity).epc();
+        let ss_epc = power.evaluate(&predicted.activity).epc();
+        let eds_edp = eds_epc / (reference.ipc() * reference.ipc());
+        let ss_edp = ss_epc / (predicted.ipc() * predicted.ipc());
+
+        let ie = absolute_error(predicted.ipc(), reference.ipc());
+        let ee = absolute_error(ss_epc, eds_epc);
+        let de = absolute_error(ss_edp, eds_edp);
+        ipc_errs.push(ie);
+        epc_errs.push(ee);
+        edp_errs.push(de);
+        println!(
+            "{:<10} {:>8.3} {:>8.3} {:>6.1}% {:>8.2} {:>8.2} {:>6.1}% {:>6.1}%",
+            w.name(),
+            reference.ipc(),
+            predicted.ipc(),
+            ie * 100.0,
+            eds_epc,
+            ss_epc,
+            ee * 100.0,
+            de * 100.0
+        );
+    }
+    println!();
+    println!(
+        "mean errors: IPC {:.1}% (max {:.1}%), EPC {:.1}% (max {:.1}%), EDP {:.1}%",
+        ssim_bench::mean(&ipc_errs) * 100.0,
+        ipc_errs.iter().copied().fold(0.0, f64::max) * 100.0,
+        ssim_bench::mean(&epc_errs) * 100.0,
+        epc_errs.iter().copied().fold(0.0, f64::max) * 100.0,
+        ssim_bench::mean(&edp_errs) * 100.0
+    );
+    println!("paper: IPC 6.6% mean / 14.2% max; EPC 4% mean / 9.5% max; EDP 11% mean");
+}

@@ -1,0 +1,49 @@
+//! Figure 7: HLS vs SMART-HLS (the paper's SFG framework).
+//!
+//! HLS models the workload with global distributions and one hundred
+//! random basic blocks; the SFG conditions everything on basic blocks
+//! and their history. The paper reports mean IPC errors of 10.1% (HLS)
+//! vs 1.8% (SMART-HLS).
+
+use ssim::baselines::hls::HlsModel;
+use ssim::prelude::*;
+use ssim_bench::{banner, eds, profiled, ss, workloads, Budget, DEFAULT_R};
+
+fn main() {
+    banner("Figure 7", "IPC error: HLS vs SMART-HLS (SFG)");
+    let budget = Budget::from_env();
+    let machine = MachineConfig::baseline();
+
+    println!("{:<10} {:>9} {:>8} {:>11}", "workload", "EDS-IPC", "HLS", "SMART-HLS");
+    let (mut hls_errs, mut sfg_errs) = (Vec::new(), Vec::new());
+    for w in workloads() {
+        let reference = eds(&machine, w, &budget);
+
+        let program = w.program();
+        let model = HlsModel::profile(&program, &machine, budget.skip, budget.profile);
+        let target = (budget.profile / DEFAULT_R) as usize;
+        let hls_pred = simulate_trace(&model.generate(target, 1), &machine);
+
+        let p = profiled(&machine, w, &budget);
+        let sfg_pred = ss(&p, &machine, 1);
+
+        let he = absolute_error(hls_pred.ipc(), reference.ipc());
+        let se = absolute_error(sfg_pred.ipc(), reference.ipc());
+        hls_errs.push(he);
+        sfg_errs.push(se);
+        println!(
+            "{:<10} {:>9.3} {:>7.1}% {:>10.1}%",
+            w.name(),
+            reference.ipc(),
+            he * 100.0,
+            se * 100.0
+        );
+    }
+    println!();
+    println!(
+        "mean IPC error: HLS {:.1}% vs SMART-HLS {:.1}%",
+        ssim_bench::mean(&hls_errs) * 100.0,
+        ssim_bench::mean(&sfg_errs) * 100.0
+    );
+    println!("paper: HLS 10.1% vs SMART-HLS 1.8% on SimpleScalar's baseline configuration");
+}

@@ -1,0 +1,51 @@
+//! §4.1: simulation speed — coefficient of variation of IPC as a
+//! function of the synthetic trace length.
+//!
+//! The paper reports CoV over 20 random seeds: ~4% at 100K synthetic
+//! instructions, 2% at 200K, 1.5% at 500K and 1% at 1M — i.e.
+//! statistical simulation converges with very short traces.
+
+use ssim::prelude::*;
+use ssim_bench::{banner, profiled, quick, workloads, Budget};
+
+fn main() {
+    banner("Section 4.1", "CoV of IPC vs synthetic trace length (20 seeds)");
+    let budget = Budget::from_env();
+    let machine = MachineConfig::baseline();
+    let lengths: &[u64] = if quick() { &[50_000, 100_000, 200_000] } else { &[100_000, 200_000, 500_000] };
+    let seeds = if quick() { 8 } else { 20 };
+
+    print!("{:<10}", "workload");
+    for l in lengths {
+        print!(" {:>9}", format!("{}K", l / 1000));
+    }
+    println!();
+
+    let mut per_length: Vec<Vec<f64>> = vec![Vec::new(); lengths.len()];
+    for w in workloads() {
+        let p = profiled(&machine, w, &budget);
+        print!("{:<10}", w.name());
+        for (i, &len) in lengths.iter().enumerate() {
+            // Choose R so the generated trace is ~len instructions.
+            let r = (p.instructions() / len).max(1);
+            let mut s = Summary::new();
+            for seed in 0..seeds {
+                let trace = p.generate(r, seed);
+                if trace.is_empty() {
+                    continue;
+                }
+                s.add(simulate_trace(&trace, &machine).ipc());
+            }
+            per_length[i].push(s.cov());
+            print!(" {:>8.2}%", s.cov() * 100.0);
+        }
+        println!();
+    }
+    print!("{:<10}", "mean");
+    for covs in &per_length {
+        print!(" {:>8.2}%", ssim_bench::mean(covs) * 100.0);
+    }
+    println!();
+    println!();
+    println!("paper: 4% @100K, 2% @200K, 1.5% @500K, 1% @1M synthetic instructions\n(the 1M point is omitted by default to bound single-core runtime)");
+}

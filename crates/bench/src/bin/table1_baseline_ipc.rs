@@ -1,0 +1,32 @@
+//! Table 1: the benchmark suite and its baseline IPC.
+//!
+//! The paper lists the SPEC CINT2000 benchmarks, their inputs and the
+//! IPC of the baseline configuration (Table 2) over the SimPoint
+//! samples. We report the same for the ten archetype workloads.
+
+use ssim_bench::{banner, eds, workloads, Budget};
+use ssim::uarch::MachineConfig;
+
+fn main() {
+    banner("Table 1", "benchmark suite and baseline IPC");
+    let budget = Budget::from_env();
+    let machine = MachineConfig::baseline();
+    println!(
+        "{:<10} {:<14} {:>7} {:>8} {:>8}  {}",
+        "workload", "SPEC analog", "IPC", "MPKI", "L1D%", "algorithm"
+    );
+    for w in workloads() {
+        let r = eds(&machine, w, &budget);
+        println!(
+            "{:<10} {:<14} {:>7.2} {:>8.2} {:>8.2}  {}",
+            w.name(),
+            w.spec_analog(),
+            r.ipc(),
+            r.mpki(),
+            r.cache.l1d_load_miss_rate * 100.0,
+            w.description()
+        );
+    }
+    println!();
+    println!("paper: IPC spans 0.51 (crafty) to 1.94 (gzip) on the same configuration");
+}

@@ -1,0 +1,157 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every table and figure of the paper has a binary under `src/bin/`
+//! (see `DESIGN.md` for the index). All binaries honour:
+//!
+//! * `SSIM_QUICK=1` — shrink budgets and workload counts for a fast
+//!   smoke run;
+//! * `SSIM_PROFILE_INSTR` / `SSIM_EDS_INSTR` / `SSIM_SKIP` — override
+//!   the instruction budgets;
+//! * `SSIM_WORKLOADS=a,b,c` — restrict the workload set.
+
+use ssim::prelude::*;
+use ssim::workloads::Workload;
+
+/// Instruction budgets for one experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Instructions skipped before measurement (init phase).
+    pub skip: u64,
+    /// Instructions profiled per statistical profile.
+    pub profile: u64,
+    /// Instructions simulated per execution-driven run.
+    pub eds: u64,
+}
+
+impl Budget {
+    /// Reads the budget from the environment.
+    pub fn from_env() -> Self {
+        let quick = quick();
+        let get = |key: &str, dflt: u64| {
+            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(dflt)
+        };
+        Budget {
+            skip: get("SSIM_SKIP", 4_000_000),
+            profile: get("SSIM_PROFILE_INSTR", if quick { 600_000 } else { 3_000_000 }),
+            eds: get("SSIM_EDS_INSTR", if quick { 400_000 } else { 2_000_000 }),
+        }
+    }
+}
+
+/// Whether quick mode is active.
+pub fn quick() -> bool {
+    std::env::var("SSIM_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// The workload set for this run (all ten, or `SSIM_WORKLOADS`, or a
+/// four-benchmark subset in quick mode).
+pub fn workloads() -> Vec<&'static Workload> {
+    if let Ok(names) = std::env::var("SSIM_WORKLOADS") {
+        return names
+            .split(',')
+            .filter_map(|n| ssim::workloads::by_name(n.trim()))
+            .collect();
+    }
+    let all: Vec<_> = ssim::workloads::all().iter().collect();
+    if quick() {
+        all.into_iter()
+            .filter(|w| matches!(w.name(), "crafty" | "gcc" | "twolf" | "vpr"))
+            .collect()
+    } else {
+        all
+    }
+}
+
+/// Runs the execution-driven reference over the budget window.
+pub fn eds(machine: &MachineConfig, workload: &Workload, budget: &Budget) -> SimResult {
+    let program = workload.program();
+    let mut sim = ExecSim::new(machine, &program);
+    sim.skip(budget.skip);
+    sim.run(budget.eds)
+}
+
+/// Builds a statistical profile over the budget window.
+pub fn profiled(
+    machine: &MachineConfig,
+    workload: &Workload,
+    budget: &Budget,
+) -> StatisticalProfile {
+    let program = workload.program();
+    profile(
+        &program,
+        &ProfileConfig::new(machine).skip(budget.skip).instructions(budget.profile),
+    )
+}
+
+/// Profiles with explicit overrides (order / branch mode).
+pub fn profiled_with(
+    machine: &MachineConfig,
+    workload: &Workload,
+    budget: &Budget,
+    k: usize,
+    mode: BranchProfileMode,
+) -> StatisticalProfile {
+    let program = workload.program();
+    profile(
+        &program,
+        &ProfileConfig::new(machine)
+            .order(k)
+            .branch_mode(mode)
+            .skip(budget.skip)
+            .instructions(budget.profile),
+    )
+}
+
+/// Default reduction factor: synthetic traces ~1/15th of the profile.
+pub const DEFAULT_R: u64 = 15;
+
+/// Generates and simulates a synthetic trace.
+pub fn ss(profile: &StatisticalProfile, machine: &MachineConfig, seed: u64) -> SimResult {
+    simulate_trace(&profile.generate(DEFAULT_R, seed), machine)
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Prints the standard experiment header.
+pub fn banner(exhibit: &str, what: &str) {
+    println!("==============================================================");
+    println!("{exhibit}: {what}");
+    if quick() {
+        println!("(SSIM_QUICK mode: reduced budgets — shapes hold, magnitudes shift)");
+    }
+    println!("==============================================================");
+}
+
+/// Arithmetic mean of a slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_defaults_are_positive() {
+        let b = Budget::from_env();
+        assert!(b.skip > 0 && b.profile > 0 && b.eds > 0);
+    }
+
+    #[test]
+    fn workload_selection_returns_something() {
+        assert!(!workloads().is_empty());
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

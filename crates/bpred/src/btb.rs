@@ -1,0 +1,122 @@
+//! Branch target buffer.
+
+/// A set-associative branch target buffer with LRU replacement.
+///
+/// Maps a branch PC to its most recent taken target. A BTB miss on a
+/// taken branch causes a *fetch redirection* in the paper's taxonomy
+/// (the target becomes known at decode); a BTB miss on an indirect
+/// branch is a full misprediction (§2.1.2).
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<Vec<BtbEntry>>,
+    assoc: usize,
+    lru_tick: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    pc: usize,
+    target: usize,
+    last_use: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `assoc` is zero.
+    pub fn new(sets: usize, assoc: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(assoc > 0, "associativity must be positive");
+        Btb { sets: vec![Vec::with_capacity(assoc); sets], assoc, lru_tick: 0 }
+    }
+
+    fn set_index(&self, pc: usize) -> usize {
+        pc & (self.sets.len() - 1)
+    }
+
+    /// Looks up the predicted target for the branch at `pc`.
+    ///
+    /// Updates LRU state (a lookup is a use).
+    pub fn lookup(&mut self, pc: usize) -> Option<usize> {
+        self.lru_tick += 1;
+        let tick = self.lru_tick;
+        let set = self.set_index(pc);
+        for e in &mut self.sets[set] {
+            if e.pc == pc {
+                e.last_use = tick;
+                return Some(e.target);
+            }
+        }
+        None
+    }
+
+    /// Installs or refreshes the mapping `pc → target`.
+    pub fn update(&mut self, pc: usize, target: usize) {
+        self.lru_tick += 1;
+        let tick = self.lru_tick;
+        let set_index = self.set_index(pc);
+        let assoc = self.assoc;
+        let set = &mut self.sets[set_index];
+        if let Some(e) = set.iter_mut().find(|e| e.pc == pc) {
+            e.target = target;
+            e.last_use = tick;
+            return;
+        }
+        let entry = BtbEntry { pc, target, last_use: tick };
+        if set.len() < assoc {
+            set.push(entry);
+        } else {
+            let victim = set
+                .iter_mut()
+                .min_by_key(|e| e.last_use)
+                .expect("non-empty set has an LRU victim");
+            *victim = entry;
+        }
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(16, 2);
+        assert_eq!(btb.lookup(100), None);
+        btb.update(100, 7);
+        assert_eq!(btb.lookup(100), Some(7));
+    }
+
+    #[test]
+    fn update_overwrites_target() {
+        let mut btb = Btb::new(16, 2);
+        btb.update(100, 7);
+        btb.update(100, 9);
+        assert_eq!(btb.lookup(100), Some(9));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut btb = Btb::new(1, 2);
+        btb.update(0, 1);
+        btb.update(16, 2);
+        // Touch 0 so 16 becomes LRU.
+        assert_eq!(btb.lookup(0), Some(1));
+        btb.update(32, 3);
+        assert_eq!(btb.lookup(16), None, "16 was evicted");
+        assert_eq!(btb.lookup(0), Some(1));
+        assert_eq!(btb.lookup(32), Some(3));
+    }
+
+    #[test]
+    fn capacity_reports_total_entries() {
+        assert_eq!(Btb::new(128, 4).capacity(), 512);
+    }
+}

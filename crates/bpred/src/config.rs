@@ -1,0 +1,106 @@
+//! Branch predictor configuration.
+
+/// Sizing of the hybrid predictor, BTB and RAS.
+///
+/// [`BpredConfig::baseline`] reproduces Table 2 of the paper;
+/// [`BpredConfig::scaled`] produces the `base ÷ 4 … base × 4` variants
+/// used by the Table 4 predictor-size sensitivity sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpredConfig {
+    /// Entries in the bimodal direction table.
+    pub bimodal_entries: usize,
+    /// Entries in the level-1 local-history table.
+    pub local_hist_entries: usize,
+    /// Entries in the level-2 pattern history table.
+    pub local_pht_entries: usize,
+    /// Local history length in bits.
+    pub hist_bits: u32,
+    /// Entries in the meta (chooser) table.
+    pub meta_entries: usize,
+    /// BTB set count.
+    pub btb_sets: usize,
+    /// BTB associativity.
+    pub btb_assoc: usize,
+    /// Return-address-stack depth.
+    pub ras_entries: usize,
+}
+
+impl BpredConfig {
+    /// The paper's baseline predictor (Table 2): 8K-entry hybrid
+    /// selecting between an 8K bimodal and an 8K×8K two-level local
+    /// predictor, 512-entry 4-way BTB, 64-entry RAS.
+    pub fn baseline() -> Self {
+        BpredConfig {
+            bimodal_entries: 8192,
+            local_hist_entries: 8192,
+            local_pht_entries: 8192,
+            hist_bits: 13, // log2(8192): history spans the full PHT index
+            meta_entries: 8192,
+            btb_sets: 128,
+            btb_assoc: 4, // 128 sets x 4 ways = 512 entries
+            ras_entries: 64,
+        }
+    }
+
+    /// Scales every predictor table by `factor` (power of two), keeping
+    /// the BTB and RAS fixed — the Table 4 "branch predictor size" axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a positive power of two, or if scaling
+    /// down would make a table smaller than 64 entries.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let scale = |n: usize| -> usize {
+            let scaled = (n as f64 * factor).round() as usize;
+            assert!(scaled >= 64, "scaled predictor table too small");
+            assert!(scaled.is_power_of_two(), "scaled size must be a power of two");
+            scaled
+        };
+        BpredConfig {
+            bimodal_entries: scale(self.bimodal_entries),
+            local_hist_entries: scale(self.local_hist_entries),
+            local_pht_entries: scale(self.local_pht_entries),
+            hist_bits: (scale(self.local_pht_entries) as f64).log2() as u32,
+            meta_entries: scale(self.meta_entries),
+            btb_sets: self.btb_sets,
+            btb_assoc: self.btb_assoc,
+            ras_entries: self.ras_entries,
+        }
+    }
+
+    /// Total direction-table entries (used for power modeling).
+    pub fn direction_entries(&self) -> usize {
+        self.bimodal_entries + self.local_hist_entries + self.local_pht_entries + self.meta_entries
+    }
+}
+
+impl Default for BpredConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table2() {
+        let c = BpredConfig::baseline();
+        assert_eq!(c.bimodal_entries, 8192);
+        assert_eq!(c.btb_sets * c.btb_assoc, 512);
+        assert_eq!(c.ras_entries, 64);
+    }
+
+    #[test]
+    fn scaling_halves_and_doubles() {
+        let base = BpredConfig::baseline();
+        let half = base.scaled(0.5);
+        let double = base.scaled(2.0);
+        assert_eq!(half.bimodal_entries, 4096);
+        assert_eq!(double.bimodal_entries, 16384);
+        assert_eq!(half.btb_sets, base.btb_sets, "BTB unaffected by direction scaling");
+        assert_eq!(half.hist_bits, 12);
+        assert_eq!(double.hist_bits, 14);
+    }
+}

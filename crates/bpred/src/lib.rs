@@ -1,0 +1,45 @@
+//! Branch prediction structures for the ssim framework.
+//!
+//! Implements the predictor of the paper's baseline configuration
+//! (Table 2): an 8K-entry **hybrid** predictor choosing between an
+//! 8K-entry bimodal predictor and an 8K×8K two-level local predictor
+//! that XORs the local history with the branch PC, plus a 512-entry
+//! 4-way set-associative **BTB** and a 64-entry **return address stack**.
+//!
+//! The lookup/update split is explicit so that the paper's *delayed
+//! update* branch profiling (§2.1.3) can interpose a FIFO between the
+//! two: [`HybridPredictor::lookup`] reads predictor state (and
+//! speculatively adjusts the RAS, a fetch-stage structure), while
+//! [`HybridPredictor::update`] trains the direction tables and the BTB.
+//!
+//! [`classify`] maps a resolved branch onto the paper's three-way
+//! outcome taxonomy (§2.1.2): correct prediction, **fetch redirection**
+//! (BTB miss with a correct direction) or **branch misprediction**.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssim_bpred::{BpredConfig, BranchKind, HybridPredictor};
+//!
+//! let mut p = HybridPredictor::new(&BpredConfig::baseline());
+//! // A loop branch at PC 10, always taken, becomes well predicted.
+//! let mut last = None;
+//! for _ in 0..100 {
+//!     let pred = p.lookup(10, BranchKind::Cond);
+//!     p.update(10, BranchKind::Cond, true, 3, &pred);
+//!     last = Some(pred);
+//! }
+//! assert!(last.unwrap().taken);
+//! ```
+
+mod btb;
+mod config;
+mod hybrid;
+mod ras;
+mod tables;
+
+pub use btb::Btb;
+pub use config::BpredConfig;
+pub use hybrid::{classify, BranchKind, BranchOutcome, HybridPredictor, Prediction};
+pub use ras::ReturnAddressStack;
+pub use tables::{Bimodal, Counter2, TwoLevelLocal};

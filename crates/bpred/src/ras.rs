@@ -1,0 +1,105 @@
+//! Return address stack.
+
+/// A fixed-depth circular return-address stack.
+///
+/// Calls push their return PC at lookup time; returns pop the predicted
+/// target. Overflow wraps around (oldest entries are overwritten),
+/// underflow predicts nothing — both matching hardware RAS behaviour.
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    stack: Vec<usize>,
+    top: usize,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "RAS needs at least one entry");
+        ReturnAddressStack { stack: vec![0; entries], top: 0, depth: 0 }
+    }
+
+    /// Pushes a return address (on a call lookup).
+    pub fn push(&mut self, return_pc: usize) {
+        self.top = (self.top + 1) % self.stack.len();
+        self.stack[self.top] = return_pc;
+        self.depth = (self.depth + 1).min(self.stack.len());
+    }
+
+    /// Pops the predicted return target (on a return lookup), or `None`
+    /// if the stack is empty.
+    pub fn pop(&mut self) -> Option<usize> {
+        if self.depth == 0 {
+            return None;
+        }
+        let value = self.stack[self.top];
+        self.top = (self.top + self.stack.len() - 1) % self.stack.len();
+        self.depth -= 1;
+        Some(value)
+    }
+
+    /// Checkpoints the stack pointer as `(top, depth)`.
+    ///
+    /// Pipeline recovery uses the classic cheap top-of-stack repair:
+    /// the pointer is restored after a squash, which recovers the stack
+    /// unless wrong-path pushes overwrote live entries.
+    pub fn pointer(&self) -> (usize, usize) {
+        (self.top, self.depth)
+    }
+
+    /// Restores a pointer checkpoint taken with
+    /// [`ReturnAddressStack::pointer`].
+    pub fn set_pointer(&mut self, checkpoint: (usize, usize)) {
+        self.top = checkpoint.0 % self.stack.len();
+        self.depth = checkpoint.1.min(self.stack.len());
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.depth
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.depth == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(10);
+        ras.push(20);
+        assert_eq!(ras.pop(), Some(20));
+        assert_eq!(ras.pop(), Some(10));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_keeping_newest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // overwrites 1
+        assert_eq!(ras.len(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn empty_reports() {
+        let mut ras = ReturnAddressStack::new(2);
+        assert!(ras.is_empty());
+        ras.push(5);
+        assert!(!ras.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Direction-prediction tables: saturating counters, bimodal, two-level
+//! local.
+
+/// A 2-bit saturating counter.
+///
+/// States 0–1 predict not-taken, 2–3 predict taken. Initialised weakly
+/// taken (2), matching SimpleScalar's `sim-bpred`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter2(u8);
+
+impl Counter2 {
+    /// Weakly-taken initial state.
+    pub fn new() -> Self {
+        Counter2(2)
+    }
+
+    /// Current prediction.
+    pub fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Trains the counter toward `taken`.
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+
+    /// Raw state, `0..=3`.
+    pub fn state(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for Counter2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A bimodal predictor: one [`Counter2`] per PC hash bucket.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<Counter2>,
+}
+
+impl Bimodal {
+    /// Creates a bimodal table with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        Bimodal { table: vec![Counter2::new(); entries] }
+    }
+
+    fn index(&self, pc: usize) -> usize {
+        pc & (self.table.len() - 1)
+    }
+
+    /// Direction prediction for the branch at `pc`.
+    pub fn predict(&self, pc: usize) -> bool {
+        self.table[self.index(pc)].predict()
+    }
+
+    /// Trains the entry for `pc` toward `taken`.
+    pub fn train(&mut self, pc: usize, taken: bool) {
+        let i = self.index(pc);
+        self.table[i].train(taken);
+    }
+}
+
+/// A two-level local-history predictor.
+///
+/// Level 1 holds per-PC branch histories; level 2 is a pattern history
+/// table of 2-bit counters indexed by the local history **XORed with the
+/// branch's PC** (the paper's Table 2 configuration).
+#[derive(Debug, Clone)]
+pub struct TwoLevelLocal {
+    histories: Vec<u64>,
+    pht: Vec<Counter2>,
+    hist_mask: u64,
+}
+
+impl TwoLevelLocal {
+    /// Creates a two-level predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either table size is not a power of two or
+    /// `hist_bits > 63`.
+    pub fn new(hist_entries: usize, pht_entries: usize, hist_bits: u32) -> Self {
+        assert!(hist_entries.is_power_of_two(), "history table size must be a power of two");
+        assert!(pht_entries.is_power_of_two(), "PHT size must be a power of two");
+        assert!(hist_bits <= 63, "history too long");
+        TwoLevelLocal {
+            histories: vec![0; hist_entries],
+            pht: vec![Counter2::new(); pht_entries],
+            hist_mask: (1u64 << hist_bits) - 1,
+        }
+    }
+
+    fn hist_index(&self, pc: usize) -> usize {
+        pc & (self.histories.len() - 1)
+    }
+
+    fn pht_index(&self, pc: usize) -> usize {
+        let hist = self.histories[self.hist_index(pc)];
+        ((hist ^ pc as u64) & (self.pht.len() as u64 - 1)) as usize
+    }
+
+    /// Direction prediction for the branch at `pc`.
+    pub fn predict(&self, pc: usize) -> bool {
+        self.pht[self.pht_index(pc)].predict()
+    }
+
+    /// Trains the PHT entry and shifts the outcome into the local
+    /// history.
+    pub fn train(&mut self, pc: usize, taken: bool) {
+        let pi = self.pht_index(pc);
+        self.pht[pi].train(taken);
+        let hi = self.hist_index(pc);
+        self.histories[hi] = ((self.histories[hi] << 1) | u64::from(taken)) & self.hist_mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter2::new();
+        assert!(c.predict());
+        c.train(false);
+        c.train(false);
+        c.train(false);
+        assert_eq!(c.state(), 0);
+        assert!(!c.predict());
+        c.train(true);
+        assert!(!c.predict(), "one taken from strong-NT is still NT");
+        c.train(true);
+        assert!(c.predict());
+        c.train(true);
+        c.train(true);
+        assert_eq!(c.state(), 3);
+    }
+
+    #[test]
+    fn bimodal_learns_direction() {
+        let mut b = Bimodal::new(64);
+        for _ in 0..4 {
+            b.train(5, false);
+        }
+        assert!(!b.predict(5));
+        assert!(b.predict(6), "other entries untouched");
+    }
+
+    #[test]
+    fn bimodal_aliases_modulo_size() {
+        let mut b = Bimodal::new(64);
+        for _ in 0..4 {
+            b.train(3, false);
+        }
+        assert!(!b.predict(3 + 64), "PC 67 aliases PC 3 in a 64-entry table");
+    }
+
+    #[test]
+    fn local_learns_alternating_pattern() {
+        // Bimodal cannot learn strict alternation; a local predictor can.
+        let mut l = TwoLevelLocal::new(64, 1024, 8);
+        let mut taken = false;
+        // Warm up.
+        for _ in 0..200 {
+            l.train(9, taken);
+            taken = !taken;
+        }
+        // Now verify predictions.
+        let mut correct = 0;
+        for _ in 0..100 {
+            if l.predict(9) == taken {
+                correct += 1;
+            }
+            l.train(9, taken);
+            taken = !taken;
+        }
+        assert!(correct >= 95, "local predictor should master alternation, got {correct}/100");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        Bimodal::new(100);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the branch-prediction structures.
+
+use proptest::prelude::*;
+use ssim_bpred::{classify, BpredConfig, BranchKind, BranchOutcome, HybridPredictor};
+
+fn any_kind() -> impl Strategy<Value = BranchKind> {
+    prop_oneof![
+        Just(BranchKind::Cond),
+        Just(BranchKind::Jump),
+        Just(BranchKind::Call),
+        Just(BranchKind::Ret),
+        Just(BranchKind::Indirect),
+    ]
+}
+
+proptest! {
+    /// Unconditional kinds always predict taken; conditionals always
+    /// produce one of the three outcomes consistently with taken-ness.
+    #[test]
+    fn lookup_and_classify_are_total(
+        ops in prop::collection::vec((any_kind(), 0usize..512, any::<bool>(), 0usize..512), 1..400)
+    ) {
+        let mut p = HybridPredictor::new(&BpredConfig::baseline());
+        for (kind, pc, taken, target) in ops {
+            let taken = taken || kind.always_taken();
+            let pred = p.lookup(pc, kind);
+            if kind.always_taken() {
+                prop_assert!(pred.taken, "{kind:?} must predict taken");
+            }
+            let outcome = classify(kind, &pred, taken, target);
+            match outcome {
+                BranchOutcome::Correct => {
+                    if kind == BranchKind::Cond {
+                        prop_assert_eq!(pred.taken, taken);
+                    }
+                }
+                BranchOutcome::FetchRedirect => {
+                    // Redirects never happen for target-at-execute kinds.
+                    prop_assert!(!matches!(kind, BranchKind::Ret | BranchKind::Indirect));
+                }
+                BranchOutcome::Mispredict => {}
+            }
+            p.update(pc, kind, taken, target, &pred);
+        }
+    }
+
+    /// A perfectly biased conditional branch is eventually predicted
+    /// with high accuracy, whatever the bias direction.
+    #[test]
+    fn biased_branches_are_learned(taken in any::<bool>(), pc in 0usize..8192) {
+        let mut p = HybridPredictor::new(&BpredConfig::baseline());
+        for _ in 0..64 {
+            let pred = p.lookup(pc, BranchKind::Cond);
+            p.update(pc, BranchKind::Cond, taken, 7, &pred);
+        }
+        let mut correct = 0;
+        for _ in 0..32 {
+            let pred = p.lookup(pc, BranchKind::Cond);
+            if pred.taken == taken {
+                correct += 1;
+            }
+            p.update(pc, BranchKind::Cond, taken, 7, &pred);
+        }
+        prop_assert!(correct >= 30, "only {correct}/32 correct");
+    }
+
+    /// RAS pointer checkpoints restore the logical stack top.
+    #[test]
+    fn ras_checkpoint_roundtrip(pushes in prop::collection::vec(0usize..10_000, 0..80),
+                                wrong in prop::collection::vec(0usize..10_000, 0..40)) {
+        let mut p = HybridPredictor::new(&BpredConfig::baseline());
+        for &r in &pushes {
+            p.lookup(r, BranchKind::Call);
+        }
+        let ckpt = p.ras_checkpoint();
+        // Wrong-path calls corrupt the stack...
+        for &r in &wrong {
+            p.lookup(r, BranchKind::Call);
+        }
+        // ...and the restore brings the pointer back.
+        p.ras_restore(ckpt);
+        prop_assert_eq!(p.ras_checkpoint(), ckpt);
+        if let Some(&last) = pushes.last() {
+            if pushes.len() + wrong.len() <= 64 {
+                // No overwrite happened within capacity: the top entry
+                // is intact.
+                let pred = p.lookup(9999, BranchKind::Ret);
+                prop_assert_eq!(pred.target, Some(last + 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Single-pass multi-configuration cache simulation (cheetah-style).
+//!
+//! The paper notes that statistical profiling's need to re-measure
+//! cache characteristics per configuration "does not limit its
+//! applicability. Indeed, a number of tools exist that measure a wide
+//! range of these structures in parallel, e.g., the cheetah simulator
+//! which is a single-pass multiple-configuration cache simulator"
+//! (§2.1.2, citing Sugumar & Abraham).
+//!
+//! This module implements the two classic single-pass algorithms:
+//!
+//! * [`AssocSweep`] — for a fixed set count and block size, LRU caches
+//!   are *inclusive* across associativity: a reference that hits at LRU
+//!   stack depth `d` within its set hits every cache with
+//!   associativity ≥ `d`. One pass yields the miss rate of every
+//!   associativity `1..=max` simultaneously.
+//! * [`CapacitySweep`] — Mattson's stack algorithm for fully-associative
+//!   LRU caches: maintaining one global LRU stack of blocks yields the
+//!   miss count for *every* capacity in one pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssim_cache::AssocSweep;
+//!
+//! let mut sweep = AssocSweep::new(64, 32, 8);
+//! for round in 0..4 {
+//!     let _ = round;
+//!     for block in 0..4u64 {
+//!         sweep.access(block * 64 * 32); // 4 conflicting blocks
+//!     }
+//! }
+//! // A direct-mapped or 2-way cache thrashes; 4-way captures the loop.
+//! assert!(sweep.miss_rate(4) < sweep.miss_rate(2));
+//! assert!(sweep.miss_rate(2) <= sweep.miss_rate(1));
+//! ```
+
+/// Single-pass associativity sweep over set-associative LRU caches.
+///
+/// All simulated caches share `sets` and `block`; one [`AssocSweep::access`]
+/// updates every associativity `1..=max_assoc` at once via the LRU
+/// stack-depth inclusion property.
+#[derive(Debug, Clone)]
+pub struct AssocSweep {
+    sets: Vec<Vec<u64>>, // per-set LRU stack of tags (front = MRU)
+    max_assoc: usize,
+    set_mask: u64,
+    block_shift: u32,
+    /// `depth_hits[d]` = accesses that hit at stack depth `d` (0-based).
+    depth_hits: Vec<u64>,
+    accesses: u64,
+}
+
+impl AssocSweep {
+    /// Creates a sweep over associativities `1..=max_assoc` for caches
+    /// of `sets` sets and `block`-byte blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sets` and `block` are powers of two and
+    /// `max_assoc > 0`.
+    pub fn new(sets: usize, block: usize, max_assoc: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(block.is_power_of_two(), "block size must be a power of two");
+        assert!(max_assoc > 0, "need at least one way");
+        AssocSweep {
+            sets: vec![Vec::with_capacity(max_assoc); sets],
+            max_assoc,
+            set_mask: sets as u64 - 1,
+            block_shift: block.trailing_zeros(),
+            depth_hits: vec![0; max_assoc],
+            accesses: 0,
+        }
+    }
+
+    /// Performs one access; returns the minimum associativity that hits
+    /// (`None` if even the `max_assoc`-way cache misses).
+    pub fn access(&mut self, addr: u64) -> Option<usize> {
+        self.accesses += 1;
+        let block_addr = addr >> self.block_shift;
+        let set = (block_addr & self.set_mask) as usize;
+        let tag = block_addr >> self.set_mask.count_ones();
+        let stack = &mut self.sets[set];
+        match stack.iter().position(|&t| t == tag) {
+            Some(depth) => {
+                stack.remove(depth);
+                stack.insert(0, tag);
+                if depth < self.max_assoc {
+                    self.depth_hits[depth] += 1;
+                    Some(depth + 1)
+                } else {
+                    None
+                }
+            }
+            None => {
+                stack.insert(0, tag);
+                stack.truncate(self.max_assoc);
+                None
+            }
+        }
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Misses a cache of associativity `assoc` would have seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is zero or exceeds `max_assoc`.
+    pub fn misses(&self, assoc: usize) -> u64 {
+        assert!((1..=self.max_assoc).contains(&assoc), "associativity out of range");
+        let hits: u64 = self.depth_hits[..assoc].iter().sum();
+        self.accesses - hits
+    }
+
+    /// Miss rate for associativity `assoc` (`0.0` before any access).
+    ///
+    /// # Panics
+    ///
+    /// See [`AssocSweep::misses`].
+    pub fn miss_rate(&self, assoc: usize) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses(assoc) as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Mattson's single-pass stack algorithm for fully-associative LRU
+/// caches: one pass yields the miss count of every capacity.
+#[derive(Debug, Clone, Default)]
+pub struct CapacitySweep {
+    stack: Vec<u64>, // LRU stack of block addresses (front = MRU)
+    block_shift: u32,
+    /// `depth_hits[d]` = hits at stack depth `d` (0-based), capped.
+    depth_hits: Vec<u64>,
+    deep_hits: u64, // hits beyond the tracked depth
+    accesses: u64,
+    max_depth: usize,
+}
+
+impl CapacitySweep {
+    /// Creates a sweep for `block`-byte blocks, tracking stack depths up
+    /// to `max_blocks` (the largest capacity of interest, in blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `block` is a power of two and `max_blocks > 0`.
+    pub fn new(block: usize, max_blocks: usize) -> Self {
+        assert!(block.is_power_of_two(), "block size must be a power of two");
+        assert!(max_blocks > 0, "need at least one block of capacity");
+        CapacitySweep {
+            stack: Vec::new(),
+            block_shift: block.trailing_zeros(),
+            depth_hits: vec![0; max_blocks],
+            deep_hits: 0,
+            accesses: 0,
+            max_depth: max_blocks,
+        }
+    }
+
+    /// Performs one access, returning the stack distance (`None` for a
+    /// cold miss).
+    pub fn access(&mut self, addr: u64) -> Option<usize> {
+        self.accesses += 1;
+        let block = addr >> self.block_shift;
+        match self.stack.iter().position(|&b| b == block) {
+            Some(depth) => {
+                self.stack.remove(depth);
+                self.stack.insert(0, block);
+                if depth < self.max_depth {
+                    self.depth_hits[depth] += 1;
+                } else {
+                    self.deep_hits += 1;
+                }
+                Some(depth)
+            }
+            None => {
+                self.stack.insert(0, block);
+                // Bound memory: blocks deeper than any capacity of
+                // interest can be dropped.
+                if self.stack.len() > self.max_depth * 2 {
+                    self.stack.truncate(self.max_depth + 1);
+                }
+                None
+            }
+        }
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Misses a fully-associative LRU cache of `blocks` blocks would
+    /// have seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero or exceeds the tracked maximum.
+    pub fn misses(&self, blocks: usize) -> u64 {
+        assert!((1..=self.max_depth).contains(&blocks), "capacity out of range");
+        let hits: u64 = self.depth_hits[..blocks].iter().sum();
+        self.accesses - hits
+    }
+
+    /// Miss rate for a capacity of `blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// See [`CapacitySweep::misses`].
+    pub fn miss_rate(&self, blocks: usize) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses(blocks) as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{Cache, CacheConfig};
+
+    /// The sweep must agree exactly with N independent LRU caches.
+    #[test]
+    fn assoc_sweep_matches_individual_caches() {
+        let sets = 16;
+        let block = 32;
+        let max_assoc = 8;
+        let mut sweep = AssocSweep::new(sets, block, max_assoc);
+        let mut singles: Vec<Cache> = (1..=max_assoc)
+            .map(|a| Cache::new(CacheConfig::new(sets * a * block, a, block)))
+            .collect();
+        // Pseudo-random but reproducible access stream.
+        let mut x = 0x9e37_79b9u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = x % (1 << 16);
+            sweep.access(addr);
+            for c in &mut singles {
+                c.access(addr);
+            }
+        }
+        for (i, c) in singles.iter().enumerate() {
+            assert_eq!(
+                sweep.misses(i + 1),
+                c.misses(),
+                "associativity {} diverged",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn assoc_miss_rates_are_monotone() {
+        let mut sweep = AssocSweep::new(8, 64, 16);
+        let mut x = 1u64;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            sweep.access(x % (1 << 20));
+        }
+        for a in 1..16 {
+            assert!(
+                sweep.miss_rate(a + 1) <= sweep.miss_rate(a) + 1e-12,
+                "LRU inclusion violated at associativity {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_sweep_matches_direct_simulation() {
+        let block = 64;
+        let mut sweep = CapacitySweep::new(block, 64);
+        // Fully-associative LRU cache of 16 blocks = 1024 bytes, 1 set.
+        let mut direct = Cache::new(CacheConfig::new(16 * block, 16, block));
+        let mut x = 7u64;
+        for _ in 0..30_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = x % (1 << 14);
+            sweep.access(addr);
+            direct.access(addr);
+        }
+        assert_eq!(sweep.misses(16), direct.misses());
+    }
+
+    #[test]
+    fn capacity_miss_rates_are_monotone() {
+        let mut sweep = CapacitySweep::new(32, 128);
+        let mut x = 3u64;
+        for _ in 0..40_000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            sweep.access(x % (1 << 18));
+        }
+        for b in 1..128 {
+            assert!(sweep.miss_rate(b + 1) <= sweep.miss_rate(b) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sequential_stream_has_pure_cold_misses() {
+        let mut sweep = CapacitySweep::new(64, 32);
+        for i in 0..1000u64 {
+            assert_eq!(sweep.access(i * 64), None, "every block is new");
+        }
+        assert_eq!(sweep.misses(32), 1000);
+    }
+
+    #[test]
+    fn tight_loop_fits_when_capacity_suffices() {
+        let mut sweep = CapacitySweep::new(64, 32);
+        for _ in 0..100 {
+            for b in 0..8u64 {
+                sweep.access(b * 64);
+            }
+        }
+        // 8 cold misses; everything else hits at depth <= 7.
+        assert_eq!(sweep.misses(8), 8);
+        assert!(sweep.misses(7) > 8, "7 blocks cannot hold an 8-block loop");
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end accuracy smoke test: profile → generate → simulate vs.
+//! execution-driven reference, per workload.
+//!
+//! Run with: `cargo run --release -p ssim-core --example accuracy_smoke`
+
+use ssim_core::{profile, simulate_trace, ProfileConfig};
+use ssim_stats::absolute_error;
+use ssim_uarch::{ExecSim, MachineConfig};
+use std::time::Instant;
+
+fn main() {
+    let cfg = MachineConfig::baseline();
+    let profile_n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3_000_000);
+    let eds_n = profile_n.min(2_000_000);
+    println!(
+        "{:<10} {:>8} {:>8} {:>7} {:>9} {:>9} {:>8} {:>8}",
+        "workload", "EDS-IPC", "SS-IPC", "err%", "trace", "contexts", "prof(s)", "ss(s)"
+    );
+    let mut errs = Vec::new();
+    for w in ssim_workloads::all() {
+        let program = w.program();
+        let t0 = Instant::now();
+        let p = profile(
+            &program,
+            &ProfileConfig::new(&cfg).skip(4_000_000).instructions(profile_n),
+        );
+        let prof_time = t0.elapsed().as_secs_f64();
+        let trace = p.generate(10, 1);
+        let t1 = Instant::now();
+        let ss = simulate_trace(&trace, &cfg);
+        let ss_time = t1.elapsed().as_secs_f64();
+        let mut eds = ExecSim::new(&cfg, &program);
+        eds.skip(4_000_000);
+        let eds = eds.run(eds_n);
+        let err = absolute_error(ss.ipc(), eds.ipc());
+        errs.push(err);
+        println!(
+            "{:<10} {:>8.3} {:>8.3} {:>7.1} {:>9} {:>9} {:>8.1} {:>8.2}",
+            w.name(),
+            eds.ipc(),
+            ss.ipc(),
+            err * 100.0,
+            trace.len(),
+            p.context_count(),
+            prof_time,
+            ss_time,
+        );
+        if std::env::var("SSIM_DIAG").is_ok() {
+            // Occurrence-weighted aggregate taken probability and block
+            // mix from the profile itself, to separate walk bias from
+            // flag-sampling bias.
+            let mut occ_total = 0u64;
+            let mut taken_w = 0.0;
+            let mut br_total = 0u64;
+            let mut instr_w = 0u64;
+            for (_, s) in p.contexts() {
+                occ_total += s.occurrence;
+                instr_w += s.occurrence * s.slots.len() as u64;
+                if let Some(b) = &s.branch {
+                    taken_w += s.occurrence as f64 * b.taken.probability();
+                    br_total += s.occurrence;
+                }
+            }
+            let mut load_trials = 0u64;
+            let mut load_misses = 0u64;
+            for (_, s) in p.contexts() {
+                for slot in &s.slots {
+                    if let Some(d) = &slot.dcache {
+                        load_trials += d.l1.trials();
+                        load_misses += d.l1.events();
+                    }
+                }
+            }
+            let ss_l1d = {
+                let mut m = 0u64;
+                let mut t = 0u64;
+                for i in trace.instrs() {
+                    if let Some(f) = i.dmem {
+                        t += 1;
+                        m += u64::from(f.l1_miss);
+                    }
+                }
+                m as f64 / t.max(1) as f64
+            };
+            println!(
+                "    l1d: eds {:.3} profiled {:.3} trace {:.3}",
+                eds.cache.l1d_miss_rate,
+                load_misses as f64 / load_trials.max(1) as f64,
+                ss_l1d,
+            );
+            println!(
+                "    profile: agg-taken {:.2} avg-block {:.2} blocks {} | trace blocks {} avg-block {:.2}",
+                taken_w / br_total.max(1) as f64,
+                instr_w as f64 / occ_total.max(1) as f64,
+                occ_total,
+                ss.branch.branches,
+                trace.len() as f64 / ss.branch.branches.max(1) as f64,
+            );
+            println!(
+                "    mpki eds {:>6.2} prof {:>6.2} ss {:>6.2} | ruu {:>5.1}/{:<5.1} lsq {:>4.1}/{:<4.1} ifq {:>4.1}/{:<4.1} | taken eds {:.2} ss {:.2} | redir eds {:.3} ss {:.3}",
+                eds.mpki(),
+                p.branch_mpki(),
+                ss.mpki(),
+                eds.ruu_occupancy,
+                ss.ruu_occupancy,
+                eds.lsq_occupancy,
+                ss.lsq_occupancy,
+                eds.ifq_occupancy,
+                ss.ifq_occupancy,
+                eds.branch.taken as f64 / eds.branch.branches.max(1) as f64,
+                ss.branch.taken as f64 / ss.branch.branches.max(1) as f64,
+                eds.branch.redirects as f64 / eds.branch.branches.max(1) as f64,
+                ss.branch.redirects as f64 / ss.branch.branches.max(1) as f64,
+            );
+        }
+    }
+    let avg = errs.iter().sum::<f64>() / errs.len() as f64;
+    println!("average IPC error: {:.1}%", avg * 100.0);
+}

@@ -1,0 +1,582 @@
+//! Statistical profiling: one functional pass building the profile.
+
+use crate::sfg::{
+    BlockId, BranchCtxStats, ContextStats, Gram, Sfg, SlotStats, StatisticalProfile,
+};
+use crate::MAX_DEP_DISTANCE;
+use ssim_bpred::{classify, BranchKind, BranchOutcome, HybridPredictor, Prediction};
+use ssim_cache::Hierarchy;
+use ssim_func::{Executed, Machine};
+use ssim_isa::{pc_to_addr, InstrClass, Program, Reg, RegId};
+use ssim_uarch::MachineConfig;
+use std::collections::{HashMap, VecDeque};
+
+/// How branch characteristics are measured during profiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchProfileMode {
+    /// The paper's contribution (§2.1.3): lookups and updates separated
+    /// by an IFQ-sized FIFO, with squash-and-refill on detected
+    /// mispredictions — modeling delayed (speculative-at-dispatch)
+    /// update.
+    #[default]
+    Delayed,
+    /// Classic trace-driven profiling: the predictor is updated
+    /// immediately after each lookup (the baseline the paper improves
+    /// on; used for Figures 3 and 5).
+    Immediate,
+    /// Every branch is a correct prediction (perfect branch prediction,
+    /// used for the Figure 4 SFG-order study).
+    Perfect,
+}
+
+/// Profiling configuration.
+#[derive(Debug, Clone)]
+pub struct ProfileConfig {
+    /// SFG order `k` (the paper uses `k = 1` after Figure 4).
+    pub k: usize,
+    /// Branch measurement scheme.
+    pub branch_mode: BranchProfileMode,
+    /// Model every cache/TLB access as a hit (Figures 4 and 5).
+    pub perfect_caches: bool,
+    /// Machine whose locality structures are profiled (branch predictor
+    /// sizing, cache hierarchy, IFQ size for the delayed-update FIFO).
+    pub machine: MachineConfig,
+    /// Instructions to skip before profiling (warmup / init phase).
+    pub skip: u64,
+    /// Instructions to run *after* the skip with live caches and
+    /// predictor (immediate update) but without recording, so the
+    /// locality structures are warm when measurement starts. Needed
+    /// when profiling a sample from the middle of a stream (§4.4).
+    pub warm_instructions: u64,
+    /// Instructions to profile.
+    pub max_instructions: u64,
+    /// Record WAW/WAR anti-dependency distances per slot (the paper's
+    /// future-work extension for in-order or register-constrained
+    /// machines; off by default, matching the paper's RAW-only model).
+    pub anti_deps: bool,
+    /// Cap on recorded dependency distances (the paper uses 512, which
+    /// "still allows the modeling of a wide range of current and
+    /// near-future microprocessors" — §2.1.1). Distances beyond the cap
+    /// are recorded as "no dependency".
+    pub dep_cap: u32,
+}
+
+impl ProfileConfig {
+    /// A first-order, delayed-update profile of `machine`'s locality
+    /// structures over 5M instructions after a 4M-instruction skip.
+    pub fn new(machine: &MachineConfig) -> Self {
+        ProfileConfig {
+            k: 1,
+            branch_mode: if machine.perfect_bpred {
+                BranchProfileMode::Perfect
+            } else {
+                BranchProfileMode::Delayed
+            },
+            perfect_caches: machine.perfect_caches,
+            machine: machine.clone(),
+            skip: 4_000_000,
+            warm_instructions: 0,
+            max_instructions: 5_000_000,
+            anti_deps: false,
+            dep_cap: MAX_DEP_DISTANCE,
+        }
+    }
+
+    /// Builder-style SFG order.
+    pub fn order(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Builder-style branch mode.
+    pub fn branch_mode(mut self, mode: BranchProfileMode) -> Self {
+        self.branch_mode = mode;
+        self
+    }
+
+    /// Builder-style instruction budget.
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.max_instructions = n;
+        self
+    }
+
+    /// Builder-style warmup skip.
+    pub fn skip(mut self, n: u64) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Builder-style structure-warming run-up (see
+    /// [`ProfileConfig::warm_instructions`]).
+    pub fn warm(mut self, n: u64) -> Self {
+        self.warm_instructions = n;
+        self
+    }
+
+    /// Builder-style dependency-distance cap (see
+    /// [`ProfileConfig::dep_cap`]).
+    pub fn dep_cap(mut self, cap: u32) -> Self {
+        self.dep_cap = cap;
+        self
+    }
+
+    /// Builder-style anti-dependency tracking (see
+    /// [`ProfileConfig::anti_deps`]).
+    pub fn anti_deps(mut self, on: bool) -> Self {
+        self.anti_deps = on;
+        self
+    }
+}
+
+/// One instruction in flight through the delayed-update FIFO.
+#[derive(Debug, Clone, Copy)]
+struct FifoEntry {
+    exec: Executed,
+    pred: Option<Prediction>,
+    ras_checkpoint: (usize, usize),
+}
+
+/// In-progress basic block assembly.
+#[derive(Debug, Default)]
+struct BlockBuilder {
+    start: Option<BlockId>,
+    slots: Vec<SlotObservation>,
+}
+
+/// Everything observed about one dynamic instruction.
+#[derive(Debug, Clone, Copy)]
+struct SlotObservation {
+    class: InstrClass,
+    src_count: u8,
+    dep: [u32; 2], // 0 = no dependency
+    l1i_miss: bool,
+    l2i_miss: bool,
+    itlb_miss: bool,
+    dmem: Option<(bool, bool, bool)>, // load: (l1d, l2d, dtlb) misses
+    branch: Option<(bool, BranchOutcome)>,
+    anti: [u32; 2], // (WAW, WAR) distances; 0 = none
+}
+
+/// Builds a [`StatisticalProfile`] from one functional execution.
+///
+/// This is the paper's step 1 (Figure 1): functional simulation
+/// extended with branch predictors and cache structures, recording the
+/// statistical flow graph, the microarchitecture-independent
+/// characteristics and the locality events.
+///
+/// # Panics
+///
+/// Panics if `cfg.k > 3` or the machine configuration is invalid.
+pub fn profile(program: &Program, cfg: &ProfileConfig) -> StatisticalProfile {
+    cfg.machine.validate();
+    let mut machine = Machine::new(program);
+    for _ in 0..cfg.skip {
+        if machine.step().is_none() {
+            break;
+        }
+    }
+
+    let mut bpred = HybridPredictor::new(&cfg.machine.bpred);
+    let mut hierarchy = Hierarchy::new(&cfg.machine.hierarchy);
+    // Warm the locality structures over the run-up window.
+    for _ in 0..cfg.warm_instructions {
+        let Some(exec) = machine.step() else { break };
+        if !cfg.perfect_caches {
+            hierarchy.access_instr(pc_to_addr(exec.pc));
+            if let Some(addr) = exec.mem_addr {
+                if exec.instr.class() == InstrClass::Load {
+                    hierarchy.access_load(addr);
+                } else {
+                    hierarchy.access_data(addr);
+                }
+            }
+        }
+        if !matches!(cfg.branch_mode, BranchProfileMode::Perfect) {
+            if let Some(kind) = BranchKind::from_opcode(exec.instr.op) {
+                let pred = bpred.lookup(exec.pc, kind);
+                bpred.update(exec.pc, kind, exec.taken, exec.next_pc, &pred);
+            }
+        }
+    }
+    let mut sfg = Sfg::new(cfg.k);
+    let mut contexts: HashMap<crate::Context, ContextStats> = HashMap::new();
+
+    let mut fifo: VecDeque<FifoEntry> = VecDeque::with_capacity(cfg.machine.ifq_size);
+    let mut pushback: VecDeque<Executed> = VecDeque::new();
+    let fifo_cap = cfg.machine.ifq_size.max(1);
+
+    // RAW dependency tracking: global instruction index of each
+    // register's last writer.
+    let mut last_writer = [0u64; RegId::DENSE_COUNT];
+    let mut has_writer = [false; RegId::DENSE_COUNT];
+    let mut last_reader = [0u64; RegId::DENSE_COUNT];
+    let mut has_reader = [false; RegId::DENSE_COUNT];
+    let mut instr_index: u64 = 0;
+
+    let mut state = Gram::empty();
+    let mut block = BlockBuilder::default();
+    let mut instructions: u64 = 0;
+    let mut branch_lookups: u64 = 0;
+    let mut branch_mispredicts: u64 = 0;
+    let mut remaining = cfg.max_instructions;
+
+    // Flushes the completed block into the SFG + context stats.
+    let complete_block =
+        |sfg: &mut Sfg,
+         contexts: &mut HashMap<crate::Context, ContextStats>,
+         state: &mut Gram,
+         block: &mut BlockBuilder| {
+            let Some(start) = block.start.take() else { return };
+            let slots = std::mem::take(&mut block.slots);
+            // Skip blocks whose history is still shorter than k (the
+            // first k blocks of the stream).
+            if state.len() == cfg.k {
+                sfg.record(*state, start);
+                let ctx = state.context_with(start);
+                let stats = contexts.entry(ctx).or_insert_with(|| ContextStats {
+                    occurrence: 0,
+                    slots: slots
+                        .iter()
+                        .map(|s| SlotStats::new(s.class, s.src_count))
+                        .collect(),
+                    branch: slots.last().and_then(|s| {
+                        s.class.is_control().then(BranchCtxStats::default)
+                    }),
+                });
+                stats.occurrence += 1;
+                debug_assert_eq!(stats.slots.len(), slots.len(), "blocks are static");
+                for (slot, obs) in stats.slots.iter_mut().zip(&slots) {
+                    for p in 0..usize::from(obs.src_count.min(2)) {
+                        slot.dep[p].record(obs.dep[p]);
+                    }
+                    if cfg.anti_deps {
+                        slot.waw.record(obs.anti[0]);
+                        slot.war.record(obs.anti[1]);
+                    }
+                    slot.icache.l1.record(obs.l1i_miss);
+                    if obs.l1i_miss {
+                        slot.icache.l2.record(obs.l2i_miss);
+                    }
+                    slot.icache.tlb.record(obs.itlb_miss);
+                    if let (Some(d), Some((l1, l2, tlb))) = (slot.dcache.as_mut(), obs.dmem) {
+                        d.l1.record(l1);
+                        if l1 {
+                            d.l2.record(l2);
+                        }
+                        d.tlb.record(tlb);
+                    }
+                }
+                if let (Some(b), Some(obs)) = (stats.branch.as_mut(), slots.last()) {
+                    if let Some((taken, outcome)) = obs.branch {
+                        b.taken.record(taken);
+                        match outcome {
+                            BranchOutcome::Correct => b.correct += 1,
+                            BranchOutcome::FetchRedirect => b.redirect += 1,
+                            BranchOutcome::Mispredict => b.mispredict += 1,
+                        }
+                    }
+                }
+            }
+            *state = state.shifted(start, cfg.k);
+        };
+
+    'outer: loop {
+        // ---- fill the FIFO (lookups happen on entry with stale state).
+        while fifo.len() < fifo_cap {
+            let exec = match pushback.pop_front() {
+                Some(e) => Some(e),
+                None => {
+                    if remaining == 0 {
+                        None
+                    } else {
+                        remaining -= 1;
+                        machine.step()
+                    }
+                }
+            };
+            let Some(exec) = exec else { break };
+            let ras_checkpoint = bpred.ras_checkpoint();
+            let pred = match (cfg.branch_mode, BranchKind::from_opcode(exec.instr.op)) {
+                (BranchProfileMode::Delayed, Some(kind)) => Some(bpred.lookup(exec.pc, kind)),
+                _ => None,
+            };
+            fifo.push_back(FifoEntry { exec, pred, ras_checkpoint });
+        }
+
+        // ---- drain one instruction from the FIFO head (update side).
+        let Some(entry) = fifo.pop_front() else { break 'outer };
+        let exec = entry.exec;
+        instructions += 1;
+
+        // Microarchitecture-independent: dependency distances.
+        instr_index += 1;
+        let mut obs = SlotObservation {
+            class: exec.instr.class(),
+            src_count: exec.instr.src_count() as u8,
+            dep: [0, 0],
+            l1i_miss: false,
+            l2i_miss: false,
+            itlb_miss: false,
+            dmem: None,
+            branch: None,
+            anti: [0, 0],
+        };
+        for (p, src) in exec.instr.sources().enumerate().take(2) {
+            // R0 is hardwired zero: no producer.
+            if src == RegId::Int(Reg::ZERO) {
+                continue;
+            }
+            let i = src.dense_index();
+            if has_writer[i] {
+                let dist = instr_index - last_writer[i];
+                if dist <= u64::from(cfg.dep_cap) {
+                    obs.dep[p] = dist as u32;
+                }
+            }
+        }
+        if cfg.anti_deps {
+            if let Some(dest) = exec.instr.dest {
+                let i = dest.dense_index();
+                if has_writer[i] {
+                    let d = instr_index - last_writer[i];
+                    if d <= u64::from(cfg.dep_cap) {
+                        obs.anti[0] = d as u32;
+                    }
+                }
+                if has_reader[i] {
+                    let d = instr_index - last_reader[i];
+                    if d <= u64::from(cfg.dep_cap) {
+                        obs.anti[1] = d as u32;
+                    }
+                }
+            }
+            for src in exec.instr.sources() {
+                last_reader[src.dense_index()] = instr_index;
+                has_reader[src.dense_index()] = true;
+            }
+        }
+        if let Some(dest) = exec.instr.dest {
+            last_writer[dest.dense_index()] = instr_index;
+            has_writer[dest.dense_index()] = true;
+        }
+
+        // Microarchitecture-dependent: cache locality events.
+        if !cfg.perfect_caches {
+            let iout = hierarchy.access_instr(pc_to_addr(exec.pc));
+            obs.l1i_miss = iout.l1_miss;
+            obs.l2i_miss = iout.l2_miss;
+            obs.itlb_miss = iout.tlb_miss;
+            if let Some(addr) = exec.mem_addr {
+                if exec.instr.class() == InstrClass::Load {
+                    let dout = hierarchy.access_load(addr);
+                    obs.dmem = Some((dout.l1_miss, dout.l2_miss, dout.tlb_miss));
+                } else {
+                    hierarchy.access_data(addr);
+                }
+            }
+        } else if exec.instr.class() == InstrClass::Load {
+            obs.dmem = Some((false, false, false));
+        }
+
+        // Microarchitecture-dependent: branch behaviour.
+        let mut squash = false;
+        if let Some(kind) = BranchKind::from_opcode(exec.instr.op) {
+            branch_lookups += 1;
+            let outcome = match cfg.branch_mode {
+                BranchProfileMode::Perfect => BranchOutcome::Correct,
+                BranchProfileMode::Immediate => {
+                    let pred = bpred.lookup(exec.pc, kind);
+                    let outcome = classify(kind, &pred, exec.taken, exec.next_pc);
+                    bpred.update(exec.pc, kind, exec.taken, exec.next_pc, &pred);
+                    outcome
+                }
+                BranchProfileMode::Delayed => {
+                    let pred = entry.pred.expect("delayed mode predicts on entry");
+                    let outcome = classify(kind, &pred, exec.taken, exec.next_pc);
+                    bpred.update(exec.pc, kind, exec.taken, exec.next_pc, &pred);
+                    if outcome == BranchOutcome::Mispredict {
+                        squash = true;
+                    }
+                    outcome
+                }
+            };
+            if outcome == BranchOutcome::Mispredict {
+                branch_mispredicts += 1;
+            }
+            obs.branch = Some((exec.taken, outcome));
+        }
+
+        // ---- squash-and-refill (§2.1.3): discard the stale lookups of
+        // everything still in the FIFO and re-insert those instructions.
+        if squash {
+            if let Some(first) = fifo.front() {
+                bpred.ras_restore(first.ras_checkpoint);
+            }
+            for e in fifo.drain(..) {
+                pushback.push_back(e.exec);
+            }
+        }
+
+        // ---- basic-block assembly.
+        if block.start.is_none() {
+            block.start = Some(exec.pc as BlockId);
+        }
+        block.slots.push(obs);
+        // Blocks end at control instructions; very long straight-line
+        // runs are split to bound block size.
+        if exec.instr.is_control() || block.slots.len() >= 256 {
+            complete_block(&mut sfg, &mut contexts, &mut state, &mut block);
+        }
+    }
+    // Drop the trailing partial block: recording it would alias a
+    // longer block with the same start PC.
+
+    StatisticalProfile { sfg, contexts, instructions, branch_lookups, branch_mispredicts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_isa::Assembler;
+
+    fn loop_program(iters: i64) -> Program {
+        let mut a = Assembler::new("p");
+        let (i, n, acc, t) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+        let buf = a.alloc_words(1024);
+        a.li(n, iters);
+        let top = a.here_label();
+        a.addi(i, i, 1);
+        a.andi(t, i, 1023);
+        a.slli(t, t, 3);
+        a.li(acc, buf as i64);
+        a.add(t, acc, t);
+        a.ld(t, t, 0);
+        a.add(acc, acc, t);
+        a.blt(i, n, top);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    fn quick_cfg(k: usize) -> ProfileConfig {
+        ProfileConfig::new(&MachineConfig::baseline())
+            .order(k)
+            .skip(0)
+            .instructions(100_000)
+    }
+
+    #[test]
+    fn profiles_a_loop() {
+        let program = loop_program(20_000);
+        let p = profile(&program, &quick_cfg(1));
+        assert!(p.instructions() > 90_000);
+        assert_eq!(p.k(), 1);
+        // One dominant block (the loop body).
+        assert!(p.sfg().node_count() >= 1);
+        assert!(p.context_count() >= 1);
+        // The loop branch is nearly always taken and well predicted.
+        let (_, stats) = p
+            .contexts()
+            .max_by_key(|(_, s)| s.occurrence)
+            .expect("at least one context");
+        let b = stats.branch.as_ref().expect("loop block ends in a branch");
+        assert!(b.taken.probability() > 0.99);
+        assert!(b.correct as f64 / b.total() as f64 > 0.95);
+        assert_eq!(stats.slots.len(), 8, "loop body has 8 instructions");
+    }
+
+    #[test]
+    fn dependency_distances_match_the_loop_shape() {
+        let program = loop_program(20_000);
+        let p = profile(&program, &quick_cfg(1));
+        let (_, stats) = p.contexts().max_by_key(|(_, s)| s.occurrence).unwrap();
+        // Slot 0 is `addi i, i, 1`: its source (i) was written by the
+        // same instruction one iteration (8 instructions) earlier.
+        let d = &stats.slots[0].dep[0];
+        assert_eq!(d.sample_with(0.5), Some(8));
+        // Slot 1 `andi t, i, 1023` depends on slot 0: distance 1.
+        let d = &stats.slots[1].dep[0];
+        assert_eq!(d.sample_with(0.5), Some(1));
+    }
+
+    #[test]
+    fn cache_events_recorded_for_loads() {
+        let program = loop_program(20_000);
+        let p = profile(&program, &quick_cfg(1));
+        let (_, stats) = p.contexts().max_by_key(|(_, s)| s.occurrence).unwrap();
+        let load_slot = stats
+            .slots
+            .iter()
+            .find(|s| s.class == InstrClass::Load)
+            .expect("loop has a load");
+        let d = load_slot.dcache.as_ref().expect("loads carry data-cache stats");
+        assert!(d.l1.trials() > 10_000);
+        // An 8KB working set fits L1D (16KB): low miss rate.
+        assert!(d.l1.probability() < 0.05);
+    }
+
+    #[test]
+    fn perfect_caches_record_no_misses() {
+        let program = loop_program(5_000);
+        let mut cfg = quick_cfg(1);
+        cfg.perfect_caches = true;
+        let p = profile(&program, &cfg);
+        for (_, stats) in p.contexts() {
+            for slot in &stats.slots {
+                assert_eq!(slot.icache.l1.events(), 0);
+                if let Some(d) = &slot.dcache {
+                    assert_eq!(d.l1.events(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_order_sfg_has_at_least_as_many_nodes() {
+        let program = loop_program(30_000);
+        let n: Vec<usize> = (0..=3)
+            .map(|k| profile(&program, &quick_cfg(k)).sfg().node_count())
+            .collect();
+        assert!(n[0] <= n[1] && n[1] <= n[2] && n[2] <= n[3], "node counts {n:?}");
+    }
+
+    #[test]
+    fn delayed_update_sees_more_mispredicts_than_immediate() {
+        // An alternating branch is learnable with immediate update, but
+        // with a 32-deep FIFO the two-level predictor's state lags and
+        // accuracy drops — exactly the Figure 3 effect.
+        let mut a = Assembler::new("alt");
+        let (i, n, t) = (Reg::R1, Reg::R2, Reg::R3);
+        a.li(n, 50_000);
+        let top = a.here_label();
+        let skip = a.label();
+        a.andi(t, i, 1);
+        a.beq(t, Reg::R0, skip);
+        a.addi(t, t, 1);
+        a.bind(skip).unwrap();
+        a.addi(i, i, 1);
+        a.blt(i, n, top);
+        a.halt();
+        let program = a.finish().unwrap();
+        let imm = profile(
+            &program,
+            &quick_cfg(1).branch_mode(BranchProfileMode::Immediate),
+        );
+        let del = profile(
+            &program,
+            &quick_cfg(1).branch_mode(BranchProfileMode::Delayed),
+        );
+        assert!(
+            del.branch_mpki() >= imm.branch_mpki(),
+            "delayed {} < immediate {}",
+            del.branch_mpki(),
+            imm.branch_mpki()
+        );
+    }
+
+    #[test]
+    fn perfect_mode_records_zero_mispredicts() {
+        let program = loop_program(5_000);
+        let p = profile(&program, &quick_cfg(1).branch_mode(BranchProfileMode::Perfect));
+        assert_eq!(p.branch_mpki(), 0.0);
+    }
+}

@@ -1,0 +1,433 @@
+//! Synthetic trace simulation (§2.3 of the paper).
+
+use crate::synth::{SyntheticInstr, SyntheticOutcome, SyntheticTrace};
+use ssim_uarch::{
+    BranchResolution, Core, DispatchInstr, DispatchOutcome, MachineConfig,
+    MemKind, OccupancyMeter, SimResult, Unit,
+};
+use std::collections::VecDeque;
+
+/// Simulates a synthetic trace on the configured machine.
+///
+/// The simulator reuses the out-of-order backend of the
+/// execution-driven simulator (`ssim_uarch::Core`) but, per §2.3 of the
+/// paper:
+///
+/// * models **no caches and no branch predictor** — every locality
+///   event is pre-assigned in the trace;
+/// * on a pre-assigned **misprediction**, keeps fetching subsequent
+///   synthetic instructions *as if they were from the incorrect path*
+///   (resource contention), squashes them when the branch resolves at
+///   writeback, rewinds and re-fetches them as the correct path;
+/// * applies the configured memory latencies to the pre-assigned
+///   L1/L2/TLB hit-miss flags of loads and instruction fetches;
+/// * does **not** let wrong-path instructions touch the caches — their
+///   miss flags are ignored while speculative (the paper calls this
+///   out as the main difference from execution-driven simulation).
+///
+/// The returned [`SimResult`] reports zeroed cache statistics (there
+/// are no caches) and branch statistics reconstructed from the trace
+/// flags.
+///
+/// # Panics
+///
+/// Panics if the machine configuration is invalid or the pipeline
+/// stops making forward progress.
+pub fn simulate_trace(trace: &SyntheticTrace, cfg: &MachineConfig) -> SimResult {
+    cfg.validate();
+    TraceSim::new(trace, cfg).run()
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IfqEntry {
+    di: DispatchInstr,
+    is_branch: bool,
+    mispredict_marker: bool,
+}
+
+struct TraceSim<'t> {
+    cfg: MachineConfig,
+    trace: &'t [SyntheticInstr],
+    cursor: usize,
+    core: Core,
+    ifq: VecDeque<IfqEntry>,
+    ifq_meter: OccupancyMeter,
+    branch_stats: ssim_uarch::BranchStats,
+    fetch_stall_until: u64,
+    /// `Some(rewind_cursor)` while fetching the wrong path: the cursor
+    /// to resume from (the instruction right after the mispredicted
+    /// branch).
+    wrong_path: Option<usize>,
+    pending_seq: Option<u64>,
+}
+
+impl<'t> TraceSim<'t> {
+    fn new(trace: &'t SyntheticTrace, cfg: &MachineConfig) -> Self {
+        TraceSim {
+            cfg: cfg.clone(),
+            trace: trace.instrs(),
+            cursor: 0,
+            core: Core::new(cfg),
+            ifq: VecDeque::with_capacity(cfg.ifq_size),
+            ifq_meter: OccupancyMeter::new(),
+            branch_stats: ssim_uarch::BranchStats::default(),
+            fetch_stall_until: 0,
+            wrong_path: None,
+            pending_seq: None,
+        }
+    }
+
+    fn run(mut self) -> SimResult {
+        let target = self.trace.len() as u64;
+        let mut last_progress = (0u64, 0u64);
+        loop {
+            let committed = self.core.committed();
+            if committed >= target
+                || (self.cursor >= self.trace.len()
+                    && self.core.is_empty()
+                    && self.ifq.is_empty()
+                    && self.wrong_path.is_none())
+            {
+                break;
+            }
+            if let Some(seq) = self.core.cycle() {
+                self.recover(seq);
+            }
+            self.dispatch();
+            self.fetch();
+            self.core.advance();
+
+            let now = self.core.now();
+            if committed > last_progress.1 {
+                last_progress = (now, committed);
+            }
+            assert!(
+                now - last_progress.0 < 500_000,
+                "synthetic pipeline deadlock at cycle {now} (committed {committed})"
+            );
+        }
+        let cycles = self.core.now().max(1);
+        let instructions = self.core.committed();
+        let (mut activity, ruu, lsq) = self.core.finish();
+        activity.set_cycles(cycles);
+        SimResult {
+            instructions,
+            cycles,
+            ruu_occupancy: ruu.mean(),
+            lsq_occupancy: lsq.mean(),
+            ifq_occupancy: self.ifq_meter.mean(),
+            branch: self.branch_stats,
+            cache: Default::default(),
+            activity,
+        }
+    }
+
+    fn recover(&mut self, seq: u64) {
+        debug_assert_eq!(self.pending_seq, Some(seq));
+        self.pending_seq = None;
+        self.core.squash_after(seq);
+        self.ifq.clear();
+        self.cursor = self.wrong_path.take().expect("resolution implies wrong-path mode");
+        self.fetch_stall_until = self.core.now() + self.cfg.redirect_latency;
+    }
+
+    fn dispatch(&mut self) {
+        while let Some(entry) = self.ifq.front() {
+            match self.core.try_dispatch(entry.di) {
+                DispatchOutcome::Dispatched(seq) => {
+                    let entry = self.ifq.pop_front().expect("front exists");
+                    if entry.is_branch && !entry.di.wrong_path {
+                        // The synthetic machine still charges predictor
+                        // update activity at dispatch.
+                        let now = self.core.now();
+                        self.core.activity_mut().record(Unit::Bpred, now);
+                    }
+                    if entry.mispredict_marker {
+                        self.pending_seq = Some(seq);
+                    }
+                }
+                DispatchOutcome::Stalled => break,
+            }
+        }
+    }
+
+    /// Total load latency for pre-assigned flags.
+    fn load_latency(&self, f: crate::DataFlags) -> u64 {
+        let lat = &self.cfg.lat;
+        let mut l = if f.l1_miss {
+            if f.l2_miss {
+                lat.mem
+            } else {
+                lat.l2_hit
+            }
+        } else {
+            lat.l1d_hit
+        };
+        if f.tlb_miss {
+            l += lat.tlb_miss;
+        }
+        1 + l // address generation
+    }
+
+    fn fetch(&mut self) {
+        let now = self.core.now();
+        if now < self.fetch_stall_until {
+            self.ifq_meter.sample(self.ifq.len() as u64);
+            return;
+        }
+        let mut budget = self.cfg.fetch_width();
+        while budget > 0 && self.ifq.len() < self.cfg.ifq_size {
+            let Some(instr) = self.trace.get(self.cursor).copied() else {
+                break;
+            };
+            self.cursor += 1;
+            let on_wrong_path = self.wrong_path.is_some();
+            let stop = self.fetch_one(&instr, on_wrong_path);
+            budget -= 1;
+            if stop {
+                break;
+            }
+        }
+        self.ifq_meter.sample(self.ifq.len() as u64);
+    }
+
+    /// Fetches one synthetic instruction; returns `true` if fetch stops
+    /// for this cycle.
+    fn fetch_one(&mut self, instr: &SyntheticInstr, wrong_path: bool) -> bool {
+        let now = self.core.now();
+        self.core.activity_mut().record(Unit::Fetch, now);
+        let mut stop = false;
+
+        // Instruction-fetch locality: the synthetic simulator models no
+        // caches, but the pre-assigned flags stall fetch with the
+        // configured latencies (§2.3). Wrong-path instructions do not
+        // access the caches, so their flags are ignored.
+        if !wrong_path {
+            self.core.activity_mut().record(Unit::ICache, now);
+            self.core.activity_mut().record(Unit::Itlb, now);
+            let mut stall = 0;
+            if instr.l1i_miss {
+                self.core.activity_mut().record(Unit::L2, now);
+                stall += if instr.l2i_miss { self.cfg.lat.mem } else { self.cfg.lat.l2_hit };
+            }
+            if instr.itlb_miss {
+                stall += self.cfg.lat.tlb_miss;
+            }
+            if stall > 0 {
+                self.fetch_stall_until = now + stall;
+                stop = true;
+            }
+        }
+
+        // Memory behaviour.
+        let mem = match (instr.class, instr.dmem, wrong_path) {
+            (ssim_isa::InstrClass::Load, Some(f), false) => {
+                if f.l1_miss {
+                    self.core.activity_mut().record(Unit::L2, now);
+                }
+                self.core.activity_mut().record(Unit::Dtlb, now);
+                Some(MemKind::Load { latency: self.load_latency(f) })
+            }
+            (ssim_isa::InstrClass::Load, _, _) => {
+                // Wrong-path loads (or flag-less loads) behave as L1 hits.
+                Some(MemKind::Load { latency: 1 + self.cfg.lat.l1d_hit })
+            }
+            (ssim_isa::InstrClass::Store, _, _) => Some(MemKind::Store),
+            _ => None,
+        };
+
+        let mut di = DispatchInstr {
+            class: Some(instr.class),
+            srcs: [None, None],
+            dep_dists: instr.dep,
+            dest: None,
+            mem,
+            mem_dep_addr: None,
+            branch: BranchResolution::None,
+            wrong_path,
+            anti_dep_dists: instr.anti_dep,
+        };
+
+        let mut mispredict_marker = false;
+        let is_branch = instr.branch.is_some();
+        if let Some(b) = instr.branch {
+            self.core.activity_mut().record(Unit::Bpred, now);
+            if !wrong_path {
+                self.branch_stats.branches += 1;
+                if b.taken {
+                    self.branch_stats.taken += 1;
+                }
+                match b.outcome {
+                    SyntheticOutcome::Correct => {
+                        self.branch_stats.correct += 1;
+                        stop |= b.taken;
+                    }
+                    SyntheticOutcome::FetchRedirect => {
+                        self.branch_stats.redirects += 1;
+                        self.fetch_stall_until =
+                            self.fetch_stall_until.max(now) + self.cfg.fetch_redirect_penalty;
+                        stop = true;
+                    }
+                    SyntheticOutcome::Mispredict => {
+                        self.branch_stats.mispredicts += 1;
+                        di.branch = BranchResolution::Mispredict;
+                        mispredict_marker = true;
+                        // Subsequent trace instructions fill the pipeline
+                        // as the wrong path; remember where to rewind.
+                        self.wrong_path = Some(self.cursor);
+                        stop = true;
+                    }
+                }
+            } else if b.taken {
+                // Wrong-path taken branches still end the fetch group.
+                stop = true;
+            }
+        }
+
+        self.ifq.push_back(IfqEntry { di, is_branch, mispredict_marker });
+        stop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{BranchFlags, DataFlags};
+    use ssim_isa::InstrClass;
+
+    /// Hand-builds a trace (the generator is exercised elsewhere).
+    fn trace_of(instrs: Vec<SyntheticInstr>) -> SyntheticTrace {
+        let mut t = SyntheticTrace::default();
+        for i in instrs {
+            t.push(i);
+        }
+        t
+    }
+
+    fn alu() -> SyntheticInstr {
+        SyntheticInstr {
+            class: InstrClass::IntAlu,
+            dep: [None, None],
+            l1i_miss: false,
+            l2i_miss: false,
+            itlb_miss: false,
+            dmem: None,
+            branch: None,
+            anti_dep: [None, None],
+        }
+    }
+
+    fn load(flags: DataFlags) -> SyntheticInstr {
+        SyntheticInstr { class: InstrClass::Load, dmem: Some(flags), ..alu() }
+    }
+
+    fn branch(outcome: SyntheticOutcome) -> SyntheticInstr {
+        SyntheticInstr {
+            class: InstrClass::IntCondBranch,
+            branch: Some(BranchFlags { taken: true, outcome }),
+            ..alu()
+        }
+    }
+
+    #[test]
+    fn independent_alus_reach_high_ipc() {
+        let t = trace_of(vec![alu(); 50_000]);
+        let r = simulate_trace(&t, &MachineConfig::baseline());
+        assert_eq!(r.instructions, 50_000);
+        assert!(r.ipc() > 6.0, "8-wide machine on independent ALUs, IPC = {}", r.ipc());
+    }
+
+    #[test]
+    fn dependence_chain_limits_ipc_to_one() {
+        let mut i = alu();
+        i.dep = [Some(1), None];
+        let t = trace_of(vec![i; 20_000]);
+        let r = simulate_trace(&t, &MachineConfig::baseline());
+        assert!(r.ipc() < 1.1, "serial chain can't exceed 1 IPC, got {}", r.ipc());
+    }
+
+    #[test]
+    fn memory_misses_slow_the_machine() {
+        let hit = trace_of(vec![load(DataFlags::default()); 10_000]);
+        let miss = trace_of(vec![
+            load(DataFlags { l1_miss: true, l2_miss: true, tlb_miss: false });
+            10_000
+        ]);
+        let cfg = MachineConfig::baseline();
+        let fast = simulate_trace(&hit, &cfg);
+        let slow = simulate_trace(&miss, &cfg);
+        assert!(
+            slow.cycles > fast.cycles,
+            "L2 misses must cost cycles: {} vs {}",
+            slow.cycles,
+            fast.cycles
+        );
+    }
+
+    #[test]
+    fn mispredicts_cost_cycles_and_rewind_correctly() {
+        let mut correct_path = Vec::new();
+        let mut mispredicted = Vec::new();
+        for _ in 0..2_000 {
+            for _ in 0..4 {
+                correct_path.push(alu());
+                mispredicted.push(alu());
+            }
+            correct_path.push(branch(SyntheticOutcome::Correct));
+            mispredicted.push(branch(SyntheticOutcome::Mispredict));
+        }
+        let cfg = MachineConfig::baseline();
+        let good = simulate_trace(&trace_of(correct_path), &cfg);
+        let bad = simulate_trace(&trace_of(mispredicted), &cfg);
+        assert_eq!(good.instructions, bad.instructions, "every instruction still commits");
+        assert!(
+            bad.cycles as f64 > good.cycles as f64 * 1.5,
+            "mispredicts must hurt: {} vs {}",
+            bad.cycles,
+            good.cycles
+        );
+        assert_eq!(bad.branch.mispredicts, 2_000);
+    }
+
+    #[test]
+    fn fetch_redirects_cost_less_than_mispredicts() {
+        let build = |outcome| {
+            let mut v = Vec::new();
+            for _ in 0..2_000 {
+                for _ in 0..4 {
+                    v.push(alu());
+                }
+                v.push(branch(outcome));
+            }
+            trace_of(v)
+        };
+        let cfg = MachineConfig::baseline();
+        let correct = simulate_trace(&build(SyntheticOutcome::Correct), &cfg);
+        let redirect = simulate_trace(&build(SyntheticOutcome::FetchRedirect), &cfg);
+        let mispredict = simulate_trace(&build(SyntheticOutcome::Mispredict), &cfg);
+        assert!(correct.cycles <= redirect.cycles);
+        assert!(redirect.cycles < mispredict.cycles);
+    }
+
+    #[test]
+    fn icache_miss_flags_stall_fetch() {
+        let mut missy = alu();
+        missy.l1i_miss = true;
+        let clean = trace_of(vec![alu(); 5_000]);
+        let dirty = trace_of(
+            (0..5_000)
+                .map(|i| if i % 10 == 0 { missy } else { alu() })
+                .collect(),
+        );
+        let cfg = MachineConfig::baseline();
+        let fast = simulate_trace(&clean, &cfg);
+        let slow = simulate_trace(&dirty, &cfg);
+        assert!(slow.cycles > fast.cycles * 3, "{} vs {}", slow.cycles, fast.cycles);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let r = simulate_trace(&SyntheticTrace::default(), &MachineConfig::baseline());
+        assert_eq!(r.instructions, 0);
+    }
+}

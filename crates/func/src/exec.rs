@@ -1,0 +1,36 @@
+//! Dynamic-instruction records.
+
+use ssim_isa::{Instr, InstrClass};
+
+/// One dynamically executed instruction.
+///
+/// Produced by [`Machine::step`](crate::Machine::step); carries
+/// everything downstream consumers (profilers, the execution-driven
+/// pipeline) need without touching architectural state again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Executed {
+    /// PC (instruction index) of this instruction.
+    pub pc: usize,
+    /// A copy of the static instruction.
+    pub instr: Instr,
+    /// PC of the next dynamic instruction.
+    pub next_pc: usize,
+    /// For control instructions: whether the transfer was taken.
+    /// Unconditional transfers are always taken; non-control
+    /// instructions report `false`.
+    pub taken: bool,
+    /// Effective byte address for loads and stores.
+    pub mem_addr: Option<u64>,
+}
+
+impl Executed {
+    /// The instruction's semantic class.
+    pub fn class(&self) -> InstrClass {
+        self.instr.class()
+    }
+
+    /// Whether this instruction transfers control.
+    pub fn is_control(&self) -> bool {
+        self.instr.is_control()
+    }
+}

@@ -1,0 +1,43 @@
+//! Functional (architectural) simulation of ssim programs.
+//!
+//! [`Machine`] interprets a [`Program`](ssim_isa::Program) at the
+//! architectural level: registers, data memory and the program counter,
+//! with no timing. Each [`Machine::step`] returns an [`Executed`] record
+//! — the dynamic instruction together with its resolved control-flow
+//! outcome and effective memory address.
+//!
+//! This is the equivalent of SimpleScalar's `sim-safe`: the paper's
+//! statistical profiler (its `sim-bpred`/`sim-cache` extensions, §2.1.2)
+//! consumes exactly this dynamic instruction stream, and the
+//! execution-driven simulator in `ssim-uarch` uses `Machine` as its
+//! correct-path oracle.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssim_isa::{Assembler, Reg};
+//! use ssim_func::Machine;
+//!
+//! # fn main() -> Result<(), ssim_isa::AsmError> {
+//! let mut a = Assembler::new("count");
+//! let top = a.here_label();
+//! a.addi(Reg::R1, Reg::R1, 1);
+//! a.li(Reg::R2, 5);
+//! a.blt(Reg::R1, Reg::R2, top);
+//! a.halt();
+//! let program = a.finish()?;
+//!
+//! let mut m = Machine::new(&program);
+//! let executed: Vec<_> = m.by_ref().collect();
+//! assert!(m.halted());
+//! assert_eq!(m.reg(Reg::R1), 5);
+//! assert_eq!(executed.len(), 15); // 5 iterations x 3 instructions
+//! # Ok(())
+//! # }
+//! ```
+
+mod exec;
+mod machine;
+
+pub use exec::Executed;
+pub use machine::Machine;

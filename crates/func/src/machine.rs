@@ -1,0 +1,466 @@
+//! The architectural interpreter.
+
+use crate::exec::Executed;
+use ssim_isa::{FReg, Opcode, Program, Reg, RegId};
+
+/// Architectural state of one program execution.
+///
+/// See the [crate documentation](crate) for an overview and an example.
+///
+/// # Memory model
+///
+/// Data memory is a flat byte array whose size must be a power of two;
+/// effective addresses are masked into range (wrapping), so stray
+/// pointers in a workload can never fault the simulator.
+#[derive(Debug, Clone)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    regs: [u64; Reg::COUNT],
+    fregs: [f64; FReg::COUNT],
+    mem: Vec<u8>,
+    mask: u64,
+    pc: usize,
+    icount: u64,
+    halted: bool,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine with fresh architectural state for `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's memory size is not a power of two.
+    pub fn new(program: &'p Program) -> Self {
+        let size = program.mem_size();
+        assert!(size.is_power_of_two(), "memory size must be a power of two");
+        Machine {
+            program,
+            regs: [0; Reg::COUNT],
+            fregs: [0.0; FReg::COUNT],
+            mem: program.initial_memory(),
+            mask: size as u64 - 1,
+            pc: program.entry(),
+            icount: 0,
+            halted: false,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Number of instructions executed so far (`Halt` excluded).
+    pub fn icount(&self) -> u64 {
+        self.icount
+    }
+
+    /// Whether the program has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads an integer register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Reads a floating-point register.
+    pub fn freg(&self, f: FReg) -> f64 {
+        self.fregs[f.index()]
+    }
+
+    /// Reads one little-endian u64 from data memory (wrapping).
+    pub fn load64(&self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.mem[((addr + i as u64) & self.mask) as usize];
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    fn store64(&mut self, addr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.mem[((addr + i as u64) & self.mask) as usize] = *b;
+        }
+    }
+
+    fn write_reg(&mut self, r: Reg, value: u64) {
+        if r != Reg::ZERO {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    fn int_src(&self, id: Option<RegId>) -> u64 {
+        match id {
+            Some(RegId::Int(r)) => self.reg(r),
+            _ => 0,
+        }
+    }
+
+    fn fp_src(&self, id: Option<RegId>) -> f64 {
+        match id {
+            Some(RegId::Fp(f)) => self.freg(f),
+            _ => 0.0,
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `None` once the machine has halted (executing `Halt`
+    /// halts the machine without emitting a record — the dynamic stream
+    /// contains only "real" instructions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if control transfers outside the program's code (a
+    /// malformed jump table or a return past the entry frame), or if the
+    /// PC runs off the end of the code without a `Halt`.
+    #[allow(clippy::too_many_lines)] // one arm per opcode; splitting obscures
+    pub fn step(&mut self) -> Option<Executed> {
+        if self.halted {
+            return None;
+        }
+        let pc = self.pc;
+        let instr = *self
+            .program
+            .instr(pc)
+            .unwrap_or_else(|| panic!("pc {pc} ran off the end of the code"));
+        let a = self.int_src(instr.srcs[0]);
+        let b = self.int_src(instr.srcs[1]);
+        let fa = self.fp_src(instr.srcs[0]);
+        let fb = self.fp_src(instr.srcs[1]);
+        let imm = instr.imm;
+        let mut next_pc = pc + 1;
+        let mut taken = false;
+        let mut mem_addr = None;
+
+        macro_rules! wr {
+            ($v:expr) => {
+                match instr.dest {
+                    Some(RegId::Int(r)) => self.write_reg(r, $v),
+                    _ => unreachable!("integer destination expected"),
+                }
+            };
+        }
+        macro_rules! fwr {
+            ($v:expr) => {
+                match instr.dest {
+                    Some(RegId::Fp(f)) => self.fregs[f.index()] = $v,
+                    _ => unreachable!("fp destination expected"),
+                }
+            };
+        }
+        macro_rules! branch {
+            ($cond:expr) => {{
+                if $cond {
+                    taken = true;
+                    next_pc = instr.target.expect("branch target resolved at assembly");
+                }
+            }};
+        }
+
+        match instr.op {
+            Opcode::Add => wr!(a.wrapping_add(b)),
+            Opcode::Sub => wr!(a.wrapping_sub(b)),
+            Opcode::And => wr!(a & b),
+            Opcode::Or => wr!(a | b),
+            Opcode::Xor => wr!(a ^ b),
+            Opcode::Sll => wr!(a.wrapping_shl(b as u32 & 63)),
+            Opcode::Srl => wr!(a.wrapping_shr(b as u32 & 63)),
+            Opcode::Sra => wr!(((a as i64).wrapping_shr(b as u32 & 63)) as u64),
+            Opcode::Slt => wr!(u64::from((a as i64) < (b as i64))),
+            Opcode::Sltu => wr!(u64::from(a < b)),
+            Opcode::AddI => wr!(a.wrapping_add(imm as u64)),
+            Opcode::AndI => wr!(a & imm as u64),
+            Opcode::OrI => wr!(a | imm as u64),
+            Opcode::XorI => wr!(a ^ imm as u64),
+            Opcode::SllI => wr!(a.wrapping_shl(imm as u32 & 63)),
+            Opcode::SrlI => wr!(a.wrapping_shr(imm as u32 & 63)),
+            Opcode::SraI => wr!(((a as i64).wrapping_shr(imm as u32 & 63)) as u64),
+            Opcode::SltI => wr!(u64::from((a as i64) < imm)),
+            Opcode::Nop => {}
+            Opcode::Mul => wr!(a.wrapping_mul(b)),
+            Opcode::Div => wr!(if b == 0 {
+                u64::MAX
+            } else {
+                ((a as i64).wrapping_div(b as i64)) as u64
+            }),
+            Opcode::Rem => wr!(if b == 0 {
+                a
+            } else {
+                ((a as i64).wrapping_rem(b as i64)) as u64
+            }),
+            Opcode::Ld => {
+                let addr = a.wrapping_add(imm as u64) & self.mask;
+                mem_addr = Some(addr);
+                wr!(self.load64(addr));
+            }
+            Opcode::Lb => {
+                let addr = a.wrapping_add(imm as u64) & self.mask;
+                mem_addr = Some(addr);
+                wr!(u64::from(self.mem[addr as usize]));
+            }
+            Opcode::St => {
+                let addr = a.wrapping_add(imm as u64) & self.mask;
+                mem_addr = Some(addr);
+                self.store64(addr, b);
+            }
+            Opcode::Sb => {
+                let addr = a.wrapping_add(imm as u64) & self.mask;
+                mem_addr = Some(addr);
+                self.mem[addr as usize] = b as u8;
+            }
+            Opcode::FLd => {
+                let addr = a.wrapping_add(imm as u64) & self.mask;
+                mem_addr = Some(addr);
+                let bits = self.load64(addr);
+                fwr!(f64::from_bits(bits));
+            }
+            Opcode::FSt => {
+                let addr = a.wrapping_add(imm as u64) & self.mask;
+                mem_addr = Some(addr);
+                self.store64(addr, fb.to_bits());
+            }
+            Opcode::Beq => branch!(a == b),
+            Opcode::Bne => branch!(a != b),
+            Opcode::Blt => branch!((a as i64) < (b as i64)),
+            Opcode::Bge => branch!((a as i64) >= (b as i64)),
+            Opcode::Bltu => branch!(a < b),
+            Opcode::Bgeu => branch!(a >= b),
+            Opcode::FBeq => branch!(fa == fb),
+            Opcode::FBlt => branch!(fa < fb),
+            Opcode::FBge => branch!(fa >= fb),
+            Opcode::Jmp => {
+                taken = true;
+                next_pc = instr.target.expect("jump target resolved at assembly");
+            }
+            Opcode::Call => {
+                taken = true;
+                self.write_reg(Reg::LINK, (pc + 1) as u64);
+                next_pc = instr.target.expect("call target resolved at assembly");
+            }
+            Opcode::Ret | Opcode::Jr => {
+                taken = true;
+                let t = a as usize;
+                assert!(
+                    t < self.program.len(),
+                    "indirect transfer at pc {pc} targets {t}, outside the code"
+                );
+                next_pc = t;
+            }
+            Opcode::Fadd => fwr!(fa + fb),
+            Opcode::Fsub => fwr!(fa - fb),
+            Opcode::Fmul => fwr!(fa * fb),
+            Opcode::Fdiv => fwr!(fa / fb),
+            Opcode::Fmin => fwr!(fa.min(fb)),
+            Opcode::Fmax => fwr!(fa.max(fb)),
+            Opcode::Fsqrt => fwr!(fa.abs().sqrt()),
+            Opcode::Fabs => fwr!(fa.abs()),
+            Opcode::Fneg => fwr!(-fa),
+            Opcode::Fcvt => fwr!(a as i64 as f64),
+            Opcode::Fcvti => wr!((fa as i64) as u64),
+            Opcode::Halt => {
+                self.halted = true;
+                return None;
+            }
+        }
+
+        self.pc = next_pc;
+        self.icount += 1;
+        Some(Executed { pc, instr, next_pc, taken, mem_addr })
+    }
+}
+
+impl Iterator for Machine<'_> {
+    type Item = Executed;
+
+    fn next(&mut self) -> Option<Executed> {
+        self.step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_isa::Assembler;
+
+    fn run(asm: Assembler) -> Machine<'static> {
+        let program = Box::leak(Box::new(asm.finish().unwrap()));
+        let mut m = Machine::new(program);
+        while m.step().is_some() {}
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let mut a = Assembler::new("t");
+        a.li(Reg::R1, 7);
+        a.li(Reg::R2, 3);
+        a.add(Reg::R3, Reg::R1, Reg::R2);
+        a.sub(Reg::R4, Reg::R1, Reg::R2);
+        a.mul(Reg::R5, Reg::R1, Reg::R2);
+        a.div(Reg::R6, Reg::R1, Reg::R2);
+        a.rem(Reg::R7, Reg::R1, Reg::R2);
+        a.xor(Reg::R8, Reg::R1, Reg::R2);
+        a.slt(Reg::R9, Reg::R2, Reg::R1);
+        a.halt();
+        let m = run(a);
+        assert_eq!(m.reg(Reg::R3), 10);
+        assert_eq!(m.reg(Reg::R4), 4);
+        assert_eq!(m.reg(Reg::R5), 21);
+        assert_eq!(m.reg(Reg::R6), 2);
+        assert_eq!(m.reg(Reg::R7), 1);
+        assert_eq!(m.reg(Reg::R8), 4);
+        assert_eq!(m.reg(Reg::R9), 1);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut a = Assembler::new("t");
+        a.li(Reg::R0, 99);
+        a.add(Reg::R1, Reg::R0, Reg::R0);
+        a.halt();
+        let m = run(a);
+        assert_eq!(m.reg(Reg::R0), 0);
+        assert_eq!(m.reg(Reg::R1), 0);
+    }
+
+    #[test]
+    fn division_by_zero_semantics() {
+        let mut a = Assembler::new("t");
+        a.li(Reg::R1, 42);
+        a.div(Reg::R2, Reg::R1, Reg::R0);
+        a.rem(Reg::R3, Reg::R1, Reg::R0);
+        a.halt();
+        let m = run(a);
+        assert_eq!(m.reg(Reg::R2), u64::MAX);
+        assert_eq!(m.reg(Reg::R3), 42);
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let mut a = Assembler::new("t");
+        let buf = a.alloc_words(2);
+        a.li(Reg::R1, buf as i64);
+        a.li(Reg::R2, 0xdead_beef);
+        a.st(Reg::R1, 8, Reg::R2);
+        a.ld(Reg::R3, Reg::R1, 8);
+        a.sb(Reg::R1, 0, Reg::R2);
+        a.lb(Reg::R4, Reg::R1, 0);
+        a.halt();
+        let m = run(a);
+        assert_eq!(m.reg(Reg::R3), 0xdead_beef);
+        assert_eq!(m.reg(Reg::R4), 0xef);
+    }
+
+    #[test]
+    fn fp_operations() {
+        let mut a = Assembler::new("t");
+        a.li(Reg::R1, 9);
+        a.fcvt(FReg::F1, Reg::R1);
+        a.fsqrt(FReg::F2, FReg::F1);
+        a.fconst(FReg::F3, 0.5);
+        a.fmul(FReg::F4, FReg::F2, FReg::F3);
+        a.fcvti(Reg::R2, FReg::F2);
+        a.halt();
+        let m = run(a);
+        assert_eq!(m.freg(FReg::F2), 3.0);
+        assert_eq!(m.freg(FReg::F4), 1.5);
+        assert_eq!(m.reg(Reg::R2), 3);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut a = Assembler::new("t");
+        let func = a.label();
+        a.call(func); // pc 0
+        a.halt(); // pc 1
+        a.bind(func).unwrap(); // pc 2
+        a.li(Reg::R1, 11);
+        a.ret();
+        let program = a.finish().unwrap();
+        let mut m = Machine::new(&program);
+        let recs: Vec<_> = m.by_ref().collect();
+        assert_eq!(m.reg(Reg::R1), 11);
+        assert_eq!(m.reg(Reg::LINK), 1);
+        assert!(m.halted());
+        // call, li, ret
+        assert_eq!(recs.len(), 3);
+        assert!(recs[0].taken);
+        assert_eq!(recs[2].next_pc, 1);
+    }
+
+    #[test]
+    fn jump_table_dispatch() {
+        let mut a = Assembler::new("t");
+        let (case0, case1, done) = (a.label(), a.label(), a.label());
+        let table = a.jump_table(&[case0, case1]);
+        a.li(Reg::R1, 1); // select case 1
+        a.slli(Reg::R2, Reg::R1, 3);
+        a.addi(Reg::R2, Reg::R2, table as i64);
+        a.ld(Reg::R3, Reg::R2, 0);
+        a.jr(Reg::R3);
+        a.bind(case0).unwrap();
+        a.li(Reg::R4, 100);
+        a.jmp(done);
+        a.bind(case1).unwrap();
+        a.li(Reg::R4, 200);
+        a.bind(done).unwrap();
+        a.halt();
+        let m = run(a);
+        assert_eq!(m.reg(Reg::R4), 200);
+    }
+
+    #[test]
+    fn branch_records_taken_and_not_taken() {
+        let mut a = Assembler::new("t");
+        let skip = a.label();
+        a.li(Reg::R1, 1);
+        a.beq(Reg::R1, Reg::R0, skip); // not taken
+        a.bne(Reg::R1, Reg::R0, skip); // taken
+        a.nop(); // skipped
+        a.bind(skip).unwrap();
+        a.halt();
+        let program = a.finish().unwrap();
+        let recs: Vec<_> = Machine::new(&program).collect();
+        assert_eq!(recs.len(), 3);
+        assert!(!recs[1].taken);
+        assert_eq!(recs[1].next_pc, 2);
+        assert!(recs[2].taken);
+        assert_eq!(recs[2].next_pc, 4);
+    }
+
+    #[test]
+    fn memory_addresses_are_masked() {
+        let mut a = Assembler::new("t");
+        a.set_mem_size(1 << 12);
+        a.li(Reg::R1, (1 << 12) + 24); // wraps to 24
+        a.li(Reg::R2, 7);
+        a.st(Reg::R1, 0, Reg::R2);
+        a.li(Reg::R3, 24);
+        a.ld(Reg::R4, Reg::R3, 0);
+        a.halt();
+        let m = run(a);
+        assert_eq!(m.reg(Reg::R4), 7);
+    }
+
+    #[test]
+    fn halt_emits_no_record() {
+        let mut a = Assembler::new("t");
+        a.nop();
+        a.halt();
+        let program = a.finish().unwrap();
+        let mut m = Machine::new(&program);
+        assert!(m.step().is_some());
+        assert!(m.step().is_none());
+        assert!(m.halted());
+        assert_eq!(m.icount(), 1);
+        assert!(m.step().is_none(), "step after halt stays halted");
+    }
+}

@@ -1,0 +1,142 @@
+//! Differential test: random straight-line ALU programs executed by
+//! the machine must match a direct Rust evaluation of the same
+//! operations.
+
+use proptest::prelude::*;
+use ssim_func::Machine;
+use ssim_isa::{Assembler, Reg};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add(u8, u8, u8),
+    Sub(u8, u8, u8),
+    And(u8, u8, u8),
+    Or(u8, u8, u8),
+    Xor(u8, u8, u8),
+    Sll(u8, u8, u8),
+    Srl(u8, u8, u8),
+    Sra(u8, u8, u8),
+    Slt(u8, u8, u8),
+    Mul(u8, u8, u8),
+    Div(u8, u8, u8),
+    Rem(u8, u8, u8),
+    AddI(u8, u8, i32),
+    SllI(u8, u8, u8),
+    Li(u8, i32),
+}
+
+fn reg(i: u8) -> Reg {
+    // Use r1..r28 (leave r0 hardwired, r29-31 conventions alone).
+    Reg::new(1 + (i % 28))
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let r = any::<u8>();
+    prop_oneof![
+        (r, r, r).prop_map(|(a, b, c)| Op::Add(a, b, c)),
+        (r, r, r).prop_map(|(a, b, c)| Op::Sub(a, b, c)),
+        (r, r, r).prop_map(|(a, b, c)| Op::And(a, b, c)),
+        (r, r, r).prop_map(|(a, b, c)| Op::Or(a, b, c)),
+        (r, r, r).prop_map(|(a, b, c)| Op::Xor(a, b, c)),
+        (r, r, r).prop_map(|(a, b, c)| Op::Sll(a, b, c)),
+        (r, r, r).prop_map(|(a, b, c)| Op::Srl(a, b, c)),
+        (r, r, r).prop_map(|(a, b, c)| Op::Sra(a, b, c)),
+        (r, r, r).prop_map(|(a, b, c)| Op::Slt(a, b, c)),
+        (r, r, r).prop_map(|(a, b, c)| Op::Mul(a, b, c)),
+        (r, r, r).prop_map(|(a, b, c)| Op::Div(a, b, c)),
+        (r, r, r).prop_map(|(a, b, c)| Op::Rem(a, b, c)),
+        (r, r, any::<i32>()).prop_map(|(a, b, i)| Op::AddI(a, b, i)),
+        (r, r, 0u8..64).prop_map(|(a, b, s)| Op::SllI(a, b, s)),
+        (r, any::<i32>()).prop_map(|(a, i)| Op::Li(a, i)),
+    ]
+}
+
+/// Evaluates the op sequence directly over a 32-register file.
+fn oracle(ops: &[Op]) -> [u64; 32] {
+    let mut r = [0u64; 32];
+    let idx = |i: u8| 1 + (i as usize % 28);
+    for op in ops {
+        let (d, v) = match *op {
+            Op::Add(d, a, b) => (d, r[idx(a)].wrapping_add(r[idx(b)])),
+            Op::Sub(d, a, b) => (d, r[idx(a)].wrapping_sub(r[idx(b)])),
+            Op::And(d, a, b) => (d, r[idx(a)] & r[idx(b)]),
+            Op::Or(d, a, b) => (d, r[idx(a)] | r[idx(b)]),
+            Op::Xor(d, a, b) => (d, r[idx(a)] ^ r[idx(b)]),
+            Op::Sll(d, a, b) => (d, r[idx(a)].wrapping_shl(r[idx(b)] as u32 & 63)),
+            Op::Srl(d, a, b) => (d, r[idx(a)].wrapping_shr(r[idx(b)] as u32 & 63)),
+            Op::Sra(d, a, b) => {
+                (d, ((r[idx(a)] as i64).wrapping_shr(r[idx(b)] as u32 & 63)) as u64)
+            }
+            Op::Slt(d, a, b) => (d, u64::from((r[idx(a)] as i64) < (r[idx(b)] as i64))),
+            Op::Mul(d, a, b) => (d, r[idx(a)].wrapping_mul(r[idx(b)])),
+            Op::Div(d, a, b) => {
+                let bv = r[idx(b)];
+                let v = if bv == 0 {
+                    u64::MAX
+                } else {
+                    ((r[idx(a)] as i64).wrapping_div(bv as i64)) as u64
+                };
+                (d, v)
+            }
+            Op::Rem(d, a, b) => {
+                let bv = r[idx(b)];
+                let v = if bv == 0 {
+                    r[idx(a)]
+                } else {
+                    ((r[idx(a)] as i64).wrapping_rem(bv as i64)) as u64
+                };
+                (d, v)
+            }
+            Op::AddI(d, a, i) => (d, r[idx(a)].wrapping_add(i as i64 as u64)),
+            Op::SllI(d, a, s) => (d, r[idx(a)].wrapping_shl(u32::from(s) & 63)),
+            Op::Li(d, i) => (d, i as i64 as u64),
+        };
+        r[idx(d)] = v;
+    }
+    r
+}
+
+fn emit(a: &mut Assembler, op: &Op) {
+    match *op {
+        Op::Add(d, x, y) => a.add(reg(d), reg(x), reg(y)),
+        Op::Sub(d, x, y) => a.sub(reg(d), reg(x), reg(y)),
+        Op::And(d, x, y) => a.and(reg(d), reg(x), reg(y)),
+        Op::Or(d, x, y) => a.or(reg(d), reg(x), reg(y)),
+        Op::Xor(d, x, y) => a.xor(reg(d), reg(x), reg(y)),
+        Op::Sll(d, x, y) => a.sll(reg(d), reg(x), reg(y)),
+        Op::Srl(d, x, y) => a.srl(reg(d), reg(x), reg(y)),
+        Op::Sra(d, x, y) => a.sra(reg(d), reg(x), reg(y)),
+        Op::Slt(d, x, y) => a.slt(reg(d), reg(x), reg(y)),
+        Op::Mul(d, x, y) => a.mul(reg(d), reg(x), reg(y)),
+        Op::Div(d, x, y) => a.div(reg(d), reg(x), reg(y)),
+        Op::Rem(d, x, y) => a.rem(reg(d), reg(x), reg(y)),
+        Op::AddI(d, x, i) => a.addi(reg(d), reg(x), i64::from(i)),
+        Op::SllI(d, x, s) => a.slli(reg(d), reg(x), i64::from(s)),
+        Op::Li(d, i) => a.li(reg(d), i64::from(i)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn machine_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut a = Assembler::new("alu-oracle");
+        for op in &ops {
+            emit(&mut a, op);
+        }
+        a.halt();
+        let program = a.finish().expect("straight-line program assembles");
+        let mut m = Machine::new(&program);
+        while m.step().is_some() {}
+        prop_assert!(m.halted());
+        let want = oracle(&ops);
+        for i in 1..29u8 {
+            let r = Reg::new(i);
+            prop_assert_eq!(
+                m.reg(r),
+                want[i as usize],
+                "register r{} diverged",
+                i
+            );
+        }
+    }
+}

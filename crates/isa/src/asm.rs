@@ -1,0 +1,601 @@
+//! A label-based assembler DSL for building [`Program`]s.
+
+use crate::instr::{Instr, Opcode};
+use crate::program::Program;
+use crate::regs::{FReg, Reg};
+use std::fmt;
+
+/// A forward-referenceable code label.
+///
+/// Created by [`Assembler::label`], positioned by [`Assembler::bind`] and
+/// referenced by branch/jump/call emitters. All labels must be bound
+/// before [`Assembler::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was bound twice.
+    LabelRebound(Label),
+    /// A referenced label was never bound.
+    UnboundLabel(Label),
+    /// A data write fell outside the configured memory size.
+    DataOutOfBounds { offset: u64, len: usize, mem_size: usize },
+    /// The program has no `Halt` instruction.
+    MissingHalt,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::LabelRebound(l) => write!(f, "label {l:?} bound twice"),
+            AsmError::UnboundLabel(l) => write!(f, "label {l:?} referenced but never bound"),
+            AsmError::DataOutOfBounds { offset, len, mem_size } => write!(
+                f,
+                "data chunk at offset {offset} of length {len} exceeds memory size {mem_size}"
+            ),
+            AsmError::MissingHalt => write!(f, "program contains no halt instruction"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Builds a [`Program`] instruction by instruction.
+///
+/// One emitter method exists per opcode, plus data-segment helpers
+/// (a bump allocator, word/byte initialisers, jump tables and
+/// floating-point constants). Static data is addressed with `R0`-based
+/// offsets, so `ld rd, r0, OFFSET` reads a global.
+///
+/// # Examples
+///
+/// ```
+/// use ssim_isa::{Assembler, Reg};
+///
+/// # fn main() -> Result<(), ssim_isa::AsmError> {
+/// let mut a = Assembler::new("table-walk");
+/// let table = a.alloc_words(4);
+/// a.words(table, &[10, 20, 30, 40])?;
+/// a.li(Reg::R1, table as i64);
+/// a.ld(Reg::R2, Reg::R1, 8); // R2 = 20
+/// a.halt();
+/// let p = a.finish()?;
+/// assert_eq!(p.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Assembler {
+    name: String,
+    code: Vec<Instr>,
+    labels: Vec<Option<usize>>,
+    code_fixups: Vec<(usize, Label)>,
+    table_fixups: Vec<(u64, Vec<Label>)>,
+    init_data: Vec<(u64, Vec<u8>)>,
+    mem_size: usize,
+    data_cursor: u64,
+    has_halt: bool,
+}
+
+/// Start of the bump-allocated data region (the low page is reserved so
+/// that a null-ish pointer never aliases real data).
+const DATA_BASE: u64 = 0x1000;
+
+impl Assembler {
+    /// Creates an assembler for a program called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Assembler {
+            name: name.into(),
+            code: Vec::new(),
+            labels: Vec::new(),
+            code_fixups: Vec::new(),
+            table_fixups: Vec::new(),
+            init_data: Vec::new(),
+            mem_size: Program::DEFAULT_MEM_SIZE,
+            data_cursor: DATA_BASE,
+            has_halt: false,
+        }
+    }
+
+    /// Overrides the data-memory size (default 16 MiB).
+    pub fn set_mem_size(&mut self, bytes: usize) -> &mut Self {
+        self.mem_size = bytes;
+        self
+    }
+
+    /// Current PC (index of the next emitted instruction).
+    pub fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current PC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::LabelRebound`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(AsmError::LabelRebound(label));
+        }
+        *slot = Some(self.code.len());
+        Ok(())
+    }
+
+    /// Creates a label already bound to the current PC.
+    pub fn here_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l).expect("fresh label cannot be bound");
+        l
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.code.push(i);
+    }
+
+    fn emit_branch(&mut self, i: Instr, label: Label) {
+        self.code_fixups.push((self.code.len(), label));
+        self.code.push(i);
+    }
+
+    // ---- data segment -------------------------------------------------
+
+    /// Bump-allocates `bytes` bytes of zeroed data, 8-byte aligned;
+    /// returns the offset.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let offset = self.data_cursor;
+        self.data_cursor += (bytes + 7) & !7;
+        offset
+    }
+
+    /// Bump-allocates `n` 8-byte words; returns the offset.
+    pub fn alloc_words(&mut self, n: u64) -> u64 {
+        self.alloc(n * 8)
+    }
+
+    /// Initialises raw bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DataOutOfBounds`] if the chunk does not fit in
+    /// memory.
+    pub fn bytes(&mut self, offset: u64, data: &[u8]) -> Result<(), AsmError> {
+        if offset as usize + data.len() > self.mem_size {
+            return Err(AsmError::DataOutOfBounds {
+                offset,
+                len: data.len(),
+                mem_size: self.mem_size,
+            });
+        }
+        self.init_data.push((offset, data.to_vec()));
+        Ok(())
+    }
+
+    /// Initialises one little-endian u64 word at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Assembler::bytes`].
+    pub fn word(&mut self, offset: u64, value: u64) -> Result<(), AsmError> {
+        self.bytes(offset, &value.to_le_bytes())
+    }
+
+    /// Initialises consecutive u64 words starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Assembler::bytes`].
+    pub fn words(&mut self, offset: u64, values: &[u64]) -> Result<(), AsmError> {
+        let mut bytes = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.bytes(offset, &bytes)
+    }
+
+    /// Initialises one f64 (as its bit pattern) at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Assembler::bytes`].
+    pub fn fword(&mut self, offset: u64, value: f64) -> Result<(), AsmError> {
+        self.word(offset, value.to_bits())
+    }
+
+    /// Allocates a jump table whose entries are the PCs of `targets`,
+    /// resolved at [`Assembler::finish`] time; returns the table offset.
+    ///
+    /// Indirect dispatch then reads an entry and jumps through
+    /// [`Assembler::jr`].
+    pub fn jump_table(&mut self, targets: &[Label]) -> u64 {
+        let offset = self.alloc_words(targets.len() as u64);
+        self.table_fixups.push((offset, targets.to_vec()));
+        offset
+    }
+
+    /// Loads a floating-point constant via an `R0`-based [`Opcode::FLd`]
+    /// from a freshly allocated data word.
+    pub fn fconst(&mut self, fd: FReg, value: f64) {
+        let offset = self.alloc_words(1);
+        self.fword(offset, value).expect("bump allocator stays in bounds");
+        self.emit(Instr::new(Opcode::FLd).with_dest(fd).with_src(Reg::ZERO).with_imm(offset as i64));
+    }
+
+    // ---- integer ALU ---------------------------------------------------
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu(Opcode::Add, rd, rs1, rs2));
+    }
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu(Opcode::Sub, rd, rs1, rs2));
+    }
+    /// `rd = rs1 & rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu(Opcode::And, rd, rs1, rs2));
+    }
+    /// `rd = rs1 | rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu(Opcode::Or, rd, rs1, rs2));
+    }
+    /// `rd = rs1 ^ rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu(Opcode::Xor, rd, rs1, rs2));
+    }
+    /// `rd = rs1 << (rs2 & 63)`.
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu(Opcode::Sll, rd, rs1, rs2));
+    }
+    /// `rd = rs1 >> (rs2 & 63)` (logical).
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu(Opcode::Srl, rd, rs1, rs2));
+    }
+    /// `rd = rs1 >> (rs2 & 63)` (arithmetic).
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu(Opcode::Sra, rd, rs1, rs2));
+    }
+    /// `rd = (rs1 as i64) < (rs2 as i64)`.
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu(Opcode::Slt, rd, rs1, rs2));
+    }
+    /// `rd = rs1 < rs2` (unsigned).
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu(Opcode::Sltu, rd, rs1, rs2));
+    }
+    /// `rd = rs1 * rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu(Opcode::Mul, rd, rs1, rs2));
+    }
+    /// `rd = rs1 / rs2` (signed; division by zero yields −1).
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu(Opcode::Div, rd, rs1, rs2));
+    }
+    /// `rd = rs1 % rs2` (signed; remainder by zero yields `rs1`).
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu(Opcode::Rem, rd, rs1, rs2));
+    }
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::alu_imm(Opcode::AddI, rd, rs1, imm));
+    }
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::alu_imm(Opcode::AndI, rd, rs1, imm));
+    }
+    /// `rd = rs1 | imm`.
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::alu_imm(Opcode::OrI, rd, rs1, imm));
+    }
+    /// `rd = rs1 ^ imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::alu_imm(Opcode::XorI, rd, rs1, imm));
+    }
+    /// `rd = rs1 << imm`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::alu_imm(Opcode::SllI, rd, rs1, imm));
+    }
+    /// `rd = rs1 >> imm` (logical).
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::alu_imm(Opcode::SrlI, rd, rs1, imm));
+    }
+    /// `rd = rs1 >> imm` (arithmetic).
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::alu_imm(Opcode::SraI, rd, rs1, imm));
+    }
+    /// `rd = (rs1 as i64) < imm`.
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::alu_imm(Opcode::SltI, rd, rs1, imm));
+    }
+    /// `rd = imm` (load immediate).
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.addi(rd, Reg::ZERO, imm);
+    }
+    /// `rd = rs` (register move).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+    /// No operation.
+    pub fn nop(&mut self) {
+        self.emit(Instr::new(Opcode::Nop));
+    }
+
+    // ---- memory ---------------------------------------------------------
+
+    /// `rd = mem64[rs1 + imm]`.
+    pub fn ld(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::new(Opcode::Ld).with_dest(rd).with_src(rs1).with_imm(imm));
+    }
+    /// `rd = mem8[rs1 + imm]` (zero-extended).
+    pub fn lb(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::new(Opcode::Lb).with_dest(rd).with_src(rs1).with_imm(imm));
+    }
+    /// `mem64[rs1 + imm] = rs2`.
+    pub fn st(&mut self, rs1: Reg, imm: i64, rs2: Reg) {
+        self.emit(Instr::new(Opcode::St).with_srcs(rs1, rs2).with_imm(imm));
+    }
+    /// `mem8[rs1 + imm] = rs2 & 0xff`.
+    pub fn sb(&mut self, rs1: Reg, imm: i64, rs2: Reg) {
+        self.emit(Instr::new(Opcode::Sb).with_srcs(rs1, rs2).with_imm(imm));
+    }
+    /// `fd = mem64[rs1 + imm]` as an f64 bit pattern.
+    pub fn fld(&mut self, fd: FReg, rs1: Reg, imm: i64) {
+        self.emit(Instr::new(Opcode::FLd).with_dest(fd).with_src(rs1).with_imm(imm));
+    }
+    /// `mem64[rs1 + imm] = fs` bit pattern.
+    pub fn fst(&mut self, rs1: Reg, imm: i64, fs: FReg) {
+        self.emit(Instr::new(Opcode::FSt).with_srcs(rs1, fs).with_imm(imm));
+    }
+
+    // ---- control flow ----------------------------------------------------
+
+    /// Branch to `target` if `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.emit_branch(Instr::new(Opcode::Beq).with_srcs(rs1, rs2), target);
+    }
+    /// Branch to `target` if `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.emit_branch(Instr::new(Opcode::Bne).with_srcs(rs1, rs2), target);
+    }
+    /// Branch to `target` if `rs1 < rs2` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.emit_branch(Instr::new(Opcode::Blt).with_srcs(rs1, rs2), target);
+    }
+    /// Branch to `target` if `rs1 >= rs2` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.emit_branch(Instr::new(Opcode::Bge).with_srcs(rs1, rs2), target);
+    }
+    /// Branch to `target` if `rs1 < rs2` (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.emit_branch(Instr::new(Opcode::Bltu).with_srcs(rs1, rs2), target);
+    }
+    /// Branch to `target` if `rs1 >= rs2` (unsigned).
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.emit_branch(Instr::new(Opcode::Bgeu).with_srcs(rs1, rs2), target);
+    }
+    /// Branch to `target` if `fs1 == fs2`.
+    pub fn fbeq(&mut self, fs1: FReg, fs2: FReg, target: Label) {
+        self.emit_branch(Instr::new(Opcode::FBeq).with_srcs(fs1, fs2), target);
+    }
+    /// Branch to `target` if `fs1 < fs2`.
+    pub fn fblt(&mut self, fs1: FReg, fs2: FReg, target: Label) {
+        self.emit_branch(Instr::new(Opcode::FBlt).with_srcs(fs1, fs2), target);
+    }
+    /// Branch to `target` if `fs1 >= fs2`.
+    pub fn fbge(&mut self, fs1: FReg, fs2: FReg, target: Label) {
+        self.emit_branch(Instr::new(Opcode::FBge).with_srcs(fs1, fs2), target);
+    }
+    /// Unconditional jump to `target`.
+    pub fn jmp(&mut self, target: Label) {
+        self.emit_branch(Instr::new(Opcode::Jmp), target);
+    }
+    /// Direct call: `R31 = return PC`, jump to `target`.
+    pub fn call(&mut self, target: Label) {
+        self.emit_branch(Instr::new(Opcode::Call).with_dest(Reg::LINK), target);
+    }
+    /// Return through `R31`.
+    pub fn ret(&mut self) {
+        self.emit(Instr::new(Opcode::Ret).with_src(Reg::LINK));
+    }
+    /// Indirect jump to the PC held in `rs` (see
+    /// [`Assembler::jump_table`]).
+    pub fn jr(&mut self, rs: Reg) {
+        self.emit(Instr::new(Opcode::Jr).with_src(rs));
+    }
+
+    // ---- floating point --------------------------------------------------
+
+    /// `fd = fs1 + fs2`.
+    pub fn fadd(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Instr::fpu(Opcode::Fadd, fd, fs1, fs2));
+    }
+    /// `fd = fs1 - fs2`.
+    pub fn fsub(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Instr::fpu(Opcode::Fsub, fd, fs1, fs2));
+    }
+    /// `fd = fs1 * fs2`.
+    pub fn fmul(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Instr::fpu(Opcode::Fmul, fd, fs1, fs2));
+    }
+    /// `fd = fs1 / fs2`.
+    pub fn fdiv(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Instr::fpu(Opcode::Fdiv, fd, fs1, fs2));
+    }
+    /// `fd = min(fs1, fs2)`.
+    pub fn fmin(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Instr::fpu(Opcode::Fmin, fd, fs1, fs2));
+    }
+    /// `fd = max(fs1, fs2)`.
+    pub fn fmax(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Instr::fpu(Opcode::Fmax, fd, fs1, fs2));
+    }
+    /// `fd = sqrt(fs)`.
+    pub fn fsqrt(&mut self, fd: FReg, fs: FReg) {
+        self.emit(Instr::new(Opcode::Fsqrt).with_dest(fd).with_src(fs));
+    }
+    /// `fd = |fs|`.
+    pub fn fabs(&mut self, fd: FReg, fs: FReg) {
+        self.emit(Instr::new(Opcode::Fabs).with_dest(fd).with_src(fs));
+    }
+    /// `fd = -fs`.
+    pub fn fneg(&mut self, fd: FReg, fs: FReg) {
+        self.emit(Instr::new(Opcode::Fneg).with_dest(fd).with_src(fs));
+    }
+    /// `fd = rs as f64`.
+    pub fn fcvt(&mut self, fd: FReg, rs: Reg) {
+        self.emit(Instr::new(Opcode::Fcvt).with_dest(fd).with_src(rs));
+    }
+    /// `rd = fs as i64` (truncating).
+    pub fn fcvti(&mut self, rd: Reg, fs: FReg) {
+        self.emit(Instr::new(Opcode::Fcvti).with_dest(rd).with_src(fs));
+    }
+
+    /// Stop execution.
+    pub fn halt(&mut self) {
+        self.has_halt = true;
+        self.emit(Instr::new(Opcode::Halt));
+    }
+
+    /// Resolves labels and jump tables and produces the [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a label is unbound, a data chunk is out of
+    /// bounds, or the program contains no `Halt`.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if !self.has_halt {
+            return Err(AsmError::MissingHalt);
+        }
+        for (idx, label) in std::mem::take(&mut self.code_fixups) {
+            let pc = self.labels[label.0].ok_or(AsmError::UnboundLabel(label))?;
+            self.code[idx].target = Some(pc);
+        }
+        for (offset, labels) in std::mem::take(&mut self.table_fixups) {
+            let mut pcs = Vec::with_capacity(labels.len());
+            for label in labels {
+                pcs.push(self.labels[label.0].ok_or(AsmError::UnboundLabel(label))? as u64);
+            }
+            self.words(offset, &pcs)?;
+        }
+        Ok(Program::new(self.name, self.code, 0, self.mem_size, self.init_data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::InstrClass;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new("t");
+        let fwd = a.label();
+        a.jmp(fwd); // pc 0 -> 2
+        a.nop(); // pc 1 (dead)
+        a.bind(fwd).unwrap();
+        let back = a.here_label(); // pc 2
+        a.addi(Reg::R1, Reg::R1, 1);
+        a.blt(Reg::R1, Reg::R2, back); // pc 3 -> 2
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.instr(0).unwrap().target, Some(2));
+        assert_eq!(p.instr(3).unwrap().target, Some(2));
+    }
+
+    #[test]
+    fn unbound_label_is_rejected() {
+        let mut a = Assembler::new("t");
+        let l = a.label();
+        a.jmp(l);
+        a.halt();
+        assert!(matches!(a.finish(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn rebinding_is_rejected() {
+        let mut a = Assembler::new("t");
+        let l = a.label();
+        a.bind(l).unwrap();
+        assert!(matches!(a.bind(l), Err(AsmError::LabelRebound(_))));
+    }
+
+    #[test]
+    fn missing_halt_is_rejected() {
+        let mut a = Assembler::new("t");
+        a.nop();
+        assert!(matches!(a.finish(), Err(AsmError::MissingHalt)));
+    }
+
+    #[test]
+    fn jump_table_stores_label_pcs() {
+        let mut a = Assembler::new("t");
+        let (l0, l1) = (a.label(), a.label());
+        let table = a.jump_table(&[l0, l1]);
+        a.nop(); // pc 0
+        a.bind(l0).unwrap(); // pc 1
+        a.nop();
+        a.bind(l1).unwrap(); // pc 2
+        a.halt();
+        let p = a.finish().unwrap();
+        let mem = p.initial_memory();
+        let e0 = u64::from_le_bytes(mem[table as usize..table as usize + 8].try_into().unwrap());
+        let e1 =
+            u64::from_le_bytes(mem[table as usize + 8..table as usize + 16].try_into().unwrap());
+        assert_eq!((e0, e1), (1, 2));
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut a = Assembler::new("t");
+        let x = a.alloc(3);
+        let y = a.alloc(8);
+        assert_eq!(x % 8, 0);
+        assert_eq!(y % 8, 0);
+        assert!(y >= x + 8);
+    }
+
+    #[test]
+    fn data_out_of_bounds_detected() {
+        let mut a = Assembler::new("t");
+        a.set_mem_size(16);
+        assert!(matches!(
+            a.word(16, 1),
+            Err(AsmError::DataOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn fconst_emits_load_and_data() {
+        let mut a = Assembler::new("t");
+        a.fconst(FReg::F1, 2.5);
+        a.halt();
+        let p = a.finish().unwrap();
+        let i = p.instr(0).unwrap();
+        assert_eq!(i.class(), InstrClass::Load);
+        let mem = p.initial_memory();
+        let off = i.imm as usize;
+        let bits = u64::from_le_bytes(mem[off..off + 8].try_into().unwrap());
+        assert_eq!(f64::from_bits(bits), 2.5);
+    }
+
+    #[test]
+    fn store_operand_roles() {
+        let mut a = Assembler::new("t");
+        a.st(Reg::R4, 8, Reg::R5);
+        a.halt();
+        let p = a.finish().unwrap();
+        let i = p.instr(0).unwrap();
+        assert_eq!(i.dest, None);
+        assert_eq!(i.src_count(), 2);
+        assert_eq!(i.imm, 8);
+    }
+}

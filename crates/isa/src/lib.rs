@@ -1,0 +1,67 @@
+//! A compact RISC instruction set for statistical-simulation studies.
+//!
+//! The ISCA 2004 paper this framework reproduces profiles SPEC CINT2000
+//! Alpha binaries. This crate provides the substitute: a small,
+//! load/store RISC instruction set rich enough to express real programs
+//! (loops, recursion, hash tables, jump-table dispatch, floating point),
+//! together with a [`Program`] image format and a label-based
+//! [`Assembler`] DSL used by the `ssim-workloads` crate to implement ten
+//! benchmark programs.
+//!
+//! The paper classifies instructions into **12 semantic classes**
+//! (§2.1.1); [`InstrClass`] mirrors that taxonomy exactly.
+//!
+//! # Examples
+//!
+//! Assemble a loop that sums the integers 1..=10:
+//!
+//! ```
+//! use ssim_isa::{Assembler, Reg};
+//!
+//! # fn main() -> Result<(), ssim_isa::AsmError> {
+//! let mut a = Assembler::new("sum");
+//! let (acc, i, limit) = (Reg::R1, Reg::R2, Reg::R3);
+//! a.li(limit, 10);
+//! let top = a.label();
+//! a.bind(top)?;
+//! a.addi(i, i, 1);
+//! a.add(acc, acc, i);
+//! a.blt(i, limit, top);
+//! a.halt();
+//! let program = a.finish()?;
+//! assert!(program.len() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod asm;
+mod instr;
+mod program;
+mod regs;
+
+pub use asm::{AsmError, Assembler, Label};
+pub use instr::{Instr, InstrClass, Opcode};
+pub use program::Program;
+pub use regs::{FReg, Reg, RegId};
+
+/// Size of one encoded instruction in bytes.
+///
+/// The ISA has no binary encoding (programs are structured data), but
+/// instruction-cache and BTB modeling need byte addresses; instruction
+/// `i` of a program lives at byte address `CODE_BASE + i * INSTR_BYTES`.
+pub const INSTR_BYTES: u64 = 8;
+
+/// Base byte address of the code segment (see [`INSTR_BYTES`]).
+pub const CODE_BASE: u64 = 0x0040_0000;
+
+/// Converts a program counter (instruction index) to a code byte address.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ssim_isa::pc_to_addr(0), ssim_isa::CODE_BASE);
+/// assert_eq!(ssim_isa::pc_to_addr(2), ssim_isa::CODE_BASE + 16);
+/// ```
+pub fn pc_to_addr(pc: usize) -> u64 {
+    CODE_BASE + pc as u64 * INSTR_BYTES
+}

@@ -1,0 +1,128 @@
+//! Program images: instruction sequences plus an initial memory image.
+
+use crate::instr::Instr;
+
+/// A complete program: code, entry point and initial data memory.
+///
+/// Programs are produced by the [`Assembler`](crate::Assembler) and
+/// consumed by the functional simulator (`ssim-func`) and the
+/// execution-driven microarchitecture simulator (`ssim-uarch`).
+///
+/// The program counter is an *instruction index* into [`Program::code`];
+/// [`crate::pc_to_addr`] maps it to a byte address for cache/BTB
+/// modeling. Data memory is a flat byte array of [`Program::mem_size`]
+/// bytes initialised from the `(offset, bytes)` chunks recorded at
+/// assembly time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    code: Vec<Instr>,
+    entry: usize,
+    mem_size: usize,
+    init_data: Vec<(u64, Vec<u8>)>,
+}
+
+impl Program {
+    /// Default data-memory size: 16 MiB.
+    pub const DEFAULT_MEM_SIZE: usize = 16 << 20;
+
+    pub(crate) fn new(
+        name: String,
+        code: Vec<Instr>,
+        entry: usize,
+        mem_size: usize,
+        init_data: Vec<(u64, Vec<u8>)>,
+    ) -> Self {
+        Program { name, code, entry, mem_size, init_data }
+    }
+
+    /// The program's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction at `pc`, or `None` past the end of the code.
+    pub fn instr(&self, pc: usize) -> Option<&Instr> {
+        self.code.get(pc)
+    }
+
+    /// All instructions in program order.
+    pub fn code(&self) -> &[Instr] {
+        &self.code
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Entry-point PC.
+    pub fn entry(&self) -> usize {
+        self.entry
+    }
+
+    /// Data-memory size in bytes.
+    pub fn mem_size(&self) -> usize {
+        self.mem_size
+    }
+
+    /// Builds the initial data-memory image.
+    pub fn initial_memory(&self) -> Vec<u8> {
+        let mut mem = vec![0u8; self.mem_size];
+        for (offset, bytes) in &self.init_data {
+            let start = *offset as usize;
+            let end = start + bytes.len();
+            assert!(end <= mem.len(), "initial data out of bounds");
+            mem[start..end].copy_from_slice(bytes);
+        }
+        mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Opcode;
+
+    fn tiny() -> Program {
+        Program::new(
+            "t".into(),
+            vec![Instr::new(Opcode::Nop), Instr::new(Opcode::Halt)],
+            0,
+            64,
+            vec![(8, vec![1, 2, 3])],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let p = tiny();
+        assert_eq!(p.name(), "t");
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.entry(), 0);
+        assert_eq!(p.mem_size(), 64);
+        assert_eq!(p.instr(0).unwrap().op, Opcode::Nop);
+        assert!(p.instr(5).is_none());
+    }
+
+    #[test]
+    fn initial_memory_applies_chunks() {
+        let mem = tiny().initial_memory();
+        assert_eq!(mem.len(), 64);
+        assert_eq!(&mem[8..11], &[1, 2, 3]);
+        assert_eq!(mem[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn initial_memory_bounds_checked() {
+        let p = Program::new("t".into(), vec![], 0, 4, vec![(2, vec![9, 9, 9])]);
+        p.initial_memory();
+    }
+}

@@ -1,0 +1,178 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// An integer register, `R0`–`R31`.
+///
+/// `R0` is hard-wired to zero (writes are discarded), and `R31` is the
+/// link register written by [`Opcode::Call`](crate::Opcode::Call) and
+/// read by [`Opcode::Ret`](crate::Opcode::Ret).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The number of integer registers.
+    pub const COUNT: usize = 32;
+    /// Hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Link register used by call/return.
+    pub const LINK: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!((index as usize) < Self::COUNT, "integer register index out of range");
+        Reg(index)
+    }
+
+    /// The register's index, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+macro_rules! named_regs {
+    ($ty:ident, $($name:ident = $idx:expr),* $(,)?) => {
+        impl $ty {
+            $(
+                #[doc = concat!("Register ", stringify!($name), ".")]
+                pub const $name: $ty = $ty($idx);
+            )*
+        }
+    };
+}
+
+named_regs!(Reg,
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+    R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21, R22 = 22, R23 = 23,
+    R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31,
+);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point register, `F0`–`F31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// The number of floating-point registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a floating-point register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!((index as usize) < Self::COUNT, "fp register index out of range");
+        FReg(index)
+    }
+
+    /// The register's index, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+named_regs!(FReg,
+    F0 = 0, F1 = 1, F2 = 2, F3 = 3, F4 = 4, F5 = 5, F6 = 6, F7 = 7,
+    F8 = 8, F9 = 9, F10 = 10, F11 = 11, F12 = 12, F13 = 13, F14 = 14, F15 = 15,
+    F16 = 16, F17 = 17, F18 = 18, F19 = 19, F20 = 20, F21 = 21, F22 = 22, F23 = 23,
+    F24 = 24, F25 = 25, F26 = 26, F27 = 27, F28 = 28, F29 = 29, F30 = 30, F31 = 31,
+);
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A register identifier spanning both register files.
+///
+/// Dependence analysis (the paper's RAW dependency-distance profiling,
+/// §2.1.1) tracks producers and consumers across integer and floating-
+/// point registers uniformly; `RegId` is the unified key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegId {
+    /// An integer register.
+    Int(Reg),
+    /// A floating-point register.
+    Fp(FReg),
+}
+
+impl RegId {
+    /// A dense index in `0..64` (integer file first).
+    pub fn dense_index(self) -> usize {
+        match self {
+            RegId::Int(r) => r.index(),
+            RegId::Fp(f) => Reg::COUNT + f.index(),
+        }
+    }
+
+    /// Total number of distinct register identifiers.
+    pub const DENSE_COUNT: usize = Reg::COUNT + FReg::COUNT;
+}
+
+impl From<Reg> for RegId {
+    fn from(r: Reg) -> Self {
+        RegId::Int(r)
+    }
+}
+
+impl From<FReg> for RegId {
+    fn from(f: FReg) -> Self {
+        RegId::Fp(f)
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegId::Int(r) => r.fmt(f),
+            RegId::Fp(r) => r.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constants_match_indices() {
+        assert_eq!(Reg::R0, Reg::ZERO);
+        assert_eq!(Reg::R31, Reg::LINK);
+        assert_eq!(Reg::R17.index(), 17);
+        assert_eq!(FReg::F9.index(), 9);
+    }
+
+    #[test]
+    fn dense_indices_are_disjoint() {
+        let a = RegId::from(Reg::R5).dense_index();
+        let b = RegId::from(FReg::F5).dense_index();
+        assert_ne!(a, b);
+        assert_eq!(b, 32 + 5);
+        assert!(a < RegId::DENSE_COUNT && b < RegId::DENSE_COUNT);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_bounds_checked() {
+        Reg::new(32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::R3.to_string(), "r3");
+        assert_eq!(FReg::F12.to_string(), "f12");
+        assert_eq!(RegId::from(Reg::R3).to_string(), "r3");
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the power model.
+
+use proptest::prelude::*;
+use ssim_power::{PowerModel, IDLE_FRACTION};
+use ssim_uarch::{ActivityCounters, MachineConfig, Unit};
+
+fn activity(per_unit: &[(Unit, u64, u64)], cycles: u64) -> ActivityCounters {
+    let mut a = ActivityCounters::new();
+    for &(unit, accesses, used) in per_unit {
+        let used = used.clamp(1, cycles.max(1));
+        let per_cycle = (accesses / used).max(1);
+        let mut left = accesses;
+        for c in 0..used {
+            let n = per_cycle.min(left);
+            if n == 0 {
+                break;
+            }
+            a.record_n(unit, c, n);
+            left -= n;
+        }
+    }
+    a.set_cycles(cycles);
+    a
+}
+
+proptest! {
+    /// EPC is bounded: at least the gated floor of every unit, at most
+    /// the total maximum power.
+    #[test]
+    fn epc_is_bounded(accesses in 0u64..100_000, used in 1u64..1_000, cycles in 1_000u64..10_000) {
+        let cfg = MachineConfig::baseline();
+        let model = PowerModel::new(&cfg);
+        let a = activity(&[(Unit::Ruu, accesses, used), (Unit::DCache, accesses / 2, used)], cycles);
+        let b = model.evaluate(&a);
+        let floor = IDLE_FRACTION * model.total_pmax();
+        prop_assert!(b.epc() >= floor * 0.999, "EPC {} below gated floor {floor}", b.epc());
+        prop_assert!(b.epc() <= model.total_pmax() * 1.001, "EPC {} above Pmax", b.epc());
+        for unit in Unit::ALL {
+            prop_assert!(b.unit(unit) >= 0.0);
+            prop_assert!(b.unit(unit) <= model.pmax(unit) * 1.001);
+        }
+    }
+
+    /// More activity on a unit never lowers its power.
+    #[test]
+    fn unit_power_monotone(base in 1_000u64..50_000, extra in 0u64..50_000, cycles in 2_000u64..10_000) {
+        let cfg = MachineConfig::baseline();
+        let model = PowerModel::new(&cfg);
+        let used = cycles / 2;
+        let low = model.evaluate(&activity(&[(Unit::IntAlu, base, used)], cycles));
+        let high = model.evaluate(&activity(&[(Unit::IntAlu, base + extra, used)], cycles));
+        prop_assert!(high.unit(Unit::IntAlu) >= low.unit(Unit::IntAlu) - 1e-9);
+    }
+
+    /// EDP strictly decreases in IPC for fixed power.
+    #[test]
+    fn edp_monotone_in_ipc(ipc1 in 0.1f64..8.0, ipc2 in 0.1f64..8.0) {
+        let cfg = MachineConfig::baseline();
+        let model = PowerModel::new(&cfg);
+        let a = activity(&[(Unit::Ruu, 10_000, 1_000)], 5_000);
+        let b = model.evaluate(&a);
+        let (lo, hi) = if ipc1 < ipc2 { (ipc1, ipc2) } else { (ipc2, ipc1) };
+        prop_assert!(b.edp(hi) <= b.edp(lo) + 1e-12);
+    }
+
+    /// Scaling structures up never lowers their max power.
+    #[test]
+    fn pmax_monotone_in_window(ruu in 8usize..256) {
+        let base = PowerModel::new(&MachineConfig::baseline().with_window(ruu.max(8)));
+        let bigger = PowerModel::new(&MachineConfig::baseline().with_window((ruu * 2).min(512)));
+        prop_assert!(bigger.pmax(Unit::Ruu) >= base.pmax(Unit::Ruu));
+    }
+}

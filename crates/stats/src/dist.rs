@@ -1,0 +1,340 @@
+//! Empirical distributions with cumulative-distribution sampling.
+
+use std::collections::BTreeMap;
+
+/// An empirical distribution over small non-negative integers.
+///
+/// The paper stores several characteristics as distributions — most
+/// importantly the per-operand dependency-distance distribution
+/// `P[D | B_n, B_{n-1}..B_{n-k}]` (§2.1.1), which is capped at 512
+/// entries. `Histogram` keeps exact counts in a sorted map so that
+/// sampling can walk the cumulative distribution, exactly like step 4 of
+/// the synthetic-trace-generation algorithm (§2.2).
+///
+/// # Examples
+///
+/// ```
+/// use ssim_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for d in [1, 1, 2, 8] {
+///     h.record(d);
+/// }
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.count(1), 2);
+/// // Sampling with u = 0.0 yields the smallest recorded value.
+/// assert_eq!(h.sample_with(0.0), Some(1));
+/// // Sampling with u close to 1.0 yields the largest recorded value.
+/// assert_eq!(h.sample_with(0.999), Some(8));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one occurrence of `value`.
+    pub fn record(&mut self, value: u32) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u32, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Total number of recorded occurrences.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of occurrences recorded for `value`.
+    pub fn count(&self, value: u32) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct values recorded.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Empirical probability of `value`.
+    ///
+    /// Returns `0.0` for an empty histogram.
+    pub fn probability(&self, value: u32) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Mean of the recorded values, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .map(|(&v, &c)| v as f64 * c as f64)
+            .sum();
+        Some(sum / self.total as f64)
+    }
+
+    /// Largest recorded value, or `None` if empty.
+    pub fn max(&self) -> Option<u32> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Samples a value by inverting the cumulative distribution at `u`.
+    ///
+    /// `u` is clamped to `[0, 1)`. Returns `None` for an empty histogram.
+    /// This is the primitive used by synthetic trace generation: callers
+    /// supply a uniform random number and the histogram maps it through
+    /// the cumulative distribution function ("using a cumulative
+    /// distribution function built up by the occurrence of each node",
+    /// §2.2 step 1).
+    pub fn sample_with(&self, u: f64) -> Option<u32> {
+        if self.total == 0 {
+            return None;
+        }
+        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        let target = (u * self.total as f64) as u64;
+        let mut acc = 0u64;
+        for (&value, &count) in &self.counts {
+            acc += count;
+            if target < acc {
+                return Some(value);
+            }
+        }
+        // Floating-point slack: fall back to the largest value.
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Iterates over `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            self.record_n(v, c);
+        }
+    }
+}
+
+impl FromIterator<u32> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+impl Extend<u32> for Histogram {
+    fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+/// An event-probability estimator: `events / trials`.
+///
+/// Used throughout statistical profiling for the microarchitecture-
+/// dependent characteristics of §2.1.2 — branch taken probability,
+/// fetch-redirection probability, misprediction probability and the six
+/// cache/TLB miss rates.
+///
+/// # Examples
+///
+/// ```
+/// use ssim_stats::ProbCounter;
+///
+/// let mut p = ProbCounter::new();
+/// p.record(true);
+/// p.record(false);
+/// p.record(false);
+/// p.record(false);
+/// assert!((p.probability() - 0.25).abs() < 1e-12);
+/// assert_eq!(p.trials(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbCounter {
+    events: u64,
+    trials: u64,
+}
+
+impl ProbCounter {
+    /// Creates a counter with zero trials.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reconstitutes a counter from raw counts (deserialisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events > trials`.
+    pub fn from_counts(events: u64, trials: u64) -> Self {
+        assert!(events <= trials, "events cannot exceed trials");
+        ProbCounter { events, trials }
+    }
+
+    /// Records one trial; `event` tells whether the event occurred.
+    pub fn record(&mut self, event: bool) {
+        self.trials += 1;
+        if event {
+            self.events += 1;
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Number of recorded trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Empirical probability of the event; `0.0` with no trials.
+    pub fn probability(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.events as f64 / self.trials as f64
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &ProbCounter) {
+        self.events += other.events;
+        self.trials += other.trials;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_behaves() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.sample_with(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.probability(0), 0.0);
+    }
+
+    #[test]
+    fn record_and_count() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(5);
+        h.record(9);
+        assert_eq!(h.count(5), 2);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.count(1), 0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.distinct(), 2);
+        assert_eq!(h.max(), Some(9));
+    }
+
+    #[test]
+    fn sampling_covers_support_boundaries() {
+        let h: Histogram = [2u32, 4, 4, 6].into_iter().collect();
+        assert_eq!(h.sample_with(0.0), Some(2));
+        assert_eq!(h.sample_with(0.25), Some(4));
+        assert_eq!(h.sample_with(0.70), Some(4));
+        assert_eq!(h.sample_with(0.80), Some(6));
+        assert_eq!(h.sample_with(1.0), Some(6));
+        assert_eq!(h.sample_with(2.0), Some(6)); // clamped
+        assert_eq!(h.sample_with(-1.0), Some(2)); // clamped
+    }
+
+    #[test]
+    fn sampling_matches_probabilities_roughly() {
+        let h: Histogram = [1u32, 1, 1, 8].into_iter().collect();
+        // Deterministic stratified sampling: quarters of the unit interval.
+        let n = 10_000;
+        let mut ones = 0;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            if h.sample_with(u) == Some(1) {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn mean_is_weighted() {
+        let h: Histogram = [2u32, 2, 8].into_iter().collect();
+        assert!((h.mean().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a: Histogram = [1u32, 2].into_iter().collect();
+        let b: Histogram = [2u32, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(2), 2);
+        assert_eq!(a.count(3), 1);
+    }
+
+    #[test]
+    fn extend_records_all() {
+        let mut h = Histogram::new();
+        h.extend([7u32, 7, 7]);
+        assert_eq!(h.count(7), 3);
+    }
+
+    #[test]
+    fn prob_counter_basics() {
+        let mut p = ProbCounter::new();
+        assert_eq!(p.probability(), 0.0);
+        p.record(true);
+        p.record(true);
+        p.record(false);
+        assert_eq!(p.events(), 2);
+        assert_eq!(p.trials(), 3);
+        assert!((p.probability() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_counter_merge() {
+        let mut a = ProbCounter::new();
+        a.record(true);
+        let mut b = ProbCounter::new();
+        b.record(false);
+        b.record(false);
+        a.merge(&b);
+        assert_eq!(a.trials(), 3);
+        assert_eq!(a.events(), 1);
+    }
+}

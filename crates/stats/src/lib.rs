@@ -1,0 +1,39 @@
+//! Statistical building blocks for the ssim framework.
+//!
+//! This crate provides the small set of statistics primitives the
+//! statistical-simulation methodology of Eeckhout et al. (ISCA 2004) is
+//! built from:
+//!
+//! * [`Histogram`] — an empirical distribution over small non-negative
+//!   integers (used for dependency-distance distributions, basic-block
+//!   size distributions, …) supporting cumulative-distribution sampling;
+//! * [`ProbCounter`] — an event/total probability estimator (used for
+//!   branch taken/misprediction rates and cache miss rates);
+//! * [`Summary`] — streaming mean / standard deviation / coefficient of
+//!   variation (used for the convergence study of §4.1 of the paper);
+//! * [`absolute_error`] / [`relative_error`] — the paper's accuracy
+//!   metrics (§4.2 and §4.5).
+//!
+//! # Examples
+//!
+//! ```
+//! use ssim_stats::{Histogram, Summary};
+//!
+//! let mut h = Histogram::new();
+//! h.record(3);
+//! h.record(3);
+//! h.record(7);
+//! assert_eq!(h.total(), 3);
+//! assert!((h.probability(3) - 2.0 / 3.0).abs() < 1e-12);
+//!
+//! let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+//! assert!((s.mean() - 2.0).abs() < 1e-12);
+//! ```
+
+mod dist;
+mod metrics;
+mod summary;
+
+pub use dist::{Histogram, ProbCounter};
+pub use metrics::{absolute_error, relative_error, MetricPair};
+pub use summary::Summary;

@@ -1,0 +1,113 @@
+//! The paper's accuracy metrics.
+
+/// Absolute prediction error of a metric (§4.2 of the paper):
+///
+/// `AE = |M_SS − M_EDS| / M_EDS`
+///
+/// where `M_SS` comes from statistical simulation and `M_EDS` from
+/// execution-driven simulation.
+///
+/// # Examples
+///
+/// ```
+/// let e = ssim_stats::absolute_error(1.1, 1.0);
+/// assert!((e - 0.1).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `eds` is zero (the reference metric must be nonzero).
+pub fn absolute_error(ss: f64, eds: f64) -> f64 {
+    assert!(eds != 0.0, "reference metric must be nonzero");
+    (ss - eds).abs() / eds.abs()
+}
+
+/// Relative prediction error when moving from design point `A` to design
+/// point `B` (§4.5 of the paper):
+///
+/// `RE = |(M_B,SS / M_A,SS) − (M_B,EDS / M_A,EDS)| / (M_B,EDS / M_A,EDS)`
+///
+/// # Examples
+///
+/// ```
+/// use ssim_stats::MetricPair;
+///
+/// let a = MetricPair { ss: 1.0, eds: 1.0 };
+/// let b = MetricPair { ss: 1.21, eds: 1.1 };
+/// // SS predicts a 21% gain, EDS says 10%: relative error = 0.11/1.1 = 10%.
+/// let re = ssim_stats::relative_error(a, b);
+/// assert!((re - 0.1).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any of the four metric values is zero.
+pub fn relative_error(a: MetricPair, b: MetricPair) -> f64 {
+    assert!(
+        a.ss != 0.0 && a.eds != 0.0 && b.eds != 0.0,
+        "metric values must be nonzero"
+    );
+    let ss_ratio = b.ss / a.ss;
+    let eds_ratio = b.eds / a.eds;
+    (ss_ratio - eds_ratio).abs() / eds_ratio.abs()
+}
+
+/// A metric measured both by statistical simulation (`ss`) and by
+/// execution-driven simulation (`eds`) at one design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricPair {
+    /// Value predicted by statistical simulation.
+    pub ss: f64,
+    /// Value measured by execution-driven (reference) simulation.
+    pub eds: f64,
+}
+
+impl MetricPair {
+    /// Absolute prediction error of this pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference value is zero.
+    pub fn absolute_error(&self) -> f64 {
+        absolute_error(self.ss, self.eds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_error_is_symmetric_around_reference() {
+        assert!((absolute_error(0.9, 1.0) - 0.1).abs() < 1e-12);
+        assert!((absolute_error(1.1, 1.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_has_zero_error() {
+        assert_eq!(absolute_error(2.5, 2.5), 0.0);
+        let p = MetricPair { ss: 3.0, eds: 3.0 };
+        assert_eq!(p.absolute_error(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn absolute_error_rejects_zero_reference() {
+        absolute_error(1.0, 0.0);
+    }
+
+    #[test]
+    fn relative_error_ignores_constant_bias() {
+        // SS is consistently 20% high; the *trend* is perfect.
+        let a = MetricPair { ss: 1.2, eds: 1.0 };
+        let b = MetricPair { ss: 2.4, eds: 2.0 };
+        assert!(relative_error(a, b) < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_detects_wrong_trend() {
+        let a = MetricPair { ss: 1.0, eds: 1.0 };
+        let b = MetricPair { ss: 1.0, eds: 2.0 }; // EDS doubles, SS flat
+        assert!((relative_error(a, b) - 0.5).abs() < 1e-12);
+    }
+}

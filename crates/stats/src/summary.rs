@@ -1,0 +1,172 @@
+//! Streaming summary statistics (Welford's algorithm).
+
+/// Streaming mean / variance / coefficient-of-variation accumulator.
+///
+/// The paper quantifies the convergence of statistical simulation via the
+/// coefficient of variation of IPC over 20 differently-seeded synthetic
+/// traces (§4.1). `Summary` computes exactly that, using Welford's
+/// numerically stable online algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use ssim_stats::Summary;
+///
+/// let mut s = Summary::new();
+/// s.add(2.0);
+/// s.add(4.0);
+/// assert_eq!(s.count(), 2);
+/// assert!((s.mean() - 3.0).abs() < 1e-12);
+/// assert!((s.stddev() - std::f64::consts::SQRT_2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` with no observations.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (n−1 denominator); `0.0` with fewer than
+    /// two observations.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation: standard deviation divided by mean
+    /// (§4.1 of the paper). Returns `0.0` when the mean is zero.
+    pub fn cov(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev() / self.mean
+        }
+    }
+
+    /// Smallest observation; `None` with no observations.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` with no observations.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.cov(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s: Summary = [5.0].into_iter().collect();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn known_variance() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of that set is 32/7.
+        let expected = (32.0f64 / 7.0).sqrt();
+        assert!((s.stddev() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_is_relative_spread() {
+        let tight: Summary = [100.0, 101.0, 99.0].into_iter().collect();
+        let wide: Summary = [100.0, 150.0, 50.0].into_iter().collect();
+        assert!(tight.cov() < wide.cov());
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let mut s = Summary::new();
+        s.extend([3.0, -1.0, 7.5]);
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(7.5));
+    }
+
+    #[test]
+    fn matches_naive_computation_on_larger_input() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0).collect();
+        let s: Summary = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.stddev() - var.sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for the statistics primitives.
+
+use proptest::prelude::*;
+use ssim_stats::{Histogram, ProbCounter, Summary};
+
+proptest! {
+    /// Sampling at any `u` always returns a value that was recorded.
+    #[test]
+    fn histogram_sample_is_in_support(values in prop::collection::vec(0u32..64, 1..200), u in 0.0f64..1.5) {
+        let h: Histogram = values.iter().copied().collect();
+        let s = h.sample_with(u).expect("non-empty histogram samples");
+        prop_assert!(values.contains(&s));
+    }
+
+    /// Probabilities over the support sum to 1.
+    #[test]
+    fn histogram_probabilities_sum_to_one(values in prop::collection::vec(0u32..64, 1..200)) {
+        let h: Histogram = values.iter().copied().collect();
+        let sum: f64 = h.iter().map(|(v, _)| h.probability(v)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Total is conserved by merge.
+    #[test]
+    fn histogram_merge_conserves_total(a in prop::collection::vec(0u32..32, 0..100),
+                                       b in prop::collection::vec(0u32..32, 0..100)) {
+        let mut ha: Histogram = a.iter().copied().collect();
+        let hb: Histogram = b.iter().copied().collect();
+        ha.merge(&hb);
+        prop_assert_eq!(ha.total(), (a.len() + b.len()) as u64);
+    }
+
+    /// The CDF inverse is monotone: larger u never yields a smaller value.
+    #[test]
+    fn histogram_sampling_is_monotone(values in prop::collection::vec(0u32..64, 1..100),
+                                      u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        let h: Histogram = values.iter().copied().collect();
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(h.sample_with(lo).unwrap() <= h.sample_with(hi).unwrap());
+    }
+
+    /// Mean lies within [min, max] of the observations.
+    #[test]
+    fn summary_mean_within_bounds(values in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let s: Summary = values.iter().copied().collect();
+        prop_assert!(s.mean() >= s.min().unwrap() - 1e-6);
+        prop_assert!(s.mean() <= s.max().unwrap() + 1e-6);
+    }
+
+    /// CoV is scale-invariant for positive scalings.
+    #[test]
+    fn summary_cov_scale_invariant(values in prop::collection::vec(1.0f64..100.0, 2..100),
+                                   scale in 0.5f64..10.0) {
+        let s1: Summary = values.iter().copied().collect();
+        let s2: Summary = values.iter().map(|v| v * scale).collect();
+        prop_assert!((s1.cov() - s2.cov()).abs() < 1e-9);
+    }
+
+    /// ProbCounter probability is always in [0, 1].
+    #[test]
+    fn prob_counter_in_unit_interval(events in prop::collection::vec(any::<bool>(), 0..500)) {
+        let mut p = ProbCounter::new();
+        for e in &events {
+            p.record(*e);
+        }
+        let prob = p.probability();
+        prop_assert!((0.0..=1.0).contains(&prob));
+        prop_assert_eq!(p.trials(), events.len() as u64);
+    }
+}

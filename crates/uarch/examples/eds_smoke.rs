@@ -1,0 +1,37 @@
+//! Smoke-run the execution-driven simulator over the whole suite and
+//! print IPC, branch and cache behaviour (a quick Table 1 sanity check).
+//!
+//! Run with: `cargo run --release -p ssim-uarch --example eds_smoke`
+
+use ssim_uarch::{ExecSim, MachineConfig};
+use std::time::Instant;
+
+fn main() {
+    let cfg = MachineConfig::baseline();
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    println!(
+        "{:<10} {:>6} {:>8} {:>8} {:>8} {:>9} {:>10}",
+        "workload", "IPC", "MPKI", "L1D%", "L1I%", "cycles", "Minstr/s"
+    );
+    for w in ssim_workloads::all() {
+        let program = w.program();
+        let mut sim = ExecSim::new(&cfg, &program);
+        sim.skip(4_000_000);
+        let start = Instant::now();
+        let r = sim.run(n);
+        let dt = start.elapsed().as_secs_f64();
+        println!(
+            "{:<10} {:>6.3} {:>8.2} {:>8.2} {:>8.2} {:>9} {:>10.2}",
+            w.name(),
+            r.ipc(),
+            r.mpki(),
+            r.cache.l1d_miss_rate * 100.0,
+            r.cache.l1i_miss_rate * 100.0,
+            r.cycles,
+            r.instructions as f64 / dt / 1e6,
+        );
+    }
+}

@@ -1,0 +1,862 @@
+//! The shared out-of-order pipeline backend: dispatch, issue,
+//! writeback, commit.
+//!
+//! [`Core`] models a SimpleScalar-style register update unit (RUU): a
+//! unified issue window and reorder buffer, plus a load/store queue.
+//! Dependencies are expressed either through architectural registers
+//! (execution-driven simulation renames them internally) or through
+//! **dependency distances** (synthetic trace simulation, §2.2 step 4 of
+//! the paper); both resolve to producer *sequence numbers* at dispatch.
+
+use crate::activity::{ActivityCounters, Unit};
+use crate::config::MachineConfig;
+use crate::result::OccupancyMeter;
+use ssim_isa::{InstrClass, RegId};
+use std::collections::VecDeque;
+
+/// Memory behaviour of a dispatched instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemKind {
+    /// A load with its full execute latency (address generation +
+    /// memory access) already resolved.
+    Load {
+        /// Total execute latency in cycles.
+        latency: u64,
+    },
+    /// A store (executes as address generation; data is written to the
+    /// cache at commit).
+    Store,
+}
+
+/// How a control instruction resolves at writeback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchResolution {
+    /// Not a branch, or predicted correctly: no pipeline action.
+    #[default]
+    None,
+    /// Mispredicted: the core reports the branch's sequence number when
+    /// it resolves so the driver can squash and redirect fetch.
+    Mispredict,
+}
+
+/// One instruction handed to the backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DispatchInstr {
+    /// Semantic class (selects functional unit and latency).
+    pub class: Option<InstrClass>,
+    /// Architectural source registers (execution-driven mode).
+    pub srcs: [Option<RegId>; 2],
+    /// Dependency distances (synthetic mode): operand *p* depends on the
+    /// instruction `dist` positions earlier in the dispatch stream.
+    pub dep_dists: [Option<u32>; 2],
+    /// Architectural destination register (execution-driven mode).
+    pub dest: Option<RegId>,
+    /// Memory behaviour.
+    pub mem: Option<MemKind>,
+    /// Word-granularity effective address, for store→load dependence
+    /// detection (execution-driven mode).
+    pub mem_dep_addr: Option<u64>,
+    /// Branch resolution behaviour at writeback.
+    pub branch: BranchResolution,
+    /// Whether this instruction is from a misspeculated path (occupies
+    /// resources but never commits and never triggers recovery).
+    pub wrong_path: bool,
+    /// Synthetic-mode anti-dependency distances `(WAW, WAR)`, used only
+    /// when the machine models register hazards without renaming
+    /// (`MachineConfig::model_anti_deps`).
+    pub anti_dep_dists: [Option<u32>; 2],
+}
+
+/// Result of a dispatch attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchOutcome {
+    /// Accepted; the instruction got this sequence number.
+    Dispatched(u64),
+    /// Structural stall: RUU (or LSQ, for memory operations) full.
+    Stalled,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Waiting,
+    Issued { done: u64 },
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    seq: u64,
+    class: InstrClass,
+    deps: [Option<u64>; 2],
+    anti_deps: [Option<u64>; 2],
+    mem_dep: Option<u64>,
+    dest: Option<RegId>,
+    prev_writer: Option<u64>,
+    mem: Option<MemKind>,
+    mem_addr: Option<u64>,
+    state: State,
+    branch: BranchResolution,
+    wrong_path: bool,
+}
+
+/// The out-of-order backend shared by execution-driven and synthetic
+/// simulation.
+///
+/// Drive it one cycle at a time:
+///
+/// 1. [`Core::cycle`] — writeback (wakeup), issue, commit; returns the
+///    sequence number of a correct-path mispredicted branch that
+///    resolved this cycle, if any;
+/// 2. on a resolution, call [`Core::squash_after`] and redirect fetch;
+/// 3. [`Core::try_dispatch`] up to `decode_width` instructions;
+/// 4. [`Core::advance`] to start the next cycle.
+#[derive(Debug, Clone)]
+pub struct Core {
+    cfg: MachineConfig,
+    entries: VecDeque<Entry>,
+    front_seq: u64,
+    next_seq: u64,
+    lsq_used: usize,
+    dispatched_this_cycle: usize,
+    cycle: u64,
+    committed: u64,
+    rename: [Option<u64>; RegId::DENSE_COUNT],
+    last_reader: [Option<u64>; RegId::DENSE_COUNT],
+    activity: ActivityCounters,
+    ruu_meter: OccupancyMeter,
+    lsq_meter: OccupancyMeter,
+}
+
+impl Core {
+    /// Creates an empty backend for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`MachineConfig::validate`]).
+    pub fn new(cfg: &MachineConfig) -> Self {
+        cfg.validate();
+        Core {
+            cfg: cfg.clone(),
+            entries: VecDeque::with_capacity(cfg.ruu_size),
+            front_seq: 0,
+            next_seq: 0,
+            lsq_used: 0,
+            dispatched_this_cycle: 0,
+            cycle: 0,
+            committed: 0,
+            rename: [None; RegId::DENSE_COUNT],
+            last_reader: [None; RegId::DENSE_COUNT],
+            activity: ActivityCounters::new(),
+            ruu_meter: OccupancyMeter::new(),
+            lsq_meter: OccupancyMeter::new(),
+        }
+    }
+
+    /// Current cycle number.
+    pub fn now(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Correct-path instructions committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// In-flight instructions (RUU occupancy).
+    pub fn in_flight(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the backend holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Mutable access to the shared activity counters (the fetch-side
+    /// driver records its own units here).
+    pub fn activity_mut(&mut self) -> &mut ActivityCounters {
+        &mut self.activity
+    }
+
+    fn execute_latency(&self, e: &Entry) -> u64 {
+        let lat = &self.cfg.lat;
+        match e.mem {
+            Some(MemKind::Load { latency }) => latency,
+            Some(MemKind::Store) => 1,
+            None => match e.class {
+                InstrClass::IntAlu | InstrClass::IntCondBranch | InstrClass::IndirectBranch => {
+                    lat.int_alu
+                }
+                InstrClass::IntMul => lat.int_mul,
+                InstrClass::IntDiv => lat.int_div,
+                InstrClass::FpAlu | InstrClass::FpCondBranch => lat.fp_alu,
+                InstrClass::FpMul => lat.fp_mul,
+                InstrClass::FpDiv => lat.fp_div,
+                InstrClass::FpSqrt => lat.fp_sqrt,
+                InstrClass::Load | InstrClass::Store => 1,
+            },
+        }
+    }
+
+    fn fu_pool(class: InstrClass, mem: Option<MemKind>) -> usize {
+        if mem.is_some() {
+            return 1; // load/store ports
+        }
+        match class {
+            InstrClass::Load | InstrClass::Store => 1,
+            InstrClass::IntAlu | InstrClass::IntCondBranch | InstrClass::IndirectBranch => 0,
+            InstrClass::IntMul | InstrClass::IntDiv => 2,
+            InstrClass::FpAlu | InstrClass::FpCondBranch => 3,
+            InstrClass::FpMul | InstrClass::FpDiv | InstrClass::FpSqrt => 4,
+        }
+    }
+
+    fn dep_satisfied(&self, dep: Option<u64>) -> bool {
+        match dep {
+            None => true,
+            Some(seq) => {
+                if seq < self.front_seq {
+                    return true; // committed (or squashed) long ago
+                }
+                match self.entries.get((seq - self.front_seq) as usize) {
+                    Some(e) => e.state == State::Done,
+                    None => true, // produced by a squashed instruction
+                }
+            }
+        }
+    }
+
+    /// Runs writeback, issue and commit for the current cycle.
+    ///
+    /// Returns the sequence number of the oldest correct-path
+    /// mispredicted branch that resolved this cycle; the driver must
+    /// respond with [`Core::squash_after`] and a fetch redirect.
+    pub fn cycle(&mut self) -> Option<u64> {
+        let now = self.cycle;
+        let mut resolved = None;
+
+        // ---- writeback: complete finished executions, wake dependents.
+        for i in 0..self.entries.len() {
+            let e = &mut self.entries[i];
+            if let State::Issued { done } = e.state {
+                if done <= now {
+                    e.state = State::Done;
+                    self.activity.record(Unit::Ruu, now);
+                    if e.dest.is_some() {
+                        self.activity.record(Unit::RegFile, now);
+                    }
+                    if e.branch == BranchResolution::Mispredict && !e.wrong_path {
+                        resolved.get_or_insert(e.seq);
+                    }
+                }
+            }
+        }
+
+        // ---- issue: oldest-first selection under width and FU limits.
+        let mut issued = 0;
+        let mut fu_used = [0usize; 5];
+        let fu_limits = [
+            self.cfg.fu.int_alu,
+            self.cfg.fu.ld_st,
+            self.cfg.fu.int_muldiv,
+            self.cfg.fu.fp_add,
+            self.cfg.fu.fp_muldiv,
+        ];
+        for i in 0..self.entries.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let e = &self.entries[i];
+            if e.state != State::Waiting {
+                continue;
+            }
+            let pool = Self::fu_pool(e.class, e.mem);
+            if fu_used[pool] >= fu_limits[pool] {
+                if self.cfg.in_order_issue {
+                    break; // structural hazard stalls an in-order pipe
+                }
+                continue;
+            }
+            if !(self.dep_satisfied(e.deps[0])
+                && self.dep_satisfied(e.deps[1])
+                && self.dep_satisfied(e.anti_deps[0])
+                && self.dep_satisfied(e.anti_deps[1])
+                && self.dep_satisfied(e.mem_dep))
+            {
+                if self.cfg.in_order_issue {
+                    break; // program-order issue: stall behind the head
+                }
+                continue;
+            }
+            let latency = self.execute_latency(e);
+            let class = e.class;
+            let is_mem = e.mem.is_some();
+            let is_load = matches!(e.mem, Some(MemKind::Load { .. }));
+            let e = &mut self.entries[i];
+            e.state = State::Issued { done: now + latency };
+            issued += 1;
+            fu_used[pool] += 1;
+            self.activity.record(Unit::Issue, now);
+            if is_mem {
+                self.activity.record(Unit::Lsq, now);
+                if is_load {
+                    self.activity.record(Unit::DCache, now);
+                }
+            }
+            match class {
+                InstrClass::FpAlu
+                | InstrClass::FpMul
+                | InstrClass::FpDiv
+                | InstrClass::FpSqrt
+                | InstrClass::FpCondBranch => self.activity.record(Unit::FpAlu, now),
+                InstrClass::Load | InstrClass::Store => {}
+                _ => self.activity.record(Unit::IntAlu, now),
+            }
+        }
+
+        // ---- commit: in-order retirement of completed instructions.
+        let mut retired = 0;
+        while retired < self.cfg.commit_width {
+            match self.entries.front() {
+                // Wrong-path instructions never retire: when one reaches
+                // the head, its mispredicted branch has already resolved
+                // (same cycle) and the driver is about to squash it.
+                Some(e) if e.wrong_path => break,
+                Some(e) if e.state == State::Done => {
+                    let is_store = matches!(e.mem, Some(MemKind::Store));
+                    let is_mem = e.mem.is_some();
+                    let e = self.entries.pop_front().expect("front exists");
+                    self.front_seq = e.seq + 1;
+                    if is_mem {
+                        self.lsq_used -= 1;
+                    }
+                    if is_store {
+                        self.activity.record(Unit::DCache, now);
+                    }
+                    self.activity.record(Unit::Ruu, now);
+                    self.committed += 1;
+                    retired += 1;
+                }
+                _ => break,
+            }
+        }
+
+        // ---- occupancy sampling.
+        self.ruu_meter.sample(self.entries.len() as u64);
+        self.lsq_meter.sample(self.lsq_used as u64);
+
+        resolved
+    }
+
+    /// Attempts to dispatch one instruction into the RUU/LSQ.
+    ///
+    /// At most `decode_width` instructions are accepted per cycle;
+    /// further attempts stall.
+    pub fn try_dispatch(&mut self, instr: DispatchInstr) -> DispatchOutcome {
+        if self.dispatched_this_cycle >= self.cfg.decode_width {
+            return DispatchOutcome::Stalled;
+        }
+        if self.entries.len() >= self.cfg.ruu_size {
+            return DispatchOutcome::Stalled;
+        }
+        let is_mem = instr.mem.is_some();
+        if is_mem && self.lsq_used >= self.cfg.lsq_size {
+            return DispatchOutcome::Stalled;
+        }
+        let seq = self.next_seq;
+        let now = self.cycle;
+        let class = instr.class.unwrap_or(InstrClass::IntAlu);
+
+        // Resolve register dependencies through the rename map, or
+        // dependency distances through sequence arithmetic.
+        let mut deps = [None, None];
+        for (p, slot) in deps.iter_mut().enumerate() {
+            *slot = match (instr.srcs[p], instr.dep_dists[p]) {
+                (Some(reg), _) => self.rename[reg.dense_index()],
+                // A distance of zero would be a self-dependence; the
+                // synthetic generator never emits it, but guard anyway.
+                (None, Some(0)) => None,
+                (None, Some(dist)) => seq.checked_sub(u64::from(dist)),
+                (None, None) => None,
+            };
+        }
+
+        // WAW/WAR hazards (machines without register renaming): the
+        // write must wait for the previous writer and the previous
+        // readers of its destination; synthetic mode supplies distances.
+        let mut anti_deps = [None, None];
+        if self.cfg.model_anti_deps {
+            if let Some(d) = instr.dest {
+                anti_deps[0] = self.rename[d.dense_index()]; // WAW
+                anti_deps[1] = self.last_reader[d.dense_index()]; // WAR
+            }
+            for (i, slot) in anti_deps.iter_mut().enumerate() {
+                if slot.is_none() {
+                    *slot = match instr.anti_dep_dists[i] {
+                        Some(0) | None => None,
+                        Some(dist) => seq.checked_sub(u64::from(dist)),
+                    };
+                }
+            }
+            for src in instr.srcs.iter().flatten() {
+                self.last_reader[src.dense_index()] = Some(seq);
+            }
+        }
+
+        // Store→load memory dependence: a load depends on the youngest
+        // older store to the same word that is still in flight, and
+        // receives its value through the store buffer (forwarding) —
+        // 1-cycle data latency instead of a cache access.
+        let mut mem = instr.mem;
+        let mem_dep = match (instr.mem, instr.mem_dep_addr) {
+            (Some(MemKind::Load { .. }), Some(addr)) => {
+                let fwd = self
+                    .entries
+                    .iter()
+                    .rev()
+                    .find(|e| {
+                        matches!(e.mem, Some(MemKind::Store)) && e.mem_addr == Some(addr)
+                    })
+                    .map(|e| (e.seq, e.state == State::Done));
+                match fwd {
+                    Some((seq, done)) => {
+                        mem = Some(MemKind::Load { latency: 2 });
+                        (!done).then_some(seq)
+                    }
+                    None => None,
+                }
+            }
+            _ => None,
+        };
+
+        // Rename-map update with an undo log for squash recovery.
+        let mut prev_writer = None;
+        if let Some(d) = instr.dest {
+            let slot = &mut self.rename[d.dense_index()];
+            prev_writer = *slot;
+            *slot = Some(seq);
+        }
+
+        self.entries.push_back(Entry {
+            seq,
+            class,
+            deps,
+            anti_deps,
+            mem_dep,
+            dest: instr.dest,
+            prev_writer,
+            mem,
+            mem_addr: instr.mem_dep_addr,
+            state: State::Waiting,
+            branch: instr.branch,
+            wrong_path: instr.wrong_path,
+        });
+        self.next_seq += 1;
+        if is_mem {
+            self.lsq_used += 1;
+        }
+        self.dispatched_this_cycle += 1;
+        self.activity.record(Unit::Dispatch, now);
+        self.activity.record(Unit::Ruu, now);
+        self.activity
+            .record_n(Unit::RegFile, now, instr.srcs.iter().flatten().count() as u64);
+        if is_mem {
+            self.activity.record(Unit::Lsq, now);
+        }
+        DispatchOutcome::Dispatched(seq)
+    }
+
+    /// Squashes every instruction younger than `seq`, unwinding the
+    /// rename map. Returns the number of squashed instructions.
+    pub fn squash_after(&mut self, seq: u64) -> usize {
+        let mut squashed = 0;
+        while let Some(back) = self.entries.back() {
+            if back.seq <= seq {
+                break;
+            }
+            let e = self.entries.pop_back().expect("back exists");
+            if let Some(d) = e.dest {
+                self.rename[d.dense_index()] = e.prev_writer;
+            }
+            if e.mem.is_some() {
+                self.lsq_used -= 1;
+            }
+            squashed += 1;
+        }
+        self.next_seq = seq + 1;
+        // Reader tracking must not survive the squash: sequence numbers
+        // are reused, so a stale reader entry would alias a *future*
+        // instruction and (under in-order issue) deadlock the pipe.
+        for slot in &mut self.last_reader {
+            if slot.is_some_and(|s| s > seq) {
+                *slot = None;
+            }
+        }
+        squashed
+    }
+
+    /// Advances to the next cycle.
+    pub fn advance(&mut self) {
+        self.cycle += 1;
+        self.dispatched_this_cycle = 0;
+    }
+
+    /// Finalises counters and hands back activity + occupancy meters.
+    pub fn finish(mut self) -> (ActivityCounters, OccupancyMeter, OccupancyMeter) {
+        self.activity.set_cycles(self.cycle);
+        (self.activity, self.ruu_meter, self.lsq_meter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> MachineConfig {
+        let mut c = MachineConfig::baseline();
+        c.decode_width = 4;
+        c.issue_width = 4;
+        c.commit_width = 4;
+        c.ruu_size = 8;
+        c.lsq_size = 4;
+        c
+    }
+
+    fn alu() -> DispatchInstr {
+        DispatchInstr { class: Some(InstrClass::IntAlu), ..Default::default() }
+    }
+
+    fn alu_rw(dest: RegId, src: RegId) -> DispatchInstr {
+        DispatchInstr {
+            class: Some(InstrClass::IntAlu),
+            srcs: [Some(src), None],
+            dest: Some(dest),
+            ..Default::default()
+        }
+    }
+
+    fn run_empty(core: &mut Core) -> u64 {
+        let start = core.now();
+        while !core.is_empty() {
+            core.cycle();
+            core.advance();
+            assert!(core.now() - start < 10_000, "backend deadlocked");
+        }
+        core.now() - start
+    }
+
+    #[test]
+    fn single_instruction_commits() {
+        let mut core = Core::new(&small_cfg());
+        assert!(matches!(core.try_dispatch(alu()), DispatchOutcome::Dispatched(0)));
+        run_empty(&mut core);
+        assert_eq!(core.committed(), 1);
+    }
+
+    #[test]
+    fn dependent_chain_serialises() {
+        let r1 = RegId::Int(ssim_isa::Reg::R1);
+        let r2 = RegId::Int(ssim_isa::Reg::R2);
+        // Chain of 6 dependent 1-cycle ALU ops: takes ~6 cycles.
+        let mut core = Core::new(&small_cfg());
+        core.try_dispatch(alu_rw(r1, r2));
+        for _ in 0..5 {
+            core.advance();
+            core.cycle();
+            core.try_dispatch(alu_rw(r1, r1));
+        }
+        let cycles = run_empty(&mut core);
+        assert_eq!(core.committed(), 6);
+        assert!(cycles >= 2, "dependences must serialise execution");
+
+        // Independent ops: finish much faster in a 4-wide core.
+        let mut core = Core::new(&small_cfg());
+        for _ in 0..4 {
+            core.try_dispatch(alu());
+        }
+        let fast = run_empty(&mut core);
+        assert!(fast <= cycles, "independent ops should not be slower");
+        assert_eq!(core.committed(), 4);
+    }
+
+    #[test]
+    fn decode_width_limits_dispatch() {
+        let mut core = Core::new(&small_cfg());
+        for i in 0..4 {
+            assert!(
+                matches!(core.try_dispatch(alu()), DispatchOutcome::Dispatched(s) if s == i),
+                "first four dispatch"
+            );
+        }
+        assert_eq!(core.try_dispatch(alu()), DispatchOutcome::Stalled);
+        core.advance();
+        assert!(matches!(core.try_dispatch(alu()), DispatchOutcome::Dispatched(4)));
+    }
+
+    #[test]
+    fn ruu_capacity_stalls_dispatch() {
+        let mut cfg = small_cfg();
+        cfg.ruu_size = 2;
+        cfg.lsq_size = 2;
+        let mut core = Core::new(&cfg);
+        assert!(matches!(core.try_dispatch(alu()), DispatchOutcome::Dispatched(_)));
+        assert!(matches!(core.try_dispatch(alu()), DispatchOutcome::Dispatched(_)));
+        assert_eq!(core.try_dispatch(alu()), DispatchOutcome::Stalled);
+    }
+
+    #[test]
+    fn lsq_capacity_stalls_memory_ops_only() {
+        let mut cfg = small_cfg();
+        cfg.lsq_size = 1;
+        let mut core = Core::new(&cfg);
+        let load = DispatchInstr {
+            class: Some(InstrClass::Load),
+            mem: Some(MemKind::Load { latency: 2 }),
+            ..Default::default()
+        };
+        assert!(matches!(core.try_dispatch(load), DispatchOutcome::Dispatched(_)));
+        assert_eq!(core.try_dispatch(load), DispatchOutcome::Stalled);
+        assert!(matches!(core.try_dispatch(alu()), DispatchOutcome::Dispatched(_)));
+    }
+
+    #[test]
+    fn long_latency_load_delays_commit() {
+        let mut core = Core::new(&small_cfg());
+        let load = DispatchInstr {
+            class: Some(InstrClass::Load),
+            mem: Some(MemKind::Load { latency: 150 }),
+            ..Default::default()
+        };
+        core.try_dispatch(load);
+        let cycles = run_empty(&mut core);
+        assert!(cycles >= 150, "memory latency must show up, took {cycles}");
+    }
+
+    #[test]
+    fn mispredicted_branch_reports_and_squash_cleans() {
+        let mut core = Core::new(&small_cfg());
+        let br = DispatchInstr {
+            class: Some(InstrClass::IntCondBranch),
+            branch: BranchResolution::Mispredict,
+            ..Default::default()
+        };
+        let DispatchOutcome::Dispatched(bseq) = core.try_dispatch(br) else {
+            panic!("dispatches")
+        };
+        // Wrong-path fill.
+        let wp = DispatchInstr { class: Some(InstrClass::IntAlu), wrong_path: true, ..alu() };
+        core.try_dispatch(wp);
+        core.try_dispatch(wp);
+        let mut resolved = None;
+        for _ in 0..10 {
+            if let Some(seq) = core.cycle() {
+                resolved = Some(seq);
+                break;
+            }
+            core.advance();
+        }
+        assert_eq!(resolved, Some(bseq));
+        let squashed = core.squash_after(bseq);
+        assert_eq!(squashed, 2);
+        // The branch itself either committed in the resolving cycle or
+        // is still in flight; either way only it retires.
+        run_empty(&mut core);
+        assert_eq!(core.committed(), 1);
+    }
+
+    #[test]
+    fn squash_unwinds_rename_map() {
+        let r1 = RegId::Int(ssim_isa::Reg::R1);
+        let r9 = RegId::Int(ssim_isa::Reg::R9);
+        let mut cfg = small_cfg();
+        cfg.decode_width = 8;
+        cfg.issue_width = 8;
+        let mut core = Core::new(&cfg);
+        // Producer of r1 (seq 0), then a "branch" (seq 1), then a
+        // wrong-path overwrite of r1 (seq 2).
+        core.try_dispatch(alu_rw(r1, r9));
+        core.try_dispatch(alu());
+        core.try_dispatch(DispatchInstr { wrong_path: true, ..alu_rw(r1, r9) });
+        core.squash_after(1);
+        // A new consumer of r1 must depend on seq 0, not on the squashed
+        // seq 2 — which would otherwise alias the next dispatched seq.
+        let DispatchOutcome::Dispatched(seq) = core.try_dispatch(alu_rw(r9, r1)) else {
+            panic!("dispatches")
+        };
+        assert_eq!(seq, 2, "sequence numbers are reused after squash");
+        // Drain: if the dep pointed at the squashed entry the consumer
+        // would wait on itself and deadlock.
+        run_empty(&mut core);
+        assert_eq!(core.committed(), 3);
+    }
+
+    #[test]
+    fn dep_distance_resolves_to_earlier_seq() {
+        let mut core = Core::new(&small_cfg());
+        // seq 0: long divide producing (synthetically) a value.
+        core.try_dispatch(DispatchInstr { class: Some(InstrClass::IntDiv), ..Default::default() });
+        // seq 1: depends on distance 1 => seq 0.
+        core.try_dispatch(DispatchInstr {
+            class: Some(InstrClass::IntAlu),
+            dep_dists: [Some(1), None],
+            ..Default::default()
+        });
+        let cycles = run_empty(&mut core);
+        assert!(cycles >= 20, "consumer must wait for the divide, took {cycles}");
+    }
+
+    #[test]
+    fn store_to_load_same_word_serialises() {
+        let mut core = Core::new(&small_cfg());
+        let store = DispatchInstr {
+            class: Some(InstrClass::Store),
+            mem: Some(MemKind::Store),
+            mem_dep_addr: Some(64),
+            // Make the store wait on a divide so it stays not-done.
+            dep_dists: [Some(1), None],
+            ..Default::default()
+        };
+        core.try_dispatch(DispatchInstr { class: Some(InstrClass::IntDiv), ..Default::default() });
+        core.try_dispatch(store);
+        let load = DispatchInstr {
+            class: Some(InstrClass::Load),
+            mem: Some(MemKind::Load { latency: 2 }),
+            mem_dep_addr: Some(64),
+            ..Default::default()
+        };
+        core.try_dispatch(load);
+        let cycles = run_empty(&mut core);
+        assert!(cycles >= 20, "load must wait behind the aliasing store, took {cycles}");
+    }
+
+    #[test]
+    fn fu_pool_limits_throughput() {
+        let mut cfg = small_cfg();
+        cfg.decode_width = 8;
+        cfg.issue_width = 8;
+        cfg.ruu_size = 16;
+        cfg.fu.fp_muldiv = 1;
+        let mut core = Core::new(&cfg);
+        for _ in 0..4 {
+            core.try_dispatch(DispatchInstr {
+                class: Some(InstrClass::FpDiv),
+                ..Default::default()
+            });
+        }
+        let cycles = run_empty(&mut core);
+        // One fp divider: 4 divides must start on 4 different cycles.
+        assert!(cycles >= 4 + 12, "pool limit must serialise issues, took {cycles}");
+    }
+
+    #[test]
+    fn in_order_issue_blocks_behind_the_head() {
+        // Head: long divide. Behind it: an independent ALU op. Out of
+        // order the ALU finishes early; in order it waits for the head
+        // to issue first (same cycle is fine) but the *third* op behind
+        // a stalled head must wait.
+        let mut cfg = small_cfg();
+        cfg.in_order_issue = true;
+        let mut core = Core::new(&cfg);
+        // A divide that waits on a (missing-producer) distance handled
+        // as ready — instead make the second op depend on the divide so
+        // the head is a genuine stall for op 3.
+        core.try_dispatch(DispatchInstr { class: Some(InstrClass::IntDiv), ..Default::default() });
+        core.try_dispatch(DispatchInstr {
+            class: Some(InstrClass::IntAlu),
+            dep_dists: [Some(1), None],
+            ..Default::default()
+        });
+        core.try_dispatch(alu());
+        let in_order_cycles = run_empty(&mut core);
+
+        let mut ooo = Core::new(&small_cfg());
+        ooo.try_dispatch(DispatchInstr { class: Some(InstrClass::IntDiv), ..Default::default() });
+        ooo.try_dispatch(DispatchInstr {
+            class: Some(InstrClass::IntAlu),
+            dep_dists: [Some(1), None],
+            ..Default::default()
+        });
+        ooo.try_dispatch(alu());
+        let ooo_cycles = run_empty(&mut ooo);
+        assert!(in_order_cycles >= ooo_cycles, "{in_order_cycles} < {ooo_cycles}");
+    }
+
+    #[test]
+    fn waw_hazard_serialises_without_renaming() {
+        let r1 = RegId::Int(ssim_isa::Reg::R1);
+        let r2 = RegId::Int(ssim_isa::Reg::R2);
+        let run = |anti: bool| -> u64 {
+            let mut cfg = small_cfg();
+            cfg.model_anti_deps = anti;
+            let mut core = Core::new(&cfg);
+            // Divide writing r1, then an independent ALU also writing r1:
+            // with renaming they overlap; without, WAW serialises.
+            core.try_dispatch(DispatchInstr {
+                class: Some(InstrClass::IntDiv),
+                dest: Some(r1),
+                srcs: [Some(r2), None],
+                ..Default::default()
+            });
+            core.try_dispatch(DispatchInstr {
+                class: Some(InstrClass::IntAlu),
+                dest: Some(r1),
+                srcs: [Some(r2), None],
+                ..Default::default()
+            });
+            run_empty(&mut core)
+        };
+        assert!(run(true) > run(false), "WAW must cost cycles without renaming");
+    }
+
+    #[test]
+    fn war_hazard_serialises_without_renaming() {
+        let r1 = RegId::Int(ssim_isa::Reg::R1);
+        let r3 = RegId::Int(ssim_isa::Reg::R3);
+        let run = |anti: bool| -> u64 {
+            let mut cfg = small_cfg();
+            cfg.model_anti_deps = anti;
+            let mut core = Core::new(&cfg);
+            // A slow reader of r1 followed by a writer of r1 (WAR).
+            core.try_dispatch(DispatchInstr {
+                class: Some(InstrClass::IntDiv),
+                dest: Some(r3),
+                srcs: [Some(r1), None],
+                ..Default::default()
+            });
+            core.try_dispatch(DispatchInstr {
+                class: Some(InstrClass::IntAlu),
+                dest: Some(r1),
+                ..Default::default()
+            });
+            run_empty(&mut core)
+        };
+        assert!(run(true) > run(false), "WAR must cost cycles without renaming");
+    }
+
+    #[test]
+    fn synthetic_anti_dep_distances_serialise() {
+        let mut cfg = small_cfg();
+        cfg.model_anti_deps = true;
+        let mut core = Core::new(&cfg);
+        core.try_dispatch(DispatchInstr { class: Some(InstrClass::IntDiv), ..Default::default() });
+        core.try_dispatch(DispatchInstr {
+            class: Some(InstrClass::IntAlu),
+            anti_dep_dists: [Some(1), None],
+            ..Default::default()
+        });
+        let cycles = run_empty(&mut core);
+        assert!(cycles >= 20, "synthetic WAW distance must bind, took {cycles}");
+    }
+
+    #[test]
+    fn occupancy_meters_accumulate() {
+        let mut core = Core::new(&small_cfg());
+        core.try_dispatch(alu());
+        run_empty(&mut core);
+        let (activity, ruu, _lsq) = core.finish();
+        assert!(ruu.mean() > 0.0);
+        assert!(activity.unit(Unit::Dispatch).accesses == 1);
+        assert!(activity.unit(Unit::Ruu).accesses >= 2, "dispatch + writeback + commit");
+    }
+}

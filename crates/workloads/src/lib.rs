@@ -1,0 +1,188 @@
+//! Benchmark programs for the ssim framework.
+//!
+//! The paper evaluates on ten SPEC CINT2000 benchmarks (Table 1). Those
+//! Alpha binaries are not redistributable, so this crate provides ten
+//! programs written in the ssim mini-ISA, **one per SPEC archetype**,
+//! each a real algorithm chosen to echo its namesake's dynamic
+//! behaviour:
+//!
+//! | name      | SPEC analog | algorithm | character |
+//! |-----------|-------------|-----------|-----------|
+//! | `bzip2`   | 256.bzip2   | run-length + move-to-front coding | tight integer loops, data-dependent run lengths |
+//! | `crafty`  | 186.crafty  | bitboard evaluation + hash probes | shift/mask logic, table lookups |
+//! | `eon`     | 252.eon     | ray-marching renderer | floating-point heavy, predictable loops |
+//! | `gcc`     | 176.gcc     | token state machine, hundreds of handlers | huge static footprint, irregular control flow |
+//! | `gzip`    | 164.gzip    | LZ77 hash-chain match finder | string compares, hash-chain walks |
+//! | `parser`  | 197.parser  | recursive-descent expression parser | recursion, hard-to-predict branches |
+//! | `perlbmk` | 253.perlbmk | bytecode interpreter | indirect-branch dispatch |
+//! | `twolf`   | 300.twolf   | simulated-annealing placement | random access, data-dependent accept branch |
+//! | `vortex`  | 255.vortex  | hashed object store | pointer chasing, call-heavy |
+//! | `vpr`     | 175.vpr     | BFS maze router | queue-driven grid walks |
+//!
+//! Every builder takes a `rounds` parameter; the default keeps programs
+//! running for billions of instructions so experiments can simply take
+//! the first *N* dynamic instructions.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssim_workloads::{all, by_name};
+//! use ssim_func::Machine;
+//!
+//! assert_eq!(all().len(), 10);
+//! let w = by_name("gzip").unwrap();
+//! let program = w.program_with_rounds(1);
+//! let executed = Machine::new(&program).take(10_000).count();
+//! assert!(executed > 100);
+//! ```
+
+mod programs;
+mod util;
+
+use ssim_isa::Program;
+
+/// One benchmark in the suite.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    name: &'static str,
+    spec_analog: &'static str,
+    description: &'static str,
+    build: fn(u64) -> Program,
+    default_rounds: u64,
+}
+
+impl Workload {
+    /// The workload's short name (`"gzip"`, `"parser"`, …).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The SPEC CINT2000 benchmark this workload stands in for.
+    pub fn spec_analog(&self) -> &'static str {
+        self.spec_analog
+    }
+
+    /// A one-line description of the algorithm.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// Builds the program with the default (effectively unbounded)
+    /// round count.
+    pub fn program(&self) -> Program {
+        (self.build)(self.default_rounds)
+    }
+
+    /// Builds the program with a specific outer-loop round count
+    /// (useful for short, terminating runs in tests).
+    pub fn program_with_rounds(&self, rounds: u64) -> Program {
+        (self.build)(rounds)
+    }
+}
+
+/// Effectively-unbounded round count used by [`Workload::program`].
+const UNBOUNDED_ROUNDS: u64 = 1 << 40;
+
+/// The full ten-benchmark suite, in the paper's Table 1 order.
+pub fn all() -> &'static [Workload] {
+    static SUITE: [Workload; 10] = [
+        Workload {
+            name: "bzip2",
+            spec_analog: "256.bzip2",
+            description: "run-length encoding + move-to-front over a compressible buffer",
+            build: programs::bzip2::build,
+            default_rounds: UNBOUNDED_ROUNDS,
+        },
+        Workload {
+            name: "crafty",
+            spec_analog: "186.crafty",
+            description: "bitboard attack evaluation with transposition-table probes",
+            build: programs::crafty::build,
+            default_rounds: UNBOUNDED_ROUNDS,
+        },
+        Workload {
+            name: "eon",
+            spec_analog: "252.eon",
+            description: "sphere-field ray-marching renderer",
+            build: programs::eon::build,
+            default_rounds: UNBOUNDED_ROUNDS,
+        },
+        Workload {
+            name: "gcc",
+            spec_analog: "176.gcc",
+            description: "token-driven state machine with hundreds of distinct handlers",
+            build: programs::gcc::build,
+            default_rounds: UNBOUNDED_ROUNDS,
+        },
+        Workload {
+            name: "gzip",
+            spec_analog: "164.gzip",
+            description: "LZ77 hash-chain longest-match search",
+            build: programs::gzip::build,
+            default_rounds: UNBOUNDED_ROUNDS,
+        },
+        Workload {
+            name: "parser",
+            spec_analog: "197.parser",
+            description: "recursive-descent parser over a random token stream",
+            build: programs::parser::build,
+            default_rounds: UNBOUNDED_ROUNDS,
+        },
+        Workload {
+            name: "perlbmk",
+            spec_analog: "253.perlbmk",
+            description: "stack-machine bytecode interpreter with jump-table dispatch",
+            build: programs::perlbmk::build,
+            default_rounds: UNBOUNDED_ROUNDS,
+        },
+        Workload {
+            name: "twolf",
+            spec_analog: "300.twolf",
+            description: "simulated-annealing cell placement on a large grid",
+            build: programs::twolf::build,
+            default_rounds: UNBOUNDED_ROUNDS,
+        },
+        Workload {
+            name: "vortex",
+            spec_analog: "255.vortex",
+            description: "hashed object store with linked-bucket traversal",
+            build: programs::vortex::build,
+            default_rounds: UNBOUNDED_ROUNDS,
+        },
+        Workload {
+            name: "vpr",
+            spec_analog: "175.vpr",
+            description: "breadth-first maze routing on an obstacle grid",
+            build: programs::vpr::build,
+            default_rounds: UNBOUNDED_ROUNDS,
+        },
+    ];
+    &SUITE
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<&'static Workload> {
+    all().iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_unique_names() {
+        let names: Vec<_> = all().iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 10);
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("twolf").is_some());
+        assert_eq!(by_name("twolf").unwrap().spec_analog(), "300.twolf");
+        assert!(by_name("nonesuch").is_none());
+    }
+}

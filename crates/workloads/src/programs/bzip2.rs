@@ -1,0 +1,148 @@
+//! `bzip2` archetype: run-length encoding followed by move-to-front
+//! coding over a compressible byte buffer.
+//!
+//! Mirrors 256.bzip2's character: tight integer byte loops whose trip
+//! counts depend on the data (run lengths), sequential memory streaming
+//! with good spatial locality, and a small hot table (the MTF list).
+
+use crate::util;
+use ssim_isa::{Assembler, Program, Reg};
+
+/// Input buffer size in bytes.
+const SIZE: i64 = 192 * 1024;
+
+/// Builds the program; `rounds` outer compression passes.
+pub fn build(rounds: u64) -> Program {
+    let mut a = Assembler::new("bzip2");
+    let input = a.alloc(SIZE as u64) as i64;
+    let output = a.alloc(2 * SIZE as u64) as i64;
+    let mtf = a.alloc(16) as i64; // 16-symbol move-to-front list (bytes)
+
+    // Register roles.
+    let (i, c, run, k) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+    let (t0, t1, t2) = (Reg::R5, Reg::R6, Reg::R7);
+    let (x, cur, size) = (Reg::R8, Reg::R9, Reg::R10);
+    let (inp, out, sum) = (Reg::R11, Reg::R12, Reg::R13);
+    let (j, idx, b) = (Reg::R14, Reg::R15, Reg::R16);
+    let rounds_reg = Reg::R29;
+
+    a.li(size, SIZE);
+    a.li(inp, input);
+    a.li(out, output);
+
+    // ---- init: fill the input with runs of 4-bit symbols ----
+    a.li(x, 0x1234_5678_9abc_def1u64 as i64);
+    a.li(i, 0);
+    a.li(cur, 0);
+    let init_top = a.here_label();
+    util::xorshift(&mut a, x, t0);
+    a.andi(t1, x, 7);
+    let keep = a.label();
+    a.bne(t1, Reg::R0, keep); // 1-in-8 chance: pick a new symbol
+    a.srli(cur, x, 8);
+    a.andi(cur, cur, 15);
+    a.bind(keep).unwrap();
+    a.add(t2, inp, i);
+    a.sb(t2, 0, cur);
+    a.addi(i, i, 1);
+    a.blt(i, size, init_top);
+
+    // ---- outer rounds ----
+    let round_top = util::round_loop_begin(&mut a, rounds_reg, rounds);
+
+    // RLE pass: scan input, emit (symbol, run-length) pairs.
+    a.li(j, 0);
+    a.li(k, 0);
+    let rle_top = a.here_label();
+    a.add(t0, inp, j);
+    a.lb(c, t0, 0);
+    a.li(run, 1);
+    let run_top = a.here_label();
+    let run_done = a.label();
+    a.add(t0, j, run);
+    a.bge(t0, size, run_done); // end of buffer
+    a.add(t1, inp, t0);
+    a.lb(t2, t1, 0);
+    a.bne(t2, c, run_done); // run broken
+    a.addi(run, run, 1);
+    a.slti(t1, run, 255);
+    a.bne(t1, Reg::R0, run_top); // run capped at 255
+    a.bind(run_done).unwrap();
+    a.add(t0, out, k);
+    a.sb(t0, 0, c);
+    a.sb(t0, 1, run);
+    a.addi(k, k, 2);
+    a.add(j, j, run);
+    a.blt(j, size, rle_top);
+
+    // Reset the MTF list to the identity permutation 0..16.
+    a.li(t0, 0);
+    let mtf_init_top = a.here_label();
+    a.li(t1, mtf);
+    a.add(t1, t1, t0);
+    a.sb(t1, 0, t0);
+    a.addi(t0, t0, 1);
+    a.slti(t1, t0, 16);
+    a.bne(t1, Reg::R0, mtf_init_top);
+
+    // MTF pass over the RLE symbols (every other output byte).
+    a.li(j, 0);
+    a.li(sum, 0);
+    let mtf_top = a.here_label();
+    a.add(t0, out, j);
+    a.lb(b, t0, 0);
+    a.andi(b, b, 15);
+    // Linear search for b in the MTF list.
+    a.li(idx, 0);
+    let search_top = a.here_label();
+    let found = a.label();
+    a.li(t0, mtf);
+    a.add(t0, t0, idx);
+    a.lb(t1, t0, 0);
+    a.beq(t1, b, found);
+    a.addi(idx, idx, 1);
+    a.slti(t0, idx, 16);
+    a.bne(t0, Reg::R0, search_top);
+    a.li(idx, 15); // defensive: symbol always present
+    a.bind(found).unwrap();
+    a.add(sum, sum, idx);
+    // Shift list entries [0, idx) up by one, then put b at the front.
+    let shift_done = a.label();
+    a.mv(t2, idx);
+    let shift_top = a.here_label();
+    a.beq(t2, Reg::R0, shift_done);
+    a.li(t0, mtf);
+    a.add(t0, t0, t2);
+    a.lb(t1, t0, -1);
+    a.sb(t0, 0, t1);
+    a.addi(t2, t2, -1);
+    a.jmp(shift_top);
+    a.bind(shift_done).unwrap();
+    a.li(t0, mtf);
+    a.sb(t0, 0, b);
+    a.addi(j, j, 2);
+    a.blt(j, k, mtf_top);
+
+    util::round_loop_end(&mut a, rounds_reg, round_top);
+    a.finish().expect("bzip2 program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_func::Machine;
+
+    #[test]
+    fn terminates_and_does_work() {
+        let program = build(1);
+        let mut m = Machine::new(&program);
+        let mut n = 0u64;
+        while m.step().is_some() {
+            n += 1;
+            assert!(n < 60_000_000, "runaway");
+        }
+        assert!(m.halted());
+        // The checksum register accumulated MTF indices.
+        assert!(m.reg(Reg::R13) > 0, "MTF checksum must be positive");
+    }
+}

@@ -1,0 +1,145 @@
+//! `crafty` archetype: bitboard attack evaluation with transposition-
+//! table probes.
+//!
+//! Mirrors 186.crafty's character: long chains of shift/mask/popcount
+//! integer logic over 64-bit "bitboards", frequent small-table lookups,
+//! and a hashed transposition table whose probe hit/miss branch is
+//! data-dependent.
+
+use crate::util;
+use ssim_isa::{Assembler, Program, Reg};
+
+/// Transposition-table entries (two words each).
+const TT_ENTRIES: i64 = 1 << 15;
+
+/// Builds the program; `rounds` outer evaluation passes.
+pub fn build(rounds: u64) -> Program {
+    let mut a = Assembler::new("crafty");
+    // 64 precomputed "attack mask" words plus a transposition table.
+    let masks = a.alloc_words(64) as i64;
+    let tt = a.alloc_words(2 * TT_ENTRIES as u64) as i64;
+
+    let (board, occ, sq) = (Reg::R1, Reg::R2, Reg::R3);
+    let (t0, t1, t2, t3) = (Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    let (score, x, bit) = (Reg::R8, Reg::R9, Reg::R10);
+    let (hash, probe, hits) = (Reg::R11, Reg::R12, Reg::R13);
+    let (pop, mask) = (Reg::R14, Reg::R15);
+    let rounds_reg = Reg::R29;
+
+    // ---- init: fill the attack-mask table with mixed constants ----
+    a.li(x, 0x8f0c_a3d5_7b21_e964u64 as i64);
+    a.li(sq, 0);
+    let init_top = a.here_label();
+    util::xorshift(&mut a, x, t0);
+    a.slli(t1, sq, 3);
+    a.li(t2, masks);
+    a.add(t2, t2, t1);
+    a.st(t2, 0, x);
+    a.addi(sq, sq, 1);
+    a.slti(t1, sq, 64);
+    a.bne(t1, Reg::R0, init_top);
+
+    a.li(board, 0x00ff_0000_0000_ff00u64 as i64);
+    a.li(occ, 0xffff_0000_0000_ffffu64 as i64);
+
+    // ---- outer rounds: evaluate all 64 squares ----
+    let round_top = util::round_loop_begin(&mut a, rounds_reg, rounds);
+    a.li(sq, 0);
+    a.li(score, 0);
+    let sq_top = a.here_label();
+    // bit = 1 << sq
+    a.li(t0, 1);
+    a.sll(bit, t0, sq);
+    // Skip empty squares: branch on data-dependent occupancy.
+    let next_sq = a.label();
+    a.and(t0, board, bit);
+    a.beq(t0, Reg::R0, next_sq);
+    // mask = masks[sq] & occ (pseudo attack set)
+    a.slli(t1, sq, 3);
+    a.li(t2, masks);
+    a.add(t2, t2, t1);
+    a.ld(mask, t2, 0);
+    a.and(mask, mask, occ);
+    // popcount(mask) via Kernighan's loop (data-dependent trip count).
+    a.li(pop, 0);
+    a.mv(t0, mask);
+    let pop_top = a.here_label();
+    let pop_done = a.label();
+    a.beq(t0, Reg::R0, pop_done);
+    a.addi(t1, t0, -1);
+    a.and(t0, t0, t1);
+    a.addi(pop, pop, 1);
+    a.jmp(pop_top);
+    a.bind(pop_done).unwrap();
+    a.add(score, score, pop);
+    // Transposition-table probe: hash the (board, sq) pair.
+    a.xor(hash, board, mask);
+    a.slli(t0, sq, 5);
+    a.xor(hash, hash, t0);
+    a.mul(hash, hash, hash); // squaring mixes bits further
+    a.srli(t0, hash, 17);
+    a.xor(hash, hash, t0);
+    a.andi(t1, hash, TT_ENTRIES - 1);
+    a.slli(t1, t1, 4); // 16 bytes per entry
+    a.li(t2, tt);
+    a.add(probe, t2, t1);
+    a.ld(t3, probe, 0);
+    let tt_miss = a.label();
+    let tt_done = a.label();
+    a.bne(t3, hash, tt_miss);
+    a.addi(hits, hits, 1); // hit: reuse stored score
+    a.ld(t3, probe, 8);
+    a.add(score, score, t3);
+    a.jmp(tt_done);
+    a.bind(tt_miss).unwrap(); // miss: store the entry
+    a.st(probe, 0, hash);
+    a.st(probe, 8, pop);
+    a.bind(tt_done).unwrap();
+    // Evolve the board so successive rounds differ.
+    a.bind(next_sq).unwrap();
+    a.addi(sq, sq, 1);
+    a.slti(t0, sq, 64);
+    a.bne(t0, Reg::R0, sq_top);
+    // Rotate board and occupancy: the state orbit is periodic, so
+    // transposition probes start hitting after one full cycle.
+    a.slli(t0, board, 1);
+    a.srli(t1, board, 63);
+    a.or(board, t0, t1);
+    a.slli(t0, occ, 3);
+    a.srli(t1, occ, 61);
+    a.or(occ, t0, t1);
+
+    util::round_loop_end(&mut a, rounds_reg, round_top);
+    a.finish().expect("crafty program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_func::Machine;
+
+    #[test]
+    fn terminates_and_scores() {
+        let program = build(50);
+        let mut m = Machine::new(&program);
+        let mut n = 0u64;
+        while m.step().is_some() {
+            n += 1;
+            assert!(n < 10_000_000, "runaway");
+        }
+        assert!(m.halted());
+        assert!(n > 10_000);
+    }
+
+    #[test]
+    fn transposition_table_eventually_hits() {
+        let program = build(3000);
+        let mut m = Machine::new(&program);
+        for _ in 0..2_000_000 {
+            if m.step().is_none() {
+                break;
+            }
+        }
+        assert!(m.reg(Reg::R13) > 0, "expected TT hits after many rounds");
+    }
+}

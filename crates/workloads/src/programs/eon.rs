@@ -1,0 +1,143 @@
+//! `eon` archetype: a sphere-field ray-marching renderer.
+//!
+//! Mirrors 252.eon's character: floating-point dominated inner loops
+//! (multiply/add/sqrt/divide), mostly predictable control flow, and a
+//! small data footprint (the framebuffer is write-mostly).
+
+use crate::util;
+use ssim_isa::{Assembler, FReg, Program, Reg};
+
+/// Framebuffer edge length (pixels).
+const WIDTH: i64 = 64;
+
+/// Builds the program; `rounds` rendered frames.
+pub fn build(rounds: u64) -> Program {
+    let mut a = Assembler::new("eon");
+    let framebuf = a.alloc_words((WIDTH * WIDTH) as u64) as i64;
+
+    let (px, py, iter) = (Reg::R1, Reg::R2, Reg::R3);
+    let (t0, t1) = (Reg::R4, Reg::R5);
+    let (fb, frame) = (Reg::R6, Reg::R7);
+    let rounds_reg = Reg::R29;
+    // FP roles.
+    let (ox, oy, oz) = (FReg::F1, FReg::F2, FReg::F3); // ray position
+    let (dx, dy, dz) = (FReg::F4, FReg::F5, FReg::F6); // ray direction
+    let (dist, total) = (FReg::F7, FReg::F8);
+    let (f0, f1, f2) = (FReg::F9, FReg::F10, FReg::F11);
+    let (half, eps, far, cell) = (FReg::F12, FReg::F13, FReg::F14, FReg::F15);
+    let scale = FReg::F16;
+
+    a.li(fb, framebuf);
+    a.fconst(half, 0.5);
+    a.fconst(eps, 0.05);
+    a.fconst(far, 20.0);
+    a.fconst(cell, 4.0);
+    a.fconst(scale, 1.0 / WIDTH as f64);
+
+    let round_top = util::round_loop_begin(&mut a, rounds_reg, rounds);
+    a.li(py, 0);
+    let row_top = a.here_label();
+    a.li(px, 0);
+    let col_top = a.here_label();
+
+    // Ray setup: origin at (px*s, py*s, 0), direction (~0.3, ~0.2, 1)/|d|.
+    a.fcvt(dx, px);
+    a.fmul(ox, dx, scale);
+    a.fcvt(dy, py);
+    a.fmul(oy, dy, scale);
+    a.fcvt(oz, frame);
+    a.fmul(oz, oz, eps); // frames advance the camera slowly
+    a.fmul(dx, ox, half);
+    a.fmul(dy, oy, half);
+    a.fconst(dz, 1.0);
+    // Normalise: len = sqrt(dx^2 + dy^2 + 1), d /= len.
+    a.fmul(f0, dx, dx);
+    a.fmul(f1, dy, dy);
+    a.fadd(f0, f0, f1);
+    a.fadd(f0, f0, dz);
+    a.fsqrt(f0, f0);
+    a.fdiv(dx, dx, f0);
+    a.fdiv(dy, dy, f0);
+    a.fdiv(dz, dz, f0);
+
+    // March: distance to a repeating sphere lattice, step by the
+    // estimate, stop when close (hit) or past the far plane (miss).
+    a.fsub(total, total, total); // total = 0
+    a.li(iter, 0);
+    let march_top = a.here_label();
+    let march_hit = a.label();
+    let march_done = a.label();
+    // q = fract-ish: q = o - cell*floor-ish(o/cell) - cell/2, per axis,
+    // approximated with integer truncation (positive coordinates only).
+    a.fdiv(f0, ox, cell);
+    a.fcvti(t0, f0);
+    a.fcvt(f0, t0);
+    a.fmul(f0, f0, cell);
+    a.fsub(f0, ox, f0); // f0 = ox mod cell
+    a.fmul(f1, oy, half);
+    a.fmul(f2, oz, half);
+    // dist = sqrt(f0^2 + f1^2 + f2^2) - 1.0 (sphere radius 1)
+    a.fmul(f0, f0, f0);
+    a.fmul(f1, f1, f1);
+    a.fadd(f0, f0, f1);
+    a.fmul(f2, f2, f2);
+    a.fadd(f0, f0, f2);
+    a.fsqrt(dist, f0);
+    a.fconst(f1, 1.0);
+    a.fsub(dist, dist, f1);
+    a.fblt(dist, eps, march_hit); // close enough: hit
+    // Advance the ray: o += d * dist.
+    a.fmul(f0, dx, dist);
+    a.fadd(ox, ox, f0);
+    a.fmul(f0, dy, dist);
+    a.fadd(oy, oy, f0);
+    a.fmul(f0, dz, dist);
+    a.fadd(oz, oz, f0);
+    a.fadd(total, total, dist);
+    a.fbge(total, far, march_done); // escaped
+    a.addi(iter, iter, 1);
+    a.slti(t0, iter, 48);
+    a.bne(t0, Reg::R0, march_top);
+    a.jmp(march_done);
+    a.bind(march_hit).unwrap();
+    a.addi(iter, iter, 100); // shade hits differently
+    a.bind(march_done).unwrap();
+
+    // Store the iteration count as the pixel value.
+    a.li(t0, WIDTH);
+    a.mul(t0, py, t0);
+    a.add(t0, t0, px);
+    a.slli(t0, t0, 3);
+    a.add(t1, fb, t0);
+    a.st(t1, 0, iter);
+
+    a.addi(px, px, 1);
+    a.li(t0, WIDTH);
+    a.blt(px, t0, col_top);
+    a.addi(py, py, 1);
+    a.li(t0, WIDTH);
+    a.blt(py, t0, row_top);
+    a.addi(frame, frame, 1);
+
+    util::round_loop_end(&mut a, rounds_reg, round_top);
+    a.finish().expect("eon program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_func::Machine;
+
+    #[test]
+    fn renders_a_frame() {
+        let program = build(1);
+        let mut m = Machine::new(&program);
+        let mut n = 0u64;
+        while m.step().is_some() {
+            n += 1;
+            assert!(n < 30_000_000, "runaway");
+        }
+        assert!(m.halted());
+        assert!(n > 100_000, "a frame is substantial work, got {n}");
+    }
+}

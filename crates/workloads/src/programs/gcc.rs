@@ -1,0 +1,216 @@
+//! `gcc` archetype: a token-driven state machine with hundreds of
+//! distinct handler blocks.
+//!
+//! Mirrors 176.gcc's character: an unusually large *static* code
+//! footprint (the paper's Table 3 shows gcc's SFG is 20–60× bigger than
+//! the other benchmarks'), irregular control flow spread over many basic
+//! blocks, and noticeable instruction-cache and BTB pressure. The
+//! builder procedurally emits `HANDLERS` structurally distinct handler
+//! blocks selected through a two-stage dispatch (jump table + nested
+//! compare chains).
+
+use crate::util;
+use ssim_isa::{Assembler, Label, Program, Reg};
+
+/// Number of distinct handler blocks to generate.
+const HANDLERS: usize = 384;
+/// Token ring buffer length (words).
+const TOKENS: i64 = 4096;
+
+/// Builds the program; `rounds` passes over the token stream.
+pub fn build(rounds: u64) -> Program {
+    let mut a = Assembler::new("gcc");
+    let tokens = a.alloc_words(TOKENS as u64) as i64;
+    let symtab = a.alloc_words(1 << 12) as i64;
+
+    let (i, tok, acc) = (Reg::R1, Reg::R2, Reg::R3);
+    let (t0, t1, t2) = (Reg::R4, Reg::R5, Reg::R6);
+    let (x, state) = (Reg::R7, Reg::R8);
+    let (tokbase, symbase) = (Reg::R9, Reg::R10);
+    let rounds_reg = Reg::R29;
+
+    a.li(tokbase, tokens);
+    a.li(symbase, symtab);
+
+    // ---- init: token stream with a skewed distribution ----
+    a.li(x, 0x51ed_270b_9143_8ac7u64 as i64);
+    a.li(i, 0);
+    let init_top = a.here_label();
+    util::xorshift(&mut a, x, t0);
+    // Token streams from real front-ends are bursty: with probability
+    // 3/4 the previous token repeats (same construct continuing),
+    // otherwise a fresh skewed draw — min of two draws biases toward
+    // small token values. Draws are shifted right first so the signed
+    // remainder always sees a non-negative operand.
+    let fresh = a.label();
+    let chosen = a.label();
+    a.andi(t0, x, 3);
+    a.beq(t0, Reg::R0, fresh);
+    a.mv(t2, tok); // repeat the previous token
+    a.jmp(chosen);
+    a.bind(fresh).unwrap();
+    a.li(t1, HANDLERS as i64);
+    a.srli(t2, x, 1);
+    a.rem(t2, t2, t1);
+    a.srli(t0, x, 23);
+    a.rem(t0, t0, t1);
+    let keep = a.label();
+    a.blt(t2, t0, keep);
+    a.mv(t2, t0);
+    a.bind(keep).unwrap();
+    a.bind(chosen).unwrap();
+    a.mv(tok, t2);
+    a.slli(t0, i, 3);
+    a.add(t0, tokbase, t0);
+    a.st(t0, 0, t2);
+    a.addi(i, i, 1);
+    a.li(t0, TOKENS);
+    a.blt(i, t0, init_top);
+
+    // ---- handler labels and dispatch table ----
+    // First-stage dispatch: jump table over tok / 8 (HANDLERS/8 groups);
+    // second stage: compare chain over tok % 8 inside each group.
+    let handler_labels: Vec<Label> = (0..HANDLERS).map(|_| a.label()).collect();
+    let group_labels: Vec<Label> = (0..HANDLERS / 8).map(|_| a.label()).collect();
+    let table = a.jump_table(&group_labels) as i64;
+
+    let round_top = util::round_loop_begin(&mut a, rounds_reg, rounds);
+    a.li(i, 0);
+    a.li(state, 0);
+    let scan_top = a.here_label();
+    let after_handler = a.label();
+    // Load the next token.
+    a.slli(t0, i, 3);
+    a.add(t0, tokbase, t0);
+    a.ld(tok, t0, 0);
+    // Stage 1: indirect jump to the token's group.
+    a.srli(t1, tok, 3);
+    a.slli(t1, t1, 3);
+    a.li(t2, table);
+    a.add(t2, t2, t1);
+    a.ld(t1, t2, 0);
+    a.jr(t1);
+
+    // Stage 2 + handlers, generated per group.
+    for (g, group) in group_labels.iter().enumerate() {
+        a.bind(*group).unwrap();
+        a.andi(t0, tok, 7);
+        // Compare chain: 8 members per group.
+        for member in 0..8usize {
+            let h = handler_labels[g * 8 + member];
+            if member < 7 {
+                a.li(t1, member as i64);
+                a.beq(t0, t1, h);
+            } else {
+                a.jmp(h); // last member is the fall-through
+            }
+        }
+    }
+
+    // Handler bodies: structurally varied so each is a distinct set of
+    // basic blocks with its own instruction mix.
+    for (h, label) in handler_labels.iter().enumerate() {
+        a.bind(*label).unwrap();
+        let variant = h % 6;
+        let salt = (h as i64).wrapping_mul(0x9e37) & 0xffff;
+        match variant {
+            0 => {
+                // Symbol-table read/modify/write.
+                a.xori(t0, tok, salt);
+                a.andi(t0, t0, (1 << 12) - 1);
+                a.slli(t0, t0, 3);
+                a.add(t0, symbase, t0);
+                a.ld(t1, t0, 0);
+                a.addi(t1, t1, 1);
+                a.st(t0, 0, t1);
+                a.add(acc, acc, t1);
+            }
+            1 => {
+                // Pure ALU chain.
+                a.slli(t0, tok, 2);
+                a.xori(t0, t0, salt);
+                a.add(acc, acc, t0);
+                a.srli(t1, acc, 7);
+                a.xor(acc, acc, t1);
+            }
+            2 => {
+                // Conditional state update (extra branch).
+                let skip = a.label();
+                a.andi(t0, acc, 1);
+                a.beq(t0, Reg::R0, skip);
+                a.addi(state, state, 1);
+                a.bind(skip).unwrap();
+                a.add(acc, acc, state);
+            }
+            3 => {
+                // Multiply/divide heavy.
+                a.ori(t0, tok, 1);
+                a.mul(t1, t0, t0);
+                a.addi(t2, tok, 3);
+                a.div(t1, t1, t2);
+                a.add(acc, acc, t1);
+            }
+            4 => {
+                // Double symbol-table probe.
+                a.addi(t0, tok, salt);
+                a.andi(t0, t0, (1 << 12) - 1);
+                a.slli(t0, t0, 3);
+                a.add(t0, symbase, t0);
+                a.ld(t1, t0, 0);
+                a.xori(t2, tok, 0x55);
+                a.andi(t2, t2, (1 << 12) - 1);
+                a.slli(t2, t2, 3);
+                a.add(t2, symbase, t2);
+                a.ld(t2, t2, 0);
+                a.add(acc, acc, t1);
+                a.add(acc, acc, t2);
+            }
+            _ => {
+                // State-machine transition with a short loop.
+                a.andi(t0, tok, 3);
+                a.addi(t0, t0, 1);
+                let spin = a.here_label();
+                a.add(acc, acc, state);
+                a.addi(t0, t0, -1);
+                a.bne(t0, Reg::R0, spin);
+                a.xori(state, state, salt & 7);
+            }
+        }
+        a.jmp(after_handler);
+    }
+
+    a.bind(after_handler).unwrap();
+    a.addi(i, i, 1);
+    a.li(t0, TOKENS);
+    a.blt(i, t0, scan_top);
+
+    util::round_loop_end(&mut a, rounds_reg, round_top);
+    a.finish().expect("gcc program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_func::Machine;
+
+    #[test]
+    fn has_large_static_footprint() {
+        let program = build(1);
+        assert!(program.len() > 3_000, "gcc archetype needs a big code image, got {}", program.len());
+    }
+
+    #[test]
+    fn terminates_and_touches_many_pcs() {
+        let program = build(1);
+        let mut m = Machine::new(&program);
+        let mut pcs = std::collections::HashSet::new();
+        let mut n = 0u64;
+        while let Some(e) = m.step() {
+            pcs.insert(e.pc);
+            n += 1;
+            assert!(n < 20_000_000, "runaway");
+        }
+        assert!(m.halted());
+        assert!(pcs.len() > 1_500, "expected broad code coverage, got {} PCs", pcs.len());
+    }
+}

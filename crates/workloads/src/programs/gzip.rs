@@ -1,0 +1,176 @@
+//! `gzip` archetype: LZ77 longest-match search with hash chains.
+//!
+//! Mirrors 164.gzip's character: a hash of the next 3 bytes indexes a
+//! head table; candidate positions are walked through a chain table
+//! while byte-by-byte string comparison loops run with data-dependent
+//! trip counts.
+
+use crate::util;
+use ssim_isa::{Assembler, Program, Reg};
+
+/// Input window size in bytes (must be a power of two).
+const WINDOW: i64 = 64 * 1024;
+/// Hash-head table entries.
+const HEADS: i64 = 1 << 13;
+/// Maximum chain walk length per position.
+const MAX_CHAIN: i64 = 8;
+/// Maximum match length.
+const MAX_MATCH: i64 = 64;
+
+/// Builds the program; `rounds` compression passes over the window.
+pub fn build(rounds: u64) -> Program {
+    let mut a = Assembler::new("gzip");
+    let window = a.alloc(WINDOW as u64) as i64;
+    let heads = a.alloc_words(HEADS as u64) as i64;
+    let chains = a.alloc_words(WINDOW as u64) as i64; // prev-position per offset
+
+    let (pos, hash, cand) = (Reg::R1, Reg::R2, Reg::R3);
+    let (t0, t1, t2, t3) = (Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    let (x, best, len) = (Reg::R8, Reg::R9, Reg::R10);
+    let (win, hd, ch) = (Reg::R11, Reg::R12, Reg::R13);
+    let (depth, emitted, limit) = (Reg::R14, Reg::R15, Reg::R16);
+    let rounds_reg = Reg::R29;
+
+    a.li(win, window);
+    a.li(hd, heads);
+    a.li(ch, chains);
+
+    // ---- init: compressible text in the window ----
+    // With probability 3/4 the byte copies the one `LAG` positions back
+    // (long literal repeats, like natural text); otherwise a fresh
+    // 16-symbol draw. This yields the long matches and predictable
+    // compare loops real gzip inputs exhibit.
+    const LAG: i64 = 24;
+    a.li(x, 0x243f_6a88_85a3_08d3u64 as i64);
+    a.li(t3, 0);
+    let init_top = a.here_label();
+    util::xorshift(&mut a, x, t0);
+    a.andi(t1, x, 15); // fresh symbol
+    let have_byte = a.label();
+    a.andi(t0, x, 3);
+    a.beq(t0, Reg::R0, have_byte); // 1/4: keep the fresh draw
+    a.slti(t0, t3, LAG);
+    a.bne(t0, Reg::R0, have_byte); // too early to copy
+    a.add(t0, win, t3);
+    a.lb(t1, t0, -LAG); // copy from LAG bytes back
+    a.bind(have_byte).unwrap();
+    a.add(t0, win, t3);
+    a.sb(t0, 0, t1);
+    a.addi(t3, t3, 1);
+    a.li(t0, WINDOW);
+    a.blt(t3, t0, init_top);
+
+    // ---- outer rounds ----
+    let round_top = util::round_loop_begin(&mut a, rounds_reg, rounds);
+    // Clear hash heads (sentinel: 0 = empty; position 0 is never a
+    // candidate, an acceptable approximation).
+    a.li(t0, 0);
+    let clear_top = a.here_label();
+    a.slli(t1, t0, 3);
+    a.add(t1, hd, t1);
+    a.st(t1, 0, Reg::R0);
+    a.addi(t0, t0, 1);
+    a.li(t1, HEADS);
+    a.blt(t0, t1, clear_top);
+
+    a.li(pos, 0);
+    a.li(emitted, 0);
+    a.li(limit, WINDOW - MAX_MATCH - 8);
+    let scan_top = a.here_label();
+    // hash = ((w[pos] << 10) ^ (w[pos+1] << 5) ^ w[pos+2]) & (HEADS-1)
+    a.add(t0, win, pos);
+    a.lb(t1, t0, 0);
+    a.slli(hash, t1, 10);
+    a.lb(t1, t0, 1);
+    a.slli(t1, t1, 5);
+    a.xor(hash, hash, t1);
+    a.lb(t1, t0, 2);
+    a.xor(hash, hash, t1);
+    a.andi(hash, hash, HEADS - 1);
+    // cand = heads[hash]; heads[hash] = pos; chains[pos] = cand.
+    a.slli(t0, hash, 3);
+    a.add(t0, hd, t0);
+    a.ld(cand, t0, 0);
+    a.st(t0, 0, pos);
+    a.slli(t1, pos, 3);
+    a.add(t1, ch, t1);
+    a.st(t1, 0, cand);
+
+    // Walk the chain looking for the longest match.
+    a.li(best, 0);
+    a.li(depth, 0);
+    let chain_top = a.here_label();
+    let chain_done = a.label();
+    a.beq(cand, Reg::R0, chain_done); // empty slot
+    a.bge(cand, pos, chain_done); // stale entry from a previous round
+    a.li(t0, MAX_CHAIN);
+    a.bge(depth, t0, chain_done);
+    // Compare window[cand..] with window[pos..].
+    a.li(len, 0);
+    let cmp_top = a.here_label();
+    let cmp_done = a.label();
+    a.add(t0, win, cand);
+    a.add(t0, t0, len);
+    a.lb(t1, t0, 0);
+    a.add(t0, win, pos);
+    a.add(t0, t0, len);
+    a.lb(t2, t0, 0);
+    a.bne(t1, t2, cmp_done);
+    a.addi(len, len, 1);
+    a.li(t0, MAX_MATCH);
+    a.blt(len, t0, cmp_top);
+    a.bind(cmp_done).unwrap();
+    let not_better = a.label();
+    a.bge(best, len, not_better);
+    a.mv(best, len);
+    a.bind(not_better).unwrap();
+    // Follow the chain.
+    a.slli(t0, cand, 3);
+    a.add(t0, ch, t0);
+    a.ld(cand, t0, 0);
+    a.addi(depth, depth, 1);
+    a.jmp(chain_top);
+    a.bind(chain_done).unwrap();
+
+    // Emit: long matches skip ahead, otherwise a literal.
+    let literal = a.label();
+    let advanced = a.label();
+    a.slti(t0, best, 3);
+    a.bne(t0, Reg::R0, literal);
+    a.add(pos, pos, best); // match: skip best bytes
+    a.addi(emitted, emitted, 1);
+    a.jmp(advanced);
+    a.bind(literal).unwrap();
+    a.addi(pos, pos, 1);
+    a.addi(emitted, emitted, 1);
+    a.bind(advanced).unwrap();
+    a.blt(pos, limit, scan_top);
+
+    util::round_loop_end(&mut a, rounds_reg, round_top);
+    a.finish().expect("gzip program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_func::Machine;
+
+    #[test]
+    fn compresses_the_window() {
+        let program = build(1);
+        let mut m = Machine::new(&program);
+        let mut n = 0u64;
+        while m.step().is_some() {
+            n += 1;
+            assert!(n < 120_000_000, "runaway");
+        }
+        assert!(m.halted());
+        let emitted = m.reg(Reg::R15);
+        assert!(emitted > 0);
+        // Matches must actually occur: emitted symbols < window positions.
+        assert!(
+            (emitted as i64) < WINDOW - MAX_MATCH - 8,
+            "no compression happened: emitted = {emitted}"
+        );
+    }
+}

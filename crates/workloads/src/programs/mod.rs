@@ -1,0 +1,103 @@
+//! The ten benchmark program builders.
+//!
+//! Each submodule exposes `build(rounds) -> Program`. All programs share
+//! the same shape: an initialisation phase (executed once) followed by
+//! an outer loop of `rounds` work rounds, so callers can either bound
+//! execution by rounds or simply take the first *N* dynamic
+//! instructions of an effectively unbounded run.
+
+pub mod bzip2;
+pub mod crafty;
+pub mod eon;
+pub mod gcc;
+pub mod gzip;
+pub mod parser;
+pub mod perlbmk;
+pub mod twolf;
+pub mod vortex;
+pub mod vpr;
+
+#[cfg(test)]
+mod tests {
+    use crate::all;
+    use ssim_func::Machine;
+    use ssim_isa::InstrClass;
+    use std::collections::BTreeMap;
+
+    /// Every workload must terminate cleanly when given few rounds.
+    #[test]
+    fn all_workloads_terminate_with_bounded_rounds() {
+        for w in all() {
+            let program = w.program_with_rounds(2);
+            let mut m = Machine::new(&program);
+            let mut steps = 0u64;
+            while m.step().is_some() {
+                steps += 1;
+                assert!(
+                    steps < 80_000_000,
+                    "{} did not halt within 80M instructions",
+                    w.name()
+                );
+            }
+            assert!(m.halted(), "{} must halt", w.name());
+            assert!(steps > 1_000, "{} ran only {steps} instructions", w.name());
+        }
+    }
+
+    /// Every workload must sustain an unbounded run long enough for
+    /// profiling (no early halt within 2M instructions).
+    #[test]
+    fn all_workloads_sustain_long_runs() {
+        for w in all() {
+            let program = w.program();
+            let n = Machine::new(&program).take(2_000_000).count();
+            assert_eq!(n, 2_000_000, "{} halted early", w.name());
+        }
+    }
+
+    /// Workloads must be deterministic: two runs produce identical
+    /// streams.
+    #[test]
+    fn workloads_are_deterministic() {
+        for w in all() {
+            let program = w.program();
+            let a: Vec<_> = Machine::new(&program).take(50_000).map(|e| (e.pc, e.mem_addr)).collect();
+            let b: Vec<_> = Machine::new(&program).take(50_000).map(|e| (e.pc, e.mem_addr)).collect();
+            assert_eq!(a, b, "{} is nondeterministic", w.name());
+        }
+    }
+
+    /// The suite must exhibit diverse instruction mixes: perlbmk has
+    /// indirect branches, eon is FP-heavy, everything has loads and
+    /// conditional branches.
+    #[test]
+    fn suite_mixes_are_diverse() {
+        let mut mixes: BTreeMap<&str, BTreeMap<InstrClass, u64>> = BTreeMap::new();
+        for w in all() {
+            let program = w.program();
+            let mut mix = BTreeMap::new();
+            // Skip the initialisation phase (buffer filling is
+            // store-only), like the paper skips each benchmark's warmup.
+            for e in Machine::new(&program).skip(4_000_000).take(500_000) {
+                *mix.entry(e.class()).or_insert(0) += 1;
+            }
+            mixes.insert(w.name(), mix);
+        }
+        for (name, mix) in &mixes {
+            assert!(mix.get(&InstrClass::Load).copied().unwrap_or(0) > 0, "{name}: no loads");
+            assert!(
+                mix.get(&InstrClass::IntCondBranch).copied().unwrap_or(0) > 0,
+                "{name}: no branches"
+            );
+        }
+        let indirect = mixes["perlbmk"].get(&InstrClass::IndirectBranch).copied().unwrap_or(0);
+        assert!(indirect > 10_000, "perlbmk must be dispatch-dominated, got {indirect}");
+        let fp: u64 = [InstrClass::FpAlu, InstrClass::FpMul, InstrClass::FpDiv, InstrClass::FpSqrt]
+            .iter()
+            .map(|c| mixes["eon"].get(c).copied().unwrap_or(0))
+            .sum();
+        assert!(fp > 100_000, "eon must be FP-heavy, got {fp}");
+        let stores = mixes["twolf"].get(&InstrClass::Store).copied().unwrap_or(0);
+        assert!(stores > 1_000, "twolf must store, got {stores}");
+    }
+}

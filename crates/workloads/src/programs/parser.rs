@@ -1,0 +1,255 @@
+//! `parser` archetype: a recursive-descent expression parser.
+//!
+//! Mirrors 197.parser's character: deep call/return activity, recursion
+//! through a software stack, and branch behaviour driven by an
+//! essentially random token stream — the hardest benchmark for the
+//! paper's IPC prediction (Figure 6 shows parser's largest error) and
+//! one of the most mispredict-heavy.
+//!
+//! The token stream is a syntactically valid random expression sequence
+//! generated at build time; the assembly parses it with the grammar
+//!
+//! ```text
+//! expr   := term (('+' | '-') term)*
+//! term   := factor (('*' | '/') factor)*
+//! factor := NUM | '(' expr ')'
+//! ```
+
+use crate::util;
+use ssim_isa::{Assembler, Program, Reg};
+
+/// Token kinds (low 3 bits of each token word).
+const NUM: u64 = 0;
+const PLUS: u64 = 1;
+const MINUS: u64 = 2;
+const MUL: u64 = 3;
+const DIV: u64 = 4;
+const LPAREN: u64 = 5;
+const RPAREN: u64 = 6;
+const SEP: u64 = 7;
+
+/// Approximate token stream length.
+const TOKENS: usize = 24 * 1024;
+/// Maximum parenthesis nesting depth in generated expressions.
+const MAX_DEPTH: u32 = 10;
+
+/// Generates a valid random token stream: expressions separated by SEP.
+fn generate_tokens() -> Vec<u64> {
+    let mut rng = 0x6a09_e667_f3bc_c909u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut out = Vec::with_capacity(TOKENS + 64);
+
+    fn factor(out: &mut Vec<u64>, next: &mut impl FnMut() -> u64, depth: u32) {
+        if depth < MAX_DEPTH && next() % 4 == 0 {
+            out.push(LPAREN);
+            expr(out, next, depth + 1);
+            out.push(RPAREN);
+        } else {
+            let value = next() % 1000;
+            out.push(NUM | (value << 3));
+        }
+    }
+    fn term(out: &mut Vec<u64>, next: &mut impl FnMut() -> u64, depth: u32) {
+        factor(out, next, depth);
+        while next() % 10 < 3 {
+            out.push(if next() % 3 == 0 { DIV } else { MUL });
+            factor(out, next, depth);
+        }
+    }
+    fn expr(out: &mut Vec<u64>, next: &mut impl FnMut() -> u64, depth: u32) {
+        term(out, next, depth);
+        while next() % 10 < 4 {
+            out.push(if next() % 2 == 0 { PLUS } else { MINUS });
+            term(out, next, depth);
+        }
+    }
+
+    while out.len() < TOKENS {
+        expr(&mut out, &mut next, 0);
+        out.push(SEP);
+    }
+    out
+}
+
+/// Builds the program; `rounds` full parses of the token stream.
+pub fn build(rounds: u64) -> Program {
+    let stream = generate_tokens();
+    let ntokens = stream.len() as i64;
+
+    let mut a = Assembler::new("parser");
+    util::init_stack(&mut a, 128 << 10);
+    let tokens = a.alloc_words(stream.len() as u64) as i64;
+    a.words(tokens as u64, &stream).expect("token stream fits in memory");
+
+    // Register roles (preserved across the recursive routines by
+    // construction: each routine only clobbers temporaries and rv).
+    let (ci, cur, rv) = (Reg::R17, Reg::R18, Reg::R20);
+    let (t0, t1) = (Reg::R4, Reg::R5);
+    let (tokbase, ntok, sum) = (Reg::R21, Reg::R22, Reg::R23);
+    let rounds_reg = Reg::R29;
+    let sp = util::SP;
+
+    a.li(tokbase, tokens);
+    a.li(ntok, ntokens);
+
+    let advance = a.label();
+    let parse_expr = a.label();
+    let parse_term = a.label();
+    let parse_factor = a.label();
+
+    // ---- main ----
+    let round_top = util::round_loop_begin(&mut a, rounds_reg, rounds);
+    a.li(ci, 0);
+    a.call(advance); // prime `cur`
+    let exprs_top = a.here_label();
+    a.call(parse_expr);
+    a.add(sum, sum, rv);
+    // After an expression, `cur` is SEP; if tokens remain, advance past
+    // it and parse the next expression.
+    let round_done = a.label();
+    a.bge(ci, ntok, round_done);
+    a.call(advance);
+    a.jmp(exprs_top);
+    a.bind(round_done).unwrap();
+    util::round_loop_end(&mut a, rounds_reg, round_top);
+
+    // ---- advance: cur = tokens[ci]; ci += 1 (leaf) ----
+    a.bind(advance).unwrap();
+    a.slli(t0, ci, 3);
+    a.add(t0, tokbase, t0);
+    a.ld(cur, t0, 0);
+    a.addi(ci, ci, 1);
+    a.ret();
+
+    // ---- parse_expr ----
+    a.bind(parse_expr).unwrap();
+    util::push_link(&mut a);
+    a.call(parse_term);
+    let expr_loop = a.here_label();
+    let expr_done = a.label();
+    let expr_minus = a.label();
+    let expr_combine_add = a.label();
+    a.andi(t0, cur, 7);
+    a.li(t1, PLUS as i64);
+    a.beq(t0, t1, expr_combine_add);
+    a.li(t1, MINUS as i64);
+    a.beq(t0, t1, expr_minus);
+    a.jmp(expr_done);
+    a.bind(expr_combine_add).unwrap();
+    a.addi(sp, sp, -8);
+    a.st(sp, 0, rv);
+    a.call(advance);
+    a.call(parse_term);
+    a.ld(t0, sp, 0);
+    a.addi(sp, sp, 8);
+    a.add(rv, t0, rv);
+    a.jmp(expr_loop);
+    a.bind(expr_minus).unwrap();
+    a.addi(sp, sp, -8);
+    a.st(sp, 0, rv);
+    a.call(advance);
+    a.call(parse_term);
+    a.ld(t0, sp, 0);
+    a.addi(sp, sp, 8);
+    a.sub(rv, t0, rv);
+    a.jmp(expr_loop);
+    a.bind(expr_done).unwrap();
+    util::pop_link_ret(&mut a);
+
+    // ---- parse_term ----
+    a.bind(parse_term).unwrap();
+    util::push_link(&mut a);
+    a.call(parse_factor);
+    let term_loop = a.here_label();
+    let term_done = a.label();
+    let term_div = a.label();
+    let term_combine_mul = a.label();
+    a.andi(t0, cur, 7);
+    a.li(t1, MUL as i64);
+    a.beq(t0, t1, term_combine_mul);
+    a.li(t1, DIV as i64);
+    a.beq(t0, t1, term_div);
+    a.jmp(term_done);
+    a.bind(term_combine_mul).unwrap();
+    a.addi(sp, sp, -8);
+    a.st(sp, 0, rv);
+    a.call(advance);
+    a.call(parse_factor);
+    a.ld(t0, sp, 0);
+    a.addi(sp, sp, 8);
+    a.mul(rv, t0, rv);
+    a.jmp(term_loop);
+    a.bind(term_div).unwrap();
+    a.addi(sp, sp, -8);
+    a.st(sp, 0, rv);
+    a.call(advance);
+    a.call(parse_factor);
+    a.ld(t0, sp, 0);
+    a.addi(sp, sp, 8);
+    a.div(rv, t0, rv);
+    a.jmp(term_loop);
+    a.bind(term_done).unwrap();
+    util::pop_link_ret(&mut a);
+
+    // ---- parse_factor ----
+    a.bind(parse_factor).unwrap();
+    util::push_link(&mut a);
+    let factor_num = a.label();
+    let factor_done = a.label();
+    a.andi(t0, cur, 7);
+    a.li(t1, LPAREN as i64);
+    a.bne(t0, t1, factor_num);
+    a.call(advance); // consume '('
+    a.call(parse_expr);
+    a.call(advance); // consume ')'
+    a.jmp(factor_done);
+    a.bind(factor_num).unwrap();
+    a.srli(rv, cur, 3);
+    a.call(advance);
+    a.bind(factor_done).unwrap();
+    util::pop_link_ret(&mut a);
+
+    a.finish().expect("parser program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_func::Machine;
+
+    #[test]
+    fn generated_stream_is_balanced() {
+        let tokens = generate_tokens();
+        let mut depth: i64 = 0;
+        for t in &tokens {
+            match t & 7 {
+                LPAREN => depth += 1,
+                RPAREN => {
+                    depth -= 1;
+                    assert!(depth >= 0);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "parentheses must balance");
+        assert_eq!(tokens.last().copied().map(|t| t & 7), Some(SEP));
+    }
+
+    #[test]
+    fn parses_the_stream_repeatedly() {
+        let program = build(2);
+        let mut m = Machine::new(&program);
+        let mut n = 0u64;
+        while m.step().is_some() {
+            n += 1;
+            assert!(n < 40_000_000, "runaway");
+        }
+        assert!(m.halted());
+        assert!(n > 200_000, "parsing must be substantial, got {n}");
+    }
+}

@@ -1,0 +1,293 @@
+//! `perlbmk` archetype: a stack-machine bytecode interpreter.
+//!
+//! Mirrors 253.perlbmk's character: an interpreter dispatch loop whose
+//! **indirect branch** (jump-table dispatch) is the dominant control
+//! hazard, plus stack and variable traffic in memory. The interpreted
+//! bytecode is generated at build time with stack-depth bookkeeping so
+//! the VM never underflows.
+
+use crate::util;
+use ssim_isa::{Assembler, Label, Program, Reg};
+
+// Bytecode opcodes (low byte of each code word; the argument sits in the
+// higher bits).
+const OP_PUSHC: u64 = 0;
+const OP_LOAD: u64 = 1;
+const OP_STORE: u64 = 2;
+const OP_ADD: u64 = 3;
+const OP_SUB: u64 = 4;
+const OP_MUL: u64 = 5;
+const OP_XOR: u64 = 6;
+const OP_AND: u64 = 7;
+const OP_SHL1: u64 = 8;
+const OP_DUP: u64 = 9;
+const OP_DROP: u64 = 10;
+const OP_SWAP: u64 = 11;
+const OP_INC: u64 = 12;
+const OP_JNZ: u64 = 13; // pop; skip next op if odd
+const OP_JMP: u64 = 14; // skip next op
+const OP_END: u64 = 15;
+const NUM_OPS: usize = 16;
+
+/// Bytecode program length in ops (approximate).
+const CODE_LEN: usize = 12 * 1024;
+/// Interpreter variable count.
+const VARS: u64 = 64;
+
+/// Generates a valid bytecode program (stack depth never negative,
+/// every skippable slot after JNZ/JMP is the depth-neutral INC).
+fn generate_bytecode() -> Vec<u64> {
+    let mut rng = 0xb7e1_5162_8aed_2a6bu64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut code = Vec::with_capacity(CODE_LEN + 40);
+    let mut depth: u32 = 0;
+    while code.len() < CODE_LEN {
+        let r = next();
+        let arg = next();
+        let var = arg % VARS;
+        let choice = r % 100;
+        match choice {
+            // Pushes.
+            0..=21 if depth < 14 => {
+                code.push(OP_PUSHC | ((arg % 4096) << 8));
+                depth += 1;
+            }
+            22..=39 if depth < 14 => {
+                code.push(OP_LOAD | (var << 8));
+                depth += 1;
+            }
+            // Binary arithmetic.
+            40..=67 if depth >= 2 => {
+                let op = match choice % 5 {
+                    0 => OP_ADD,
+                    1 => OP_SUB,
+                    2 => OP_MUL,
+                    3 => OP_XOR,
+                    _ => OP_AND,
+                };
+                code.push(op);
+                depth -= 1;
+            }
+            // Unary / stack shuffles.
+            68..=73 if depth >= 1 => code.push(OP_SHL1),
+            74..=78 if (1..14).contains(&depth) => {
+                code.push(OP_DUP);
+                depth += 1;
+            }
+            79..=83 if depth >= 2 => code.push(OP_SWAP),
+            84..=88 if depth >= 1 => {
+                code.push(OP_STORE | (var << 8));
+                depth -= 1;
+            }
+            89..=92 if depth >= 1 => {
+                code.push(OP_DROP);
+                depth -= 1;
+            }
+            // Control: conditional/unconditional skip of one INC.
+            93..=96 if depth >= 1 => {
+                code.push(OP_JNZ);
+                code.push(OP_INC | (var << 8));
+                depth -= 1;
+            }
+            97 => {
+                code.push(OP_JMP);
+                code.push(OP_INC | (var << 8));
+            }
+            _ => code.push(OP_INC | (var << 8)),
+        }
+    }
+    // Drain the stack and terminate.
+    while depth > 0 {
+        code.push(OP_DROP);
+        depth -= 1;
+    }
+    code.push(OP_END);
+    code
+}
+
+/// Builds the program; `rounds` full interpretations of the bytecode.
+pub fn build(rounds: u64) -> Program {
+    let bytecode = generate_bytecode();
+
+    let mut a = Assembler::new("perlbmk");
+    let code = a.alloc_words(bytecode.len() as u64) as i64;
+    a.words(code as u64, &bytecode).expect("bytecode fits in memory");
+    let vars = a.alloc_words(VARS) as i64;
+    let vm_stack = a.alloc_words(64) as i64;
+
+    let (ip, w, op, arg) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+    let (t0, t1, t2) = (Reg::R5, Reg::R6, Reg::R7);
+    let (codebase, varbase, vsp) = (Reg::R8, Reg::R9, Reg::R28);
+    let rounds_reg = Reg::R29;
+
+    a.li(codebase, code);
+    a.li(varbase, vars);
+
+    let handlers: Vec<Label> = (0..NUM_OPS).map(|_| a.label()).collect();
+    let table = a.jump_table(&handlers) as i64;
+
+    let round_top = util::round_loop_begin(&mut a, rounds_reg, rounds);
+    a.li(ip, 0);
+    a.li(vsp, vm_stack + 64 * 8); // empty descending stack
+    let round_end = a.label();
+
+    // ---- dispatch loop ----
+    let dispatch = a.here_label();
+    a.slli(t0, ip, 3);
+    a.add(t0, codebase, t0);
+    a.ld(w, t0, 0);
+    a.addi(ip, ip, 1);
+    a.andi(op, w, 0xff);
+    a.srli(arg, w, 8);
+    a.slli(t1, op, 3);
+    a.li(t2, table);
+    a.add(t1, t2, t1);
+    a.ld(t1, t1, 0);
+    a.jr(t1); // THE interpreter indirect branch
+
+    // ---- handlers ----
+    // PUSHC: *--vsp = arg
+    a.bind(handlers[OP_PUSHC as usize]).unwrap();
+    a.addi(vsp, vsp, -8);
+    a.st(vsp, 0, arg);
+    a.jmp(dispatch);
+    // LOAD: *--vsp = vars[arg]
+    a.bind(handlers[OP_LOAD as usize]).unwrap();
+    a.slli(t0, arg, 3);
+    a.add(t0, varbase, t0);
+    a.ld(t1, t0, 0);
+    a.addi(vsp, vsp, -8);
+    a.st(vsp, 0, t1);
+    a.jmp(dispatch);
+    // STORE: vars[arg] = *vsp++
+    a.bind(handlers[OP_STORE as usize]).unwrap();
+    a.ld(t1, vsp, 0);
+    a.addi(vsp, vsp, 8);
+    a.slli(t0, arg, 3);
+    a.add(t0, varbase, t0);
+    a.st(t0, 0, t1);
+    a.jmp(dispatch);
+    // Binary ops: b = pop, a = top, top = a OP b.
+    for (opcode, f) in [
+        (OP_ADD, 0u8),
+        (OP_SUB, 1),
+        (OP_MUL, 2),
+        (OP_XOR, 3),
+        (OP_AND, 4),
+    ] {
+        a.bind(handlers[opcode as usize]).unwrap();
+        a.ld(t0, vsp, 0);
+        a.ld(t1, vsp, 8);
+        a.addi(vsp, vsp, 8);
+        match f {
+            0 => a.add(t2, t1, t0),
+            1 => a.sub(t2, t1, t0),
+            2 => a.mul(t2, t1, t0),
+            3 => a.xor(t2, t1, t0),
+            _ => a.and(t2, t1, t0),
+        }
+        a.st(vsp, 0, t2);
+        a.jmp(dispatch);
+    }
+    // SHL1: top <<= 1
+    a.bind(handlers[OP_SHL1 as usize]).unwrap();
+    a.ld(t0, vsp, 0);
+    a.slli(t0, t0, 1);
+    a.st(vsp, 0, t0);
+    a.jmp(dispatch);
+    // DUP
+    a.bind(handlers[OP_DUP as usize]).unwrap();
+    a.ld(t0, vsp, 0);
+    a.addi(vsp, vsp, -8);
+    a.st(vsp, 0, t0);
+    a.jmp(dispatch);
+    // DROP
+    a.bind(handlers[OP_DROP as usize]).unwrap();
+    a.addi(vsp, vsp, 8);
+    a.jmp(dispatch);
+    // SWAP
+    a.bind(handlers[OP_SWAP as usize]).unwrap();
+    a.ld(t0, vsp, 0);
+    a.ld(t1, vsp, 8);
+    a.st(vsp, 0, t1);
+    a.st(vsp, 8, t0);
+    a.jmp(dispatch);
+    // INC: vars[arg] += 1
+    a.bind(handlers[OP_INC as usize]).unwrap();
+    a.slli(t0, arg, 3);
+    a.add(t0, varbase, t0);
+    a.ld(t1, t0, 0);
+    a.addi(t1, t1, 1);
+    a.st(t0, 0, t1);
+    a.jmp(dispatch);
+    // JNZ: pop; skip next op if odd (data-dependent).
+    a.bind(handlers[OP_JNZ as usize]).unwrap();
+    a.ld(t0, vsp, 0);
+    a.addi(vsp, vsp, 8);
+    a.andi(t0, t0, 1);
+    let no_skip = a.label();
+    a.beq(t0, Reg::R0, no_skip);
+    a.addi(ip, ip, 1);
+    a.bind(no_skip).unwrap();
+    a.jmp(dispatch);
+    // JMP: skip next op unconditionally.
+    a.bind(handlers[OP_JMP as usize]).unwrap();
+    a.addi(ip, ip, 1);
+    a.jmp(dispatch);
+    // END: round finished.
+    a.bind(handlers[OP_END as usize]).unwrap();
+    a.jmp(round_end);
+
+    a.bind(round_end).unwrap();
+    util::round_loop_end(&mut a, rounds_reg, round_top);
+    a.finish().expect("perlbmk program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_func::Machine;
+    use ssim_isa::InstrClass;
+
+    #[test]
+    fn bytecode_is_stack_safe() {
+        let code = generate_bytecode();
+        let mut depth: i64 = 0;
+        let mut i = 0;
+        while i < code.len() {
+            let op = code[i] & 0xff;
+            match op {
+                OP_PUSHC | OP_LOAD | OP_DUP => depth += 1,
+                OP_STORE | OP_DROP | OP_JNZ => depth -= 1,
+                op if (OP_ADD..=OP_AND).contains(&op) => depth -= 1,
+                OP_END => break,
+                _ => {}
+            }
+            assert!(depth >= 0, "stack underflow at op {i}");
+            assert!(depth <= 16, "stack overflow at op {i}");
+            i += 1;
+        }
+        assert_eq!(code[code.len() - 1] & 0xff, OP_END);
+    }
+
+    #[test]
+    fn interpreter_is_indirect_branch_dominated() {
+        let program = build(1);
+        let mut indirect = 0u64;
+        let mut total = 0u64;
+        for e in Machine::new(&program).take(500_000) {
+            total += 1;
+            if e.class() == InstrClass::IndirectBranch {
+                indirect += 1;
+            }
+        }
+        assert!(total > 100_000);
+        let frac = indirect as f64 / total as f64;
+        assert!(frac > 0.05, "dispatch should dominate, indirect frac = {frac}");
+    }
+}

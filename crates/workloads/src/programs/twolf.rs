@@ -1,0 +1,127 @@
+//! `twolf` archetype: simulated-annealing cell placement.
+//!
+//! Mirrors 300.twolf's character: scattered random reads over a grid
+//! larger than the L2 cache, a data-dependent accept/reject branch
+//! driven by a decaying temperature, and swap stores on acceptance.
+
+use crate::util;
+use ssim_isa::{Assembler, Program, Reg};
+
+/// Grid cells (power of two). 256K cells × 8 B = 2 MiB, exceeding the
+/// baseline 1 MiB L2.
+const CELLS: i64 = 1 << 18;
+/// Annealing steps per round.
+const STEPS: i64 = 40_000;
+
+/// Builds the program; `rounds` annealing sweeps.
+pub fn build(rounds: u64) -> Program {
+    let mut a = Assembler::new("twolf");
+    let grid = a.alloc_words(CELLS as u64) as i64;
+
+    let (i, j, step) = (Reg::R1, Reg::R2, Reg::R3);
+    let (t0, t1, t2, t3) = (Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    let (x, temp, accepted) = (Reg::R8, Reg::R9, Reg::R10);
+    let (gridbase, ai, aj) = (Reg::R11, Reg::R12, Reg::R13);
+    let (vi, vj, delta) = (Reg::R14, Reg::R15, Reg::R16);
+    let (ni, nj, sign) = (Reg::R17, Reg::R18, Reg::R19);
+    let rounds_reg = Reg::R29;
+
+    a.li(gridbase, grid);
+
+    // ---- init: fill the grid with pseudo-random weights ----
+    a.li(x, 0x0932_4dfa_11c8_73ebu64 as i64);
+    a.li(i, 0);
+    let init_top = a.here_label();
+    util::xorshift(&mut a, x, t0);
+    a.andi(t1, x, 0xffff);
+    a.slli(t0, i, 3);
+    a.add(t0, gridbase, t0);
+    a.st(t0, 0, t1);
+    a.addi(i, i, 1);
+    a.li(t0, CELLS);
+    a.blt(i, t0, init_top);
+
+    // ---- outer rounds ----
+    let round_top = util::round_loop_begin(&mut a, rounds_reg, rounds);
+    a.li(step, 0);
+    a.li(temp, 1 << 15); // temperature resets each round
+    let step_top = a.here_label();
+    // Pick two random cells.
+    util::xorshift(&mut a, x, t0);
+    a.andi(i, x, CELLS - 1);
+    a.srli(t0, x, 24);
+    a.andi(j, t0, CELLS - 1);
+    // Load their values and a neighbour of each.
+    a.slli(ai, i, 3);
+    a.add(ai, gridbase, ai);
+    a.ld(vi, ai, 0);
+    a.slli(aj, j, 3);
+    a.add(aj, gridbase, aj);
+    a.ld(vj, aj, 0);
+    a.addi(t0, i, 1);
+    a.andi(t0, t0, CELLS - 1);
+    a.slli(t0, t0, 3);
+    a.add(t0, gridbase, t0);
+    a.ld(ni, t0, 0);
+    a.addi(t0, j, 1);
+    a.andi(t0, t0, CELLS - 1);
+    a.slli(t0, t0, 3);
+    a.add(t0, gridbase, t0);
+    a.ld(nj, t0, 0);
+    // Cost delta: |vj-ni| + |vi-nj| - |vi-ni| - |vj-nj| (swap effect on
+    // neighbour affinity). abs() is branchless (sign-mask idiom, as a
+    // compiler would emit) so the only data-dependent branch is the
+    // accept/reject decision.
+    macro_rules! absdiff {
+        ($dst:ident, $p:ident, $q:ident, $sign:ident) => {{
+            a.sub($dst, $p, $q);
+            a.srai($sign, $dst, 63);
+            a.xor($dst, $dst, $sign);
+            a.sub($dst, $dst, $sign);
+        }};
+    }
+    absdiff!(t0, vj, ni, sign);
+    absdiff!(t1, vi, nj, sign);
+    a.add(delta, t0, t1);
+    absdiff!(t2, vi, ni, sign);
+    absdiff!(t3, vj, nj, sign);
+    a.sub(delta, delta, t2);
+    a.sub(delta, delta, t3);
+    // Accept if delta < temp (unpredictable while temp is mid-range).
+    let reject = a.label();
+    a.bge(delta, temp, reject);
+    a.st(ai, 0, vj); // swap
+    a.st(aj, 0, vi);
+    a.addi(accepted, accepted, 1);
+    a.bind(reject).unwrap();
+    // Cool down: temp -= temp >> 12 (slow exponential decay).
+    a.srai(t0, temp, 12);
+    a.sub(temp, temp, t0);
+    a.addi(step, step, 1);
+    a.li(t0, STEPS);
+    a.blt(step, t0, step_top);
+
+    util::round_loop_end(&mut a, rounds_reg, round_top);
+    a.finish().expect("twolf program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_func::Machine;
+
+    #[test]
+    fn anneals_with_mixed_accepts() {
+        let program = build(1);
+        let mut m = Machine::new(&program);
+        let mut n = 0u64;
+        while m.step().is_some() {
+            n += 1;
+            assert!(n < 30_000_000, "runaway");
+        }
+        assert!(m.halted());
+        let accepted = m.reg(Reg::R10) as i64;
+        assert!(accepted > 0, "some moves must be accepted");
+        assert!(accepted < STEPS, "some moves must be rejected, accepted={accepted}");
+    }
+}

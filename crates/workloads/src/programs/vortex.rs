@@ -1,0 +1,167 @@
+//! `vortex` archetype: a hashed object store with linked buckets.
+//!
+//! Mirrors 255.vortex's character: pointer chasing through linked
+//! structures spread over a multi-megabyte heap, a call-structured hot
+//! path (hash → lookup → touch), and read-mostly traffic with regular
+//! updates.
+
+use crate::util;
+use ssim_isa::{Assembler, Program, Reg};
+
+/// Number of stored objects (each 4 words = 32 B). 128K × 32 B = 4 MiB.
+const OBJECTS: i64 = 1 << 17;
+/// Hash bucket heads (power of two).
+const BUCKETS: i64 = 1 << 12;
+/// Lookups per round.
+const LOOKUPS: i64 = 20_000;
+/// Object field offsets (bytes).
+const F_KEY: i64 = 0;
+const F_VALUE: i64 = 8;
+const F_NEXT: i64 = 16;
+
+/// Builds the program; `rounds` query batches.
+pub fn build(rounds: u64) -> Program {
+    let mut a = Assembler::new("vortex");
+    util::init_stack(&mut a, 64 << 10);
+    let heap = a.alloc((OBJECTS * 32) as u64) as i64;
+    let buckets = a.alloc_words(BUCKETS as u64) as i64;
+
+    let (i, key, node) = (Reg::R1, Reg::R2, Reg::R3);
+    let (t0, t1, t2) = (Reg::R4, Reg::R5, Reg::R6);
+    let (x, hits, misses) = (Reg::R7, Reg::R8, Reg::R9);
+    let (heapbase, bktbase, hash) = (Reg::R10, Reg::R11, Reg::R12);
+    let (q, found) = (Reg::R13, Reg::R14);
+    let rounds_reg = Reg::R29;
+
+    a.li(heapbase, heap);
+    a.li(bktbase, buckets);
+
+    let hash_fn = a.label();
+    let lookup_fn = a.label();
+
+    // ---- init: build all objects and thread them into buckets ----
+    // Object k gets key = k * 2654435761 mod 2^32 (Knuth multiplicative),
+    // so keys are scattered but reproducible at query time.
+    a.li(i, 0);
+    let init_top = a.here_label();
+    a.li(t0, 2654435761);
+    a.mul(key, i, t0);
+    a.srli(key, key, 3);
+    a.slli(t1, key, 3);
+    a.srli(t1, t1, 3); // keep keys positive small-ish
+    a.mv(key, t1);
+    // node address = heap + i*32
+    a.slli(node, i, 5);
+    a.add(node, heapbase, node);
+    a.st(node, F_KEY, key);
+    a.st(node, F_VALUE, i);
+    // bucket index = hash(key)
+    a.mv(q, key);
+    a.call(hash_fn); // hash in `hash`
+    a.slli(t0, hash, 3);
+    a.add(t0, bktbase, t0);
+    a.ld(t1, t0, 0); // old head
+    a.st(node, F_NEXT, t1);
+    a.st(t0, 0, node); // head = node
+    a.addi(i, i, 1);
+    a.li(t0, OBJECTS);
+    a.blt(i, t0, init_top);
+    let main_start = a.label();
+    a.jmp(main_start);
+
+    // ---- hash_fn: hash = mix(q) & (BUCKETS-1) (leaf) ----
+    a.bind(hash_fn).unwrap();
+    a.srli(t2, q, 9);
+    a.xor(hash, q, t2);
+    a.li(t2, 0x9e37_79b9);
+    a.mul(hash, hash, t2);
+    a.srli(t2, hash, 13);
+    a.xor(hash, hash, t2);
+    a.andi(hash, hash, BUCKETS - 1);
+    a.ret();
+
+    // ---- lookup_fn: walk bucket chain for `q`; found=node or 0 ----
+    a.bind(lookup_fn).unwrap();
+    util::push_link(&mut a);
+    a.call(hash_fn);
+    a.slli(t0, hash, 3);
+    a.add(t0, bktbase, t0);
+    a.ld(found, t0, 0);
+    let walk_top = a.here_label();
+    let walk_done = a.label();
+    let walk_next = a.label();
+    a.beq(found, Reg::R0, walk_done); // chain exhausted
+    a.ld(t1, found, F_KEY);
+    a.bne(t1, q, walk_next);
+    a.jmp(walk_done); // key matches
+    a.bind(walk_next).unwrap();
+    a.ld(found, found, F_NEXT);
+    a.jmp(walk_top);
+    a.bind(walk_done).unwrap();
+    util::pop_link_ret(&mut a);
+
+    // ---- main: random queries, mostly present keys ----
+    a.bind(main_start).unwrap();
+    a.li(x, 0x3c6e_f372_fe94_f82bu64 as i64);
+    let round_top = util::round_loop_begin(&mut a, rounds_reg, rounds);
+    a.li(i, 0);
+    let query_top = a.here_label();
+    util::xorshift(&mut a, x, t0);
+    // 7/8 of queries use a key that exists (recompute object k's key);
+    // 1/8 use a random probe that usually misses.
+    a.andi(t0, x, 7);
+    let probe_random = a.label();
+    let do_lookup = a.label();
+    a.beq(t0, Reg::R0, probe_random);
+    a.srli(t1, x, 8);
+    a.andi(t1, t1, OBJECTS - 1);
+    a.li(t2, 2654435761);
+    a.mul(q, t1, t2);
+    a.srli(q, q, 3);
+    a.slli(t2, q, 3);
+    a.srli(q, t2, 3);
+    a.jmp(do_lookup);
+    a.bind(probe_random).unwrap();
+    a.srli(q, x, 17);
+    a.bind(do_lookup).unwrap();
+    a.call(lookup_fn);
+    let miss = a.label();
+    let next_query = a.label();
+    a.beq(found, Reg::R0, miss);
+    a.addi(hits, hits, 1);
+    a.ld(t0, found, F_VALUE); // touch the object
+    a.addi(t0, t0, 1);
+    a.st(found, F_VALUE, t0);
+    a.jmp(next_query);
+    a.bind(miss).unwrap();
+    a.addi(misses, misses, 1);
+    a.bind(next_query).unwrap();
+    a.addi(i, i, 1);
+    a.li(t0, LOOKUPS);
+    a.blt(i, t0, query_top);
+
+    util::round_loop_end(&mut a, rounds_reg, round_top);
+    a.finish().expect("vortex program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_func::Machine;
+
+    #[test]
+    fn queries_mostly_hit() {
+        let program = build(1);
+        let mut m = Machine::new(&program);
+        let mut n = 0u64;
+        while m.step().is_some() {
+            n += 1;
+            assert!(n < 60_000_000, "runaway");
+        }
+        assert!(m.halted());
+        let hits = m.reg(Reg::R8);
+        let misses = m.reg(Reg::R9);
+        assert_eq!(hits + misses, LOOKUPS as u64);
+        assert!(hits > misses, "present keys dominate: {hits} hits vs {misses} misses");
+    }
+}

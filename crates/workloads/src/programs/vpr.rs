@@ -1,0 +1,171 @@
+//! `vpr` archetype: breadth-first maze routing on an obstacle grid.
+//!
+//! Mirrors 175.vpr's character: wavefront expansion driven by an
+//! in-memory work queue, four bounds/obstacle/visited checks per
+//! expanded cell, and a working set (visited stamps + queue) streaming
+//! through the data cache.
+
+use crate::util;
+use ssim_isa::{Assembler, Program, Reg};
+
+/// Grid edge (power of two).
+const W: i64 = 256;
+/// Total cells.
+const CELLS: i64 = W * W;
+
+/// Builds the program; `rounds` routed nets.
+pub fn build(rounds: u64) -> Program {
+    let mut a = Assembler::new("vpr");
+    let obstacles = a.alloc(CELLS as u64) as i64; // bytes: 1 = blocked
+    let visited = a.alloc_words(CELLS as u64) as i64; // round stamps
+    let queue = a.alloc_words(CELLS as u64) as i64;
+
+    let (cell, nbr, stamp) = (Reg::R1, Reg::R2, Reg::R3);
+    let (t0, t1, t2) = (Reg::R4, Reg::R5, Reg::R6);
+    let (x, head, tail) = (Reg::R7, Reg::R8, Reg::R9);
+    let (obs, vis, qbase) = (Reg::R10, Reg::R11, Reg::R12);
+    let (src, sink, explored) = (Reg::R13, Reg::R14, Reg::R15);
+    let (col, routed) = (Reg::R16, Reg::R17);
+    let rounds_reg = Reg::R29;
+
+    a.li(obs, obstacles);
+    a.li(vis, visited);
+    a.li(qbase, queue);
+
+    // ---- init: structured maze (walls with doorways) ----
+    // Routing fabrics are regular, not random: every 8th row is a wall
+    // with one doorway per 8-column span, plus a light random sprinkle
+    // (1/64) of blockages. Obstacle checks are therefore mostly
+    // predictable, like real routing graphs.
+    a.li(x, 0x452_821e6_38d0_1377u64 as i64);
+    a.li(t0, 0);
+    let init_top = a.here_label();
+    util::xorshift(&mut a, x, t1);
+    a.li(t2, 0);
+    let decided = a.label();
+    let sprinkle = a.label();
+    // row = t0 >> 8; wall rows have (row & 7) == 0.
+    a.srli(t1, t0, 8);
+    a.andi(t1, t1, 7);
+    a.bne(t1, Reg::R0, sprinkle);
+    // Doorway: column where (col & 7) == ((row >> 3) & 7).
+    a.srli(t1, t0, 11);
+    a.andi(t1, t1, 7);
+    a.andi(cell, t0, 7); // col & 7 (cell is free during init)
+    a.beq(cell, t1, decided); // doorway stays open
+    a.li(t2, 1);
+    a.jmp(decided);
+    a.bind(sprinkle).unwrap();
+    a.andi(t1, x, 63);
+    a.bne(t1, Reg::R0, decided);
+    a.li(t2, 1);
+    a.bind(decided).unwrap();
+    a.add(t1, obs, t0);
+    a.sb(t1, 0, t2);
+    a.addi(t0, t0, 1);
+    a.li(t1, CELLS);
+    a.blt(t0, t1, init_top);
+
+    // ---- outer rounds: route one net per round ----
+    a.li(stamp, 0);
+    let round_top = util::round_loop_begin(&mut a, rounds_reg, rounds);
+    a.addi(stamp, stamp, 1);
+    util::xorshift(&mut a, x, t0);
+    a.andi(src, x, CELLS - 1);
+    a.srli(t0, x, 20);
+    a.andi(sink, t0, CELLS - 1);
+    a.li(head, 0);
+    a.li(tail, 0);
+    // Seed the wavefront.
+    a.slli(t0, src, 3);
+    a.add(t0, vis, t0);
+    a.st(t0, 0, stamp);
+    a.st(qbase, 0, src);
+    a.addi(tail, tail, 1);
+
+    let bfs_top = a.here_label();
+    let bfs_done = a.label();
+    let bfs_found = a.label();
+    a.bge(head, tail, bfs_done); // queue empty: unroutable
+    a.slli(t0, head, 3);
+    a.add(t0, qbase, t0);
+    a.ld(cell, t0, 0);
+    a.addi(head, head, 1);
+    a.beq(cell, sink, bfs_found);
+    a.andi(col, cell, W - 1);
+
+    // Expand the four neighbours; each arm is generated separately.
+    for dir in 0..4u8 {
+        let skip = a.label();
+        match dir {
+            0 => {
+                // West: col > 0.
+                a.beq(col, Reg::R0, skip);
+                a.addi(nbr, cell, -1);
+            }
+            1 => {
+                // East: col < W-1.
+                a.li(t0, W - 1);
+                a.bge(col, t0, skip);
+                a.addi(nbr, cell, 1);
+            }
+            2 => {
+                // North: row > 0.
+                a.li(t0, W);
+                a.blt(cell, t0, skip);
+                a.addi(nbr, cell, -W);
+            }
+            _ => {
+                // South: row < W-1.
+                a.li(t0, CELLS - W);
+                a.bge(cell, t0, skip);
+                a.addi(nbr, cell, W);
+            }
+        }
+        // Blocked?
+        a.add(t0, obs, nbr);
+        a.lb(t1, t0, 0);
+        a.bne(t1, Reg::R0, skip);
+        // Already visited this round?
+        a.slli(t0, nbr, 3);
+        a.add(t0, vis, t0);
+        a.ld(t1, t0, 0);
+        a.beq(t1, stamp, skip);
+        // Mark and enqueue.
+        a.st(t0, 0, stamp);
+        a.slli(t1, tail, 3);
+        a.add(t1, qbase, t1);
+        a.st(t1, 0, nbr);
+        a.addi(tail, tail, 1);
+        a.bind(skip).unwrap();
+    }
+    a.jmp(bfs_top);
+
+    a.bind(bfs_found).unwrap();
+    a.addi(routed, routed, 1);
+    a.bind(bfs_done).unwrap();
+    a.add(explored, explored, head);
+
+    util::round_loop_end(&mut a, rounds_reg, round_top);
+    a.finish().expect("vpr program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_func::Machine;
+
+    #[test]
+    fn routes_nets() {
+        let program = build(12);
+        let mut m = Machine::new(&program);
+        let mut n = 0u64;
+        while m.step().is_some() {
+            n += 1;
+            assert!(n < 80_000_000, "runaway");
+        }
+        assert!(m.halted());
+        assert!(m.reg(Reg::R15) > 0, "wavefronts must explore cells");
+        assert!(m.reg(Reg::R17) > 0, "at least one net should route in 12 tries");
+    }
+}

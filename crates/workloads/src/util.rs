@@ -1,0 +1,107 @@
+//! Shared assembly idioms used by the workload programs.
+
+use ssim_isa::{Assembler, Reg};
+
+/// The software stack pointer register used by recursive workloads.
+pub const SP: Reg = Reg::R30;
+
+/// Reserves a `size`-byte software stack and points [`SP`] at its top.
+///
+/// Call once at program start, before any [`push_link`].
+pub fn init_stack(a: &mut Assembler, size: u64) {
+    let base = a.alloc(size);
+    a.li(SP, (base + size) as i64);
+}
+
+/// Function prologue for routines that call or recurse: pushes the link
+/// register onto the software stack.
+pub fn push_link(a: &mut Assembler) {
+    a.addi(SP, SP, -8);
+    a.st(SP, 0, Reg::LINK);
+}
+
+/// Matching epilogue: pops the link register and returns.
+pub fn pop_link_ret(a: &mut Assembler) {
+    a.ld(Reg::LINK, SP, 0);
+    a.addi(SP, SP, 8);
+    a.ret();
+}
+
+/// Emits one xorshift64 PRNG step: `x = xorshift(x)`, clobbering `t`.
+///
+/// `x` must be seeded nonzero.
+pub fn xorshift(a: &mut Assembler, x: Reg, t: Reg) {
+    a.slli(t, x, 13);
+    a.xor(x, x, t);
+    a.srli(t, x, 7);
+    a.xor(x, x, t);
+    a.slli(t, x, 17);
+    a.xor(x, x, t);
+}
+
+/// Emits the outer benchmark loop header: `rounds` iterations counted in
+/// `counter`. Returns the loop-top label; close with [`round_loop_end`].
+pub fn round_loop_begin(a: &mut Assembler, counter: Reg, rounds: u64) -> ssim_isa::Label {
+    a.li(counter, rounds as i64);
+    a.here_label()
+}
+
+/// Closes the outer benchmark loop: decrements `counter`, branches back
+/// to `top` while positive, then halts.
+pub fn round_loop_end(a: &mut Assembler, counter: Reg, top: ssim_isa::Label) {
+    a.addi(counter, counter, -1);
+    a.bne(counter, Reg::R0, top);
+    a.halt();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_func::Machine;
+
+    #[test]
+    fn xorshift_produces_varied_values() {
+        let mut a = Assembler::new("t");
+        a.li(Reg::R1, 0x9E37_79B9);
+        for _ in 0..3 {
+            xorshift(&mut a, Reg::R1, Reg::R2);
+        }
+        a.halt();
+        let program = a.finish().unwrap();
+        let mut m = Machine::new(&program);
+        while m.step().is_some() {}
+        let v = m.reg(Reg::R1);
+        assert_ne!(v, 0);
+        assert_ne!(v, 0x9E37_79B9);
+    }
+
+    #[test]
+    fn stack_push_pop_round_trips() {
+        let mut a = Assembler::new("t");
+        init_stack(&mut a, 1 << 12);
+        let func = a.label();
+        a.call(func);
+        a.halt();
+        a.bind(func).unwrap();
+        push_link(&mut a);
+        a.li(Reg::R1, 5);
+        pop_link_ret(&mut a);
+        let program = a.finish().unwrap();
+        let mut m = Machine::new(&program);
+        while m.step().is_some() {}
+        assert!(m.halted());
+        assert_eq!(m.reg(Reg::R1), 5);
+    }
+
+    #[test]
+    fn round_loop_runs_requested_times() {
+        let mut a = Assembler::new("t");
+        let top = round_loop_begin(&mut a, Reg::R9, 7);
+        a.addi(Reg::R1, Reg::R1, 1);
+        round_loop_end(&mut a, Reg::R9, top);
+        let program = a.finish().unwrap();
+        let mut m = Machine::new(&program);
+        while m.step().is_some() {}
+        assert_eq!(m.reg(Reg::R1), 7);
+    }
+}

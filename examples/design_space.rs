@@ -1,0 +1,60 @@
+//! Design-space exploration with statistical simulation (the paper's
+//! §4.6 use case, scaled down for an example).
+//!
+//! One profiling pass per workload; then every (RUU, width) design
+//! point is evaluated with a cheap synthetic-trace simulation, and the
+//! EDP-optimal design is reported.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p ssim --example design_space [workload]
+//! ```
+
+use ssim::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "twolf".to_string());
+    let workload = ssim::workloads::by_name(&name).expect("known workload");
+    let program = workload.program();
+    let baseline = MachineConfig::baseline();
+
+    // Profile once: the microarchitecture-independent characteristics
+    // and the locality events for the baseline caches/predictor.
+    let profile = profile(
+        &program,
+        &ProfileConfig::new(&baseline).skip(4_000_000).instructions(2_000_000),
+    );
+    let trace = profile.generate(20, 7);
+    println!(
+        "{}: profiled {} instructions, exploring with a {}-instruction synthetic trace",
+        workload.name(),
+        profile.instructions(),
+        trace.len()
+    );
+    println!();
+    println!("{:>6} {:>6} {:>8} {:>10} {:>10}", "RUU", "width", "IPC", "EPC", "EDP");
+
+    let mut best: Option<(f64, usize, usize)> = None;
+    for ruu in [16, 32, 64, 128] {
+        for width in [2, 4, 8] {
+            let cfg = baseline.clone().with_window(ruu).with_width(width);
+            let r = simulate_trace(&trace, &cfg);
+            let breakdown = PowerModel::new(&cfg).evaluate(&r.activity);
+            let edp = breakdown.edp(r.ipc());
+            println!(
+                "{:>6} {:>6} {:>8.3} {:>10.2} {:>10.2}",
+                ruu,
+                width,
+                r.ipc(),
+                breakdown.epc(),
+                edp
+            );
+            if best.is_none_or(|(b, _, _)| edp < b) {
+                best = Some((edp, ruu, width));
+            }
+        }
+    }
+    let (edp, ruu, width) = best.expect("non-empty design space");
+    println!();
+    println!("EDP-optimal design: RUU {ruu}, width {width} (EDP {edp:.2})");
+}

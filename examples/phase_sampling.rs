@@ -1,0 +1,73 @@
+//! Phase behaviour: statistical simulation vs SimPoint (the paper's
+//! §4.4 study, scaled down).
+//!
+//! A long reference stream is characterised three ways: one statistical
+//! profile over the whole stream, one profile per sample, and SimPoint
+//! phase-based execution-driven sampling. All are compared against full
+//! execution-driven simulation of the stream.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p ssim --example phase_sampling [workload]
+//! ```
+
+use ssim::baselines::simpoint;
+use ssim::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bzip2".to_string());
+    let workload = ssim::workloads::by_name(&name).expect("known workload");
+    let program = workload.program();
+    let machine = MachineConfig::baseline();
+
+    let skip = 4_000_000u64;
+    let stream = 4_000_000u64; // the "reference stream"
+    let samples = 4u64;
+
+    // Ground truth: EDS over the whole stream.
+    let mut eds = ExecSim::new(&machine, &program);
+    eds.skip(skip);
+    let eds = eds.run(stream);
+    println!("{}: reference EDS IPC {:.3} over {}M instructions", name, eds.ipc(), stream / 1_000_000);
+
+    // (a) one profile over the full stream.
+    let p = profile(&program, &ProfileConfig::new(&machine).skip(skip).instructions(stream));
+    let one = simulate_trace(&p.generate(40, 1), &machine).ipc();
+
+    // (b) one profile per sample, averaged.
+    let per = stream / samples;
+    let mut acc = 0.0;
+    for s in 0..samples {
+        let p = profile(
+            &program,
+            &ProfileConfig::new(&machine).skip(skip).warm(s * per).instructions(per),
+        );
+        acc += simulate_trace(&p.generate(40, 1), &machine).ipc();
+    }
+    let many = acc / samples as f64;
+
+    // (c) SimPoint.
+    let sp_cfg = simpoint::SimPointConfig {
+        interval_len: 500_000,
+        intervals: (stream / 500_000) as usize,
+        max_k: 5,
+        seed: 1,
+    };
+    let points = simpoint::choose(&program, &sp_cfg, skip);
+    let sp = simpoint::estimate_ipc(&program, &machine, &points, &sp_cfg, skip);
+
+    println!();
+    println!("{:<34} {:>8} {:>8}", "technique", "IPC", "error");
+    for (label, ipc) in [
+        (format!("statistical, 1 profile"), one),
+        (format!("statistical, {samples} sample profiles"), many),
+        (format!("SimPoint, {} points", points.len()), sp),
+    ] {
+        println!(
+            "{:<34} {:>8.3} {:>7.1}%",
+            label,
+            ipc,
+            100.0 * absolute_error(ipc, eds.ipc())
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Profiles as artifacts: save a statistical profile to disk, reload it
+//! in a "later session", and validate that the regenerated synthetic
+//! trace still carries the program's statistics.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p ssim --example profile_artifacts [workload]
+//! ```
+
+use ssim::core::validate_trace;
+use ssim::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "vortex".to_string());
+    let workload = ssim::workloads::by_name(&name).expect("known workload");
+    let machine = MachineConfig::baseline();
+    let program = workload.program();
+
+    // --- session 1: the expensive pass; persist the result. ---
+    let p = profile(
+        &program,
+        &ProfileConfig::new(&machine).skip(4_000_000).instructions(1_500_000),
+    );
+    let path = std::env::temp_dir().join(format!("{name}.ssimprf"));
+    {
+        let mut f = std::fs::File::create(&path)?;
+        p.save(&mut f)?;
+    }
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "saved {} -> {} ({} bytes for {} profiled instructions, {:.1} bits/instr)",
+        name,
+        path.display(),
+        bytes,
+        p.instructions(),
+        bytes as f64 * 8.0 / p.instructions() as f64
+    );
+
+    // --- session 2: reload and explore without touching the program. ---
+    let restored = {
+        let mut f = std::fs::File::open(&path)?;
+        StatisticalProfile::load(&mut f)?
+    };
+    let trace = restored.generate(20, 7);
+    let report = validate_trace(&restored, &trace);
+    println!("regenerated trace: {} instructions", trace.len());
+    println!("fidelity: {report}");
+    println!("max divergence: {:.4}", report.max_divergence());
+
+    for (label, cfg) in [
+        ("baseline", machine.clone()),
+        ("half window", machine.clone().with_window(64)),
+        ("narrow", machine.clone().with_width(4)),
+    ] {
+        let r = simulate_trace(&trace, &cfg);
+        println!("{label:<12} IPC {:.3}", r.ipc());
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

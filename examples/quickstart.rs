@@ -1,0 +1,73 @@
+//! Quickstart: predict a workload's IPC and power with statistical
+//! simulation and compare against the execution-driven reference.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p ssim --example quickstart [workload]
+//! ```
+
+use ssim::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gzip".to_string());
+    let workload = ssim::workloads::by_name(&name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown workload {name:?}; available: {}",
+            ssim::workloads::all().iter().map(|w| w.name()).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(1);
+    });
+
+    let machine = MachineConfig::baseline(); // the paper's Table 2
+    let program = workload.program();
+    println!("workload: {} ({})", workload.name(), workload.spec_analog());
+
+    // --- statistical simulation: one profiling pass... ---
+    let profile = profile(
+        &program,
+        &ProfileConfig::new(&machine).skip(4_000_000).instructions(2_000_000),
+    );
+    println!(
+        "profiled {} instructions: SFG order {} with {} nodes, {} contexts",
+        profile.instructions(),
+        profile.k(),
+        profile.sfg().node_count(),
+        profile.context_count()
+    );
+
+    // --- ...then a tiny synthetic trace stands in for the program. ---
+    let trace = profile.generate(20, 42);
+    let ss = simulate_trace(&trace, &machine);
+    println!("synthetic trace: {} instructions", trace.len());
+
+    // --- the execution-driven reference (slow path). ---
+    let mut eds = ExecSim::new(&machine, &program);
+    eds.skip(4_000_000);
+    let eds = eds.run(2_000_000);
+
+    // --- power, from the same activity counters for both. ---
+    let power = PowerModel::new(&machine);
+    let ss_epc = power.evaluate(&ss.activity).epc();
+    let eds_epc = power.evaluate(&eds.activity).epc();
+
+    println!();
+    println!("              {:>12} {:>12} {:>8}", "EDS", "statistical", "error");
+    println!(
+        "IPC           {:>12.3} {:>12.3} {:>7.1}%",
+        eds.ipc(),
+        ss.ipc(),
+        100.0 * absolute_error(ss.ipc(), eds.ipc())
+    );
+    println!(
+        "EPC (W/cyc)   {:>12.2} {:>12.2} {:>7.1}%",
+        eds_epc,
+        ss_epc,
+        100.0 * absolute_error(ss_epc, eds_epc)
+    );
+    println!(
+        "cycles        {:>12} {:>12}   ({}x fewer simulated instructions)",
+        eds.cycles,
+        ss.cycles,
+        eds.instructions / ss.instructions.max(1)
+    );
+}

@@ -1,0 +1,29 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper, plus ablations and
+# the in-order extension. Outputs land in results/. SSIM_QUICK=1 for a
+# fast smoke pass; budgets tuned for a single-core box.
+set -u
+mkdir -p results
+cargo build --release -q -p ssim-bench || exit 1
+run() {
+  echo "[$(date +%H:%M:%S)] running $1"
+  shift_args=("$@")
+  b="$1"; shift
+  env "$@" cargo run --release -q -p ssim-bench --bin "$b" > "results/$b.txt" 2>&1
+}
+run table1_baseline_ipc       SSIM_EDS_INSTR=1500000
+run fig3_branch_mpki          SSIM_PROFILE_INSTR=2000000 SSIM_EDS_INSTR=1500000
+run table3_sfg_nodes          SSIM_PROFILE_INSTR=2000000
+run fig6_ipc_epc              SSIM_PROFILE_INSTR=2500000 SSIM_EDS_INSTR=2000000
+run fig4_sfg_order            SSIM_PROFILE_INSTR=2000000 SSIM_EDS_INSTR=1200000
+run fig5_delayed_update       SSIM_PROFILE_INSTR=2000000 SSIM_EDS_INSTR=1200000
+run fig7_hls_comparison       SSIM_PROFILE_INSTR=2000000 SSIM_EDS_INSTR=1500000
+run sec41_convergence         SSIM_PROFILE_INSTR=2000000
+run fig8_phases               SSIM_EDS_INSTR=1200000
+run table4_relative_accuracy  SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=800000
+run sec46_design_space        SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=600000
+run ablation_fifo_size        SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=1000000 SSIM_WORKLOADS=gcc,parser,gzip,perlbmk
+run ablation_dep_cap          SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=1000000
+run ablation_reduction_factor SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=1000000
+run ext_inorder               SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=1000000
+echo "[$(date +%H:%M:%S)] all experiments complete"

@@ -1,0 +1,19 @@
+#!/bin/bash
+set -u
+mkdir -p results
+cargo build --release -q -p ssim-bench || exit 1
+run() { b="$1"; shift; echo "[$(date +%H:%M:%S)] $b"; env "$@" cargo run --release -q -p ssim-bench --bin "$b" > "results/$b.txt" 2>&1; }
+run fig6_ipc_epc             SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=1000000
+run fig4_sfg_order           SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=800000
+run fig5_delayed_update      SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=800000
+run fig7_hls_comparison      SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=1000000
+run table3_sfg_nodes         SSIM_PROFILE_INSTR=1000000
+run sec41_convergence        SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000
+run fig8_phases              SSIM_QUICK=1
+run table4_relative_accuracy SSIM_QUICK=1
+run sec46_design_space       SSIM_QUICK=1
+run ablation_fifo_size       SSIM_QUICK=1 SSIM_PROFILE_INSTR=1200000 SSIM_EDS_INSTR=800000 SSIM_WORKLOADS=gcc,parser,gzip,perlbmk
+run ablation_dep_cap         SSIM_QUICK=1 SSIM_PROFILE_INSTR=1200000 SSIM_EDS_INSTR=800000
+run ablation_reduction_factor SSIM_QUICK=1 SSIM_PROFILE_INSTR=1200000 SSIM_EDS_INSTR=800000
+run ext_inorder              SSIM_QUICK=1 SSIM_PROFILE_INSTR=1200000 SSIM_EDS_INSTR=800000
+echo "[$(date +%H:%M:%S)] complete"

@@ -1,0 +1,118 @@
+//! Accuracy integration tests: statistical simulation must track the
+//! execution-driven reference, absolutely and relatively.
+//!
+//! Budgets are kept small so the suite runs quickly; the bench harness
+//! (`crates/bench`) reproduces the paper's full numbers.
+
+use ssim::prelude::*;
+
+/// Profile + EDS over the same window, on a few representative
+/// workloads (one cache-bound, one branch-bound, one FP).
+fn compare(name: &str, machine: &MachineConfig, n: u64) -> (f64, f64) {
+    let program = ssim::workloads::by_name(name).expect("known workload").program();
+    let p = profile(&program, &ProfileConfig::new(machine).skip(4_000_000).instructions(n));
+    let ss = simulate_trace(&p.generate(10, 1), machine);
+    let mut eds = ExecSim::new(machine, &program);
+    eds.skip(4_000_000);
+    let eds = eds.run(n);
+    (ss.ipc(), eds.ipc())
+}
+
+#[test]
+fn absolute_ipc_error_is_bounded() {
+    let machine = MachineConfig::baseline();
+    for name in ["crafty", "twolf", "eon"] {
+        let (ss, eds) = compare(name, &machine, 600_000);
+        let err = absolute_error(ss, eds);
+        assert!(
+            err < 0.20,
+            "{name}: statistical {ss:.3} vs EDS {eds:.3} — error {:.1}% too large",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn relative_trend_window_size() {
+    // The paper's headline use case (§4.5): predicting the *trend* when
+    // an architectural parameter moves.
+    let machine = MachineConfig::baseline();
+    let small = machine.clone().with_window(16);
+    let name = "vortex";
+    let program = ssim::workloads::by_name(name).unwrap().program();
+    let p = profile(
+        &program,
+        &ProfileConfig::new(&machine).skip(4_000_000).instructions(600_000),
+    );
+    let trace = p.generate(10, 1);
+
+    let ss_base = simulate_trace(&trace, &machine);
+    let ss_small = simulate_trace(&trace, &small);
+    let mut e = ExecSim::new(&machine, &program);
+    e.skip(4_000_000);
+    let eds_base = e.run(600_000);
+    let mut e = ExecSim::new(&small, &program);
+    e.skip(4_000_000);
+    let eds_small = e.run(600_000);
+
+    // Shrinking the window 128 -> 16 must hurt in both worlds...
+    assert!(eds_small.ipc() < eds_base.ipc());
+    assert!(ss_small.ipc() < ss_base.ipc());
+    // ...and by a similar relative amount.
+    let re = relative_error(
+        MetricPair { ss: ss_base.ipc(), eds: eds_base.ipc() },
+        MetricPair { ss: ss_small.ipc(), eds: eds_small.ipc() },
+    );
+    assert!(re < 0.15, "window-size trend error {:.1}% too large", re * 100.0);
+}
+
+#[test]
+fn perfect_structures_remove_their_stalls() {
+    let mut machine = MachineConfig::baseline();
+    machine.perfect_caches = true;
+    machine.perfect_bpred = true;
+    let (ss, eds) = compare("parser", &machine, 400_000);
+    // With no locality events, the only limits are dependences and
+    // width — both modeled statistically. Errors should be small.
+    let err = absolute_error(ss, eds);
+    assert!(err < 0.15, "perfect-structure error {:.1}%", err * 100.0);
+    assert!(eds > 1.0, "perfect parser should run fast, got {eds}");
+}
+
+#[test]
+fn delayed_update_improves_mpki_fidelity() {
+    // Figure 3's claim, as a regression test: the delayed-update
+    // profile's misprediction rate is at least as close to EDS as the
+    // immediate-update profile's.
+    let machine = MachineConfig::baseline();
+    let name = "parser";
+    let program = ssim::workloads::by_name(name).unwrap().program();
+    let eds = {
+        let mut e = ExecSim::new(&machine, &program);
+        e.skip(4_000_000);
+        e.run(600_000)
+    };
+    let del = profile(
+        &program,
+        &ProfileConfig::new(&machine)
+            .skip(4_000_000)
+            .instructions(600_000)
+            .branch_mode(BranchProfileMode::Delayed),
+    );
+    let imm = profile(
+        &program,
+        &ProfileConfig::new(&machine)
+            .skip(4_000_000)
+            .instructions(600_000)
+            .branch_mode(BranchProfileMode::Immediate),
+    );
+    let eds_mpki = eds.mpki();
+    let d = (del.branch_mpki() - eds_mpki).abs();
+    let i = (imm.branch_mpki() - eds_mpki).abs();
+    assert!(
+        d <= i + 0.5,
+        "delayed ({:.2}) must track EDS ({eds_mpki:.2}) at least as well as immediate ({:.2})",
+        del.branch_mpki(),
+        imm.branch_mpki()
+    );
+}

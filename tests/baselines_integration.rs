@@ -1,0 +1,92 @@
+//! Integration tests for the HLS and SimPoint baselines against the
+//! main framework.
+
+use ssim::baselines::{hls::HlsModel, simpoint};
+use ssim::prelude::*;
+
+#[test]
+fn sfg_beats_hls_on_a_structured_workload() {
+    // Figure 7's claim in miniature: the SFG model, which keeps
+    // per-block structure, predicts IPC better than HLS's global
+    // distributions on a workload with strong per-block behaviour.
+    let machine = MachineConfig::baseline();
+    let name = "gcc";
+    let program = ssim::workloads::by_name(name).unwrap().program();
+    let skip = 4_000_000;
+    let n = 600_000;
+
+    let mut e = ExecSim::new(&machine, &program);
+    e.skip(skip);
+    let eds = e.run(n);
+
+    let p = profile(&program, &ProfileConfig::new(&machine).skip(skip).instructions(n));
+    let sfg_trace = p.generate(10, 1);
+    let sfg = simulate_trace(&sfg_trace, &machine);
+
+    let hls = HlsModel::profile(&program, &machine, skip, n);
+    let hls_trace = hls.generate(sfg_trace.len(), 1);
+    let hls = simulate_trace(&hls_trace, &machine);
+
+    let sfg_err = absolute_error(sfg.ipc(), eds.ipc());
+    let hls_err = absolute_error(hls.ipc(), eds.ipc());
+    assert!(
+        sfg_err < hls_err + 0.02,
+        "SFG ({:.3}, err {:.1}%) should beat HLS ({:.3}, err {:.1}%) vs EDS {:.3}",
+        sfg.ipc(),
+        sfg_err * 100.0,
+        hls.ipc(),
+        hls_err * 100.0,
+        eds.ipc()
+    );
+}
+
+#[test]
+fn hls_pipeline_runs_for_every_workload() {
+    let machine = MachineConfig::baseline();
+    for w in ssim::workloads::all() {
+        let program = w.program();
+        let m = HlsModel::profile(&program, &machine, 500_000, 150_000);
+        let t = m.generate(20_000, 2);
+        let r = simulate_trace(&t, &machine);
+        assert!(r.ipc() > 0.05 && r.ipc() <= 8.0, "{}: HLS IPC {}", w.name(), r.ipc());
+    }
+}
+
+#[test]
+fn simpoint_weights_and_estimates_are_sane() {
+    let machine = MachineConfig::baseline();
+    let program = ssim::workloads::by_name("bzip2").unwrap().program();
+    let cfg = simpoint::SimPointConfig {
+        interval_len: 150_000,
+        intervals: 10,
+        max_k: 4,
+        seed: 11,
+    };
+    let points = simpoint::choose(&program, &cfg, 0);
+    assert!(!points.is_empty());
+    let weight: f64 = points.iter().map(|p| p.weight).sum();
+    assert!((weight - 1.0).abs() < 1e-9);
+    let ipc = simpoint::estimate_ipc(&program, &machine, &points, &cfg, 0);
+    assert!(ipc > 0.1 && ipc < 8.0, "SimPoint IPC {ipc}");
+}
+
+#[test]
+fn simpoint_tracks_full_eds() {
+    let machine = MachineConfig::baseline();
+    let program = ssim::workloads::by_name("crafty").unwrap().program();
+    let skip = 4_000_000u64;
+    let stream = 1_200_000u64;
+    let cfg = simpoint::SimPointConfig {
+        interval_len: 150_000,
+        intervals: (stream / 150_000) as usize,
+        max_k: 4,
+        seed: 5,
+    };
+    let mut e = ExecSim::new(&machine, &program);
+    e.skip(skip);
+    let eds = e.run(stream);
+    let points = simpoint::choose(&program, &cfg, skip);
+    let sp = simpoint::estimate_ipc(&program, &machine, &points, &cfg, skip);
+    let err = absolute_error(sp, eds.ipc());
+    assert!(err < 0.15, "SimPoint {sp:.3} vs EDS {:.3}: err {:.1}%", eds.ipc(), err * 100.0);
+}

@@ -1,0 +1,97 @@
+//! Cross-crate consistency checks: the substrates must agree with each
+//! other where their models overlap.
+
+use ssim::prelude::*;
+use ssim::uarch::Unit;
+
+/// The profiler and the EDS see the same functional stream, the same
+/// cache geometry and the same predictor: their observed rates must
+/// agree closely over the same window.
+#[test]
+fn profiler_and_eds_agree_on_locality_rates() {
+    let machine = MachineConfig::baseline();
+    let program = ssim::workloads::by_name("twolf").unwrap().program();
+    let skip = 4_000_000u64;
+    let n = 500_000u64;
+
+    let p = profile(&program, &ProfileConfig::new(&machine).skip(skip).instructions(n));
+    let mut e = ExecSim::new(&machine, &program);
+    e.skip(skip);
+    let eds = e.run(n);
+
+    // Aggregate the profile's per-context load miss probabilities.
+    let (mut trials, mut misses) = (0u64, 0u64);
+    for (_, s) in p.contexts() {
+        for slot in &s.slots {
+            if let Some(d) = &slot.dcache {
+                trials += d.l1.trials();
+                misses += d.l1.events();
+            }
+        }
+    }
+    let profiled = misses as f64 / trials.max(1) as f64;
+    let eds_rate = eds.cache.l1d_load_miss_rate;
+    assert!(
+        (profiled - eds_rate).abs() < 0.10,
+        "L1D rates diverge: profile {profiled:.3} vs EDS {eds_rate:.3}"
+    );
+
+    // MPKI agreement (delayed update was designed for exactly this).
+    assert!(
+        (p.branch_mpki() - eds.mpki()).abs() < 6.0,
+        "MPKI diverges: profile {:.2} vs EDS {:.2}",
+        p.branch_mpki(),
+        eds.mpki()
+    );
+}
+
+/// The functional machine and the EDS commit the same instructions.
+#[test]
+fn eds_commits_the_functional_stream() {
+    let machine = MachineConfig::baseline();
+    let program = ssim::workloads::by_name("crafty").unwrap().program_with_rounds(200);
+    // Count the functional stream.
+    let functional = ssim::func::Machine::new(&program).count() as u64;
+    let eds = ExecSim::new(&machine, &program).run(u64::MAX);
+    assert_eq!(eds.instructions, functional, "EDS must commit exactly the program");
+}
+
+/// Power evaluation consumes activity from either simulator without
+/// caring which produced it, and activity totals are consistent with
+/// instruction counts.
+#[test]
+fn activity_counters_are_consistent() {
+    let machine = MachineConfig::baseline();
+    let program = ssim::workloads::by_name("gzip").unwrap().program();
+    let mut e = ExecSim::new(&machine, &program);
+    e.skip(1_000_000);
+    let r = e.run(300_000);
+
+    let dispatch = r.activity.unit(Unit::Dispatch).accesses;
+    // Dispatch >= committed (wrong-path instructions dispatch too).
+    assert!(dispatch >= r.instructions, "{dispatch} < {}", r.instructions);
+    // Fetch >= dispatch (everything dispatched was fetched).
+    assert!(r.activity.unit(Unit::Fetch).accesses >= dispatch);
+    // Committed loads+stores accessed the D-cache at least once each.
+    assert!(r.activity.unit(Unit::DCache).accesses > 0);
+    assert_eq!(r.activity.cycles(), r.cycles);
+}
+
+/// Config builders preserve the Table 2 baseline semantics across
+/// crates (bpred scaling, hierarchy scaling, machine validation).
+#[test]
+fn scaled_configs_stay_valid() {
+    let base = MachineConfig::baseline();
+    for f in [0.25, 0.5, 2.0, 4.0] {
+        let mut cfg = base.clone();
+        cfg.bpred = cfg.bpred.scaled(f);
+        cfg.hierarchy = cfg.hierarchy.scaled(f);
+        cfg.validate();
+        // The scaled machine must still simulate.
+        let program = ssim::workloads::by_name("eon").unwrap().program();
+        let mut e = ExecSim::new(&cfg, &program);
+        e.skip(500_000);
+        let r = e.run(50_000);
+        assert!(r.ipc() > 0.05, "factor {f}: IPC {}", r.ipc());
+    }
+}

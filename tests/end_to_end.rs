@@ -1,0 +1,101 @@
+//! End-to-end integration: profile → generate → simulate for every
+//! workload in the suite, on a scaled-down budget.
+
+use ssim::prelude::*;
+
+fn quick_profile(name: &str, machine: &MachineConfig) -> (StatisticalProfile, SyntheticTrace) {
+    let program = ssim::workloads::by_name(name).expect("known workload").program();
+    let p = profile(
+        &program,
+        &ProfileConfig::new(machine).skip(500_000).instructions(300_000),
+    );
+    let t = p.generate(20, 1);
+    (p, t)
+}
+
+#[test]
+fn every_workload_flows_through_the_pipeline() {
+    let machine = MachineConfig::baseline();
+    for w in ssim::workloads::all() {
+        let (p, t) = quick_profile(w.name(), &machine);
+        assert!(p.instructions() > 250_000, "{}: profile too short", w.name());
+        assert!(p.sfg().node_count() > 0, "{}: empty SFG", w.name());
+        assert!(!t.is_empty(), "{}: empty synthetic trace", w.name());
+        let r = simulate_trace(&t, &machine);
+        assert_eq!(r.instructions, t.len() as u64, "{}: trace must fully commit", w.name());
+        let ipc = r.ipc();
+        assert!(
+            ipc > 0.05 && ipc <= 8.0,
+            "{}: implausible synthetic IPC {ipc}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn trace_length_scales_inversely_with_r() {
+    let machine = MachineConfig::baseline();
+    let program = ssim::workloads::by_name("crafty").unwrap().program();
+    let p = profile(
+        &program,
+        &ProfileConfig::new(&machine).skip(100_000).instructions(400_000),
+    );
+    let t10 = p.generate(10, 1);
+    let t100 = p.generate(100, 1);
+    let ratio = t10.len() as f64 / t100.len().max(1) as f64;
+    assert!((6.0..16.0).contains(&ratio), "R scaling broken: ratio {ratio}");
+}
+
+#[test]
+fn synthetic_ipc_is_stable_across_seeds() {
+    let machine = MachineConfig::baseline();
+    let (p, _) = quick_profile("perlbmk", &machine);
+    let ipcs: Vec<f64> = (0..5)
+        .map(|seed| simulate_trace(&p.generate(20, seed), &machine).ipc())
+        .collect();
+    let s: Summary = ipcs.iter().copied().collect();
+    assert!(
+        s.cov() < 0.06,
+        "synthetic IPC should converge across seeds (§4.1), CoV = {}",
+        s.cov()
+    );
+}
+
+#[test]
+fn power_model_attaches_to_both_simulators() {
+    let machine = MachineConfig::baseline();
+    let program = ssim::workloads::by_name("eon").unwrap().program();
+    let p = profile(
+        &program,
+        &ProfileConfig::new(&machine).skip(500_000).instructions(200_000),
+    );
+    let ss = simulate_trace(&p.generate(10, 1), &machine);
+    let mut eds = ExecSim::new(&machine, &program);
+    eds.skip(500_000);
+    let eds = eds.run(200_000);
+
+    let model = PowerModel::new(&machine);
+    let ss_epc = model.evaluate(&ss.activity).epc();
+    let eds_epc = model.evaluate(&eds.activity).epc();
+    assert!(ss_epc > 0.0 && eds_epc > 0.0);
+    // Both estimates live in the same ballpark (well under 2x apart).
+    let err = absolute_error(ss_epc, eds_epc);
+    assert!(err < 0.5, "EPC prediction wildly off: {ss_epc} vs {eds_epc}");
+}
+
+#[test]
+fn sfg_order_k_is_respected_end_to_end() {
+    let machine = MachineConfig::baseline();
+    let program = ssim::workloads::by_name("gcc").unwrap().program();
+    for k in 0..=3 {
+        let p = profile(
+            &program,
+            &ProfileConfig::new(&machine).order(k).skip(500_000).instructions(150_000),
+        );
+        assert_eq!(p.k(), k);
+        let t = p.generate(20, 1);
+        assert!(!t.is_empty(), "k={k}: empty trace");
+        let r = simulate_trace(&t, &machine);
+        assert!(r.ipc() > 0.05, "k={k}: IPC {}", r.ipc());
+    }
+}
