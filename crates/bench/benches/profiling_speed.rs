@@ -1,4 +1,4 @@
-//! Criterion bench: statistical profiling and synthetic trace
+//! Micro-benchmark: statistical profiling and synthetic trace
 //! generation throughput.
 //!
 //! Profiling is the one full pass statistical simulation needs per
@@ -6,38 +6,29 @@
 //! Both must stay cheap relative to execution-driven simulation for
 //! the methodology to pay off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ssim::prelude::*;
+use ssim_bench::timing::{bench, report};
 
 const N: u64 = 300_000;
 
-fn bench_profiling(c: &mut Criterion) {
+fn main() {
     let machine = MachineConfig::baseline();
-    let mut group = c.benchmark_group("profiling");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(5));
-    group.throughput(Throughput::Elements(N));
+    println!("profiling ({N} instructions/iter)");
 
     for name in ["crafty"] {
         let workload = ssim::workloads::by_name(name).expect("known workload");
         let program = workload.program();
-        group.bench_with_input(BenchmarkId::new("profile_k1", name), &(), |b, ()| {
-            b.iter(|| {
-                profile(
-                    &program,
-                    &ProfileConfig::new(&machine).skip(1_000_000).instructions(N),
-                )
-            });
+
+        let m = bench(&format!("profile_k1/{name}"), 1, 10, || {
+            profile(
+                &program,
+                &ProfileConfig::new(&machine).skip(1_000_000).instructions(N),
+            )
         });
+        report(&m, N);
 
         let p = profile(&program, &ProfileConfig::new(&machine).skip(1_000_000).instructions(N));
-        group.bench_with_input(BenchmarkId::new("generate_r20", name), &(), |b, ()| {
-            b.iter(|| p.generate(20, 7));
-        });
+        let m = bench(&format!("generate_r20/{name}"), 1, 10, || p.generate(20, 7));
+        report(&m, N / 20);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_profiling);
-criterion_main!(benches);

@@ -1,39 +1,30 @@
-//! Criterion bench: SFG construction cost as a function of order `k`.
+//! Micro-benchmark: SFG construction cost as a function of order `k`.
 //!
 //! Higher orders key more contexts (Table 3), so profiling cost and
 //! memory grow with `k`; the paper's choice of `k = 1` buys accuracy at
 //! nearly zeroth-order cost. This bench quantifies the profiling-time
 //! side of that trade-off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ssim::prelude::*;
+use ssim_bench::timing::{bench, report};
 
 const N: u64 = 200_000;
 
-fn bench_orders(c: &mut Criterion) {
+fn main() {
     let machine = MachineConfig::baseline();
     let workload = ssim::workloads::by_name("gcc").expect("gcc exists");
     let program = workload.program();
-    let mut group = c.benchmark_group("sfg_construction");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(5));
-    group.throughput(Throughput::Elements(N));
+    println!("sfg_construction ({N} instructions/iter)");
     for k in 0..=3usize {
-        group.bench_with_input(BenchmarkId::new("profile_order", k), &k, |b, &k| {
-            b.iter(|| {
-                profile(
-                    &program,
-                    &ProfileConfig::new(&machine)
-                        .order(k)
-                        .skip(1_000_000)
-                        .instructions(N),
-                )
-            });
+        let m = bench(&format!("profile_order/{k}"), 1, 10, || {
+            profile(
+                &program,
+                &ProfileConfig::new(&machine)
+                    .order(k)
+                    .skip(1_000_000)
+                    .instructions(N),
+            )
         });
+        report(&m, N);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_orders);
-criterion_main!(benches);

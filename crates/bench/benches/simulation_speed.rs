@@ -1,4 +1,4 @@
-//! Criterion bench: synthetic-trace simulation vs execution-driven
+//! Micro-benchmark: synthetic-trace simulation vs execution-driven
 //! simulation throughput.
 //!
 //! The paper's speed claim rests on two factors: the synthetic trace is
@@ -7,30 +7,25 @@
 //! predictors). This bench measures the per-instruction costs; the
 //! trace-length reduction multiplies on top.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ssim::prelude::*;
+use ssim_bench::timing::{bench, report};
 
 const N: u64 = 100_000;
 
-fn bench_simulators(c: &mut Criterion) {
+fn main() {
     let machine = MachineConfig::baseline();
-    let mut group = c.benchmark_group("simulation_speed");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(5));
-    group.throughput(Throughput::Elements(N));
+    println!("simulation_speed (per-instruction cost, {N} instructions/iter)");
 
     for name in ["gzip"] {
         let workload = ssim::workloads::by_name(name).expect("known workload");
         let program = workload.program();
 
-        group.bench_with_input(BenchmarkId::new("execution_driven", name), &(), |b, ()| {
-            b.iter(|| {
-                let mut sim = ExecSim::new(&machine, &program);
-                sim.skip(1_000_000);
-                sim.run(N)
-            });
+        let m = bench(&format!("execution_driven/{name}"), 1, 10, || {
+            let mut sim = ExecSim::new(&machine, &program);
+            sim.skip(1_000_000);
+            sim.run(N)
         });
+        report(&m, N);
 
         let p = profile(
             &program,
@@ -38,12 +33,9 @@ fn bench_simulators(c: &mut Criterion) {
         );
         let r = (p.instructions() / N).max(1);
         let trace = p.generate(r, 1);
-        group.bench_with_input(BenchmarkId::new("synthetic_trace", name), &(), |b, ()| {
-            b.iter(|| simulate_trace(&trace, &machine));
+        let m = bench(&format!("synthetic_trace/{name}"), 1, 10, || {
+            simulate_trace(&trace, &machine)
         });
+        report(&m, trace.len() as u64);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_simulators);
-criterion_main!(benches);

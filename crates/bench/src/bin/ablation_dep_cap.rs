@@ -8,7 +8,7 @@
 //! harmless.
 
 use ssim::prelude::*;
-use ssim_bench::{banner, eds, workloads, Budget, DEFAULT_R};
+use ssim_bench::{banner, eds, par_map, profile_cached, workloads, Budget, DEFAULT_R};
 
 fn main() {
     banner("Ablation", "dependency-distance cap vs IPC accuracy (RUU = 128)");
@@ -23,20 +23,28 @@ fn main() {
     println!();
 
     let mut errs: Vec<Vec<f64>> = vec![Vec::new(); caps.len()];
-    for w in workloads() {
-        let reference = eds(&machine, w, &budget);
-        print!("{:<10} {:>9.3}", w.name(), reference.ipc());
-        let program = w.program();
-        for (i, &cap) in caps.iter().enumerate() {
-            let p = profile(
-                &program,
-                &ProfileConfig::new(&machine)
-                    .dep_cap(cap)
-                    .skip(budget.skip)
-                    .instructions(budget.profile),
-            );
-            let predicted = simulate_trace(&p.generate(DEFAULT_R, 1), &machine);
-            let e = absolute_error(predicted.ipc(), reference.ipc());
+    // Each (workload, cap) needs its own profiling pass — the cap is a
+    // profiling-time filter — so fan the full cross product out.
+    let suite = workloads();
+    let references = par_map(&suite, |w| eds(&machine, w, &budget));
+    let tasks: Vec<(usize, usize)> = (0..suite.len())
+        .flat_map(|wi| (0..caps.len()).map(move |ci| (wi, ci)))
+        .collect();
+    let measured = par_map(&tasks, |&(wi, ci)| {
+        let p = profile_cached(
+            suite[wi],
+            &ProfileConfig::new(&machine)
+                .dep_cap(caps[ci])
+                .skip(budget.skip)
+                .instructions(budget.profile),
+        );
+        let predicted = simulate_trace(&p.generate(DEFAULT_R, 1), &machine);
+        absolute_error(predicted.ipc(), references[wi].ipc())
+    });
+    for (wi, w) in suite.iter().enumerate() {
+        print!("{:<10} {:>9.3}", w.name(), references[wi].ipc());
+        for i in 0..caps.len() {
+            let e = measured[wi * caps.len() + i];
             errs[i].push(e);
             print!(" {:>8.1}%", e * 100.0);
         }

@@ -7,7 +7,7 @@
 //! each lands from the execution-driven misprediction rate.
 
 use ssim::prelude::*;
-use ssim_bench::{banner, eds, workloads, Budget};
+use ssim_bench::{banner, eds, par_map, profile_cached, workloads, Budget};
 
 fn main() {
     banner("Ablation", "delayed-update FIFO size vs MPKI fidelity");
@@ -22,23 +22,32 @@ fn main() {
     println!();
 
     let mut gaps: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    for w in workloads() {
-        let reference = eds(&machine, w, &budget).mpki();
+    // One profiling pass per (workload, FIFO size), all independent.
+    let suite = workloads();
+    let references = par_map(&suite, |w| eds(&machine, w, &budget).mpki());
+    let tasks: Vec<(usize, usize)> = (0..suite.len())
+        .flat_map(|wi| (0..sizes.len()).map(move |si| (wi, si)))
+        .collect();
+    let mpkis = par_map(&tasks, |&(wi, si)| {
+        // The profiling FIFO is sized from the machine's IFQ field;
+        // the machine under study is unchanged.
+        let mut prof_machine = machine.clone();
+        prof_machine.ifq_size = sizes[si];
+        let p = profile_cached(
+            suite[wi],
+            &ProfileConfig::new(&prof_machine)
+                .skip(budget.skip)
+                .instructions(budget.profile),
+        );
+        p.branch_mpki()
+    });
+    for (wi, w) in suite.iter().enumerate() {
+        let reference = references[wi];
         print!("{:<10} {:>8.2}", w.name(), reference);
-        let program = w.program();
-        for (i, &s) in sizes.iter().enumerate() {
-            // The profiling FIFO is sized from the machine's IFQ field;
-            // the machine under study is unchanged.
-            let mut prof_machine = machine.clone();
-            prof_machine.ifq_size = s;
-            let p = profile(
-                &program,
-                &ProfileConfig::new(&prof_machine)
-                    .skip(budget.skip)
-                    .instructions(budget.profile),
-            );
-            gaps[i].push((p.branch_mpki() - reference).abs());
-            print!(" {:>8.2}", p.branch_mpki());
+        for i in 0..sizes.len() {
+            let mpki = mpkis[wi * sizes.len() + i];
+            gaps[i].push((mpki - reference).abs());
+            print!(" {:>8.2}", mpki);
         }
         println!();
     }

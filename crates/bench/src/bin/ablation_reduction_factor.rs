@@ -7,7 +7,7 @@
 //! speed/stability trade-off directly.
 
 use ssim::prelude::*;
-use ssim_bench::{banner, eds, profiled, workloads, Budget};
+use ssim_bench::{banner, eds, par_map, profiled, workloads, Budget};
 use std::time::Instant;
 
 fn main() {
@@ -25,21 +25,34 @@ fn main() {
     let mut errs: Vec<Vec<f64>> = vec![Vec::new(); rs.len()];
     let mut lens: Vec<u64> = vec![0; rs.len()];
     let mut times: Vec<f64> = vec![0.0; rs.len()];
-    for w in workloads() {
+    // Workloads are independent rows: each produces its reference IPC
+    // plus one (error, trace length, sim seconds) triple per R.
+    let suite = workloads();
+    let rows = par_map(&suite, |w| {
         let reference = eds(&machine, w, &budget);
         let p = profiled(&machine, w, &budget);
-        print!("{:<10} {:>9.3}", w.name(), reference.ipc());
-        for (i, &r) in rs.iter().enumerate() {
-            let trace = p.generate(r, 1);
-            let t0 = Instant::now();
-            let predicted = simulate_trace(&trace, &machine);
-            times[i] += t0.elapsed().as_secs_f64();
-            lens[i] += trace.len() as u64;
-            let e = if trace.is_empty() {
-                1.0
-            } else {
-                absolute_error(predicted.ipc(), reference.ipc())
-            };
+        let per_r: Vec<(f64, u64, f64)> = rs
+            .iter()
+            .map(|&r| {
+                let trace = p.generate(r, 1);
+                let t0 = Instant::now();
+                let predicted = simulate_trace(&trace, &machine);
+                let secs = t0.elapsed().as_secs_f64();
+                let e = if trace.is_empty() {
+                    1.0
+                } else {
+                    absolute_error(predicted.ipc(), reference.ipc())
+                };
+                (e, trace.len() as u64, secs)
+            })
+            .collect();
+        (reference.ipc(), per_r)
+    });
+    for (w, (reference_ipc, per_r)) in suite.iter().zip(&rows) {
+        print!("{:<10} {:>9.3}", w.name(), reference_ipc);
+        for (i, &(e, len, secs)) in per_r.iter().enumerate() {
+            times[i] += secs;
+            lens[i] += len;
             errs[i].push(e);
             print!(" {:>8.1}%", e * 100.0);
         }

@@ -10,7 +10,7 @@
 
 use ssim::cache::AssocSweep;
 use ssim::func::Machine;
-use ssim_bench::{banner, workloads, Budget};
+use ssim_bench::{banner, par_map, workloads, Budget};
 use std::time::Instant;
 
 fn main() {
@@ -24,7 +24,9 @@ fn main() {
     }
     println!(" {:>8}", "pass(s)");
 
-    for w in workloads() {
+    // One functional pass per workload, all passes in parallel; rows
+    // come back in workload order.
+    let rows = par_map(&workloads(), |w| {
         let program = w.program();
         // 16KB L1D geometry from Table 2: 32B blocks; the set count of
         // the 4-way point (128 sets) is held fixed across the sweep.
@@ -46,11 +48,15 @@ fn main() {
                 break;
             }
         }
-        print!("{:<10}", w.name());
+        let mut row = format!("{:<10}", w.name());
         for a in 1..=assocs {
-            print!(" {:>7.2}%", sweep.miss_rate(a) * 100.0);
+            row.push_str(&format!(" {:>7.2}%", sweep.miss_rate(a) * 100.0));
         }
-        println!(" {:>8.2}", t0.elapsed().as_secs_f64());
+        row.push_str(&format!(" {:>8.2}", t0.elapsed().as_secs_f64()));
+        row
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!();
     println!("one functional pass per workload yields every associativity's miss rate;");

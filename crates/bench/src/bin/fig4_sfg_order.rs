@@ -6,7 +6,7 @@
 //! is as good as `k = 2, 3` — motivating first-order SFGs.
 
 use ssim::prelude::*;
-use ssim_bench::{banner, eds, profiled_with, ss, workloads, Budget};
+use ssim_bench::{banner, eds, par_map, profiled_with, ss, workloads, Budget};
 
 fn main() {
     banner("Figure 4", "IPC error vs SFG order k (perfect caches + bpred)");
@@ -20,13 +20,21 @@ fn main() {
         "workload", "EDS-IPC", "k=0", "k=1", "k=2", "k=3"
     );
     let mut per_k: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for w in workloads() {
-        let reference = eds(&machine, w, &budget);
-        print!("{:<10} {:>9.3}", w.name(), reference.ipc());
+    // (workload, k) pairs are independent; the EDS reference is shared
+    // by the four orders, so it runs in a first parallel wave.
+    let suite = workloads();
+    let references = par_map(&suite, |w| eds(&machine, w, &budget));
+    let tasks: Vec<(usize, usize)> =
+        (0..suite.len()).flat_map(|wi| (0..=3usize).map(move |k| (wi, k))).collect();
+    let errors = par_map(&tasks, |&(wi, k)| {
+        let p = profiled_with(&machine, suite[wi], &budget, k, BranchProfileMode::Perfect);
+        let predicted = ss(&p, &machine, 1);
+        absolute_error(predicted.ipc(), references[wi].ipc())
+    });
+    for (wi, w) in suite.iter().enumerate() {
+        print!("{:<10} {:>9.3}", w.name(), references[wi].ipc());
         for k in 0..=3usize {
-            let p = profiled_with(&machine, w, &budget, k, BranchProfileMode::Perfect);
-            let predicted = ss(&p, &machine, 1);
-            let err = absolute_error(predicted.ipc(), reference.ipc());
+            let err = errors[wi * 4 + k];
             per_k[k].push(err);
             print!(" {:>7.1}%", err * 100.0);
         }

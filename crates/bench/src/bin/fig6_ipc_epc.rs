@@ -7,7 +7,7 @@
 //! mean EDP error 11%.
 
 use ssim::prelude::*;
-use ssim_bench::{banner, eds, profiled, ss, workloads, Budget};
+use ssim_bench::{banner, eds, par_map, profiled, ss, workloads, Budget};
 
 fn main() {
     banner("Figure 6", "absolute IPC / EPC / EDP accuracy on the baseline machine");
@@ -20,11 +20,16 @@ fn main() {
         "workload", "EDS-IPC", "SS-IPC", "err%", "EDS-EPC", "SS-EPC", "err%", "EDPerr%"
     );
     let (mut ipc_errs, mut epc_errs, mut edp_errs) = (Vec::new(), Vec::new(), Vec::new());
-    for w in workloads() {
+    // Workloads are independent; run each (EDS reference + profile +
+    // statistical run) on its own thread, then print in suite order.
+    let suite = workloads();
+    let runs = par_map(&suite, |w| {
         let reference = eds(&machine, w, &budget);
         let p = profiled(&machine, w, &budget);
         let predicted = ss(&p, &machine, 1);
-
+        (reference, predicted)
+    });
+    for (w, (reference, predicted)) in suite.iter().zip(&runs) {
         let eds_epc = power.evaluate(&reference.activity).epc();
         let ss_epc = power.evaluate(&predicted.activity).epc();
         let eds_edp = eds_epc / (reference.ipc() * reference.ipc());

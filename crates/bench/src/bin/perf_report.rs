@@ -1,0 +1,106 @@
+//! Performance report for the parallel experiment engine.
+//!
+//! Measures, on this machine, the two wins the engine claims:
+//!
+//! 1. **Thread scaling** — the same design-space sweep at one thread vs
+//!    `SSIM_THREADS` threads (results are bit-identical either way).
+//! 2. **Profile cache** — profiling the whole suite cold (empty cache)
+//!    vs warm (every profile served from disk).
+//!
+//! Emits `results/BENCH_parallel.json` alongside a human-readable
+//! summary on stdout.
+
+use ssim::prelude::*;
+use ssim_bench::{banner, cache_stats, num_threads, par_map_with, profiled, workloads, Budget};
+use std::time::Instant;
+
+fn main() {
+    banner("Perf report", "parallel sweep + profile cache wall-clock");
+    let budget = Budget::from_env();
+    let base = MachineConfig::baseline();
+    let threads = num_threads();
+
+    // A private cache root makes the cold pass genuinely cold without
+    // touching (or trusting) the shared results/.profile-cache.
+    let cache_root =
+        std::env::temp_dir().join(format!("ssim-perf-report-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_root);
+    std::env::set_var("SSIM_PROFILE_CACHE_DIR", &cache_root);
+    std::env::remove_var("SSIM_NO_PROFILE_CACHE");
+
+    let suite = workloads();
+    println!("threads: {threads}, workloads: {}", suite.len());
+
+    // --- profile cache: cold vs warm ---------------------------------
+    let (h0, m0) = cache_stats();
+    let t = Instant::now();
+    let profiles = par_map_with(threads, &suite, |w| profiled(&base, w, &budget));
+    let profile_cold_s = t.elapsed().as_secs_f64();
+    let (h1, m1) = cache_stats();
+
+    let t = Instant::now();
+    let warm = par_map_with(threads, &suite, |w| profiled(&base, w, &budget));
+    let profile_warm_s = t.elapsed().as_secs_f64();
+    let (h2, m2) = cache_stats();
+    assert_eq!(warm.len(), profiles.len());
+
+    let cold = (h1 - h0, m1 - m0);
+    let warm_stats = (h2 - h1, m2 - m1);
+    println!(
+        "profiling: cold {profile_cold_s:.2}s ({} misses), warm {profile_warm_s:.2}s ({} hits) — {:.1}x",
+        cold.1,
+        warm_stats.0,
+        profile_cold_s / profile_warm_s.max(1e-9)
+    );
+
+    // --- sweep: 1 thread vs SSIM_THREADS -----------------------------
+    // The sec46 shape: one synthetic trace, many machine points.
+    let trace = profiles[0].generate(ssim_bench::DEFAULT_R, 1);
+    let points: Vec<MachineConfig> = [1usize, 2, 4, 8]
+        .iter()
+        .flat_map(|&w| {
+            [16usize, 32, 48, 64, 96, 128, 192, 256]
+                .map(|win| base.clone().with_width(w).with_window(win))
+        })
+        .collect();
+
+    let t = Instant::now();
+    let serial = par_map_with(1, &points, |cfg| simulate_trace(&trace, cfg).cycles);
+    let sweep_serial_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let parallel = par_map_with(threads, &points, |cfg| simulate_trace(&trace, cfg).cycles);
+    let sweep_parallel_s = t.elapsed().as_secs_f64();
+
+    assert_eq!(serial, parallel, "thread count changed sweep results");
+    let speedup = sweep_serial_s / sweep_parallel_s.max(1e-9);
+    println!(
+        "sweep ({} points): serial {sweep_serial_s:.2}s, {threads} threads {sweep_parallel_s:.2}s — {speedup:.1}x",
+        points.len()
+    );
+
+    // --- report ------------------------------------------------------
+    let names: Vec<String> = suite.iter().map(|w| format!("\"{}\"", w.name())).collect();
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"workloads\": [{}],\n  \
+         \"profile_cold_s\": {profile_cold_s:.4},\n  \
+         \"profile_warm_s\": {profile_warm_s:.4},\n  \
+         \"cache_cold\": {{\"hits\": {}, \"misses\": {}}},\n  \
+         \"cache_warm\": {{\"hits\": {}, \"misses\": {}}},\n  \
+         \"sweep_points\": {},\n  \
+         \"sweep_serial_s\": {sweep_serial_s:.4},\n  \
+         \"sweep_parallel_s\": {sweep_parallel_s:.4},\n  \
+         \"sweep_speedup\": {speedup:.2}\n}}\n",
+        names.join(", "),
+        cold.0,
+        cold.1,
+        warm_stats.0,
+        warm_stats.1,
+        points.len(),
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote results/BENCH_parallel.json");
+
+    let _ = std::fs::remove_dir_all(&cache_root);
+}

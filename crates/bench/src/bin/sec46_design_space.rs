@@ -7,7 +7,7 @@
 //! within 0.03–1.24% of optimal EDP for the remaining three.
 
 use ssim::prelude::*;
-use ssim_bench::{banner, quick, workloads, Budget};
+use ssim_bench::{banner, par_map, profiled, quick, workloads, Budget};
 
 fn grid(quick: bool) -> Vec<MachineConfig> {
     let base = MachineConfig::baseline();
@@ -59,24 +59,21 @@ fn main() {
     );
     for w in &suite {
         let program = w.program();
-        let p = profile(
-            &program,
-            &ProfileConfig::new(&MachineConfig::baseline())
-                .skip(budget.skip)
-                .instructions(budget.profile),
-        );
+        let p = profiled(&MachineConfig::baseline(), w, &budget);
         let r = (p.instructions() / trace_target).max(1);
         let trace = p.generate(r, 1);
 
-        // Statistical sweep of the whole space.
-        let mut evaluated: Vec<(f64, usize)> = points
-            .iter()
-            .enumerate()
-            .map(|(i, cfg)| {
-                let res = simulate_trace(&trace, cfg);
-                (edp_of(&res, cfg), i)
-            })
-            .collect();
+        // Statistical sweep of the whole space, fanned out across
+        // cores; par_map preserves point order, so the sort below sees
+        // the same tie-break order as the serial sweep did.
+        let mut evaluated: Vec<(f64, usize)> = par_map(&points, |cfg| {
+            let res = simulate_trace(&trace, cfg);
+            edp_of(&res, cfg)
+        })
+        .into_iter()
+        .enumerate()
+        .map(|(i, edp)| (edp, i))
+        .collect();
         evaluated.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("EDP is finite"));
         let best_edp = evaluated[0].0;
 
@@ -88,16 +85,13 @@ fn main() {
             .map(|&(_, i)| i)
             .take(5)
             .collect();
-        let mut verified: Vec<(f64, usize)> = near
-            .iter()
-            .map(|&i| {
-                let cfg = &points[i];
-                let mut sim = ExecSim::new(cfg, &program);
-                sim.skip(budget.skip);
-                let res = sim.run(budget.eds.min(800_000));
-                (edp_of(&res, cfg), i)
-            })
-            .collect();
+        let mut verified: Vec<(f64, usize)> = par_map(&near, |&i| {
+            let cfg = &points[i];
+            let mut sim = ExecSim::new(cfg, &program);
+            sim.skip(budget.skip);
+            let res = sim.run(budget.eds.min(800_000));
+            (edp_of(&res, cfg), i)
+        });
         verified.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("EDP is finite"));
 
         let chosen = evaluated[0].1;

@@ -11,7 +11,7 @@
 use ssim::prelude::*;
 use ssim::uarch::Unit;
 use ssim::workloads::Workload;
-use ssim_bench::{banner, workloads, Budget, DEFAULT_R};
+use ssim_bench::{banner, par_map, profile_cached, workloads, Budget, DEFAULT_R};
 
 /// All metrics we can extract from one run.
 const METRICS: &[&str] = &[
@@ -137,41 +137,52 @@ fn run_axis(axis: &Axis, suite: &[&Workload], budget: &Budget) {
     let n_points = axis.points.len();
     let mut res: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); n_points - 1]; METRICS.len()];
 
-    for w in suite {
-        let program = w.program();
-        // One profile when locality structures are shared by all points.
-        let shared_profile = if axis.reprofile {
-            None
-        } else {
-            Some(profile(
-                &program,
-                &ProfileConfig::new(&axis.points[0].1)
-                    .skip(budget.skip)
-                    .instructions(budget.profile),
-            ))
-        };
-        let mut eds_m: Vec<Vec<f64>> = Vec::new();
-        let mut ss_m: Vec<Vec<f64>> = Vec::new();
-        for (_, cfg) in &axis.points {
-            let mut sim = ExecSim::new(cfg, &program);
-            sim.skip(budget.skip);
-            let eds = sim.run(budget.eds);
-            eds_m.push(metrics(&eds, cfg));
+    // One profile + one synthetic trace per workload when the locality
+    // structures are shared by all points. The trace depends only on
+    // the profile and the generation seed, so it is generated once here
+    // instead of once per design point.
+    let shared_traces: Vec<Option<SyntheticTrace>> = suite
+        .iter()
+        .map(|w| {
+            (!axis.reprofile).then(|| {
+                let p = profile_cached(
+                    w,
+                    &ProfileConfig::new(&axis.points[0].1)
+                        .skip(budget.skip)
+                        .instructions(budget.profile),
+                );
+                p.generate(DEFAULT_R, 1)
+            })
+        })
+        .collect();
 
-            let p;
-            let prof = match &shared_profile {
-                Some(p) => p,
-                None => {
-                    p = profile(
-                        &program,
-                        &ProfileConfig::new(cfg).skip(budget.skip).instructions(budget.profile),
-                    );
-                    &p
-                }
-            };
-            let ss = simulate_trace(&prof.generate(DEFAULT_R, 1), cfg);
-            ss_m.push(metrics(&ss, cfg));
-        }
+    // Every (workload, design point) pair is independent: EDS run plus
+    // statistical run, fanned out across cores.
+    let tasks: Vec<(usize, usize)> = (0..suite.len())
+        .flat_map(|wi| (0..n_points).map(move |pi| (wi, pi)))
+        .collect();
+    let measured: Vec<(Vec<f64>, Vec<f64>)> = par_map(&tasks, |&(wi, pi)| {
+        let w = suite[wi];
+        let cfg = &axis.points[pi].1;
+        let program = w.program();
+        let mut sim = ExecSim::new(cfg, &program);
+        sim.skip(budget.skip);
+        let eds = sim.run(budget.eds);
+        let ss = match &shared_traces[wi] {
+            Some(trace) => simulate_trace(trace, cfg),
+            None => {
+                let p = profile_cached(
+                    w,
+                    &ProfileConfig::new(cfg).skip(budget.skip).instructions(budget.profile),
+                );
+                simulate_trace(&p.generate(DEFAULT_R, 1), cfg)
+            }
+        };
+        (metrics(&eds, cfg), metrics(&ss, cfg))
+    });
+
+    for per_workload in measured.chunks(n_points) {
+        let (eds_m, ss_m): (Vec<_>, Vec<_>) = per_workload.iter().cloned().unzip();
         for m in 0..METRICS.len() {
             for t in 0..n_points - 1 {
                 let re = relative_error(

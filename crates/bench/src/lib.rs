@@ -7,10 +7,23 @@
 //!   smoke run;
 //! * `SSIM_PROFILE_INSTR` / `SSIM_EDS_INSTR` / `SSIM_SKIP` — override
 //!   the instruction budgets;
-//! * `SSIM_WORKLOADS=a,b,c` — restrict the workload set.
+//! * `SSIM_WORKLOADS=a,b,c` — restrict the workload set;
+//! * `SSIM_THREADS=n` — thread count for the parallel sweeps (default:
+//!   available parallelism; `1` forces the serial path). Output is
+//!   identical at every thread count — [`par_map`] preserves input
+//!   order;
+//! * `SSIM_NO_PROFILE_CACHE=1` — bypass the on-disk profile cache
+//!   under `results/.profile-cache/` (see [`profile_cache`]);
+//!   `SSIM_PROFILE_CACHE_DIR` relocates it.
 
 use ssim::prelude::*;
 use ssim::workloads::Workload;
+
+pub mod profile_cache;
+pub mod timing;
+
+pub use profile_cache::{cache_enabled, cache_stats, profile_cached};
+pub use ssim_par::{num_threads, par_map, par_map_with};
 
 /// Instruction budgets for one experiment run.
 #[derive(Debug, Clone, Copy)]
@@ -70,20 +83,21 @@ pub fn eds(machine: &MachineConfig, workload: &Workload, budget: &Budget) -> Sim
     sim.run(budget.eds)
 }
 
-/// Builds a statistical profile over the budget window.
+/// Builds a statistical profile over the budget window, reusing the
+/// on-disk cache when an identical profile was built before.
 pub fn profiled(
     machine: &MachineConfig,
     workload: &Workload,
     budget: &Budget,
 ) -> StatisticalProfile {
-    let program = workload.program();
-    profile(
-        &program,
+    profile_cached(
+        workload,
         &ProfileConfig::new(machine).skip(budget.skip).instructions(budget.profile),
     )
 }
 
-/// Profiles with explicit overrides (order / branch mode).
+/// Profiles with explicit overrides (order / branch mode), through the
+/// on-disk cache.
 pub fn profiled_with(
     machine: &MachineConfig,
     workload: &Workload,
@@ -91,9 +105,8 @@ pub fn profiled_with(
     k: usize,
     mode: BranchProfileMode,
 ) -> StatisticalProfile {
-    let program = workload.program();
-    profile(
-        &program,
+    profile_cached(
+        workload,
         &ProfileConfig::new(machine)
             .order(k)
             .branch_mode(mode)

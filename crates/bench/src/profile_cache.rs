@@ -1,0 +1,141 @@
+//! On-disk cache of statistical profiles.
+//!
+//! Profiling is the one expensive pass of statistical simulation — a
+//! multi-million-instruction functional run with live caches and
+//! predictors. Every experiment binary used to repeat it from scratch
+//! per invocation even though the result depends only on the workload
+//! and the [`ProfileConfig`]. This module memoises profiles on disk
+//! using the versioned wire format of `ssim-core`'s serializer.
+//!
+//! # Layout and invalidation
+//!
+//! Files live under `results/.profile-cache/` (override the root with
+//! `SSIM_PROFILE_CACHE_DIR`), named
+//! `<workload>-<key>.ssimprf` where `<key>` is a 64-bit content hash of:
+//!
+//! * a cache schema version ([`CACHE_VERSION`] — bump to invalidate
+//!   everything),
+//! * the workload name,
+//! * the full `Debug` rendering of the [`ProfileConfig`], which spells
+//!   out every field including the nested `MachineConfig` (branch
+//!   predictor, hierarchy, widths, budgets…).
+//!
+//! Any knob change therefore changes the key and misses cleanly; stale
+//! entries are never *wrong*, only unused. A file that fails to
+//! deserialize (truncated write, format bump in `ssim-core`) is treated
+//! as a miss and overwritten. Writes go through a per-process temp file
+//! renamed into place, so concurrent experiment binaries never observe
+//! a torn profile.
+//!
+//! `SSIM_NO_PROFILE_CACHE=1` bypasses the cache entirely (reads *and*
+//! writes), which the determinism tests and cold-cache benchmarks use.
+
+use ssim::prelude::*;
+use ssim::workloads::Workload;
+use std::fs;
+use std::hash::Hasher;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bump to invalidate every cached profile (schema or semantics
+/// change in the profiler that the `ProfileConfig` fingerprint cannot
+/// see).
+pub const CACHE_VERSION: u32 = 1;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Whether the on-disk cache is active (`SSIM_NO_PROFILE_CACHE=1`
+/// disables it).
+pub fn cache_enabled() -> bool {
+    !std::env::var("SSIM_NO_PROFILE_CACHE").is_ok_and(|v| v != "0")
+}
+
+/// Cache root: `SSIM_PROFILE_CACHE_DIR` or `results/.profile-cache`.
+pub fn cache_dir() -> PathBuf {
+    std::env::var_os("SSIM_PROFILE_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/.profile-cache"))
+}
+
+/// (hits, misses) recorded by [`profile_cached`] in this process.
+pub fn cache_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Content hash identifying one `(workload, ProfileConfig)` pair.
+pub fn cache_key(workload: &str, cfg: &ProfileConfig) -> u64 {
+    let fingerprint = format!("v{CACHE_VERSION} {workload} {cfg:?}");
+    let mut h = ssim::core::FxHasher::default();
+    h.write(fingerprint.as_bytes());
+    h.finish()
+}
+
+/// The on-disk path for one `(workload, ProfileConfig)` pair.
+pub fn cache_path(workload: &str, cfg: &ProfileConfig) -> PathBuf {
+    cache_dir().join(format!("{workload}-{:016x}.ssimprf", cache_key(workload, cfg)))
+}
+
+/// Builds (or loads) the statistical profile of `workload` under `cfg`.
+///
+/// On a cache hit this skips the profiling pass entirely — it does not
+/// even construct the workload's program. Load failures fall back to
+/// profiling and overwrite the bad entry; save failures are ignored
+/// (the cache is an optimisation, never a correctness dependency).
+pub fn profile_cached(workload: &Workload, cfg: &ProfileConfig) -> StatisticalProfile {
+    if !cache_enabled() {
+        return profile(&workload.program(), cfg);
+    }
+    let path = cache_path(workload.name(), cfg);
+    if let Ok(file) = fs::File::open(&path) {
+        if let Ok(p) = StatisticalProfile::load(&mut BufReader::new(file)) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return p;
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let p = profile(&workload.program(), cfg);
+    let _ = store(&path, &p);
+    p
+}
+
+fn store(path: &std::path::Path, p: &StatisticalProfile) -> std::io::Result<()> {
+    let dir = path.parent().expect("cache path has a parent");
+    fs::create_dir_all(dir)?;
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut w = BufWriter::new(fs::File::create(&tmp)?);
+        p.save(&mut w)?;
+    }
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_depends_on_workload_and_config() {
+        let base = MachineConfig::baseline();
+        let cfg = ProfileConfig::new(&base).instructions(1000);
+        assert_eq!(cache_key("gzip", &cfg), cache_key("gzip", &cfg));
+        assert_ne!(cache_key("gzip", &cfg), cache_key("gcc", &cfg));
+        assert_ne!(
+            cache_key("gzip", &cfg),
+            cache_key("gzip", &ProfileConfig::new(&base).instructions(2000))
+        );
+        assert_ne!(
+            cache_key("gzip", &cfg),
+            cache_key("gzip", &ProfileConfig::new(&base.clone().with_width(2)).instructions(1000))
+        );
+    }
+
+    #[test]
+    fn path_embeds_workload_name() {
+        let cfg = ProfileConfig::new(&MachineConfig::baseline());
+        let p = cache_path("twolf", &cfg);
+        assert!(p.file_name().unwrap().to_str().unwrap().starts_with("twolf-"));
+        assert!(p.extension().unwrap() == "ssimprf");
+    }
+}

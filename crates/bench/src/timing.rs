@@ -1,0 +1,87 @@
+//! Minimal wall-clock measurement for the micro-benchmarks.
+//!
+//! The benches under `benches/` were originally Criterion harnesses;
+//! Criterion is unavailable offline, so they use this std-only helper
+//! instead: warm up, run a fixed number of timed iterations, report
+//! median / mean / min over the iterations plus per-element throughput.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: summary statistics over timed iterations.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub name: String,
+    pub iters: u32,
+    pub median: Duration,
+    pub mean: Duration,
+    pub min: Duration,
+}
+
+impl Measurement {
+    /// Nanoseconds per element at the median iteration time.
+    pub fn ns_per_element(&self, elements: u64) -> f64 {
+        self.median.as_nanos() as f64 / elements.max(1) as f64
+    }
+
+    /// Elements per second at the median iteration time.
+    pub fn throughput(&self, elements: u64) -> f64 {
+        elements as f64 / self.median.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Times `f` over `iters` iterations after `warmup` untimed runs.
+///
+/// The closure's return value is passed through `std::hint::black_box`
+/// so the optimiser cannot delete the measured work.
+pub fn bench<R>(name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> R) -> Measurement {
+    assert!(iters >= 1);
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / iters;
+    Measurement {
+        name: name.to_string(),
+        iters,
+        median,
+        mean,
+        min: samples[0],
+    }
+}
+
+/// Prints one measurement in a fixed-width table row, with throughput
+/// derived from `elements` work items per iteration.
+pub fn report(m: &Measurement, elements: u64) {
+    println!(
+        "{:<44} {:>12.3?} median  {:>12.3?} min  {:>10.1} ns/elem  {:>12.0} elem/s",
+        m.name,
+        m.median,
+        m.min,
+        m.ns_per_element(elements),
+        m.throughput(elements),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let m = bench("spin", 1, 5, || {
+            (0..10_000u64).fold(0u64, |a, x| a.wrapping_add(x))
+        });
+        assert_eq!(m.iters, 5);
+        assert!(m.min <= m.median);
+        assert!(m.ns_per_element(10_000) > 0.0);
+        assert!(m.throughput(10_000) > 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! FxHash-style hasher for the profiling hot path.
+//!
+//! Profiling touches the SFG node map and the context-statistics map
+//! once per dynamic basic block — tens of millions of lookups per
+//! experiment — and every key is a `u128` ([`crate::Gram`] /
+//! [`crate::Context`]) or a `u32` block id. `std`'s default SipHash is
+//! DoS-resistant but byte-oriented and slow for such fixed-width keys;
+//! this multiply-xor hasher (the rustc / Firefox "FxHash" recipe,
+//! extended with a two-round `u128` path) hashes a packed gram in a
+//! handful of cycles.
+//!
+//! Not DoS-resistant — keys here come from profiled programs, not from
+//! untrusted input. Iteration order remains unspecified, exactly like
+//! the default hasher; everything ordering-sensitive (serialisation,
+//! trace generation) already sorts before use.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash recipe (derived from the
+/// golden ratio, as in Knuth's multiplicative hashing).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic hasher for fixed-width integer keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_word(n as u64);
+        self.add_word((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_u128(n: u128) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u128(n);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_u128(0xdead_beef), hash_u128(0xdead_beef));
+    }
+
+    #[test]
+    fn distinguishes_halves() {
+        // A hasher that ignored the high word would collide every
+        // gram/context differing only in old history.
+        let lo = 0x1234_5678u128;
+        assert_ne!(hash_u128(lo), hash_u128(lo | (1u128 << 64)));
+        assert_ne!(hash_u128(0), hash_u128(1u128 << 127));
+    }
+
+    #[test]
+    fn low_bits_spread_for_sequential_keys() {
+        // HashMap uses the low bits for bucket selection; sequential
+        // block ids must not land in sequential buckets' worst case.
+        let mask = 0xff;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u128..256 {
+            seen.insert(hash_u128(i) & mask);
+        }
+        assert!(seen.len() > 128, "only {} distinct low bytes", seen.len());
+    }
+
+    #[test]
+    fn write_matches_chunked_words() {
+        let mut a = FxHasher::default();
+        a.write(&0xabcdef12_34567890u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(0xabcdef12_34567890);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -49,6 +49,7 @@
 //! ```
 
 mod analysis;
+pub mod fxhash;
 mod profiler;
 mod serialize;
 mod sfg;
@@ -56,6 +57,7 @@ mod synth;
 mod tracesim;
 
 pub use analysis::{validate_trace, TraceValidation};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use profiler::{profile, BranchProfileMode, ProfileConfig};
 pub use sfg::{BranchCtxStats, Context, ContextStats, Gram, MissStats, Sfg, SlotStats, StatisticalProfile};
 pub use synth::{BranchFlags, DataFlags, SyntheticInstr, SyntheticOutcome, SyntheticTrace};

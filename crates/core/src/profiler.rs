@@ -9,7 +9,8 @@ use ssim_cache::Hierarchy;
 use ssim_func::{Executed, Machine};
 use ssim_isa::{pc_to_addr, InstrClass, Program, Reg, RegId};
 use ssim_uarch::MachineConfig;
-use std::collections::{HashMap, VecDeque};
+use crate::fxhash::FxHashMap;
+use std::collections::VecDeque;
 
 /// How branch characteristics are measured during profiling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -199,7 +200,7 @@ pub fn profile(program: &Program, cfg: &ProfileConfig) -> StatisticalProfile {
         }
     }
     let mut sfg = Sfg::new(cfg.k);
-    let mut contexts: HashMap<crate::Context, ContextStats> = HashMap::new();
+    let mut contexts: FxHashMap<crate::Context, ContextStats> = FxHashMap::default();
 
     let mut fifo: VecDeque<FifoEntry> = VecDeque::with_capacity(cfg.machine.ifq_size);
     let mut pushback: VecDeque<Executed> = VecDeque::new();
@@ -223,7 +224,7 @@ pub fn profile(program: &Program, cfg: &ProfileConfig) -> StatisticalProfile {
     // Flushes the completed block into the SFG + context stats.
     let complete_block =
         |sfg: &mut Sfg,
-         contexts: &mut HashMap<crate::Context, ContextStats>,
+         contexts: &mut FxHashMap<crate::Context, ContextStats>,
          state: &mut Gram,
          block: &mut BlockBuilder| {
             let Some(start) = block.start.take() else { return };

@@ -214,7 +214,7 @@ impl StatisticalProfile {
             sfg.import_node(Gram::from_raw(gram), occurrence, edges);
         }
 
-        let mut contexts = std::collections::HashMap::new();
+        let mut contexts = crate::fxhash::FxHashMap::default();
         let n_ctx = r_u64(reader)?;
         for _ in 0..n_ctx {
             let ctx = Context::from_raw(r_u128(reader)?);

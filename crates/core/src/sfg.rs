@@ -1,8 +1,8 @@
 //! The statistical flow graph and the statistical profile.
 
+use crate::fxhash::FxHashMap;
 use ssim_isa::InstrClass;
 use ssim_stats::{Histogram, ProbCounter};
-use std::collections::HashMap;
 
 /// A basic block identifier: the block's start PC (dynamic basic blocks
 /// are uniquely determined by their start PC, since code is static).
@@ -212,13 +212,13 @@ pub struct ContextStats {
 #[derive(Debug, Clone, Default)]
 pub struct Sfg {
     k: usize,
-    nodes: HashMap<Gram, NodeData>,
+    nodes: FxHashMap<Gram, NodeData>,
 }
 
 #[derive(Debug, Clone, Default)]
 pub(crate) struct NodeData {
     pub occurrence: u64,
-    pub edges: HashMap<BlockId, u64>,
+    pub edges: FxHashMap<BlockId, u64>,
 }
 
 impl Sfg {
@@ -229,7 +229,7 @@ impl Sfg {
     /// Panics if `k > MAX_K`.
     pub fn new(k: usize) -> Self {
         assert!(k <= MAX_K, "SFG order limited to {MAX_K}");
-        Sfg { k, nodes: HashMap::new() }
+        Sfg { k, nodes: FxHashMap::default() }
     }
 
     /// The SFG's order.
@@ -274,7 +274,7 @@ impl Sfg {
         }
     }
 
-    pub(crate) fn nodes(&self) -> &HashMap<Gram, NodeData> {
+    pub(crate) fn nodes(&self) -> &FxHashMap<Gram, NodeData> {
         &self.nodes
     }
 
@@ -315,7 +315,7 @@ impl Sfg {
 #[derive(Debug, Clone)]
 pub struct StatisticalProfile {
     pub(crate) sfg: Sfg,
-    pub(crate) contexts: HashMap<Context, ContextStats>,
+    pub(crate) contexts: FxHashMap<Context, ContextStats>,
     pub(crate) instructions: u64,
     pub(crate) branch_lookups: u64,
     pub(crate) branch_mispredicts: u64,
@@ -366,7 +366,7 @@ impl StatisticalProfile {
     /// Reassembles a profile from its parts (deserialisation).
     pub fn from_parts(
         sfg: Sfg,
-        contexts: HashMap<Context, ContextStats>,
+        contexts: FxHashMap<Context, ContextStats>,
         instructions: u64,
         branch_lookups: u64,
         branch_mispredicts: u64,

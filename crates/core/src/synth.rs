@@ -5,7 +5,7 @@ use crate::{DEP_RETRIES, MAX_DEP_DISTANCE};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use ssim_isa::InstrClass;
-use std::collections::HashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
 
 /// Pre-assigned branch behaviour of a synthetic control instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,7 +135,7 @@ impl StatisticalProfile {
             cumulative: Vec<u64>,
             total: u64,
         }
-        let mut reduced: HashMap<Gram, RNode> = HashMap::new();
+        let mut reduced: FxHashMap<Gram, RNode> = FxHashMap::default();
         for (gram, node) in self.sfg.nodes() {
             let n = node.occurrence / r;
             if n == 0 {
@@ -158,7 +158,7 @@ impl StatisticalProfile {
         // incoming and outgoing edges of dropped nodes). An edge from
         // state s labeled b leads to state shift(s, b).
         let k = self.sfg.k();
-        let live: std::collections::HashSet<Gram> = reduced.keys().copied().collect();
+        let live: FxHashSet<Gram> = reduced.keys().copied().collect();
         for (gram, node) in reduced.iter_mut() {
             if k == 0 {
                 break; // the k=0 graph has a single node

@@ -45,11 +45,11 @@ struct IfqEntry {
     mispredict_marker: bool,
 }
 
-struct TraceSim<'t> {
-    cfg: MachineConfig,
+struct TraceSim<'a, 't> {
+    cfg: &'a MachineConfig,
     trace: &'t [SyntheticInstr],
     cursor: usize,
-    core: Core,
+    core: Core<'a>,
     ifq: VecDeque<IfqEntry>,
     ifq_meter: OccupancyMeter,
     branch_stats: ssim_uarch::BranchStats,
@@ -61,10 +61,10 @@ struct TraceSim<'t> {
     pending_seq: Option<u64>,
 }
 
-impl<'t> TraceSim<'t> {
-    fn new(trace: &'t SyntheticTrace, cfg: &MachineConfig) -> Self {
+impl<'a, 't> TraceSim<'a, 't> {
+    fn new(trace: &'t SyntheticTrace, cfg: &'a MachineConfig) -> Self {
         TraceSim {
-            cfg: cfg.clone(),
+            cfg,
             trace: trace.instrs(),
             cursor: 0,
             core: Core::new(cfg),

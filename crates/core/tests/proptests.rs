@@ -67,6 +67,109 @@ proptest! {
     }
 }
 
+mod packing_and_hashing {
+    use super::*;
+    use ssim_core::{Context, FxHasher};
+    use std::hash::Hasher;
+
+    fn fx_u128(n: u128) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u128(n);
+        h.finish()
+    }
+
+    proptest! {
+        /// `raw`/`from_raw` round-trips grams exactly, and the packed
+        /// length matches the history length for every block value
+        /// (including 0, which only the sentinel bit disambiguates).
+        #[test]
+        fn gram_raw_round_trip(h in prop::collection::vec(any::<u32>(), 0..=3)) {
+            let g = Gram::new(&h);
+            prop_assert_eq!(Gram::from_raw(g.raw()), g);
+            prop_assert_eq!(g.len(), h.len());
+            prop_assert_eq!(g.is_empty(), h.is_empty());
+        }
+
+        /// `raw`/`from_raw` round-trips contexts, and `current` recovers
+        /// the most recent block regardless of history contents.
+        #[test]
+        fn context_raw_round_trip(h in prop::collection::vec(any::<u32>(), 0..=3),
+                                  cur in any::<u32>()) {
+            let c = Context::new(&h, cur);
+            prop_assert_eq!(Context::from_raw(c.raw()), c);
+            prop_assert_eq!(c.current(), cur);
+        }
+
+        /// Shifting a full MAX_K gram keeps the sentinel in range (the
+        /// bit-127 edge case) and drops exactly the oldest block.
+        #[test]
+        fn gram_shift_full_window_keeps_sentinel(h in prop::collection::vec(any::<u32>(), 3..=3),
+                                                 b in any::<u32>()) {
+            let g = Gram::new(&h).shifted(b, 3);
+            prop_assert_eq!(g.len(), 3);
+            prop_assert_eq!(g, Gram::new(&[h[1], h[2], b]));
+            prop_assert!(g.raw().leading_zeros() >= 127 - 96);
+        }
+
+        /// Shifting into a *smaller* k than the gram currently holds
+        /// truncates to the last k blocks (order changes mid-walk).
+        #[test]
+        fn gram_shift_truncates_to_k(h in prop::collection::vec(any::<u32>(), 0..=3),
+                                     b in any::<u32>(), k in 0usize..=3) {
+            let g = Gram::new(&h).shifted(b, k);
+            let mut want: Vec<u32> = h.clone();
+            want.push(b);
+            let want = &want[want.len() - want.len().min(k)..];
+            prop_assert_eq!(g, Gram::new(want));
+        }
+
+        /// Histories padded with block id 0 never alias histories of a
+        /// different length — the property the sentinel bit exists for.
+        #[test]
+        fn zero_blocks_do_not_alias_lengths(la in 0usize..=3, lb in 0usize..=3) {
+            let a = Gram::new(&vec![0u32; la]);
+            let b = Gram::new(&vec![0u32; lb]);
+            prop_assert_eq!(a == b, la == lb);
+            let ca = Context::new(&vec![0u32; la], 0);
+            let cb = Context::new(&vec![0u32; lb], 0);
+            prop_assert_eq!(ca == cb, la == lb);
+        }
+
+        /// `context_with` agrees with building the context from parts.
+        #[test]
+        fn context_with_matches_new(h in prop::collection::vec(any::<u32>(), 0..=3),
+                                    cur in any::<u32>()) {
+            prop_assert_eq!(Gram::new(&h).context_with(cur), Context::new(&h, cur));
+        }
+
+        /// The u128 fast path hashes exactly like two word writes (low
+        /// word first), and like the 16-byte little-endian `write` path —
+        /// so mixed-width call sites agree on the same buckets.
+        #[test]
+        fn fxhash_u128_matches_word_and_byte_writes(n in any::<u128>()) {
+            let mut words = FxHasher::default();
+            words.write_u64(n as u64);
+            words.write_u64((n >> 64) as u64);
+            prop_assert_eq!(fx_u128(n), words.finish());
+
+            let mut bytes = FxHasher::default();
+            bytes.write(&n.to_le_bytes());
+            prop_assert_eq!(fx_u128(n), bytes.finish());
+        }
+
+        /// Each mixing round is a bijection per word, so u128 keys that
+        /// differ in only one half can never collide — grams differing
+        /// only in old history stay distinct in the map.
+        #[test]
+        fn fxhash_single_half_never_collides(n in any::<u128>(), d in 1u64..=u64::MAX) {
+            let lo_flip = n ^ u128::from(d);
+            let hi_flip = n ^ (u128::from(d) << 64);
+            prop_assert_ne!(fx_u128(n), fx_u128(lo_flip));
+            prop_assert_ne!(fx_u128(n), fx_u128(hi_flip));
+        }
+    }
+}
+
 mod trace_properties {
     use super::*;
     use ssim_core::{profile, BranchProfileMode, ProfileConfig};

@@ -1,0 +1,173 @@
+//! std-only parallel experiment engine.
+//!
+//! The experiment binaries sweep hundreds to thousands of independent
+//! design points (§4.6 of the paper runs a 1,792-point EDP study), and
+//! each point is pure CPU work with no shared mutable state. This crate
+//! gives them a single primitive, [`par_map`], that fans such work out
+//! across OS threads while **preserving input order**, so sweep output
+//! is byte-identical no matter how many threads run it.
+//!
+//! Design constraints and choices:
+//!
+//! * **No external dependencies.** The build environment cannot fetch
+//!   crates, so this is `std::thread::scope` + atomics, not rayon.
+//! * **Work stealing via a shared index.** Workers claim items one at a
+//!   time from an `AtomicUsize` cursor. Sweep points vary wildly in cost
+//!   (a wide-window design point simulates far slower than a narrow
+//!   one), so static chunking would leave cores idle; a shared cursor is
+//!   the degenerate-but-effective form of stealing for fewer than ~10⁶
+//!   items of non-trivial cost.
+//! * **Deterministic output.** Each worker tags results with the input
+//!   index; the results are merged and sorted at the end. Only the
+//!   *schedule* is nondeterministic, never the output.
+//! * **Panic transparency.** A panicking task panics the caller (via
+//!   `std::thread::scope`), exactly like the serial loop it replaces.
+//!
+//! Thread count comes from `SSIM_THREADS` (default: available
+//! parallelism); `SSIM_THREADS=1` gives the exact serial execution path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The pool size used by [`par_map`]: `SSIM_THREADS` if set to a
+/// positive integer, otherwise the machine's available parallelism.
+///
+/// Read once and cached for the life of the process.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("SSIM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+    })
+}
+
+/// Maps `f` over `items` in parallel on [`num_threads`] threads,
+/// returning results in input order.
+///
+/// Equivalent to `items.iter().map(f).collect()` — including output
+/// order and panic behaviour — but wall-clock scales with core count.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(num_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit thread count (exposed for determinism
+/// tests; experiment code should use [`par_map`]).
+pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                // One lock per worker, not per item.
+                collected.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let mut tagged = collected.into_inner().unwrap();
+    debug_assert_eq!(tagged.len(), n);
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs `f` over `items` in parallel for its side effects on the return
+/// values' Drop — a convenience wrapper when results are unit.
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    par_map(items, |t| f(t));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..500).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map_with(threads, &items, |&x| x * x);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn visits_every_item_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+        let items: Vec<usize> = (0..hits.len()).collect();
+        par_for_each(&items, |&i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Make early items much more expensive than late ones so the
+        // completion order inverts the input order.
+        let items: Vec<usize> = (0..64).collect();
+        let got = par_map_with(8, &items, |&i| {
+            let spin = (64 - i) * 2000;
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k as u64).rotate_left(7);
+            }
+            (i, acc != 1)
+        });
+        for (pos, (i, _)) in got.iter().enumerate() {
+            assert_eq!(pos, *i);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |x| *x).is_empty());
+        assert_eq!(par_map(&[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..32).collect();
+        par_map_with(4, &items, |&x| {
+            if x == 13 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -111,8 +111,8 @@ struct Entry {
 /// 3. [`Core::try_dispatch`] up to `decode_width` instructions;
 /// 4. [`Core::advance`] to start the next cycle.
 #[derive(Debug, Clone)]
-pub struct Core {
-    cfg: MachineConfig,
+pub struct Core<'a> {
+    cfg: &'a MachineConfig,
     entries: VecDeque<Entry>,
     front_seq: u64,
     next_seq: u64,
@@ -127,17 +127,19 @@ pub struct Core {
     lsq_meter: OccupancyMeter,
 }
 
-impl Core {
-    /// Creates an empty backend for `cfg`.
+impl<'a> Core<'a> {
+    /// Creates an empty backend for `cfg`, borrowing the configuration
+    /// for the core's lifetime (sweeps build thousands of cores per
+    /// config; cloning the config per core was measurable).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see
     /// [`MachineConfig::validate`]).
-    pub fn new(cfg: &MachineConfig) -> Self {
+    pub fn new(cfg: &'a MachineConfig) -> Self {
         cfg.validate();
         Core {
-            cfg: cfg.clone(),
+            cfg,
             entries: VecDeque::with_capacity(cfg.ruu_size),
             front_seq: 0,
             next_seq: 0,
@@ -548,7 +550,8 @@ mod tests {
 
     #[test]
     fn single_instruction_commits() {
-        let mut core = Core::new(&small_cfg());
+        let cfg = small_cfg();
+        let mut core = Core::new(&cfg);
         assert!(matches!(core.try_dispatch(alu()), DispatchOutcome::Dispatched(0)));
         run_empty(&mut core);
         assert_eq!(core.committed(), 1);
@@ -559,7 +562,8 @@ mod tests {
         let r1 = RegId::Int(ssim_isa::Reg::R1);
         let r2 = RegId::Int(ssim_isa::Reg::R2);
         // Chain of 6 dependent 1-cycle ALU ops: takes ~6 cycles.
-        let mut core = Core::new(&small_cfg());
+        let cfg = small_cfg();
+        let mut core = Core::new(&cfg);
         core.try_dispatch(alu_rw(r1, r2));
         for _ in 0..5 {
             core.advance();
@@ -571,7 +575,8 @@ mod tests {
         assert!(cycles >= 2, "dependences must serialise execution");
 
         // Independent ops: finish much faster in a 4-wide core.
-        let mut core = Core::new(&small_cfg());
+        let cfg = small_cfg();
+        let mut core = Core::new(&cfg);
         for _ in 0..4 {
             core.try_dispatch(alu());
         }
@@ -582,7 +587,8 @@ mod tests {
 
     #[test]
     fn decode_width_limits_dispatch() {
-        let mut core = Core::new(&small_cfg());
+        let cfg = small_cfg();
+        let mut core = Core::new(&cfg);
         for i in 0..4 {
             assert!(
                 matches!(core.try_dispatch(alu()), DispatchOutcome::Dispatched(s) if s == i),
@@ -622,7 +628,8 @@ mod tests {
 
     #[test]
     fn long_latency_load_delays_commit() {
-        let mut core = Core::new(&small_cfg());
+        let cfg = small_cfg();
+        let mut core = Core::new(&cfg);
         let load = DispatchInstr {
             class: Some(InstrClass::Load),
             mem: Some(MemKind::Load { latency: 150 }),
@@ -635,7 +642,8 @@ mod tests {
 
     #[test]
     fn mispredicted_branch_reports_and_squash_cleans() {
-        let mut core = Core::new(&small_cfg());
+        let cfg = small_cfg();
+        let mut core = Core::new(&cfg);
         let br = DispatchInstr {
             class: Some(InstrClass::IntCondBranch),
             branch: BranchResolution::Mispredict,
@@ -693,7 +701,8 @@ mod tests {
 
     #[test]
     fn dep_distance_resolves_to_earlier_seq() {
-        let mut core = Core::new(&small_cfg());
+        let cfg = small_cfg();
+        let mut core = Core::new(&cfg);
         // seq 0: long divide producing (synthetically) a value.
         core.try_dispatch(DispatchInstr { class: Some(InstrClass::IntDiv), ..Default::default() });
         // seq 1: depends on distance 1 => seq 0.
@@ -708,7 +717,8 @@ mod tests {
 
     #[test]
     fn store_to_load_same_word_serialises() {
-        let mut core = Core::new(&small_cfg());
+        let cfg = small_cfg();
+        let mut core = Core::new(&cfg);
         let store = DispatchInstr {
             class: Some(InstrClass::Store),
             mem: Some(MemKind::Store),
@@ -770,7 +780,8 @@ mod tests {
         core.try_dispatch(alu());
         let in_order_cycles = run_empty(&mut core);
 
-        let mut ooo = Core::new(&small_cfg());
+        let ooo_cfg = small_cfg();
+        let mut ooo = Core::new(&ooo_cfg);
         ooo.try_dispatch(DispatchInstr { class: Some(InstrClass::IntDiv), ..Default::default() });
         ooo.try_dispatch(DispatchInstr {
             class: Some(InstrClass::IntAlu),
@@ -851,7 +862,8 @@ mod tests {
 
     #[test]
     fn occupancy_meters_accumulate() {
-        let mut core = Core::new(&small_cfg());
+        let cfg = small_cfg();
+        let mut core = Core::new(&cfg);
         core.try_dispatch(alu());
         run_empty(&mut core);
         let (activity, ruu, _lsq) = core.finish();

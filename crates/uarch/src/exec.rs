@@ -59,13 +59,13 @@ struct PendingRecovery {
 ///
 /// See the [crate docs](crate) for an example.
 #[derive(Debug)]
-pub struct ExecSim<'p> {
-    cfg: MachineConfig,
+pub struct ExecSim<'a, 'p> {
+    cfg: &'a MachineConfig,
     program: &'p Program,
     machine: Machine<'p>,
     bpred: HybridPredictor,
     hierarchy: Hierarchy,
-    core: Core,
+    core: Core<'a>,
     ifq: VecDeque<IfqEntry>,
     ifq_meter: OccupancyMeter,
     branch_stats: BranchStats,
@@ -76,16 +76,16 @@ pub struct ExecSim<'p> {
     mem_mask: u64,
 }
 
-impl<'p> ExecSim<'p> {
+impl<'a, 'p> ExecSim<'a, 'p> {
     /// Creates a simulator for `program` on machine `cfg`.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
-    pub fn new(cfg: &MachineConfig, program: &'p Program) -> Self {
+    pub fn new(cfg: &'a MachineConfig, program: &'p Program) -> Self {
         cfg.validate();
         ExecSim {
-            cfg: cfg.clone(),
+            cfg,
             program,
             machine: Machine::new(program),
             bpred: HybridPredictor::new(&cfg.bpred),
@@ -554,7 +554,8 @@ mod tests {
     #[test]
     fn skip_fast_forwards_without_cycles() {
         let program = loop_program(10_000);
-        let mut sim = ExecSim::new(&MachineConfig::baseline(), &program);
+        let cfg = MachineConfig::baseline();
+        let mut sim = ExecSim::new(&cfg, &program);
         sim.skip(1_000);
         let result = sim.run(u64::MAX);
         assert!(result.instructions < 40_000 - 900, "skipped instructions don't commit");
