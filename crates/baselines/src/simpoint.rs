@@ -171,7 +171,9 @@ pub fn choose(program: &Program, cfg: &SimPointConfig, skip: u64) -> Vec<SimPoin
     }
     let n = bbvs.len();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut best: Option<(f64, Vec<usize>, Vec<[f64; PROJECTED_DIMS]>, usize)> = None;
+    // (score, assignment, centroids, k) of the best clustering so far.
+    type BestClustering = (f64, Vec<usize>, Vec<[f64; PROJECTED_DIMS]>, usize);
+    let mut best: Option<BestClustering> = None;
     for k in 1..=cfg.max_k.min(n) {
         let (assign, centroids, sse) = kmeans(&bbvs, k, &mut rng);
         // BIC-flavoured score: likelihood term + model complexity
@@ -188,7 +190,7 @@ pub fn choose(program: &Program, cfg: &SimPointConfig, skip: u64) -> Vec<SimPoin
         a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
     };
     let mut points = Vec::new();
-    for c in 0..k {
+    for (c, centroid) in centroids.iter().enumerate().take(k) {
         let members: Vec<usize> = (0..n).filter(|&i| assign[i] == c).collect();
         if members.is_empty() {
             continue;
@@ -196,8 +198,8 @@ pub fn choose(program: &Program, cfg: &SimPointConfig, skip: u64) -> Vec<SimPoin
         let rep = *members
             .iter()
             .min_by(|&&a, &&b| {
-                dist2(&bbvs[a], &centroids[c])
-                    .partial_cmp(&dist2(&bbvs[b], &centroids[c]))
+                dist2(&bbvs[a], centroid)
+                    .partial_cmp(&dist2(&bbvs[b], centroid))
                     .unwrap()
             })
             .expect("cluster is non-empty");

@@ -15,7 +15,8 @@ fn main() {
     let machine = MachineConfig::baseline();
     println!("profiling ({N} instructions/iter)");
 
-    for name in ["crafty"] {
+    {
+        let name = "crafty";
         let workload = ssim::workloads::by_name(name).expect("known workload");
         let program = workload.program();
 

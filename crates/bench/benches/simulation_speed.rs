@@ -16,7 +16,8 @@ fn main() {
     let machine = MachineConfig::baseline();
     println!("simulation_speed (per-instruction cost, {N} instructions/iter)");
 
-    for name in ["gzip"] {
+    {
+        let name = "gzip";
         let workload = ssim::workloads::by_name(name).expect("known workload");
         let program = workload.program();
 

@@ -59,4 +59,5 @@ fn main() {
     println!();
     println!("expectation: the gap is minimised near the machine's IFQ size (32),");
     println!("shrinking from both the too-fresh (1) and too-stale (128) extremes");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

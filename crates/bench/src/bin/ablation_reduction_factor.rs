@@ -77,4 +77,5 @@ fn main() {
     println!();
     println!("expectation: error grows slowly with R while cost drops linearly —");
     println!("the paper's 'orders of magnitude faster at a few percent error' claim");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

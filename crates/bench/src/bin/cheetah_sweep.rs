@@ -61,4 +61,5 @@ fn main() {
     println!();
     println!("one functional pass per workload yields every associativity's miss rate;");
     println!("the paper cites exactly this (cheetah) to amortise per-configuration profiling");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

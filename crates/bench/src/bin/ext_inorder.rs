@@ -68,4 +68,5 @@ fn main() {
     );
     println!("expectation: modeling the hazards the in-order pipe actually enforces");
     println!("tightens the synthetic machine toward the reference");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

@@ -44,4 +44,5 @@ fn main() {
         ssim_bench::mean(&del_gap)
     );
     println!("paper: the delayed-update curve overlaps execution-driven simulation (Fig. 3)");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

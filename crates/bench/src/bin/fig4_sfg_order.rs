@@ -47,4 +47,5 @@ fn main() {
     println!();
     println!();
     println!("paper: k=0 errs up to 35%; k>=1 under ~2% on average, k=1 suffices");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

@@ -47,4 +47,5 @@ fn main() {
         ssim_bench::mean(&del_errs) * 100.0
     );
     println!("paper: delayed-update profiling clearly reduces the error (Fig. 5)");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

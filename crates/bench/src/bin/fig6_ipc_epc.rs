@@ -63,4 +63,5 @@ fn main() {
         ssim_bench::mean(&edp_errs) * 100.0
     );
     println!("paper: IPC 6.6% mean / 14.2% max; EPC 4% mean / 9.5% max; EDP 11% mean");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

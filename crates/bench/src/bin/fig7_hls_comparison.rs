@@ -46,4 +46,5 @@ fn main() {
         ssim_bench::mean(&sfg_errs) * 100.0
     );
     println!("paper: HLS 10.1% vs SMART-HLS 1.8% on SimpleScalar's baseline configuration");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

@@ -86,4 +86,5 @@ fn main() {
     println!();
     println!("paper: finer statistical sampling helps only slightly; SimPoint is more");
     println!("accurate (2% vs 7.2%) but simulates 20-300x more instructions per estimate");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

@@ -15,6 +15,9 @@ use ssim_bench::{banner, cache_stats, num_threads, par_map_with, profiled, workl
 use std::time::Instant;
 
 fn main() {
+    // Stage-level wall-clock comes from the observability timers, so
+    // recording must be on regardless of SSIM_METRICS.
+    ssim_bench::obs::force_enable();
     banner("Perf report", "parallel sweep + profile cache wall-clock");
     let budget = Budget::from_env();
     let base = MachineConfig::baseline();
@@ -80,6 +83,24 @@ fn main() {
     );
 
     // --- report ------------------------------------------------------
+    // Per-stage CPU time from the observability timers: these sum the
+    // time spent *inside* each pipeline stage across all worker
+    // threads, complementing the wall-clock numbers above.
+    let snap = ssim_bench::obs::snapshot();
+    let stage = |name: &str| snap.timer_total_s(name).unwrap_or(0.0);
+    let stages = format!(
+        "{{\"profiler_s\": {:.4}, \"synth_s\": {:.4}, \"tracesim_s\": {:.4}}}",
+        stage("profiler.time"),
+        stage("synth.time"),
+        stage("tracesim.time"),
+    );
+    println!(
+        "stage CPU time: profile {:.2}s, generate {:.2}s, simulate {:.2}s (summed over threads)",
+        stage("profiler.time"),
+        stage("synth.time"),
+        stage("tracesim.time"),
+    );
+
     let names: Vec<String> = suite.iter().map(|w| format!("\"{}\"", w.name())).collect();
     let json = format!(
         "{{\n  \"threads\": {threads},\n  \"workloads\": [{}],\n  \
@@ -90,7 +111,8 @@ fn main() {
          \"sweep_points\": {},\n  \
          \"sweep_serial_s\": {sweep_serial_s:.4},\n  \
          \"sweep_parallel_s\": {sweep_parallel_s:.4},\n  \
-         \"sweep_speedup\": {speedup:.2}\n}}\n",
+         \"sweep_speedup\": {speedup:.2},\n  \
+         \"stages\": {stages}\n}}\n",
         names.join(", "),
         cold.0,
         cold.1,
@@ -103,4 +125,5 @@ fn main() {
     println!("wrote results/BENCH_parallel.json");
 
     let _ = std::fs::remove_dir_all(&cache_root);
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

@@ -48,4 +48,5 @@ fn main() {
     println!();
     println!();
     println!("paper: 4% @100K, 2% @200K, 1.5% @500K, 1% @1M synthetic instructions\n(the 1M point is omitted by default to bound single-core runtime)");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

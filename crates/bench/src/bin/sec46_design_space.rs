@@ -118,4 +118,5 @@ fn main() {
     println!();
     println!("'EDP gap' = EDS-measured EDP of the SS-chosen design vs the best verified");
     println!("design. paper: exact optimum for 7/10 benchmarks, <=1.24% EDP gap otherwise");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

@@ -12,8 +12,8 @@ fn main() {
     let budget = Budget::from_env();
     let machine = MachineConfig::baseline();
     println!(
-        "{:<10} {:<14} {:>7} {:>8} {:>8}  {}",
-        "workload", "SPEC analog", "IPC", "MPKI", "L1D%", "algorithm"
+        "{:<10} {:<14} {:>7} {:>8} {:>8}  algorithm",
+        "workload", "SPEC analog", "IPC", "MPKI", "L1D%"
     );
     for w in workloads() {
         let r = eds(&machine, w, &budget);
@@ -29,4 +29,5 @@ fn main() {
     }
     println!();
     println!("paper: IPC spans 0.51 (crafty) to 1.94 (gzip) on the same configuration");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

@@ -28,4 +28,5 @@ fn main() {
     }
     println!();
     println!("paper: gcc 30,834..71,879 nodes; the other benchmarks 149..7,161");
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
 }

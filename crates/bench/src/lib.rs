@@ -23,7 +23,19 @@ pub mod profile_cache;
 pub mod timing;
 
 pub use profile_cache::{cache_enabled, cache_stats, profile_cached};
+pub use ssim_obs as obs;
 pub use ssim_par::{num_threads, par_map, par_map_with};
+
+static OBS_EDS_TIME: ssim_obs::TimerStat = ssim_obs::TimerStat::new("eds.time");
+
+/// Flushes the observability registry at the end of an experiment
+/// binary (see the `SSIM_METRICS` knob in `ssim-obs`): `SSIM_METRICS=1`
+/// renders a text report to stderr, `SSIM_METRICS=json` writes
+/// `results/METRICS_<bin>.json` (and logs its path to stderr),
+/// unset/`0` is a no-op.
+pub fn obs_finish(bin: &str) {
+    let _ = ssim_obs::finish(bin);
+}
 
 /// Instruction budgets for one experiment run.
 #[derive(Debug, Clone, Copy)]
@@ -77,6 +89,7 @@ pub fn workloads() -> Vec<&'static Workload> {
 
 /// Runs the execution-driven reference over the budget window.
 pub fn eds(machine: &MachineConfig, workload: &Workload, budget: &Budget) -> SimResult {
+    let _span = OBS_EDS_TIME.span();
     let program = workload.program();
     let mut sim = ExecSim::new(machine, &program);
     sim.skip(budget.skip);

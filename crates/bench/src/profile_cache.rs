@@ -46,6 +46,13 @@ pub const CACHE_VERSION: u32 = 1;
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
+// Observability mirrors of the stats above, plus the corrupt-entry
+// count (a file that opened but failed to deserialize — every one is a
+// silently repeated profiling pass, so it deserves visibility).
+static OBS_HITS: ssim_obs::Counter = ssim_obs::Counter::new("profile_cache.hits");
+static OBS_MISSES: ssim_obs::Counter = ssim_obs::Counter::new("profile_cache.misses");
+static OBS_CORRUPT: ssim_obs::Counter = ssim_obs::Counter::new("profile_cache.corrupt");
+
 /// Whether the on-disk cache is active (`SSIM_NO_PROFILE_CACHE=1`
 /// disables it).
 pub fn cache_enabled() -> bool {
@@ -89,12 +96,18 @@ pub fn profile_cached(workload: &Workload, cfg: &ProfileConfig) -> StatisticalPr
     }
     let path = cache_path(workload.name(), cfg);
     if let Ok(file) = fs::File::open(&path) {
-        if let Ok(p) = StatisticalProfile::load(&mut BufReader::new(file)) {
-            HITS.fetch_add(1, Ordering::Relaxed);
-            return p;
+        match StatisticalProfile::load(&mut BufReader::new(file)) {
+            Ok(p) => {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                OBS_HITS.inc();
+                ssim::core::note_loaded_profile(&p);
+                return p;
+            }
+            Err(_) => OBS_CORRUPT.inc(),
         }
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
+    OBS_MISSES.inc();
     let p = profile(&workload.program(), cfg);
     let _ = store(&path, &p);
     p

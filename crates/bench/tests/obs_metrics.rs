@@ -1,0 +1,66 @@
+//! End-to-end observability checks through the bench plumbing: the
+//! parallel engine must not lose counter increments, and the profiler
+//! instruction counter must equal the requested budget whether the
+//! profile is built or served from the on-disk cache.
+
+use ssim::prelude::*;
+use ssim_bench::obs;
+
+#[test]
+fn par_map_workers_do_not_lose_increments() {
+    static WORK: obs::Counter = obs::Counter::new("test.par_work");
+    obs::force_enable();
+    let items: Vec<u64> = (0..10_000).collect();
+    let out = ssim_bench::par_map_with(8, &items, |&x| {
+        WORK.inc();
+        x * 2
+    });
+    assert_eq!(out.len(), items.len());
+    assert_eq!(out[4321], 8642);
+    assert_eq!(WORK.get(), 10_000, "increments lost across workers");
+
+    let snap = obs::snapshot();
+    assert_eq!(snap.counter("test.par_work"), Some(10_000));
+    // The engine's own accounting: this call alone contributed 10k
+    // tasks and exactly 8 per-worker samples.
+    assert!(snap.counter("par.tasks").unwrap_or(0) >= 10_000);
+    let (_, h) = snap
+        .histograms
+        .iter()
+        .find(|(n, _)| *n == "par.tasks_per_worker")
+        .expect("worker-load histogram registered");
+    assert!(h.count >= 8);
+}
+
+#[test]
+fn profiler_instruction_counter_matches_budget_even_through_the_cache() {
+    obs::force_enable();
+    const BUDGET: u64 = 20_000;
+
+    // Private cache dir so this test is hermetic and starts cold.
+    let dir = std::env::temp_dir().join(format!("ssim-obs-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("SSIM_PROFILE_CACHE_DIR", &dir);
+    std::env::remove_var("SSIM_NO_PROFILE_CACHE");
+
+    let machine = MachineConfig::baseline();
+    let budget = ssim_bench::Budget { skip: 1_000, profile: BUDGET, eds: 1_000 };
+    let w = ssim::workloads::by_name("gzip").expect("gzip workload");
+
+    let before = obs::snapshot().counter("profiler.instructions").unwrap_or(0);
+    let cold = ssim_bench::profiled(&machine, w, &budget); // miss: real profiling pass
+    let mid = obs::snapshot().counter("profiler.instructions").unwrap_or(0);
+    assert_eq!(mid - before, BUDGET, "cold pass must count the exact budget");
+
+    let warm = ssim_bench::profiled(&machine, w, &budget); // hit: loaded from disk
+    let after = obs::snapshot().counter("profiler.instructions").unwrap_or(0);
+    assert_eq!(after - mid, BUDGET, "cache hits must still account their budget");
+    assert_eq!(warm.instructions(), cold.instructions());
+
+    let snap = obs::snapshot();
+    assert!(snap.counter("profile_cache.hits").unwrap_or(0) >= 1);
+    assert!(snap.counter("profile_cache.misses").unwrap_or(0) >= 1);
+    assert_eq!(snap.counter("profile_cache.corrupt").unwrap_or(0), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,6 +6,11 @@ use crate::ras::ReturnAddressStack;
 use crate::tables::{Bimodal, Counter2, TwoLevelLocal};
 use ssim_isa::Opcode;
 
+// Observability: lookup/update volume, primarily to expose the
+// lookup-update separation of delayed-update profiling (§2.1.3).
+static OBS_LOOKUPS: ssim_obs::Counter = ssim_obs::Counter::new("bpred.lookups");
+static OBS_UPDATES: ssim_obs::Counter = ssim_obs::Counter::new("bpred.updates");
+
 /// The kind of control transfer, as the predictor sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BranchKind {
@@ -157,6 +162,7 @@ impl HybridPredictor {
     /// calls/returns (the RAS is a fetch-side structure and is *not*
     /// subject to delayed update).
     pub fn lookup(&mut self, pc: usize, kind: BranchKind) -> Prediction {
+        OBS_LOOKUPS.inc();
         let bimodal_taken = self.bimodal.predict(pc);
         let local_taken = self.local.predict(pc);
         let chose_local = self.meta[self.meta_index(pc)].predict();
@@ -215,6 +221,7 @@ impl HybridPredictor {
         target: usize,
         pred: &Prediction,
     ) {
+        OBS_UPDATES.inc();
         if kind == BranchKind::Cond {
             self.bimodal.train(pc, taken);
             self.local.train(pc, taken);

@@ -48,7 +48,7 @@ impl Tlb {
     /// `entries % assoc == 0`.
     pub fn new(config: TlbConfig) -> Self {
         assert!(config.entries > 0 && config.assoc > 0, "TLB parameters must be positive");
-        assert!(config.entries % config.assoc == 0, "entries must be divisible by assoc");
+        assert!(config.entries.is_multiple_of(config.assoc), "entries must be divisible by assoc");
         assert!(config.page.is_power_of_two(), "page size must be a power of two");
         let sets = config.entries / config.assoc;
         assert!(sets.is_power_of_two(), "set count must be a power of two");

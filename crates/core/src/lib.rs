@@ -58,8 +58,11 @@ mod tracesim;
 
 pub use analysis::{validate_trace, TraceValidation};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
-pub use profiler::{profile, BranchProfileMode, ProfileConfig};
-pub use sfg::{BranchCtxStats, Context, ContextStats, Gram, MissStats, Sfg, SlotStats, StatisticalProfile};
+pub use profiler::{note_loaded_profile, profile, BranchProfileMode, ProfileConfig};
+pub use sfg::{
+    BranchCtxStats, Context, ContextStats, ExportedNode, Gram, MissStats, Sfg, SlotStats,
+    StatisticalProfile,
+};
 pub use synth::{BranchFlags, DataFlags, SyntheticInstr, SyntheticOutcome, SyntheticTrace};
 pub use tracesim::simulate_trace;
 

@@ -12,6 +12,22 @@ use ssim_uarch::MachineConfig;
 use crate::fxhash::FxHashMap;
 use std::collections::VecDeque;
 
+// Observability (all no-ops unless SSIM_METRICS enables recording).
+// Event totals are accumulated in the locals the profiler already
+// keeps and flushed once at the end, so the per-instruction loop is
+// untouched even when metrics are on.
+static OBS_PROFILE_TIME: ssim_obs::TimerStat = ssim_obs::TimerStat::new("profiler.time");
+static OBS_INSTRUCTIONS: ssim_obs::Counter = ssim_obs::Counter::new("profiler.instructions");
+static OBS_BRANCH_LOOKUPS: ssim_obs::Counter = ssim_obs::Counter::new("profiler.branch_lookups");
+static OBS_MISPREDICTS: ssim_obs::Counter = ssim_obs::Counter::new("profiler.branch_mispredicts");
+static OBS_FIFO_SQUASHES: ssim_obs::Counter = ssim_obs::Counter::new("profiler.fifo_squashes");
+static OBS_SQUASHED_INSTRS: ssim_obs::Counter =
+    ssim_obs::Counter::new("profiler.fifo_squashed_instrs");
+static OBS_BLOCKS: ssim_obs::Counter = ssim_obs::Counter::new("profiler.blocks_recorded");
+static OBS_SFG_NODES: ssim_obs::Gauge = ssim_obs::Gauge::new("profiler.sfg_nodes");
+static OBS_SFG_EDGES: ssim_obs::Gauge = ssim_obs::Gauge::new("profiler.sfg_edges");
+static OBS_CONTEXTS: ssim_obs::Gauge = ssim_obs::Gauge::new("profiler.contexts");
+
 /// How branch characteristics are measured during profiling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BranchProfileMode {
@@ -116,8 +132,14 @@ impl ProfileConfig {
 
     /// Builder-style dependency-distance cap (see
     /// [`ProfileConfig::dep_cap`]).
+    ///
+    /// Clamped to [`MAX_DEP_DISTANCE`]: the synthetic generator can
+    /// never *emit* a distance beyond that bound, so recording one
+    /// during profiling would silently misrepresent the profile (the
+    /// out-of-range mass would collapse onto exactly 512 at generation
+    /// instead of being drawn as "no dependency").
     pub fn dep_cap(mut self, cap: u32) -> Self {
-        self.dep_cap = cap;
+        self.dep_cap = cap.min(MAX_DEP_DISTANCE);
         self
     }
 
@@ -169,7 +191,12 @@ struct SlotObservation {
 ///
 /// Panics if `cfg.k > 3` or the machine configuration is invalid.
 pub fn profile(program: &Program, cfg: &ProfileConfig) -> StatisticalProfile {
+    let _span = OBS_PROFILE_TIME.span();
     cfg.machine.validate();
+    // Enforced here as well as in the builder: a cap above
+    // MAX_DEP_DISTANCE cannot survive generation (distances are clamped
+    // there), so honouring it would record unusable mass.
+    let dep_cap = u64::from(cfg.dep_cap.min(MAX_DEP_DISTANCE));
     let mut machine = Machine::new(program);
     for _ in 0..cfg.skip {
         if machine.step().is_none() {
@@ -219,6 +246,8 @@ pub fn profile(program: &Program, cfg: &ProfileConfig) -> StatisticalProfile {
     let mut instructions: u64 = 0;
     let mut branch_lookups: u64 = 0;
     let mut branch_mispredicts: u64 = 0;
+    let mut fifo_squashes: u64 = 0;
+    let mut fifo_squashed_instrs: u64 = 0;
     let mut remaining = cfg.max_instructions;
 
     // Flushes the completed block into the SFG + context stats.
@@ -330,7 +359,7 @@ pub fn profile(program: &Program, cfg: &ProfileConfig) -> StatisticalProfile {
             let i = src.dense_index();
             if has_writer[i] {
                 let dist = instr_index - last_writer[i];
-                if dist <= u64::from(cfg.dep_cap) {
+                if dist <= dep_cap {
                     obs.dep[p] = dist as u32;
                 }
             }
@@ -340,13 +369,13 @@ pub fn profile(program: &Program, cfg: &ProfileConfig) -> StatisticalProfile {
                 let i = dest.dense_index();
                 if has_writer[i] {
                     let d = instr_index - last_writer[i];
-                    if d <= u64::from(cfg.dep_cap) {
+                    if d <= dep_cap {
                         obs.anti[0] = d as u32;
                     }
                 }
                 if has_reader[i] {
                     let d = instr_index - last_reader[i];
-                    if d <= u64::from(cfg.dep_cap) {
+                    if d <= dep_cap {
                         obs.anti[1] = d as u32;
                     }
                 }
@@ -410,6 +439,8 @@ pub fn profile(program: &Program, cfg: &ProfileConfig) -> StatisticalProfile {
         // ---- squash-and-refill (§2.1.3): discard the stale lookups of
         // everything still in the FIFO and re-insert those instructions.
         if squash {
+            fifo_squashes += 1;
+            fifo_squashed_instrs += fifo.len() as u64;
             if let Some(first) = fifo.front() {
                 bpred.ras_restore(first.ras_checkpoint);
             }
@@ -432,7 +463,30 @@ pub fn profile(program: &Program, cfg: &ProfileConfig) -> StatisticalProfile {
     // Drop the trailing partial block: recording it would alias a
     // longer block with the same start PC.
 
+    OBS_INSTRUCTIONS.add(instructions);
+    OBS_BRANCH_LOOKUPS.add(branch_lookups);
+    OBS_MISPREDICTS.add(branch_mispredicts);
+    OBS_FIFO_SQUASHES.add(fifo_squashes);
+    OBS_SQUASHED_INSTRS.add(fifo_squashed_instrs);
+    OBS_BLOCKS.add(sfg.total_occurrence());
+    OBS_SFG_NODES.set(sfg.node_count() as u64);
+    OBS_SFG_EDGES.set(sfg.edge_count() as u64);
+    OBS_CONTEXTS.set(contexts.len() as u64);
+
     StatisticalProfile { sfg, contexts, instructions, branch_lookups, branch_mispredicts }
+}
+
+/// Folds a profile that was *loaded* (e.g. from the on-disk cache)
+/// rather than rebuilt into the profiler's observability counters, so
+/// `profiler.instructions` always reflects the workload budget the
+/// profile represents, cache hit or miss.
+pub fn note_loaded_profile(p: &StatisticalProfile) {
+    OBS_INSTRUCTIONS.add(p.instructions);
+    OBS_BRANCH_LOOKUPS.add(p.branch_lookups);
+    OBS_MISPREDICTS.add(p.branch_mispredicts);
+    OBS_SFG_NODES.set(p.sfg.node_count() as u64);
+    OBS_SFG_EDGES.set(p.sfg.edge_count() as u64);
+    OBS_CONTEXTS.set(p.contexts.len() as u64);
 }
 
 #[cfg(test)]

@@ -207,6 +207,10 @@ pub struct ContextStats {
     pub branch: Option<BranchCtxStats>,
 }
 
+/// One exported SFG node: `(raw gram, occurrence, sorted edges)` —
+/// the stable wire representation used by profile serialisation.
+pub type ExportedNode = (u128, u64, Vec<(BlockId, u64)>);
+
 /// The statistical flow graph: nodes are `k`-grams with occurrence
 /// counts; edges carry the next-block transition counts.
 #[derive(Debug, Clone, Default)]
@@ -260,6 +264,22 @@ impl Sfg {
         self.nodes.values().map(|n| n.occurrence).sum()
     }
 
+    /// Total number of distinct edges across all nodes.
+    pub fn edge_count(&self) -> usize {
+        self.nodes.values().map(|n| n.edges.len()).sum()
+    }
+
+    /// Number of nodes that survive reduction by `r` (§2.2 step 1):
+    /// nodes whose occurrence satisfies `floor(M_i / r) > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn reduced_node_count(&self, r: u64) -> usize {
+        assert!(r > 0, "reduction factor must be positive");
+        self.nodes.values().filter(|n| n.occurrence / r > 0).count()
+    }
+
     /// Transition probability `P[block | state]`, `0.0` if unseen.
     pub fn transition_probability(&self, state: Gram, block: BlockId) -> f64 {
         match self.nodes.get(&state) {
@@ -280,7 +300,7 @@ impl Sfg {
 
     /// Exports the node list in a stable order (profile serialisation):
     /// `(raw gram, occurrence, sorted edges)`.
-    pub fn export_nodes(&self) -> Vec<(u128, u64, Vec<(BlockId, u64)>)> {
+    pub fn export_nodes(&self) -> Vec<ExportedNode> {
         let mut out: Vec<_> = self
             .nodes
             .iter()

@@ -7,6 +7,20 @@ use rand::{Rng, SeedableRng};
 use ssim_isa::InstrClass;
 use crate::fxhash::{FxHashMap, FxHashSet};
 
+// Observability (all no-ops unless SSIM_METRICS enables recording).
+// Walk totals accumulate in locals and flush once per generate() call;
+// only the rare clamp/retry events record inline.
+static OBS_GENERATE_TIME: ssim_obs::TimerStat = ssim_obs::TimerStat::new("synth.time");
+static OBS_WALK_STEPS: ssim_obs::Counter = ssim_obs::Counter::new("synth.walk_steps");
+static OBS_WALK_RESTARTS: ssim_obs::Counter = ssim_obs::Counter::new("synth.walk_restarts");
+static OBS_INSTRS_EMITTED: ssim_obs::Counter = ssim_obs::Counter::new("synth.instrs_emitted");
+static OBS_NODES_DROPPED: ssim_obs::Counter =
+    ssim_obs::Counter::new("synth.nodes_dropped_empty");
+static OBS_REDUCED_NODES: ssim_obs::Gauge = ssim_obs::Gauge::new("synth.reduced_nodes");
+static OBS_DEP_CLAMPED: ssim_obs::Counter = ssim_obs::Counter::new("synth.dep_clamped_512");
+static OBS_DEP_RETRIES_EXHAUSTED: ssim_obs::Counter =
+    ssim_obs::Counter::new("synth.dep_retries_exhausted");
+
 /// Pre-assigned branch behaviour of a synthetic control instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BranchFlags {
@@ -125,6 +139,7 @@ impl StatisticalProfile {
     /// Panics if `r` is zero.
     pub fn generate(&self, r: u64, seed: u64) -> SyntheticTrace {
         assert!(r > 0, "reduction factor must be positive");
+        let _span = OBS_GENERATE_TIME.span();
         let mut rng = SmallRng::seed_from_u64(seed);
 
         // ---- step 1: the reduced SFG.
@@ -154,6 +169,9 @@ impl StatisticalProfile {
             }
             reduced.insert(*gram, RNode { remaining: n, targets, cumulative, total: acc });
         }
+        debug_assert_eq!(reduced.len(), self.sfg.reduced_node_count(r));
+        OBS_NODES_DROPPED.add((self.sfg.nodes().len() - reduced.len()) as u64);
+        OBS_REDUCED_NODES.set(reduced.len() as u64);
         // Remove edges leading to removed nodes (the paper removes all
         // incoming and outgoing edges of dropped nodes). An edge from
         // state s labeled b leads to state shift(s, b).
@@ -194,8 +212,11 @@ impl StatisticalProfile {
         };
 
         let mut trace = SyntheticTrace::default();
+        let mut walk_steps: u64 = 0;
+        let mut walk_restarts: u64 = 0;
 
         'walk: loop {
+            walk_restarts += 1;
             // ---- step 2: pick a start node by remaining occurrence.
             let total: u64 = reduced.values().map(|n| n.remaining).sum();
             if total == 0 {
@@ -239,6 +260,7 @@ impl StatisticalProfile {
                 }
                 node.remaining -= 1;
                 budget -= 1;
+                walk_steps += 1;
                 // Pick an outgoing edge by transition probability.
                 let point = rng.gen_range(0..node.total);
                 let idx = node.cumulative.partition_point(|&c| c <= point);
@@ -251,6 +273,9 @@ impl StatisticalProfile {
                 }
             }
         }
+        OBS_WALK_STEPS.add(walk_steps);
+        OBS_WALK_RESTARTS.add(walk_restarts);
+        OBS_INSTRS_EMITTED.add(trace.len() as u64);
         trace
     }
 
@@ -288,6 +313,9 @@ impl StatisticalProfile {
                 if !hist.is_empty() {
                     let d = hist.sample_with(rng.gen()).unwrap_or(0);
                     if d > 0 {
+                        if d > MAX_DEP_DISTANCE {
+                            OBS_DEP_CLAMPED.inc();
+                        }
                         instr.anti_dep[i] = Some(d.min(MAX_DEP_DISTANCE));
                     }
                 }
@@ -300,12 +328,20 @@ impl StatisticalProfile {
                     continue;
                 }
                 let mut chosen = None;
+                let mut exhausted = true;
                 for attempt in 0..DEP_RETRIES {
                     let u = if attempt == 0 { u_block } else { rng.gen::<f64>() };
                     let d = hist.sample_with(u).expect("non-empty histogram samples");
                     if d == 0 {
                         chosen = None; // "no dependency" mass
+                        exhausted = false;
                         break;
+                    }
+                    if d > MAX_DEP_DISTANCE {
+                        // Profiles built by [`profile`] never record past
+                        // the cap; this guards hand-built or deserialized
+                        // profiles so the ≤512 invariant holds everywhere.
+                        OBS_DEP_CLAMPED.inc();
                     }
                     let d = d.min(MAX_DEP_DISTANCE);
                     let pos = trace.instrs.len();
@@ -315,15 +351,20 @@ impl StatisticalProfile {
                             // branch or store).
                             if trace.instrs[src].class.has_dest() {
                                 chosen = Some(d);
+                                exhausted = false;
                                 break;
                             }
                         }
                         None => {
                             // Points before the trace start: drop.
                             chosen = None;
+                            exhausted = false;
                             break;
                         }
                     }
+                }
+                if exhausted {
+                    OBS_DEP_RETRIES_EXHAUSTED.inc();
                 }
                 instr.dep[p] = chosen;
             }

@@ -7,6 +7,25 @@ use ssim_uarch::{
 };
 use std::collections::VecDeque;
 
+// Observability (all no-ops unless SSIM_METRICS enables recording).
+// The per-cycle histograms are the one hot-path instrumentation site in
+// the pipeline; each record is a single relaxed load when disabled.
+static OBS_SIM_TIME: ssim_obs::TimerStat = ssim_obs::TimerStat::new("tracesim.time");
+static OBS_INSTRUCTIONS: ssim_obs::Counter = ssim_obs::Counter::new("tracesim.instructions");
+static OBS_CYCLES: ssim_obs::Counter = ssim_obs::Counter::new("tracesim.cycles");
+static OBS_WRONG_PATH_INJECTED: ssim_obs::Counter =
+    ssim_obs::Counter::new("tracesim.wrong_path_injected");
+static OBS_WRONG_PATH_SQUASHED: ssim_obs::Counter =
+    ssim_obs::Counter::new("tracesim.wrong_path_squashed");
+static OBS_FETCH_OCCUPANCY: ssim_obs::LogHistogram =
+    ssim_obs::LogHistogram::new("tracesim.fetch_ifq_occupancy");
+static OBS_DISPATCH_PER_CYCLE: ssim_obs::LogHistogram =
+    ssim_obs::LogHistogram::new("tracesim.dispatch_per_cycle");
+static OBS_ISSUE_OCCUPANCY: ssim_obs::LogHistogram =
+    ssim_obs::LogHistogram::new("tracesim.issue_window_occupancy");
+static OBS_RETIRE_PER_CYCLE: ssim_obs::LogHistogram =
+    ssim_obs::LogHistogram::new("tracesim.retire_per_cycle");
+
 /// Simulates a synthetic trace on the configured machine.
 ///
 /// The simulator reuses the out-of-order backend of the
@@ -78,6 +97,7 @@ impl<'a, 't> TraceSim<'a, 't> {
     }
 
     fn run(mut self) -> SimResult {
+        let _span = OBS_SIM_TIME.span();
         let target = self.trace.len() as u64;
         let mut last_progress = (0u64, 0u64);
         loop {
@@ -93,9 +113,12 @@ impl<'a, 't> TraceSim<'a, 't> {
             if let Some(seq) = self.core.cycle() {
                 self.recover(seq);
             }
-            self.dispatch();
+            let dispatched = self.dispatch();
             self.fetch();
+            OBS_DISPATCH_PER_CYCLE.record(dispatched);
+            OBS_ISSUE_OCCUPANCY.record(self.core.in_flight() as u64);
             self.core.advance();
+            OBS_RETIRE_PER_CYCLE.record(self.core.committed() - committed);
 
             let now = self.core.now();
             if committed > last_progress.1 {
@@ -108,6 +131,8 @@ impl<'a, 't> TraceSim<'a, 't> {
         }
         let cycles = self.core.now().max(1);
         let instructions = self.core.committed();
+        OBS_CYCLES.add(cycles);
+        OBS_INSTRUCTIONS.add(instructions);
         let (mut activity, ruu, lsq) = self.core.finish();
         activity.set_cycles(cycles);
         SimResult {
@@ -125,16 +150,20 @@ impl<'a, 't> TraceSim<'a, 't> {
     fn recover(&mut self, seq: u64) {
         debug_assert_eq!(self.pending_seq, Some(seq));
         self.pending_seq = None;
-        self.core.squash_after(seq);
+        let squashed = self.core.squash_after(seq) + self.ifq.len();
+        OBS_WRONG_PATH_SQUASHED.add(squashed as u64);
         self.ifq.clear();
         self.cursor = self.wrong_path.take().expect("resolution implies wrong-path mode");
         self.fetch_stall_until = self.core.now() + self.cfg.redirect_latency;
     }
 
-    fn dispatch(&mut self) {
+    /// Returns the number of instructions dispatched this cycle.
+    fn dispatch(&mut self) -> u64 {
+        let mut dispatched = 0;
         while let Some(entry) = self.ifq.front() {
             match self.core.try_dispatch(entry.di) {
                 DispatchOutcome::Dispatched(seq) => {
+                    dispatched += 1;
                     let entry = self.ifq.pop_front().expect("front exists");
                     if entry.is_branch && !entry.di.wrong_path {
                         // The synthetic machine still charges predictor
@@ -149,6 +178,7 @@ impl<'a, 't> TraceSim<'a, 't> {
                 DispatchOutcome::Stalled => break,
             }
         }
+        dispatched
     }
 
     /// Total load latency for pre-assigned flags.
@@ -173,6 +203,7 @@ impl<'a, 't> TraceSim<'a, 't> {
         let now = self.core.now();
         if now < self.fetch_stall_until {
             self.ifq_meter.sample(self.ifq.len() as u64);
+            OBS_FETCH_OCCUPANCY.record(self.ifq.len() as u64);
             return;
         }
         let mut budget = self.cfg.fetch_width();
@@ -189,6 +220,7 @@ impl<'a, 't> TraceSim<'a, 't> {
             }
         }
         self.ifq_meter.sample(self.ifq.len() as u64);
+        OBS_FETCH_OCCUPANCY.record(self.ifq.len() as u64);
     }
 
     /// Fetches one synthetic instruction; returns `true` if fetch stops
@@ -196,6 +228,9 @@ impl<'a, 't> TraceSim<'a, 't> {
     fn fetch_one(&mut self, instr: &SyntheticInstr, wrong_path: bool) -> bool {
         let now = self.core.now();
         self.core.activity_mut().record(Unit::Fetch, now);
+        if wrong_path {
+            OBS_WRONG_PATH_INJECTED.inc();
+        }
         let mut stop = false;
 
         // Instruction-fetch locality: the synthetic simulator models no

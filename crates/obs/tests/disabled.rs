@@ -1,0 +1,36 @@
+//! `SSIM_METRICS=0` must emit nothing and record nothing.
+//!
+//! This lives in its own integration-test file (= its own process): the
+//! mode is resolved once per process from the environment, so it cannot
+//! share a binary with tests that force-enable recording.
+
+use ssim_obs as obs;
+
+static C: obs::Counter = obs::Counter::new("disabled.counter");
+static G: obs::Gauge = obs::Gauge::new("disabled.gauge");
+static H: obs::LogHistogram = obs::LogHistogram::new("disabled.hist");
+static T: obs::TimerStat = obs::TimerStat::new("disabled.timer");
+
+#[test]
+fn disabled_mode_records_and_emits_nothing() {
+    std::env::set_var("SSIM_METRICS", "0");
+    assert_eq!(obs::mode(), obs::Mode::Off);
+    assert!(!obs::enabled());
+
+    C.add(5);
+    C.inc();
+    G.set(7);
+    G.set_max(9);
+    H.record(11);
+    drop(T.span());
+
+    assert_eq!(C.get(), 0);
+    assert_eq!(G.get(), 0);
+    assert_eq!(H.snapshot().count, 0);
+    assert_eq!(T.get(), (0, 0, 0));
+
+    // Nothing registered, nothing exported, no file written.
+    assert!(obs::snapshot().is_empty());
+    assert!(obs::finish("disabled_test").is_none());
+    assert!(!std::path::Path::new("results/METRICS_disabled_test.json").exists());
+}

@@ -29,6 +29,14 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+// Observability: fan-out volume and load balance. The per-worker task
+// histogram makes work-stealing skew visible (a flat histogram means
+// the shared-cursor scheduler balanced the sweep).
+static OBS_TASKS: ssim_obs::Counter = ssim_obs::Counter::new("par.tasks");
+static OBS_THREADS: ssim_obs::Gauge = ssim_obs::Gauge::new("par.threads");
+static OBS_TASKS_PER_WORKER: ssim_obs::LogHistogram =
+    ssim_obs::LogHistogram::new("par.tasks_per_worker");
+
 /// The pool size used by [`par_map`]: `SSIM_THREADS` if set to a
 /// positive integer, otherwise the machine's available parallelism.
 ///
@@ -70,7 +78,10 @@ where
 {
     let n = items.len();
     let threads = threads.clamp(1, n.max(1));
+    OBS_TASKS.add(n as u64);
+    OBS_THREADS.set_max(threads as u64);
     if threads == 1 || n <= 1 {
+        OBS_TASKS_PER_WORKER.record(n as u64);
         return items.iter().map(f).collect();
     }
 
@@ -87,6 +98,7 @@ where
                     }
                     local.push((i, f(&items[i])));
                 }
+                OBS_TASKS_PER_WORKER.record(local.len() as u64);
                 // One lock per worker, not per item.
                 collected.lock().unwrap().extend(local);
             });

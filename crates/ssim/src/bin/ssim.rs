@@ -115,7 +115,7 @@ fn machine_from(args: &[String]) -> Result<MachineConfig, String> {
 }
 
 fn cmd_list() -> Result<(), String> {
-    println!("{:<10} {:<14} {}", "name", "SPEC analog", "algorithm");
+    println!("{:<10} {:<14} algorithm", "name", "SPEC analog");
     for w in ssim::workloads::all() {
         println!("{:<10} {:<14} {}", w.name(), w.spec_analog(), w.description());
     }

@@ -53,7 +53,7 @@ pub use ssim_workloads as workloads;
 pub mod prelude {
     pub use ssim_core::{
         profile, simulate_trace, BranchProfileMode, ProfileConfig, StatisticalProfile,
-        SyntheticTrace,
+        SyntheticTrace, MAX_DEP_DISTANCE,
     };
     pub use ssim_power::{PowerBreakdown, PowerModel};
     pub use ssim_stats::{absolute_error, relative_error, MetricPair, Summary};

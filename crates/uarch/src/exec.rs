@@ -291,11 +291,11 @@ impl<'a, 'p> ExecSim<'a, 'p> {
             srcs[i] = Some(s);
         }
         let (mem, mem_dep_addr) = match (instr.class(), mem_addr) {
-            (c, Some(addr)) if c == ssim_isa::InstrClass::Load => {
+            (ssim_isa::InstrClass::Load, Some(addr)) => {
                 let (lat, dep) = self.data_access(addr, !wrong_path);
                 (Some(MemKind::Load { latency: lat }), Some(dep))
             }
-            (c, Some(addr)) if c == ssim_isa::InstrClass::Store => {
+            (ssim_isa::InstrClass::Store, Some(addr)) => {
                 // Stores evolve the cache state (write-allocate) exactly
                 // like the profiler's in-order pass, but their latency is
                 // hidden by the store buffer.

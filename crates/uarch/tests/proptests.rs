@@ -33,8 +33,8 @@ fn to_instr(g: &Gen) -> DispatchInstr {
         class: Some(class),
         srcs: [None, None],
         dep_dists: [
-            (g.dep1 % 40 != 0).then_some(g.dep1 % 40),
-            (g.dep2 % 64 != 0).then_some(g.dep2 % 64),
+            (!g.dep1.is_multiple_of(40)).then_some(g.dep1 % 40),
+            (!g.dep2.is_multiple_of(64)).then_some(g.dep2 % 64),
         ],
         dest: None,
         mem,

@@ -45,7 +45,7 @@ fn generate_tokens() -> Vec<u64> {
     let mut out = Vec::with_capacity(TOKENS + 64);
 
     fn factor(out: &mut Vec<u64>, next: &mut impl FnMut() -> u64, depth: u32) {
-        if depth < MAX_DEPTH && next() % 4 == 0 {
+        if depth < MAX_DEPTH && next().is_multiple_of(4) {
             out.push(LPAREN);
             expr(out, next, depth + 1);
             out.push(RPAREN);
@@ -57,14 +57,14 @@ fn generate_tokens() -> Vec<u64> {
     fn term(out: &mut Vec<u64>, next: &mut impl FnMut() -> u64, depth: u32) {
         factor(out, next, depth);
         while next() % 10 < 3 {
-            out.push(if next() % 3 == 0 { DIV } else { MUL });
+            out.push(if next().is_multiple_of(3) { DIV } else { MUL });
             factor(out, next, depth);
         }
     }
     fn expr(out: &mut Vec<u64>, next: &mut impl FnMut() -> u64, depth: u32) {
         term(out, next, depth);
         while next() % 10 < 4 {
-            out.push(if next() % 2 == 0 { PLUS } else { MINUS });
+            out.push(if next().is_multiple_of(2) { PLUS } else { MINUS });
             term(out, next, depth);
         }
     }

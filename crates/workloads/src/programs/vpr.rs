@@ -37,7 +37,7 @@ pub fn build(rounds: u64) -> Program {
     // with one doorway per 8-column span, plus a light random sprinkle
     // (1/64) of blockages. Obstacle checks are therefore mostly
     // predictable, like real routing graphs.
-    a.li(x, 0x452_821e6_38d0_1377u64 as i64);
+    a.li(x, 0x4528_21e6_38d0_1377_u64 as i64);
     a.li(t0, 0);
     let init_top = a.here_label();
     util::xorshift(&mut a, x, t1);

@@ -59,7 +59,7 @@ fn main() {
     println!();
     println!("{:<34} {:>8} {:>8}", "technique", "IPC", "error");
     for (label, ipc) in [
-        (format!("statistical, 1 profile"), one),
+        ("statistical, 1 profile".to_string(), one),
         (format!("statistical, {samples} sample profiles"), many),
         (format!("SimPoint, {} points", points.len()), sp),
     ] {

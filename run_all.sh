@@ -4,12 +4,17 @@
 # fast smoke pass; budgets tuned for a single-core box.
 set -u
 mkdir -p results
+# Lint gate: the tree must be clippy-clean before any budget is spent.
+cargo clippy -q --all-targets -- -D warnings || exit 1
 cargo build --release -q -p ssim-bench || exit 1
+# Every run emits machine-readable pipeline metrics by default
+# (results/METRICS_<bin>.json); export SSIM_METRICS=0 to opt out.
+SSIM_METRICS="${SSIM_METRICS:-json}"
 run() {
   echo "[$(date +%H:%M:%S)] running $1"
   shift_args=("$@")
   b="$1"; shift
-  env "$@" cargo run --release -q -p ssim-bench --bin "$b" > "results/$b.txt" 2>&1
+  env SSIM_METRICS="$SSIM_METRICS" "$@" cargo run --release -q -p ssim-bench --bin "$b" > "results/$b.txt" 2>&1
 }
 run table1_baseline_ipc       SSIM_EDS_INSTR=1500000
 run fig3_branch_mpki          SSIM_PROFILE_INSTR=2000000 SSIM_EDS_INSTR=1500000
