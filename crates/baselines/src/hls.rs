@@ -101,7 +101,11 @@ impl HlsModel {
                     continue;
                 }
                 let i = src.dense_index();
-                let dist = if has_writer[i] { idx - last_writer[i] } else { 0 };
+                let dist = if has_writer[i] {
+                    idx - last_writer[i]
+                } else {
+                    0
+                };
                 model.dep[p].record(if dist <= 512 { dist as u32 } else { 0 });
             }
             if let Some(dest) = exec.instr.dest {
@@ -177,14 +181,24 @@ impl HlsModel {
 
         // Split the mix into branch and non-branch classes.
         let classes = InstrClass::ALL;
-        let body_total: u64 =
-            classes.iter().filter(|c| !c.is_control()).map(|c| self.mix[c.index()]).sum();
-        let branch_total: u64 =
-            classes.iter().filter(|c| c.is_control()).map(|c| self.mix[c.index()]).sum();
+        let body_total: u64 = classes
+            .iter()
+            .filter(|c| !c.is_control())
+            .map(|c| self.mix[c.index()])
+            .sum();
+        let branch_total: u64 = classes
+            .iter()
+            .filter(|c| c.is_control())
+            .map(|c| self.mix[c.index()])
+            .sum();
         let draw_class = |rng: &mut SmallRng, control: bool| -> InstrClass {
             let total = if control { branch_total } else { body_total };
             if total == 0 {
-                return if control { InstrClass::IntCondBranch } else { InstrClass::IntAlu };
+                return if control {
+                    InstrClass::IntCondBranch
+                } else {
+                    InstrClass::IntAlu
+                };
             }
             let mut point = rng.gen_range(0..total);
             for c in classes {
@@ -290,7 +304,11 @@ impl HlsModel {
                 }
                 trace.push(si);
                 if i + 1 == n {
-                    at = if taken { block.taken_succ } else { block.fall_succ };
+                    at = if taken {
+                        block.taken_succ
+                    } else {
+                        block.fall_succ
+                    };
                 }
             }
         }
@@ -327,7 +345,13 @@ mod tests {
     #[test]
     fn generation_is_seeded() {
         let m = model();
-        assert_eq!(m.generate(10_000, 5).instrs(), m.generate(10_000, 5).instrs());
-        assert_ne!(m.generate(10_000, 5).instrs(), m.generate(10_000, 6).instrs());
+        assert_eq!(
+            m.generate(10_000, 5).instrs(),
+            m.generate(10_000, 5).instrs()
+        );
+        assert_ne!(
+            m.generate(10_000, 5).instrs(),
+            m.generate(10_000, 6).instrs()
+        );
     }
 }

@@ -43,7 +43,12 @@ pub struct SimPointConfig {
 
 impl Default for SimPointConfig {
     fn default() -> Self {
-        SimPointConfig { interval_len: 1_000_000, intervals: 20, max_k: 6, seed: 1 }
+        SimPointConfig {
+            interval_len: 1_000_000,
+            intervals: 20,
+            max_k: 6,
+            seed: 1,
+        }
     }
 }
 
@@ -87,7 +92,9 @@ fn collect_bbvs(program: &Program, cfg: &SimPointConfig, skip: u64) -> Vec<[f64;
             count += 1;
             block_len += 1;
             if exec.instr.is_control() {
-                let p = projections.entry(block_start).or_insert_with(|| project(block_start));
+                let p = projections
+                    .entry(block_start)
+                    .or_insert_with(|| project(block_start));
                 for (acc, x) in bbv.iter_mut().zip(p.iter()) {
                     *acc += *x * block_len as f64;
                 }
@@ -125,7 +132,9 @@ fn kmeans(
         for (i, p) in points.iter().enumerate() {
             let best = (0..k)
                 .min_by(|&a, &b| {
-                    dist2(p, &centroids[a]).partial_cmp(&dist2(p, &centroids[b])).unwrap()
+                    dist2(p, &centroids[a])
+                        .partial_cmp(&dist2(p, &centroids[b]))
+                        .unwrap()
                 })
                 .expect("k > 0");
             if assign[i] != best {
@@ -155,7 +164,11 @@ fn kmeans(
             break;
         }
     }
-    let sse: f64 = points.iter().enumerate().map(|(i, p)| dist2(p, &centroids[assign[i]])).sum();
+    let sse: f64 = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| dist2(p, &centroids[assign[i]]))
+        .sum();
     (assign, centroids, sse)
 }
 
@@ -203,7 +216,10 @@ pub fn choose(program: &Program, cfg: &SimPointConfig, skip: u64) -> Vec<SimPoin
                     .unwrap()
             })
             .expect("cluster is non-empty");
-        points.push(SimPoint { interval: rep, weight: members.len() as f64 / n as f64 });
+        points.push(SimPoint {
+            interval: rep,
+            weight: members.len() as f64 / n as f64,
+        });
     }
     points.sort_by_key(|p| p.interval);
     points
@@ -245,7 +261,12 @@ mod tests {
     use super::*;
 
     fn cfg() -> SimPointConfig {
-        SimPointConfig { interval_len: 200_000, intervals: 10, max_k: 4, seed: 7 }
+        SimPointConfig {
+            interval_len: 200_000,
+            intervals: 10,
+            max_k: 4,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -268,16 +289,29 @@ mod tests {
         let program = ssim_workloads::by_name("bzip2").unwrap().program();
         let points = choose(
             &program,
-            &SimPointConfig { interval_len: 100_000, intervals: 16, max_k: 5, seed: 3 },
+            &SimPointConfig {
+                interval_len: 100_000,
+                intervals: 16,
+                max_k: 5,
+                seed: 3,
+            },
             2_200_000, // skip init
         );
-        assert!(points.len() >= 2, "expected phase separation, got {points:?}");
+        assert!(
+            points.len() >= 2,
+            "expected phase separation, got {points:?}"
+        );
     }
 
     #[test]
     fn estimates_plausible_ipc() {
         let program = ssim_workloads::by_name("crafty").unwrap().program();
-        let c = SimPointConfig { interval_len: 150_000, intervals: 8, max_k: 3, seed: 1 };
+        let c = SimPointConfig {
+            interval_len: 150_000,
+            intervals: 8,
+            max_k: 3,
+            seed: 1,
+        };
         let points = choose(&program, &c, 0);
         let ipc = estimate_ipc(&program, &MachineConfig::baseline(), &points, &c, 0);
         assert!(ipc > 0.2 && ipc < 8.0, "IPC {ipc}");

@@ -28,7 +28,10 @@ fn main() {
         });
         report(&m, N);
 
-        let p = profile(&program, &ProfileConfig::new(&machine).skip(1_000_000).instructions(N));
+        let p = profile(
+            &program,
+            &ProfileConfig::new(&machine).skip(1_000_000).instructions(N),
+        );
         let m = bench(&format!("generate_r20/{name}"), 1, 10, || p.generate(20, 7));
         report(&m, N / 20);
     }

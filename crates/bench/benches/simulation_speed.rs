@@ -30,7 +30,9 @@ fn main() {
 
         let p = profile(
             &program,
-            &ProfileConfig::new(&machine).skip(1_000_000).instructions(1_000_000),
+            &ProfileConfig::new(&machine)
+                .skip(1_000_000)
+                .instructions(1_000_000),
         );
         let r = (p.instructions() / N).max(1);
         let trace = p.generate(r, 1);

@@ -11,7 +11,10 @@ use ssim::prelude::*;
 use ssim_bench::{banner, eds, par_map, profile_cached, workloads, Budget, DEFAULT_R};
 
 fn main() {
-    banner("Ablation", "dependency-distance cap vs IPC accuracy (RUU = 128)");
+    banner(
+        "Ablation",
+        "dependency-distance cap vs IPC accuracy (RUU = 128)",
+    );
     let budget = Budget::from_env();
     let machine = MachineConfig::baseline();
     // Caps above MAX_DEP_DISTANCE (512) are clamped by the profiler —

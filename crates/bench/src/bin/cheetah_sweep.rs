@@ -14,7 +14,10 @@ use ssim_bench::{banner, par_map, workloads, Budget};
 use std::time::Instant;
 
 fn main() {
-    banner("Substrate", "single-pass L1D associativity sweep (cheetah-style)");
+    banner(
+        "Substrate",
+        "single-pass L1D associativity sweep (cheetah-style)",
+    );
     let budget = Budget::from_env();
     let assocs = 8;
 

@@ -14,7 +14,10 @@ use ssim::prelude::*;
 use ssim_bench::{banner, workloads, Budget, DEFAULT_R};
 
 fn main() {
-    banner("Extension", "in-order machine: RAW-only vs +WAW/WAR profiles");
+    banner(
+        "Extension",
+        "in-order machine: RAW-only vs +WAW/WAR profiles",
+    );
     let budget = Budget::from_env();
     let inorder = MachineConfig::baseline().in_order();
 
@@ -32,7 +35,9 @@ fn main() {
         let raw = {
             let p = profile(
                 &program,
-                &ProfileConfig::new(&inorder).skip(budget.skip).instructions(budget.profile),
+                &ProfileConfig::new(&inorder)
+                    .skip(budget.skip)
+                    .instructions(budget.profile),
             );
             simulate_trace(&p.generate(DEFAULT_R, 1), &inorder)
         };

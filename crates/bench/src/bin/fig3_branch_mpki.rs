@@ -11,7 +11,10 @@ use ssim::prelude::*;
 use ssim_bench::{banner, eds, profiled_with, workloads, Budget};
 
 fn main() {
-    banner("Figure 3", "branch MPKI: EDS vs immediate vs delayed profiling");
+    banner(
+        "Figure 3",
+        "branch MPKI: EDS vs immediate vs delayed profiling",
+    );
     let budget = Budget::from_env();
     let machine = MachineConfig::baseline();
     println!(
@@ -23,8 +26,7 @@ fn main() {
         let reference = eds(&machine, w, &budget).mpki();
         let imm =
             profiled_with(&machine, w, &budget, 1, BranchProfileMode::Immediate).branch_mpki();
-        let del =
-            profiled_with(&machine, w, &budget, 1, BranchProfileMode::Delayed).branch_mpki();
+        let del = profiled_with(&machine, w, &budget, 1, BranchProfileMode::Delayed).branch_mpki();
         imm_gap.push((imm - reference).abs());
         del_gap.push((del - reference).abs());
         println!(

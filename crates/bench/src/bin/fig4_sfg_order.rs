@@ -9,7 +9,10 @@ use ssim::prelude::*;
 use ssim_bench::{banner, eds, par_map, profiled_with, ss, workloads, Budget};
 
 fn main() {
-    banner("Figure 4", "IPC error vs SFG order k (perfect caches + bpred)");
+    banner(
+        "Figure 4",
+        "IPC error vs SFG order k (perfect caches + bpred)",
+    );
     let budget = Budget::from_env();
     let mut machine = MachineConfig::baseline();
     machine.perfect_caches = true;
@@ -24,8 +27,9 @@ fn main() {
     // by the four orders, so it runs in a first parallel wave.
     let suite = workloads();
     let references = par_map(&suite, |w| eds(&machine, w, &budget));
-    let tasks: Vec<(usize, usize)> =
-        (0..suite.len()).flat_map(|wi| (0..=3usize).map(move |k| (wi, k))).collect();
+    let tasks: Vec<(usize, usize)> = (0..suite.len())
+        .flat_map(|wi| (0..=3usize).map(move |k| (wi, k)))
+        .collect();
     let errors = par_map(&tasks, |&(wi, k)| {
         let p = profiled_with(&machine, suite[wi], &budget, k, BranchProfileMode::Perfect);
         let predicted = ss(&p, &machine, 1);

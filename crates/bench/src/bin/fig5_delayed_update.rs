@@ -10,7 +10,10 @@ use ssim::prelude::*;
 use ssim_bench::{banner, eds, profiled_with, ss, workloads, Budget};
 
 fn main() {
-    banner("Figure 5", "IPC error: immediate vs delayed branch profiling (perfect caches)");
+    banner(
+        "Figure 5",
+        "IPC error: immediate vs delayed branch profiling (perfect caches)",
+    );
     let budget = Budget::from_env();
     let mut machine = MachineConfig::baseline();
     machine.perfect_caches = true;

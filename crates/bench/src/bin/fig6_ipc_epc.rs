@@ -10,7 +10,10 @@ use ssim::prelude::*;
 use ssim_bench::{banner, eds, par_map, profiled, ss, workloads, Budget};
 
 fn main() {
-    banner("Figure 6", "absolute IPC / EPC / EDP accuracy on the baseline machine");
+    banner(
+        "Figure 6",
+        "absolute IPC / EPC / EDP accuracy on the baseline machine",
+    );
     let budget = Budget::from_env();
     let machine = MachineConfig::baseline();
     let power = PowerModel::new(&machine);

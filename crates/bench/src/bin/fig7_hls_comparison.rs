@@ -14,7 +14,10 @@ fn main() {
     let budget = Budget::from_env();
     let machine = MachineConfig::baseline();
 
-    println!("{:<10} {:>9} {:>8} {:>11}", "workload", "EDS-IPC", "HLS", "SMART-HLS");
+    println!(
+        "{:<10} {:>9} {:>8} {:>11}",
+        "workload", "EDS-IPC", "HLS", "SMART-HLS"
+    );
     let (mut hls_errs, mut sfg_errs) = (Vec::new(), Vec::new());
     for w in workloads() {
         let reference = eds(&machine, w, &budget);

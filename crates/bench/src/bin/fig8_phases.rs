@@ -33,7 +33,9 @@ fn main() {
         // One profile over the full stream.
         let whole = profile(
             &program,
-            &ProfileConfig::new(&machine).skip(budget.skip).instructions(stream),
+            &ProfileConfig::new(&machine)
+                .skip(budget.skip)
+                .instructions(stream),
         );
         let one = simulate_trace(&whole.generate(DEFAULT_R, 1), &machine).ipc();
 
@@ -81,7 +83,10 @@ fn main() {
     println!();
     let labels = ["1 profile", "4 profiles", "16 profiles", "SimPoint"];
     for (label, e) in labels.iter().zip(&errs) {
-        println!("mean error, {label:<12} {:>5.1}%", ssim_bench::mean(e) * 100.0);
+        println!(
+            "mean error, {label:<12} {:>5.1}%",
+            ssim_bench::mean(e) * 100.0
+        );
     }
     println!();
     println!("paper: finer statistical sampling helps only slightly; SimPoint is more");

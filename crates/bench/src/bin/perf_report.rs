@@ -6,12 +6,19 @@
 //!    `SSIM_THREADS` threads (results are bit-identical either way).
 //! 2. **Profile cache** — profiling the whole suite cold (empty cache)
 //!    vs warm (every profile served from disk).
+//! 3. **Compiled sampling engine** — the `synth_speed` measurement
+//!    (walk subsystem and end-to-end generation, compiled tables vs
+//!    the reference interpreter) on the reference workload, recorded
+//!    as the `"synth"` section.
 //!
 //! Emits `results/BENCH_parallel.json` alongside a human-readable
 //! summary on stdout.
 
 use ssim::prelude::*;
-use ssim_bench::{banner, cache_stats, num_threads, par_map_with, profiled, workloads, Budget};
+use ssim_bench::{
+    banner, cache_stats, measure_synth_speed, num_threads, par_map_with, profiled, workloads,
+    Budget,
+};
 use std::time::Instant;
 
 fn main() {
@@ -25,8 +32,7 @@ fn main() {
 
     // A private cache root makes the cold pass genuinely cold without
     // touching (or trusting) the shared results/.profile-cache.
-    let cache_root =
-        std::env::temp_dir().join(format!("ssim-perf-report-{}", std::process::id()));
+    let cache_root = std::env::temp_dir().join(format!("ssim-perf-report-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache_root);
     std::env::set_var("SSIM_PROFILE_CACHE_DIR", &cache_root);
     std::env::remove_var("SSIM_NO_PROFILE_CACHE");
@@ -82,6 +88,20 @@ fn main() {
         points.len()
     );
 
+    // --- compiled sampling engine ------------------------------------
+    // Same measurement as the `synth_speed` binary, on the same
+    // reference workload (gcc — the largest SFG in the suite; see that
+    // binary's docs), so the speedup lands in the recorded trajectory.
+    let synth_idx = suite.iter().position(|w| w.name() == "gcc").unwrap_or(0);
+    let synth_iters: u32 = if ssim_bench::quick() { 6 } else { 16 };
+    let synth = measure_synth_speed(&profiles[synth_idx], ssim_bench::DEFAULT_R, synth_iters);
+    println!(
+        "synth ({}): walk {:.1}x, end-to-end reuse {:.1}x",
+        suite[synth_idx].name(),
+        synth.walk_speedup(),
+        synth.generate_speedup(),
+    );
+
     // --- report ------------------------------------------------------
     // Per-stage CPU time from the observability timers: these sum the
     // time spent *inside* each pipeline stage across all worker
@@ -112,6 +132,7 @@ fn main() {
          \"sweep_serial_s\": {sweep_serial_s:.4},\n  \
          \"sweep_parallel_s\": {sweep_parallel_s:.4},\n  \
          \"sweep_speedup\": {speedup:.2},\n  \
+         \"synth\": {},\n  \
          \"stages\": {stages}\n}}\n",
         names.join(", "),
         cold.0,
@@ -119,6 +140,7 @@ fn main() {
         warm_stats.0,
         warm_stats.1,
         points.len(),
+        synth.json(),
     );
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/BENCH_parallel.json", &json).expect("write BENCH_parallel.json");

@@ -9,10 +9,17 @@ use ssim::prelude::*;
 use ssim_bench::{banner, profiled, quick, workloads, Budget};
 
 fn main() {
-    banner("Section 4.1", "CoV of IPC vs synthetic trace length (20 seeds)");
+    banner(
+        "Section 4.1",
+        "CoV of IPC vs synthetic trace length (20 seeds)",
+    );
     let budget = Budget::from_env();
     let machine = MachineConfig::baseline();
-    let lengths: &[u64] = if quick() { &[50_000, 100_000, 200_000] } else { &[100_000, 200_000, 500_000] };
+    let lengths: &[u64] = if quick() {
+        &[50_000, 100_000, 200_000]
+    } else {
+        &[100_000, 200_000, 500_000]
+    };
     let seeds = if quick() { 8 } else { 20 };
 
     print!("{:<10}", "workload");

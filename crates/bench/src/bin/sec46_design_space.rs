@@ -39,7 +39,9 @@ fn grid(quick: bool) -> Vec<MachineConfig> {
 }
 
 fn edp_of(r: &SimResult, cfg: &MachineConfig) -> f64 {
-    PowerModel::new(cfg).evaluate(&r.activity).edp(r.ipc().max(1e-9))
+    PowerModel::new(cfg)
+        .evaluate(&r.activity)
+        .edp(r.ipc().max(1e-9))
 }
 
 fn main() {

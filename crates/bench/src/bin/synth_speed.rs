@@ -1,0 +1,85 @@
+//! Microbenchmark for the compiled sampling engine (§2.2 inner loop).
+//!
+//! Generation is the per-design-point cost of the methodology: every
+//! sweep point random-walks the reduced SFG and draws per-instruction
+//! characteristics. This binary measures, on the reference workload,
+//!
+//! * walk-subsystem steps/sec in isolation — the interpreter's
+//!   hash-probe walk vs the compiled tables, emission stubbed out on
+//!   both sides (`walk_reference` vs `CompiledSampler::walk`), and
+//! * end-to-end instrs/sec for the pre-compilation interpreter
+//!   (`generate_reference`), the compiled engine paying a fresh
+//!   lowering per trace (cold), and the compiled engine reusing one
+//!   lowered artifact across seeds — the §4.1 multi-seed shape.
+//!
+//! The reference workload is **gcc**: the paper's hardest-to-model
+//! program and the largest SFG in the suite, which makes it the stress
+//! case for exactly the machinery this engine compiles — restart-heavy
+//! walks over a node set big enough that the interpreter's O(nodes)
+//! restart scan and per-step hash probes dominate.
+//!
+//! Paths must agree exactly — byte-identical traces, equal walk
+//! reports — and the measurement asserts both. `--quick` (or
+//! `SSIM_QUICK=1`) shrinks budgets for the default `run_all.sh` pass;
+//! `SSIM_SYNTH_ITERS` overrides the per-phase trace count,
+//! `SSIM_SYNTH_WORKLOAD` picks a different workload by name.
+//!
+//! The same measurement feeds the `"synth"` section of
+//! `results/BENCH_parallel.json` via `perf_report`, recording the
+//! speedup in the bench trajectory.
+
+use ssim::prelude::*;
+use ssim_bench::{banner, measure_synth_speed, profiled, workloads, Budget};
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        std::env::set_var("SSIM_QUICK", "1");
+    }
+    // Walk-step throughput comes from the observability counters, so
+    // recording must be on regardless of SSIM_METRICS.
+    ssim_bench::obs::force_enable();
+    banner(
+        "Synth speed",
+        "compiled sampling engine vs reference interpreter",
+    );
+
+    let budget = Budget::from_env();
+    let base = MachineConfig::baseline();
+    let suite = workloads();
+    let wanted = std::env::var("SSIM_SYNTH_WORKLOAD").unwrap_or_else(|_| "gcc".into());
+    let workload = suite
+        .iter()
+        .find(|w| w.name() == wanted)
+        .or_else(|| suite.first())
+        .expect("at least one workload");
+    let iters: u32 = std::env::var("SSIM_SYNTH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if ssim_bench::quick() { 6 } else { 16 });
+
+    println!(
+        "workload: {} ({} profiled instrs), R = {}, {iters} traces per phase",
+        workload.name(),
+        budget.profile,
+        ssim_bench::DEFAULT_R
+    );
+    let profile = profiled(&base, workload, &budget);
+    println!(
+        "profile: {} SFG nodes, {} contexts",
+        profile.sfg().node_count(),
+        profile.context_count()
+    );
+
+    let speed = measure_synth_speed(&profile, ssim_bench::DEFAULT_R, iters);
+    println!("{}", speed.summary());
+    let sampler = profile.compile(ssim_bench::DEFAULT_R);
+    println!(
+        "one lowering: {:.2} ms ({} nodes, {} edges), amortised over every later seed",
+        speed.compile_s * 1e3,
+        sampler.node_count(),
+        sampler.edge_count(),
+    );
+    println!("synth json: {}", speed.json());
+
+    ssim_bench::obs_finish(env!("CARGO_BIN_NAME"));
+}

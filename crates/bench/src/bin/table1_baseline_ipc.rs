@@ -4,8 +4,8 @@
 //! IPC of the baseline configuration (Table 2) over the SimPoint
 //! samples. We report the same for the ten archetype workloads.
 
-use ssim_bench::{banner, eds, workloads, Budget};
 use ssim::uarch::MachineConfig;
+use ssim_bench::{banner, eds, workloads, Budget};
 
 fn main() {
     banner("Table 1", "benchmark suite and baseline IPC");

@@ -13,7 +13,10 @@ fn main() {
     banner("Table 3", "SFG node count vs order k");
     let budget = Budget::from_env();
     let machine = MachineConfig::baseline();
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "workload", "k=0", "k=1", "k=2", "k=3");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "k=0", "k=1", "k=2", "k=3"
+    );
     for w in workloads() {
         print!("{:<10}", w.name());
         for k in 0..=3usize {

@@ -69,7 +69,11 @@ fn axes(quick: bool) -> Vec<Axis> {
     let base = MachineConfig::baseline();
     let mut axes = Vec::new();
 
-    let windows: &[usize] = if quick { &[16, 64, 128] } else { &[8, 16, 32, 48, 64, 96, 128] };
+    let windows: &[usize] = if quick {
+        &[16, 64, 128]
+    } else {
+        &[8, 16, 32, 48, 64, 96, 128]
+    };
     axes.push(Axis {
         title: "window size (RUU; LSQ = RUU/2)",
         points: windows
@@ -83,7 +87,10 @@ fn axes(quick: bool) -> Vec<Axis> {
     let widths: &[usize] = if quick { &[2, 8] } else { &[2, 4, 6, 8] };
     axes.push(Axis {
         title: "processor width (decode = issue = commit)",
-        points: widths.iter().map(|&w| (format!("{w}"), base.clone().with_width(w))).collect(),
+        points: widths
+            .iter()
+            .map(|&w| (format!("{w}"), base.clone().with_width(w)))
+            .collect(),
         report: vec![0, 14, 1, 7, 8, 9],
         reprofile: false,
     });
@@ -93,12 +100,19 @@ fn axes(quick: bool) -> Vec<Axis> {
         title: "instruction fetch queue size",
         // The delayed-update FIFO is sized like the IFQ, so the branch
         // characteristics must be re-profiled per point.
-        points: ifqs.iter().map(|&q| (format!("{q}"), base.clone().with_ifq(q))).collect(),
+        points: ifqs
+            .iter()
+            .map(|&q| (format!("{q}"), base.clone().with_ifq(q)))
+            .collect(),
         report: vec![0, 1, 4],
         reprofile: true,
     });
 
-    let bp: &[f64] = if quick { &[0.5, 1.0, 2.0] } else { &[0.25, 0.5, 1.0, 2.0, 4.0] };
+    let bp: &[f64] = if quick {
+        &[0.5, 1.0, 2.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0, 4.0]
+    };
     axes.push(Axis {
         title: "branch predictor size",
         points: bp
@@ -113,7 +127,11 @@ fn axes(quick: bool) -> Vec<Axis> {
         reprofile: true,
     });
 
-    let cs: &[f64] = if quick { &[0.5, 1.0, 2.0] } else { &[0.25, 0.5, 1.0, 2.0, 4.0] };
+    let cs: &[f64] = if quick {
+        &[0.5, 1.0, 2.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0, 4.0]
+    };
     axes.push(Axis {
         title: "cache configuration size",
         points: cs
@@ -173,7 +191,9 @@ fn run_axis(axis: &Axis, suite: &[&Workload], budget: &Budget) {
             None => {
                 let p = profile_cached(
                     w,
-                    &ProfileConfig::new(cfg).skip(budget.skip).instructions(budget.profile),
+                    &ProfileConfig::new(cfg)
+                        .skip(budget.skip)
+                        .instructions(budget.profile),
                 );
                 simulate_trace(&p.generate(DEFAULT_R, 1), cfg)
             }
@@ -186,8 +206,14 @@ fn run_axis(axis: &Axis, suite: &[&Workload], budget: &Budget) {
         for m in 0..METRICS.len() {
             for t in 0..n_points - 1 {
                 let re = relative_error(
-                    MetricPair { ss: ss_m[t][m], eds: eds_m[t][m] },
-                    MetricPair { ss: ss_m[t + 1][m], eds: eds_m[t + 1][m] },
+                    MetricPair {
+                        ss: ss_m[t][m],
+                        eds: eds_m[t][m],
+                    },
+                    MetricPair {
+                        ss: ss_m[t + 1][m],
+                        eds: eds_m[t + 1][m],
+                    },
                 );
                 res[m][t].push(re);
             }
@@ -196,7 +222,10 @@ fn run_axis(axis: &Axis, suite: &[&Workload], budget: &Budget) {
 
     print!("{:<16}", "metric \\ step");
     for t in 0..n_points - 1 {
-        print!(" {:>13}", format!("{}->{}", axis.points[t].0, axis.points[t + 1].0));
+        print!(
+            " {:>13}",
+            format!("{}->{}", axis.points[t].0, axis.points[t + 1].0)
+        );
     }
     println!();
     for &m in &axis.report {
@@ -209,7 +238,10 @@ fn run_axis(axis: &Axis, suite: &[&Workload], budget: &Budget) {
 }
 
 fn main() {
-    banner("Table 4", "relative accuracy across five architectural sweeps");
+    banner(
+        "Table 4",
+        "relative accuracy across five architectural sweeps",
+    );
     let budget = Budget::from_env();
     let suite = workloads();
     for axis in axes(ssim_bench::quick()) {

@@ -20,11 +20,13 @@ use ssim::prelude::*;
 use ssim::workloads::Workload;
 
 pub mod profile_cache;
+pub mod synthbench;
 pub mod timing;
 
 pub use profile_cache::{cache_enabled, cache_stats, profile_cached};
 pub use ssim_obs as obs;
 pub use ssim_par::{num_threads, par_map, par_map_with};
+pub use synthbench::{measure_synth_speed, SynthSpeed};
 
 static OBS_EDS_TIME: ssim_obs::TimerStat = ssim_obs::TimerStat::new("eds.time");
 
@@ -53,11 +55,17 @@ impl Budget {
     pub fn from_env() -> Self {
         let quick = quick();
         let get = |key: &str, dflt: u64| {
-            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(dflt)
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(dflt)
         };
         Budget {
             skip: get("SSIM_SKIP", 4_000_000),
-            profile: get("SSIM_PROFILE_INSTR", if quick { 600_000 } else { 3_000_000 }),
+            profile: get(
+                "SSIM_PROFILE_INSTR",
+                if quick { 600_000 } else { 3_000_000 },
+            ),
             eds: get("SSIM_EDS_INSTR", if quick { 400_000 } else { 2_000_000 }),
         }
     }
@@ -105,7 +113,9 @@ pub fn profiled(
 ) -> StatisticalProfile {
     profile_cached(
         workload,
-        &ProfileConfig::new(machine).skip(budget.skip).instructions(budget.profile),
+        &ProfileConfig::new(machine)
+            .skip(budget.skip)
+            .instructions(budget.profile),
     )
 }
 

@@ -81,7 +81,10 @@ pub fn cache_key(workload: &str, cfg: &ProfileConfig) -> u64 {
 
 /// The on-disk path for one `(workload, ProfileConfig)` pair.
 pub fn cache_path(workload: &str, cfg: &ProfileConfig) -> PathBuf {
-    cache_dir().join(format!("{workload}-{:016x}.ssimprf", cache_key(workload, cfg)))
+    cache_dir().join(format!(
+        "{workload}-{:016x}.ssimprf",
+        cache_key(workload, cfg)
+    ))
 }
 
 /// Builds (or loads) the statistical profile of `workload` under `cfg`.
@@ -140,7 +143,10 @@ mod tests {
         );
         assert_ne!(
             cache_key("gzip", &cfg),
-            cache_key("gzip", &ProfileConfig::new(&base.clone().with_width(2)).instructions(1000))
+            cache_key(
+                "gzip",
+                &ProfileConfig::new(&base.clone().with_width(2)).instructions(1000)
+            )
         );
     }
 
@@ -148,7 +154,12 @@ mod tests {
     fn path_embeds_workload_name() {
         let cfg = ProfileConfig::new(&MachineConfig::baseline());
         let p = cache_path("twolf", &cfg);
-        assert!(p.file_name().unwrap().to_str().unwrap().starts_with("twolf-"));
+        assert!(p
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("twolf-"));
         assert!(p.extension().unwrap() == "ssimprf");
     }
 }

@@ -44,17 +44,35 @@ fn profiler_instruction_counter_matches_budget_even_through_the_cache() {
     std::env::remove_var("SSIM_NO_PROFILE_CACHE");
 
     let machine = MachineConfig::baseline();
-    let budget = ssim_bench::Budget { skip: 1_000, profile: BUDGET, eds: 1_000 };
+    let budget = ssim_bench::Budget {
+        skip: 1_000,
+        profile: BUDGET,
+        eds: 1_000,
+    };
     let w = ssim::workloads::by_name("gzip").expect("gzip workload");
 
-    let before = obs::snapshot().counter("profiler.instructions").unwrap_or(0);
+    let before = obs::snapshot()
+        .counter("profiler.instructions")
+        .unwrap_or(0);
     let cold = ssim_bench::profiled(&machine, w, &budget); // miss: real profiling pass
-    let mid = obs::snapshot().counter("profiler.instructions").unwrap_or(0);
-    assert_eq!(mid - before, BUDGET, "cold pass must count the exact budget");
+    let mid = obs::snapshot()
+        .counter("profiler.instructions")
+        .unwrap_or(0);
+    assert_eq!(
+        mid - before,
+        BUDGET,
+        "cold pass must count the exact budget"
+    );
 
     let warm = ssim_bench::profiled(&machine, w, &budget); // hit: loaded from disk
-    let after = obs::snapshot().counter("profiler.instructions").unwrap_or(0);
-    assert_eq!(after - mid, BUDGET, "cache hits must still account their budget");
+    let after = obs::snapshot()
+        .counter("profiler.instructions")
+        .unwrap_or(0);
+    assert_eq!(
+        after - mid,
+        BUDGET,
+        "cache hits must still account their budget"
+    );
     assert_eq!(warm.instructions(), cold.instructions());
 
     let snap = obs::snapshot();

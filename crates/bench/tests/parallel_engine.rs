@@ -17,12 +17,16 @@ fn mini_sweep(threads: usize) -> Vec<(u64, u64, String)> {
     let base = MachineConfig::baseline();
     let p = profile(
         &workload.program(),
-        &ProfileConfig::new(&base).skip(100_000).instructions(120_000),
+        &ProfileConfig::new(&base)
+            .skip(100_000)
+            .instructions(120_000),
     );
     let trace = p.generate(20, 1);
     let points: Vec<MachineConfig> = [1usize, 2, 4, 8]
         .iter()
-        .flat_map(|&w| [16usize, 32, 64, 128].map(|win| base.clone().with_width(w).with_window(win)))
+        .flat_map(|&w| {
+            [16usize, 32, 64, 128].map(|win| base.clone().with_width(w).with_window(win))
+        })
         .collect();
     par_map_with(threads, &points, |cfg| {
         let r = simulate_trace(&trace, cfg);
@@ -73,8 +77,14 @@ fn profile_cache_hit_is_byte_identical() {
     fresh.save(&mut fresh_bytes).unwrap();
     let mut cached_bytes = Vec::new();
     cached.save(&mut cached_bytes).unwrap();
-    assert_eq!(fresh_bytes, on_disk, "stored bytes differ from fresh profile");
-    assert_eq!(cached_bytes, on_disk, "reloaded profile re-serialises differently");
+    assert_eq!(
+        fresh_bytes, on_disk,
+        "stored bytes differ from fresh profile"
+    );
+    assert_eq!(
+        cached_bytes, on_disk,
+        "reloaded profile re-serialises differently"
+    );
 
     // And it drives identical downstream results.
     let machine = MachineConfig::baseline();

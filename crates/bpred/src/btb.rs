@@ -29,7 +29,11 @@ impl Btb {
     pub fn new(sets: usize, assoc: usize) -> Self {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(assoc > 0, "associativity must be positive");
-        Btb { sets: vec![Vec::with_capacity(assoc); sets], assoc, lru_tick: 0 }
+        Btb {
+            sets: vec![Vec::with_capacity(assoc); sets],
+            assoc,
+            lru_tick: 0,
+        }
     }
 
     fn set_index(&self, pc: usize) -> usize {
@@ -64,7 +68,11 @@ impl Btb {
             e.last_use = tick;
             return;
         }
-        let entry = BtbEntry { pc, target, last_use: tick };
+        let entry = BtbEntry {
+            pc,
+            target,
+            last_use: tick,
+        };
         if set.len() < assoc {
             set.push(entry);
         } else {

@@ -53,7 +53,10 @@ impl BpredConfig {
         let scale = |n: usize| -> usize {
             let scaled = (n as f64 * factor).round() as usize;
             assert!(scaled >= 64, "scaled predictor table too small");
-            assert!(scaled.is_power_of_two(), "scaled size must be a power of two");
+            assert!(
+                scaled.is_power_of_two(),
+                "scaled size must be a power of two"
+            );
             scaled
         };
         BpredConfig {
@@ -99,7 +102,10 @@ mod tests {
         let double = base.scaled(2.0);
         assert_eq!(half.bimodal_entries, 4096);
         assert_eq!(double.bimodal_entries, 16384);
-        assert_eq!(half.btb_sets, base.btb_sets, "BTB unaffected by direction scaling");
+        assert_eq!(
+            half.btb_sets, base.btb_sets,
+            "BTB unaffected by direction scaling"
+        );
         assert_eq!(half.hist_bits, 12);
         assert_eq!(double.hist_bits, 14);
     }

@@ -86,12 +86,7 @@ pub enum BranchOutcome {
 /// * *branch misprediction* — taken/not-taken misprediction for
 ///   conditional branches, and BTB/RAS target misses for indirect
 ///   branches.
-pub fn classify(
-    kind: BranchKind,
-    pred: &Prediction,
-    taken: bool,
-    target: usize,
-) -> BranchOutcome {
+pub fn classify(kind: BranchKind, pred: &Prediction, taken: bool, target: usize) -> BranchOutcome {
     match kind {
         BranchKind::Cond => {
             if pred.taken != taken {
@@ -166,7 +161,11 @@ impl HybridPredictor {
         let bimodal_taken = self.bimodal.predict(pc);
         let local_taken = self.local.predict(pc);
         let chose_local = self.meta[self.meta_index(pc)].predict();
-        let dir = if chose_local { local_taken } else { bimodal_taken };
+        let dir = if chose_local {
+            local_taken
+        } else {
+            bimodal_taken
+        };
         let btb_target = self.btb.lookup(pc);
 
         match kind {
@@ -272,7 +271,10 @@ mod tests {
         let pred = p.lookup(42, BranchKind::Cond);
         assert!(pred.taken);
         assert_eq!(pred.target, Some(7));
-        assert_eq!(classify(BranchKind::Cond, &pred, true, 7), BranchOutcome::Correct);
+        assert_eq!(
+            classify(BranchKind::Cond, &pred, true, 7),
+            BranchOutcome::Correct
+        );
     }
 
     #[test]
@@ -283,7 +285,10 @@ mod tests {
         let pred = p.lookup(42, BranchKind::Cond);
         assert!(pred.taken);
         assert_eq!(pred.target, None);
-        assert_eq!(classify(BranchKind::Cond, &pred, true, 7), BranchOutcome::FetchRedirect);
+        assert_eq!(
+            classify(BranchKind::Cond, &pred, true, 7),
+            BranchOutcome::FetchRedirect
+        );
     }
 
     #[test]
@@ -291,7 +296,10 @@ mod tests {
         let mut p = predictor();
         let pred = p.lookup(42, BranchKind::Cond);
         assert!(pred.taken);
-        assert_eq!(classify(BranchKind::Cond, &pred, false, 0), BranchOutcome::Mispredict);
+        assert_eq!(
+            classify(BranchKind::Cond, &pred, false, 0),
+            BranchOutcome::Mispredict
+        );
     }
 
     #[test]
@@ -301,30 +309,51 @@ mod tests {
         p.update(10, BranchKind::Call, true, 50, &call_pred);
         let ret_pred = p.lookup(55, BranchKind::Ret);
         assert_eq!(ret_pred.target, Some(11));
-        assert_eq!(classify(BranchKind::Ret, &ret_pred, true, 11), BranchOutcome::Correct);
-        assert_eq!(classify(BranchKind::Ret, &ret_pred, true, 99), BranchOutcome::Mispredict);
+        assert_eq!(
+            classify(BranchKind::Ret, &ret_pred, true, 11),
+            BranchOutcome::Correct
+        );
+        assert_eq!(
+            classify(BranchKind::Ret, &ret_pred, true, 99),
+            BranchOutcome::Mispredict
+        );
     }
 
     #[test]
     fn indirect_btb_miss_is_mispredict() {
         let mut p = predictor();
         let pred = p.lookup(30, BranchKind::Indirect);
-        assert_eq!(classify(BranchKind::Indirect, &pred, true, 12), BranchOutcome::Mispredict);
+        assert_eq!(
+            classify(BranchKind::Indirect, &pred, true, 12),
+            BranchOutcome::Mispredict
+        );
         p.update(30, BranchKind::Indirect, true, 12, &pred);
         let pred = p.lookup(30, BranchKind::Indirect);
-        assert_eq!(classify(BranchKind::Indirect, &pred, true, 12), BranchOutcome::Correct);
+        assert_eq!(
+            classify(BranchKind::Indirect, &pred, true, 12),
+            BranchOutcome::Correct
+        );
         // Same indirect branch, different target: still a mispredict.
-        assert_eq!(classify(BranchKind::Indirect, &pred, true, 13), BranchOutcome::Mispredict);
+        assert_eq!(
+            classify(BranchKind::Indirect, &pred, true, 13),
+            BranchOutcome::Mispredict
+        );
     }
 
     #[test]
     fn direct_jump_btb_miss_is_redirect_not_mispredict() {
         let mut p = predictor();
         let pred = p.lookup(20, BranchKind::Jump);
-        assert_eq!(classify(BranchKind::Jump, &pred, true, 5), BranchOutcome::FetchRedirect);
+        assert_eq!(
+            classify(BranchKind::Jump, &pred, true, 5),
+            BranchOutcome::FetchRedirect
+        );
         p.update(20, BranchKind::Jump, true, 5, &pred);
         let pred = p.lookup(20, BranchKind::Jump);
-        assert_eq!(classify(BranchKind::Jump, &pred, true, 5), BranchOutcome::Correct);
+        assert_eq!(
+            classify(BranchKind::Jump, &pred, true, 5),
+            BranchOutcome::Correct
+        );
     }
 
     #[test]
@@ -346,17 +375,29 @@ mod tests {
             p.update(77, BranchKind::Cond, taken, 3, &pred);
             taken = !taken;
         }
-        assert!(correct >= 90, "hybrid should learn alternation via local, got {correct}");
+        assert!(
+            correct >= 90,
+            "hybrid should learn alternation via local, got {correct}"
+        );
     }
 
     #[test]
     fn branch_kind_from_opcode() {
         assert_eq!(BranchKind::from_opcode(Opcode::Beq), Some(BranchKind::Cond));
-        assert_eq!(BranchKind::from_opcode(Opcode::FBlt), Some(BranchKind::Cond));
+        assert_eq!(
+            BranchKind::from_opcode(Opcode::FBlt),
+            Some(BranchKind::Cond)
+        );
         assert_eq!(BranchKind::from_opcode(Opcode::Jmp), Some(BranchKind::Jump));
-        assert_eq!(BranchKind::from_opcode(Opcode::Call), Some(BranchKind::Call));
+        assert_eq!(
+            BranchKind::from_opcode(Opcode::Call),
+            Some(BranchKind::Call)
+        );
         assert_eq!(BranchKind::from_opcode(Opcode::Ret), Some(BranchKind::Ret));
-        assert_eq!(BranchKind::from_opcode(Opcode::Jr), Some(BranchKind::Indirect));
+        assert_eq!(
+            BranchKind::from_opcode(Opcode::Jr),
+            Some(BranchKind::Indirect)
+        );
         assert_eq!(BranchKind::from_opcode(Opcode::Add), None);
     }
 }

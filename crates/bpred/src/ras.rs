@@ -20,7 +20,11 @@ impl ReturnAddressStack {
     /// Panics if `entries` is zero.
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "RAS needs at least one entry");
-        ReturnAddressStack { stack: vec![0; entries], top: 0, depth: 0 }
+        ReturnAddressStack {
+            stack: vec![0; entries],
+            top: 0,
+            depth: 0,
+        }
     }
 
     /// Pushes a return address (on a call lookup).

@@ -53,8 +53,13 @@ impl Bimodal {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
-        Bimodal { table: vec![Counter2::new(); entries] }
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
+        Bimodal {
+            table: vec![Counter2::new(); entries],
+        }
     }
 
     fn index(&self, pc: usize) -> usize {
@@ -93,8 +98,14 @@ impl TwoLevelLocal {
     /// Panics if either table size is not a power of two or
     /// `hist_bits > 63`.
     pub fn new(hist_entries: usize, pht_entries: usize, hist_bits: u32) -> Self {
-        assert!(hist_entries.is_power_of_two(), "history table size must be a power of two");
-        assert!(pht_entries.is_power_of_two(), "PHT size must be a power of two");
+        assert!(
+            hist_entries.is_power_of_two(),
+            "history table size must be a power of two"
+        );
+        assert!(
+            pht_entries.is_power_of_two(),
+            "PHT size must be a power of two"
+        );
         assert!(hist_bits <= 63, "history too long");
         TwoLevelLocal {
             histories: vec![0; hist_entries],
@@ -187,7 +198,10 @@ mod tests {
             l.train(9, taken);
             taken = !taken;
         }
-        assert!(correct >= 95, "local predictor should master alternation, got {correct}/100");
+        assert!(
+            correct >= 95,
+            "local predictor should master alternation, got {correct}/100"
+        );
     }
 
     #[test]

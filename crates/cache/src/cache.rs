@@ -19,9 +19,15 @@ impl CacheConfig {
     /// Panics unless `size`, `assoc` and `block` are positive,
     /// power-of-two compatible, and `size >= assoc * block`.
     pub fn new(size: usize, assoc: usize, block: usize) -> Self {
-        assert!(size > 0 && assoc > 0 && block > 0, "cache parameters must be positive");
+        assert!(
+            size > 0 && assoc > 0 && block > 0,
+            "cache parameters must be positive"
+        );
         assert!(block.is_power_of_two(), "block size must be a power of two");
-        assert!(size.is_multiple_of(assoc * block), "size must be divisible by assoc*block");
+        assert!(
+            size.is_multiple_of(assoc * block),
+            "size must be divisible by assoc*block"
+        );
         let sets = size / (assoc * block);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         CacheConfig { size, assoc, block }

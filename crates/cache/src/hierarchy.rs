@@ -101,8 +101,8 @@ pub struct Hierarchy {
     l2: Cache,
     itlb: Tlb,
     dtlb: Tlb,
-    l2i: (u64, u64), // (accesses, misses) from the instruction side
-    l2d: (u64, u64), // (accesses, misses) from the data side
+    l2i: (u64, u64),   // (accesses, misses) from the instruction side
+    l2d: (u64, u64),   // (accesses, misses) from the data side
     loads: (u64, u64), // (accesses, misses) from loads specifically
 }
 
@@ -133,7 +133,11 @@ impl Hierarchy {
                 self.l2i.1 += 1;
             }
         }
-        AccessOutcome { l1_miss, l2_miss, tlb_miss }
+        AccessOutcome {
+            l1_miss,
+            l2_miss,
+            tlb_miss,
+        }
     }
 
     /// Performs a *load* access, additionally tracked in the load-only
@@ -159,7 +163,11 @@ impl Hierarchy {
                 self.l2d.1 += 1;
             }
         }
-        AccessOutcome { l1_miss, l2_miss, tlb_miss }
+        AccessOutcome {
+            l1_miss,
+            l2_miss,
+            tlb_miss,
+        }
     }
 
     /// The six miss rates accumulated so far.
@@ -199,7 +207,10 @@ mod tests {
         assert!(!second.l1_miss && !second.l2_miss && !second.tlb_miss);
         let s = h.stats();
         assert!((s.l1d_miss_rate - 0.5).abs() < 1e-12);
-        assert!((s.l2d_miss_rate - 1.0).abs() < 1e-12, "one L2 access, one miss");
+        assert!(
+            (s.l2d_miss_rate - 1.0).abs() < 1e-12,
+            "one L2 access, one miss"
+        );
     }
 
     #[test]
@@ -210,7 +221,10 @@ mod tests {
         // A data access to the same block hits in L2 (misses L1D).
         let out = h.access_data(0x4000);
         assert!(out.l1_miss);
-        assert!(!out.l2_miss, "unified L2 was warmed by the instruction side");
+        assert!(
+            !out.l2_miss,
+            "unified L2 was warmed by the instruction side"
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl AssocSweep {
     ///
     /// Panics if `assoc` is zero or exceeds `max_assoc`.
     pub fn misses(&self, assoc: usize) -> u64 {
-        assert!((1..=self.max_assoc).contains(&assoc), "associativity out of range");
+        assert!(
+            (1..=self.max_assoc).contains(&assoc),
+            "associativity out of range"
+        );
         let hits: u64 = self.depth_hits[..assoc].iter().sum();
         self.accesses - hits
     }
@@ -203,7 +206,10 @@ impl CapacitySweep {
     ///
     /// Panics if `blocks` is zero or exceeds the tracked maximum.
     pub fn misses(&self, blocks: usize) -> u64 {
-        assert!((1..=self.max_depth).contains(&blocks), "capacity out of range");
+        assert!(
+            (1..=self.max_depth).contains(&blocks),
+            "capacity out of range"
+        );
         let hits: u64 = self.depth_hits[..blocks].iter().sum();
         self.accesses - hits
     }

@@ -14,7 +14,11 @@ pub struct TlbConfig {
 impl TlbConfig {
     /// The paper's Table 2 TLBs: 32 entries, 8-way, 4 KB pages.
     pub fn baseline() -> Self {
-        TlbConfig { entries: 32, assoc: 8, page: 4 << 10 }
+        TlbConfig {
+            entries: 32,
+            assoc: 8,
+            page: 4 << 10,
+        }
     }
 }
 
@@ -47,9 +51,18 @@ impl Tlb {
     /// Panics unless entries/assoc/page are positive powers of two with
     /// `entries % assoc == 0`.
     pub fn new(config: TlbConfig) -> Self {
-        assert!(config.entries > 0 && config.assoc > 0, "TLB parameters must be positive");
-        assert!(config.entries.is_multiple_of(config.assoc), "entries must be divisible by assoc");
-        assert!(config.page.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            config.entries > 0 && config.assoc > 0,
+            "TLB parameters must be positive"
+        );
+        assert!(
+            config.entries.is_multiple_of(config.assoc),
+            "entries must be divisible by assoc"
+        );
+        assert!(
+            config.page.is_power_of_two(),
+            "page size must be a power of two"
+        );
         let sets = config.entries / config.assoc;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Tlb {
@@ -126,7 +139,11 @@ mod tests {
     #[test]
     fn capacity_eviction() {
         // 4 entries, fully associative within 1 set (assoc 4), 4K pages.
-        let mut t = Tlb::new(TlbConfig { entries: 4, assoc: 4, page: 4096 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            assoc: 4,
+            page: 4096,
+        });
         for p in 0..4u64 {
             t.access(p << 12);
         }

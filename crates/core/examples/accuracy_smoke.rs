@@ -10,7 +10,10 @@ use std::time::Instant;
 
 fn main() {
     let cfg = MachineConfig::baseline();
-    let profile_n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3_000_000);
+    let profile_n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000_000);
     let eds_n = profile_n.min(2_000_000);
     println!(
         "{:<10} {:>8} {:>8} {:>7} {:>9} {:>9} {:>8} {:>8}",
@@ -22,7 +25,9 @@ fn main() {
         let t0 = Instant::now();
         let p = profile(
             &program,
-            &ProfileConfig::new(&cfg).skip(4_000_000).instructions(profile_n),
+            &ProfileConfig::new(&cfg)
+                .skip(4_000_000)
+                .instructions(profile_n),
         );
         let prof_time = t0.elapsed().as_secs_f64();
         let trace = p.generate(10, 1);

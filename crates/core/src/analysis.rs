@@ -187,8 +187,7 @@ pub fn validate_trace(profile: &StatisticalProfile, trace: &SyntheticTrace) -> T
     TraceValidation {
         mix_tv,
         taken_delta: (frac(taken, branches) - frac(agg.taken, agg.branches)).abs(),
-        mispredict_delta: (frac(mispredicts, branches) - frac(agg.mispredicts, agg.branches))
-            .abs(),
+        mispredict_delta: (frac(mispredicts, branches) - frac(agg.mispredicts, agg.branches)).abs(),
         l1d_delta: (frac(l1d, loads) - frac(agg.l1d_miss, agg.loads)).abs(),
         l1i_delta: (l1i / n - frac(agg.l1i_miss, agg.total)).abs(),
         dep_mean_rel: if profile_dep_mean > 0.0 {
@@ -206,7 +205,9 @@ mod tests {
     use ssim_uarch::MachineConfig;
 
     fn profile_of(name: &str) -> StatisticalProfile {
-        let program = ssim_workloads::by_name(name).expect("known workload").program();
+        let program = ssim_workloads::by_name(name)
+            .expect("known workload")
+            .program();
         profile(
             &program,
             &ProfileConfig::new(&MachineConfig::baseline())

@@ -21,7 +21,13 @@
 //!    factor `R` and random-walked per the nine-step algorithm of
 //!    §2.2, emitting a [`SyntheticTrace`] of instructions with
 //!    pre-assigned dependencies, cache hit/miss flags and branch
-//!    outcomes.
+//!    outcomes. Generation runs on a **compiled sampling engine**
+//!    ([`StatisticalProfile::compile`] → [`CompiledSampler`]): the
+//!    reduced SFG and every per-context distribution are lowered once
+//!    into dense tables (interned `u32` node ids, CSR edges, Fenwick
+//!    start-node selection, flat cumulative histograms) and walked in
+//!    O(log n) per draw, byte-identical to the reference interpreter
+//!    ([`StatisticalProfile::generate_reference`]).
 //! 3. **Synthetic trace simulation** ([`simulate_trace`]) — the trace
 //!    drives the same out-of-order pipeline backend as the reference
 //!    execution-driven simulator (`ssim_uarch::Core`), modeling
@@ -51,6 +57,7 @@
 mod analysis;
 pub mod fxhash;
 mod profiler;
+mod sampler;
 mod serialize;
 mod sfg;
 mod synth;
@@ -59,11 +66,14 @@ mod tracesim;
 pub use analysis::{validate_trace, TraceValidation};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use profiler::{note_loaded_profile, profile, BranchProfileMode, ProfileConfig};
+pub use sampler::CompiledSampler;
 pub use sfg::{
     BranchCtxStats, Context, ContextStats, ExportedNode, Gram, MissStats, Sfg, SlotStats,
     StatisticalProfile,
 };
-pub use synth::{BranchFlags, DataFlags, SyntheticInstr, SyntheticOutcome, SyntheticTrace};
+pub use synth::{
+    BranchFlags, DataFlags, SyntheticInstr, SyntheticOutcome, SyntheticTrace, WalkReport,
+};
 pub use tracesim::simulate_trace;
 
 /// The paper's cap on recorded dependency distances (§2.1.1): "we limit

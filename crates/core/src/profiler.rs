@@ -1,15 +1,13 @@
 //! Statistical profiling: one functional pass building the profile.
 
-use crate::sfg::{
-    BlockId, BranchCtxStats, ContextStats, Gram, Sfg, SlotStats, StatisticalProfile,
-};
+use crate::fxhash::FxHashMap;
+use crate::sfg::{BlockId, BranchCtxStats, ContextStats, Gram, Sfg, SlotStats, StatisticalProfile};
 use crate::MAX_DEP_DISTANCE;
 use ssim_bpred::{classify, BranchKind, BranchOutcome, HybridPredictor, Prediction};
 use ssim_cache::Hierarchy;
 use ssim_func::{Executed, Machine};
 use ssim_isa::{pc_to_addr, InstrClass, Program, Reg, RegId};
 use ssim_uarch::MachineConfig;
-use crate::fxhash::FxHashMap;
 use std::collections::VecDeque;
 
 // Observability (all no-ops unless SSIM_METRICS enables recording).
@@ -251,64 +249,65 @@ pub fn profile(program: &Program, cfg: &ProfileConfig) -> StatisticalProfile {
     let mut remaining = cfg.max_instructions;
 
     // Flushes the completed block into the SFG + context stats.
-    let complete_block =
-        |sfg: &mut Sfg,
-         contexts: &mut FxHashMap<crate::Context, ContextStats>,
-         state: &mut Gram,
-         block: &mut BlockBuilder| {
-            let Some(start) = block.start.take() else { return };
-            let slots = std::mem::take(&mut block.slots);
-            // Skip blocks whose history is still shorter than k (the
-            // first k blocks of the stream).
-            if state.len() == cfg.k {
-                sfg.record(*state, start);
-                let ctx = state.context_with(start);
-                let stats = contexts.entry(ctx).or_insert_with(|| ContextStats {
-                    occurrence: 0,
-                    slots: slots
-                        .iter()
-                        .map(|s| SlotStats::new(s.class, s.src_count))
-                        .collect(),
-                    branch: slots.last().and_then(|s| {
-                        s.class.is_control().then(BranchCtxStats::default)
-                    }),
-                });
-                stats.occurrence += 1;
-                debug_assert_eq!(stats.slots.len(), slots.len(), "blocks are static");
-                for (slot, obs) in stats.slots.iter_mut().zip(&slots) {
-                    for p in 0..usize::from(obs.src_count.min(2)) {
-                        slot.dep[p].record(obs.dep[p]);
-                    }
-                    if cfg.anti_deps {
-                        slot.waw.record(obs.anti[0]);
-                        slot.war.record(obs.anti[1]);
-                    }
-                    slot.icache.l1.record(obs.l1i_miss);
-                    if obs.l1i_miss {
-                        slot.icache.l2.record(obs.l2i_miss);
-                    }
-                    slot.icache.tlb.record(obs.itlb_miss);
-                    if let (Some(d), Some((l1, l2, tlb))) = (slot.dcache.as_mut(), obs.dmem) {
-                        d.l1.record(l1);
-                        if l1 {
-                            d.l2.record(l2);
-                        }
-                        d.tlb.record(tlb);
-                    }
+    let complete_block = |sfg: &mut Sfg,
+                          contexts: &mut FxHashMap<crate::Context, ContextStats>,
+                          state: &mut Gram,
+                          block: &mut BlockBuilder| {
+        let Some(start) = block.start.take() else {
+            return;
+        };
+        let slots = std::mem::take(&mut block.slots);
+        // Skip blocks whose history is still shorter than k (the
+        // first k blocks of the stream).
+        if state.len() == cfg.k {
+            sfg.record(*state, start);
+            let ctx = state.context_with(start);
+            let stats = contexts.entry(ctx).or_insert_with(|| ContextStats {
+                occurrence: 0,
+                slots: slots
+                    .iter()
+                    .map(|s| SlotStats::new(s.class, s.src_count))
+                    .collect(),
+                branch: slots
+                    .last()
+                    .and_then(|s| s.class.is_control().then(BranchCtxStats::default)),
+            });
+            stats.occurrence += 1;
+            debug_assert_eq!(stats.slots.len(), slots.len(), "blocks are static");
+            for (slot, obs) in stats.slots.iter_mut().zip(&slots) {
+                for p in 0..usize::from(obs.src_count.min(2)) {
+                    slot.dep[p].record(obs.dep[p]);
                 }
-                if let (Some(b), Some(obs)) = (stats.branch.as_mut(), slots.last()) {
-                    if let Some((taken, outcome)) = obs.branch {
-                        b.taken.record(taken);
-                        match outcome {
-                            BranchOutcome::Correct => b.correct += 1,
-                            BranchOutcome::FetchRedirect => b.redirect += 1,
-                            BranchOutcome::Mispredict => b.mispredict += 1,
-                        }
+                if cfg.anti_deps {
+                    slot.waw.record(obs.anti[0]);
+                    slot.war.record(obs.anti[1]);
+                }
+                slot.icache.l1.record(obs.l1i_miss);
+                if obs.l1i_miss {
+                    slot.icache.l2.record(obs.l2i_miss);
+                }
+                slot.icache.tlb.record(obs.itlb_miss);
+                if let (Some(d), Some((l1, l2, tlb))) = (slot.dcache.as_mut(), obs.dmem) {
+                    d.l1.record(l1);
+                    if l1 {
+                        d.l2.record(l2);
+                    }
+                    d.tlb.record(tlb);
+                }
+            }
+            if let (Some(b), Some(obs)) = (stats.branch.as_mut(), slots.last()) {
+                if let Some((taken, outcome)) = obs.branch {
+                    b.taken.record(taken);
+                    match outcome {
+                        BranchOutcome::Correct => b.correct += 1,
+                        BranchOutcome::FetchRedirect => b.redirect += 1,
+                        BranchOutcome::Mispredict => b.mispredict += 1,
                     }
                 }
             }
-            *state = state.shifted(start, cfg.k);
-        };
+        }
+        *state = state.shifted(start, cfg.k);
+    };
 
     'outer: loop {
         // ---- fill the FIFO (lookups happen on entry with stale state).
@@ -330,11 +329,17 @@ pub fn profile(program: &Program, cfg: &ProfileConfig) -> StatisticalProfile {
                 (BranchProfileMode::Delayed, Some(kind)) => Some(bpred.lookup(exec.pc, kind)),
                 _ => None,
             };
-            fifo.push_back(FifoEntry { exec, pred, ras_checkpoint });
+            fifo.push_back(FifoEntry {
+                exec,
+                pred,
+                ras_checkpoint,
+            });
         }
 
         // ---- drain one instruction from the FIFO head (update side).
-        let Some(entry) = fifo.pop_front() else { break 'outer };
+        let Some(entry) = fifo.pop_front() else {
+            break 'outer;
+        };
         let exec = entry.exec;
         instructions += 1;
 
@@ -473,7 +478,13 @@ pub fn profile(program: &Program, cfg: &ProfileConfig) -> StatisticalProfile {
     OBS_SFG_EDGES.set(sfg.edge_count() as u64);
     OBS_CONTEXTS.set(contexts.len() as u64);
 
-    StatisticalProfile { sfg, contexts, instructions, branch_lookups, branch_mispredicts }
+    StatisticalProfile {
+        sfg,
+        contexts,
+        instructions,
+        branch_lookups,
+        branch_mispredicts,
+    }
 }
 
 /// Folds a profile that was *loaded* (e.g. from the on-disk cache)
@@ -563,7 +574,10 @@ mod tests {
             .iter()
             .find(|s| s.class == InstrClass::Load)
             .expect("loop has a load");
-        let d = load_slot.dcache.as_ref().expect("loads carry data-cache stats");
+        let d = load_slot
+            .dcache
+            .as_ref()
+            .expect("loads carry data-cache stats");
         assert!(d.l1.trials() > 10_000);
         // An 8KB working set fits L1D (16KB): low miss rate.
         assert!(d.l1.probability() < 0.05);
@@ -591,7 +605,10 @@ mod tests {
         let n: Vec<usize> = (0..=3)
             .map(|k| profile(&program, &quick_cfg(k)).sfg().node_count())
             .collect();
-        assert!(n[0] <= n[1] && n[1] <= n[2] && n[2] <= n[3], "node counts {n:?}");
+        assert!(
+            n[0] <= n[1] && n[1] <= n[2] && n[2] <= n[3],
+            "node counts {n:?}"
+        );
     }
 
     #[test]
@@ -631,7 +648,10 @@ mod tests {
     #[test]
     fn perfect_mode_records_zero_mispredicts() {
         let program = loop_program(5_000);
-        let p = profile(&program, &quick_cfg(1).branch_mode(BranchProfileMode::Perfect));
+        let p = profile(
+            &program,
+            &quick_cfg(1).branch_mode(BranchProfileMode::Perfect),
+        );
         assert_eq!(p.branch_mpki(), 0.0);
     }
 }

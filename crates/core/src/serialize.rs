@@ -106,7 +106,11 @@ fn w_miss<W: Write>(w: &mut W, m: &MissStats) -> io::Result<()> {
     w_prob(w, &m.tlb)
 }
 fn r_miss<R: Read>(r: &mut R) -> io::Result<MissStats> {
-    Ok(MissStats { l1: r_prob(r)?, l2: r_prob(r)?, tlb: r_prob(r)? })
+    Ok(MissStats {
+        l1: r_prob(r)?,
+        l2: r_prob(r)?,
+        tlb: r_prob(r)?,
+    })
 }
 
 impl StatisticalProfile {
@@ -256,7 +260,14 @@ impl StatisticalProfile {
             } else {
                 None
             };
-            contexts.insert(ctx, ContextStats { occurrence, slots, branch });
+            contexts.insert(
+                ctx,
+                ContextStats {
+                    occurrence,
+                    slots,
+                    branch,
+                },
+            );
         }
         Ok(StatisticalProfile::from_parts(
             sfg,
@@ -298,7 +309,9 @@ mod tests {
         };
         profile(
             &program,
-            &ProfileConfig::new(&MachineConfig::baseline()).skip(0).instructions(50_000),
+            &ProfileConfig::new(&MachineConfig::baseline())
+                .skip(0)
+                .instructions(50_000),
         )
     }
 

@@ -233,7 +233,10 @@ impl Sfg {
     /// Panics if `k > MAX_K`.
     pub fn new(k: usize) -> Self {
         assert!(k <= MAX_K, "SFG order limited to {MAX_K}");
-        Sfg { k, nodes: FxHashMap::default() }
+        Sfg {
+            k,
+            nodes: FxHashMap::default(),
+        }
     }
 
     /// The SFG's order.
@@ -316,12 +319,7 @@ impl Sfg {
 
     /// Imports one node (profile deserialisation). Counterpart of
     /// [`Sfg::export_nodes`].
-    pub fn import_node(
-        &mut self,
-        gram: Gram,
-        occurrence: u64,
-        edges: Vec<(BlockId, u64)>,
-    ) {
+    pub fn import_node(&mut self, gram: Gram, occurrence: u64, edges: Vec<(BlockId, u64)>) {
         let node = self.nodes.entry(gram).or_default();
         node.occurrence += occurrence;
         for (b, c) in edges {
@@ -391,7 +389,13 @@ impl StatisticalProfile {
         branch_lookups: u64,
         branch_mispredicts: u64,
     ) -> Self {
-        StatisticalProfile { sfg, contexts, instructions, branch_lookups, branch_mispredicts }
+        StatisticalProfile {
+            sfg,
+            contexts,
+            instructions,
+            branch_lookups,
+            branch_mispredicts,
+        }
     }
 
     /// Statistics of one context, if recorded.

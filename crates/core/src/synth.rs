@@ -1,24 +1,28 @@
 //! Synthetic trace generation (§2.2 of the paper).
 
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::sfg::{BlockId, Gram, StatisticalProfile};
 use crate::{DEP_RETRIES, MAX_DEP_DISTANCE};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use ssim_isa::InstrClass;
-use crate::fxhash::{FxHashMap, FxHashSet};
 
 // Observability (all no-ops unless SSIM_METRICS enables recording).
 // Walk totals accumulate in locals and flush once per generate() call;
-// only the rare clamp/retry events record inline.
-static OBS_GENERATE_TIME: ssim_obs::TimerStat = ssim_obs::TimerStat::new("synth.time");
-static OBS_WALK_STEPS: ssim_obs::Counter = ssim_obs::Counter::new("synth.walk_steps");
-static OBS_WALK_RESTARTS: ssim_obs::Counter = ssim_obs::Counter::new("synth.walk_restarts");
-static OBS_INSTRS_EMITTED: ssim_obs::Counter = ssim_obs::Counter::new("synth.instrs_emitted");
-static OBS_NODES_DROPPED: ssim_obs::Counter =
+// only the rare clamp/retry events record inline. Shared with the
+// compiled walk in `sampler.rs` so both paths report under one name.
+pub(crate) static OBS_GENERATE_TIME: ssim_obs::TimerStat = ssim_obs::TimerStat::new("synth.time");
+pub(crate) static OBS_WALK_STEPS: ssim_obs::Counter = ssim_obs::Counter::new("synth.walk_steps");
+pub(crate) static OBS_WALK_RESTARTS: ssim_obs::Counter =
+    ssim_obs::Counter::new("synth.walk_restarts");
+pub(crate) static OBS_INSTRS_EMITTED: ssim_obs::Counter =
+    ssim_obs::Counter::new("synth.instrs_emitted");
+pub(crate) static OBS_NODES_DROPPED: ssim_obs::Counter =
     ssim_obs::Counter::new("synth.nodes_dropped_empty");
-static OBS_REDUCED_NODES: ssim_obs::Gauge = ssim_obs::Gauge::new("synth.reduced_nodes");
-static OBS_DEP_CLAMPED: ssim_obs::Counter = ssim_obs::Counter::new("synth.dep_clamped_512");
-static OBS_DEP_RETRIES_EXHAUSTED: ssim_obs::Counter =
+pub(crate) static OBS_REDUCED_NODES: ssim_obs::Gauge = ssim_obs::Gauge::new("synth.reduced_nodes");
+pub(crate) static OBS_DEP_CLAMPED: ssim_obs::Counter =
+    ssim_obs::Counter::new("synth.dep_clamped_512");
+pub(crate) static OBS_DEP_RETRIES_EXHAUSTED: ssim_obs::Counter =
     ssim_obs::Counter::new("synth.dep_retries_exhausted");
 
 /// Pre-assigned branch behaviour of a synthetic control instruction.
@@ -82,7 +86,7 @@ pub struct SyntheticInstr {
 /// [`simulate_trace`](crate::simulate_trace).
 #[derive(Debug, Clone, Default)]
 pub struct SyntheticTrace {
-    instrs: Vec<SyntheticInstr>,
+    pub(crate) instrs: Vec<SyntheticInstr>,
 }
 
 impl SyntheticTrace {
@@ -110,8 +114,51 @@ impl SyntheticTrace {
 
 impl FromIterator<SyntheticInstr> for SyntheticTrace {
     fn from_iter<I: IntoIterator<Item = SyntheticInstr>>(iter: I) -> Self {
-        SyntheticTrace { instrs: iter.into_iter().collect() }
+        SyntheticTrace {
+            instrs: iter.into_iter().collect(),
+        }
     }
+}
+
+/// Outcome of a generation-free walk of the reduced SFG — the paper's
+/// steps 1-2 loop (start-node selection, occurrence bookkeeping, edge
+/// draws) with instruction emission stubbed out.
+///
+/// Produced by both [`StatisticalProfile::walk_reference`] (the
+/// interpreter) and [`CompiledSampler::walk`](crate::CompiledSampler::walk)
+/// (the compiled tables); for the same `(r, seed)` the two reports are
+/// equal field for field, which the equivalence tests and the
+/// `synth_speed` benchmark assert. `checksum` folds the live budget at
+/// every restart, so two walks that visit different node sequences
+/// cannot produce equal reports by accident.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalkReport {
+    /// Edges traversed (node occurrences consumed by walking).
+    pub steps: u64,
+    /// Times the walk restarted at step 2 (including the first start).
+    pub restarts: u64,
+    /// Budget trajectory fold: `rotate_left(5) ^ budget` per restart.
+    pub checksum: u64,
+}
+
+/// One node of the reduced SFG as the reference interpreter sees it:
+/// remaining occurrence plus the cumulative outgoing-edge distribution
+/// (parallel arrays, sorted by block id).
+struct RNode {
+    remaining: u64,
+    targets: Vec<BlockId>,
+    cumulative: Vec<u64>,
+    total: u64,
+}
+
+/// Step-1 output shared by [`StatisticalProfile::generate_reference`]
+/// and [`StatisticalProfile::walk_reference`]: the occurrence-reduced,
+/// edge-pruned SFG, its total occurrence budget, and the sorted gram
+/// list that start-node selection scans.
+struct ReducedSfg {
+    nodes: FxHashMap<Gram, RNode>,
+    budget: u64,
+    start_grams: Vec<Gram>,
 }
 
 impl StatisticalProfile {
@@ -134,22 +181,42 @@ impl StatisticalProfile {
     /// `seed` makes generation reproducible; the paper's convergence
     /// study (§4.1) varies it.
     ///
+    /// Internally the profile is lowered once into a
+    /// [`CompiledSampler`](crate::CompiledSampler) and the walk runs off
+    /// its dense tables; callers that generate many traces from one
+    /// `(profile, r)` pair (the §4.1 multi-seed convergence runs, design
+    /// sweeps) should call [`StatisticalProfile::compile`] themselves
+    /// and reuse the artifact. The trace is byte-identical to the
+    /// reference interpreter ([`StatisticalProfile::generate_reference`])
+    /// for every `(r, seed)`.
+    ///
     /// # Panics
     ///
     /// Panics if `r` is zero.
     pub fn generate(&self, r: u64, seed: u64) -> SyntheticTrace {
-        assert!(r > 0, "reduction factor must be positive");
-        let _span = OBS_GENERATE_TIME.span();
-        let mut rng = SmallRng::seed_from_u64(seed);
+        self.generate_compiled(r, seed)
+    }
 
-        // ---- step 1: the reduced SFG.
-        struct RNode {
-            remaining: u64,
-            // Cumulative edge distribution (counts), parallel arrays.
-            targets: Vec<BlockId>,
-            cumulative: Vec<u64>,
-            total: u64,
-        }
+    /// Lowers the profile for `r` and generates one trace — the
+    /// compiled counterpart of [`StatisticalProfile::generate_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn generate_compiled(&self, r: u64, seed: u64) -> SyntheticTrace {
+        self.compile(r).generate(seed)
+    }
+
+    /// Builds the occurrence-reduced (`N_i = floor(M_i / r)`),
+    /// edge-pruned SFG the interpreter walks — step 1 of §2.2. Shared
+    /// by [`StatisticalProfile::generate_reference`] and
+    /// [`StatisticalProfile::walk_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    fn reduce_sfg(&self, r: u64) -> ReducedSfg {
+        assert!(r > 0, "reduction factor must be positive");
         let mut reduced: FxHashMap<Gram, RNode> = FxHashMap::default();
         for (gram, node) in self.sfg.nodes() {
             let n = node.occurrence / r;
@@ -167,11 +234,17 @@ impl StatisticalProfile {
                 targets.push(*block);
                 cumulative.push(acc);
             }
-            reduced.insert(*gram, RNode { remaining: n, targets, cumulative, total: acc });
+            reduced.insert(
+                *gram,
+                RNode {
+                    remaining: n,
+                    targets,
+                    cumulative,
+                    total: acc,
+                },
+            );
         }
         debug_assert_eq!(reduced.len(), self.sfg.reduced_node_count(r));
-        OBS_NODES_DROPPED.add((self.sfg.nodes().len() - reduced.len()) as u64);
-        OBS_REDUCED_NODES.set(reduced.len() as u64);
         // Remove edges leading to removed nodes (the paper removes all
         // incoming and outgoing edges of dropped nodes). An edge from
         // state s labeled b leads to state shift(s, b).
@@ -198,18 +271,123 @@ impl StatisticalProfile {
             node.cumulative = cumulative;
             node.total = acc;
         }
-
-        let mut budget: u64 = reduced.values().map(|n| n.remaining).sum();
-        if budget == 0 {
-            return SyntheticTrace::default();
-        }
-
-        // Start-node selection: cumulative occurrence distribution.
+        let budget: u64 = reduced.values().map(|n| n.remaining).sum();
+        // Start-node selection scans grams in sorted order — the same
+        // order the compiled engine's dense ids are assigned in.
         let start_grams: Vec<Gram> = {
             let mut g: Vec<_> = reduced.keys().copied().collect();
             g.sort_unstable();
             g
         };
+        ReducedSfg {
+            nodes: reduced,
+            budget,
+            start_grams,
+        }
+    }
+
+    /// Walks the reduced SFG without emitting instructions — the
+    /// interpreter half of the walk-subsystem comparison.
+    ///
+    /// The RNG stream is start draw + one edge draw per step (no
+    /// per-instruction draws), so the visited node sequence differs
+    /// from [`StatisticalProfile::generate_reference`]'s; what it
+    /// matches exactly — steps, restarts and budget-trajectory
+    /// checksum — is [`CompiledSampler::walk`](crate::CompiledSampler::walk)
+    /// on the same `(r, seed)`. Each call pays the full pre-compilation
+    /// cost shape: SFG reduction, per-step hash-map probes and the
+    /// O(nodes) restart scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn walk_reference(&self, r: u64, seed: u64) -> WalkReport {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ReducedSfg {
+            nodes: mut reduced,
+            mut budget,
+            start_grams,
+        } = self.reduce_sfg(r);
+        let mut report = WalkReport::default();
+        if budget == 0 {
+            return report;
+        }
+        let k = self.sfg.k();
+        'walk: loop {
+            report.restarts += 1;
+            report.checksum = report.checksum.rotate_left(5) ^ budget;
+            if budget == 0 {
+                break 'walk;
+            }
+            let mut point = rng.gen_range(0..budget);
+            let mut state = *start_grams.first().expect("non-empty reduced SFG");
+            for g in &start_grams {
+                let rem = reduced[g].remaining;
+                if point < rem {
+                    state = *g;
+                    break;
+                }
+                point -= rem;
+            }
+            loop {
+                let Some(node) = reduced.get_mut(&state) else {
+                    continue 'walk; // walked into a removed node: restart
+                };
+                if node.total == 0 {
+                    budget = budget.saturating_sub(node.remaining);
+                    node.remaining = 0;
+                    if budget == 0 {
+                        break 'walk;
+                    }
+                    continue 'walk;
+                }
+                if node.remaining == 0 {
+                    continue 'walk;
+                }
+                node.remaining -= 1;
+                budget -= 1;
+                report.steps += 1;
+                let point = rng.gen_range(0..node.total);
+                let idx = node.cumulative.partition_point(|&c| c <= point);
+                state = state.shifted(node.targets[idx], k);
+                if budget == 0 {
+                    break 'walk;
+                }
+            }
+        }
+        report
+    }
+
+    /// Reference interpreter for synthetic trace generation: walks the
+    /// reduced SFG through hash-map probes and per-draw histogram scans.
+    ///
+    /// This is the original (pre-compilation) implementation of
+    /// [`StatisticalProfile::generate`], kept as the executable
+    /// specification the compiled engine is tested against — the
+    /// equivalence suite asserts instruction-for-instruction identical
+    /// traces — and as the baseline of the `synth_speed` microbenchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn generate_reference(&self, r: u64, seed: u64) -> SyntheticTrace {
+        assert!(r > 0, "reduction factor must be positive");
+        let _span = OBS_GENERATE_TIME.span();
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        // ---- step 1: the reduced SFG.
+        let reduced = self.reduce_sfg(r);
+        OBS_NODES_DROPPED.add((self.sfg.nodes().len() - reduced.nodes.len()) as u64);
+        OBS_REDUCED_NODES.set(reduced.nodes.len() as u64);
+        let ReducedSfg {
+            nodes: mut reduced,
+            mut budget,
+            start_grams,
+        } = reduced;
+        if budget == 0 {
+            return SyntheticTrace::default();
+        }
+        let k = self.sfg.k();
 
         let mut trace = SyntheticTrace::default();
         let mut walk_steps: u64 = 0;
@@ -218,11 +396,18 @@ impl StatisticalProfile {
         'walk: loop {
             walk_restarts += 1;
             // ---- step 2: pick a start node by remaining occurrence.
-            let total: u64 = reduced.values().map(|n| n.remaining).sum();
-            if total == 0 {
+            // `budget` tracks Σ remaining exactly — every decrement
+            // (walk step or dead-end drain) updates both in lockstep —
+            // so no O(nodes) rescan is needed per restart.
+            debug_assert_eq!(
+                budget,
+                reduced.values().map(|n| n.remaining).sum::<u64>(),
+                "walk budget drifted from the per-node remaining sum"
+            );
+            if budget == 0 {
                 break 'walk;
             }
-            let mut point = rng.gen_range(0..total);
+            let mut point = rng.gen_range(0..budget);
             let mut state = *start_grams.first().expect("non-empty reduced SFG");
             for g in &start_grams {
                 let rem = reduced[g].remaining;
@@ -281,12 +466,7 @@ impl StatisticalProfile {
 
     /// Emits one basic block's worth of synthetic instructions for a
     /// context (steps 3-8).
-    fn emit_block(
-        &self,
-        ctx: &crate::Context,
-        trace: &mut SyntheticTrace,
-        rng: &mut SmallRng,
-    ) {
+    fn emit_block(&self, ctx: &crate::Context, trace: &mut SyntheticTrace, rng: &mut SmallRng) {
         let Some(stats) = self.contexts.get(ctx) else {
             return; // context never materialised (cannot happen for live edges)
         };
@@ -330,7 +510,11 @@ impl StatisticalProfile {
                 let mut chosen = None;
                 let mut exhausted = true;
                 for attempt in 0..DEP_RETRIES {
-                    let u = if attempt == 0 { u_block } else { rng.gen::<f64>() };
+                    let u = if attempt == 0 {
+                        u_block
+                    } else {
+                        rng.gen::<f64>()
+                    };
                     let d = hist.sample_with(u).expect("non-empty histogram samples");
                     if d == 0 {
                         chosen = None; // "no dependency" mass
@@ -373,7 +557,11 @@ impl StatisticalProfile {
                 let l1_miss = rng.gen::<f64>() < d.l1.probability();
                 let l2_miss = l1_miss && rng.gen::<f64>() < d.l2.probability();
                 let tlb_miss = rng.gen::<f64>() < d.tlb.probability();
-                instr.dmem = Some(DataFlags { l1_miss, l2_miss, tlb_miss });
+                instr.dmem = Some(DataFlags {
+                    l1_miss,
+                    l2_miss,
+                    tlb_miss,
+                });
             }
             // step 7: instruction fetch locality flags.
             instr.l1i_miss = rng.gen::<f64>() < slot.icache.l1.probability();
@@ -480,8 +668,16 @@ mod tests {
     fn trace_mix_matches_profile_mix() {
         let p = profiled_loop();
         let t = p.generate(100, 11);
-        let loads = t.instrs().iter().filter(|i| i.class == InstrClass::Load).count();
-        let stores = t.instrs().iter().filter(|i| i.class == InstrClass::Store).count();
+        let loads = t
+            .instrs()
+            .iter()
+            .filter(|i| i.class == InstrClass::Load)
+            .count();
+        let stores = t
+            .instrs()
+            .iter()
+            .filter(|i| i.class == InstrClass::Store)
+            .count();
         let branches = t.instrs().iter().filter(|i| i.branch.is_some()).count();
         // Loop body: 1 load, 1 store, 1 branch out of 8.
         let frac = loads as f64 / t.len() as f64;
@@ -506,7 +702,10 @@ mod tests {
         }
         assert!(total > 100);
         assert!(taken as f64 / total as f64 > 0.95, "loop branch is taken");
-        assert!(correct as f64 / total as f64 > 0.9, "loop branch predicts well");
+        assert!(
+            correct as f64 / total as f64 > 0.9,
+            "loop branch predicts well"
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::synth::{SyntheticInstr, SyntheticOutcome, SyntheticTrace};
 use ssim_uarch::{
-    BranchResolution, Core, DispatchInstr, DispatchOutcome, MachineConfig,
-    MemKind, OccupancyMeter, SimResult, Unit,
+    BranchResolution, Core, DispatchInstr, DispatchOutcome, MachineConfig, MemKind, OccupancyMeter,
+    SimResult, Unit,
 };
 use std::collections::VecDeque;
 
@@ -153,7 +153,10 @@ impl<'a, 't> TraceSim<'a, 't> {
         let squashed = self.core.squash_after(seq) + self.ifq.len();
         OBS_WRONG_PATH_SQUASHED.add(squashed as u64);
         self.ifq.clear();
-        self.cursor = self.wrong_path.take().expect("resolution implies wrong-path mode");
+        self.cursor = self
+            .wrong_path
+            .take()
+            .expect("resolution implies wrong-path mode");
         self.fetch_stall_until = self.core.now() + self.cfg.redirect_latency;
     }
 
@@ -243,7 +246,11 @@ impl<'a, 't> TraceSim<'a, 't> {
             let mut stall = 0;
             if instr.l1i_miss {
                 self.core.activity_mut().record(Unit::L2, now);
-                stall += if instr.l2i_miss { self.cfg.lat.mem } else { self.cfg.lat.l2_hit };
+                stall += if instr.l2i_miss {
+                    self.cfg.lat.mem
+                } else {
+                    self.cfg.lat.l2_hit
+                };
             }
             if instr.itlb_miss {
                 stall += self.cfg.lat.tlb_miss;
@@ -261,11 +268,15 @@ impl<'a, 't> TraceSim<'a, 't> {
                     self.core.activity_mut().record(Unit::L2, now);
                 }
                 self.core.activity_mut().record(Unit::Dtlb, now);
-                Some(MemKind::Load { latency: self.load_latency(f) })
+                Some(MemKind::Load {
+                    latency: self.load_latency(f),
+                })
             }
             (ssim_isa::InstrClass::Load, _, _) => {
                 // Wrong-path loads (or flag-less loads) behave as L1 hits.
-                Some(MemKind::Load { latency: 1 + self.cfg.lat.l1d_hit })
+                Some(MemKind::Load {
+                    latency: 1 + self.cfg.lat.l1d_hit,
+                })
             }
             (ssim_isa::InstrClass::Store, _, _) => Some(MemKind::Store),
             _ => None,
@@ -319,7 +330,11 @@ impl<'a, 't> TraceSim<'a, 't> {
             }
         }
 
-        self.ifq.push_back(IfqEntry { di, is_branch, mispredict_marker });
+        self.ifq.push_back(IfqEntry {
+            di,
+            is_branch,
+            mispredict_marker,
+        });
         stop
     }
 }
@@ -353,13 +368,20 @@ mod tests {
     }
 
     fn load(flags: DataFlags) -> SyntheticInstr {
-        SyntheticInstr { class: InstrClass::Load, dmem: Some(flags), ..alu() }
+        SyntheticInstr {
+            class: InstrClass::Load,
+            dmem: Some(flags),
+            ..alu()
+        }
     }
 
     fn branch(outcome: SyntheticOutcome) -> SyntheticInstr {
         SyntheticInstr {
             class: InstrClass::IntCondBranch,
-            branch: Some(BranchFlags { taken: true, outcome }),
+            branch: Some(BranchFlags {
+                taken: true,
+                outcome,
+            }),
             ..alu()
         }
     }
@@ -369,7 +391,11 @@ mod tests {
         let t = trace_of(vec![alu(); 50_000]);
         let r = simulate_trace(&t, &MachineConfig::baseline());
         assert_eq!(r.instructions, 50_000);
-        assert!(r.ipc() > 6.0, "8-wide machine on independent ALUs, IPC = {}", r.ipc());
+        assert!(
+            r.ipc() > 6.0,
+            "8-wide machine on independent ALUs, IPC = {}",
+            r.ipc()
+        );
     }
 
     #[test]
@@ -378,14 +404,22 @@ mod tests {
         i.dep = [Some(1), None];
         let t = trace_of(vec![i; 20_000]);
         let r = simulate_trace(&t, &MachineConfig::baseline());
-        assert!(r.ipc() < 1.1, "serial chain can't exceed 1 IPC, got {}", r.ipc());
+        assert!(
+            r.ipc() < 1.1,
+            "serial chain can't exceed 1 IPC, got {}",
+            r.ipc()
+        );
     }
 
     #[test]
     fn memory_misses_slow_the_machine() {
         let hit = trace_of(vec![load(DataFlags::default()); 10_000]);
         let miss = trace_of(vec![
-            load(DataFlags { l1_miss: true, l2_miss: true, tlb_miss: false });
+            load(DataFlags {
+                l1_miss: true,
+                l2_miss: true,
+                tlb_miss: false
+            });
             10_000
         ]);
         let cfg = MachineConfig::baseline();
@@ -414,7 +448,10 @@ mod tests {
         let cfg = MachineConfig::baseline();
         let good = simulate_trace(&trace_of(correct_path), &cfg);
         let bad = simulate_trace(&trace_of(mispredicted), &cfg);
-        assert_eq!(good.instructions, bad.instructions, "every instruction still commits");
+        assert_eq!(
+            good.instructions, bad.instructions,
+            "every instruction still commits"
+        );
         assert!(
             bad.cycles as f64 > good.cycles as f64 * 1.5,
             "mispredicts must hurt: {} vs {}",
@@ -457,7 +494,12 @@ mod tests {
         let cfg = MachineConfig::baseline();
         let fast = simulate_trace(&clean, &cfg);
         let slow = simulate_trace(&dirty, &cfg);
-        assert!(slow.cycles > fast.cycles * 3, "{} vs {}", slow.cycles, fast.cycles);
+        assert!(
+            slow.cycles > fast.cycles * 3,
+            "{} vs {}",
+            slow.cycles,
+            fast.cycles
+        );
     }
 
     #[test]

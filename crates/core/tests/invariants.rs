@@ -12,8 +12,8 @@
 //!   and drops the rest with their edges (§2.2 step 1).
 
 use ssim_core::{
-    profile, BranchCtxStats, Context, ContextStats, FxHashMap, Gram, ProfileConfig, Sfg,
-    SlotStats, StatisticalProfile, MAX_DEP_DISTANCE,
+    profile, BranchCtxStats, Context, ContextStats, FxHashMap, Gram, ProfileConfig, Sfg, SlotStats,
+    StatisticalProfile, MAX_DEP_DISTANCE,
 };
 use ssim_isa::{Assembler, InstrClass, Reg};
 use ssim_uarch::MachineConfig;
@@ -42,7 +42,9 @@ fn profiled_loop() -> StatisticalProfile {
     let program = a.finish().unwrap();
     profile(
         &program,
-        &ProfileConfig::new(&MachineConfig::baseline()).skip(0).instructions(120_000),
+        &ProfileConfig::new(&MachineConfig::baseline())
+            .skip(0)
+            .instructions(120_000),
     )
 }
 
@@ -51,7 +53,10 @@ fn sfg_edge_probabilities_sum_to_one() {
     let p = profiled_loop();
     let sfg = p.sfg();
     let nodes = sfg.export_nodes();
-    assert!(nodes.len() > 1, "loop with a conditional should yield several nodes");
+    assert!(
+        nodes.len() > 1,
+        "loop with a conditional should yield several nodes"
+    );
     for (raw, occurrence, edges) in &nodes {
         assert!(*occurrence > 0, "recorded nodes always have occurrences");
         // Exact in counts: edge counts partition the node's occurrences.
@@ -59,8 +64,10 @@ fn sfg_edge_probabilities_sum_to_one() {
         assert_eq!(total, *occurrence, "node {raw:#x}");
         // And in probability space, to the paper's semantics.
         let gram = Gram::from_raw(*raw);
-        let psum: f64 =
-            edges.iter().map(|(b, _)| sfg.transition_probability(gram, *b)).sum();
+        let psum: f64 = edges
+            .iter()
+            .map(|(b, _)| sfg.transition_probability(gram, *b))
+            .sum();
         assert!(
             (psum - 1.0).abs() < 1e-9,
             "node {raw:#x}: outgoing probabilities sum to {psum}"
@@ -87,7 +94,10 @@ fn emitted_dependency_distances_respect_the_cap() {
             }
         }
     }
-    assert!(deps_seen > 1000, "the loop body is dependency-dense, saw {deps_seen}");
+    assert!(
+        deps_seen > 1000,
+        "the loop body is dependency-dense, saw {deps_seen}"
+    );
 }
 
 /// A one-node, one-block profile whose dependency histogram holds all
@@ -97,8 +107,9 @@ fn emitted_dependency_distances_respect_the_cap() {
 fn hand_profile_with_deps(dep_values: &[(u32, u64)], occurrence: u64) -> StatisticalProfile {
     let mut sfg = Sfg::new(0);
     sfg.import_node(Gram::empty(), occurrence, vec![(1, occurrence)]);
-    let mut slots: Vec<SlotStats> =
-        (0..3).map(|_| SlotStats::new(InstrClass::IntAlu, 0)).collect();
+    let mut slots: Vec<SlotStats> = (0..3)
+        .map(|_| SlotStats::new(InstrClass::IntAlu, 0))
+        .collect();
     let mut consumer = SlotStats::new(InstrClass::IntAlu, 1);
     for (v, c) in dep_values {
         consumer.dep[0].record_n(*v, *c);
@@ -107,7 +118,11 @@ fn hand_profile_with_deps(dep_values: &[(u32, u64)], occurrence: u64) -> Statist
     let mut contexts = FxHashMap::default();
     contexts.insert(
         Gram::empty().context_with(1),
-        ContextStats { occurrence, slots, branch: None },
+        ContextStats {
+            occurrence,
+            slots,
+            branch: None,
+        },
     );
     StatisticalProfile::from_parts(sfg, contexts, occurrence * 4, 0, 0)
 }
@@ -125,7 +140,10 @@ fn hand_built_profiles_clamp_out_of_cap_mass_to_512() {
             saw_cap |= d == MAX_DEP_DISTANCE;
         }
     }
-    assert!(saw_cap, "mass above the cap must collapse onto {MAX_DEP_DISTANCE}");
+    assert!(
+        saw_cap,
+        "mass above the cap must collapse onto {MAX_DEP_DISTANCE}"
+    );
 }
 
 #[test]

@@ -82,7 +82,11 @@ fn golden_profile() -> StatisticalProfile {
     st.dep[1].record_n(2, 3);
     contexts.insert(
         Context::new(&[2], 1),
-        ContextStats { occurrence: 3, slots: vec![st], branch: None },
+        ContextStats {
+            occurrence: 3,
+            slots: vec![st],
+            branch: None,
+        },
     );
 
     StatisticalProfile::from_parts(sfg, contexts, 33, 5, 1)
@@ -106,8 +110,7 @@ fn golden_bytes_are_frozen() {
     let golden = std::fs::read(&path)
         .unwrap_or_else(|e| panic!("missing fixture {} ({e}); see module docs", path.display()));
     assert_eq!(
-        bytes,
-        golden,
+        bytes, golden,
         "profile wire format drifted from the committed v1 fixture; \
          bump VERSION and re-bless if this was intentional"
     );
@@ -117,8 +120,16 @@ fn golden_bytes_are_frozen() {
 fn fixture_header_is_v1() {
     let golden = std::fs::read(fixture_path()).expect("fixture exists");
     assert_eq!(&golden[..8], b"SSIMPRF\0", "magic");
-    assert_eq!(u32::from_le_bytes(golden[8..12].try_into().unwrap()), 1, "version");
-    assert_eq!(u32::from_le_bytes(golden[12..16].try_into().unwrap()), 1, "SFG order k");
+    assert_eq!(
+        u32::from_le_bytes(golden[8..12].try_into().unwrap()),
+        1,
+        "version"
+    );
+    assert_eq!(
+        u32::from_le_bytes(golden[12..16].try_into().unwrap()),
+        1,
+        "SFG order k"
+    );
 }
 
 #[test]

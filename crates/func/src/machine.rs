@@ -273,7 +273,13 @@ impl<'p> Machine<'p> {
 
         self.pc = next_pc;
         self.icount += 1;
-        Some(Executed { pc, instr, next_pc, taken, mem_addr })
+        Some(Executed {
+            pc,
+            instr,
+            next_pc,
+            taken,
+            mem_addr,
+        })
     }
 }
 

@@ -64,9 +64,10 @@ fn oracle(ops: &[Op]) -> [u64; 32] {
             Op::Xor(d, a, b) => (d, r[idx(a)] ^ r[idx(b)]),
             Op::Sll(d, a, b) => (d, r[idx(a)].wrapping_shl(r[idx(b)] as u32 & 63)),
             Op::Srl(d, a, b) => (d, r[idx(a)].wrapping_shr(r[idx(b)] as u32 & 63)),
-            Op::Sra(d, a, b) => {
-                (d, ((r[idx(a)] as i64).wrapping_shr(r[idx(b)] as u32 & 63)) as u64)
-            }
+            Op::Sra(d, a, b) => (
+                d,
+                ((r[idx(a)] as i64).wrapping_shr(r[idx(b)] as u32 & 63)) as u64,
+            ),
             Op::Slt(d, a, b) => (d, u64::from((r[idx(a)] as i64) < (r[idx(b)] as i64))),
             Op::Mul(d, a, b) => (d, r[idx(a)].wrapping_mul(r[idx(b)])),
             Op::Div(d, a, b) => {

@@ -21,7 +21,11 @@ pub enum AsmError {
     /// A referenced label was never bound.
     UnboundLabel(Label),
     /// A data write fell outside the configured memory size.
-    DataOutOfBounds { offset: u64, len: usize, mem_size: usize },
+    DataOutOfBounds {
+        offset: u64,
+        len: usize,
+        mem_size: usize,
+    },
     /// The program has no `Halt` instruction.
     MissingHalt,
 }
@@ -31,7 +35,11 @@ impl fmt::Display for AsmError {
         match self {
             AsmError::LabelRebound(l) => write!(f, "label {l:?} bound twice"),
             AsmError::UnboundLabel(l) => write!(f, "label {l:?} referenced but never bound"),
-            AsmError::DataOutOfBounds { offset, len, mem_size } => write!(
+            AsmError::DataOutOfBounds {
+                offset,
+                len,
+                mem_size,
+            } => write!(
                 f,
                 "data chunk at offset {offset} of length {len} exceeds memory size {mem_size}"
             ),
@@ -225,8 +233,14 @@ impl Assembler {
     /// from a freshly allocated data word.
     pub fn fconst(&mut self, fd: FReg, value: f64) {
         let offset = self.alloc_words(1);
-        self.fword(offset, value).expect("bump allocator stays in bounds");
-        self.emit(Instr::new(Opcode::FLd).with_dest(fd).with_src(Reg::ZERO).with_imm(offset as i64));
+        self.fword(offset, value)
+            .expect("bump allocator stays in bounds");
+        self.emit(
+            Instr::new(Opcode::FLd)
+                .with_dest(fd)
+                .with_src(Reg::ZERO)
+                .with_imm(offset as i64),
+        );
     }
 
     // ---- integer ALU ---------------------------------------------------
@@ -333,11 +347,21 @@ impl Assembler {
 
     /// `rd = mem64[rs1 + imm]`.
     pub fn ld(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.emit(Instr::new(Opcode::Ld).with_dest(rd).with_src(rs1).with_imm(imm));
+        self.emit(
+            Instr::new(Opcode::Ld)
+                .with_dest(rd)
+                .with_src(rs1)
+                .with_imm(imm),
+        );
     }
     /// `rd = mem8[rs1 + imm]` (zero-extended).
     pub fn lb(&mut self, rd: Reg, rs1: Reg, imm: i64) {
-        self.emit(Instr::new(Opcode::Lb).with_dest(rd).with_src(rs1).with_imm(imm));
+        self.emit(
+            Instr::new(Opcode::Lb)
+                .with_dest(rd)
+                .with_src(rs1)
+                .with_imm(imm),
+        );
     }
     /// `mem64[rs1 + imm] = rs2`.
     pub fn st(&mut self, rs1: Reg, imm: i64, rs2: Reg) {
@@ -349,7 +373,12 @@ impl Assembler {
     }
     /// `fd = mem64[rs1 + imm]` as an f64 bit pattern.
     pub fn fld(&mut self, fd: FReg, rs1: Reg, imm: i64) {
-        self.emit(Instr::new(Opcode::FLd).with_dest(fd).with_src(rs1).with_imm(imm));
+        self.emit(
+            Instr::new(Opcode::FLd)
+                .with_dest(fd)
+                .with_src(rs1)
+                .with_imm(imm),
+        );
     }
     /// `mem64[rs1 + imm] = fs` bit pattern.
     pub fn fst(&mut self, rs1: Reg, imm: i64, fs: FReg) {
@@ -486,7 +515,13 @@ impl Assembler {
             }
             self.words(offset, &pcs)?;
         }
-        Ok(Program::new(self.name, self.code, 0, self.mem_size, self.init_data))
+        Ok(Program::new(
+            self.name,
+            self.code,
+            0,
+            self.mem_size,
+            self.init_data,
+        ))
     }
 }
 
@@ -548,8 +583,11 @@ mod tests {
         let p = a.finish().unwrap();
         let mem = p.initial_memory();
         let e0 = u64::from_le_bytes(mem[table as usize..table as usize + 8].try_into().unwrap());
-        let e1 =
-            u64::from_le_bytes(mem[table as usize + 8..table as usize + 16].try_into().unwrap());
+        let e1 = u64::from_le_bytes(
+            mem[table as usize + 8..table as usize + 16]
+                .try_into()
+                .unwrap(),
+        );
         assert_eq!((e0, e1), (1, 2));
     }
 

@@ -124,14 +124,31 @@ impl fmt::Display for InstrClass {
 #[allow(missing_docs)] // opcode mnemonics are self-describing
 pub enum Opcode {
     // Integer ALU (register-register unless noted).
-    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu,
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
     /// `rd = rs1 + imm` (also used for register moves and `li`).
     AddI,
-    AndI, OrI, XorI, SllI, SrlI, SraI, SltI,
+    AndI,
+    OrI,
+    XorI,
+    SllI,
+    SrlI,
+    SraI,
+    SltI,
     /// No operation (class: integer ALU).
     Nop,
     // Integer multiply / divide.
-    Mul, Div, Rem,
+    Mul,
+    Div,
+    Rem,
     // Memory.
     /// Load 8 bytes: `rd = mem[rs1 + imm]`.
     Ld,
@@ -146,9 +163,16 @@ pub enum Opcode {
     /// Floating-point store: `mem[rs1 + imm] = fs`.
     FSt,
     // Integer conditional branches.
-    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
     // Floating-point conditional branches (compare two fp registers).
-    FBeq, FBlt, FBge,
+    FBeq,
+    FBlt,
+    FBge,
     // Direct control transfers.
     /// Unconditional direct jump.
     Jmp,
@@ -161,12 +185,19 @@ pub enum Opcode {
     /// dispatch).
     Jr,
     // Floating point.
-    Fadd, Fsub, Fmin, Fmax, Fabs, Fneg,
+    Fadd,
+    Fsub,
+    Fmin,
+    Fmax,
+    Fabs,
+    Fneg,
     /// Convert integer register to fp register.
     Fcvt,
     /// Convert (truncate) fp register to integer register.
     Fcvti,
-    Fmul, Fdiv, Fsqrt,
+    Fmul,
+    Fdiv,
+    Fsqrt,
     /// Stop execution (class: integer ALU; never profiled).
     Halt,
 }
@@ -226,7 +257,13 @@ pub struct Instr {
 impl Instr {
     /// Creates an instruction with no operands.
     pub fn new(op: Opcode) -> Self {
-        Instr { op, dest: None, srcs: [None, None], imm: 0, target: None }
+        Instr {
+            op,
+            dest: None,
+            srcs: [None, None],
+            imm: 0,
+            target: None,
+        }
     }
 
     /// Builder-style destination register.

@@ -33,7 +33,13 @@ impl Program {
         mem_size: usize,
         init_data: Vec<(u64, Vec<u8>)>,
     ) -> Self {
-        Program { name, code, entry, mem_size, init_data }
+        Program {
+            name,
+            code,
+            entry,
+            mem_size,
+            init_data,
+        }
     }
 
     /// The program's name (used in reports).

@@ -143,7 +143,11 @@ pub struct Counter {
 impl Counter {
     /// A new counter (const — usable in `static` position).
     pub const fn new(name: &'static str) -> Self {
-        Counter { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
     }
 
     /// The counter's registry name.
@@ -195,7 +199,11 @@ pub struct Gauge {
 impl Gauge {
     /// A new gauge (const — usable in `static` position).
     pub const fn new(name: &'static str) -> Self {
-        Gauge { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
     }
 
     /// The gauge's registry name.
@@ -417,12 +425,18 @@ impl TimerStat {
         if !self.registered.load(Relaxed) {
             self.register();
         }
-        SpanGuard { inner: Some((self, Instant::now())) }
+        SpanGuard {
+            inner: Some((self, Instant::now())),
+        }
     }
 
     /// (count, total nanoseconds, max nanoseconds) recorded so far.
     pub fn get(&self) -> (u64, u64, u64) {
-        (self.count.load(Relaxed), self.total_ns.load(Relaxed), self.max_ns.load(Relaxed))
+        (
+            self.count.load(Relaxed),
+            self.total_ns.load(Relaxed),
+            self.max_ns.load(Relaxed),
+        )
     }
 
     fn record_ns(&self, ns: u64) {
@@ -471,12 +485,18 @@ pub struct Snapshot {
 impl Snapshot {
     /// Looks up a counter value by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
     }
 
     /// Looks up a gauge value by name.
     pub fn gauge(&self, name: &str) -> Option<u64> {
-        self.gauges.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
     }
 
     /// Looks up a timer's total seconds by name.
@@ -500,8 +520,20 @@ impl Snapshot {
 pub fn snapshot() -> Snapshot {
     let reg = registry();
     let mut s = Snapshot {
-        counters: reg.counters.lock().unwrap().iter().map(|c| (c.name, c.get())).collect(),
-        gauges: reg.gauges.lock().unwrap().iter().map(|g| (g.name, g.get())).collect(),
+        counters: reg
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|c| (c.name, c.get()))
+            .collect(),
+        gauges: reg
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|g| (g.name, g.get()))
+            .collect(),
         histograms: reg
             .histograms
             .lock()
@@ -509,7 +541,13 @@ pub fn snapshot() -> Snapshot {
             .iter()
             .map(|h| (h.name, h.snapshot()))
             .collect(),
-        timers: reg.timers.lock().unwrap().iter().map(|t| (t.name, t.get())).collect(),
+        timers: reg
+            .timers
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|t| (t.name, t.get()))
+            .collect(),
     };
     s.counters.sort_unstable_by_key(|(n, _)| *n);
     s.gauges.sort_unstable_by_key(|(n, _)| *n);
@@ -617,7 +655,11 @@ pub fn render_json(bin: &str, s: &Snapshot) -> String {
         .iter()
         .map(|(n, (count, total_ns, max_ns))| {
             let total_s = *total_ns as f64 / 1e9;
-            let mean_s = if *count == 0 { 0.0 } else { total_s / *count as f64 };
+            let mean_s = if *count == 0 {
+                0.0
+            } else {
+                total_s / *count as f64
+            };
             format!(
                 "\n    \"{}\": {{\"count\": {count}, \"total_s\": {total_s:.6}, \
                  \"mean_s\": {mean_s:.6}, \"max_s\": {:.6}}}",

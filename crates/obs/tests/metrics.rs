@@ -22,7 +22,10 @@ fn counter_totals_survive_concurrent_increments() {
         }
     });
     assert_eq!(C.get(), THREADS * PER_THREAD, "lost increments");
-    assert_eq!(obs::snapshot().counter("test.concurrent_counter"), Some(THREADS * PER_THREAD));
+    assert_eq!(
+        obs::snapshot().counter("test.concurrent_counter"),
+        Some(THREADS * PER_THREAD)
+    );
 }
 
 #[test]
@@ -37,7 +40,11 @@ fn histogram_totals_match_ground_truth() {
     assert_eq!(s.count, values.len() as u64);
     assert_eq!(s.sum, values.iter().sum::<u64>());
     assert_eq!(s.max, 1000);
-    assert_eq!(s.buckets.iter().sum::<u64>(), s.count, "every value lands in one bucket");
+    assert_eq!(
+        s.buckets.iter().sum::<u64>(),
+        s.count,
+        "every value lands in one bucket"
+    );
     // Log-bucketing never loses the order of magnitude: the mean of the
     // recorded 0..=1000 ramp is exactly recoverable from sum/count.
     assert!((s.mean() - 500.0).abs() < 1e-9);
@@ -69,7 +76,10 @@ fn histogram_quantiles_are_monotone_and_bounded() {
     // The bucket upper bound is a valid over-estimate of the true
     // quantile: the p50 of this distribution is 3, its bucket is [2,4).
     assert!(s.quantile(0.5).unwrap() >= 3);
-    assert!(s.quantile(0.5).unwrap() < 100, "p50 must not leak into the tail");
+    assert!(
+        s.quantile(0.5).unwrap() < 100,
+        "p50 must not leak into the tail"
+    );
     assert_eq!(s.quantile(1.0).unwrap(), s.max);
 }
 

@@ -94,9 +94,21 @@ impl PowerModel {
                 + 0.3 * (btb_entries as f64 / 512.0).sqrt(),
             4.0,
         );
-        set(&mut pmax, &mut ports, Unit::ICache, cache_pmax(cfg.hierarchy.l1i.size), 2.0);
+        set(
+            &mut pmax,
+            &mut ports,
+            Unit::ICache,
+            cache_pmax(cfg.hierarchy.l1i.size),
+            2.0,
+        );
         set(&mut pmax, &mut ports, Unit::Itlb, 0.3, 2.0);
-        set(&mut pmax, &mut ports, Unit::Dispatch, 0.25 * cfg.decode_width as f64, cfg.decode_width as f64);
+        set(
+            &mut pmax,
+            &mut ports,
+            Unit::Dispatch,
+            0.25 * cfg.decode_width as f64,
+            cfg.decode_width as f64,
+        );
         set(
             &mut pmax,
             &mut ports,
@@ -118,7 +130,13 @@ impl PowerModel {
             0.3 + 0.25 * width + 0.01 * cfg.ruu_size as f64,
             width,
         );
-        set(&mut pmax, &mut ports, Unit::RegFile, 1.0 + 0.125 * width, 3.0 * width);
+        set(
+            &mut pmax,
+            &mut ports,
+            Unit::RegFile,
+            1.0 + 0.125 * width,
+            3.0 * width,
+        );
         set(
             &mut pmax,
             &mut ports,
@@ -133,9 +151,21 @@ impl PowerModel {
             1.2 * (cfg.fu.fp_add + cfg.fu.fp_muldiv) as f64,
             (cfg.fu.fp_add + cfg.fu.fp_muldiv) as f64,
         );
-        set(&mut pmax, &mut ports, Unit::DCache, cache_pmax(cfg.hierarchy.l1d.size), cfg.fu.ld_st as f64);
+        set(
+            &mut pmax,
+            &mut ports,
+            Unit::DCache,
+            cache_pmax(cfg.hierarchy.l1d.size),
+            cfg.fu.ld_st as f64,
+        );
         set(&mut pmax, &mut ports, Unit::Dtlb, 0.3, cfg.fu.ld_st as f64);
-        set(&mut pmax, &mut ports, Unit::L2, cache_pmax(cfg.hierarchy.l2.size), 1.0);
+        set(
+            &mut pmax,
+            &mut ports,
+            Unit::L2,
+            cache_pmax(cfg.hierarchy.l2.size),
+            1.0,
+        );
 
         PowerModel { pmax, ports }
     }

@@ -18,6 +18,7 @@ use std::ops::Range;
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;
 
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
@@ -129,11 +130,17 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            SmallRng { s: [next(), next(), next(), next()] }
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
     impl RngCore for SmallRng {
+        // Inline across crates: every distribution draw funnels through
+        // this method, and a call per draw would dominate the compiled
+        // sampler's hot loop.
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
                 .wrapping_add(self.s[3])

@@ -77,7 +77,9 @@ fn opt(args: &[String], flag: &str) -> Result<Option<String>, String> {
 fn opt_u64(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
     match opt(args, flag)? {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("{flag} expects a number, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} expects a number, got {v:?}")),
     }
 }
 
@@ -93,19 +95,22 @@ fn positional(args: &[String]) -> Result<&str, String> {
 }
 
 fn load_profile(path: &str) -> Result<StatisticalProfile, String> {
-    let mut f =
-        std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let mut f = std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
     StatisticalProfile::load(&mut f).map_err(|e| format!("cannot load {path:?}: {e}"))
 }
 
 fn machine_from(args: &[String]) -> Result<MachineConfig, String> {
     let mut machine = MachineConfig::baseline();
     if let Some(r) = opt(args, "--ruu")? {
-        let ruu = r.parse().map_err(|_| format!("--ruu expects a number, got {r:?}"))?;
+        let ruu = r
+            .parse()
+            .map_err(|_| format!("--ruu expects a number, got {r:?}"))?;
         machine = machine.with_window(ruu);
     }
     if let Some(w) = opt(args, "--width")? {
-        let width = w.parse().map_err(|_| format!("--width expects a number, got {w:?}"))?;
+        let width = w
+            .parse()
+            .map_err(|_| format!("--width expects a number, got {w:?}"))?;
         machine = machine.with_width(width);
     }
     if has_flag(args, "--in-order") {
@@ -117,7 +122,12 @@ fn machine_from(args: &[String]) -> Result<MachineConfig, String> {
 fn cmd_list() -> Result<(), String> {
     println!("{:<10} {:<14} algorithm", "name", "SPEC analog");
     for w in ssim::workloads::all() {
-        println!("{:<10} {:<14} {}", w.name(), w.spec_analog(), w.description());
+        println!(
+            "{:<10} {:<14} {}",
+            w.name(),
+            w.spec_analog(),
+            w.description()
+        );
     }
     Ok(())
 }
@@ -140,9 +150,9 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         .anti_deps(has_flag(args, "--anti-deps"));
     eprintln!("profiling {name} ({instr} instructions, k = {k})...");
     let p = profile(&program, &cfg);
-    let mut f =
-        std::fs::File::create(&out).map_err(|e| format!("cannot create {out:?}: {e}"))?;
-    p.save(&mut f).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+    let mut f = std::fs::File::create(&out).map_err(|e| format!("cannot create {out:?}: {e}"))?;
+    p.save(&mut f)
+        .map_err(|e| format!("cannot write {out:?}: {e}"))?;
     println!(
         "wrote {out}: {} instructions, {} SFG nodes, {} contexts, MPKI {:.2}",
         p.instructions(),
@@ -185,13 +195,18 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     }
     let res = simulate_trace(&trace, &machine);
     let power = PowerModel::new(&machine).evaluate(&res.activity);
-    println!("trace:   {} instructions (R = {r}, seed {seed})", trace.len());
+    println!(
+        "trace:   {} instructions (R = {r}, seed {seed})",
+        trace.len()
+    );
     println!("IPC:     {:.3}", res.ipc());
     println!("EPC:     {:.2} W/cycle", power.epc());
     println!("EDP:     {:.3}", power.edp(res.ipc()));
     println!("MPKI:    {:.2}", res.mpki());
-    println!("RUU occ: {:.1}   LSQ occ: {:.1}   IFQ occ: {:.1}",
-             res.ruu_occupancy, res.lsq_occupancy, res.ifq_occupancy);
+    println!(
+        "RUU occ: {:.1}   LSQ occ: {:.1}   IFQ occ: {:.1}",
+        res.ruu_occupancy, res.lsq_occupancy, res.ifq_occupancy
+    );
     Ok(())
 }
 
@@ -207,7 +222,9 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     eprintln!("profiling...");
     let p = profile(
         &program,
-        &ProfileConfig::new(&machine).skip(4_000_000).instructions(instr),
+        &ProfileConfig::new(&machine)
+            .skip(4_000_000)
+            .instructions(instr),
     );
     let ss = simulate_trace(&p.generate(r, 1), &machine);
     eprintln!("running the execution-driven reference...");
@@ -233,7 +250,11 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 
 fn parse_list(spec: &str) -> Result<Vec<usize>, String> {
     spec.split(',')
-        .map(|s| s.trim().parse().map_err(|_| format!("bad list element {s:?}")))
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad list element {s:?}"))
+        })
         .collect()
 }
 
@@ -245,7 +266,10 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
     if trace.is_empty() {
         return Err("profile too small to generate a trace".into());
     }
-    println!("{:>6} {:>6} {:>8} {:>9} {:>9}", "RUU", "width", "IPC", "EPC", "EDP");
+    println!(
+        "{:>6} {:>6} {:>8} {:>9} {:>9}",
+        "RUU", "width", "IPC", "EPC", "EDP"
+    );
     let mut best: Option<(f64, usize, usize)> = None;
     for &ruu in &ruus {
         for &width in &widths {

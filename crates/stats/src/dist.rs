@@ -2,6 +2,15 @@
 
 use std::collections::BTreeMap;
 
+/// The largest `f64` strictly below `1.0` (one half-ulp under one).
+///
+/// `sample_with` clamps its uniform input to `[0, UNIT_UPPER]` so that
+/// `u = 1.0` maps to the last recorded value. Note `1.0 - f64::EPSILON`
+/// is *two* representable values below `1.0`; using it would waste the
+/// top half-ulp of the unit interval and force the floating-point
+/// fallback more often than the arithmetic requires.
+const UNIT_UPPER: f64 = 1.0 - f64::EPSILON / 2.0;
+
 /// An empirical distribution over small non-negative integers.
 ///
 /// The paper stores several characteristics as distributions — most
@@ -89,11 +98,7 @@ impl Histogram {
         if self.total == 0 {
             return None;
         }
-        let sum: f64 = self
-            .counts
-            .iter()
-            .map(|(&v, &c)| v as f64 * c as f64)
-            .sum();
+        let sum: f64 = self.counts.iter().map(|(&v, &c)| v as f64 * c as f64).sum();
         Some(sum / self.total as f64)
     }
 
@@ -114,7 +119,7 @@ impl Histogram {
         if self.total == 0 {
             return None;
         }
-        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        let u = u.clamp(0.0, UNIT_UPPER);
         let target = (u * self.total as f64) as u64;
         let mut acc = 0u64;
         for (&value, &count) in &self.counts {
@@ -123,8 +128,45 @@ impl Histogram {
                 return Some(value);
             }
         }
-        // Floating-point slack: fall back to the largest value.
+        // Floating-point slack (`u * total` rounding up to `total` for
+        // totals beyond 2^52): fall back to the largest value.
         self.counts.keys().next_back().copied()
+    }
+
+    /// Lowers the histogram into a [`CompiledHistogram`] whose
+    /// [`CompiledHistogram::sample_with`] returns bit-identical results
+    /// via binary search instead of a map walk.
+    pub fn compile(&self) -> CompiledHistogram {
+        let mut values = Vec::with_capacity(self.counts.len());
+        let mut cumulative = Vec::with_capacity(self.counts.len());
+        let mut acc = 0u64;
+        for (&value, &count) in &self.counts {
+            acc += count;
+            values.push(value);
+            cumulative.push(acc);
+        }
+        debug_assert_eq!(acc, self.total);
+        let single = (values.len() == 1).then(|| values[0]);
+        let (guide, guide_scale) = if values.len() > GUIDE_MIN_SUPPORT {
+            let m = values.len().next_power_of_two() * 2;
+            let mut guide = Vec::with_capacity(m);
+            for j in 0..m {
+                // Smallest target in bucket j (exact in u128).
+                let t_lo = (j as u128 * self.total as u128 / m as u128) as u64;
+                guide.push(cumulative.partition_point(|&c| c <= t_lo) as u32);
+            }
+            (guide, m as f64 / self.total as f64)
+        } else {
+            (Vec::new(), 0.0)
+        };
+        CompiledHistogram {
+            values,
+            cumulative,
+            total: self.total,
+            single,
+            guide,
+            guide_scale,
+        }
     }
 
     /// Iterates over `(value, count)` pairs in increasing value order.
@@ -154,6 +196,117 @@ impl Extend<u32> for Histogram {
     fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
         for v in iter {
             self.record(v);
+        }
+    }
+}
+
+/// A [`Histogram`] lowered to dense, cache-friendly tables for the
+/// sampling hot path.
+///
+/// [`Histogram::sample_with`] walks a `BTreeMap` — an O(support)
+/// pointer-chase per draw. Synthetic trace generation draws from the
+/// same frozen distributions millions of times per design point, so the
+/// compiled sampling engine lowers each histogram once into parallel
+/// sorted `(value, cumulative)` vectors and inverts the CDF with
+/// `partition_point`. The inversion computes the *identical* target
+/// index from the identical clamp, so for every `u` the compiled and
+/// interpreted samplers agree bit for bit (pinned by a property test).
+///
+/// # Examples
+///
+/// ```
+/// use ssim_stats::Histogram;
+///
+/// let h: Histogram = [1u32, 1, 2, 8].into_iter().collect();
+/// let c = h.compile();
+/// for u in [0.0, 0.25, 0.5, 0.999, 1.0] {
+///     assert_eq!(c.sample_with(u), h.sample_with(u));
+/// }
+/// ```
+/// Support size above which a [`CompiledHistogram`] carries a guide
+/// table; below it a branchless linear count is faster than any lookup.
+const GUIDE_MIN_SUPPORT: usize = 16;
+
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompiledHistogram {
+    values: Vec<u32>,
+    cumulative: Vec<u64>,
+    total: u64,
+    /// The value, when the support is a single point. Kept inline so
+    /// the (very common) degenerate draw never dereferences the table
+    /// vectors.
+    single: Option<u32>,
+    /// Inversion guide table ("guide table" / "cutpoint" method): entry
+    /// `j` is the partition point for the smallest target in quantile
+    /// bucket `j`, so a draw starts its scan at most a couple of
+    /// entries from the answer instead of binary-searching. Built only
+    /// past [`GUIDE_MIN_SUPPORT`]; `guide.len()` is a power of two with
+    /// at least one bucket per support entry.
+    guide: Vec<u32>,
+    /// `guide.len() as f64 / total as f64`, precomputed for the
+    /// target → bucket map.
+    guide_scale: f64,
+}
+
+impl CompiledHistogram {
+    /// Total number of occurrences in the source histogram.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns `true` when the source histogram held nothing.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of distinct values in the support.
+    pub fn distinct(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Samples by inverting the cumulative distribution at `u`, exactly
+    /// like [`Histogram::sample_with`] (same clamp, same target, same
+    /// fallback) but in O(log support).
+    #[inline]
+    pub fn sample_with(&self, u: f64) -> Option<u32> {
+        if self.total == 0 {
+            return None;
+        }
+        if let Some(v) = self.single {
+            // Degenerate CDF: every quantile inverts to the one value.
+            return Some(v);
+        }
+        let u = u.clamp(0.0, UNIT_UPPER);
+        let target = (u * self.total as f64) as u64;
+        // `cumulative` is strictly increasing, so the partition point of
+        // `c <= target` equals the count of entries satisfying it. At
+        // small support a branchless count beats binary search (no
+        // data-dependent branches to mispredict); past that, the guide
+        // table lands the scan within a couple of entries of the
+        // answer, making the draw O(1) in expectation.
+        let idx = if self.guide.is_empty() {
+            self.cumulative
+                .iter()
+                .map(|&c| usize::from(c <= target))
+                .sum()
+        } else {
+            // The f64 bucket map can be off by one from the exact u128
+            // arithmetic the guide was built with; the two fix-up scans
+            // converge on the exact partition point from either side.
+            let j = ((target as f64 * self.guide_scale) as usize).min(self.guide.len() - 1);
+            let mut idx = self.guide[j] as usize;
+            while idx < self.cumulative.len() && self.cumulative[idx] <= target {
+                idx += 1;
+            }
+            while idx > 0 && self.cumulative[idx - 1] > target {
+                idx -= 1;
+            }
+            idx
+        };
+        match self.values.get(idx) {
+            Some(&v) => Some(v),
+            // Floating-point slack: same fallback as the interpreter.
+            None => self.values.last().copied(),
         }
     }
 }
@@ -273,6 +426,48 @@ mod tests {
         assert_eq!(h.sample_with(1.0), Some(6));
         assert_eq!(h.sample_with(2.0), Some(6)); // clamped
         assert_eq!(h.sample_with(-1.0), Some(2)); // clamped
+    }
+
+    #[test]
+    fn sampling_handles_exact_unit_boundaries() {
+        // The clamp bound is one half-ulp below 1.0 — the true largest
+        // f64 < 1.0 (1.0 - EPSILON is two representable values down).
+        assert_eq!(UNIT_UPPER.to_bits() + 1, 1.0f64.to_bits());
+
+        let h: Histogram = [2u32, 4, 4, 6].into_iter().collect();
+        let c = h.compile();
+        for (u, want) in [
+            (0.0, 2),                // lower boundary: smallest value
+            (1.0 - f64::EPSILON, 6), // inside [0, 1): largest value
+            (UNIT_UPPER, 6),         // largest f64 < 1.0
+            (1.0, 6),                // upper boundary clamps down
+        ] {
+            assert_eq!(h.sample_with(u), Some(want), "interpreted at u={u}");
+            assert_eq!(c.sample_with(u), Some(want), "compiled at u={u}");
+        }
+        // With the correct clamp the target index stays strictly below
+        // the total for every in-range u, so the fallback is reserved
+        // for genuine floating-point slack (totals beyond 2^52).
+        let target = (UNIT_UPPER * h.total() as f64) as u64;
+        assert!(target < h.total());
+    }
+
+    #[test]
+    fn compiled_histogram_mirrors_interpreter() {
+        let h: Histogram = [2u32, 4, 4, 6].into_iter().collect();
+        let c = h.compile();
+        assert_eq!(c.total(), h.total());
+        assert_eq!(c.distinct(), h.distinct());
+        assert!(!c.is_empty());
+        for i in 0..=1000 {
+            let u = i as f64 / 1000.0;
+            assert_eq!(c.sample_with(u), h.sample_with(u), "u = {u}");
+        }
+        assert_eq!(c.sample_with(-1.0), h.sample_with(-1.0));
+        assert_eq!(c.sample_with(2.0), h.sample_with(2.0));
+        let empty = Histogram::new().compile();
+        assert!(empty.is_empty());
+        assert_eq!(empty.sample_with(0.5), None);
     }
 
     #[test]

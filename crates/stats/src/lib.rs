@@ -7,6 +7,9 @@
 //! * [`Histogram`] — an empirical distribution over small non-negative
 //!   integers (used for dependency-distance distributions, basic-block
 //!   size distributions, …) supporting cumulative-distribution sampling;
+//! * [`CompiledHistogram`] — the same distribution lowered to flat
+//!   sorted arrays for O(log support) draws on the synthetic-trace
+//!   generation hot path, bit-identical to [`Histogram::sample_with`];
 //! * [`ProbCounter`] — an event/total probability estimator (used for
 //!   branch taken/misprediction rates and cache miss rates);
 //! * [`Summary`] — streaming mean / standard deviation / coefficient of
@@ -34,6 +37,6 @@ mod dist;
 mod metrics;
 mod summary;
 
-pub use dist::{Histogram, ProbCounter};
+pub use dist::{CompiledHistogram, Histogram, ProbCounter};
 pub use metrics::{absolute_error, relative_error, MetricPair};
 pub use summary::Summary;

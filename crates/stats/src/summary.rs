@@ -162,7 +162,9 @@ mod tests {
 
     #[test]
     fn matches_naive_computation_on_larger_input() {
-        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0)
+            .collect();
         let s: Summary = xs.iter().copied().collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;

@@ -20,6 +20,18 @@ proptest! {
         prop_assert!((sum - 1.0).abs() < 1e-9);
     }
 
+    /// The compiled sampler inverts the CDF exactly like the
+    /// interpreter for every histogram and every u, in range or not.
+    #[test]
+    fn compiled_histogram_matches_interpreter(values in prop::collection::vec(0u32..600, 0..200),
+                                              u in -0.5f64..1.5) {
+        let h: Histogram = values.iter().copied().collect();
+        let c = h.compile();
+        prop_assert_eq!(c.sample_with(u), h.sample_with(u));
+        prop_assert_eq!(c.total(), h.total());
+        prop_assert_eq!(c.is_empty(), h.is_empty());
+    }
+
     /// Total is conserved by merge.
     #[test]
     fn histogram_merge_conserves_total(a in prop::collection::vec(0u32..32, 0..100),

@@ -59,7 +59,10 @@ impl Unit {
 
     /// Dense index in `0..14`.
     pub fn index(self) -> usize {
-        Unit::ALL.iter().position(|u| *u == self).expect("unit is in ALL")
+        Unit::ALL
+            .iter()
+            .position(|u| *u == self)
+            .expect("unit is in ALL")
     }
 }
 

@@ -296,7 +296,9 @@ impl<'a> Core<'a> {
             let is_mem = e.mem.is_some();
             let is_load = matches!(e.mem, Some(MemKind::Load { .. }));
             let e = &mut self.entries[i];
-            e.state = State::Issued { done: now + latency };
+            e.state = State::Issued {
+                done: now + latency,
+            };
             issued += 1;
             fu_used[pool] += 1;
             self.activity.record(Unit::Issue, now);
@@ -417,9 +419,7 @@ impl<'a> Core<'a> {
                     .entries
                     .iter()
                     .rev()
-                    .find(|e| {
-                        matches!(e.mem, Some(MemKind::Store)) && e.mem_addr == Some(addr)
-                    })
+                    .find(|e| matches!(e.mem, Some(MemKind::Store)) && e.mem_addr == Some(addr))
                     .map(|e| (e.seq, e.state == State::Done));
                 match fwd {
                     Some((seq, done)) => {
@@ -461,8 +461,11 @@ impl<'a> Core<'a> {
         self.dispatched_this_cycle += 1;
         self.activity.record(Unit::Dispatch, now);
         self.activity.record(Unit::Ruu, now);
-        self.activity
-            .record_n(Unit::RegFile, now, instr.srcs.iter().flatten().count() as u64);
+        self.activity.record_n(
+            Unit::RegFile,
+            now,
+            instr.srcs.iter().flatten().count() as u64,
+        );
         if is_mem {
             self.activity.record(Unit::Lsq, now);
         }
@@ -526,7 +529,10 @@ mod tests {
     }
 
     fn alu() -> DispatchInstr {
-        DispatchInstr { class: Some(InstrClass::IntAlu), ..Default::default() }
+        DispatchInstr {
+            class: Some(InstrClass::IntAlu),
+            ..Default::default()
+        }
     }
 
     fn alu_rw(dest: RegId, src: RegId) -> DispatchInstr {
@@ -552,7 +558,10 @@ mod tests {
     fn single_instruction_commits() {
         let cfg = small_cfg();
         let mut core = Core::new(&cfg);
-        assert!(matches!(core.try_dispatch(alu()), DispatchOutcome::Dispatched(0)));
+        assert!(matches!(
+            core.try_dispatch(alu()),
+            DispatchOutcome::Dispatched(0)
+        ));
         run_empty(&mut core);
         assert_eq!(core.committed(), 1);
     }
@@ -597,7 +606,10 @@ mod tests {
         }
         assert_eq!(core.try_dispatch(alu()), DispatchOutcome::Stalled);
         core.advance();
-        assert!(matches!(core.try_dispatch(alu()), DispatchOutcome::Dispatched(4)));
+        assert!(matches!(
+            core.try_dispatch(alu()),
+            DispatchOutcome::Dispatched(4)
+        ));
     }
 
     #[test]
@@ -606,8 +618,14 @@ mod tests {
         cfg.ruu_size = 2;
         cfg.lsq_size = 2;
         let mut core = Core::new(&cfg);
-        assert!(matches!(core.try_dispatch(alu()), DispatchOutcome::Dispatched(_)));
-        assert!(matches!(core.try_dispatch(alu()), DispatchOutcome::Dispatched(_)));
+        assert!(matches!(
+            core.try_dispatch(alu()),
+            DispatchOutcome::Dispatched(_)
+        ));
+        assert!(matches!(
+            core.try_dispatch(alu()),
+            DispatchOutcome::Dispatched(_)
+        ));
         assert_eq!(core.try_dispatch(alu()), DispatchOutcome::Stalled);
     }
 
@@ -621,9 +639,15 @@ mod tests {
             mem: Some(MemKind::Load { latency: 2 }),
             ..Default::default()
         };
-        assert!(matches!(core.try_dispatch(load), DispatchOutcome::Dispatched(_)));
+        assert!(matches!(
+            core.try_dispatch(load),
+            DispatchOutcome::Dispatched(_)
+        ));
         assert_eq!(core.try_dispatch(load), DispatchOutcome::Stalled);
-        assert!(matches!(core.try_dispatch(alu()), DispatchOutcome::Dispatched(_)));
+        assert!(matches!(
+            core.try_dispatch(alu()),
+            DispatchOutcome::Dispatched(_)
+        ));
     }
 
     #[test]
@@ -653,7 +677,11 @@ mod tests {
             panic!("dispatches")
         };
         // Wrong-path fill.
-        let wp = DispatchInstr { class: Some(InstrClass::IntAlu), wrong_path: true, ..alu() };
+        let wp = DispatchInstr {
+            class: Some(InstrClass::IntAlu),
+            wrong_path: true,
+            ..alu()
+        };
         core.try_dispatch(wp);
         core.try_dispatch(wp);
         let mut resolved = None;
@@ -685,7 +713,10 @@ mod tests {
         // wrong-path overwrite of r1 (seq 2).
         core.try_dispatch(alu_rw(r1, r9));
         core.try_dispatch(alu());
-        core.try_dispatch(DispatchInstr { wrong_path: true, ..alu_rw(r1, r9) });
+        core.try_dispatch(DispatchInstr {
+            wrong_path: true,
+            ..alu_rw(r1, r9)
+        });
         core.squash_after(1);
         // A new consumer of r1 must depend on seq 0, not on the squashed
         // seq 2 — which would otherwise alias the next dispatched seq.
@@ -704,7 +735,10 @@ mod tests {
         let cfg = small_cfg();
         let mut core = Core::new(&cfg);
         // seq 0: long divide producing (synthetically) a value.
-        core.try_dispatch(DispatchInstr { class: Some(InstrClass::IntDiv), ..Default::default() });
+        core.try_dispatch(DispatchInstr {
+            class: Some(InstrClass::IntDiv),
+            ..Default::default()
+        });
         // seq 1: depends on distance 1 => seq 0.
         core.try_dispatch(DispatchInstr {
             class: Some(InstrClass::IntAlu),
@@ -712,7 +746,10 @@ mod tests {
             ..Default::default()
         });
         let cycles = run_empty(&mut core);
-        assert!(cycles >= 20, "consumer must wait for the divide, took {cycles}");
+        assert!(
+            cycles >= 20,
+            "consumer must wait for the divide, took {cycles}"
+        );
     }
 
     #[test]
@@ -727,7 +764,10 @@ mod tests {
             dep_dists: [Some(1), None],
             ..Default::default()
         };
-        core.try_dispatch(DispatchInstr { class: Some(InstrClass::IntDiv), ..Default::default() });
+        core.try_dispatch(DispatchInstr {
+            class: Some(InstrClass::IntDiv),
+            ..Default::default()
+        });
         core.try_dispatch(store);
         let load = DispatchInstr {
             class: Some(InstrClass::Load),
@@ -737,7 +777,10 @@ mod tests {
         };
         core.try_dispatch(load);
         let cycles = run_empty(&mut core);
-        assert!(cycles >= 20, "load must wait behind the aliasing store, took {cycles}");
+        assert!(
+            cycles >= 20,
+            "load must wait behind the aliasing store, took {cycles}"
+        );
     }
 
     #[test]
@@ -756,7 +799,10 @@ mod tests {
         }
         let cycles = run_empty(&mut core);
         // One fp divider: 4 divides must start on 4 different cycles.
-        assert!(cycles >= 4 + 12, "pool limit must serialise issues, took {cycles}");
+        assert!(
+            cycles >= 4 + 12,
+            "pool limit must serialise issues, took {cycles}"
+        );
     }
 
     #[test]
@@ -771,7 +817,10 @@ mod tests {
         // A divide that waits on a (missing-producer) distance handled
         // as ready — instead make the second op depend on the divide so
         // the head is a genuine stall for op 3.
-        core.try_dispatch(DispatchInstr { class: Some(InstrClass::IntDiv), ..Default::default() });
+        core.try_dispatch(DispatchInstr {
+            class: Some(InstrClass::IntDiv),
+            ..Default::default()
+        });
         core.try_dispatch(DispatchInstr {
             class: Some(InstrClass::IntAlu),
             dep_dists: [Some(1), None],
@@ -782,7 +831,10 @@ mod tests {
 
         let ooo_cfg = small_cfg();
         let mut ooo = Core::new(&ooo_cfg);
-        ooo.try_dispatch(DispatchInstr { class: Some(InstrClass::IntDiv), ..Default::default() });
+        ooo.try_dispatch(DispatchInstr {
+            class: Some(InstrClass::IntDiv),
+            ..Default::default()
+        });
         ooo.try_dispatch(DispatchInstr {
             class: Some(InstrClass::IntAlu),
             dep_dists: [Some(1), None],
@@ -790,7 +842,10 @@ mod tests {
         });
         ooo.try_dispatch(alu());
         let ooo_cycles = run_empty(&mut ooo);
-        assert!(in_order_cycles >= ooo_cycles, "{in_order_cycles} < {ooo_cycles}");
+        assert!(
+            in_order_cycles >= ooo_cycles,
+            "{in_order_cycles} < {ooo_cycles}"
+        );
     }
 
     #[test]
@@ -817,7 +872,10 @@ mod tests {
             });
             run_empty(&mut core)
         };
-        assert!(run(true) > run(false), "WAW must cost cycles without renaming");
+        assert!(
+            run(true) > run(false),
+            "WAW must cost cycles without renaming"
+        );
     }
 
     #[test]
@@ -842,7 +900,10 @@ mod tests {
             });
             run_empty(&mut core)
         };
-        assert!(run(true) > run(false), "WAR must cost cycles without renaming");
+        assert!(
+            run(true) > run(false),
+            "WAR must cost cycles without renaming"
+        );
     }
 
     #[test]
@@ -850,14 +911,20 @@ mod tests {
         let mut cfg = small_cfg();
         cfg.model_anti_deps = true;
         let mut core = Core::new(&cfg);
-        core.try_dispatch(DispatchInstr { class: Some(InstrClass::IntDiv), ..Default::default() });
+        core.try_dispatch(DispatchInstr {
+            class: Some(InstrClass::IntDiv),
+            ..Default::default()
+        });
         core.try_dispatch(DispatchInstr {
             class: Some(InstrClass::IntAlu),
             anti_dep_dists: [Some(1), None],
             ..Default::default()
         });
         let cycles = run_empty(&mut core);
-        assert!(cycles >= 20, "synthetic WAW distance must bind, took {cycles}");
+        assert!(
+            cycles >= 20,
+            "synthetic WAW distance must bind, took {cycles}"
+        );
     }
 
     #[test]
@@ -869,6 +936,9 @@ mod tests {
         let (activity, ruu, _lsq) = core.finish();
         assert!(ruu.mean() > 0.0);
         assert!(activity.unit(Unit::Dispatch).accesses == 1);
-        assert!(activity.unit(Unit::Ruu).accesses >= 2, "dispatch + writeback + commit");
+        assert!(
+            activity.unit(Unit::Ruu).accesses >= 2,
+            "dispatch + writeback + commit"
+        );
     }
 }

@@ -22,7 +22,13 @@ impl FuConfig {
     /// Table 2: 8 integer ALUs, 4 load/store units, 2 fp adders,
     /// 2 integer and 2 fp mult/div units.
     pub fn baseline() -> Self {
-        FuConfig { int_alu: 8, ld_st: 4, fp_add: 2, int_muldiv: 2, fp_muldiv: 2 }
+        FuConfig {
+            int_alu: 8,
+            ld_st: 4,
+            fp_add: 2,
+            int_muldiv: 2,
+            fp_muldiv: 2,
+        }
     }
 }
 
@@ -227,7 +233,10 @@ mod tests {
 
     #[test]
     fn builders_adjust_linked_fields() {
-        let c = MachineConfig::baseline().with_window(64).with_width(4).with_ifq(8);
+        let c = MachineConfig::baseline()
+            .with_window(64)
+            .with_width(4)
+            .with_ifq(8);
         assert_eq!(c.ruu_size, 64);
         assert_eq!(c.lsq_size, 32);
         assert_eq!(c.issue_width, 4);

@@ -140,7 +140,8 @@ impl<'a, 'p> ExecSim<'a, 'p> {
             if !self.cfg.perfect_bpred {
                 if let Some(kind) = BranchKind::from_opcode(exec.instr.op) {
                     let pred = self.bpred.lookup(exec.pc, kind);
-                    self.bpred.update(exec.pc, kind, exec.taken, exec.next_pc, &pred);
+                    self.bpred
+                        .update(exec.pc, kind, exec.taken, exec.next_pc, &pred);
                 }
             }
         }
@@ -198,8 +199,15 @@ impl<'a, 'p> ExecSim<'a, 'p> {
     // ---- pipeline recovery ------------------------------------------------
 
     fn recover(&mut self, seq: u64) {
-        let pending = self.pending.take().expect("a resolution implies a pending recovery");
-        debug_assert_eq!(pending.seq, Some(seq), "only one mispredict can be outstanding");
+        let pending = self
+            .pending
+            .take()
+            .expect("a resolution implies a pending recovery");
+        debug_assert_eq!(
+            pending.seq,
+            Some(seq),
+            "only one mispredict can be outstanding"
+        );
         self.core.squash_after(seq);
         self.ifq.clear();
         self.bpred.ras_restore(pending.ras);
@@ -245,7 +253,11 @@ impl<'a, 'p> ExecSim<'a, 'p> {
         let mut stall = 0;
         if out.l1_miss {
             self.core.activity_mut().record(Unit::L2, now);
-            stall += if out.l2_miss { self.cfg.lat.mem } else { self.cfg.lat.l2_hit };
+            stall += if out.l2_miss {
+                self.cfg.lat.mem
+            } else {
+                self.cfg.lat.l2_hit
+            };
         }
         if out.tlb_miss {
             stall += self.cfg.lat.tlb_miss;
@@ -285,7 +297,12 @@ impl<'a, 'p> ExecSim<'a, 'p> {
         (1 + lat, addr >> 3)
     }
 
-    fn build_dispatch(&mut self, instr: &Instr, mem_addr: Option<u64>, wrong_path: bool) -> DispatchInstr {
+    fn build_dispatch(
+        &mut self,
+        instr: &Instr,
+        mem_addr: Option<u64>,
+        wrong_path: bool,
+    ) -> DispatchInstr {
         let mut srcs = [None, None];
         for (i, s) in instr.sources().enumerate().take(2) {
             srcs[i] = Some(s);
@@ -311,7 +328,11 @@ impl<'a, 'p> ExecSim<'a, 'p> {
             }
             _ => (None, None),
         };
-        let mem_dep_addr = if std::env::var("SSIM_NO_MEMDEP").is_ok() { None } else { mem_dep_addr };
+        let mem_dep_addr = if std::env::var("SSIM_NO_MEMDEP").is_ok() {
+            None
+        } else {
+            mem_dep_addr
+        };
         DispatchInstr {
             class: Some(instr.class()),
             srcs,
@@ -391,8 +412,7 @@ impl<'a, 'p> ExecSim<'a, 'p> {
                     }
                     BranchOutcome::FetchRedirect => {
                         self.branch_stats.redirects += 1;
-                        self.fetch_stall_until =
-                            now + stall + self.cfg.fetch_redirect_penalty;
+                        self.fetch_stall_until = now + stall + self.cfg.fetch_redirect_penalty;
                         stop = true;
                     }
                     BranchOutcome::Mispredict => {
@@ -418,7 +438,11 @@ impl<'a, 'p> ExecSim<'a, 'p> {
                 }
             }
         }
-        self.ifq.push_back(IfqEntry { di, update, mispredict_marker });
+        self.ifq.push_back(IfqEntry {
+            di,
+            update,
+            mispredict_marker,
+        });
         stop
     }
 
@@ -479,7 +503,11 @@ impl<'a, 'p> ExecSim<'a, 'p> {
             }
         }
         self.mode = FetchMode::WrongPath(Some(next));
-        self.ifq.push_back(IfqEntry { di, update: None, mispredict_marker: false });
+        self.ifq.push_back(IfqEntry {
+            di,
+            update: None,
+            mispredict_marker: false,
+        });
         stop
     }
 }
@@ -522,7 +550,10 @@ mod tests {
         cfg.perfect_caches = true;
         cfg.perfect_bpred = true;
         let perfect = ExecSim::new(&cfg, &program).run(u64::MAX);
-        assert!(perfect.ipc() >= base.ipc() * 0.99, "perfect structures can't hurt");
+        assert!(
+            perfect.ipc() >= base.ipc() * 0.99,
+            "perfect structures can't hurt"
+        );
         assert_eq!(perfect.branch.mispredicts, 0);
     }
 
@@ -558,7 +589,10 @@ mod tests {
         let mut sim = ExecSim::new(&cfg, &program);
         sim.skip(1_000);
         let result = sim.run(u64::MAX);
-        assert!(result.instructions < 40_000 - 900, "skipped instructions don't commit");
+        assert!(
+            result.instructions < 40_000 - 900,
+            "skipped instructions don't commit"
+        );
     }
 
     #[test]
@@ -587,7 +621,10 @@ mod tests {
         let result = ExecSim::new(&MachineConfig::baseline(), &program).run(u64::MAX);
         assert!(result.instructions > 30_000);
         let rate = result.branch.mispredicts as f64 / result.branch.branches as f64;
-        assert!(rate > 0.10, "coin-flip branch must mispredict, rate = {rate}");
+        assert!(
+            rate > 0.10,
+            "coin-flip branch must mispredict, rate = {rate}"
+        );
         // And the machine must slow down accordingly.
         assert!(result.ipc() < 4.0, "IPC {} implausibly high", result.ipc());
     }

@@ -120,7 +120,10 @@ mod tests {
         let r = SimResult {
             instructions: 1000,
             cycles: 500,
-            branch: BranchStats { mispredicts: 5, ..Default::default() },
+            branch: BranchStats {
+                mispredicts: 5,
+                ..Default::default()
+            },
             ..Default::default()
         };
         assert_eq!(r.ipc(), 2.0);

@@ -25,7 +25,9 @@ fn to_instr(g: &Gen) -> DispatchInstr {
         _ => InstrClass::IntCondBranch,
     };
     let mem = match class {
-        InstrClass::Load => Some(MemKind::Load { latency: 1 + g.load_latency % 160 }),
+        InstrClass::Load => Some(MemKind::Load {
+            latency: 1 + g.load_latency % 160,
+        }),
         InstrClass::Store => Some(MemKind::Store),
         _ => None,
     };
@@ -47,7 +49,12 @@ fn to_instr(g: &Gen) -> DispatchInstr {
 
 fn gen_strategy() -> impl Strategy<Value = Gen> {
     (any::<u8>(), any::<u32>(), any::<u32>(), any::<u64>()).prop_map(
-        |(class_pick, dep1, dep2, load_latency)| Gen { class_pick, dep1, dep2, load_latency },
+        |(class_pick, dep1, dep2, load_latency)| Gen {
+            class_pick,
+            dep1,
+            dep2,
+            load_latency,
+        },
     )
 }
 

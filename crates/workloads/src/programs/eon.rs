@@ -86,7 +86,7 @@ pub fn build(rounds: u64) -> Program {
     a.fconst(f1, 1.0);
     a.fsub(dist, dist, f1);
     a.fblt(dist, eps, march_hit); // close enough: hit
-    // Advance the ray: o += d * dist.
+                                  // Advance the ray: o += d * dist.
     a.fmul(f0, dx, dist);
     a.fadd(ox, ox, f0);
     a.fmul(f0, dy, dist);

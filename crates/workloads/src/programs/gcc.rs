@@ -196,7 +196,11 @@ mod tests {
     #[test]
     fn has_large_static_footprint() {
         let program = build(1);
-        assert!(program.len() > 3_000, "gcc archetype needs a big code image, got {}", program.len());
+        assert!(
+            program.len() > 3_000,
+            "gcc archetype needs a big code image, got {}",
+            program.len()
+        );
     }
 
     #[test]
@@ -211,6 +215,10 @@ mod tests {
             assert!(n < 20_000_000, "runaway");
         }
         assert!(m.halted());
-        assert!(pcs.len() > 1_500, "expected broad code coverage, got {} PCs", pcs.len());
+        assert!(
+            pcs.len() > 1_500,
+            "expected broad code coverage, got {} PCs",
+            pcs.len()
+        );
     }
 }

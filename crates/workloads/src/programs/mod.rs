@@ -61,8 +61,14 @@ mod tests {
     fn workloads_are_deterministic() {
         for w in all() {
             let program = w.program();
-            let a: Vec<_> = Machine::new(&program).take(50_000).map(|e| (e.pc, e.mem_addr)).collect();
-            let b: Vec<_> = Machine::new(&program).take(50_000).map(|e| (e.pc, e.mem_addr)).collect();
+            let a: Vec<_> = Machine::new(&program)
+                .take(50_000)
+                .map(|e| (e.pc, e.mem_addr))
+                .collect();
+            let b: Vec<_> = Machine::new(&program)
+                .take(50_000)
+                .map(|e| (e.pc, e.mem_addr))
+                .collect();
             assert_eq!(a, b, "{} is nondeterministic", w.name());
         }
     }
@@ -84,18 +90,32 @@ mod tests {
             mixes.insert(w.name(), mix);
         }
         for (name, mix) in &mixes {
-            assert!(mix.get(&InstrClass::Load).copied().unwrap_or(0) > 0, "{name}: no loads");
+            assert!(
+                mix.get(&InstrClass::Load).copied().unwrap_or(0) > 0,
+                "{name}: no loads"
+            );
             assert!(
                 mix.get(&InstrClass::IntCondBranch).copied().unwrap_or(0) > 0,
                 "{name}: no branches"
             );
         }
-        let indirect = mixes["perlbmk"].get(&InstrClass::IndirectBranch).copied().unwrap_or(0);
-        assert!(indirect > 10_000, "perlbmk must be dispatch-dominated, got {indirect}");
-        let fp: u64 = [InstrClass::FpAlu, InstrClass::FpMul, InstrClass::FpDiv, InstrClass::FpSqrt]
-            .iter()
-            .map(|c| mixes["eon"].get(c).copied().unwrap_or(0))
-            .sum();
+        let indirect = mixes["perlbmk"]
+            .get(&InstrClass::IndirectBranch)
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            indirect > 10_000,
+            "perlbmk must be dispatch-dominated, got {indirect}"
+        );
+        let fp: u64 = [
+            InstrClass::FpAlu,
+            InstrClass::FpMul,
+            InstrClass::FpDiv,
+            InstrClass::FpSqrt,
+        ]
+        .iter()
+        .map(|c| mixes["eon"].get(c).copied().unwrap_or(0))
+        .sum();
         assert!(fp > 100_000, "eon must be FP-heavy, got {fp}");
         let stores = mixes["twolf"].get(&InstrClass::Store).copied().unwrap_or(0);
         assert!(stores > 1_000, "twolf must store, got {stores}");

@@ -64,7 +64,11 @@ fn generate_tokens() -> Vec<u64> {
     fn expr(out: &mut Vec<u64>, next: &mut impl FnMut() -> u64, depth: u32) {
         term(out, next, depth);
         while next() % 10 < 4 {
-            out.push(if next().is_multiple_of(2) { PLUS } else { MINUS });
+            out.push(if next().is_multiple_of(2) {
+                PLUS
+            } else {
+                MINUS
+            });
             term(out, next, depth);
         }
     }
@@ -84,7 +88,8 @@ pub fn build(rounds: u64) -> Program {
     let mut a = Assembler::new("parser");
     util::init_stack(&mut a, 128 << 10);
     let tokens = a.alloc_words(stream.len() as u64) as i64;
-    a.words(tokens as u64, &stream).expect("token stream fits in memory");
+    a.words(tokens as u64, &stream)
+        .expect("token stream fits in memory");
 
     // Register roles (preserved across the recursive routines by
     // construction: each routine only clobbers temporaries and rv).

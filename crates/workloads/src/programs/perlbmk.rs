@@ -116,7 +116,8 @@ pub fn build(rounds: u64) -> Program {
 
     let mut a = Assembler::new("perlbmk");
     let code = a.alloc_words(bytecode.len() as u64) as i64;
-    a.words(code as u64, &bytecode).expect("bytecode fits in memory");
+    a.words(code as u64, &bytecode)
+        .expect("bytecode fits in memory");
     let vars = a.alloc_words(VARS) as i64;
     let vm_stack = a.alloc_words(64) as i64;
 
@@ -288,6 +289,9 @@ mod tests {
         }
         assert!(total > 100_000);
         let frac = indirect as f64 / total as f64;
-        assert!(frac > 0.05, "dispatch should dominate, indirect frac = {frac}");
+        assert!(
+            frac > 0.05,
+            "dispatch should dominate, indirect frac = {frac}"
+        );
     }
 }

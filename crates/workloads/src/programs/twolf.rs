@@ -122,6 +122,9 @@ mod tests {
         assert!(m.halted());
         let accepted = m.reg(Reg::R10) as i64;
         assert!(accepted > 0, "some moves must be accepted");
-        assert!(accepted < STEPS, "some moves must be rejected, accepted={accepted}");
+        assert!(
+            accepted < STEPS,
+            "some moves must be rejected, accepted={accepted}"
+        );
     }
 }

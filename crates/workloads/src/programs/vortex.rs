@@ -162,6 +162,9 @@ mod tests {
         let hits = m.reg(Reg::R8);
         let misses = m.reg(Reg::R9);
         assert_eq!(hits + misses, LOOKUPS as u64);
-        assert!(hits > misses, "present keys dominate: {hits} hits vs {misses} misses");
+        assert!(
+            hits > misses,
+            "present keys dominate: {hits} hits vs {misses} misses"
+        );
     }
 }

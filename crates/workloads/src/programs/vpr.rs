@@ -166,6 +166,9 @@ mod tests {
         }
         assert!(m.halted());
         assert!(m.reg(Reg::R15) > 0, "wavefronts must explore cells");
-        assert!(m.reg(Reg::R17) > 0, "at least one net should route in 12 tries");
+        assert!(
+            m.reg(Reg::R17) > 0,
+            "at least one net should route in 12 tries"
+        );
     }
 }

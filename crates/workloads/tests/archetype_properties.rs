@@ -22,7 +22,10 @@ fn mix_of(name: &str) -> (BTreeMap<InstrClass, u64>, u64) {
 }
 
 fn frac(mix: &BTreeMap<InstrClass, u64>, total: u64, classes: &[InstrClass]) -> f64 {
-    classes.iter().map(|c| mix.get(c).copied().unwrap_or(0)).sum::<u64>() as f64
+    classes
+        .iter()
+        .map(|c| mix.get(c).copied().unwrap_or(0))
+        .sum::<u64>() as f64
         / total.max(1) as f64
 }
 
@@ -32,8 +35,13 @@ fn eon_is_floating_point_dominated() {
     let fp = frac(
         &mix,
         total,
-        &[InstrClass::FpAlu, InstrClass::FpMul, InstrClass::FpDiv, InstrClass::FpSqrt,
-          InstrClass::FpCondBranch],
+        &[
+            InstrClass::FpAlu,
+            InstrClass::FpMul,
+            InstrClass::FpDiv,
+            InstrClass::FpSqrt,
+            InstrClass::FpCondBranch,
+        ],
     );
     assert!(fp > 0.25, "eon fp fraction {fp}");
 }
@@ -63,14 +71,25 @@ fn twolf_stores_regularly() {
 fn gcc_touches_a_large_static_footprint() {
     let w = ssim_workloads::by_name("gcc").unwrap();
     let program = w.program();
-    let pcs: std::collections::HashSet<usize> =
-        Machine::new(&program).skip(SKIP).take(SAMPLE).map(|e| e.pc).collect();
+    let pcs: std::collections::HashSet<usize> = Machine::new(&program)
+        .skip(SKIP)
+        .take(SAMPLE)
+        .map(|e| e.pc)
+        .collect();
     assert!(pcs.len() > 1_000, "gcc touched only {} PCs", pcs.len());
     // And the others stay small by comparison.
     let small = ssim_workloads::by_name("twolf").unwrap().program();
-    let small_pcs: std::collections::HashSet<usize> =
-        Machine::new(&small).skip(SKIP).take(SAMPLE).map(|e| e.pc).collect();
-    assert!(pcs.len() > 5 * small_pcs.len(), "gcc {} vs twolf {}", pcs.len(), small_pcs.len());
+    let small_pcs: std::collections::HashSet<usize> = Machine::new(&small)
+        .skip(SKIP)
+        .take(SAMPLE)
+        .map(|e| e.pc)
+        .collect();
+    assert!(
+        pcs.len() > 5 * small_pcs.len(),
+        "gcc {} vs twolf {}",
+        pcs.len(),
+        small_pcs.len()
+    );
 }
 
 /// Working-set separation, measured with the single-pass capacity

@@ -89,7 +89,9 @@ fn main() {
 
     let profile = profile(
         &program,
-        &ProfileConfig::new(&machine).skip(600_000).instructions(1_000_000),
+        &ProfileConfig::new(&machine)
+            .skip(600_000)
+            .instructions(1_000_000),
     );
     println!(
         "profile: {} instructions, {} SFG nodes, {} contexts, branch MPKI {:.2}",

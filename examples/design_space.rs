@@ -13,7 +13,9 @@
 use ssim::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "twolf".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "twolf".to_string());
     let workload = ssim::workloads::by_name(&name).expect("known workload");
     let program = workload.program();
     let baseline = MachineConfig::baseline();
@@ -22,7 +24,9 @@ fn main() {
     // and the locality events for the baseline caches/predictor.
     let profile = profile(
         &program,
-        &ProfileConfig::new(&baseline).skip(4_000_000).instructions(2_000_000),
+        &ProfileConfig::new(&baseline)
+            .skip(4_000_000)
+            .instructions(2_000_000),
     );
     let trace = profile.generate(20, 7);
     println!(
@@ -32,7 +36,10 @@ fn main() {
         trace.len()
     );
     println!();
-    println!("{:>6} {:>6} {:>8} {:>10} {:>10}", "RUU", "width", "IPC", "EPC", "EDP");
+    println!(
+        "{:>6} {:>6} {:>8} {:>10} {:>10}",
+        "RUU", "width", "IPC", "EPC", "EDP"
+    );
 
     let mut best: Option<(f64, usize, usize)> = None;
     for ruu in [16, 32, 64, 128] {

@@ -15,7 +15,9 @@ use ssim::baselines::simpoint;
 use ssim::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "bzip2".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bzip2".to_string());
     let workload = ssim::workloads::by_name(&name).expect("known workload");
     let program = workload.program();
     let machine = MachineConfig::baseline();
@@ -28,10 +30,18 @@ fn main() {
     let mut eds = ExecSim::new(&machine, &program);
     eds.skip(skip);
     let eds = eds.run(stream);
-    println!("{}: reference EDS IPC {:.3} over {}M instructions", name, eds.ipc(), stream / 1_000_000);
+    println!(
+        "{}: reference EDS IPC {:.3} over {}M instructions",
+        name,
+        eds.ipc(),
+        stream / 1_000_000
+    );
 
     // (a) one profile over the full stream.
-    let p = profile(&program, &ProfileConfig::new(&machine).skip(skip).instructions(stream));
+    let p = profile(
+        &program,
+        &ProfileConfig::new(&machine).skip(skip).instructions(stream),
+    );
     let one = simulate_trace(&p.generate(40, 1), &machine).ipc();
 
     // (b) one profile per sample, averaged.
@@ -40,7 +50,10 @@ fn main() {
     for s in 0..samples {
         let p = profile(
             &program,
-            &ProfileConfig::new(&machine).skip(skip).warm(s * per).instructions(per),
+            &ProfileConfig::new(&machine)
+                .skip(skip)
+                .warm(s * per)
+                .instructions(per),
         );
         acc += simulate_trace(&p.generate(40, 1), &machine).ipc();
     }

@@ -11,7 +11,9 @@ use ssim::core::validate_trace;
 use ssim::prelude::*;
 
 fn main() -> std::io::Result<()> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "vortex".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "vortex".to_string());
     let workload = ssim::workloads::by_name(&name).expect("known workload");
     let machine = MachineConfig::baseline();
     let program = workload.program();
@@ -19,7 +21,9 @@ fn main() -> std::io::Result<()> {
     // --- session 1: the expensive pass; persist the result. ---
     let p = profile(
         &program,
-        &ProfileConfig::new(&machine).skip(4_000_000).instructions(1_500_000),
+        &ProfileConfig::new(&machine)
+            .skip(4_000_000)
+            .instructions(1_500_000),
     );
     let path = std::env::temp_dir().join(format!("{name}.ssimprf"));
     {

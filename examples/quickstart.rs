@@ -9,11 +9,17 @@
 use ssim::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "gzip".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gzip".to_string());
     let workload = ssim::workloads::by_name(&name).unwrap_or_else(|| {
         eprintln!(
             "unknown workload {name:?}; available: {}",
-            ssim::workloads::all().iter().map(|w| w.name()).collect::<Vec<_>>().join(", ")
+            ssim::workloads::all()
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         std::process::exit(1);
     });
@@ -25,7 +31,9 @@ fn main() {
     // --- statistical simulation: one profiling pass... ---
     let profile = profile(
         &program,
-        &ProfileConfig::new(&machine).skip(4_000_000).instructions(2_000_000),
+        &ProfileConfig::new(&machine)
+            .skip(4_000_000)
+            .instructions(2_000_000),
     );
     println!(
         "profiled {} instructions: SFG order {} with {} nodes, {} contexts",
@@ -51,7 +59,10 @@ fn main() {
     let eds_epc = power.evaluate(&eds.activity).epc();
 
     println!();
-    println!("              {:>12} {:>12} {:>8}", "EDS", "statistical", "error");
+    println!(
+        "              {:>12} {:>12} {:>8}",
+        "EDS", "statistical", "error"
+    );
     println!(
         "IPC           {:>12.3} {:>12.3} {:>7.1}%",
         eds.ipc(),

@@ -4,7 +4,9 @@
 # fast smoke pass; budgets tuned for a single-core box.
 set -u
 mkdir -p results
-# Lint gate: the tree must be clippy-clean before any budget is spent.
+# Lint gates: the tree must be rustfmt-clean and clippy-clean before
+# any budget is spent.
+cargo fmt --check || exit 1
 cargo clippy -q --all-targets -- -D warnings || exit 1
 cargo build --release -q -p ssim-bench || exit 1
 # Every run emits machine-readable pipeline metrics by default
@@ -32,5 +34,6 @@ run ablation_fifo_size        SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_I
 run ablation_dep_cap          SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=1000000
 run ablation_reduction_factor SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=1000000
 run ext_inorder               SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=1000000
+run synth_speed               SSIM_QUICK=1
 run perf_report               SSIM_QUICK=1
 echo "[$(date +%H:%M:%S)] all experiments complete"

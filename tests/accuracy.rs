@@ -9,8 +9,13 @@ use ssim::prelude::*;
 /// Profile + EDS over the same window, on a few representative
 /// workloads (one cache-bound, one branch-bound, one FP).
 fn compare(name: &str, machine: &MachineConfig, n: u64) -> (f64, f64) {
-    let program = ssim::workloads::by_name(name).expect("known workload").program();
-    let p = profile(&program, &ProfileConfig::new(machine).skip(4_000_000).instructions(n));
+    let program = ssim::workloads::by_name(name)
+        .expect("known workload")
+        .program();
+    let p = profile(
+        &program,
+        &ProfileConfig::new(machine).skip(4_000_000).instructions(n),
+    );
     let ss = simulate_trace(&p.generate(10, 1), machine);
     let mut eds = ExecSim::new(machine, &program);
     eds.skip(4_000_000);
@@ -42,7 +47,9 @@ fn relative_trend_window_size() {
     let program = ssim::workloads::by_name(name).unwrap().program();
     let p = profile(
         &program,
-        &ProfileConfig::new(&machine).skip(4_000_000).instructions(600_000),
+        &ProfileConfig::new(&machine)
+            .skip(4_000_000)
+            .instructions(600_000),
     );
     let trace = p.generate(10, 1);
 
@@ -60,10 +67,20 @@ fn relative_trend_window_size() {
     assert!(ss_small.ipc() < ss_base.ipc());
     // ...and by a similar relative amount.
     let re = relative_error(
-        MetricPair { ss: ss_base.ipc(), eds: eds_base.ipc() },
-        MetricPair { ss: ss_small.ipc(), eds: eds_small.ipc() },
+        MetricPair {
+            ss: ss_base.ipc(),
+            eds: eds_base.ipc(),
+        },
+        MetricPair {
+            ss: ss_small.ipc(),
+            eds: eds_small.ipc(),
+        },
     );
-    assert!(re < 0.15, "window-size trend error {:.1}% too large", re * 100.0);
+    assert!(
+        re < 0.15,
+        "window-size trend error {:.1}% too large",
+        re * 100.0
+    );
 }
 
 #[test]

@@ -19,7 +19,10 @@ fn sfg_beats_hls_on_a_structured_workload() {
     e.skip(skip);
     let eds = e.run(n);
 
-    let p = profile(&program, &ProfileConfig::new(&machine).skip(skip).instructions(n));
+    let p = profile(
+        &program,
+        &ProfileConfig::new(&machine).skip(skip).instructions(n),
+    );
     let sfg_trace = p.generate(10, 1);
     let sfg = simulate_trace(&sfg_trace, &machine);
 
@@ -48,7 +51,12 @@ fn hls_pipeline_runs_for_every_workload() {
         let m = HlsModel::profile(&program, &machine, 500_000, 150_000);
         let t = m.generate(20_000, 2);
         let r = simulate_trace(&t, &machine);
-        assert!(r.ipc() > 0.05 && r.ipc() <= 8.0, "{}: HLS IPC {}", w.name(), r.ipc());
+        assert!(
+            r.ipc() > 0.05 && r.ipc() <= 8.0,
+            "{}: HLS IPC {}",
+            w.name(),
+            r.ipc()
+        );
     }
 }
 
@@ -88,5 +96,10 @@ fn simpoint_tracks_full_eds() {
     let points = simpoint::choose(&program, &cfg, skip);
     let sp = simpoint::estimate_ipc(&program, &machine, &points, &cfg, skip);
     let err = absolute_error(sp, eds.ipc());
-    assert!(err < 0.15, "SimPoint {sp:.3} vs EDS {:.3}: err {:.1}%", eds.ipc(), err * 100.0);
+    assert!(
+        err < 0.15,
+        "SimPoint {sp:.3} vs EDS {:.3}: err {:.1}%",
+        eds.ipc(),
+        err * 100.0
+    );
 }

@@ -41,7 +41,11 @@ fn profile_info_simulate_explore_pipeline() {
     let out = ssim(&[
         "profile", "crafty", "-o", prf_s, "--instr", "200000", "--skip", "200000",
     ]);
-    assert!(out.status.success(), "profile failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "profile failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(prf.exists());
 
     let out = ssim(&["info", prf_s]);

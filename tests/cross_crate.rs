@@ -14,7 +14,10 @@ fn profiler_and_eds_agree_on_locality_rates() {
     let skip = 4_000_000u64;
     let n = 500_000u64;
 
-    let p = profile(&program, &ProfileConfig::new(&machine).skip(skip).instructions(n));
+    let p = profile(
+        &program,
+        &ProfileConfig::new(&machine).skip(skip).instructions(n),
+    );
     let mut e = ExecSim::new(&machine, &program);
     e.skip(skip);
     let eds = e.run(n);
@@ -49,11 +52,16 @@ fn profiler_and_eds_agree_on_locality_rates() {
 #[test]
 fn eds_commits_the_functional_stream() {
     let machine = MachineConfig::baseline();
-    let program = ssim::workloads::by_name("crafty").unwrap().program_with_rounds(200);
+    let program = ssim::workloads::by_name("crafty")
+        .unwrap()
+        .program_with_rounds(200);
     // Count the functional stream.
     let functional = ssim::func::Machine::new(&program).count() as u64;
     let eds = ExecSim::new(&machine, &program).run(u64::MAX);
-    assert_eq!(eds.instructions, functional, "EDS must commit exactly the program");
+    assert_eq!(
+        eds.instructions, functional,
+        "EDS must commit exactly the program"
+    );
 }
 
 /// Power evaluation consumes activity from either simulator without
@@ -69,7 +77,11 @@ fn activity_counters_are_consistent() {
 
     let dispatch = r.activity.unit(Unit::Dispatch).accesses;
     // Dispatch >= committed (wrong-path instructions dispatch too).
-    assert!(dispatch >= r.instructions, "{dispatch} < {}", r.instructions);
+    assert!(
+        dispatch >= r.instructions,
+        "{dispatch} < {}",
+        r.instructions
+    );
     // Fetch >= dispatch (everything dispatched was fetched).
     assert!(r.activity.unit(Unit::Fetch).accesses >= dispatch);
     // Committed loads+stores accessed the D-cache at least once each.

@@ -4,10 +4,14 @@
 use ssim::prelude::*;
 
 fn quick_profile(name: &str, machine: &MachineConfig) -> (StatisticalProfile, SyntheticTrace) {
-    let program = ssim::workloads::by_name(name).expect("known workload").program();
+    let program = ssim::workloads::by_name(name)
+        .expect("known workload")
+        .program();
     let p = profile(
         &program,
-        &ProfileConfig::new(machine).skip(500_000).instructions(300_000),
+        &ProfileConfig::new(machine)
+            .skip(500_000)
+            .instructions(300_000),
     );
     let t = p.generate(20, 1);
     (p, t)
@@ -18,11 +22,20 @@ fn every_workload_flows_through_the_pipeline() {
     let machine = MachineConfig::baseline();
     for w in ssim::workloads::all() {
         let (p, t) = quick_profile(w.name(), &machine);
-        assert!(p.instructions() > 250_000, "{}: profile too short", w.name());
+        assert!(
+            p.instructions() > 250_000,
+            "{}: profile too short",
+            w.name()
+        );
         assert!(p.sfg().node_count() > 0, "{}: empty SFG", w.name());
         assert!(!t.is_empty(), "{}: empty synthetic trace", w.name());
         let r = simulate_trace(&t, &machine);
-        assert_eq!(r.instructions, t.len() as u64, "{}: trace must fully commit", w.name());
+        assert_eq!(
+            r.instructions,
+            t.len() as u64,
+            "{}: trace must fully commit",
+            w.name()
+        );
         let ipc = r.ipc();
         assert!(
             ipc > 0.05 && ipc <= 8.0,
@@ -38,12 +51,17 @@ fn trace_length_scales_inversely_with_r() {
     let program = ssim::workloads::by_name("crafty").unwrap().program();
     let p = profile(
         &program,
-        &ProfileConfig::new(&machine).skip(100_000).instructions(400_000),
+        &ProfileConfig::new(&machine)
+            .skip(100_000)
+            .instructions(400_000),
     );
     let t10 = p.generate(10, 1);
     let t100 = p.generate(100, 1);
     let ratio = t10.len() as f64 / t100.len().max(1) as f64;
-    assert!((6.0..16.0).contains(&ratio), "R scaling broken: ratio {ratio}");
+    assert!(
+        (6.0..16.0).contains(&ratio),
+        "R scaling broken: ratio {ratio}"
+    );
 }
 
 #[test]
@@ -67,7 +85,9 @@ fn power_model_attaches_to_both_simulators() {
     let program = ssim::workloads::by_name("eon").unwrap().program();
     let p = profile(
         &program,
-        &ProfileConfig::new(&machine).skip(500_000).instructions(200_000),
+        &ProfileConfig::new(&machine)
+            .skip(500_000)
+            .instructions(200_000),
     );
     let ss = simulate_trace(&p.generate(10, 1), &machine);
     let mut eds = ExecSim::new(&machine, &program);
@@ -80,7 +100,10 @@ fn power_model_attaches_to_both_simulators() {
     assert!(ss_epc > 0.0 && eds_epc > 0.0);
     // Both estimates live in the same ballpark (well under 2x apart).
     let err = absolute_error(ss_epc, eds_epc);
-    assert!(err < 0.5, "EPC prediction wildly off: {ss_epc} vs {eds_epc}");
+    assert!(
+        err < 0.5,
+        "EPC prediction wildly off: {ss_epc} vs {eds_epc}"
+    );
 }
 
 #[test]
@@ -90,7 +113,10 @@ fn sfg_order_k_is_respected_end_to_end() {
     for k in 0..=3 {
         let p = profile(
             &program,
-            &ProfileConfig::new(&machine).order(k).skip(500_000).instructions(150_000),
+            &ProfileConfig::new(&machine)
+                .order(k)
+                .skip(500_000)
+                .instructions(150_000),
         );
         assert_eq!(p.k(), k);
         let t = p.generate(20, 1);

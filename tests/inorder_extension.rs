@@ -40,11 +40,18 @@ fn anti_dep_profiles_record_waw_war() {
         .flat_map(|(_, s)| s.slots.iter())
         .map(|s| s.waw.total() + s.war.total())
         .sum();
-    assert!(tracked > 100_000, "anti-dependency distributions must fill, got {tracked}");
+    assert!(
+        tracked > 100_000,
+        "anti-dependency distributions must fill, got {tracked}"
+    );
 
     // And the generated trace carries them.
     let trace = p.generate(10, 1);
-    let with_anti = trace.instrs().iter().filter(|i| i.anti_dep.iter().any(|d| d.is_some())).count();
+    let with_anti = trace
+        .instrs()
+        .iter()
+        .filter(|i| i.anti_dep.iter().any(|d| d.is_some()))
+        .count();
     assert!(
         with_anti * 2 > trace.len(),
         "most instructions rewrite recently-touched registers, got {with_anti}/{}",
@@ -58,7 +65,9 @@ fn raw_only_profiles_leave_anti_deps_empty() {
     let program = ssim::workloads::by_name("eon").unwrap().program();
     let p = profile(
         &program,
-        &ProfileConfig::new(&machine).skip(1_000_000).instructions(100_000),
+        &ProfileConfig::new(&machine)
+            .skip(1_000_000)
+            .instructions(100_000),
     );
     for (_, s) in p.contexts() {
         for slot in &s.slots {

@@ -9,7 +9,9 @@ fn saved_profile_drives_identical_design_exploration() {
     let program = ssim::workloads::by_name("vpr").unwrap().program();
     let p = profile(
         &program,
-        &ProfileConfig::new(&machine).skip(1_000_000).instructions(300_000),
+        &ProfileConfig::new(&machine)
+            .skip(1_000_000)
+            .instructions(300_000),
     );
 
     let mut bytes = Vec::new();
@@ -48,7 +50,10 @@ fn anti_dep_profiles_round_trip() {
     let restored = StatisticalProfile::load(&mut bytes.as_slice()).unwrap();
     let (ta, tb) = (p.generate(10, 2), restored.generate(10, 2));
     assert_eq!(ta.instrs(), tb.instrs());
-    assert!(ta.instrs().iter().any(|i| i.anti_dep.iter().any(|d| d.is_some())));
+    assert!(ta
+        .instrs()
+        .iter()
+        .any(|i| i.anti_dep.iter().any(|d| d.is_some())));
 }
 
 #[test]
@@ -57,7 +62,9 @@ fn profiles_survive_the_filesystem() {
     let program = ssim::workloads::by_name("crafty").unwrap().program();
     let p = profile(
         &program,
-        &ProfileConfig::new(&machine).skip(500_000).instructions(100_000),
+        &ProfileConfig::new(&machine)
+            .skip(500_000)
+            .instructions(100_000),
     );
     let dir = std::env::temp_dir().join("ssim-profile-test");
     std::fs::create_dir_all(&dir).unwrap();
