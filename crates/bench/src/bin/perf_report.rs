@@ -102,6 +102,24 @@ fn main() {
         synth.generate_speedup(),
     );
 
+    // --- experiment service ------------------------------------------
+    // `ssim-serve bench` (run_all.sh runs it right before this binary)
+    // leaves its requests/sec, latency percentiles, and cold-vs-warm
+    // sweep numbers in results/BENCH_serve.json; fold them in so one
+    // file carries the whole perf story. The bench binary lives in
+    // ssim-serve (which depends on this crate), so the hand-off is the
+    // file, not a library call. Absent file → explicit null.
+    let serve_section = std::fs::read_to_string("results/BENCH_serve.json")
+        .map(|s| s.trim().to_string())
+        .ok()
+        .filter(|s| s.starts_with('{') && s.ends_with('}'))
+        .unwrap_or_else(|| "null".to_string());
+    if serve_section == "null" {
+        println!("serve: no results/BENCH_serve.json (run `ssim-serve bench` first)");
+    } else {
+        println!("serve: folded in results/BENCH_serve.json");
+    }
+
     // --- report ------------------------------------------------------
     // Per-stage CPU time from the observability timers: these sum the
     // time spent *inside* each pipeline stage across all worker
@@ -133,6 +151,7 @@ fn main() {
          \"sweep_parallel_s\": {sweep_parallel_s:.4},\n  \
          \"sweep_speedup\": {speedup:.2},\n  \
          \"synth\": {},\n  \
+         \"serve\": {serve_section},\n  \
          \"stages\": {stages}\n}}\n",
         names.join(", "),
         cold.0,

@@ -119,12 +119,25 @@ pub fn profile_cached(workload: &Workload, cfg: &ProfileConfig) -> StatisticalPr
 fn store(path: &std::path::Path, p: &StatisticalProfile) -> std::io::Result<()> {
     let dir = path.parent().expect("cache path has a parent");
     fs::create_dir_all(dir)?;
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    // The temp name must be unique per *writer*, not just per process:
+    // server workers racing on the same key would otherwise interleave
+    // writes into one temp file and rename a torn profile into place.
+    // pid + a process-wide sequence number covers both axes.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     {
         let mut w = BufWriter::new(fs::File::create(&tmp)?);
         p.save(&mut w)?;
     }
-    fs::rename(&tmp, path)
+    // Atomic within a filesystem: readers see the old file, no file, or
+    // the complete new file — never a partial write.
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
 }
 
 #[cfg(test)]
@@ -148,6 +161,46 @@ mod tests {
                 &ProfileConfig::new(&base.clone().with_width(2)).instructions(1000)
             )
         );
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_the_entry() {
+        let workload = ssim::workloads::by_name("gzip").unwrap();
+        let cfg = ProfileConfig::new(&MachineConfig::baseline())
+            .skip(0)
+            .instructions(5_000);
+        let p = profile(&workload.program(), &cfg);
+        let dir = std::env::temp_dir().join(format!("ssim-cache-race-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("gzip-race.ssimprf");
+        // Hammer the same destination from many threads; every rename
+        // must land a complete file, and every load in between must see
+        // either nothing or a valid profile — never a torn one.
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        store(&path, &p).expect("store failed");
+                        if let Ok(f) = fs::File::open(&path) {
+                            StatisticalProfile::load(&mut BufReader::new(f))
+                                .expect("torn profile observed");
+                        }
+                    }
+                });
+            }
+        });
+        let f = fs::File::open(&path).unwrap();
+        let loaded = StatisticalProfile::load(&mut BufReader::new(f)).unwrap();
+        assert_eq!(loaded.content_hash(), p.content_hash());
+        // No leaked temp files once every writer has renamed or
+        // cleaned up.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path() != path)
+            .collect();
+        assert!(leftovers.is_empty(), "leaked temp files: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -41,6 +41,12 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
+/// Upper bound on speculative `Vec::with_capacity` from untrusted
+/// length prefixes. Real profiles stay far below this; a corrupted
+/// count larger than it just grows the vector incrementally until the
+/// stream runs out, instead of attempting a giant allocation up front.
+const PREALLOC_CAP: usize = 4096;
+
 // ---- primitive writers/readers --------------------------------------
 
 fn w_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
@@ -79,9 +85,15 @@ fn w_hist<W: Write>(w: &mut W, h: &Histogram) -> io::Result<()> {
 fn r_hist<R: Read>(r: &mut R) -> io::Result<Histogram> {
     let n = r_u32(r)?;
     let mut h = Histogram::new();
+    let mut total = 0u64;
     for _ in 0..n {
         let v = r_u32(r)?;
         let c = r_u64(r)?;
+        // A corrupted count whose running sum overflows u64 would panic
+        // inside Histogram's accumulator; reject it as bad data instead.
+        total = total
+            .checked_add(c)
+            .ok_or_else(|| bad("histogram counts overflow"))?;
         h.record_n(v, c);
     }
     Ok(h)
@@ -173,6 +185,30 @@ impl StatisticalProfile {
         Ok(())
     }
 
+    /// A 64-bit content hash of the profile: the FxHash of its
+    /// serialized byte stream, computed without materialising the
+    /// bytes.
+    ///
+    /// Two profiles hash equal iff they serialise identically, which
+    /// (per the round-trip tests) holds iff they generate identical
+    /// synthetic traces. The experiment service uses this as the
+    /// profile component of its result-cache keys.
+    pub fn content_hash(&self) -> u64 {
+        struct HashWriter(crate::fxhash::FxHasher);
+        impl Write for HashWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                std::hash::Hasher::write(&mut self.0, buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = HashWriter(crate::fxhash::FxHasher::default());
+        self.save(&mut w).expect("hash writer cannot fail");
+        std::hash::Hasher::finish(&w.0)
+    }
+
     /// Deserialises a profile previously written with
     /// [`StatisticalProfile::save`].
     ///
@@ -204,12 +240,17 @@ impl StatisticalProfile {
             let gram = r_u128(reader)?;
             let occurrence = r_u64(reader)?;
             let n_edges = r_u32(reader)?;
-            let mut edges = Vec::with_capacity(n_edges as usize);
+            // Cap the preallocation: `n_edges` is untrusted input, and
+            // a corrupted count must fail with InvalidData/EOF on the
+            // next read, not abort the process in `with_capacity`.
+            let mut edges = Vec::with_capacity((n_edges as usize).min(PREALLOC_CAP));
             let mut total = 0u64;
             for _ in 0..n_edges {
                 let block = r_u32(reader)?;
                 let count = r_u64(reader)?;
-                total += count;
+                total = total
+                    .checked_add(count)
+                    .ok_or_else(|| bad("edge counts overflow"))?;
                 edges.push((block, count));
             }
             if total != occurrence {
@@ -224,7 +265,7 @@ impl StatisticalProfile {
             let ctx = Context::from_raw(r_u128(reader)?);
             let occurrence = r_u64(reader)?;
             let n_slots = r_u32(reader)?;
-            let mut slots = Vec::with_capacity(n_slots as usize);
+            let mut slots = Vec::with_capacity((n_slots as usize).min(PREALLOC_CAP));
             for _ in 0..n_slots {
                 let class_index = r_u32(reader)? as usize;
                 let class = *InstrClass::ALL

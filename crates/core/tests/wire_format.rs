@@ -14,6 +14,7 @@
 //! regenerate the fixture with
 //! `SSIM_BLESS=1 cargo test -p ssim-core --test wire_format`.
 
+use proptest::prelude::*;
 use ssim_core::{
     BranchCtxStats, Context, ContextStats, FxHashMap, Gram, MissStats, Sfg, SlotStats,
     StatisticalProfile,
@@ -130,6 +131,61 @@ fn fixture_header_is_v1() {
         1,
         "SFG order k"
     );
+}
+
+fn golden_bytes() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    golden_profile().save(&mut bytes).unwrap();
+    bytes
+}
+
+proptest! {
+    /// Truncating the stream at *any* point yields a clean `io::Error`
+    /// — the loader never panics on, and never accepts, a partial
+    /// profile. (The on-disk cache relies on this: a torn write must
+    /// read as a miss, not as a mangled profile.)
+    #[test]
+    fn any_truncation_is_a_clean_error(cut_seed in any::<u64>()) {
+        let bytes = golden_bytes();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let err = StatisticalProfile::load(&mut &bytes[..cut]).expect_err("truncated load succeeded");
+        prop_assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof | std::io::ErrorKind::InvalidData
+            ),
+            "unexpected error kind {:?} at cut {cut}",
+            err.kind()
+        );
+    }
+
+    /// Corrupting any single byte never panics or aborts the loader:
+    /// it either fails cleanly or produces a profile that still
+    /// behaves like a profile (count prefixes are the dangerous case —
+    /// they drive preallocation and loop bounds).
+    #[test]
+    fn any_single_byte_corruption_is_handled(idx_seed in any::<u64>(), mask in 1u8..=255) {
+        let mut bytes = golden_bytes();
+        let idx = (idx_seed % bytes.len() as u64) as usize;
+        bytes[idx] ^= mask;
+        let outcome = std::panic::catch_unwind(|| {
+            match StatisticalProfile::load(&mut bytes.as_slice()) {
+                Err(e) => Some(e.kind()),
+                Ok(p) => {
+                    // A flip that survives validation must still yield a
+                    // usable profile end to end.
+                    let _ = p.generate(4, 7);
+                    let _ = p.content_hash();
+                    None
+                }
+            }
+        });
+        prop_assert!(outcome.is_ok(), "loader panicked on byte {idx} ^ {mask:#04x}");
+        // Header corruption is always detected outright.
+        if idx < 16 {
+            prop_assert!(outcome.unwrap().is_some(), "corrupt header accepted (byte {idx})");
+        }
+    }
 }
 
 #[test]

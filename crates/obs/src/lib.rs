@@ -223,6 +223,43 @@ impl Gauge {
         self.value.store(v, Relaxed);
     }
 
+    /// Adds `n` (for gauges tracking a live population — open
+    /// connections, outstanding jobs — updated from many threads with
+    /// no shared lock to read-modify-write under).
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        if !self.registered.load(Relaxed) {
+            self.register();
+        }
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero (a decrement racing a reset
+    /// must not wrap to 2^64 − n).
+    #[inline]
+    pub fn sub(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        if !self.registered.load(Relaxed) {
+            self.register();
+        }
+        let mut cur = self.value.load(Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .value
+                .compare_exchange_weak(cur, next, Relaxed, Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     /// Raises the value to `v` if larger (high-water mark).
     #[inline]
     pub fn set_max(&'static self, v: u64) {
@@ -772,6 +809,20 @@ mod tests {
         let s = snapshot();
         assert_eq!(s.counter("test.unit.counter"), Some(42));
         assert_eq!(s.gauge("test.unit.gauge"), Some(9));
+    }
+
+    #[test]
+    fn gauge_deltas_saturate_at_zero() {
+        static G: Gauge = Gauge::new("test.unit.gauge_delta");
+        force_enable();
+        G.add(5);
+        G.add(2);
+        G.sub(3);
+        assert_eq!(G.get(), 4);
+        G.sub(100); // saturates, never wraps
+        assert_eq!(G.get(), 0);
+        G.add(1);
+        assert_eq!(G.get(), 1);
     }
 
     #[test]

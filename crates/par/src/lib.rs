@@ -37,6 +37,19 @@ static OBS_THREADS: ssim_obs::Gauge = ssim_obs::Gauge::new("par.threads");
 static OBS_TASKS_PER_WORKER: ssim_obs::LogHistogram =
     ssim_obs::LogHistogram::new("par.tasks_per_worker");
 
+/// Resolves a raw `SSIM_THREADS` value against a fallback pool size.
+///
+/// Every malformed setting — unset, empty, `0`, negative, fractional,
+/// non-numeric, overflowing — uniformly falls back; surrounding
+/// whitespace is tolerated. The result is never zero as long as
+/// `fallback` is not (and even then the pool is floored to one thread
+/// by [`par_map_with`]'s clamp).
+pub fn resolve_thread_count(raw: Option<&str>, fallback: usize) -> usize {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(fallback)
+}
+
 /// The pool size used by [`par_map`]: `SSIM_THREADS` if set to a
 /// positive integer, otherwise the machine's available parallelism.
 ///
@@ -44,15 +57,10 @@ static OBS_TASKS_PER_WORKER: ssim_obs::LogHistogram =
 pub fn num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
-        std::env::var("SSIM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
+        let fallback = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        resolve_thread_count(std::env::var("SSIM_THREADS").ok().as_deref(), fallback).max(1)
     })
 }
 
@@ -127,6 +135,32 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn thread_count_resolution_never_yields_zero() {
+        // Valid settings are honoured…
+        assert_eq!(resolve_thread_count(Some("1"), 8), 1);
+        assert_eq!(resolve_thread_count(Some("16"), 8), 16);
+        assert_eq!(resolve_thread_count(Some(" 4 "), 8), 4);
+        // …and every malformed one falls back uniformly.
+        for bad in [
+            None,
+            Some(""),
+            Some("0"),
+            Some("-2"),
+            Some("2.5"),
+            Some("many"),
+            Some("99999999999999999999999"),
+        ] {
+            assert_eq!(resolve_thread_count(bad, 8), 8, "input {bad:?}");
+        }
+        // A zero fallback (available_parallelism pathologies) still
+        // cannot produce an unusable pool: num_threads floors at one,
+        // and par_map_with clamps independently.
+        assert_eq!(resolve_thread_count(Some("0"), 0).max(1), 1);
+        assert!(num_threads() >= 1);
+        assert_eq!(par_map_with(0, &[1u32, 2, 3], |&x| x * 2), vec![2, 4, 6]);
+    }
 
     #[test]
     fn preserves_order_at_any_thread_count() {

@@ -1,0 +1,325 @@
+//! Server-side artifact management: profiles, compiled samplers, and
+//! the in-memory result cache.
+//!
+//! The paper's economics — profile once, explore thousands of design
+//! points cheaply — only pay off if the expensive artifacts are built
+//! once and shared. This module keeps three layers warm:
+//!
+//! 1. **Profiles**, resolved through the on-disk profile cache
+//!    (`ssim_bench::profile_cached`), so a server restart or a bench
+//!    binary running beside the server reuses the same `.ssimprf`
+//!    entries. Concurrent requests for the same profile deduplicate on
+//!    a per-key `OnceLock`: one worker profiles, the rest block on the
+//!    cell instead of repeating the multi-million-instruction pass.
+//! 2. **Compiled samplers**: a `(profile, R)` pair is lowered once
+//!    (`StatisticalProfile::compile`) and replayed per seed.
+//! 3. **Simulation results**, keyed by `(profile content hash,
+//!    MachineConfig fingerprint, R, seed)` with FIFO eviction — a
+//!    sweep re-submitted with overlapping points answers the overlap
+//!    from memory.
+
+use crate::proto::{PointResult, ProfileParams};
+use ssim::prelude::*;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hasher;
+use std::sync::{Arc, Mutex, OnceLock};
+
+static OBS_PROFILE_BUILDS: ssim_obs::Counter = ssim_obs::Counter::new("serve.artifacts.profiles");
+static OBS_SAMPLER_BUILDS: ssim_obs::Counter = ssim_obs::Counter::new("serve.artifacts.samplers");
+static OBS_RESULT_HITS: ssim_obs::Counter = ssim_obs::Counter::new("serve.result_cache.hits");
+static OBS_RESULT_MISSES: ssim_obs::Counter = ssim_obs::Counter::new("serve.result_cache.misses");
+
+/// A resolved profile plus its per-`R` compiled samplers.
+pub struct ProfileArtifact {
+    /// The statistical profile.
+    pub profile: Arc<StatisticalProfile>,
+    /// Content hash of the serialized profile (result-cache key part).
+    pub hash: u64,
+    samplers: Mutex<HashMap<u64, Arc<CompiledSampler>>>,
+}
+
+impl ProfileArtifact {
+    /// The compiled sampler for reduction factor `r`, lowered on first
+    /// use and cached.
+    pub fn sampler(&self, r: u64) -> Arc<CompiledSampler> {
+        let mut map = self.samplers.lock().unwrap();
+        map.entry(r)
+            .or_insert_with(|| {
+                OBS_SAMPLER_BUILDS.inc();
+                Arc::new(self.profile.compile(r))
+            })
+            .clone()
+    }
+}
+
+/// The fingerprint of a fully resolved machine configuration.
+///
+/// The `Debug` rendering spells out every field (the same idiom the
+/// on-disk profile cache keys on), so two configurations hash equal
+/// iff they simulate identically.
+pub fn machine_fingerprint(cfg: &MachineConfig) -> u64 {
+    let mut h = ssim::core::FxHasher::default();
+    h.write(format!("{cfg:?}").as_bytes());
+    h.finish()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ResultKey {
+    profile: u64,
+    machine: u64,
+    r: u64,
+    seed: u64,
+}
+
+/// A bounded map with FIFO eviction (insertion order).
+struct ResultCache {
+    capacity: usize,
+    map: HashMap<ResultKey, PointResult>,
+    order: VecDeque<ResultKey>,
+}
+
+impl ResultCache {
+    fn get(&self, key: &ResultKey) -> Option<PointResult> {
+        self.map.get(key).copied()
+    }
+
+    fn insert(&mut self, key: ResultKey, value: PointResult) {
+        if self.capacity == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            let Some(old) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&old);
+        }
+        self.map.insert(key, value);
+        self.order.push_back(key);
+    }
+}
+
+/// The server's artifact store (shared across workers).
+pub struct ArtifactStore {
+    profiles: Mutex<HashMap<ProfileParams, Arc<OnceLock<Arc<ProfileArtifact>>>>>,
+    results: Mutex<ResultCache>,
+}
+
+impl ArtifactStore {
+    /// An empty store whose result cache holds at most
+    /// `result_capacity` points.
+    pub fn new(result_capacity: usize) -> Self {
+        ArtifactStore {
+            profiles: Mutex::new(HashMap::new()),
+            results: Mutex::new(ResultCache {
+                capacity: result_capacity,
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Resolves (building at most once per key, even under concurrent
+    /// requests) the profile artifact for `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown workload names.
+    pub fn profile(&self, params: &ProfileParams) -> Result<Arc<ProfileArtifact>, String> {
+        // Validate the workload name before committing a cell, so a typo
+        // fails fast instead of poisoning the map.
+        let workload = ssim::workloads::by_name(&params.workload)
+            .ok_or_else(|| format!("unknown workload {:?}", params.workload))?;
+        let cell = {
+            let mut map = self.profiles.lock().unwrap();
+            map.entry(params.clone())
+                .or_insert_with(|| Arc::new(OnceLock::new()))
+                .clone()
+        };
+        // First caller builds (outside the map lock — profiling is the
+        // expensive pass); concurrent callers for the same key block
+        // here, callers for other keys proceed.
+        Ok(cell
+            .get_or_init(|| {
+                OBS_PROFILE_BUILDS.inc();
+                let cfg = ProfileConfig::new(&MachineConfig::baseline())
+                    .skip(params.skip)
+                    .instructions(params.instructions);
+                let profile = ssim_bench::profile_cached(workload, &cfg);
+                let hash = profile.content_hash();
+                Arc::new(ProfileArtifact {
+                    profile: Arc::new(profile),
+                    hash,
+                    samplers: Mutex::new(HashMap::new()),
+                })
+            })
+            .clone())
+    }
+
+    /// Simulates one design point, answering from the result cache when
+    /// the identical `(profile, machine, R, seed)` was computed before.
+    ///
+    /// `trace` must be the synthetic trace generated from
+    /// `artifact.sampler(r).generate(seed)` — the caller generates it
+    /// once per seed and reuses it across the machine points of a
+    /// sweep.
+    pub fn simulate_point(
+        &self,
+        artifact: &ProfileArtifact,
+        trace: &SyntheticTrace,
+        machine: &MachineConfig,
+        r: u64,
+        seed: u64,
+    ) -> PointResult {
+        let key = ResultKey {
+            profile: artifact.hash,
+            machine: machine_fingerprint(machine),
+            r,
+            seed,
+        };
+        if let Some(mut hit) = self.results.lock().unwrap().get(&key) {
+            OBS_RESULT_HITS.inc();
+            hit.cached = true;
+            return hit;
+        }
+        OBS_RESULT_MISSES.inc();
+        let sim = simulate_trace(trace, machine);
+        let point = PointResult {
+            cycles: sim.cycles,
+            instructions: sim.instructions,
+            ipc: sim.ipc(),
+            cached: false,
+        };
+        self.results.lock().unwrap().insert(key, point);
+        point
+    }
+}
+
+/// A cheap deterministic digest of a synthetic trace (folds every
+/// instruction's fields), used by `synth` responses so clients can
+/// verify reproducibility without shipping the trace itself.
+pub fn trace_digest(trace: &SyntheticTrace) -> u64 {
+    let mut h = ssim::core::FxHasher::default();
+    for instr in trace.instrs() {
+        h.write_u8(instr.class.index() as u8);
+        for dep in instr.dep.iter().chain(instr.anti_dep.iter()) {
+            h.write_u32(dep.map_or(u32::MAX, |d| d));
+        }
+        let mut flags = 0u8;
+        flags |= instr.l1i_miss as u8;
+        flags |= (instr.l2i_miss as u8) << 1;
+        flags |= (instr.itlb_miss as u8) << 2;
+        if let Some(d) = instr.dmem {
+            flags |= 1 << 3;
+            flags |= (d.l1_miss as u8) << 4;
+            flags |= (d.l2_miss as u8) << 5;
+            flags |= (d.tlb_miss as u8) << 6;
+        }
+        h.write_u8(flags);
+        if let Some(b) = instr.branch {
+            h.write_u8(1 + b.taken as u8 + ((b.outcome as u8) << 1));
+        } else {
+            h.write_u8(0);
+        }
+    }
+    h.write_u64(trace.len() as u64);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> ProfileParams {
+        ProfileParams {
+            workload: "gzip".to_string(),
+            instructions: 20_000,
+            skip: 0,
+        }
+    }
+
+    fn isolated_store() -> ArtifactStore {
+        // Keep unit tests off the shared on-disk cache directory.
+        std::env::set_var("SSIM_NO_PROFILE_CACHE", "1");
+        ArtifactStore::new(64)
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let store = isolated_store();
+        assert!(store
+            .profile(&ProfileParams {
+                workload: "nonesuch".to_string(),
+                instructions: 1000,
+                skip: 0,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn profile_and_sampler_are_built_once() {
+        let store = isolated_store();
+        let a = store.profile(&small_params()).unwrap();
+        let b = store.profile(&small_params()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second resolve rebuilt the profile");
+        assert!(Arc::ptr_eq(&a.sampler(10), &b.sampler(10)));
+        assert_eq!(a.hash, a.profile.content_hash());
+    }
+
+    #[test]
+    fn simulate_point_caches_and_matches_direct() {
+        let store = isolated_store();
+        let artifact = store.profile(&small_params()).unwrap();
+        let machine = MachineConfig::baseline().with_width(4);
+        let trace = artifact.sampler(10).generate(3);
+        let first = store.simulate_point(&artifact, &trace, &machine, 10, 3);
+        let second = store.simulate_point(&artifact, &trace, &machine, 10, 3);
+        assert!(!first.cached);
+        assert!(second.cached);
+        let direct = simulate_trace(&artifact.profile.generate(10, 3), &machine);
+        assert_eq!(first.cycles, direct.cycles);
+        assert_eq!(first.instructions, direct.instructions);
+        assert_eq!(first.ipc.to_bits(), direct.ipc().to_bits());
+        // A different machine is a different key.
+        let other = store.simulate_point(&artifact, &trace, &MachineConfig::baseline(), 10, 3);
+        assert!(!other.cached);
+    }
+
+    #[test]
+    fn result_cache_evicts_fifo() {
+        let mut cache = ResultCache {
+            capacity: 2,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        };
+        let key = |seed| ResultKey {
+            profile: 1,
+            machine: 2,
+            r: 3,
+            seed,
+        };
+        let point = PointResult {
+            cycles: 1,
+            instructions: 1,
+            ipc: 1.0,
+            cached: false,
+        };
+        cache.insert(key(1), point);
+        cache.insert(key(2), point);
+        cache.insert(key(3), point);
+        assert!(cache.get(&key(1)).is_none(), "oldest entry not evicted");
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn trace_digest_distinguishes_seeds() {
+        let store = isolated_store();
+        let artifact = store.profile(&small_params()).unwrap();
+        let sampler = artifact.sampler(10);
+        let d1 = trace_digest(&sampler.generate(1));
+        let d2 = trace_digest(&sampler.generate(2));
+        let d1_again = trace_digest(&sampler.generate(1));
+        assert_eq!(d1, d1_again);
+        assert_ne!(d1, d2);
+    }
+}

@@ -1,0 +1,423 @@
+//! The `ssim-serve` binary: run the experiment service, talk to it, or
+//! benchmark it.
+//!
+//! ```text
+//! ssim-serve serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]
+//! ssim-serve client <addr> (<request-json> | metrics | shutdown)
+//! ssim-serve bench          # writes results/BENCH_serve.json
+//! ssim-serve smoke          # loopback end-to-end check (run_all.sh gate)
+//! ```
+//!
+//! `bench` and `smoke` start an in-process server on an ephemeral
+//! loopback port, so neither needs a running daemon or a fixed port.
+
+use ssim::prelude::*;
+use ssim_serve::json::Json;
+use ssim_serve::proto::ProfileParams;
+use ssim_serve::{Client, MachineSpec, Request, Server, ServerConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
+        Some("bench") => cmd_bench(),
+        Some("smoke") => cmd_smoke(),
+        _ => {
+            eprintln!(
+                "usage: ssim-serve serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]\n\
+                 \x20      ssim-serve client <addr> (<request-json> | metrics | shutdown)\n\
+                 \x20      ssim-serve bench\n\
+                 \x20      ssim-serve smoke"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+// ---- serve ----------------------------------------------------------
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7807".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("flag {flag} needs a value");
+            return 2;
+        };
+        let parsed = match flag.as_str() {
+            "--addr" => {
+                cfg.addr = value.clone();
+                Ok(())
+            }
+            "--workers" => value.parse().map(|n| cfg.workers = n).map_err(|_| ()),
+            "--queue" => value
+                .parse()
+                .map(|n| cfg.queue_capacity = n)
+                .map_err(|_| ()),
+            "--deadline-ms" => value
+                .parse()
+                .map(|n| cfg.default_deadline_ms = n)
+                .map_err(|_| ()),
+            "--result-cache" => value
+                .parse()
+                .map(|n| cfg.result_cache_capacity = n)
+                .map_err(|_| ()),
+            other => {
+                eprintln!("unknown flag {other}");
+                return 2;
+            }
+        };
+        if parsed.is_err() {
+            eprintln!("bad value for {flag}: {value}");
+            return 2;
+        }
+    }
+    match Server::start(cfg) {
+        Ok(server) => {
+            println!("ssim-serve listening on {}", server.addr());
+            server.join();
+            println!("ssim-serve drained and stopped");
+            0
+        }
+        Err(e) => {
+            eprintln!("failed to start server: {e}");
+            1
+        }
+    }
+}
+
+// ---- client ---------------------------------------------------------
+
+fn cmd_client(args: &[String]) -> i32 {
+    let [addr, spec] = args else {
+        eprintln!("usage: ssim-serve client <addr> (<request-json> | metrics | shutdown)");
+        return 2;
+    };
+    let line = match spec.as_str() {
+        "metrics" => "{\"kind\":\"metrics\"}".to_string(),
+        "shutdown" => "{\"kind\":\"shutdown\"}".to_string(),
+        json => json.to_string(),
+    };
+    // Parse through the envelope grammar client-side so typos fail
+    // with a local error instead of a round trip.
+    let body = match Json::parse(&line) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("request is not valid JSON: {e}");
+            return 2;
+        }
+    };
+    let req = {
+        // Wrap with a throwaway id so Envelope::parse can validate.
+        let mut pairs = vec![("id".to_string(), Json::Num(1.0))];
+        if let Json::Obj(p) = body {
+            pairs.extend(p.into_iter().filter(|(k, _)| k != "id"));
+        }
+        match ssim_serve::proto::Envelope::parse(&Json::Obj(pairs).render()) {
+            Ok(env) => env.req,
+            Err(e) => {
+                eprintln!("bad request: {e}");
+                return 2;
+            }
+        }
+    };
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            return 1;
+        }
+    };
+    match client.call_retry(&req, None, 10) {
+        Ok(resp) => {
+            println!("{}", resp.body.render());
+            i32::from(!resp.ok)
+        }
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            1
+        }
+    }
+}
+
+// ---- shared helpers -------------------------------------------------
+
+fn small_profile(instructions: u64) -> ProfileParams {
+    ProfileParams {
+        workload: "gzip".to_string(),
+        instructions,
+        skip: 0,
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+// ---- bench ----------------------------------------------------------
+
+fn cmd_bench() -> i32 {
+    // A private, scrubbed profile-cache dir makes the "cold" number a
+    // real cold start instead of depending on earlier run_all steps.
+    let cache_dir = std::path::Path::new("results").join(".serve-bench-cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    std::env::set_var("SSIM_PROFILE_CACHE_DIR", &cache_dir);
+
+    let quick = ssim_bench::quick();
+    let profile = small_profile(if quick { 150_000 } else { 1_000_000 });
+    let r = ssim_bench::DEFAULT_R;
+    let machines: Vec<MachineSpec> = [2u64, 4, 8]
+        .iter()
+        .flat_map(|&w| {
+            [32u64, 128].iter().map(move |&win| MachineSpec {
+                width: Some(w),
+                window: Some(win),
+                ..MachineSpec::default()
+            })
+        })
+        .collect();
+    let seeds: Vec<u64> = (1..=4).collect();
+    let points = machines.len() * seeds.len();
+    let sweep = Request::Sweep {
+        profile: profile.clone(),
+        machines: machines.clone(),
+        r,
+        seeds: seeds.clone(),
+    };
+
+    let server = match Server::start(ServerConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start server: {e}");
+            return 1;
+        }
+    };
+    let addr = server.addr();
+    println!("ssim-serve bench on {addr} ({points} points per sweep, quick={quick})");
+
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Cold sweep: profile + lower + simulate every point.
+    let t = Instant::now();
+    let cold = client.call(&sweep, None).expect("cold sweep");
+    let cold_s = t.elapsed().as_secs_f64();
+    assert!(cold.ok, "cold sweep failed: {:?}", cold.error);
+
+    // Artifact-warm sweep: every point answered from the result cache.
+    let t = Instant::now();
+    let warm = client.call(&sweep, None).expect("warm sweep");
+    let warm_s = t.elapsed().as_secs_f64();
+    assert!(warm.ok, "warm sweep failed: {:?}", warm.error);
+    let warm_hits = warm
+        .body
+        .get("results")
+        .and_then(Json::as_arr)
+        .map(|rs| {
+            rs.iter()
+                .filter(|p| p.get("cached").and_then(Json::as_bool) == Some(true))
+                .count()
+        })
+        .unwrap_or(0);
+    println!("cold sweep {cold_s:.3}s, warm sweep {warm_s:.3}s ({warm_hits}/{points} cached)");
+
+    // Request throughput: concurrent clients firing single-point
+    // simulate requests (a mix of cached and novel seeds).
+    let n_clients = 4usize;
+    let per_client = if quick { 25usize } else { 100 };
+    let t = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|c| {
+                let profile = profile.clone();
+                let machines = &machines;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    let mut cl = Client::connect(addr).expect("connect");
+                    for i in 0..per_client {
+                        let req = Request::Simulate {
+                            profile: profile.clone(),
+                            machine: machines[(c + i) % machines.len()].clone(),
+                            r,
+                            seed: 1 + ((c * per_client + i) % 8) as u64,
+                        };
+                        let t0 = Instant::now();
+                        let resp = cl.call_retry(&req, None, 50).expect("simulate");
+                        assert!(resp.ok, "simulate failed: {:?}", resp.error);
+                        lat.push(t0.elapsed().as_micros() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let wall_s = t.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    let rps = requests as f64 / wall_s;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    println!(
+        "{requests} simulate requests in {wall_s:.3}s: {rps:.0} req/s, p50 {p50}us, p99 {p99}us"
+    );
+
+    let metrics = client.call(&Request::Metrics, None).expect("metrics");
+    assert!(metrics.ok);
+    let shut = client.call(&Request::Shutdown, None).expect("shutdown");
+    assert!(shut.ok, "shutdown failed: {:?}", shut.error);
+    server.join();
+
+    let doc = Json::obj(vec![
+        ("quick", Json::Bool(quick)),
+        ("workers", Json::Num(ssim_bench::num_threads() as f64)),
+        ("sweep_points", Json::Num(points as f64)),
+        ("cold_sweep_s", Json::Num(cold_s)),
+        ("warm_sweep_s", Json::Num(warm_s)),
+        (
+            "warm_speedup",
+            Json::Num(if warm_s > 0.0 { cold_s / warm_s } else { 0.0 }),
+        ),
+        ("warm_cached_points", Json::Num(warm_hits as f64)),
+        ("requests", Json::Num(requests as f64)),
+        ("wall_s", Json::Num(wall_s)),
+        ("rps", Json::Num(rps)),
+        ("p50_us", Json::Num(p50 as f64)),
+        ("p99_us", Json::Num(p99 as f64)),
+    ]);
+    let _ = std::fs::create_dir_all("results");
+    let path = "results/BENCH_serve.json";
+    if let Err(e) = std::fs::write(path, format!("{}\n", doc.render())) {
+        eprintln!("failed to write {path}: {e}");
+        return 1;
+    }
+    println!("wrote {path}");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    ssim_bench::obs_finish("ssim-serve-bench");
+    0
+}
+
+// ---- smoke ----------------------------------------------------------
+
+/// End-to-end gate for `run_all.sh`: loopback server, concurrent
+/// clients, results checked bit-exactly against direct library calls,
+/// metrics endpoint, clean shutdown.
+fn cmd_smoke() -> i32 {
+    let profile = small_profile(60_000);
+    let r = 10u64;
+    let machines = vec![
+        MachineSpec {
+            width: Some(2),
+            ..MachineSpec::default()
+        },
+        MachineSpec {
+            width: Some(8),
+            window: Some(64),
+            ..MachineSpec::default()
+        },
+    ];
+    let seeds = vec![1u64, 2];
+
+    // Direct library expectation (same profile path the server uses).
+    let workload = ssim::workloads::by_name(&profile.workload).unwrap();
+    let direct_profile = ssim_bench::profile_cached(
+        workload,
+        &ProfileConfig::new(&MachineConfig::baseline())
+            .skip(profile.skip)
+            .instructions(profile.instructions),
+    );
+    let sampler = direct_profile.compile(r);
+    let mut expected = Vec::new();
+    for m in &machines {
+        let cfg = m.resolve();
+        for &seed in &seeds {
+            let sim = simulate_trace(&sampler.generate(seed), &cfg);
+            expected.push((sim.cycles, sim.instructions, sim.ipc()));
+        }
+    }
+
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let addr = server.addr();
+    println!("smoke: server on {addr}");
+
+    let sweep = Request::Sweep {
+        profile: profile.clone(),
+        machines: machines.clone(),
+        r,
+        seeds: seeds.clone(),
+    };
+    let n_clients = 4;
+    let failures: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|_| {
+                let sweep = sweep.clone();
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut cl = Client::connect(addr).expect("connect");
+                    let resp = cl.call_retry(&sweep, None, 50).expect("sweep");
+                    if !resp.ok {
+                        eprintln!("smoke: sweep failed: {:?}", resp.error);
+                        return 1usize;
+                    }
+                    let results = resp.body.get("results").and_then(Json::as_arr).unwrap();
+                    let mut bad = 0;
+                    for (i, (point, exp)) in results.iter().zip(expected.iter()).enumerate() {
+                        let cycles = point.get("cycles").and_then(Json::as_u64).unwrap_or(0);
+                        let instrs = point
+                            .get("instructions")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(0);
+                        let ipc = point.get("ipc").and_then(Json::as_f64).unwrap_or(f64::NAN);
+                        if cycles != exp.0 || instrs != exp.1 || ipc.to_bits() != exp.2.to_bits() {
+                            eprintln!("smoke: point {i} differs from direct library call");
+                            bad += 1;
+                        }
+                    }
+                    bad
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    if failures > 0 {
+        eprintln!("smoke: {failures} mismatching points");
+        return 1;
+    }
+    println!("smoke: {n_clients} concurrent sweeps bit-identical to direct calls");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let metrics = client.call(&Request::Metrics, None).expect("metrics");
+    let sweeps_served = metrics
+        .body
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("serve.req.sweep"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if !metrics.ok || sweeps_served < n_clients as u64 {
+        eprintln!("smoke: metrics endpoint broken (sweeps_served = {sweeps_served})");
+        return 1;
+    }
+    println!("smoke: metrics endpoint reports {sweeps_served} sweeps");
+
+    let shut = client.call(&Request::Shutdown, None).expect("shutdown");
+    if !shut.ok || shut.body.get("drained").and_then(Json::as_bool) != Some(true) {
+        eprintln!("smoke: shutdown did not drain cleanly");
+        return 1;
+    }
+    server.join();
+    println!("smoke: clean shutdown OK");
+    0
+}

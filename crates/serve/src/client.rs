@@ -1,0 +1,171 @@
+//! A blocking client for the experiment service.
+//!
+//! The client speaks the newline-delimited JSON protocol of
+//! [`crate::proto`]: [`Client::submit`] writes one request line,
+//! [`Client::recv`] reads one response line. Because the server
+//! completes jobs out of order, a pipelining caller matches responses
+//! to requests by id; the convenience wrappers ([`Client::call`],
+//! [`Client::call_retry`]) keep one request in flight and so never see
+//! a foreign id.
+
+use crate::json::Json;
+use crate::proto::{Envelope, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed response line.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Correlation id (echoes the request's).
+    pub id: u64,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Error message when `ok` is false.
+    pub error: Option<String>,
+    /// Backpressure hint: retry after this many milliseconds.
+    pub retry_after_ms: Option<u64>,
+    /// The full response object (payload fields live at top level).
+    pub body: Json,
+}
+
+impl Response {
+    /// Whether this is a backpressure rejection (retryable, the job was
+    /// never accepted).
+    pub fn is_backpressure(&self) -> bool {
+        !self.ok && self.retry_after_ms.is_some()
+    }
+
+    fn from_json(body: Json) -> std::io::Result<Response> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let id = body
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("response missing id"))?;
+        let ok = body
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| bad("response missing ok"))?;
+        let error = body.get("error").and_then(Json::as_str).map(str::to_string);
+        let retry_after_ms = body.get("retry_after_ms").and_then(Json::as_u64);
+        Ok(Response {
+            id,
+            ok,
+            error,
+            retry_after_ms,
+            body,
+        })
+    }
+}
+
+/// A connection to a running `ssim-serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request without waiting for the response; returns the
+    /// assigned correlation id. Use for pipelining.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn submit(&mut self, req: &Request, deadline_ms: Option<u64>) -> std::io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let env = Envelope {
+            id,
+            deadline_ms,
+            req: req.clone(),
+        };
+        self.writer.write_all(env.render().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Reads the next response line (completion order, not submission
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Fails on EOF, socket errors, or an unparseable response.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let body = Json::parse(line.trim()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response line: {e}"),
+            )
+        })?;
+        Response::from_json(body)
+    }
+
+    /// One request, one response (no pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; protocol-level failures come back
+    /// as `ok == false` responses, not `Err`.
+    pub fn call(&mut self, req: &Request, deadline_ms: Option<u64>) -> std::io::Result<Response> {
+        let id = self.submit(req, deadline_ms)?;
+        let resp = self.recv()?;
+        if resp.id != id {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response id {} for request {id}", resp.id),
+            ));
+        }
+        Ok(resp)
+    }
+
+    /// Like [`Client::call`], but obeys backpressure: a `queue full`
+    /// rejection sleeps for the server's `retry_after_ms` hint and
+    /// resubmits, up to `max_retries` times.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; gives the last rejection back as a
+    /// plain response once retries are exhausted.
+    pub fn call_retry(
+        &mut self,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        max_retries: u32,
+    ) -> std::io::Result<Response> {
+        let mut attempts = 0;
+        loop {
+            let resp = self.call(req, deadline_ms)?;
+            if !resp.is_backpressure() || attempts >= max_retries {
+                return Ok(resp);
+            }
+            attempts += 1;
+            let hint = resp.retry_after_ms.unwrap_or(10).clamp(1, 1000);
+            std::thread::sleep(Duration::from_millis(hint));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `ssim-serve`: a dependency-free experiment service for the
+//! statistical-simulation pipeline.
+//!
+//! Long design-space studies repeat the same expensive steps — profile
+//! a workload, lower the profile into a compiled sampler, simulate
+//! thousands of `(machine, R, seed)` points. This crate puts those
+//! steps behind a small multi-threaded TCP service so several clients
+//! (sweep drivers, notebooks, CI) share one warm artifact store instead
+//! of each re-profiling from scratch:
+//!
+//! * **Protocol** ([`proto`]): newline-delimited JSON, hand-rolled on
+//!   `std` only ([`json`]). Requests carry a correlation `id` and an
+//!   optional `deadline_ms`; responses may arrive out of submission
+//!   order. Kinds: `profile`, `synth`, `simulate`, `sweep`, `metrics`,
+//!   `shutdown`.
+//! * **Server** ([`server`]): bounded job queue with explicit
+//!   backpressure (reject + `retry_after_ms`, never block or drop),
+//!   worker pool layered on `ssim-par`'s sizing, per-job deadlines,
+//!   cancellation of jobs whose client vanished, and graceful shutdown
+//!   that drains all accepted work before acknowledging.
+//! * **Artifacts** ([`artifacts`]): profiles resolved through the
+//!   on-disk profile cache, `(profile, R)` compiled once and replayed
+//!   per seed, and an in-memory result cache keyed by
+//!   `(profile hash, machine fingerprint, R, seed)`.
+//! * **Client** ([`client`]): blocking client with pipelining and a
+//!   backpressure-aware retry helper.
+//!
+//! Results served over the wire are **byte-identical** to direct
+//! library calls: traces come from the compiled sampler (itself
+//! bit-equal to the reference interpreter), and `f64` values survive
+//! the wire because Rust's shortest-round-trip float formatting parses
+//! back to the same bits.
+
+pub mod artifacts;
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, Response};
+pub use proto::{MachineSpec, PointResult, ProfileParams, Request};
+pub use server::{Server, ServerConfig};

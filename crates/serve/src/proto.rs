@@ -1,0 +1,514 @@
+//! The wire protocol: request/response envelopes over newline-delimited
+//! JSON.
+//!
+//! One request per line, one response per line. Responses carry the
+//! request's `id`, so a client may pipeline: submit many requests and
+//! match replies as they complete (completion order is not arrival
+//! order — the job queue is shared across connections).
+//!
+//! # Grammar
+//!
+//! ```text
+//! request  := {"id": N, "kind": KIND, ...params} "\n"
+//! KIND     := "profile" | "synth" | "simulate" | "sweep"
+//!           | "metrics" | "shutdown"
+//! response := {"id": N, "ok": true,  ...payload} "\n"
+//!           | {"id": N, "ok": false, "error": S[, "retry_after_ms": N]} "\n"
+//! ```
+//!
+//! `profile`, `synth`, `simulate` and `sweep` identify their profile by
+//! `{workload, instructions, skip}` (the profiling budget — the profile
+//! itself is resolved through the on-disk profile cache server-side).
+//! Machine configurations travel as *override objects* applied to the
+//! paper's Table 2 baseline (`{"width", "window", "ifq", "in_order",
+//! "perfect_caches", "perfect_bpred"}`), which covers every sweep the
+//! experiment suite runs while keeping the wire format small; the full
+//! resolved `MachineConfig` participates in result-cache keys via its
+//! `Debug` fingerprint, so distinct overrides can never alias.
+
+use crate::json::Json;
+use ssim::prelude::*;
+
+/// Budget identifying one statistical profile (resolved server-side
+/// through the on-disk profile cache).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProfileParams {
+    /// Workload name (`ssim_workloads::by_name`).
+    pub workload: String,
+    /// Instructions to profile.
+    pub instructions: u64,
+    /// Instructions to skip before profiling.
+    pub skip: u64,
+}
+
+impl ProfileParams {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let workload = v
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or("missing \"workload\"")?
+            .to_string();
+        let instructions = v
+            .get("instructions")
+            .and_then(Json::as_u64)
+            .ok_or("missing \"instructions\"")?;
+        if instructions == 0 {
+            return Err("\"instructions\" must be positive".to_string());
+        }
+        let skip = match v.get("skip") {
+            None => 0,
+            Some(s) => s
+                .as_u64()
+                .ok_or("\"skip\" must be a non-negative integer")?,
+        };
+        Ok(ProfileParams {
+            workload,
+            instructions,
+            skip,
+        })
+    }
+
+    fn to_pairs(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("workload", Json::str(&self.workload)),
+            ("instructions", Json::Num(self.instructions as f64)),
+            ("skip", Json::Num(self.skip as f64)),
+        ]
+    }
+}
+
+/// A machine configuration as overrides on [`MachineConfig::baseline`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// Processor width (decode = issue = commit), as swept in Table 4.
+    pub width: Option<u64>,
+    /// RUU size (LSQ follows as half, the paper's §4.5 convention).
+    pub window: Option<u64>,
+    /// IFQ size.
+    pub ifq: Option<u64>,
+    /// In-order issue with WAW/WAR hazards honoured.
+    pub in_order: bool,
+    /// Model every cache access as a hit.
+    pub perfect_caches: bool,
+    /// Model every branch as correctly predicted.
+    pub perfect_bpred: bool,
+}
+
+impl MachineSpec {
+    /// Parses an override object.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        if !matches!(v, Json::Obj(_)) {
+            return Err("machine spec must be an object".to_string());
+        }
+        let opt_u64 = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(x) => x
+                    .as_u64()
+                    .filter(|&n| n > 0)
+                    .map(Some)
+                    .ok_or_else(|| format!("\"{key}\" must be a positive integer")),
+            }
+        };
+        let flag = |key: &str| -> Result<bool, String> {
+            match v.get(key) {
+                None => Ok(false),
+                Some(x) => x
+                    .as_bool()
+                    .ok_or_else(|| format!("\"{key}\" must be a bool")),
+            }
+        };
+        Ok(MachineSpec {
+            width: opt_u64("width")?,
+            window: opt_u64("window")?,
+            ifq: opt_u64("ifq")?,
+            in_order: flag("in_order")?,
+            perfect_caches: flag("perfect_caches")?,
+            perfect_bpred: flag("perfect_bpred")?,
+        })
+    }
+
+    /// Renders the override object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = Vec::new();
+        if let Some(w) = self.width {
+            pairs.push(("width", Json::Num(w as f64)));
+        }
+        if let Some(w) = self.window {
+            pairs.push(("window", Json::Num(w as f64)));
+        }
+        if let Some(i) = self.ifq {
+            pairs.push(("ifq", Json::Num(i as f64)));
+        }
+        if self.in_order {
+            pairs.push(("in_order", Json::Bool(true)));
+        }
+        if self.perfect_caches {
+            pairs.push(("perfect_caches", Json::Bool(true)));
+        }
+        if self.perfect_bpred {
+            pairs.push(("perfect_bpred", Json::Bool(true)));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Resolves the overrides against the Table 2 baseline.
+    pub fn resolve(&self) -> MachineConfig {
+        let mut cfg = MachineConfig::baseline();
+        if let Some(w) = self.width {
+            cfg = cfg.with_width(w as usize);
+        }
+        if let Some(w) = self.window {
+            cfg = cfg.with_window(w as usize);
+        }
+        if let Some(i) = self.ifq {
+            cfg = cfg.with_ifq(i as usize);
+        }
+        if self.in_order {
+            cfg = cfg.in_order();
+        }
+        cfg.perfect_caches = self.perfect_caches;
+        cfg.perfect_bpred = self.perfect_bpred;
+        cfg
+    }
+}
+
+/// A parsed request (the `id` lives in the envelope, not here).
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Resolve a profile (through the on-disk cache) and return its
+    /// metadata — the warm-up request.
+    Profile(ProfileParams),
+    /// Generate a synthetic trace from the compiled sampler and return
+    /// its length and a content digest.
+    Synth {
+        /// The profile to sample.
+        profile: ProfileParams,
+        /// Reduction factor.
+        r: u64,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// Simulate one design point on a synthetic trace.
+    Simulate {
+        /// The profile to sample.
+        profile: ProfileParams,
+        /// Machine overrides.
+        machine: MachineSpec,
+        /// Reduction factor.
+        r: u64,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// Simulate a design-space sweep: every machine × every seed.
+    Sweep {
+        /// The profile to sample.
+        profile: ProfileParams,
+        /// Machine overrides, outer loop of the result order.
+        machines: Vec<MachineSpec>,
+        /// Reduction factor.
+        r: u64,
+        /// Seeds, inner loop of the result order.
+        seeds: Vec<u64>,
+    },
+    /// Return the server's observability registry as JSON.
+    Metrics,
+    /// Stop accepting work, drain accepted jobs, reply, exit.
+    Shutdown,
+}
+
+/// One framed request: envelope id plus the parsed body.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// Optional per-job deadline in milliseconds from receipt.
+    pub deadline_ms: Option<u64>,
+    /// The request body.
+    pub req: Request,
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing \"{key}\""))
+}
+
+impl Envelope {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Envelope, String> {
+        let v = Json::parse(line)?;
+        let id = req_u64(&v, "id")?;
+        let deadline_ms = match v.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(d) => Some(d.as_u64().ok_or("\"deadline_ms\" must be an integer")?),
+        };
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing \"kind\"")?;
+        let req = match kind {
+            "profile" => Request::Profile(ProfileParams::from_json(&v)?),
+            "synth" => Request::Synth {
+                profile: ProfileParams::from_json(&v)?,
+                r: req_u64(&v, "r")?.max(1),
+                seed: req_u64(&v, "seed")?,
+            },
+            "simulate" => Request::Simulate {
+                profile: ProfileParams::from_json(&v)?,
+                machine: match v.get("machine") {
+                    None => MachineSpec::default(),
+                    Some(m) => MachineSpec::from_json(m)?,
+                },
+                r: req_u64(&v, "r")?.max(1),
+                seed: req_u64(&v, "seed")?,
+            },
+            "sweep" => {
+                let machines = v
+                    .get("machines")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing \"machines\"")?
+                    .iter()
+                    .map(MachineSpec::from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if machines.is_empty() {
+                    return Err("\"machines\" must be non-empty".to_string());
+                }
+                let seeds = match v.get("seeds") {
+                    None => vec![1],
+                    Some(s) => s
+                        .as_arr()
+                        .ok_or("\"seeds\" must be an array")?
+                        .iter()
+                        .map(|x| x.as_u64().ok_or("seeds must be integers".to_string()))
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                if seeds.is_empty() {
+                    return Err("\"seeds\" must be non-empty".to_string());
+                }
+                Request::Sweep {
+                    profile: ProfileParams::from_json(&v)?,
+                    machines,
+                    r: req_u64(&v, "r")?.max(1),
+                    seeds,
+                }
+            }
+            "metrics" => Request::Metrics,
+            "shutdown" => Request::Shutdown,
+            other => return Err(format!("unknown kind {other:?}")),
+        };
+        Ok(Envelope {
+            id,
+            deadline_ms,
+            req,
+        })
+    }
+
+    /// Renders the request line (client side).
+    pub fn render(&self) -> String {
+        let mut pairs: Vec<(&str, Json)> = vec![("id", Json::Num(self.id as f64))];
+        if let Some(d) = self.deadline_ms {
+            pairs.push(("deadline_ms", Json::Num(d as f64)));
+        }
+        match &self.req {
+            Request::Profile(p) => {
+                pairs.push(("kind", Json::str("profile")));
+                pairs.extend(p.to_pairs());
+            }
+            Request::Synth { profile, r, seed } => {
+                pairs.push(("kind", Json::str("synth")));
+                pairs.extend(profile.to_pairs());
+                pairs.push(("r", Json::Num(*r as f64)));
+                pairs.push(("seed", Json::Num(*seed as f64)));
+            }
+            Request::Simulate {
+                profile,
+                machine,
+                r,
+                seed,
+            } => {
+                pairs.push(("kind", Json::str("simulate")));
+                pairs.extend(profile.to_pairs());
+                pairs.push(("machine", machine.to_json()));
+                pairs.push(("r", Json::Num(*r as f64)));
+                pairs.push(("seed", Json::Num(*seed as f64)));
+            }
+            Request::Sweep {
+                profile,
+                machines,
+                r,
+                seeds,
+            } => {
+                pairs.push(("kind", Json::str("sweep")));
+                pairs.extend(profile.to_pairs());
+                pairs.push((
+                    "machines",
+                    Json::Arr(machines.iter().map(MachineSpec::to_json).collect()),
+                ));
+                pairs.push(("r", Json::Num(*r as f64)));
+                pairs.push((
+                    "seeds",
+                    Json::Arr(seeds.iter().map(|&s| Json::Num(s as f64)).collect()),
+                ));
+            }
+            Request::Metrics => pairs.push(("kind", Json::str("metrics"))),
+            Request::Shutdown => pairs.push(("kind", Json::str("shutdown"))),
+        }
+        Json::obj(pairs).render()
+    }
+}
+
+/// The summary of one simulated design point, as carried on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointResult {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Whether the point was served from the in-memory result cache.
+    pub cached: bool,
+}
+
+impl PointResult {
+    /// Renders the point object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cycles", Json::Num(self.cycles as f64)),
+            ("instructions", Json::Num(self.instructions as f64)),
+            ("ipc", Json::Num(self.ipc)),
+            ("cached", Json::Bool(self.cached)),
+        ])
+    }
+
+    /// Parses a point object.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(PointResult {
+            cycles: req_u64(v, "cycles")?,
+            instructions: req_u64(v, "instructions")?,
+            ipc: v
+                .get("ipc")
+                .and_then(Json::as_f64)
+                .ok_or("missing \"ipc\"")?,
+            cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+/// Builds a success response line.
+pub fn ok_response(id: u64, mut payload: Vec<(&str, Json)>) -> String {
+    let mut pairs = vec![("id", Json::Num(id as f64)), ("ok", Json::Bool(true))];
+    pairs.append(&mut payload);
+    Json::obj(pairs).render()
+}
+
+/// Builds an error response line; `retry_after_ms` marks retryable
+/// backpressure rejections.
+pub fn err_response(id: u64, error: &str, retry_after_ms: Option<u64>) -> String {
+    let mut pairs = vec![
+        ("id", Json::Num(id as f64)),
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(error)),
+    ];
+    if let Some(ms) = retry_after_ms {
+        pairs.push(("retry_after_ms", Json::Num(ms as f64)));
+    }
+    Json::obj(pairs).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let env = Envelope {
+            id: 7,
+            deadline_ms: Some(250),
+            req: Request::Sweep {
+                profile: ProfileParams {
+                    workload: "gzip".to_string(),
+                    instructions: 50_000,
+                    skip: 0,
+                },
+                machines: vec![
+                    MachineSpec {
+                        width: Some(4),
+                        window: Some(64),
+                        ..Default::default()
+                    },
+                    MachineSpec {
+                        in_order: true,
+                        ..Default::default()
+                    },
+                ],
+                r: 15,
+                seeds: vec![1, 2, 3],
+            },
+        };
+        let line = env.render();
+        let back = Envelope::parse(&line).unwrap();
+        assert_eq!(back.id, 7);
+        assert_eq!(back.deadline_ms, Some(250));
+        match back.req {
+            Request::Sweep {
+                profile,
+                machines,
+                r,
+                seeds,
+            } => {
+                assert_eq!(profile.workload, "gzip");
+                assert_eq!(profile.instructions, 50_000);
+                assert_eq!(machines.len(), 2);
+                assert_eq!(machines[0].width, Some(4));
+                assert!(machines[1].in_order);
+                assert_eq!(r, 15);
+                assert_eq!(seeds, vec![1, 2, 3]);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn machine_spec_resolves_like_builders() {
+        let spec = MachineSpec {
+            width: Some(4),
+            window: Some(64),
+            ifq: Some(8),
+            ..Default::default()
+        };
+        let direct = MachineConfig::baseline()
+            .with_width(4)
+            .with_window(64)
+            .with_ifq(8);
+        assert_eq!(spec.resolve(), direct);
+        assert_eq!(MachineSpec::default().resolve(), MachineConfig::baseline());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "{}",
+            "{\"id\": 1}",
+            "{\"id\": 1, \"kind\": \"bogus\"}",
+            "{\"id\": 1, \"kind\": \"profile\"}",
+            "{\"id\": 1, \"kind\": \"profile\", \"workload\": \"gzip\", \"instructions\": 0}",
+            "{\"id\": 1, \"kind\": \"sweep\", \"workload\": \"gzip\", \"instructions\": 5, \
+             \"machines\": [], \"r\": 1}",
+            "not json at all",
+        ] {
+            assert!(Envelope::parse(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn responses_carry_id_and_status() {
+        let ok = Json::parse(&ok_response(3, vec![("x", Json::Num(1.0))])).unwrap();
+        assert_eq!(ok.get("id").unwrap().as_u64(), Some(3));
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+        let err = Json::parse(&err_response(4, "queue full", Some(50))).unwrap();
+        assert_eq!(err.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(err.get("retry_after_ms").unwrap().as_u64(), Some(50));
+    }
+}

@@ -1,0 +1,535 @@
+//! The experiment server: TCP acceptor, bounded job queue with
+//! backpressure, worker pool, deadlines, and graceful shutdown.
+//!
+//! # Threading model
+//!
+//! * One **acceptor** thread polls a non-blocking listener.
+//! * Each connection gets a **reader** thread (parses request lines,
+//!   enqueues jobs) and a **writer** thread (serialises responses as
+//!   jobs complete — completion order, not submission order; responses
+//!   carry the request id).
+//! * A fixed pool of **worker** threads (sized like `ssim-par`'s pool
+//!   by default) pops jobs from a shared bounded queue. Sweep jobs fan
+//!   their design points out through [`ssim_par::par_map`], so one job
+//!   can still saturate the machine.
+//!
+//! # Backpressure, deadlines, cancellation
+//!
+//! The queue is bounded: a submission finding it full is **rejected
+//! immediately** with `retry_after_ms` — the server never blocks a
+//! connection on queue space and never silently drops an accepted job.
+//! Accepted jobs carry a deadline (client-supplied `deadline_ms` or the
+//! server default); a job past its deadline when popped — or mid-sweep
+//! between chunks — fails with `deadline exceeded` instead of burning
+//! worker time. A job whose client disconnected before it ran is
+//! skipped entirely.
+//!
+//! # Shutdown
+//!
+//! A `shutdown` request flips the accept gate, waits until the queue is
+//! empty **and** every in-flight job has finished, then replies — so a
+//! client that receives the shutdown acknowledgement knows every
+//! previously accepted job has produced its response. Submissions that
+//! race with shutdown are rejected with a non-retryable error.
+
+use crate::artifacts::{trace_digest, ArtifactStore};
+use crate::json::Json;
+use crate::proto::{err_response, ok_response, Envelope, Request};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+static OBS_CONNECTIONS: ssim_obs::Counter = ssim_obs::Counter::new("serve.connections");
+static OBS_OPEN_CONNECTIONS: ssim_obs::Gauge = ssim_obs::Gauge::new("serve.open_connections");
+static OBS_QUEUE_DEPTH: ssim_obs::Gauge = ssim_obs::Gauge::new("serve.queue_depth");
+static OBS_QUEUE_DEPTH_MAX: ssim_obs::Gauge = ssim_obs::Gauge::new("serve.queue_depth_max");
+static OBS_IN_FLIGHT: ssim_obs::Gauge = ssim_obs::Gauge::new("serve.in_flight");
+static OBS_REJECT_FULL: ssim_obs::Counter = ssim_obs::Counter::new("serve.rejected.queue_full");
+static OBS_REJECT_SHUTDOWN: ssim_obs::Counter = ssim_obs::Counter::new("serve.rejected.shutdown");
+static OBS_DEADLINE: ssim_obs::Counter = ssim_obs::Counter::new("serve.deadline_exceeded");
+static OBS_CANCELLED: ssim_obs::Counter = ssim_obs::Counter::new("serve.cancelled");
+static OBS_BAD_REQUESTS: ssim_obs::Counter = ssim_obs::Counter::new("serve.bad_requests");
+static OBS_REQ_PROFILE: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.profile");
+static OBS_REQ_SYNTH: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.synth");
+static OBS_REQ_SIMULATE: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.simulate");
+static OBS_REQ_SWEEP: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.sweep");
+static OBS_REQ_METRICS: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.metrics");
+static OBS_SWEEP_POINTS: ssim_obs::Counter = ssim_obs::Counter::new("serve.sweep_points");
+static OBS_LAT_PROFILE: ssim_obs::LogHistogram =
+    ssim_obs::LogHistogram::new("serve.latency_us.profile");
+static OBS_LAT_SYNTH: ssim_obs::LogHistogram =
+    ssim_obs::LogHistogram::new("serve.latency_us.synth");
+static OBS_LAT_SIMULATE: ssim_obs::LogHistogram =
+    ssim_obs::LogHistogram::new("serve.latency_us.simulate");
+static OBS_LAT_SWEEP: ssim_obs::LogHistogram =
+    ssim_obs::LogHistogram::new("serve.latency_us.sweep");
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back from
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads popping the job queue (0 = `ssim_par`'s pool
+    /// size, i.e. `SSIM_THREADS` or available parallelism).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected with
+    /// `retry_after_ms`.
+    pub queue_capacity: usize,
+    /// Deadline applied to jobs that do not carry their own
+    /// `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// In-memory result cache capacity (design points).
+    pub result_cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            default_deadline_ms: 120_000,
+            result_cache_capacity: 4096,
+        }
+    }
+}
+
+struct Job {
+    id: u64,
+    req: Request,
+    reply: Sender<String>,
+    cancelled: Arc<AtomicBool>,
+    deadline: Instant,
+    accepted_at: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    in_flight: usize,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    queue: Mutex<QueueState>,
+    work_ready: Condvar,
+    drained: Condvar,
+    shutdown: AtomicBool,
+    store: ArtifactStore,
+}
+
+impl Shared {
+    /// Enqueues a job or rejects it (full queue / shutdown). The reply
+    /// for a rejection is sent here, immediately.
+    fn submit(&self, job: Job) {
+        let mut q = self.queue.lock().unwrap();
+        if self.shutdown.load(Relaxed) {
+            OBS_REJECT_SHUTDOWN.inc();
+            let _ = job
+                .reply
+                .send(err_response(job.id, "server is shutting down", None));
+            return;
+        }
+        if q.jobs.len() >= self.cfg.queue_capacity {
+            OBS_REJECT_FULL.inc();
+            // Rough service-time estimate: a couple of dozen ms per
+            // queued job per worker. The exact value only shapes client
+            // politeness; correctness needs only "try again later".
+            let retry = 10 + 25 * q.jobs.len() as u64 / self.cfg.workers.max(1) as u64;
+            let _ = job
+                .reply
+                .send(err_response(job.id, "queue full", Some(retry)));
+            return;
+        }
+        q.jobs.push_back(job);
+        OBS_QUEUE_DEPTH.set(q.jobs.len() as u64);
+        OBS_QUEUE_DEPTH_MAX.set_max(q.jobs.len() as u64);
+        drop(q);
+        self.work_ready.notify_one();
+    }
+
+    /// Worker body: pop-execute until shutdown *and* empty queue.
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        q.in_flight += 1;
+                        OBS_QUEUE_DEPTH.set(q.jobs.len() as u64);
+                        OBS_IN_FLIGHT.set(q.in_flight as u64);
+                        break job;
+                    }
+                    if self.shutdown.load(Relaxed) {
+                        return;
+                    }
+                    q = self
+                        .work_ready
+                        .wait_timeout(q, Duration::from_millis(50))
+                        .unwrap()
+                        .0;
+                }
+            };
+            self.execute(job);
+            let mut q = self.queue.lock().unwrap();
+            q.in_flight -= 1;
+            OBS_IN_FLIGHT.set(q.in_flight as u64);
+            if q.jobs.is_empty() && q.in_flight == 0 {
+                self.drained.notify_all();
+            }
+        }
+    }
+
+    fn execute(&self, job: Job) {
+        if job.cancelled.load(Relaxed) {
+            OBS_CANCELLED.inc();
+            return;
+        }
+        if Instant::now() > job.deadline {
+            OBS_DEADLINE.inc();
+            let _ = job
+                .reply
+                .send(err_response(job.id, "deadline exceeded in queue", None));
+            return;
+        }
+        let line = match self.run_request(&job) {
+            Ok(payload) => ok_response(job.id, payload),
+            Err(msg) => err_response(job.id, &msg, None),
+        };
+        let latency_us = job.accepted_at.elapsed().as_micros() as u64;
+        match &job.req {
+            Request::Profile(_) => OBS_LAT_PROFILE.record(latency_us),
+            Request::Synth { .. } => OBS_LAT_SYNTH.record(latency_us),
+            Request::Simulate { .. } => OBS_LAT_SIMULATE.record(latency_us),
+            Request::Sweep { .. } => OBS_LAT_SWEEP.record(latency_us),
+            Request::Metrics | Request::Shutdown => {}
+        }
+        let _ = job.reply.send(line);
+    }
+
+    fn run_request(&self, job: &Job) -> Result<Vec<(&'static str, Json)>, String> {
+        match &job.req {
+            Request::Profile(params) => {
+                OBS_REQ_PROFILE.inc();
+                let artifact = self.store.profile(params)?;
+                Ok(vec![
+                    ("profile_hash", Json::hex_u64(artifact.hash)),
+                    (
+                        "nodes",
+                        Json::Num(artifact.profile.sfg().node_count() as f64),
+                    ),
+                    (
+                        "contexts",
+                        Json::Num(artifact.profile.context_count() as f64),
+                    ),
+                    (
+                        "instructions",
+                        Json::Num(artifact.profile.instructions() as f64),
+                    ),
+                    ("mpki", Json::Num(artifact.profile.branch_mpki())),
+                ])
+            }
+            Request::Synth { profile, r, seed } => {
+                OBS_REQ_SYNTH.inc();
+                let artifact = self.store.profile(profile)?;
+                let trace = artifact.sampler(*r).generate(*seed);
+                Ok(vec![
+                    ("profile_hash", Json::hex_u64(artifact.hash)),
+                    ("len", Json::Num(trace.len() as f64)),
+                    ("digest", Json::hex_u64(trace_digest(&trace))),
+                ])
+            }
+            Request::Simulate {
+                profile,
+                machine,
+                r,
+                seed,
+            } => {
+                OBS_REQ_SIMULATE.inc();
+                let artifact = self.store.profile(profile)?;
+                let cfg = machine.resolve();
+                let trace = artifact.sampler(*r).generate(*seed);
+                let point = self
+                    .store
+                    .simulate_point(&artifact, &trace, &cfg, *r, *seed);
+                let mut payload = vec![("profile_hash", Json::hex_u64(artifact.hash))];
+                if let Json::Obj(pairs) = point.to_json() {
+                    for (k, v) in pairs {
+                        // Flatten the point into the response body.
+                        payload.push(match k.as_str() {
+                            "cycles" => ("cycles", v),
+                            "instructions" => ("instructions", v),
+                            "ipc" => ("ipc", v),
+                            _ => ("cached", v),
+                        });
+                    }
+                }
+                Ok(payload)
+            }
+            Request::Sweep {
+                profile,
+                machines,
+                r,
+                seeds,
+            } => {
+                OBS_REQ_SWEEP.inc();
+                let artifact = self.store.profile(profile)?;
+                let sampler = artifact.sampler(*r);
+                // One trace per seed, reused across every machine point.
+                let traces: Vec<_> = seeds.iter().map(|&s| sampler.generate(s)).collect();
+                let configs: Vec<_> = machines.iter().map(|m| m.resolve()).collect();
+                let points: Vec<(usize, usize)> = (0..configs.len())
+                    .flat_map(|m| (0..seeds.len()).map(move |s| (m, s)))
+                    .collect();
+                OBS_SWEEP_POINTS.add(points.len() as u64);
+                let mut results = Vec::with_capacity(points.len());
+                // Chunked fan-out: each chunk runs on ssim-par's pool;
+                // between chunks the job re-checks its deadline and
+                // whether the client is still there.
+                let chunk = (ssim_par::num_threads() * 4).max(8);
+                for batch in points.chunks(chunk) {
+                    if job.cancelled.load(Relaxed) {
+                        OBS_CANCELLED.inc();
+                        return Err("client disconnected".to_string());
+                    }
+                    if Instant::now() > job.deadline {
+                        OBS_DEADLINE.inc();
+                        return Err(format!(
+                            "deadline exceeded after {} of {} points",
+                            results.len(),
+                            points.len()
+                        ));
+                    }
+                    results.extend(ssim_par::par_map(batch, |&(m, s)| {
+                        self.store
+                            .simulate_point(&artifact, &traces[s], &configs[m], *r, seeds[s])
+                    }));
+                }
+                Ok(vec![
+                    ("profile_hash", Json::hex_u64(artifact.hash)),
+                    ("machines", Json::Num(machines.len() as f64)),
+                    ("seeds", Json::Num(seeds.len() as f64)),
+                    (
+                        "results",
+                        Json::Arr(results.iter().map(|p| p.to_json()).collect()),
+                    ),
+                ])
+            }
+            // Metrics and shutdown are handled on the connection thread.
+            Request::Metrics | Request::Shutdown => unreachable!("not queued"),
+        }
+    }
+
+    /// Blocks until the queue is empty and no job is in flight.
+    fn wait_drained(&self) {
+        let mut q = self.queue.lock().unwrap();
+        while !(q.jobs.is_empty() && q.in_flight == 0) {
+            q = self
+                .drained
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap()
+                .0;
+        }
+    }
+
+    fn metrics_response(&self, id: u64) -> String {
+        OBS_REQ_METRICS.inc();
+        let doc = ssim_obs::render_json("ssim-serve", &ssim_obs::snapshot());
+        match Json::parse(&doc) {
+            Ok(v) => ok_response(id, vec![("metrics", v)]),
+            Err(e) => err_response(id, &format!("metrics render failed: {e}"), None),
+        }
+    }
+}
+
+/// A running server instance.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the acceptor, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(mut cfg: ServerConfig) -> std::io::Result<Server> {
+        // Metrics must record regardless of SSIM_METRICS: the `metrics`
+        // endpoint is part of the protocol, not an opt-in debug mode.
+        ssim_obs::force_enable();
+        if cfg.workers == 0 {
+            cfg.workers = ssim_par::num_threads();
+        }
+        cfg.queue_capacity = cfg.queue_capacity.max(1);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState::default()),
+            work_ready: Condvar::new(),
+            drained: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            store: ArtifactStore::new(cfg.result_cache_capacity),
+            cfg,
+        });
+
+        let mut threads = Vec::new();
+        for i in 0..shared.cfg.workers {
+            let s = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ssim-serve-worker-{i}"))
+                    .spawn(move || s.worker_loop())?,
+            );
+        }
+        let s = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("ssim-serve-accept".to_string())
+                .spawn(move || accept_loop(listener, s))?,
+        );
+        Ok(Server {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a shutdown request has been received.
+    pub fn shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Relaxed)
+    }
+
+    /// Blocks until the server has shut down (acceptor and workers
+    /// exited). Connection threads are detached; they exit when their
+    /// clients disconnect.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                OBS_CONNECTIONS.inc();
+                OBS_OPEN_CONNECTIONS.add(1);
+                let s = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("ssim-serve-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(stream, s);
+                        OBS_OPEN_CONNECTIONS.sub(1);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Upper bound on one request line; longer lines fail the connection
+/// rather than buffering without limit.
+const MAX_LINE_BYTES: u64 = 16 * 1024 * 1024;
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("ssim-serve-write".to_string())
+        .spawn(move || {
+            let mut out = write_half;
+            for line in rx {
+                if out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| out.write_all(b"\n"))
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        });
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let mut reader = BufReader::new(stream).take(MAX_LINE_BYTES);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF or error: client is gone
+            Ok(_) => {}
+        }
+        // Reset the per-line cap for the next request.
+        reader.set_limit(MAX_LINE_BYTES);
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        match Envelope::parse(text) {
+            Err(e) => {
+                OBS_BAD_REQUESTS.inc();
+                // Best effort to echo the id of the malformed request.
+                let id = Json::parse(text)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(Json::as_u64))
+                    .unwrap_or(0);
+                let _ = tx.send(err_response(id, &format!("bad request: {e}"), None));
+            }
+            Ok(env) => match env.req {
+                Request::Metrics => {
+                    let _ = tx.send(shared.metrics_response(env.id));
+                }
+                Request::Shutdown => {
+                    // Gate first (no new work), then drain, then ack —
+                    // the ack certifies every accepted job responded.
+                    shared.shutdown.store(true, Relaxed);
+                    shared.work_ready.notify_all();
+                    shared.wait_drained();
+                    let _ = tx.send(ok_response(env.id, vec![("drained", Json::Bool(true))]));
+                }
+                req => {
+                    let deadline_ms = env.deadline_ms.unwrap_or(shared.cfg.default_deadline_ms);
+                    let now = Instant::now();
+                    shared.submit(Job {
+                        id: env.id,
+                        req,
+                        reply: tx.clone(),
+                        cancelled: Arc::clone(&cancelled),
+                        deadline: now + Duration::from_millis(deadline_ms),
+                        accepted_at: now,
+                    });
+                }
+            },
+        }
+    }
+    cancelled.store(true, Relaxed);
+    drop(tx);
+    // Let the writer flush any in-flight job replies before the
+    // connection thread exits (jobs hold their own senders, so the
+    // writer lives until the last of them completes).
+    if let Ok(w) = writer {
+        let _ = w.join();
+    }
+}

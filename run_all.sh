@@ -35,5 +35,18 @@ run ablation_dep_cap          SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_I
 run ablation_reduction_factor SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=1000000
 run ext_inorder               SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=1000000
 run synth_speed               SSIM_QUICK=1
+# Experiment service: end-to-end smoke (loopback ephemeral port, small
+# sweep checked bit-exact against direct library calls, metrics
+# endpoint, clean drain-on-shutdown), then its benchmark — which writes
+# results/BENCH_serve.json for perf_report to fold in.
+serve() {
+  b="ssim-serve-$1"
+  echo "[$(date +%H:%M:%S)] running $b"
+  env SSIM_METRICS="$SSIM_METRICS" SSIM_QUICK=1 \
+    cargo run --release -q -p ssim-serve --bin ssim-serve -- "$1" > "results/$b.txt" 2>&1 \
+    || { echo "serve $1 FAILED (see results/$b.txt)"; exit 1; }
+}
+serve smoke
+serve bench
 run perf_report               SSIM_QUICK=1
 echo "[$(date +%H:%M:%S)] all experiments complete"
