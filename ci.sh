@@ -1,0 +1,64 @@
+#!/bin/bash
+# The canonical CI gate. Every check .github/workflows/ci.yml runs maps
+# to a stage of this script, and run_all.sh front-loads the same stages,
+# so CI can never disagree with a developer box: if `./ci.sh` passes
+# locally, the workflow's check jobs pass too.
+#
+#   ./ci.sh            # everything (fmt, clippy, build, test, smoke)
+#   ./ci.sh fmt        # rustfmt, check only
+#   ./ci.sh clippy     # clippy, warnings are errors
+#   ./ci.sh build      # release build, all targets
+#   ./ci.sh test       # full test suite
+#   ./ci.sh smoke      # serve + fleet loopback end-to-end (SSIM_QUICK)
+set -euo pipefail
+
+stage() { echo "[ci $(date +%H:%M:%S)] $*"; }
+
+do_fmt() {
+  stage "cargo fmt --check"
+  cargo fmt --check
+}
+
+do_clippy() {
+  stage "cargo clippy --all-targets -- -D warnings"
+  cargo clippy --all-targets -- -D warnings
+}
+
+do_build() {
+  stage "cargo build --release"
+  cargo build --release
+}
+
+do_test() {
+  stage "cargo test -q"
+  cargo test -q
+}
+
+do_smoke() {
+  # Loopback end-to-end: single server bit-exact vs direct library
+  # calls, then the 3-backend fleet under seeded fault injection.
+  stage "ssim-serve smoke"
+  SSIM_QUICK=1 cargo run --release -q -p ssim-serve -- smoke
+  stage "ssim-serve fleet smoke"
+  SSIM_QUICK=1 cargo run --release -q -p ssim-serve -- fleet smoke
+}
+
+case "${1:-all}" in
+  fmt)    do_fmt ;;
+  clippy) do_clippy ;;
+  build)  do_build ;;
+  test)   do_test ;;
+  smoke)  do_smoke ;;
+  all)
+    do_fmt
+    do_clippy
+    do_build
+    do_test
+    do_smoke
+    stage "all stages passed"
+    ;;
+  *)
+    echo "usage: ./ci.sh [fmt|clippy|build|test|smoke|all]" >&2
+    exit 2
+    ;;
+esac

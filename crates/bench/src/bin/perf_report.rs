@@ -109,16 +109,23 @@ fn main() {
     // file carries the whole perf story. The bench binary lives in
     // ssim-serve (which depends on this crate), so the hand-off is the
     // file, not a library call. Absent file → explicit null.
-    let serve_section = std::fs::read_to_string("results/BENCH_serve.json")
-        .map(|s| s.trim().to_string())
-        .ok()
-        .filter(|s| s.starts_with('{') && s.ends_with('}'))
-        .unwrap_or_else(|| "null".to_string());
-    if serve_section == "null" {
-        println!("serve: no results/BENCH_serve.json (run `ssim-serve bench` first)");
-    } else {
-        println!("serve: folded in results/BENCH_serve.json");
-    }
+    let fold_section = |path: &str, hint: &str| {
+        let section = std::fs::read_to_string(path)
+            .map(|s| s.trim().to_string())
+            .ok()
+            .filter(|s| s.starts_with('{') && s.ends_with('}'))
+            .unwrap_or_else(|| "null".to_string());
+        if section == "null" {
+            println!("{hint}: no {path} (run `{hint}` first)");
+        } else {
+            println!("{hint}: folded in {path}");
+        }
+        section
+    };
+    let serve_section = fold_section("results/BENCH_serve.json", "ssim-serve bench");
+    // `ssim-serve fleet bench` records the multi-backend story: fleet
+    // vs single-backend sweep time and what the chaos phase survived.
+    let fleet_section = fold_section("results/BENCH_fleet.json", "ssim-serve fleet bench");
 
     // --- report ------------------------------------------------------
     // Per-stage CPU time from the observability timers: these sum the
@@ -152,6 +159,7 @@ fn main() {
          \"sweep_speedup\": {speedup:.2},\n  \
          \"synth\": {},\n  \
          \"serve\": {serve_section},\n  \
+         \"fleet\": {fleet_section},\n  \
          \"stages\": {stages}\n}}\n",
         names.join(", "),
         cold.0,

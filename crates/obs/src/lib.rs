@@ -128,6 +128,53 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::default)
 }
 
+// ---- runtime-named metrics ------------------------------------------
+
+/// Name-interned storage for metrics whose names are only known at
+/// runtime (metric *families* indexed per instance — e.g. one gauge per
+/// fleet backend). Repeated lookups of the same name return the same
+/// instance, so re-creating a consumer never duplicates registry rows.
+struct DynMetrics {
+    counters: Mutex<std::collections::HashMap<String, &'static Counter>>,
+    gauges: Mutex<std::collections::HashMap<String, &'static Gauge>>,
+}
+
+fn dyn_metrics() -> &'static DynMetrics {
+    static DYN: OnceLock<DynMetrics> = OnceLock::new();
+    DYN.get_or_init(|| DynMetrics {
+        counters: Mutex::new(std::collections::HashMap::new()),
+        gauges: Mutex::new(std::collections::HashMap::new()),
+    })
+}
+
+/// A counter with a runtime-built name, interned for the process
+/// lifetime (the name and the counter are leaked once per distinct
+/// name; calling again with the same name returns the same counter).
+pub fn dyn_counter(name: &str) -> &'static Counter {
+    let mut map = dyn_metrics().counters.lock().unwrap();
+    if let Some(c) = map.get(name) {
+        return c;
+    }
+    let leaked: &'static Counter = Box::leak(Box::new(Counter::new(Box::leak(
+        name.to_string().into_boxed_str(),
+    ))));
+    map.insert(name.to_string(), leaked);
+    leaked
+}
+
+/// A gauge with a runtime-built name, interned like [`dyn_counter`].
+pub fn dyn_gauge(name: &str) -> &'static Gauge {
+    let mut map = dyn_metrics().gauges.lock().unwrap();
+    if let Some(g) = map.get(name) {
+        return g;
+    }
+    let leaked: &'static Gauge = Box::leak(Box::new(Gauge::new(Box::leak(
+        name.to_string().into_boxed_str(),
+    ))));
+    map.insert(name.to_string(), leaked);
+    leaked
+}
+
 // ---- counter --------------------------------------------------------
 
 /// A named, thread-safe, monotonically increasing counter.
@@ -856,6 +903,31 @@ mod tests {
         assert_eq!(count, 3);
         assert!(total > 0);
         assert!(max <= total);
+    }
+
+    #[test]
+    fn dyn_metrics_are_interned_and_registered() {
+        force_enable();
+        let a = dyn_counter("test.unit.dyn.backend0.retries");
+        let b = dyn_counter("test.unit.dyn.backend0.retries");
+        assert!(std::ptr::eq(a, b), "same name must intern to one counter");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        let g1 = dyn_gauge("test.unit.dyn.backend1.inflight");
+        let g2 = dyn_gauge("test.unit.dyn.backend1.inflight");
+        assert!(std::ptr::eq(g1, g2));
+        g1.add(3);
+        g2.sub(1);
+        assert_eq!(g1.get(), 2);
+        let s = snapshot();
+        assert_eq!(s.counter("test.unit.dyn.backend0.retries"), Some(2));
+        assert_eq!(s.gauge("test.unit.dyn.backend1.inflight"), Some(2));
+        // Distinct names are distinct instances.
+        assert!(!std::ptr::eq(
+            a,
+            dyn_counter("test.unit.dyn.backend1.retries")
+        ));
     }
 
     #[test]

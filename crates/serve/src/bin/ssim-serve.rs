@@ -6,15 +6,22 @@
 //! ssim-serve client <addr> (<request-json> | metrics | shutdown)
 //! ssim-serve bench          # writes results/BENCH_serve.json
 //! ssim-serve smoke          # loopback end-to-end check (run_all.sh gate)
+//! ssim-serve fleet sweep <sweep-json> <addr>...   # shard a sweep across backends
+//! ssim-serve fleet smoke    # 3 faulty loopback backends, bit-exact merge
+//! ssim-serve fleet bench    # writes results/BENCH_fleet.json
 //! ```
 //!
-//! `bench` and `smoke` start an in-process server on an ephemeral
-//! loopback port, so neither needs a running daemon or a fixed port.
+//! `bench`, `smoke` and the `fleet` self-tests start in-process servers
+//! on ephemeral loopback ports, so none needs a running daemon or a
+//! fixed port.
 
 use ssim::prelude::*;
 use ssim_serve::json::Json;
 use ssim_serve::proto::ProfileParams;
-use ssim_serve::{Client, MachineSpec, Request, Server, ServerConfig};
+use ssim_serve::{
+    Client, FaultPlan, Fleet, FleetConfig, MachineSpec, PointResult, Request, Server, ServerConfig,
+    SweepSpec,
+};
 use std::time::Instant;
 
 fn main() {
@@ -24,12 +31,16 @@ fn main() {
         Some("client") => cmd_client(&args[1..]),
         Some("bench") => cmd_bench(),
         Some("smoke") => cmd_smoke(),
+        Some("fleet") => cmd_fleet(&args[1..]),
         _ => {
             eprintln!(
                 "usage: ssim-serve serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]\n\
                  \x20      ssim-serve client <addr> (<request-json> | metrics | shutdown)\n\
                  \x20      ssim-serve bench\n\
-                 \x20      ssim-serve smoke"
+                 \x20      ssim-serve smoke\n\
+                 \x20      ssim-serve fleet sweep <sweep-json> <addr>...\n\
+                 \x20      ssim-serve fleet smoke\n\
+                 \x20      ssim-serve fleet bench"
             );
             2
         }
@@ -419,5 +430,363 @@ fn cmd_smoke() -> i32 {
     }
     server.join();
     println!("smoke: clean shutdown OK");
+    0
+}
+
+// ---- fleet ----------------------------------------------------------
+
+fn cmd_fleet(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("sweep") => cmd_fleet_sweep(&args[1..]),
+        Some("smoke") => cmd_fleet_smoke(),
+        Some("bench") => cmd_fleet_bench(),
+        _ => {
+            eprintln!(
+                "usage: ssim-serve fleet sweep <sweep-json> <addr>...\n\
+                 \x20      ssim-serve fleet smoke\n\
+                 \x20      ssim-serve fleet bench"
+            );
+            2
+        }
+    }
+}
+
+/// Computes the direct-library expectation for a sweep (the same
+/// profile path the servers use, so the comparison is bit-exact).
+fn direct_expectation(spec: &SweepSpec) -> Vec<(u64, u64, f64)> {
+    let workload = ssim::workloads::by_name(&spec.profile.workload).unwrap();
+    let profile = ssim_bench::profile_cached(
+        workload,
+        &ProfileConfig::new(&MachineConfig::baseline())
+            .skip(spec.profile.skip)
+            .instructions(spec.profile.instructions),
+    );
+    let sampler = profile.compile(spec.r);
+    let mut expected = Vec::new();
+    for m in &spec.machines {
+        let cfg = m.resolve();
+        for &seed in &spec.seeds {
+            let sim = simulate_trace(&sampler.generate(seed), &cfg);
+            expected.push((sim.cycles, sim.instructions, sim.ipc()));
+        }
+    }
+    expected
+}
+
+/// Starts one loopback backend per fault plan (`None` = healthy).
+fn start_backends(plans: &[Option<&str>]) -> Vec<Server> {
+    plans
+        .iter()
+        .map(|plan| {
+            let cfg = ServerConfig {
+                fault: plan.map(|p| FaultPlan::parse(p).expect("fault plan")),
+                ..ServerConfig::default()
+            };
+            Server::start(cfg).expect("start backend")
+        })
+        .collect()
+}
+
+/// Asks every backend to shut down (drains accepted work) and joins it.
+fn stop_backends(servers: Vec<Server>) {
+    for server in servers {
+        let mut cl = Client::connect(server.addr()).expect("connect for shutdown");
+        let shut = cl.call(&Request::Shutdown, None).expect("shutdown");
+        assert!(shut.ok, "shutdown failed: {:?}", shut.error);
+        server.join();
+    }
+}
+
+fn stats_json(stats: &ssim_serve::fleet::FleetStats) -> Json {
+    Json::obj(vec![
+        ("points", Json::Num(stats.points as f64)),
+        ("retries", Json::Num(stats.retries as f64)),
+        ("steals", Json::Num(stats.steals as f64)),
+        ("hedges", Json::Num(stats.hedges as f64)),
+        ("hedges_won", Json::Num(stats.hedges_won as f64)),
+        ("transitions", Json::Num(stats.transitions as f64)),
+        (
+            "served",
+            Json::Arr(stats.served.iter().map(|&n| Json::Num(n as f64)).collect()),
+        ),
+    ])
+}
+
+fn cmd_fleet_sweep(args: &[String]) -> i32 {
+    let [spec_json, addrs @ ..] = args else {
+        eprintln!("usage: ssim-serve fleet sweep <sweep-json> <addr>...");
+        return 2;
+    };
+    if addrs.is_empty() {
+        eprintln!("fleet sweep needs at least one backend address");
+        return 2;
+    }
+    // Route the text through the envelope grammar (as `client` does) so
+    // typos fail locally.
+    let body = match Json::parse(spec_json) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("sweep request is not valid JSON: {e}");
+            return 2;
+        }
+    };
+    let req = {
+        let mut pairs = vec![("id".to_string(), Json::Num(1.0))];
+        if let Json::Obj(p) = body {
+            pairs.extend(p.into_iter().filter(|(k, _)| k != "id"));
+        }
+        match ssim_serve::proto::Envelope::parse(&Json::Obj(pairs).render()) {
+            Ok(env) => env.req,
+            Err(e) => {
+                eprintln!("bad request: {e}");
+                return 2;
+            }
+        }
+    };
+    let Request::Sweep {
+        profile,
+        machines,
+        r,
+        seeds,
+    } = req
+    else {
+        eprintln!("fleet sweep takes a request of kind \"sweep\"");
+        return 2;
+    };
+    let spec = SweepSpec {
+        profile,
+        machines,
+        r,
+        seeds,
+    };
+    let fleet = match Fleet::new(FleetConfig {
+        backends: addrs.to_vec(),
+        ..FleetConfig::default()
+    }) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    fleet.warm(&spec.profile);
+    match fleet.sweep(&spec) {
+        Ok(outcome) => {
+            let doc = Json::obj(vec![
+                (
+                    "results",
+                    Json::Arr(outcome.points.iter().map(PointResult::to_json).collect()),
+                ),
+                ("stats", stats_json(&outcome.stats)),
+            ]);
+            println!("{}", doc.render());
+            0
+        }
+        Err(e) => {
+            eprintln!("fleet sweep failed: {e}");
+            1
+        }
+    }
+}
+
+/// End-to-end fleet gate: three loopback backends, two of them faulty
+/// with plans whose seeded decision streams *start* with a fault (seed
+/// 7 opens with a drop under `drop:0.4` and with a reject under
+/// `reject:0.4`), so the run always exercises at least one retry and
+/// one work-stealing reassignment — then the merged output must still
+/// be bit-identical to direct library calls.
+fn cmd_fleet_smoke() -> i32 {
+    let spec = SweepSpec {
+        profile: small_profile(60_000),
+        machines: vec![
+            MachineSpec {
+                width: Some(2),
+                ..MachineSpec::default()
+            },
+            MachineSpec {
+                width: Some(4),
+                window: Some(64),
+                ..MachineSpec::default()
+            },
+            MachineSpec {
+                width: Some(8),
+                ..MachineSpec::default()
+            },
+        ],
+        r: 10,
+        seeds: vec![1, 2],
+    };
+    let expected = direct_expectation(&spec);
+
+    let servers = start_backends(&[
+        Some("drop:0.4,delay:3ms@7"),
+        Some("reject:0.4,delay:2ms@7"),
+        None,
+    ]);
+    let backends: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
+    println!("fleet smoke: 3 backends on {backends:?} (two with fault plans)");
+
+    let fleet = Fleet::new(FleetConfig {
+        backends,
+        max_attempts: 32,
+        backoff_base_ms: 2,
+        backoff_cap_ms: 50,
+        probe_interval_ms: 50,
+        request_deadline_ms: 10_000,
+        sweep_timeout_ms: 120_000,
+        seed: 1,
+        ..FleetConfig::default()
+    })
+    .expect("fleet");
+    let outcome = match fleet.sweep(&spec) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fleet smoke: sweep failed: {e}");
+            return 1;
+        }
+    };
+
+    let mut bad = 0;
+    for (i, (point, exp)) in outcome.points.iter().zip(expected.iter()).enumerate() {
+        if point.cycles != exp.0
+            || point.instructions != exp.1
+            || point.ipc.to_bits() != exp.2.to_bits()
+            || point.cached
+        {
+            eprintln!("fleet smoke: point {i} differs from direct library call");
+            bad += 1;
+        }
+    }
+    if bad > 0 {
+        eprintln!("fleet smoke: {bad} mismatching points");
+        return 1;
+    }
+    let stats = &outcome.stats;
+    println!(
+        "fleet smoke: {} points bit-identical under faults \
+         ({} retries, {} steals, {} transitions, served {:?})",
+        stats.points, stats.retries, stats.steals, stats.transitions, stats.served
+    );
+    if stats.retries == 0 || stats.steals == 0 {
+        eprintln!("fleet smoke: expected the seeded fault plans to force >=1 retry and >=1 steal");
+        return 1;
+    }
+    stop_backends(servers);
+    println!("fleet smoke: clean shutdown OK");
+    0
+}
+
+fn cmd_fleet_bench() -> i32 {
+    // Same scrubbed-cache discipline as `bench`: the profile is built
+    // once (phase 1 warm-up) and the phases then compare pure
+    // simulation throughput, not cache luck from earlier run_all steps.
+    let cache_dir = std::path::Path::new("results").join(".fleet-bench-cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    std::env::set_var("SSIM_PROFILE_CACHE_DIR", &cache_dir);
+
+    let quick = ssim_bench::quick();
+    let spec = SweepSpec {
+        profile: small_profile(if quick { 150_000 } else { 1_000_000 }),
+        machines: [2u64, 4, 8]
+            .iter()
+            .flat_map(|&w| {
+                [32u64, 128].iter().map(move |&win| MachineSpec {
+                    width: Some(w),
+                    window: Some(win),
+                    ..MachineSpec::default()
+                })
+            })
+            .collect(),
+        r: ssim_bench::DEFAULT_R,
+        seeds: (1..=4).collect(),
+    };
+    let points = spec.points();
+    println!("fleet bench: {points} points per sweep, quick={quick}");
+
+    let fleet_cfg = |backends: Vec<String>| FleetConfig {
+        backends,
+        backoff_base_ms: 2,
+        backoff_cap_ms: 100,
+        probe_interval_ms: 20,
+        request_deadline_ms: 60_000,
+        sweep_timeout_ms: 600_000,
+        seed: 1,
+        ..FleetConfig::default()
+    };
+    let run_phase = |label: &str, plans: &[Option<&str>]| {
+        let servers = start_backends(plans);
+        let backends: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
+        let fleet = Fleet::new(fleet_cfg(backends)).expect("fleet");
+        fleet.warm(&spec.profile);
+        let t = Instant::now();
+        let outcome = fleet.sweep(&spec).expect("sweep");
+        let secs = t.elapsed().as_secs_f64();
+        stop_backends(servers);
+        println!(
+            "{label}: {secs:.3}s ({} retries, {} steals, {} hedges)",
+            outcome.stats.retries, outcome.stats.steals, outcome.stats.hedges
+        );
+        (outcome, secs)
+    };
+
+    let (single, single_s) = run_phase("1 backend", &[None]);
+    let (fleet3, fleet3_s) = run_phase("3 backends", &[None, None, None]);
+    let (chaos, chaos_s) = run_phase(
+        "3 backends + chaos",
+        &[
+            Some("drop:0.15,delay:3ms@7"),
+            Some("reject:0.2,delay:2ms@7"),
+            Some("drop:0.05,reject:0.05@13"),
+        ],
+    );
+
+    // The whole point of the fleet: placement must not show in results.
+    for (label, other) in [("3-backend", &fleet3), ("chaos", &chaos)] {
+        for (i, (a, b)) in single.points.iter().zip(other.points.iter()).enumerate() {
+            assert!(
+                a.cycles == b.cycles
+                    && a.instructions == b.instructions
+                    && a.ipc.to_bits() == b.ipc.to_bits(),
+                "{label} sweep: point {i} differs from the single-backend run"
+            );
+        }
+    }
+    println!("merged results identical across 1-backend, 3-backend and chaos runs");
+
+    let doc = Json::obj(vec![
+        ("quick", Json::Bool(quick)),
+        ("workers", Json::Num(ssim_bench::num_threads() as f64)),
+        ("sweep_points", Json::Num(points as f64)),
+        ("single_backend_s", Json::Num(single_s)),
+        ("fleet3_s", Json::Num(fleet3_s)),
+        (
+            "fleet_speedup",
+            Json::Num(if fleet3_s > 0.0 {
+                single_s / fleet3_s
+            } else {
+                0.0
+            }),
+        ),
+        ("chaos_s", Json::Num(chaos_s)),
+        (
+            "chaos_overhead",
+            Json::Num(if fleet3_s > 0.0 {
+                chaos_s / fleet3_s
+            } else {
+                0.0
+            }),
+        ),
+        ("chaos_stats", stats_json(&chaos.stats)),
+        ("identical", Json::Bool(true)),
+    ]);
+    let _ = std::fs::create_dir_all("results");
+    let path = "results/BENCH_fleet.json";
+    if let Err(e) = std::fs::write(path, format!("{}\n", doc.render())) {
+        eprintln!("failed to write {path}: {e}");
+        return 1;
+    }
+    println!("wrote {path}");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    ssim_bench::obs_finish("ssim-fleet-bench");
     0
 }

@@ -82,6 +82,20 @@ impl Client {
         })
     }
 
+    /// Caps how long [`Client::recv`] blocks waiting for a response
+    /// (`None` waits forever, the default).
+    ///
+    /// After a timeout the stream may still deliver the late response,
+    /// so callers that enforce deadlines (the fleet coordinator) drop
+    /// the connection and reconnect rather than resynchronize.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option failures.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     /// Sends one request without waiting for the response; returns the
     /// assigned correlation id. Use for pipelining.
     ///

@@ -24,6 +24,14 @@
 //!   `(profile hash, machine fingerprint, R, seed)`.
 //! * **Client** ([`client`]): blocking client with pipelining and a
 //!   backpressure-aware retry helper.
+//! * **Fleet** ([`fleet`]): client-side coordinator sharding a sweep's
+//!   design points across N backends with health probes, capped
+//!   exponential backoff + jitter, work-stealing reassignment and
+//!   hedged requests — output merged by design-point index, so a fleet
+//!   run is byte-identical to a single-backend run.
+//! * **Fault injection** ([`fault`]): a seeded, deterministic
+//!   `SSIM_FAULT_PLAN` layer (drops, delays, backpressure rejects) so
+//!   chaos tests are reproducible.
 //!
 //! Results served over the wire are **byte-identical** to direct
 //! library calls: traces come from the compiled sampler (itself
@@ -33,10 +41,14 @@
 
 pub mod artifacts;
 pub mod client;
+pub mod fault;
+pub mod fleet;
 pub mod json;
 pub mod proto;
 pub mod server;
 
 pub use client::{Client, Response};
+pub use fault::FaultPlan;
+pub use fleet::{Fleet, FleetConfig, SweepOutcome, SweepSpec};
 pub use proto::{MachineSpec, PointResult, ProfileParams, Request};
 pub use server::{Server, ServerConfig};

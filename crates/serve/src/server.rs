@@ -33,6 +33,7 @@
 //! race with shutdown are rejected with a non-retryable error.
 
 use crate::artifacts::{trace_digest, ArtifactStore};
+use crate::fault::{FaultAction, FaultInjector, FaultPlan};
 use crate::json::Json;
 use crate::proto::{err_response, ok_response, Envelope, Request};
 use std::collections::VecDeque;
@@ -85,6 +86,9 @@ pub struct ServerConfig {
     pub default_deadline_ms: u64,
     /// In-memory result cache capacity (design points).
     pub result_cache_capacity: usize,
+    /// Deterministic fault plan for chaos testing (defaults to
+    /// `SSIM_FAULT_PLAN` when `None`; see [`crate::fault`]).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +99,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             default_deadline_ms: 120_000,
             result_cache_capacity: 4096,
+            fault: None,
         }
     }
 }
@@ -121,6 +126,7 @@ struct Shared {
     drained: Condvar,
     shutdown: AtomicBool,
     store: ArtifactStore,
+    fault: Option<FaultInjector>,
 }
 
 impl Shared {
@@ -371,12 +377,19 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let fault = cfg
+            .fault
+            .clone()
+            .or_else(FaultPlan::from_env)
+            .filter(FaultPlan::is_active)
+            .map(FaultInjector::new);
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::default()),
             work_ready: Condvar::new(),
             drained: Condvar::new(),
             shutdown: AtomicBool::new(false),
             store: ArtifactStore::new(cfg.result_cache_capacity),
+            fault,
             cfg,
         });
 
@@ -410,6 +423,16 @@ impl Server {
     /// Whether a shutdown request has been received.
     pub fn shutting_down(&self) -> bool {
         self.shared.shutdown.load(Relaxed)
+    }
+
+    /// `(queued, in_flight)` job counts of *this* server instance.
+    ///
+    /// The observability gauges are process-wide, so tests (and
+    /// operators embedding several servers in one process) use this to
+    /// watch a specific instance instead of the global registry.
+    pub fn queue_stats(&self) -> (usize, usize) {
+        let q = self.shared.queue.lock().unwrap();
+        (q.jobs.len(), q.in_flight)
     }
 
     /// Blocks until the server has shut down (acceptor and workers
@@ -450,6 +473,37 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// Upper bound on one request line; longer lines fail the connection
 /// rather than buffering without limit.
 const MAX_LINE_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Routes one parsed request: metrics and shutdown are answered on the
+/// connection thread, everything else is queued (or rejected by
+/// [`Shared::submit`]).
+fn dispatch(shared: &Arc<Shared>, tx: &Sender<String>, cancelled: &Arc<AtomicBool>, env: Envelope) {
+    match env.req {
+        Request::Metrics => {
+            let _ = tx.send(shared.metrics_response(env.id));
+        }
+        Request::Shutdown => {
+            // Gate first (no new work), then drain, then ack — the ack
+            // certifies every accepted job responded.
+            shared.shutdown.store(true, Relaxed);
+            shared.work_ready.notify_all();
+            shared.wait_drained();
+            let _ = tx.send(ok_response(env.id, vec![("drained", Json::Bool(true))]));
+        }
+        req => {
+            let deadline_ms = env.deadline_ms.unwrap_or(shared.cfg.default_deadline_ms);
+            let now = Instant::now();
+            shared.submit(Job {
+                id: env.id,
+                req,
+                reply: tx.clone(),
+                cancelled: Arc::clone(cancelled),
+                deadline: now + Duration::from_millis(deadline_ms),
+                accepted_at: now,
+            });
+        }
+    }
+}
 
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
@@ -497,31 +551,35 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                     .unwrap_or(0);
                 let _ = tx.send(err_response(id, &format!("bad request: {e}"), None));
             }
-            Ok(env) => match env.req {
-                Request::Metrics => {
-                    let _ = tx.send(shared.metrics_response(env.id));
+            Ok(env) => {
+                // Shutdown is exempt from fault injection: a chaos run
+                // must still stop its servers deterministically.
+                let fault = shared
+                    .fault
+                    .as_ref()
+                    .filter(|_| !matches!(env.req, Request::Shutdown));
+                match fault {
+                    None => dispatch(&shared, &tx, &cancelled, env),
+                    Some(fault) => {
+                        if let Some(delay) = fault.delay() {
+                            // Stalls this connection's reader only —
+                            // the fleet sees it as a slow backend.
+                            std::thread::sleep(delay);
+                        }
+                        match fault.decide() {
+                            FaultAction::Drop => break,
+                            FaultAction::Reject { retry_after_ms } => {
+                                let _ = tx.send(err_response(
+                                    env.id,
+                                    "injected fault: queue full",
+                                    Some(retry_after_ms),
+                                ));
+                            }
+                            FaultAction::None => dispatch(&shared, &tx, &cancelled, env),
+                        }
+                    }
                 }
-                Request::Shutdown => {
-                    // Gate first (no new work), then drain, then ack —
-                    // the ack certifies every accepted job responded.
-                    shared.shutdown.store(true, Relaxed);
-                    shared.work_ready.notify_all();
-                    shared.wait_drained();
-                    let _ = tx.send(ok_response(env.id, vec![("drained", Json::Bool(true))]));
-                }
-                req => {
-                    let deadline_ms = env.deadline_ms.unwrap_or(shared.cfg.default_deadline_ms);
-                    let now = Instant::now();
-                    shared.submit(Job {
-                        id: env.id,
-                        req,
-                        reply: tx.clone(),
-                        cancelled: Arc::clone(&cancelled),
-                        deadline: now + Duration::from_millis(deadline_ms),
-                        accepted_at: now,
-                    });
-                }
-            },
+            }
         }
     }
     cancelled.store(true, Relaxed);

@@ -1,0 +1,73 @@
+//! Mechanical flake audit of the serve integration tests.
+//!
+//! Two classes of CI flake keep recurring in socket test suites, and
+//! both are grep-detectable, so this test greps for them:
+//!
+//! * **Unconditional sleeps** — `thread::sleep` as a synchronization
+//!   primitive races the scheduler on loaded runners. Tests must poll
+//!   an observable condition via `util::wait_until`, which bounds the
+//!   wait with the suite-wide `SSIM_TEST_TIMEOUT_MS` budget instead.
+//!   (`tests/util/mod.rs` itself hosts the one sanctioned bounded sleep
+//!   inside the polling loop, so it is exempt from the scan.)
+//! * **Hard-coded ports** — two test binaries racing for the same fixed
+//!   loopback port fail with EADDRINUSE under `cargo test`'s parallel
+//!   execution. Servers must bind port 0 and publish the OS-assigned
+//!   address.
+
+use std::path::Path;
+
+fn test_sources() -> Vec<(String, String)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("read tests dir") {
+        let path = entry.expect("dir entry").path();
+        // Top-level test files only: util/ holds the sanctioned
+        // primitives the rules are implemented with.
+        if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("read test source");
+            out.push((name, text));
+        }
+    }
+    assert!(
+        out.len() >= 3,
+        "flake guard found too few test files — scan path broken?"
+    );
+    out
+}
+
+#[test]
+fn no_test_sleeps_unconditionally() {
+    // Built by concatenation so the guard does not flag itself.
+    let needle = format!("{}::{}(", "thread", "sleep");
+    for (name, text) in test_sources() {
+        for (lineno, line) in text.lines().enumerate() {
+            assert!(
+                !line.contains(&needle),
+                "{name}:{}: unconditional sleep in a test — poll with \
+                 util::wait_until instead",
+                lineno + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn no_test_hardcodes_a_loopback_port() {
+    let needle = format!("{}:", "127.0.0.1");
+    for (name, text) in test_sources() {
+        for (lineno, line) in text.lines().enumerate() {
+            let mut rest = line;
+            while let Some(pos) = rest.find(&needle) {
+                rest = &rest[pos + needle.len()..];
+                let port: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                assert!(
+                    port.is_empty() || port == "0",
+                    "{name}:{}: hard-coded loopback port {port} — bind \
+                     port 0 and use the OS-assigned address",
+                    lineno + 1
+                );
+            }
+        }
+    }
+}

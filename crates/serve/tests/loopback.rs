@@ -15,6 +15,8 @@ use ssim_serve::proto::ProfileParams;
 use ssim_serve::{Client, MachineSpec, Request, Server, ServerConfig};
 use std::sync::Once;
 
+mod util;
+
 fn setup_env() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
@@ -195,8 +197,11 @@ fn overload_returns_backpressure_not_blocking() {
     let blocker_id = cl
         .submit(&Request::Profile(small_profile(800_000)), None)
         .unwrap();
-    // Give the worker a moment to pop the blocker off the queue.
-    std::thread::sleep(std::time::Duration::from_millis(100));
+    // Wait until the worker has actually popped the blocker (a fixed
+    // sleep here raced the scheduler on loaded CI machines).
+    util::wait_until("worker picks up the blocker job", || {
+        server.queue_stats().1 >= 1
+    });
 
     // Burst far past queue capacity (2) on the same pipelined
     // connection.

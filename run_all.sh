@@ -2,21 +2,22 @@
 # Regenerates every table and figure of the paper, plus ablations and
 # the in-order extension. Outputs land in results/. SSIM_QUICK=1 for a
 # fast smoke pass; budgets tuned for a single-core box.
-set -u
+set -u -o pipefail
 mkdir -p results
-# Lint gates: the tree must be rustfmt-clean and clippy-clean before
-# any budget is spent.
-cargo fmt --check || exit 1
-cargo clippy -q --all-targets -- -D warnings || exit 1
-cargo build --release -q -p ssim-bench || exit 1
+# Gate through the shared CI script (the same stages the workflow
+# runs): rustfmt-clean, clippy-clean, release build — before any
+# experiment budget is spent.
+./ci.sh fmt || exit 1
+./ci.sh clippy || exit 1
+./ci.sh build || exit 1
 # Every run emits machine-readable pipeline metrics by default
 # (results/METRICS_<bin>.json); export SSIM_METRICS=0 to opt out.
 SSIM_METRICS="${SSIM_METRICS:-json}"
 run() {
-  echo "[$(date +%H:%M:%S)] running $1"
-  shift_args=("$@")
   b="$1"; shift
-  env SSIM_METRICS="$SSIM_METRICS" "$@" cargo run --release -q -p ssim-bench --bin "$b" > "results/$b.txt" 2>&1
+  echo "[$(date +%H:%M:%S)] running $b"
+  env SSIM_METRICS="$SSIM_METRICS" "$@" cargo run --release -q -p ssim-bench --bin "$b" > "results/$b.txt" 2>&1 \
+    || { echo "$b FAILED (see results/$b.txt)"; exit 1; }
 }
 run table1_baseline_ipc       SSIM_EDS_INSTR=1500000
 run fig3_branch_mpki          SSIM_PROFILE_INSTR=2000000 SSIM_EDS_INSTR=1500000
@@ -37,16 +38,20 @@ run ext_inorder               SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_I
 run synth_speed               SSIM_QUICK=1
 # Experiment service: end-to-end smoke (loopback ephemeral port, small
 # sweep checked bit-exact against direct library calls, metrics
-# endpoint, clean drain-on-shutdown), then its benchmark — which writes
-# results/BENCH_serve.json for perf_report to fold in.
+# endpoint, clean drain-on-shutdown), its benchmark, then the fleet
+# coordinator's smoke (3 backends under seeded fault injection) and
+# benchmark. The benches write results/BENCH_serve.json and
+# results/BENCH_fleet.json for perf_report to fold in.
 serve() {
-  b="ssim-serve-$1"
+  b="ssim-serve-${*// /-}"
   echo "[$(date +%H:%M:%S)] running $b"
   env SSIM_METRICS="$SSIM_METRICS" SSIM_QUICK=1 \
-    cargo run --release -q -p ssim-serve --bin ssim-serve -- "$1" > "results/$b.txt" 2>&1 \
-    || { echo "serve $1 FAILED (see results/$b.txt)"; exit 1; }
+    cargo run --release -q -p ssim-serve --bin ssim-serve -- "$@" > "results/$b.txt" 2>&1 \
+    || { echo "serve $* FAILED (see results/$b.txt)"; exit 1; }
 }
 serve smoke
 serve bench
+serve fleet smoke
+serve fleet bench
 run perf_report               SSIM_QUICK=1
 echo "[$(date +%H:%M:%S)] all experiments complete"
