@@ -9,7 +9,8 @@
 #   ./ci.sh clippy     # clippy, warnings are errors
 #   ./ci.sh build      # release build, all targets
 #   ./ci.sh test       # full test suite
-#   ./ci.sh smoke      # serve + fleet loopback end-to-end (SSIM_QUICK)
+#   ./ci.sh smoke      # serve + fleet loopback end-to-end, plus the
+#                      # fused-engine identity/throughput bench (SSIM_QUICK)
 set -euo pipefail
 
 stage() { echo "[ci $(date +%H:%M:%S)] $*"; }
@@ -41,6 +42,11 @@ do_smoke() {
   SSIM_QUICK=1 cargo run --release -q -p ssim-serve -- smoke
   stage "ssim-serve fleet smoke"
   SSIM_QUICK=1 cargo run --release -q -p ssim-serve -- fleet smoke
+  # Fused generate-and-simulate engine: asserts bit-identical SimResults
+  # across reference / unfused / fused in-measurement, so a divergence
+  # fails CI loudly rather than skewing a recorded speedup.
+  stage "sim_speed (fused engine identity)"
+  SSIM_QUICK=1 cargo run --release -q -p ssim-bench --bin sim_speed
 }
 
 case "${1:-all}" in

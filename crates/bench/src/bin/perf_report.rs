@@ -73,12 +73,18 @@ fn main() {
         })
         .collect();
 
+    // Each worker thread keeps one engine's working buffers across its
+    // points (the same shape the sweep bins use).
     let t = Instant::now();
-    let serial = par_map_with(1, &points, |cfg| simulate_trace(&trace, cfg).cycles);
+    let serial = par_map_with(1, &points, |cfg| {
+        ssim_bench::with_engine(|e| e.simulate(&trace, cfg)).cycles
+    });
     let sweep_serial_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
-    let parallel = par_map_with(threads, &points, |cfg| simulate_trace(&trace, cfg).cycles);
+    let parallel = par_map_with(threads, &points, |cfg| {
+        ssim_bench::with_engine(|e| e.simulate(&trace, cfg)).cycles
+    });
     let sweep_parallel_s = t.elapsed().as_secs_f64();
 
     assert_eq!(serial, parallel, "thread count changed sweep results");
@@ -126,6 +132,10 @@ fn main() {
     // `ssim-serve fleet bench` records the multi-backend story: fleet
     // vs single-backend sweep time and what the chaos phase survived.
     let fleet_section = fold_section("results/BENCH_fleet.json", "ssim-serve fleet bench");
+    // `sim_speed` records the fused generate-and-simulate engine:
+    // per-point sweep throughput, fused vs unfused vs the frozen
+    // pre-optimisation reference, bit-identity asserted.
+    let sim_section = fold_section("results/BENCH_sim.json", "sim_speed");
 
     // --- report ------------------------------------------------------
     // Per-stage CPU time from the observability timers: these sum the
@@ -133,17 +143,37 @@ fn main() {
     // threads, complementing the wall-clock numbers above.
     let snap = ssim_bench::obs::snapshot();
     let stage = |name: &str| snap.timer_total_s(name).unwrap_or(0.0);
+    // Instructions-per-second per stage pairs each timer with its
+    // instruction counter, so throughput regressions show up even when
+    // wall time moves with budget changes. On the fused path generation
+    // is attributed to `tracesim.time` (there is no separate phase), so
+    // `synth` here covers only runs that materialised a trace.
+    let ips = |instrs: &str, timer: &str| {
+        snap.counter(instrs).unwrap_or(0) as f64 / stage(timer).max(1e-12)
+    };
+    let profiler_ips = ips("profiler.instructions", "profiler.time");
+    let synth_ips = ips("synth.instrs_emitted", "synth.time");
+    let tracesim_ips = ips("tracesim.instructions", "tracesim.time");
     let stages = format!(
-        "{{\"profiler_s\": {:.4}, \"synth_s\": {:.4}, \"tracesim_s\": {:.4}}}",
+        "{{\"profiler_s\": {:.4}, \"synth_s\": {:.4}, \"tracesim_s\": {:.4}, \
+         \"profiler_instrs_per_s\": {:.0}, \"synth_instrs_per_s\": {:.0}, \
+         \"tracesim_instrs_per_s\": {:.0}}}",
         stage("profiler.time"),
         stage("synth.time"),
         stage("tracesim.time"),
+        profiler_ips,
+        synth_ips,
+        tracesim_ips,
     );
     println!(
-        "stage CPU time: profile {:.2}s, generate {:.2}s, simulate {:.2}s (summed over threads)",
+        "stage CPU time: profile {:.2}s ({:.1}M instrs/s), generate {:.2}s ({:.1}M instrs/s), \
+         simulate {:.2}s ({:.1}M instrs/s) (summed over threads)",
         stage("profiler.time"),
+        profiler_ips / 1e6,
         stage("synth.time"),
+        synth_ips / 1e6,
         stage("tracesim.time"),
+        tracesim_ips / 1e6,
     );
 
     let names: Vec<String> = suite.iter().map(|w| format!("\"{}\"", w.name())).collect();
@@ -158,6 +188,7 @@ fn main() {
          \"sweep_parallel_s\": {sweep_parallel_s:.4},\n  \
          \"sweep_speedup\": {speedup:.2},\n  \
          \"synth\": {},\n  \
+         \"sim\": {sim_section},\n  \
          \"serve\": {serve_section},\n  \
          \"fleet\": {fleet_section},\n  \
          \"stages\": {stages}\n}}\n",

@@ -35,13 +35,16 @@ fn main() {
         for (i, &len) in lengths.iter().enumerate() {
             // Choose R so the generated trace is ~len instructions.
             let r = (p.instructions() / len).max(1);
+            // One lowering serves all seeds; each run streams straight
+            // from the compiled walk into the pipeline (fused path).
+            let sampler = ssim_bench::sampler_cached(&p, r);
             let mut s = Summary::new();
             for seed in 0..seeds {
-                let trace = p.generate(r, seed);
-                if trace.is_empty() {
-                    continue;
+                let res = ssim_bench::with_engine(|e| e.simulate_fused(&sampler, seed, &machine));
+                if res.instructions == 0 {
+                    continue; // reduced budget of zero: nothing generated
                 }
-                s.add(simulate_trace(&trace, &machine).ipc());
+                s.add(res.ipc());
             }
             per_length[i].push(s.cov());
             print!(" {:>8.2}%", s.cov() * 100.0);

@@ -63,13 +63,17 @@ fn main() {
         let program = w.program();
         let p = profiled(&MachineConfig::baseline(), w, &budget);
         let r = (p.instructions() / trace_target).max(1);
-        let trace = p.generate(r, 1);
+        // One trace serves every design point, so materialise it once
+        // (off the shared compiled sampler) instead of regenerating
+        // per point on the fused path.
+        let trace = ssim_bench::sampler_cached(&p, r).generate(1);
 
         // Statistical sweep of the whole space, fanned out across
         // cores; par_map preserves point order, so the sort below sees
-        // the same tie-break order as the serial sweep did.
+        // the same tie-break order as the serial sweep did. Each worker
+        // thread reuses one engine's buffers across its points.
         let mut evaluated: Vec<(f64, usize)> = par_map(&points, |cfg| {
-            let res = simulate_trace(&trace, cfg);
+            let res = ssim_bench::with_engine(|e| e.simulate(&trace, cfg));
             edp_of(&res, cfg)
         })
         .into_iter()

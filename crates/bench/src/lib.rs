@@ -20,10 +20,12 @@ use ssim::prelude::*;
 use ssim::workloads::Workload;
 
 pub mod profile_cache;
+pub mod simbench;
 pub mod synthbench;
 pub mod timing;
 
 pub use profile_cache::{cache_enabled, cache_stats, profile_cached};
+pub use simbench::{measure_sim_speed, SimSpeed};
 pub use ssim_obs as obs;
 pub use ssim_par::{num_threads, par_map, par_map_with};
 pub use synthbench::{measure_synth_speed, SynthSpeed};
@@ -141,9 +143,47 @@ pub fn profiled_with(
 /// Default reduction factor: synthetic traces ~1/15th of the profile.
 pub const DEFAULT_R: u64 = 15;
 
-/// Generates and simulates a synthetic trace.
+/// In-process cache of compiled samplers, keyed by
+/// `(profile content hash, r)`. Design-space sweeps simulate hundreds
+/// of machine configurations against one `(profile, r)` pair; the
+/// lowering is identical for all of them, so it is paid once and
+/// shared (the sweep bins fan points out across threads — hence `Arc`).
+type SamplerCache =
+    std::sync::Mutex<std::collections::HashMap<(u64, u64), std::sync::Arc<CompiledSampler>>>;
+static SAMPLER_CACHE: std::sync::OnceLock<SamplerCache> = std::sync::OnceLock::new();
+
+/// Returns the compiled sampler for `(profile, r)`, lowering at most
+/// once per distinct pair for the process lifetime.
+pub fn sampler_cached(profile: &StatisticalProfile, r: u64) -> std::sync::Arc<CompiledSampler> {
+    let key = (profile.content_hash(), r);
+    let cache = SAMPLER_CACHE.get_or_init(Default::default);
+    if let Some(s) = cache.lock().unwrap().get(&key) {
+        return std::sync::Arc::clone(s);
+    }
+    // Lower outside the lock: compilation is the expensive part, and
+    // racing threads at worst duplicate work, never results.
+    let s = std::sync::Arc::new(profile.compile(r));
+    std::sync::Arc::clone(cache.lock().unwrap().entry(key).or_insert(s))
+}
+
+thread_local! {
+    static ENGINE: std::cell::RefCell<SimEngine> = std::cell::RefCell::new(SimEngine::new());
+}
+
+/// Runs `f` with this thread's reusable [`SimEngine`], so sweep loops
+/// keep one set of simulator working buffers per worker thread instead
+/// of reallocating per design point.
+pub fn with_engine<T>(f: impl FnOnce(&mut SimEngine) -> T) -> T {
+    ENGINE.with(|e| f(&mut e.borrow_mut()))
+}
+
+/// Statistical simulation of one design point: generation fused into
+/// simulation (no materialised trace), compiled sampler shared across
+/// calls with the same `(profile, DEFAULT_R)`, working buffers reused
+/// per thread.
 pub fn ss(profile: &StatisticalProfile, machine: &MachineConfig, seed: u64) -> SimResult {
-    simulate_trace(&profile.generate(DEFAULT_R, seed), machine)
+    let sampler = sampler_cached(profile, DEFAULT_R);
+    with_engine(|e| e.simulate_fused(&sampler, seed, machine))
 }
 
 /// Formats a percentage.

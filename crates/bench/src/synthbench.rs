@@ -106,7 +106,8 @@ impl SynthSpeed {
             "{{\"r\": {}, \"iters\": {}, \"total_instrs\": {}, \"total_steps\": {}, \
              \"reference_s\": {:.4}, \"cold_s\": {:.4}, \"compiled_s\": {:.4}, \
              \"compile_s\": {:.4}, \
-             \"reference_instrs_per_s\": {:.0}, \"compiled_instrs_per_s\": {:.0}, \
+             \"reference_instrs_per_s\": {:.0}, \"cold_instrs_per_s\": {:.0}, \
+             \"compiled_instrs_per_s\": {:.0}, \
              \"walk_steps\": {}, \
              \"walk_reference_steps_per_s\": {:.0}, \"walk_compiled_steps_per_s\": {:.0}, \
              \"walk_speedup\": {:.2}, \"generate_speedup\": {:.2}, \"cold_speedup\": {:.2}}}",
@@ -119,6 +120,7 @@ impl SynthSpeed {
             self.compiled_s,
             self.compile_s,
             self.instrs_per_s(self.reference_s),
+            self.instrs_per_s(self.cold_s),
             self.instrs_per_s(self.compiled_s),
             self.walk_steps,
             self.walk_steps_per_s(self.walk_reference_s),

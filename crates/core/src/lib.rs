@@ -57,6 +57,7 @@
 mod analysis;
 pub mod fxhash;
 mod profiler;
+mod refsim;
 mod sampler;
 mod serialize;
 mod sfg;
@@ -66,6 +67,7 @@ mod tracesim;
 pub use analysis::{validate_trace, TraceValidation};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use profiler::{note_loaded_profile, profile, BranchProfileMode, ProfileConfig};
+pub use refsim::simulate_trace_reference;
 pub use sampler::CompiledSampler;
 pub use sfg::{
     BranchCtxStats, Context, ContextStats, ExportedNode, Gram, MissStats, Sfg, SlotStats,
@@ -74,7 +76,7 @@ pub use sfg::{
 pub use synth::{
     BranchFlags, DataFlags, SyntheticInstr, SyntheticOutcome, SyntheticTrace, WalkReport,
 };
-pub use tracesim::simulate_trace;
+pub use tracesim::{simulate_fused, simulate_trace, SimEngine};
 
 /// The paper's cap on recorded dependency distances (§2.1.1): "we limit
 /// the dependency distribution to 512 which still allows the modeling

@@ -241,6 +241,133 @@ struct CompiledContext {
     branch: Option<CompiledBranch>,
 }
 
+/// One instruction slot pre-decoded into a fixed-width record: a packed
+/// template word (op class, operand count, destination/dependency/
+/// memory flags) plus the per-instruction fetch-miss probabilities.
+///
+/// The emit hot path reads these 32-byte records sequentially and only
+/// dereferences the fat [`CompiledSlot`] (whose histograms live behind
+/// pointers) when a flag says a distribution actually has mass — the
+/// common all-hits / no-anti-deps block never leaves the macro-op
+/// stream.
+#[derive(Debug, Clone, Copy)]
+struct MacroOp {
+    word: u32,
+    /// (L1I, L2I, I-TLB) miss probabilities — drawn for every
+    /// instruction, so they ride in the record.
+    icache: [f64; 3],
+}
+
+impl MacroOp {
+    const HAS_DEST: u32 = 1 << 6;
+    const DEP0: u32 = 1 << 7;
+    const DEP1: u32 = 1 << 8;
+    const WAW: u32 = 1 << 9;
+    const WAR: u32 = 1 << 10;
+    const DCACHE: u32 = 1 << 11;
+
+    fn lower(slot: &CompiledSlot) -> Self {
+        let mut word = slot.class.index() as u32;
+        word |= u32::from(slot.src_count.min(2)) << 4;
+        if slot.has_dest != 0 {
+            word |= Self::HAS_DEST;
+        }
+        if !slot.dep[0].is_empty() {
+            word |= Self::DEP0;
+        }
+        if !slot.dep[1].is_empty() {
+            word |= Self::DEP1;
+        }
+        if !slot.waw.is_empty() {
+            word |= Self::WAW;
+        }
+        if !slot.war.is_empty() {
+            word |= Self::WAR;
+        }
+        if slot.dcache.is_some() {
+            word |= Self::DCACHE;
+        }
+        MacroOp {
+            word,
+            icache: slot.icache,
+        }
+    }
+
+    #[inline]
+    fn class(self) -> InstrClass {
+        InstrClass::ALL[(self.word & 0xF) as usize]
+    }
+    #[inline]
+    fn src_count(self) -> usize {
+        ((self.word >> 4) & 0x3) as usize
+    }
+    #[inline]
+    fn has_dest_byte(self) -> u8 {
+        u8::from(self.word & Self::HAS_DEST != 0)
+    }
+    #[inline]
+    fn dep_nonempty(self, p: usize) -> bool {
+        self.word & (Self::DEP0 << p) != 0
+    }
+    #[inline]
+    fn waw(self) -> bool {
+        self.word & Self::WAW != 0
+    }
+    #[inline]
+    fn war(self) -> bool {
+        self.word & Self::WAR != 0
+    }
+    #[inline]
+    fn any_anti(self) -> bool {
+        self.word & (Self::WAW | Self::WAR) != 0
+    }
+    #[inline]
+    fn dcache(self) -> bool {
+        self.word & Self::DCACHE != 0
+    }
+}
+
+/// Where emitted instructions go: a materialising sink (building a
+/// [`SyntheticTrace`]) or the fused engine's ring buffer. Positions are
+/// absolute stream indices; `has_dest_at` serves the dependency-retry
+/// probe, which looks at most [`MAX_DEP_DISTANCE`] instructions back.
+///
+/// Routing both paths through one emit implementation is what makes the
+/// fused engine bit-identical by construction: there is a single RNG
+/// consumption order.
+pub(crate) trait EmitSink {
+    /// Total instructions emitted so far (the absolute stream length).
+    fn len(&self) -> usize;
+    /// Whether the instruction at absolute position `idx` defines a
+    /// register.
+    fn has_dest_at(&self, idx: usize) -> bool;
+    /// Appends one instruction.
+    fn push(&mut self, instr: SyntheticInstr, has_dest: u8);
+}
+
+/// [`EmitSink`] that materialises a [`SyntheticTrace`] plus the
+/// sideband producer-index bytes.
+struct TraceSink<'t> {
+    trace: &'t mut SyntheticTrace,
+    has_dest: &'t mut Vec<u8>,
+}
+
+impl EmitSink for TraceSink<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.trace.instrs.len()
+    }
+    #[inline]
+    fn has_dest_at(&self, idx: usize) -> bool {
+        self.has_dest[idx] != 0
+    }
+    #[inline]
+    fn push(&mut self, instr: SyntheticInstr, has_dest: u8) {
+        self.trace.instrs.push(instr);
+        self.has_dest.push(has_dest);
+    }
+}
+
 impl CompiledContext {
     fn lower(stats: &ContextStats) -> Self {
         let slots = stats
@@ -310,6 +437,16 @@ pub struct CompiledSampler {
     node_total: Vec<u64>,
     /// Lowered per-context statistics, indexed by [`CompiledEdge::ctx`].
     contexts: Vec<CompiledContext>,
+    /// Offset of each context's slot templates in `macro_ops`, indexed
+    /// by [`CompiledEdge::ctx`].
+    macro_start: Vec<u32>,
+    /// Flat per-slot macro-op records, physically ordered along greedy
+    /// hot-successor chains so consecutive walk steps read consecutive
+    /// memory (the aero-JIT trace-layout trick applied to SFG blocks).
+    macro_ops: Vec<MacroOp>,
+    /// Per-node index of the highest-count outgoing edge
+    /// (`u32::MAX` = dead end) — the chain-layout driver.
+    hot_succ: Vec<u32>,
     /// Σ `initial` — the walk's occurrence budget.
     budget: u64,
     /// Expected instruction count (plus slack), used to reserve the
@@ -436,6 +573,61 @@ impl CompiledSampler {
         }
         let instr_hint = expected as usize + expected as usize / 8 + 16;
 
+        // ---- macro-op lowering with hot-successor chain layout.
+        // Each node's hottest outgoing edge defines its likely dynamic
+        // successor; laying the slot templates out along those chains
+        // (hottest start nodes first) makes the walk's dominant paths
+        // read the macro-op array near-sequentially. Only the *physical
+        // placement* of templates is affected — ids, CSR order and the
+        // RNG stream are untouched, so generated traces are unchanged.
+        let nnodes = initial.len();
+        let mut hot_succ = vec![u32::MAX; nnodes];
+        for node in 0..nnodes {
+            let (lo, hi) = (edge_start[node] as usize, edge_start[node + 1] as usize);
+            let mut prev = 0u64;
+            let mut best: Option<(u64, usize)> = None;
+            for (i, e) in edge_records[lo..hi].iter().enumerate() {
+                let count = e.cum - prev;
+                prev = e.cum;
+                if best.is_none_or(|(c, _)| count > c) {
+                    best = Some((count, lo + i));
+                }
+            }
+            if let Some((_, idx)) = best {
+                hot_succ[node] = idx as u32;
+            }
+        }
+        let total_slots: usize = contexts.iter().map(|c| c.slots.len()).sum();
+        let mut macro_start = vec![u32::MAX; contexts.len()];
+        let mut macro_ops: Vec<MacroOp> = Vec::with_capacity(total_slots);
+        let mut order: Vec<usize> = (0..nnodes).collect();
+        order.sort_by_key(|&n| std::cmp::Reverse(initial[n])); // stable: id ties
+        let mut chained = vec![false; nnodes];
+        for &start in &order {
+            let mut node = start;
+            while !chained[node] {
+                chained[node] = true;
+                let e = hot_succ[node];
+                if e == u32::MAX {
+                    break;
+                }
+                let edge = &edge_records[e as usize];
+                if edge.ctx != NO_CONTEXT && macro_start[edge.ctx as usize] == u32::MAX {
+                    macro_start[edge.ctx as usize] = macro_ops.len() as u32;
+                    macro_ops.extend(contexts[edge.ctx as usize].slots.iter().map(MacroOp::lower));
+                }
+                node = edge.target as usize;
+            }
+        }
+        // Cold contexts (never on a hot chain) follow in id order.
+        for (cid, ctx) in contexts.iter().enumerate() {
+            if macro_start[cid] == u32::MAX {
+                macro_start[cid] = macro_ops.len() as u32;
+                macro_ops.extend(ctx.slots.iter().map(MacroOp::lower));
+            }
+        }
+        debug_assert_eq!(macro_ops.len(), total_slots);
+
         OBS_TABLE_NODES.set(initial.len() as u64);
         OBS_TABLE_EDGES.set(edge_records.len() as u64);
         OBS_TABLE_CONTEXTS.set(contexts.len() as u64);
@@ -445,6 +637,9 @@ impl CompiledSampler {
             edges: edge_records,
             node_total,
             contexts,
+            macro_start,
+            macro_ops,
+            hot_succ,
             budget,
             instr_hint,
         }
@@ -511,75 +706,198 @@ impl CompiledSampler {
     /// Byte-identical to
     /// [`StatisticalProfile::generate_reference`] for the same
     /// `(r, seed)`: the walk draws from the seeded RNG in exactly the
-    /// interpreter's sequence and inverts the same CDFs.
+    /// interpreter's sequence and inverts the same CDFs. The loop is
+    /// one [`StreamGen`] pumped into a materialising sink — the same
+    /// code the fused generate-and-simulate engine streams from, so the
+    /// two paths cannot drift.
     pub fn generate(&self, seed: u64) -> SyntheticTrace {
         let _span = OBS_GENERATE_TIME.span();
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut budget = self.budget;
-        if budget == 0 {
-            return SyntheticTrace::default();
-        }
-        let mut occupancy = Occupancy::new(&self.initial);
         let mut trace = SyntheticTrace::default();
+        if self.budget == 0 {
+            return trace;
+        }
         trace.instrs.reserve(self.instr_hint);
         // Sideband producer index: one byte per emitted instruction
         // (`class.has_dest()`), so dependency-retry probes stay cache-
         // resident instead of striding the 48-byte instruction records.
         let mut has_dest: Vec<u8> = Vec::with_capacity(self.instr_hint);
-        let mut walk_steps: u64 = 0;
-        let mut walk_restarts: u64 = 0;
+        let mut gen = StreamGen::new(self, seed);
+        let mut sink = TraceSink {
+            trace: &mut trace,
+            has_dest: &mut has_dest,
+        };
+        while gen.pump(&mut sink) {}
+        trace
+    }
 
-        'walk: loop {
-            walk_restarts += 1;
-            // ---- step 2: pick a start node by remaining occurrence.
-            debug_assert_eq!(budget, occupancy.total());
-            if budget == 0 {
-                break 'walk;
-            }
-            let point = rng.gen_range(0..budget);
-            let mut node = occupancy.select(point);
+    /// The hot successor of `node`: the target of its highest-count
+    /// outgoing edge (ties to the lowest block id), or `None` for dead
+    /// ends. This relation drives the physical layout of the macro-op
+    /// table.
+    pub fn hot_successor(&self, node: usize) -> Option<usize> {
+        let e = *self.hot_succ.get(node)?;
+        (e != u32::MAX).then(|| self.edges[e as usize].target as usize)
+    }
 
-            // ---- steps 3-9: walk the id space.
-            loop {
-                if self.node_total[node] == 0 {
-                    // Dead end (every outgoing edge was pruned): per the
-                    // paper, accessing the node still consumes its
-                    // occurrence before restarting at step 1 — otherwise
-                    // start-node selection could land here forever.
-                    budget = budget.saturating_sub(occupancy.drain(node));
-                    if budget == 0 {
-                        break 'walk;
-                    }
-                    continue 'walk;
-                }
-                if occupancy.remaining(node) == 0 {
-                    // Occurrence budget exhausted: restart at step 2.
-                    continue 'walk;
-                }
-                occupancy.consume_one(node);
-                budget -= 1;
-                walk_steps += 1;
-                // Pick an outgoing edge by transition probability.
-                let (lo, hi) = (
-                    self.edge_start[node] as usize,
-                    self.edge_start[node + 1] as usize,
-                );
-                let row = &self.edges[lo..hi];
-                let point = rng.gen_range(0..self.node_total[node]);
-                let edge = &row[pick_edge(row, point)];
-                if let Some(ctx) = self.contexts.get(edge.ctx as usize) {
-                    ctx.emit(&mut trace, &mut has_dest, &mut rng);
-                }
-                node = edge.target as usize;
-                if budget == 0 {
-                    break 'walk;
-                }
+    /// A deterministic digest over every lowered table — node budgets,
+    /// CSR edges, macro-op words, chain layout — pinned by the frozen
+    /// wire-format tests so accidental changes to the lowering are
+    /// caught as test failures, not silent behaviour drift.
+    pub fn lowering_digest(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::fxhash::FxHasher::default();
+        h.write_u64(self.budget);
+        h.write_usize(self.initial.len());
+        for &v in &self.initial {
+            h.write_u64(v);
+        }
+        for &v in &self.edge_start {
+            h.write_u32(v);
+        }
+        for e in &self.edges {
+            h.write_u64(e.cum);
+            h.write_u32(e.target);
+            h.write_u32(e.ctx);
+        }
+        for &v in &self.node_total {
+            h.write_u64(v);
+        }
+        h.write_usize(self.contexts.len());
+        for &v in &self.macro_start {
+            h.write_u32(v);
+        }
+        for op in &self.macro_ops {
+            h.write_u32(op.word);
+            for p in op.icache {
+                h.write_u64(p.to_bits());
             }
         }
-        OBS_WALK_STEPS.add(walk_steps);
-        OBS_WALK_RESTARTS.add(walk_restarts);
-        OBS_INSTRS_EMITTED.add(trace.len() as u64);
-        trace
+        for &v in &self.hot_succ {
+            h.write_u32(v);
+        }
+        h.finish()
+    }
+
+    /// Emits the block attached to edge-context `ctx_id` into `sink`
+    /// ([`NO_CONTEXT`] emits nothing, mirroring the interpreter's miss).
+    #[inline]
+    pub(crate) fn emit_ctx<S: EmitSink>(&self, ctx_id: u32, sink: &mut S, rng: &mut SmallRng) {
+        let Some(ctx) = self.contexts.get(ctx_id as usize) else {
+            return;
+        };
+        let start = self.macro_start[ctx_id as usize] as usize;
+        let ops = &self.macro_ops[start..start + ctx.slots.len()];
+        ctx.emit_into(ops, sink, rng);
+    }
+}
+
+/// The §2.2 random walk as a resumable state machine: the same RNG
+/// draws, in the same order, as [`CompiledSampler::generate`]'s loop —
+/// but pumpable block-by-block, so the fused engine can interleave
+/// generation with simulation without materialising the trace.
+///
+/// States: before a restart (`at_node == false`), at a node mid-walk,
+/// or done. The walk-report observability counters are flushed once,
+/// when the walk completes.
+pub(crate) struct StreamGen<'s> {
+    sampler: &'s CompiledSampler,
+    rng: SmallRng,
+    occupancy: Occupancy,
+    budget: u64,
+    node: usize,
+    at_node: bool,
+    done: bool,
+    walk_steps: u64,
+    walk_restarts: u64,
+}
+
+impl<'s> StreamGen<'s> {
+    pub(crate) fn new(sampler: &'s CompiledSampler, seed: u64) -> Self {
+        let budget = sampler.budget;
+        StreamGen {
+            sampler,
+            rng: SmallRng::seed_from_u64(seed),
+            occupancy: Occupancy::new(&sampler.initial),
+            budget,
+            node: 0,
+            at_node: false,
+            // A zero-budget walk emits nothing and (like `generate`'s
+            // early return) records no walk counters.
+            done: budget == 0,
+            walk_steps: 0,
+            walk_restarts: 0,
+        }
+    }
+
+    /// Advances the walk until at least one more instruction lands in
+    /// `sink` or the walk completes. Returns `false` once the walk is
+    /// done (instructions may still have been emitted by the final
+    /// call); subsequent calls are no-ops.
+    pub(crate) fn pump<S: EmitSink>(&mut self, sink: &mut S) -> bool {
+        if self.done {
+            return false;
+        }
+        let start = sink.len();
+        loop {
+            if !self.at_node {
+                // ---- step 2: pick a start node by remaining occurrence.
+                self.walk_restarts += 1;
+                debug_assert_eq!(self.budget, self.occupancy.total());
+                if self.budget == 0 {
+                    return self.complete(sink);
+                }
+                let point = self.rng.gen_range(0..self.budget);
+                self.node = self.occupancy.select(point);
+                self.at_node = true;
+            }
+            // ---- steps 3-9: walk the id space.
+            let node = self.node;
+            if self.sampler.node_total[node] == 0 {
+                // Dead end (every outgoing edge was pruned): per the
+                // paper, accessing the node still consumes its
+                // occurrence before restarting at step 1 — otherwise
+                // start-node selection could land here forever.
+                self.budget = self.budget.saturating_sub(self.occupancy.drain(node));
+                self.at_node = false;
+                if self.budget == 0 {
+                    return self.complete(sink);
+                }
+                continue;
+            }
+            if self.occupancy.remaining(node) == 0 {
+                // Occurrence budget exhausted: restart at step 2.
+                self.at_node = false;
+                continue;
+            }
+            self.occupancy.consume_one(node);
+            self.budget -= 1;
+            self.walk_steps += 1;
+            // Pick an outgoing edge by transition probability.
+            let (lo, hi) = (
+                self.sampler.edge_start[node] as usize,
+                self.sampler.edge_start[node + 1] as usize,
+            );
+            let row = &self.sampler.edges[lo..hi];
+            let point = self.rng.gen_range(0..self.sampler.node_total[node]);
+            let edge = &row[pick_edge(row, point)];
+            self.sampler.emit_ctx(edge.ctx, sink, &mut self.rng);
+            self.node = edge.target as usize;
+            if self.budget == 0 {
+                return self.complete(sink);
+            }
+            if sink.len() > start {
+                return true;
+            }
+        }
+    }
+
+    /// Flushes the walk counters exactly once and parks the generator.
+    fn complete<S: EmitSink>(&mut self, sink: &S) -> bool {
+        self.done = true;
+        OBS_WALK_STEPS.add(self.walk_steps);
+        OBS_WALK_RESTARTS.add(self.walk_restarts);
+        OBS_INSTRS_EMITTED.add(sink.len() as u64);
+        false
     }
 }
 
@@ -587,16 +905,20 @@ impl CompiledContext {
     /// Emits one basic block's worth of synthetic instructions
     /// (steps 3-8) — the compiled mirror of the interpreter's
     /// `emit_block`, consuming the RNG in the identical sequence.
-    fn emit(&self, trace: &mut SyntheticTrace, has_dest: &mut Vec<u8>, rng: &mut SmallRng) {
-        let nslots = self.slots.len();
+    ///
+    /// `ops` holds this context's pre-decoded slot templates; the fat
+    /// [`CompiledSlot`] records are dereferenced only when a template
+    /// flag says a histogram has mass to draw from.
+    fn emit_into<S: EmitSink>(&self, ops: &[MacroOp], sink: &mut S, rng: &mut SmallRng) {
+        let nslots = ops.len();
         // One quantile per block occurrence, shared by every operand's
         // first draw: within one dynamic block, dependency distances
         // co-vary, and comonotonic sampling preserves that correlation
         // (see `emit_block` in `synth.rs`).
         let u_block: f64 = rng.gen();
-        for (s, slot) in self.slots.iter().enumerate() {
+        for (s, op) in ops.iter().enumerate() {
             let mut instr = SyntheticInstr {
-                class: slot.class,
+                class: op.class(),
                 dep: [None, None],
                 l1i_miss: false,
                 l2i_miss: false,
@@ -606,8 +928,15 @@ impl CompiledContext {
                 anti_dep: [None, None],
             };
             // Anti-dependency distances (profiles with anti_deps only).
-            for (i, hist) in [&slot.waw, &slot.war].into_iter().enumerate() {
-                if !hist.is_empty() {
+            if op.any_anti() {
+                let slot = &self.slots[s];
+                for (i, (present, hist)) in [(op.waw(), &slot.waw), (op.war(), &slot.war)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    if !present {
+                        continue;
+                    }
                     let d = hist.sample_with(rng.gen()).unwrap_or(0);
                     if d > 0 {
                         if d > MAX_DEP_DISTANCE {
@@ -619,11 +948,11 @@ impl CompiledContext {
             }
             // step 4: dependency distances, retried so the producer is
             // not a branch or store.
-            for p in 0..usize::from(slot.src_count.min(2)) {
-                let hist = &slot.dep[p];
-                if hist.is_empty() {
+            for p in 0..op.src_count() {
+                if !op.dep_nonempty(p) {
                     continue;
                 }
+                let hist = &self.slots[s].dep[p];
                 let mut chosen = None;
                 let mut exhausted = true;
                 for attempt in 0..DEP_RETRIES {
@@ -644,15 +973,15 @@ impl CompiledContext {
                         OBS_DEP_CLAMPED.inc();
                     }
                     let d = d.min(MAX_DEP_DISTANCE);
-                    let pos = trace.instrs.len();
+                    let pos = sink.len();
                     match pos.checked_sub(d as usize) {
                         Some(src) => {
                             // Producer must define a register (not a
-                            // branch or store). `has_dest` mirrors the
-                            // trace one byte per instruction, so the
-                            // probe stays in cache instead of touching
-                            // the 48-byte instruction records.
-                            if has_dest[src] != 0 {
+                            // branch or store). The sink answers from a
+                            // one-byte-per-instruction sideband index,
+                            // so the probe stays in cache instead of
+                            // touching the 48-byte instruction records.
+                            if sink.has_dest_at(src) {
                                 chosen = Some(d);
                                 exhausted = false;
                                 break;
@@ -672,7 +1001,11 @@ impl CompiledContext {
                 instr.dep[p] = chosen;
             }
             // step 5: load locality flags.
-            if let Some(d) = &slot.dcache {
+            if op.dcache() {
+                let d = self.slots[s]
+                    .dcache
+                    .as_ref()
+                    .expect("DCACHE flag implies probabilities");
                 let l1_miss = rng.gen::<f64>() < d[0];
                 let l2_miss = l1_miss && rng.gen::<f64>() < d[1];
                 let tlb_miss = rng.gen::<f64>() < d[2];
@@ -683,9 +1016,9 @@ impl CompiledContext {
                 });
             }
             // step 7: instruction fetch locality flags.
-            instr.l1i_miss = rng.gen::<f64>() < slot.icache[0];
-            instr.l2i_miss = instr.l1i_miss && rng.gen::<f64>() < slot.icache[1];
-            instr.itlb_miss = rng.gen::<f64>() < slot.icache[2];
+            instr.l1i_miss = rng.gen::<f64>() < op.icache[0];
+            instr.l2i_miss = instr.l1i_miss && rng.gen::<f64>() < op.icache[1];
+            instr.itlb_miss = rng.gen::<f64>() < op.icache[2];
             // step 6: terminal branch flags.
             if s + 1 == nslots {
                 if let Some(b) = &self.branch {
@@ -701,8 +1034,7 @@ impl CompiledContext {
                     instr.branch = Some(BranchFlags { taken, outcome });
                 }
             }
-            trace.instrs.push(instr); // step 8
-            has_dest.push(slot.has_dest);
+            sink.push(instr, op.has_dest_byte()); // step 8
         }
     }
 }

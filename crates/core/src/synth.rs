@@ -80,6 +80,158 @@ pub struct SyntheticInstr {
     pub anti_dep: [Option<u32>; 2],
 }
 
+/// A [`SyntheticInstr`] packed into one 64-bit word — the fused
+/// engine's ring-buffer element.
+///
+/// The packing is lossless because generation clamps every dependency
+/// distance to [`MAX_DEP_DISTANCE`] (= 512, ten bits) and never emits a
+/// `Some(0)` distance (zero encodes `None`). Layout:
+///
+/// | bits  | field                                   |
+/// |-------|-----------------------------------------|
+/// | 0..4  | instruction class index                 |
+/// | 4..14 | `dep[0]` distance (0 = none)            |
+/// | 14..24| `dep[1]` distance                       |
+/// | 24..34| `anti_dep[0]` (WAW) distance            |
+/// | 34..44| `anti_dep[1]` (WAR) distance            |
+/// | 44..47| `l1i_miss`, `l2i_miss`, `itlb_miss`     |
+/// | 47..51| dmem present, `l1_miss`, `l2_miss`, `tlb_miss` |
+/// | 51..53| branch present, `taken`                 |
+/// | 53..55| branch outcome (0 correct, 1 redirect, 2 mispredict) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PackedInstr(pub(crate) u64);
+
+impl PackedInstr {
+    /// Ten bits per dependency-distance field (distances are 1..=512).
+    const DIST_MASK: u64 = 0x3FF;
+
+    pub(crate) fn pack(i: &SyntheticInstr) -> Self {
+        debug_assert!(i
+            .dep
+            .iter()
+            .chain(&i.anti_dep)
+            .flatten()
+            .all(|&d| (1..=MAX_DEP_DISTANCE).contains(&d)));
+        let mut w = i.class.index() as u64;
+        w |= u64::from(i.dep[0].unwrap_or(0)) << 4;
+        w |= u64::from(i.dep[1].unwrap_or(0)) << 14;
+        w |= u64::from(i.anti_dep[0].unwrap_or(0)) << 24;
+        w |= u64::from(i.anti_dep[1].unwrap_or(0)) << 34;
+        w |= u64::from(i.l1i_miss) << 44;
+        w |= u64::from(i.l2i_miss) << 45;
+        w |= u64::from(i.itlb_miss) << 46;
+        if let Some(d) = i.dmem {
+            w |= 1 << 47;
+            w |= u64::from(d.l1_miss) << 48;
+            w |= u64::from(d.l2_miss) << 49;
+            w |= u64::from(d.tlb_miss) << 50;
+        }
+        if let Some(b) = i.branch {
+            w |= 1 << 51;
+            w |= u64::from(b.taken) << 52;
+            let o = match b.outcome {
+                SyntheticOutcome::Correct => 0u64,
+                SyntheticOutcome::FetchRedirect => 1,
+                SyntheticOutcome::Mispredict => 2,
+            };
+            w |= o << 53;
+        }
+        PackedInstr(w)
+    }
+
+    /// Packs an arbitrary (possibly hand-built) instruction, clamping
+    /// dependency distances into the `1..=MAX_DEP_DISTANCE` range the
+    /// wire format represents. The generator never emits distances
+    /// outside it, so this only affects traces assembled by hand.
+    pub(crate) fn pack_clamped(i: &SyntheticInstr) -> Self {
+        let clamp = |d: &mut Option<u32>| *d = d.map(|d| d.clamp(1, MAX_DEP_DISTANCE));
+        let mut c = *i;
+        c.dep.iter_mut().for_each(clamp);
+        c.anti_dep.iter_mut().for_each(clamp);
+        Self::pack(&c)
+    }
+
+    fn dist(self, shift: u64) -> Option<u32> {
+        let d = ((self.0 >> shift) & Self::DIST_MASK) as u32;
+        (d != 0).then_some(d)
+    }
+
+    /// Instruction class.
+    #[inline]
+    pub(crate) fn class(self) -> InstrClass {
+        InstrClass::ALL[(self.0 & 0xF) as usize]
+    }
+
+    /// True-dependency distances.
+    #[inline]
+    pub(crate) fn dep_dists(self) -> [Option<u32>; 2] {
+        [self.dist(4), self.dist(14)]
+    }
+
+    /// Anti-dependency (WAW, WAR) distances.
+    #[inline]
+    pub(crate) fn anti_dep_dists(self) -> [Option<u32>; 2] {
+        [self.dist(24), self.dist(34)]
+    }
+
+    /// L1 instruction-cache miss flag.
+    #[inline]
+    pub(crate) fn l1i_miss(self) -> bool {
+        self.0 & (1 << 44) != 0
+    }
+
+    /// L2 miss flag for the instruction fetch.
+    #[inline]
+    pub(crate) fn l2i_miss(self) -> bool {
+        self.0 & (1 << 45) != 0
+    }
+
+    /// Instruction-TLB miss flag.
+    #[inline]
+    pub(crate) fn itlb_miss(self) -> bool {
+        self.0 & (1 << 46) != 0
+    }
+
+    /// Data-side locality flags, when pre-assigned.
+    #[inline]
+    pub(crate) fn dmem(self) -> Option<DataFlags> {
+        (self.0 & (1 << 47) != 0).then_some(DataFlags {
+            l1_miss: self.0 & (1 << 48) != 0,
+            l2_miss: self.0 & (1 << 49) != 0,
+            tlb_miss: self.0 & (1 << 50) != 0,
+        })
+    }
+
+    /// Branch flags, when the instruction ends a basic block.
+    #[inline]
+    pub(crate) fn branch(self) -> Option<BranchFlags> {
+        (self.0 & (1 << 51) != 0).then_some(BranchFlags {
+            taken: self.0 & (1 << 52) != 0,
+            outcome: match (self.0 >> 53) & 0x3 {
+                0 => SyntheticOutcome::Correct,
+                1 => SyntheticOutcome::FetchRedirect,
+                _ => SyntheticOutcome::Mispredict,
+            },
+        })
+    }
+
+    /// Rebuilds the struct form — only the round-trip tests need it;
+    /// the simulator reads fields straight off the word.
+    #[cfg(test)]
+    pub(crate) fn unpack(self) -> SyntheticInstr {
+        SyntheticInstr {
+            class: self.class(),
+            dep: self.dep_dists(),
+            anti_dep: self.anti_dep_dists(),
+            l1i_miss: self.l1i_miss(),
+            l2i_miss: self.l2i_miss(),
+            itlb_miss: self.itlb_miss(),
+            dmem: self.dmem(),
+            branch: self.branch(),
+        }
+    }
+}
+
 /// A statistically generated instruction trace.
 ///
 /// Produced by [`StatisticalProfile::generate`]; consumed by
@@ -619,6 +771,35 @@ mod tests {
                 .skip(0)
                 .instructions(400_000),
         )
+    }
+
+    #[test]
+    fn packed_instr_roundtrips() {
+        let p = profiled_loop();
+        let t = p.generate(50, 9);
+        assert!(!t.is_empty());
+        for i in t.instrs() {
+            assert_eq!(PackedInstr::pack(i).unpack(), *i);
+        }
+        // Extremes the generated trace may not cover.
+        let corner = SyntheticInstr {
+            class: InstrClass::FpSqrt,
+            dep: [Some(MAX_DEP_DISTANCE), Some(1)],
+            anti_dep: [Some(7), Some(MAX_DEP_DISTANCE)],
+            l1i_miss: true,
+            l2i_miss: true,
+            itlb_miss: true,
+            dmem: Some(DataFlags {
+                l1_miss: true,
+                l2_miss: false,
+                tlb_miss: true,
+            }),
+            branch: Some(BranchFlags {
+                taken: false,
+                outcome: SyntheticOutcome::Mispredict,
+            }),
+        };
+        assert_eq!(PackedInstr::pack(&corner).unpack(), corner);
     }
 
     #[test]

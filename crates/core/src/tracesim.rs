@@ -1,12 +1,27 @@
 //! Synthetic trace simulation (§2.3 of the paper).
+//!
+//! Two entry points share one driver:
+//!
+//! * [`simulate_trace`] — simulates a materialised [`SyntheticTrace`];
+//! * [`simulate_fused`] — streams synthetic instructions straight from
+//!   a [`CompiledSampler`] walk into the pipeline through a small ring
+//!   buffer, never materialising the trace. Bit-identical to
+//!   generate-then-simulate for the same `(sampler, seed, config)`
+//!   because both paths run the same emission code
+//!   (`sampler::StreamGen`) and the same driver, parameterised only
+//!   over where instructions are read from ([`InstrSource`]).
+//!
+//! Callers running many simulations (design-space sweeps, convergence
+//! studies) should hold a [`SimEngine`] and reuse its working memory
+//! across runs instead of calling the free functions in a loop.
 
-use crate::synth::{SyntheticInstr, SyntheticOutcome, SyntheticTrace};
+use crate::sampler::{EmitSink, StreamGen};
+use crate::synth::{PackedInstr, SyntheticInstr, SyntheticOutcome, SyntheticTrace};
+use crate::CompiledSampler;
 use ssim_uarch::{
-    BranchResolution, Core, DispatchInstr, DispatchOutcome, MachineConfig, MemKind, OccupancyMeter,
-    SimResult, Unit,
+    BranchResolution, Core, CoreScratch, DispatchInstr, DispatchOutcome, MachineConfig, MemKind,
+    OccupancyMeter, SimResult, Unit,
 };
-use std::collections::VecDeque;
-
 // Observability (all no-ops unless SSIM_METRICS enables recording).
 // The per-cycle histograms are the one hot-path instrumentation site in
 // the pipeline; each record is a single relaxed load when disabled.
@@ -53,23 +68,276 @@ static OBS_RETIRE_PER_CYCLE: ssim_obs::LogHistogram =
 /// Panics if the machine configuration is invalid or the pipeline
 /// stops making forward progress.
 pub fn simulate_trace(trace: &SyntheticTrace, cfg: &MachineConfig) -> SimResult {
-    cfg.validate();
-    TraceSim::new(trace, cfg).run()
+    SimEngine::new().simulate(trace, cfg)
 }
 
-#[derive(Debug, Clone, Copy)]
-struct IfqEntry {
-    di: DispatchInstr,
-    is_branch: bool,
-    mispredict_marker: bool,
+/// Generates and simulates in one fused pass: the compiled walk streams
+/// instructions directly into the pipeline through a ring buffer, so no
+/// [`SyntheticTrace`] is ever materialised.
+///
+/// The result — every field of [`SimResult`], bit for bit — equals
+/// `simulate_trace(&sampler.generate(seed), cfg)`. Generation work is
+/// attributed to the `tracesim.time` observability timer here (there is
+/// no separate generation phase), so the `synth.time` timer records
+/// nothing for fused runs; the `synth.walk_*` counters still do.
+///
+/// # Panics
+///
+/// Panics if the machine configuration is invalid or the pipeline
+/// stops making forward progress.
+pub fn simulate_fused(sampler: &CompiledSampler, seed: u64, cfg: &MachineConfig) -> SimResult {
+    SimEngine::new().simulate_fused(sampler, seed, cfg)
 }
 
-struct TraceSim<'a, 't> {
+/// Where the driver reads synthetic instructions from, addressed by
+/// absolute trace position. Instructions travel as [`PackedInstr`]
+/// words: fetch and dispatch test individual bit fields instead of
+/// materialising a [`SyntheticInstr`] per event. `fetch_at` is allowed
+/// to *produce* the instruction on demand (the fused path pumps the
+/// compiled walk); `retain_from` promises that positions below `idx`
+/// will never be fetched again (the rewind cursor can only move
+/// forward), letting a streaming source recycle its storage.
+trait InstrSource {
+    fn fetch_at(&mut self, idx: usize) -> Option<PackedInstr>;
+    fn retain_from(&mut self, idx: usize);
+}
+
+/// [`InstrSource`] over a trace pre-packed into words (see
+/// [`SimEngine::simulate`]).
+struct SliceSource<'t> {
+    words: &'t [u64],
+}
+
+impl InstrSource for SliceSource<'_> {
+    #[inline]
+    fn fetch_at(&mut self, idx: usize) -> Option<PackedInstr> {
+        self.words.get(idx).copied().map(PackedInstr)
+    }
+    #[inline]
+    fn retain_from(&mut self, _idx: usize) {}
+}
+
+/// A power-of-two ring of [`PackedInstr`] words addressed by absolute
+/// stream index — the fused engine's entire instruction storage.
+///
+/// `tail..head` is the retained window; the simulator keeps it no wider
+/// than the mispredict rewind distance (bounded by IFQ + RUU size plus
+/// one fetch group), so in steady state the ring never grows past a few
+/// hundred slots and stays cache-resident. `get` masks the absolute
+/// index instead of translating it, which keeps every driver-side
+/// position (cursor, rewind point) a plain monotone integer.
+#[derive(Debug, Default)]
+struct InstrRing {
+    buf: Vec<u64>,
+    /// Absolute index of the oldest retained element.
+    tail: usize,
+    /// Absolute index one past the newest element.
+    head: usize,
+}
+
+impl InstrRing {
+    const INITIAL_CAPACITY: usize = 1024;
+
+    fn reset(&mut self) {
+        self.tail = 0;
+        self.head = 0;
+    }
+
+    fn head(&self) -> usize {
+        self.head
+    }
+
+    fn get(&self, idx: usize) -> u64 {
+        debug_assert!(
+            self.tail <= idx && idx < self.head,
+            "ring read at {idx} outside retained window {}..{}",
+            self.tail,
+            self.head
+        );
+        self.buf[idx & (self.buf.len() - 1)]
+    }
+
+    fn push(&mut self, word: u64) {
+        if self.head - self.tail == self.buf.len() {
+            self.grow();
+        }
+        let mask = self.buf.len() - 1;
+        self.buf[self.head & mask] = word;
+        self.head += 1;
+    }
+
+    /// Doubles capacity, re-placing the live window under the new mask.
+    fn grow(&mut self) {
+        let old = std::mem::take(&mut self.buf);
+        let new_len = (old.len() * 2).max(Self::INITIAL_CAPACITY);
+        self.buf = vec![0u64; new_len];
+        if !old.is_empty() {
+            let (old_mask, new_mask) = (old.len() - 1, new_len - 1);
+            for idx in self.tail..self.head {
+                self.buf[idx & new_mask] = old[idx & old_mask];
+            }
+        }
+    }
+
+    /// Declares positions below `watermark` dead, freeing their slots.
+    fn retain_from(&mut self, watermark: usize) {
+        self.tail = self.tail.max(watermark.min(self.head));
+    }
+}
+
+/// [`EmitSink`] writing packed words into the ring plus the sideband
+/// producer-index bytes the dependency-retry probe reads.
+///
+/// The sideband `Vec` is full-length (one byte per emitted instruction,
+/// never truncated): the probe looks up to [`crate::MAX_DEP_DISTANCE`]
+/// positions back, which can reach below the ring's retained window.
+struct RingSink<'r> {
+    ring: &'r mut InstrRing,
+    has_dest: &'r mut Vec<u8>,
+}
+
+impl EmitSink for RingSink<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.has_dest.len()
+    }
+    #[inline]
+    fn has_dest_at(&self, idx: usize) -> bool {
+        self.has_dest[idx] != 0
+    }
+    #[inline]
+    fn push(&mut self, instr: SyntheticInstr, has_dest: u8) {
+        self.ring.push(PackedInstr::pack(&instr).0);
+        self.has_dest.push(has_dest);
+    }
+}
+
+/// [`InstrSource`] that pumps a compiled walk on demand: `fetch_at`
+/// past the generated prefix advances the walk until the position
+/// materialises (or the walk ends). Generation order is fixed by the
+/// walk, so fetching "early" (the driver's end-of-trace probe) only
+/// moves work forward — the RNG stream is untouched.
+struct RingSource<'s, 'e> {
+    gen: StreamGen<'s>,
+    ring: &'e mut InstrRing,
+    has_dest: &'e mut Vec<u8>,
+}
+
+impl InstrSource for RingSource<'_, '_> {
+    fn fetch_at(&mut self, idx: usize) -> Option<PackedInstr> {
+        while idx >= self.ring.head() {
+            let mut sink = RingSink {
+                ring: &mut *self.ring,
+                has_dest: &mut *self.has_dest,
+            };
+            let more = self.gen.pump(&mut sink);
+            // The final pump can both emit instructions and report the
+            // walk done — check the head again before giving up.
+            if !more && idx >= self.ring.head() {
+                return None;
+            }
+        }
+        Some(PackedInstr(self.ring.get(idx)))
+    }
+    #[inline]
+    fn retain_from(&mut self, idx: usize) {
+        self.ring.retain_from(idx);
+    }
+}
+
+/// A reusable synthetic-simulation engine.
+///
+/// Owns every working buffer the simulator needs — the core's RUU
+/// entry storage and timing wheel ([`CoreScratch`]) plus the fused
+/// path's instruction ring and producer-index sideband — so repeated
+/// [`SimEngine::simulate`] / [`SimEngine::simulate_fused`] calls
+/// (design-space sweeps simulate thousands of points) allocate nothing
+/// after warm-up. A fresh engine per call is exactly the free
+/// functions' behaviour; reuse changes no results, only allocation
+/// traffic.
+#[derive(Debug, Default)]
+pub struct SimEngine {
+    scratch: CoreScratch,
+    ring: InstrRing,
+    has_dest: Vec<u8>,
+    /// The unfused path's trace, pre-packed into the same word format
+    /// the fused ring uses, so both paths share one driver currency.
+    packed: Vec<u64>,
+}
+
+impl SimEngine {
+    /// Creates an engine with empty working buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulates a materialised trace (see [`simulate_trace`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine configuration is invalid or the pipeline
+    /// stops making forward progress.
+    pub fn simulate(&mut self, trace: &SyntheticTrace, cfg: &MachineConfig) -> SimResult {
+        let scratch = std::mem::take(&mut self.scratch);
+        // One packing pass up front; the driver then reads plain words.
+        // Hand-built traces may carry dependency distances outside the
+        // generator's range — those clamp to `1..=MAX_DEP_DISTANCE`,
+        // the range the wire format represents.
+        self.packed.clear();
+        self.packed.extend(
+            trace
+                .instrs()
+                .iter()
+                .map(|i| PackedInstr::pack_clamped(i).0),
+        );
+        let source = SliceSource {
+            words: &self.packed,
+        };
+        let (result, scratch) = TraceSim::new(cfg, source, scratch).run();
+        self.scratch = scratch;
+        result
+    }
+
+    /// Generates and simulates in one fused pass (see
+    /// [`simulate_fused`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine configuration is invalid or the pipeline
+    /// stops making forward progress.
+    pub fn simulate_fused(
+        &mut self,
+        sampler: &CompiledSampler,
+        seed: u64,
+        cfg: &MachineConfig,
+    ) -> SimResult {
+        self.ring.reset();
+        self.has_dest.clear();
+        let scratch = std::mem::take(&mut self.scratch);
+        let source = RingSource {
+            gen: StreamGen::new(sampler, seed),
+            ring: &mut self.ring,
+            has_dest: &mut self.has_dest,
+        };
+        let (result, scratch) = TraceSim::new(cfg, source, scratch).run();
+        self.scratch = scratch;
+        result
+    }
+}
+
+struct TraceSim<'a, S: InstrSource> {
     cfg: &'a MachineConfig,
-    trace: &'t [SyntheticInstr],
+    source: S,
     cursor: usize,
     core: Core<'a>,
-    ifq: VecDeque<IfqEntry>,
+    /// Next stream position to dispatch. The IFQ holds exactly the
+    /// positions `ifq_head..cursor`: fetch appends strictly sequential
+    /// positions and a mispredict recovery empties the queue before
+    /// rewinding, so the queue is always one contiguous range and two
+    /// cursors replace any per-entry storage. Everything dispatch needs
+    /// is re-derived from the source by position (see
+    /// [`TraceSim::dispatch`]).
+    ifq_head: usize,
     ifq_meter: OccupancyMeter,
     branch_stats: ssim_uarch::BranchStats,
     fetch_stall_until: u64,
@@ -80,14 +348,14 @@ struct TraceSim<'a, 't> {
     pending_seq: Option<u64>,
 }
 
-impl<'a, 't> TraceSim<'a, 't> {
-    fn new(trace: &'t SyntheticTrace, cfg: &'a MachineConfig) -> Self {
+impl<'a, S: InstrSource> TraceSim<'a, S> {
+    fn new(cfg: &'a MachineConfig, source: S, scratch: CoreScratch) -> Self {
         TraceSim {
             cfg,
-            trace: trace.instrs(),
+            source,
             cursor: 0,
-            core: Core::new(cfg),
-            ifq: VecDeque::with_capacity(cfg.ifq_size),
+            core: Core::with_scratch(cfg, scratch),
+            ifq_head: 0,
             ifq_meter: OccupancyMeter::new(),
             branch_stats: ssim_uarch::BranchStats::default(),
             fetch_stall_until: 0,
@@ -96,17 +364,26 @@ impl<'a, 't> TraceSim<'a, 't> {
         }
     }
 
-    fn run(mut self) -> SimResult {
+    /// Current IFQ occupancy (the two-cursor queue's length).
+    #[inline]
+    fn ifq_len(&self) -> usize {
+        self.cursor - self.ifq_head
+    }
+
+    fn run(mut self) -> (SimResult, CoreScratch) {
         let _span = OBS_SIM_TIME.span();
-        let target = self.trace.len() as u64;
         let mut last_progress = (0u64, 0u64);
         loop {
             let committed = self.core.committed();
-            if committed >= target
-                || (self.cursor >= self.trace.len()
-                    && self.core.is_empty()
-                    && self.ifq.is_empty()
-                    && self.wrong_path.is_none())
+            // Done when the machine has fully drained and the source is
+            // exhausted. (A trace ending in a mispredict never stalls
+            // here: resolution and the rewind both happen inside one
+            // `cycle()` call, so `wrong_path` is `None` again by the
+            // time the drain check can pass.)
+            if self.wrong_path.is_none()
+                && self.ifq_len() == 0
+                && self.core.is_empty()
+                && self.source.fetch_at(self.cursor).is_none()
             {
                 break;
             }
@@ -114,11 +391,22 @@ impl<'a, 't> TraceSim<'a, 't> {
                 self.recover(seq);
             }
             let dispatched = self.dispatch();
+            let cursor_before = self.cursor;
             self.fetch();
+            // Everything below both the rewind point and the dispatch
+            // cursor can never be read again (dispatch re-reads the
+            // source at `ifq_head..cursor`, and the rewind point can sit
+            // on either side of `ifq_head` while the mispredicted branch
+            // waits in the queue).
+            let watermark = self
+                .wrong_path
+                .map_or(self.ifq_head, |rw| rw.min(self.ifq_head));
+            self.source.retain_from(watermark);
             OBS_DISPATCH_PER_CYCLE.record(dispatched);
             OBS_ISSUE_OCCUPANCY.record(self.core.in_flight() as u64);
             self.core.advance();
             OBS_RETIRE_PER_CYCLE.record(self.core.committed() - committed);
+            self.skip_quiet_cycles(dispatched, cursor_before);
 
             let now = self.core.now();
             if committed > last_progress.1 {
@@ -133,9 +421,9 @@ impl<'a, 't> TraceSim<'a, 't> {
         let instructions = self.core.committed();
         OBS_CYCLES.add(cycles);
         OBS_INSTRUCTIONS.add(instructions);
-        let (mut activity, ruu, lsq) = self.core.finish();
+        let (mut activity, ruu, lsq, scratch) = self.core.finish_reuse();
         activity.set_cycles(cycles);
-        SimResult {
+        let result = SimResult {
             instructions,
             cycles,
             ruu_occupancy: ruu.mean(),
@@ -144,37 +432,131 @@ impl<'a, 't> TraceSim<'a, 't> {
             branch: self.branch_stats,
             cache: Default::default(),
             activity,
+        };
+        (result, scratch)
+    }
+
+    /// Fast-forwards over cycles in which provably nothing can happen.
+    ///
+    /// The cycle just completed must have been fully idle: the core
+    /// reports quiet (no writeback, issue or commit — see
+    /// [`Core::quiet_until`]), dispatch moved nothing, and fetch made no
+    /// progress. Until the core's bound (or the end of a timed fetch
+    /// stall, whichever is sooner) every pipeline stage is blocked for
+    /// the same reason it was blocked this cycle, and an unskipped run
+    /// would idle through the same cycles touching nothing — so only the
+    /// per-cycle occupancy samples and observability histograms need to
+    /// be replayed, in one batched step each. Results are bit-identical.
+    fn skip_quiet_cycles(&mut self, dispatched: u64, cursor_before: usize) {
+        if dispatched != 0 || self.cursor != cursor_before {
+            return;
         }
+        let Some(bound) = self.core.quiet_until() else {
+            return;
+        };
+        // `advance` already ran: the cycle that produced the quiet
+        // verdict is `now - 1`.
+        let now = self.core.now();
+        let mut wake = bound;
+        if now - 1 < self.fetch_stall_until {
+            // Fetch wakes on a timer, not a core event.
+            wake = wake.min(self.fetch_stall_until);
+        }
+        if wake == u64::MAX {
+            // Nothing pending anywhere: the machine is drained and the
+            // main loop's termination check is about to fire.
+            return;
+        }
+        let k = wake.saturating_sub(now);
+        if k == 0 {
+            return;
+        }
+        self.core.skip_quiet(k);
+        self.ifq_meter.sample_n(self.ifq_len() as u64, k);
+        OBS_FETCH_OCCUPANCY.record_n(self.ifq_len() as u64, k);
+        OBS_DISPATCH_PER_CYCLE.record_n(0, k);
+        OBS_ISSUE_OCCUPANCY.record_n(self.core.in_flight() as u64, k);
+        OBS_RETIRE_PER_CYCLE.record_n(0, k);
     }
 
     fn recover(&mut self, seq: u64) {
         debug_assert_eq!(self.pending_seq, Some(seq));
         self.pending_seq = None;
-        let squashed = self.core.squash_after(seq) + self.ifq.len();
+        let squashed = self.core.squash_after(seq) + self.ifq_len();
         OBS_WRONG_PATH_SQUASHED.add(squashed as u64);
-        self.ifq.clear();
         self.cursor = self
             .wrong_path
             .take()
             .expect("resolution implies wrong-path mode");
+        // Emptying the IFQ keeps it a contiguous range across the
+        // rewind: the discarded wrong-path positions are re-fetched as
+        // the correct path from the new cursor.
+        self.ifq_head = self.cursor;
         self.fetch_stall_until = self.core.now() + self.cfg.redirect_latency;
     }
 
     /// Returns the number of instructions dispatched this cycle.
+    ///
+    /// Dispatch re-reads each instruction from the source at `ifq_head`
+    /// and rebuilds its [`DispatchInstr`] on the spot — everything the
+    /// fetch stage knew is a pure function of the instruction's flags
+    /// and its stream position: an entry is wrong-path iff it sits at or
+    /// past the rewind cursor (fetch turns wrong-path mode on for the
+    /// position *after* the mispredicted branch and recovery empties the
+    /// queue before turning it off, so fetch-time and dispatch-time
+    /// status agree), and the mode-triggering branch itself is exactly
+    /// the entry just below the rewind cursor.
     fn dispatch(&mut self) -> u64 {
         let mut dispatched = 0;
-        while let Some(entry) = self.ifq.front() {
-            match self.core.try_dispatch(entry.di) {
+        while self.ifq_head < self.cursor {
+            if self.core.dispatch_blocked() {
+                break;
+            }
+            let pos = self.ifq_head;
+            let w = self
+                .source
+                .fetch_at(pos)
+                .expect("IFQ positions were fetched");
+            let wrong_path = self.wrong_path.is_some_and(|rw| pos >= rw);
+            let mispredict_marker = self.wrong_path == Some(pos + 1);
+            let class = w.class();
+            let mem = match (class, w.dmem(), wrong_path) {
+                (ssim_isa::InstrClass::Load, Some(f), false) => Some(MemKind::Load {
+                    latency: self.load_latency(f),
+                }),
+                // Wrong-path loads (or flag-less loads) behave as L1 hits.
+                (ssim_isa::InstrClass::Load, _, _) => Some(MemKind::Load {
+                    latency: 1 + self.cfg.lat.l1d_hit,
+                }),
+                (ssim_isa::InstrClass::Store, _, _) => Some(MemKind::Store),
+                _ => None,
+            };
+            let di = DispatchInstr {
+                class: Some(class),
+                srcs: [None, None],
+                dep_dists: w.dep_dists(),
+                dest: None,
+                mem,
+                mem_dep_addr: None,
+                branch: if mispredict_marker {
+                    BranchResolution::Mispredict
+                } else {
+                    BranchResolution::None
+                },
+                wrong_path,
+                anti_dep_dists: w.anti_dep_dists(),
+            };
+            match self.core.try_dispatch(di) {
                 DispatchOutcome::Dispatched(seq) => {
                     dispatched += 1;
-                    let entry = self.ifq.pop_front().expect("front exists");
-                    if entry.is_branch && !entry.di.wrong_path {
+                    self.ifq_head += 1;
+                    if w.branch().is_some() && !wrong_path {
                         // The synthetic machine still charges predictor
                         // update activity at dispatch.
                         let now = self.core.now();
                         self.core.activity_mut().record(Unit::Bpred, now);
                     }
-                    if entry.mispredict_marker {
+                    if mispredict_marker {
                         self.pending_seq = Some(seq);
                     }
                 }
@@ -205,30 +587,33 @@ impl<'a, 't> TraceSim<'a, 't> {
     fn fetch(&mut self) {
         let now = self.core.now();
         if now < self.fetch_stall_until {
-            self.ifq_meter.sample(self.ifq.len() as u64);
-            OBS_FETCH_OCCUPANCY.record(self.ifq.len() as u64);
+            self.ifq_meter.sample(self.ifq_len() as u64);
+            OBS_FETCH_OCCUPANCY.record(self.ifq_len() as u64);
             return;
         }
         let mut budget = self.cfg.fetch_width();
-        while budget > 0 && self.ifq.len() < self.cfg.ifq_size {
-            let Some(instr) = self.trace.get(self.cursor).copied() else {
+        while budget > 0 && self.ifq_len() < self.cfg.ifq_size {
+            let Some(w) = self.source.fetch_at(self.cursor) else {
                 break;
             };
             self.cursor += 1;
             let on_wrong_path = self.wrong_path.is_some();
-            let stop = self.fetch_one(&instr, on_wrong_path);
+            let stop = self.fetch_one(w, on_wrong_path);
             budget -= 1;
             if stop {
                 break;
             }
         }
-        self.ifq_meter.sample(self.ifq.len() as u64);
-        OBS_FETCH_OCCUPANCY.record(self.ifq.len() as u64);
+        self.ifq_meter.sample(self.ifq_len() as u64);
+        OBS_FETCH_OCCUPANCY.record(self.ifq_len() as u64);
     }
 
-    /// Fetches one synthetic instruction; returns `true` if fetch stops
-    /// for this cycle.
-    fn fetch_one(&mut self, instr: &SyntheticInstr, wrong_path: bool) -> bool {
+    /// Fetches one synthetic instruction (the position just appended to
+    /// the IFQ range by the caller); returns `true` if fetch stops for
+    /// this cycle. Only stall timing, statistics and activity accounting
+    /// happen here — dispatch rebuilds the instruction's pipeline form
+    /// from the source when its turn comes.
+    fn fetch_one(&mut self, w: PackedInstr, wrong_path: bool) -> bool {
         let now = self.core.now();
         self.core.activity_mut().record(Unit::Fetch, now);
         if wrong_path {
@@ -244,59 +629,31 @@ impl<'a, 't> TraceSim<'a, 't> {
             self.core.activity_mut().record(Unit::ICache, now);
             self.core.activity_mut().record(Unit::Itlb, now);
             let mut stall = 0;
-            if instr.l1i_miss {
+            if w.l1i_miss() {
                 self.core.activity_mut().record(Unit::L2, now);
-                stall += if instr.l2i_miss {
+                stall += if w.l2i_miss() {
                     self.cfg.lat.mem
                 } else {
                     self.cfg.lat.l2_hit
                 };
             }
-            if instr.itlb_miss {
+            if w.itlb_miss() {
                 stall += self.cfg.lat.tlb_miss;
             }
             if stall > 0 {
                 self.fetch_stall_until = now + stall;
                 stop = true;
             }
-        }
-
-        // Memory behaviour.
-        let mem = match (instr.class, instr.dmem, wrong_path) {
-            (ssim_isa::InstrClass::Load, Some(f), false) => {
+            // Correct-path loads touch the data-side structures at fetch.
+            if let (ssim_isa::InstrClass::Load, Some(f)) = (w.class(), w.dmem()) {
                 if f.l1_miss {
                     self.core.activity_mut().record(Unit::L2, now);
                 }
                 self.core.activity_mut().record(Unit::Dtlb, now);
-                Some(MemKind::Load {
-                    latency: self.load_latency(f),
-                })
             }
-            (ssim_isa::InstrClass::Load, _, _) => {
-                // Wrong-path loads (or flag-less loads) behave as L1 hits.
-                Some(MemKind::Load {
-                    latency: 1 + self.cfg.lat.l1d_hit,
-                })
-            }
-            (ssim_isa::InstrClass::Store, _, _) => Some(MemKind::Store),
-            _ => None,
-        };
+        }
 
-        let mut di = DispatchInstr {
-            class: Some(instr.class),
-            srcs: [None, None],
-            dep_dists: instr.dep,
-            dest: None,
-            mem,
-            mem_dep_addr: None,
-            branch: BranchResolution::None,
-            wrong_path,
-            anti_dep_dists: instr.anti_dep,
-        };
-
-        let mut mispredict_marker = false;
-        let is_branch = instr.branch.is_some();
-        if let Some(b) = instr.branch {
+        if let Some(b) = w.branch() {
             self.core.activity_mut().record(Unit::Bpred, now);
             if !wrong_path {
                 self.branch_stats.branches += 1;
@@ -316,10 +673,10 @@ impl<'a, 't> TraceSim<'a, 't> {
                     }
                     SyntheticOutcome::Mispredict => {
                         self.branch_stats.mispredicts += 1;
-                        di.branch = BranchResolution::Mispredict;
-                        mispredict_marker = true;
                         // Subsequent trace instructions fill the pipeline
                         // as the wrong path; remember where to rewind.
+                        // Dispatch recognises this branch as the resolver
+                        // by its position just below the rewind cursor.
                         self.wrong_path = Some(self.cursor);
                         stop = true;
                     }
@@ -330,11 +687,6 @@ impl<'a, 't> TraceSim<'a, 't> {
             }
         }
 
-        self.ifq.push_back(IfqEntry {
-            di,
-            is_branch,
-            mispredict_marker,
-        });
         stop
     }
 }
@@ -506,5 +858,65 @@ mod tests {
     fn empty_trace_is_fine() {
         let r = simulate_trace(&SyntheticTrace::default(), &MachineConfig::baseline());
         assert_eq!(r.instructions, 0);
+    }
+
+    #[test]
+    fn ring_grows_and_masks_absolute_indices() {
+        let mut ring = InstrRing::default();
+        for i in 0..5_000u64 {
+            ring.push(i);
+        }
+        assert_eq!(ring.head(), 5_000);
+        for i in 0..5_000 {
+            assert_eq!(ring.get(i), i as u64);
+        }
+        // Retention frees slots: pushing past capacity reuses them
+        // without growing once the live window stays narrow.
+        ring.retain_from(4_990);
+        let cap_before = ring.buf.len();
+        for i in 5_000..200_000u64 {
+            ring.push(i);
+            ring.retain_from(i as usize - 8);
+            assert_eq!(ring.get(i as usize), i);
+            assert_eq!(ring.get(i as usize - 8), i - 8);
+        }
+        assert_eq!(ring.buf.len(), cap_before, "narrow window must not grow");
+        // Backwards watermarks never shrink the retained window.
+        let tail = ring.tail;
+        ring.retain_from(0);
+        assert_eq!(ring.tail, tail);
+    }
+
+    #[test]
+    fn engine_reuse_matches_fresh_engines() {
+        let mut mixed = Vec::new();
+        for i in 0..3_000 {
+            mixed.push(alu());
+            mixed.push(load(DataFlags {
+                l1_miss: i % 7 == 0,
+                l2_miss: i % 21 == 0,
+                tlb_miss: false,
+            }));
+            mixed.push(branch(if i % 5 == 0 {
+                SyntheticOutcome::Mispredict
+            } else {
+                SyntheticOutcome::Correct
+            }));
+        }
+        let traces = [
+            trace_of(mixed),
+            trace_of(vec![alu(); 10_000]),
+            SyntheticTrace::default(),
+        ];
+        let cfgs = [
+            MachineConfig::baseline(),
+            MachineConfig::baseline().with_width(2),
+        ];
+        let mut engine = SimEngine::new();
+        for cfg in &cfgs {
+            for t in &traces {
+                assert_eq!(engine.simulate(t, cfg), simulate_trace(t, cfg));
+            }
+        }
     }
 }

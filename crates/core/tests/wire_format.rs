@@ -133,6 +133,29 @@ fn fixture_header_is_v1() {
     );
 }
 
+/// Freezes the compiled lowering artifacts — CSR edge tables, packed
+/// macro-op words, hot-successor chain layout — via
+/// `CompiledSampler::lowering_digest`. The fused engine streams
+/// instructions straight off these tables, so silent drift here would
+/// change generated traces (and every downstream number) without any
+/// serialized byte moving. Like the byte fixture above, an intentional
+/// lowering change updates the pinned values in the same commit that
+/// justifies it.
+#[test]
+fn lowering_digest_is_frozen() {
+    let p = golden_profile();
+    let digests: Vec<u64> = [1u64, 2]
+        .iter()
+        .map(|&r| p.compile(r).lowering_digest())
+        .collect();
+    assert_eq!(
+        digests,
+        vec![0x05ccb047c644d75e, 0x9e6240b9981c6eec],
+        "compiled lowering drifted from the pinned digests; update them \
+         only with an intentional lowering change (actual: {digests:#018x?})"
+    );
+}
+
 fn golden_bytes() -> Vec<u8> {
     let mut bytes = Vec::new();
     golden_profile().save(&mut bytes).unwrap();

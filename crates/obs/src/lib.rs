@@ -405,6 +405,24 @@ impl LogHistogram {
         self.max.fetch_max(v, Relaxed);
     }
 
+    /// Records `n` identical observations at once — equivalent to `n`
+    /// [`LogHistogram::record`] calls (no-op while metrics are disabled
+    /// or `n` is zero). Event-driven simulators use this to account for
+    /// runs of provably idle cycles in one step.
+    #[inline]
+    pub fn record_n(&'static self, v: u64, n: u64) {
+        if n == 0 || !enabled() {
+            return;
+        }
+        if !self.registered.load(Relaxed) {
+            self.register();
+        }
+        self.buckets[bucket_of(v)].fetch_add(n, Relaxed);
+        self.count.fetch_add(n, Relaxed);
+        self.sum.fetch_add(v.wrapping_mul(n), Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
     /// A point-in-time copy of the histogram's state.
     pub fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {

@@ -192,6 +192,48 @@ impl ArtifactStore {
         self.results.lock().unwrap().insert(key, point);
         point
     }
+
+    /// Simulates one design point on the fused generate-and-simulate
+    /// path: the synthetic instruction stream flows straight from the
+    /// compiled sampler into the pipeline, no trace is materialised,
+    /// and the worker thread's simulator buffers are reused across
+    /// points (`ssim_bench::with_engine`). Bit-identical to
+    /// [`ArtifactStore::simulate_point`] over
+    /// `artifact.sampler(r).generate(seed)` — the engine's equivalence
+    /// suite pins this — so both paths share one [`ResultKey`] space.
+    ///
+    /// On a cache hit the sampler is not even looked up, so a repeated
+    /// point skips the lowering along with the simulation.
+    pub fn simulate_point_fused(
+        &self,
+        artifact: &ProfileArtifact,
+        machine: &MachineConfig,
+        r: u64,
+        seed: u64,
+    ) -> PointResult {
+        let key = ResultKey {
+            profile: artifact.hash,
+            machine: machine_fingerprint(machine),
+            r,
+            seed,
+        };
+        if let Some(mut hit) = self.results.lock().unwrap().get(&key) {
+            OBS_RESULT_HITS.inc();
+            hit.cached = true;
+            return hit;
+        }
+        OBS_RESULT_MISSES.inc();
+        let sampler = artifact.sampler(r);
+        let sim = ssim_bench::with_engine(|e| e.simulate_fused(&sampler, seed, machine));
+        let point = PointResult {
+            cycles: sim.cycles,
+            instructions: sim.instructions,
+            ipc: sim.ipc(),
+            cached: false,
+        };
+        self.results.lock().unwrap().insert(key, point);
+        point
+    }
 }
 
 /// A cheap deterministic digest of a synthetic trace (folds every
@@ -282,6 +324,24 @@ mod tests {
         // A different machine is a different key.
         let other = store.simulate_point(&artifact, &trace, &MachineConfig::baseline(), 10, 3);
         assert!(!other.cached);
+    }
+
+    #[test]
+    fn fused_point_matches_materialised_and_shares_cache() {
+        let store = isolated_store();
+        let artifact = store.profile(&small_params()).unwrap();
+        let machine = MachineConfig::baseline().with_window(96);
+        let fused = store.simulate_point_fused(&artifact, &machine, 10, 5);
+        assert!(!fused.cached);
+        let trace = artifact.sampler(10).generate(5);
+        // One key space: the materialised path answers from the cache
+        // entry the fused path just filled.
+        let hit = store.simulate_point(&artifact, &trace, &machine, 10, 5);
+        assert!(hit.cached);
+        let direct = simulate_trace(&trace, &machine);
+        assert_eq!(fused.cycles, direct.cycles);
+        assert_eq!(fused.instructions, direct.instructions);
+        assert_eq!(fused.ipc.to_bits(), direct.ipc().to_bits());
     }
 
     #[test]

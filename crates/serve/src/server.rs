@@ -259,10 +259,7 @@ impl Shared {
                 OBS_REQ_SIMULATE.inc();
                 let artifact = self.store.profile(profile)?;
                 let cfg = machine.resolve();
-                let trace = artifact.sampler(*r).generate(*seed);
-                let point = self
-                    .store
-                    .simulate_point(&artifact, &trace, &cfg, *r, *seed);
+                let point = self.store.simulate_point_fused(&artifact, &cfg, *r, *seed);
                 let mut payload = vec![("profile_hash", Json::hex_u64(artifact.hash))];
                 if let Json::Obj(pairs) = point.to_json() {
                     for (k, v) in pairs {
@@ -285,9 +282,10 @@ impl Shared {
             } => {
                 OBS_REQ_SWEEP.inc();
                 let artifact = self.store.profile(profile)?;
-                let sampler = artifact.sampler(*r);
-                // One trace per seed, reused across every machine point.
-                let traces: Vec<_> = seeds.iter().map(|&s| sampler.generate(s)).collect();
+                // Lower once up front; the fan-out workers then stream
+                // each point through the fused engine (no materialised
+                // traces, per-thread simulator buffers reused).
+                let _ = artifact.sampler(*r);
                 let configs: Vec<_> = machines.iter().map(|m| m.resolve()).collect();
                 let points: Vec<(usize, usize)> = (0..configs.len())
                     .flat_map(|m| (0..seeds.len()).map(move |s| (m, s)))
@@ -313,7 +311,7 @@ impl Shared {
                     }
                     results.extend(ssim_par::par_map(batch, |&(m, s)| {
                         self.store
-                            .simulate_point(&artifact, &traces[s], &configs[m], *r, seeds[s])
+                            .simulate_point_fused(&artifact, &configs[m], *r, seeds[s])
                     }));
                 }
                 Ok(vec![

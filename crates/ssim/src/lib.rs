@@ -52,8 +52,8 @@ pub use ssim_workloads as workloads;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use ssim_core::{
-        profile, simulate_trace, BranchProfileMode, CompiledSampler, ProfileConfig,
-        StatisticalProfile, SyntheticTrace, MAX_DEP_DISTANCE,
+        profile, simulate_fused, simulate_trace, BranchProfileMode, CompiledSampler, ProfileConfig,
+        SimEngine, StatisticalProfile, SyntheticTrace, MAX_DEP_DISTANCE,
     };
     pub use ssim_power::{PowerBreakdown, PowerModel};
     pub use ssim_stats::{absolute_error, relative_error, MetricPair, Summary};

@@ -57,12 +57,11 @@ impl Unit {
         Unit::L2,
     ];
 
-    /// Dense index in `0..14`.
-    pub fn index(self) -> usize {
-        Unit::ALL
-            .iter()
-            .position(|u| *u == self)
-            .expect("unit is in ALL")
+    /// Dense index in `0..14` (discriminants follow the declaration
+    /// order of [`Unit::ALL`]; a unit test pins the correspondence).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
     }
 }
 
@@ -101,11 +100,13 @@ impl ActivityCounters {
     }
 
     /// Records one access to `unit` during `cycle`.
+    #[inline]
     pub fn record(&mut self, unit: Unit, cycle: u64) {
         self.record_n(unit, cycle, 1);
     }
 
     /// Records `n` accesses to `unit` during `cycle`.
+    #[inline]
     pub fn record_n(&mut self, unit: Unit, cycle: u64, n: u64) {
         if n == 0 {
             return;

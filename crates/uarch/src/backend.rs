@@ -12,7 +12,6 @@ use crate::activity::{ActivityCounters, Unit};
 use crate::config::MachineConfig;
 use crate::result::OccupancyMeter;
 use ssim_isa::{InstrClass, RegId};
-use std::collections::VecDeque;
 
 /// Memory behaviour of a dispatched instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,31 +75,85 @@ pub enum DispatchOutcome {
     Stalled,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    Waiting,
-    Issued { done: u64 },
-    Done,
+// Per-entry "hot words" — `state | pool << 2 | aux << 8` — the only
+// per-entry data the issue scan touches until an instruction is
+// actually ready (eight entries per cache line, one load and compare to
+// skip). The aux field holds the memoised wakeup cycle while Waiting
+// and the scheduled completion cycle while Issued.
+const HOT_STATE: u64 = 0b11;
+const HOT_WAITING: u64 = 0;
+const HOT_ISSUED: u64 = 1;
+const HOT_DONE: u64 = 2;
+const HOT_POOL_SHIFT: u32 = 2;
+const HOT_AUX_SHIFT: u32 = 8;
+
+// Per-entry flag bits (the `flags` array), precomputed at dispatch so
+// the issue/writeback/commit loops decide everything from one byte.
+const F_WRONG_PATH: u8 = 1 << 0;
+const F_MEM: u8 = 1 << 1;
+const F_LOAD: u8 = 1 << 2;
+const F_STORE: u8 = 1 << 3;
+const F_DEST: u8 = 1 << 4;
+/// Correct-path mispredicted branch: reports resolution at writeback.
+const F_RESOLVES: u8 = 1 << 5;
+const F_INT: u8 = 1 << 6;
+const F_FP: u8 = 1 << 7;
+
+/// Absent-dependency sentinel in the `deps` arrays (sequence numbers
+/// stay far below it for any realistic run length).
+const NO_SEQ: u64 = u64::MAX;
+
+#[inline]
+fn enc(seq: Option<u64>) -> u64 {
+    seq.unwrap_or(NO_SEQ)
 }
 
-#[derive(Debug, Clone)]
-struct Entry {
-    seq: u64,
-    class: InstrClass,
-    deps: [Option<u64>; 2],
-    anti_deps: [Option<u64>; 2],
-    mem_dep: Option<u64>,
-    dest: Option<RegId>,
-    prev_writer: Option<u64>,
-    mem: Option<MemKind>,
-    mem_addr: Option<u64>,
-    state: State,
-    branch: BranchResolution,
-    wrong_path: bool,
+#[inline]
+fn dec(seq: u64) -> Option<u64> {
+    (seq != NO_SEQ).then_some(seq)
+}
+
+/// Completion timing-wheel size (a power of two): one slot per upcoming
+/// cycle, so writeback drains exactly one slot per cycle instead of
+/// paying heap maintenance per instruction. Latencies beyond one turn
+/// are rare; their records re-arm each turn until due.
+const WHEEL_SLOTS: usize = 1024;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+
+/// Tag bit on a wheel record's sequence field marking a *wakeup* record
+/// (re-admit a sleeping Waiting entry to the ready set) rather than a
+/// completion record. Sequence numbers stay far below bit 63.
+const REC_WAKE: u64 = 1 << 63;
+
+/// Reusable working memory for [`Core`].
+///
+/// Sweeps build one core per design point; reusing the window arrays
+/// and the completion wheel across points keeps the hot loop off the
+/// allocator. Obtain one from [`Core::finish_reuse`] and hand it to the
+/// next core via [`Core::with_scratch`].
+#[derive(Debug, Default)]
+pub struct CoreScratch {
+    hot: Vec<u64>,
+    lat: Vec<u64>,
+    deps: Vec<[u64; 5]>,
+    flags: Vec<u8>,
+    dest: Vec<u16>,
+    prev_writer: Vec<u64>,
+    mem_addr: Vec<u64>,
+    ready: Vec<u64>,
+    wheel: Vec<Vec<(u64, u64)>>,
 }
 
 /// The out-of-order backend shared by execution-driven and synthetic
 /// simulation.
+///
+/// The instruction window is stored structure-of-arrays: entries live
+/// at `seq & mask` in parallel preallocated arrays (the window is at
+/// most `ruu_size` wide and the capacity is the next power of two, so
+/// live sequence numbers never collide). Commit and squash are pure
+/// index arithmetic on the `front_seq..next_seq` window — no queue
+/// churn, no per-entry moves — and the whole window footprint is a few
+/// cache-resident kilobytes.
 ///
 /// Drive it one cycle at a time:
 ///
@@ -113,7 +166,49 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct Core<'a> {
     cfg: &'a MachineConfig,
-    entries: VecDeque<Entry>,
+    /// Packed state words, indexed by `seq & mask` (see [`HOT_STATE`]).
+    hot: Vec<u64>,
+    /// Execute latency, resolved once at dispatch (after store→load
+    /// forwarding may have rewritten the memory behaviour).
+    lat: Vec<u64>,
+    /// Producer sequence numbers per entry —
+    /// `[dep0, dep1, waw, war, mem_dep]`, [`NO_SEQ`] when absent.
+    /// Satisfied slots are destructively cleared by the issue scan.
+    deps: Vec<[u64; 5]>,
+    /// Per-entry flag byte (see [`F_MEM`] and friends).
+    flags: Vec<u8>,
+    /// Destination register dense index (valid when [`F_DEST`]).
+    dest: Vec<u16>,
+    /// Rename-map undo value for the destination ([`NO_SEQ`] = none).
+    prev_writer: Vec<u64>,
+    /// Store address for store→load dependence detection ([`NO_SEQ`]
+    /// when absent or not a store).
+    mem_addr: Vec<u64>,
+    /// Index mask for all window arrays (capacity − 1).
+    mask: u64,
+    /// Issued-but-not-complete instructions as `(done, seq)` records on
+    /// a timing wheel indexed by `done & WHEEL_MASK`; writeback drains
+    /// one slot per cycle. Records are validated lazily against the
+    /// live entry (sequence numbers are reused after a squash).
+    wheel: Vec<Vec<(u64, u64)>>,
+    /// Occupancy bitmap over the timing wheel (one bit per slot): the
+    /// quiet-cycle probe finds the next completion with a handful of
+    /// word scans instead of walking 1024 slots. Bits are set on every
+    /// arm and cleared when a drain leaves the slot empty; a stale bit
+    /// (squashed record) costs one spurious wake, never a missed one.
+    wheel_bits: [u64; WHEEL_SLOTS / 64],
+    /// Ready bitmap (out-of-order configs): one bit per window slot,
+    /// set when the entry is Waiting and its memoised wakeup has been
+    /// reached — the only entries the issue scan examines. Blocked
+    /// probes clear the bit and schedule a tagged wakeup record on the
+    /// wheel, so sleeping entries cost nothing per cycle.
+    ready: Vec<u64>,
+    /// Whether the ready-bitmap scheduler is active (out-of-order
+    /// issue). In-order pipes gate issue on the oldest Waiting entry —
+    /// including sleeping ones — so they use a linear prefix scan.
+    event_sched: bool,
+    /// In-order scan hint: every entry below it is Issued or Done.
+    first_waiting: usize,
     front_seq: u64,
     next_seq: u64,
     lsq_used: usize,
@@ -125,6 +220,11 @@ pub struct Core<'a> {
     activity: ActivityCounters,
     ruu_meter: OccupancyMeter,
     lsq_meter: OccupancyMeter,
+    /// `cycle()`'s verdict on the cycle it just ran: `0` if anything
+    /// happened (writeback, issue or commit), otherwise the earliest
+    /// future cycle at which the core could possibly act (see
+    /// [`Core::quiet_until`]).
+    quiet_until: u64,
 }
 
 impl<'a> Core<'a> {
@@ -137,10 +237,65 @@ impl<'a> Core<'a> {
     /// Panics if the configuration is invalid (see
     /// [`MachineConfig::validate`]).
     pub fn new(cfg: &'a MachineConfig) -> Self {
+        Self::with_scratch(cfg, CoreScratch::default())
+    }
+
+    /// Like [`Core::new`], but reuses previously allocated working
+    /// memory (see [`CoreScratch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`MachineConfig::validate`]).
+    pub fn with_scratch(cfg: &'a MachineConfig, scratch: CoreScratch) -> Self {
         cfg.validate();
+        let CoreScratch {
+            mut hot,
+            mut lat,
+            mut deps,
+            mut flags,
+            mut dest,
+            mut prev_writer,
+            mut mem_addr,
+            mut ready,
+            mut wheel,
+        } = scratch;
+        // Stale array contents need no clearing: every read is gated on
+        // membership in the `front_seq..next_seq` window, and dispatch
+        // rewrites an entry's slots before it can enter the window.
+        let cap = cfg.ruu_size.next_power_of_two().max(64).max(hot.len());
+        hot.resize(cap, 0);
+        lat.resize(cap, 0);
+        deps.resize(cap, [NO_SEQ; 5]);
+        flags.resize(cap, 0);
+        dest.resize(cap, 0);
+        prev_writer.resize(cap, NO_SEQ);
+        mem_addr.resize(cap, NO_SEQ);
+        // A drained run always leaves the ready bitmap empty (issue and
+        // squash both clear bits), so reuse needs no re-zeroing.
+        ready.resize(cap / 64, 0);
+        if wheel.len() != WHEEL_SLOTS {
+            wheel = vec![Vec::new(); WHEEL_SLOTS];
+        } else {
+            for slot in &mut wheel {
+                slot.clear();
+            }
+        }
         Core {
             cfg,
-            entries: VecDeque::with_capacity(cfg.ruu_size),
+            hot,
+            lat,
+            deps,
+            flags,
+            dest,
+            prev_writer,
+            mem_addr,
+            mask: cap as u64 - 1,
+            ready,
+            event_sched: !cfg.in_order_issue,
+            wheel,
+            wheel_bits: [0; WHEEL_SLOTS / 64],
+            first_waiting: 0,
             front_seq: 0,
             next_seq: 0,
             lsq_used: 0,
@@ -152,6 +307,7 @@ impl<'a> Core<'a> {
             activity: ActivityCounters::new(),
             ruu_meter: OccupancyMeter::new(),
             lsq_meter: OccupancyMeter::new(),
+            quiet_until: 0,
         }
     }
 
@@ -167,12 +323,12 @@ impl<'a> Core<'a> {
 
     /// In-flight instructions (RUU occupancy).
     pub fn in_flight(&self) -> usize {
-        self.entries.len()
+        (self.next_seq - self.front_seq) as usize
     }
 
     /// Whether the backend holds no instructions.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.front_seq == self.next_seq
     }
 
     /// Mutable access to the shared activity counters (the fetch-side
@@ -181,12 +337,12 @@ impl<'a> Core<'a> {
         &mut self.activity
     }
 
-    fn execute_latency(&self, e: &Entry) -> u64 {
-        let lat = &self.cfg.lat;
-        match e.mem {
+    fn execute_latency(cfg: &MachineConfig, class: InstrClass, mem: Option<MemKind>) -> u64 {
+        let lat = &cfg.lat;
+        match mem {
             Some(MemKind::Load { latency }) => latency,
             Some(MemKind::Store) => 1,
-            None => match e.class {
+            None => match class {
                 InstrClass::IntAlu | InstrClass::IntCondBranch | InstrClass::IndirectBranch => {
                     lat.int_alu
                 }
@@ -214,17 +370,100 @@ impl<'a> Core<'a> {
         }
     }
 
-    fn dep_satisfied(&self, dep: Option<u64>) -> bool {
-        match dep {
-            None => true,
-            Some(seq) => {
-                if seq < self.front_seq {
-                    return true; // committed (or squashed) long ago
-                }
-                match self.entries.get((seq - self.front_seq) as usize) {
-                    Some(e) => e.state == State::Done,
-                    None => true, // produced by a squashed instruction
-                }
+    /// Schedules a completion record on the timing wheel.
+    #[inline]
+    fn arm(&mut self, done: u64, seq: u64) {
+        let slot = (done & WHEEL_MASK) as usize;
+        self.wheel[slot].push((done, seq));
+        self.wheel_bits[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    /// The next cycle strictly after `now` whose wheel slot holds any
+    /// record (`u64::MAX` if the wheel is empty). A slot may hold only
+    /// far-future records; waking on it is harmless — the drain re-arms
+    /// them and the following probe looks further ahead.
+    fn next_wheel_event(&self, now: u64) -> u64 {
+        let start = ((now + 1) & WHEEL_MASK) as usize;
+        let words = self.wheel_bits.len();
+        let (w0, b0) = (start / 64, start % 64);
+        let first = self.wheel_bits[w0] >> b0;
+        if first != 0 {
+            return now + 1 + u64::from(first.trailing_zeros());
+        }
+        for j in 1..=words {
+            let w = self.wheel_bits[(w0 + j) % words];
+            if w != 0 {
+                let base = now + 1 + (64 - b0 as u64) + (j as u64 - 1) * 64;
+                return base + u64::from(w.trailing_zeros());
+            }
+        }
+        u64::MAX
+    }
+
+    /// If the cycle just run by [`Core::cycle`] was completely quiet —
+    /// no writeback, no issue, no commit — returns a cycle strictly
+    /// before which the core provably cannot act: the minimum of the
+    /// next timing-wheel completion and the smallest memoised wakeup
+    /// over the Waiting window (every Waiting entry's hot word is read
+    /// by the scan whenever nothing issues, so the bound is exact and
+    /// free). The driver may fast-forward to it with
+    /// [`Core::skip_quiet`]; in the skipped cycles an unskipped run
+    /// would memo-skip every entry and change nothing, so results stay
+    /// bit-identical. `Some(u64::MAX)` means no event is pending at all.
+    pub fn quiet_until(&self) -> Option<u64> {
+        (self.quiet_until != 0).then_some(self.quiet_until)
+    }
+
+    /// Fast-forwards over `k` provably quiet cycles, recording the
+    /// occupancy samples those cycles would have produced.
+    pub fn skip_quiet(&mut self, k: u64) {
+        self.ruu_meter.sample_n(self.in_flight() as u64, k);
+        self.lsq_meter.sample_n(self.lsq_used as u64, k);
+        self.cycle += k;
+    }
+
+    /// Records the per-unit activity of one instruction issuing.
+    #[inline]
+    fn issue_activity(&mut self, idx: usize, now: u64) {
+        let f = self.flags[idx];
+        self.activity.record(Unit::Issue, now);
+        if f & F_MEM != 0 {
+            self.activity.record(Unit::Lsq, now);
+            if f & F_LOAD != 0 {
+                self.activity.record(Unit::DCache, now);
+            }
+        }
+        if f & F_FP != 0 {
+            self.activity.record(Unit::FpAlu, now);
+        } else if f & F_INT != 0 {
+            self.activity.record(Unit::IntAlu, now);
+        }
+    }
+
+    /// Probes one dependency slot: `None` if satisfied, otherwise a
+    /// cycle before which it cannot possibly become satisfied. An
+    /// issued producer completes exactly at its scheduled writeback. A
+    /// still-waiting producer is older than its consumer, so the
+    /// oldest-first scan already passed it this cycle and left it
+    /// Waiting: it issues no earlier than `now + 1` — or than its own
+    /// memoised wakeup — plus its execute latency. Chaining through the
+    /// producer's wakeup propagates exact dependence-chain depths across
+    /// the window in a single scan.
+    #[inline]
+    fn dep_bound(&self, seq: u64, now: u64) -> Option<u64> {
+        if seq < self.front_seq || seq >= self.next_seq {
+            // Absent, long committed, or produced by a squashed
+            // instruction ([`NO_SEQ`] is above any live sequence).
+            return None;
+        }
+        let idx = (seq & self.mask) as usize;
+        let h = self.hot[idx];
+        match h & HOT_STATE {
+            HOT_DONE => None,
+            HOT_ISSUED => Some(h >> HOT_AUX_SHIFT),
+            _ => {
+                let wake = h >> HOT_AUX_SHIFT;
+                Some(wake.max(now + 1) + self.lat[idx].max(1))
             }
         }
     }
@@ -236,22 +475,67 @@ impl<'a> Core<'a> {
     /// respond with [`Core::squash_after`] and a fetch redirect.
     pub fn cycle(&mut self) -> Option<u64> {
         let now = self.cycle;
-        let mut resolved = None;
+        let mut resolved: Option<u64> = None;
+        let mut active = false;
+        // Earliest cycle any currently-Waiting entry could issue; only
+        // consulted when the whole cycle turns out quiet.
+        let mut min_wake = u64::MAX;
 
-        // ---- writeback: complete finished executions, wake dependents.
-        for i in 0..self.entries.len() {
-            let e = &mut self.entries[i];
-            if let State::Issued { done } = e.state {
-                if done <= now {
-                    e.state = State::Done;
-                    self.activity.record(Unit::Ruu, now);
-                    if e.dest.is_some() {
-                        self.activity.record(Unit::RegFile, now);
-                    }
-                    if e.branch == BranchResolution::Mispredict && !e.wrong_path {
-                        resolved.get_or_insert(e.seq);
-                    }
+        // ---- writeback: complete the executions falling due now.
+        // The wheel slot for `now` holds every record scheduled for this
+        // cycle. A record only completes an entry if that entry is still
+        // live, still Issued, and carries this record's exact completion
+        // time — anything else is a stale record for a squashed (and
+        // possibly reused) sequence number, which its own record will
+        // complete when it falls due. A record whose latency exceeded
+        // one wheel turn lands here early and re-arms itself.
+        let slot = (now & WHEEL_MASK) as usize;
+        if !self.wheel[slot].is_empty() {
+            let mut due = std::mem::take(&mut self.wheel[slot]);
+            self.wheel_bits[slot / 64] &= !(1u64 << (slot % 64));
+            for &(done, rec) in due.iter() {
+                if done > now {
+                    // Re-arms land in this same slot (done ≡ now mod
+                    // the wheel size), one turn or more ahead.
+                    self.arm(done, rec);
+                    continue;
                 }
+                let seq = rec & !REC_WAKE;
+                if seq < self.front_seq || seq >= self.next_seq {
+                    continue;
+                }
+                let idx = (seq & self.mask) as usize;
+                let h = self.hot[idx];
+                if rec & REC_WAKE != 0 {
+                    // Wakeup record: re-admit a sleeping entry to the
+                    // ready set. A stale record (squashed-and-reused
+                    // sequence number) at worst wakes an entry before
+                    // its own record falls due; the probe re-blocks it.
+                    // Setting a bit is not activity — the probe at this
+                    // cycle decides whether anything actually issues.
+                    if h & HOT_STATE == HOT_WAITING {
+                        self.ready[idx / 64] |= 1u64 << (idx % 64);
+                    }
+                    continue;
+                }
+                if h & HOT_STATE != HOT_ISSUED || h >> HOT_AUX_SHIFT != done {
+                    continue;
+                }
+                self.hot[idx] = HOT_DONE;
+                active = true;
+                let f = self.flags[idx];
+                self.activity.record(Unit::Ruu, now);
+                if f & F_DEST != 0 {
+                    self.activity.record(Unit::RegFile, now);
+                }
+                if f & F_RESOLVES != 0 {
+                    resolved = Some(resolved.map_or(seq, |r| r.min(seq)));
+                }
+            }
+            due.clear();
+            // Keep the allocation if nothing re-armed into this slot.
+            if self.wheel[slot].is_empty() {
+                self.wheel[slot] = due;
             }
         }
 
@@ -265,92 +549,197 @@ impl<'a> Core<'a> {
             self.cfg.fu.fp_add,
             self.cfg.fu.fp_muldiv,
         ];
-        for i in 0..self.entries.len() {
-            if issued >= self.cfg.issue_width {
-                break;
-            }
-            let e = &self.entries[i];
-            if e.state != State::Waiting {
-                continue;
-            }
-            let pool = Self::fu_pool(e.class, e.mem);
-            if fu_used[pool] >= fu_limits[pool] {
-                if self.cfg.in_order_issue {
-                    break; // structural hazard stalls an in-order pipe
+        if self.event_sched {
+            // Event-driven selection: only ready entries are examined.
+            // Bits are set at dispatch and by wakeup records falling
+            // due; a blocked probe puts the entry to sleep — clears the
+            // bit and schedules a wakeup at the probe's bound — so
+            // stalled entries cost nothing per cycle. Every set bit
+            // belongs to a live Waiting entry (issue, squash and wakeup
+            // validation maintain this), and the window occupies a
+            // contiguous circular index range, so scanning the bitmap
+            // circularly from the window head visits entries in
+            // sequence order: oldest-first priority is preserved.
+            let words = self.ready.len();
+            let front_idx = (self.front_seq & self.mask) as usize;
+            let (w0, b0) = (front_idx / 64, front_idx % 64);
+            'scan: for step in 0..=words {
+                let w = (w0 + step) % words;
+                let mut bits = self.ready[w];
+                if step == 0 {
+                    bits &= !0u64 << b0;
+                } else if step == words {
+                    // The wrapped-around remainder of the first word.
+                    bits &= (1u64 << b0) - 1;
                 }
-                continue;
-            }
-            if !(self.dep_satisfied(e.deps[0])
-                && self.dep_satisfied(e.deps[1])
-                && self.dep_satisfied(e.anti_deps[0])
-                && self.dep_satisfied(e.anti_deps[1])
-                && self.dep_satisfied(e.mem_dep))
-            {
-                if self.cfg.in_order_issue {
-                    break; // program-order issue: stall behind the head
+                while bits != 0 {
+                    if issued >= self.cfg.issue_width {
+                        break 'scan;
+                    }
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let idx = w * 64 + b;
+                    let h = self.hot[idx];
+                    debug_assert_eq!(h & HOT_STATE, HOT_WAITING);
+                    let pool = ((h >> HOT_POOL_SHIFT) & 0x7) as usize;
+                    if fu_used[pool] >= fu_limits[pool] {
+                        // Keep the bit: with a zero-unit pool this is
+                        // the only wake source, and re-examining every
+                        // cycle preserves the deadlock watchdog.
+                        min_wake = now + 1;
+                        continue;
+                    }
+                    // Probe the five dependency slots. A satisfied slot
+                    // is cleared for good: `Done` is terminal until
+                    // commit, and a producer is always older than its
+                    // consumer so no squash can remove one while its
+                    // consumer survives. Unsatisfied slots yield a
+                    // completion lower bound.
+                    let mut slots = self.deps[idx];
+                    let mut blocked = false;
+                    let mut bound = 0;
+                    for slot in &mut slots {
+                        match self.dep_bound(*slot, now) {
+                            None => *slot = NO_SEQ,
+                            Some(lb) => {
+                                blocked = true;
+                                bound = bound.max(lb);
+                            }
+                        }
+                    }
+                    let off = idx.wrapping_sub(front_idx) as u64 & self.mask;
+                    let seq = self.front_seq + off;
+                    if blocked {
+                        // Sleep until the bound: clear the ready bit,
+                        // memoise the bound (dependants chain through
+                        // it) and schedule the wakeup.
+                        self.ready[w] &= !(1u64 << b);
+                        self.deps[idx] = slots;
+                        self.hot[idx] = HOT_WAITING
+                            | ((pool as u64) << HOT_POOL_SHIFT)
+                            | (bound << HOT_AUX_SHIFT);
+                        self.arm(bound, seq | REC_WAKE);
+                        continue;
+                    }
+                    self.ready[w] &= !(1u64 << b);
+                    let latency = self.lat[idx].max(1);
+                    let done = now + latency;
+                    self.hot[idx] =
+                        HOT_ISSUED | ((pool as u64) << HOT_POOL_SHIFT) | (done << HOT_AUX_SHIFT);
+                    self.arm(done, seq);
+                    active = true;
+                    issued += 1;
+                    fu_used[pool] += 1;
+                    self.issue_activity(idx, now);
                 }
-                continue;
             }
-            let latency = self.execute_latency(e);
-            let class = e.class;
-            let is_mem = e.mem.is_some();
-            let is_load = matches!(e.mem, Some(MemKind::Load { .. }));
-            let e = &mut self.entries[i];
-            e.state = State::Issued {
-                done: now + latency,
-            };
-            issued += 1;
-            fu_used[pool] += 1;
-            self.activity.record(Unit::Issue, now);
-            if is_mem {
-                self.activity.record(Unit::Lsq, now);
-                if is_load {
-                    self.activity.record(Unit::DCache, now);
+        } else {
+            // Program-order issue: the oldest Waiting entry gates all
+            // younger ones — including entries the bitmap would have
+            // asleep — so the in-order pipe scans linearly past the
+            // Issued/Done prefix and stops at the first entry that
+            // cannot issue.
+            let len = self.in_flight();
+            let mut i = self.first_waiting.min(len);
+            while i < len && issued < self.cfg.issue_width {
+                let idx = ((self.front_seq + i as u64) & self.mask) as usize;
+                let h = self.hot[idx];
+                if h & HOT_STATE != HOT_WAITING {
+                    i += 1;
+                    continue;
                 }
+                // Wakeup memo: an earlier probe proved this entry
+                // cannot issue before the memoised cycle.
+                if (h >> HOT_AUX_SHIFT) > now {
+                    min_wake = min_wake.min(h >> HOT_AUX_SHIFT);
+                    break;
+                }
+                let pool = ((h >> HOT_POOL_SHIFT) & 0x7) as usize;
+                if fu_used[pool] >= fu_limits[pool] {
+                    // Structural hazard stalls the in-order pipe.
+                    min_wake = now + 1;
+                    break;
+                }
+                let mut slots = self.deps[idx];
+                let mut blocked = false;
+                let mut bound = 0;
+                for slot in &mut slots {
+                    match self.dep_bound(*slot, now) {
+                        None => *slot = NO_SEQ,
+                        Some(lb) => {
+                            blocked = true;
+                            bound = bound.max(lb);
+                        }
+                    }
+                }
+                if blocked {
+                    min_wake = min_wake.min(bound);
+                    self.deps[idx] = slots;
+                    self.hot[idx] =
+                        HOT_WAITING | ((pool as u64) << HOT_POOL_SHIFT) | (bound << HOT_AUX_SHIFT);
+                    break;
+                }
+                let latency = self.lat[idx].max(1);
+                let done = now + latency;
+                self.hot[idx] =
+                    HOT_ISSUED | ((pool as u64) << HOT_POOL_SHIFT) | (done << HOT_AUX_SHIFT);
+                self.arm(done, self.front_seq + i as u64);
+                active = true;
+                issued += 1;
+                fu_used[pool] += 1;
+                self.issue_activity(idx, now);
+                i += 1;
             }
-            match class {
-                InstrClass::FpAlu
-                | InstrClass::FpMul
-                | InstrClass::FpDiv
-                | InstrClass::FpSqrt
-                | InstrClass::FpCondBranch => self.activity.record(Unit::FpAlu, now),
-                InstrClass::Load | InstrClass::Store => {}
-                _ => self.activity.record(Unit::IntAlu, now),
-            }
+            // Everything below the stopping point is Issued or Done.
+            self.first_waiting = i;
         }
 
         // ---- commit: in-order retirement of completed instructions.
         let mut retired = 0;
-        while retired < self.cfg.commit_width {
-            match self.entries.front() {
-                // Wrong-path instructions never retire: when one reaches
-                // the head, its mispredicted branch has already resolved
-                // (same cycle) and the driver is about to squash it.
-                Some(e) if e.wrong_path => break,
-                Some(e) if e.state == State::Done => {
-                    let is_store = matches!(e.mem, Some(MemKind::Store));
-                    let is_mem = e.mem.is_some();
-                    let e = self.entries.pop_front().expect("front exists");
-                    self.front_seq = e.seq + 1;
-                    if is_mem {
-                        self.lsq_used -= 1;
-                    }
-                    if is_store {
-                        self.activity.record(Unit::DCache, now);
-                    }
-                    self.activity.record(Unit::Ruu, now);
-                    self.committed += 1;
-                    retired += 1;
-                }
-                _ => break,
+        while retired < self.cfg.commit_width && self.front_seq < self.next_seq {
+            let idx = (self.front_seq & self.mask) as usize;
+            let f = self.flags[idx];
+            // Wrong-path instructions never retire: when one reaches
+            // the head, its mispredicted branch has already resolved
+            // (same cycle) and the driver is about to squash it.
+            if f & F_WRONG_PATH != 0 || self.hot[idx] & HOT_STATE != HOT_DONE {
+                break;
             }
+            if f & F_MEM != 0 {
+                self.lsq_used -= 1;
+            }
+            if f & F_STORE != 0 {
+                self.activity.record(Unit::DCache, now);
+            }
+            self.activity.record(Unit::Ruu, now);
+            self.front_seq += 1;
+            self.committed += 1;
+            active = true;
+            retired += 1;
         }
+        self.first_waiting = self.first_waiting.saturating_sub(retired);
+
+        self.quiet_until = if active {
+            0
+        } else {
+            min_wake.min(self.next_wheel_event(now))
+        };
 
         // ---- occupancy sampling.
-        self.ruu_meter.sample(self.entries.len() as u64);
+        self.ruu_meter.sample(self.in_flight() as u64);
         self.lsq_meter.sample(self.lsq_used as u64);
 
         resolved
+    }
+
+    /// Whether the next [`Core::try_dispatch`] is certain to stall on
+    /// decode width or window capacity. (An LSQ-full stall additionally
+    /// depends on the instruction itself, so a `false` here is not a
+    /// dispatch guarantee.) Lets a driver skip building the candidate
+    /// instruction when the core cannot take it anyway.
+    #[inline]
+    pub fn dispatch_blocked(&self) -> bool {
+        self.dispatched_this_cycle >= self.cfg.decode_width || self.in_flight() >= self.cfg.ruu_size
     }
 
     /// Attempts to dispatch one instruction into the RUU/LSQ.
@@ -361,7 +750,7 @@ impl<'a> Core<'a> {
         if self.dispatched_this_cycle >= self.cfg.decode_width {
             return DispatchOutcome::Stalled;
         }
-        if self.entries.len() >= self.cfg.ruu_size {
+        if self.in_flight() >= self.cfg.ruu_size {
             return DispatchOutcome::Stalled;
         }
         let is_mem = instr.mem.is_some();
@@ -371,35 +760,35 @@ impl<'a> Core<'a> {
         let seq = self.next_seq;
         let now = self.cycle;
         let class = instr.class.unwrap_or(InstrClass::IntAlu);
+        let idx = (seq & self.mask) as usize;
 
         // Resolve register dependencies through the rename map, or
         // dependency distances through sequence arithmetic.
-        let mut deps = [None, None];
-        for (p, slot) in deps.iter_mut().enumerate() {
+        let mut deps = [NO_SEQ; 5];
+        for (p, slot) in deps[..2].iter_mut().enumerate() {
             *slot = match (instr.srcs[p], instr.dep_dists[p]) {
-                (Some(reg), _) => self.rename[reg.dense_index()],
+                (Some(reg), _) => enc(self.rename[reg.dense_index()]),
                 // A distance of zero would be a self-dependence; the
                 // synthetic generator never emits it, but guard anyway.
-                (None, Some(0)) => None,
-                (None, Some(dist)) => seq.checked_sub(u64::from(dist)),
-                (None, None) => None,
+                (None, Some(0)) => NO_SEQ,
+                (None, Some(dist)) => enc(seq.checked_sub(u64::from(dist))),
+                (None, None) => NO_SEQ,
             };
         }
 
         // WAW/WAR hazards (machines without register renaming): the
         // write must wait for the previous writer and the previous
         // readers of its destination; synthetic mode supplies distances.
-        let mut anti_deps = [None, None];
         if self.cfg.model_anti_deps {
             if let Some(d) = instr.dest {
-                anti_deps[0] = self.rename[d.dense_index()]; // WAW
-                anti_deps[1] = self.last_reader[d.dense_index()]; // WAR
+                deps[2] = enc(self.rename[d.dense_index()]); // WAW
+                deps[3] = enc(self.last_reader[d.dense_index()]); // WAR
             }
-            for (i, slot) in anti_deps.iter_mut().enumerate() {
-                if slot.is_none() {
-                    *slot = match instr.anti_dep_dists[i] {
-                        Some(0) | None => None,
-                        Some(dist) => seq.checked_sub(u64::from(dist)),
+            for (i, dist) in instr.anti_dep_dists.iter().enumerate() {
+                if deps[2 + i] == NO_SEQ {
+                    deps[2 + i] = match dist {
+                        Some(0) | None => NO_SEQ,
+                        Some(d) => enc(seq.checked_sub(u64::from(*d))),
                     };
                 }
             }
@@ -413,47 +802,68 @@ impl<'a> Core<'a> {
         // receives its value through the store buffer (forwarding) —
         // 1-cycle data latency instead of a cache access.
         let mut mem = instr.mem;
-        let mem_dep = match (instr.mem, instr.mem_dep_addr) {
-            (Some(MemKind::Load { .. }), Some(addr)) => {
-                let fwd = self
-                    .entries
-                    .iter()
-                    .rev()
-                    .find(|e| matches!(e.mem, Some(MemKind::Store)) && e.mem_addr == Some(addr))
-                    .map(|e| (e.seq, e.state == State::Done));
-                match fwd {
-                    Some((seq, done)) => {
-                        mem = Some(MemKind::Load { latency: 2 });
-                        (!done).then_some(seq)
+        if let (Some(MemKind::Load { .. }), Some(addr)) = (instr.mem, instr.mem_dep_addr) {
+            let mut s = self.next_seq;
+            while s > self.front_seq {
+                s -= 1;
+                let pi = (s & self.mask) as usize;
+                if self.flags[pi] & F_STORE != 0 && self.mem_addr[pi] == addr {
+                    mem = Some(MemKind::Load { latency: 2 });
+                    if self.hot[pi] & HOT_STATE != HOT_DONE {
+                        deps[4] = s;
                     }
-                    None => None,
+                    break;
                 }
             }
-            _ => None,
-        };
-
-        // Rename-map update with an undo log for squash recovery.
-        let mut prev_writer = None;
-        if let Some(d) = instr.dest {
-            let slot = &mut self.rename[d.dense_index()];
-            prev_writer = *slot;
-            *slot = Some(seq);
         }
 
-        self.entries.push_back(Entry {
-            seq,
-            class,
-            deps,
-            anti_deps,
-            mem_dep,
-            dest: instr.dest,
-            prev_writer,
-            mem,
-            mem_addr: instr.mem_dep_addr,
-            state: State::Waiting,
-            branch: instr.branch,
-            wrong_path: instr.wrong_path,
-        });
+        // Rename-map update with an undo log for squash recovery.
+        let mut f = 0u8;
+        let mut dest_idx = 0u16;
+        let mut prev = NO_SEQ;
+        if let Some(d) = instr.dest {
+            let slot = &mut self.rename[d.dense_index()];
+            prev = enc(*slot);
+            *slot = Some(seq);
+            dest_idx = d.dense_index() as u16;
+            f |= F_DEST;
+        }
+        f |= match mem {
+            Some(MemKind::Load { .. }) => F_MEM | F_LOAD,
+            Some(MemKind::Store) => F_MEM | F_STORE,
+            None => 0,
+        };
+        if instr.wrong_path {
+            f |= F_WRONG_PATH;
+        }
+        if instr.branch == BranchResolution::Mispredict && !instr.wrong_path {
+            f |= F_RESOLVES;
+        }
+        f |= match class {
+            InstrClass::FpAlu
+            | InstrClass::FpMul
+            | InstrClass::FpDiv
+            | InstrClass::FpSqrt
+            | InstrClass::FpCondBranch => F_FP,
+            InstrClass::Load | InstrClass::Store => 0,
+            _ => F_INT,
+        };
+
+        self.first_waiting = self.first_waiting.min(self.in_flight());
+        if self.event_sched {
+            self.ready[idx / 64] |= 1u64 << (idx % 64);
+        }
+        let pool = Self::fu_pool(class, mem) as u64;
+        self.hot[idx] = HOT_WAITING | (pool << HOT_POOL_SHIFT);
+        self.lat[idx] = Self::execute_latency(self.cfg, class, mem);
+        self.deps[idx] = deps;
+        self.flags[idx] = f;
+        self.dest[idx] = dest_idx;
+        self.prev_writer[idx] = prev;
+        self.mem_addr[idx] = match (f & F_STORE != 0, instr.mem_dep_addr) {
+            (true, Some(a)) => a,
+            _ => NO_SEQ,
+        };
         self.next_seq += 1;
         if is_mem {
             self.lsq_used += 1;
@@ -476,20 +886,20 @@ impl<'a> Core<'a> {
     /// rename map. Returns the number of squashed instructions.
     pub fn squash_after(&mut self, seq: u64) -> usize {
         let mut squashed = 0;
-        while let Some(back) = self.entries.back() {
-            if back.seq <= seq {
-                break;
+        while self.next_seq > seq + 1 && self.next_seq > self.front_seq {
+            self.next_seq -= 1;
+            let idx = (self.next_seq & self.mask) as usize;
+            let f = self.flags[idx];
+            if f & F_DEST != 0 {
+                self.rename[self.dest[idx] as usize] = dec(self.prev_writer[idx]);
             }
-            let e = self.entries.pop_back().expect("back exists");
-            if let Some(d) = e.dest {
-                self.rename[d.dense_index()] = e.prev_writer;
-            }
-            if e.mem.is_some() {
+            if f & F_MEM != 0 {
                 self.lsq_used -= 1;
             }
+            self.ready[idx / 64] &= !(1u64 << (idx % 64));
             squashed += 1;
         }
-        self.next_seq = seq + 1;
+        self.first_waiting = self.first_waiting.min(self.in_flight());
         // Reader tracking must not survive the squash: sequence numbers
         // are reused, so a stale reader entry would alias a *future*
         // instruction and (under in-order issue) deadlock the pipe.
@@ -508,9 +918,38 @@ impl<'a> Core<'a> {
     }
 
     /// Finalises counters and hands back activity + occupancy meters.
-    pub fn finish(mut self) -> (ActivityCounters, OccupancyMeter, OccupancyMeter) {
+    pub fn finish(self) -> (ActivityCounters, OccupancyMeter, OccupancyMeter) {
+        let (activity, ruu, lsq, _) = self.finish_reuse();
+        (activity, ruu, lsq)
+    }
+
+    /// Like [`Core::finish`], but also returns the core's working
+    /// memory for reuse by a later [`Core::with_scratch`].
+    pub fn finish_reuse(
+        mut self,
+    ) -> (
+        ActivityCounters,
+        OccupancyMeter,
+        OccupancyMeter,
+        CoreScratch,
+    ) {
         self.activity.set_cycles(self.cycle);
-        (self.activity, self.ruu_meter, self.lsq_meter)
+        (
+            self.activity,
+            self.ruu_meter,
+            self.lsq_meter,
+            CoreScratch {
+                hot: self.hot,
+                lat: self.lat,
+                deps: self.deps,
+                flags: self.flags,
+                dest: self.dest,
+                prev_writer: self.prev_writer,
+                mem_addr: self.mem_addr,
+                ready: self.ready,
+                wheel: self.wheel,
+            },
+        )
     }
 }
 

@@ -17,9 +17,19 @@ impl OccupancyMeter {
     }
 
     /// Records one per-cycle occupancy sample.
+    #[inline]
     pub fn sample(&mut self, occupancy: u64) {
         self.sum += occupancy;
         self.samples += 1;
+    }
+
+    /// Records `n` consecutive cycles at the same occupancy — exactly
+    /// `n` [`OccupancyMeter::sample`] calls. Lets the simulator account
+    /// for skipped quiet cycles without walking them.
+    #[inline]
+    pub fn sample_n(&mut self, occupancy: u64, n: u64) {
+        self.sum += occupancy * n;
+        self.samples += n;
     }
 
     /// Mean occupancy over all sampled cycles (`0.0` with no samples).
@@ -64,7 +74,11 @@ impl BranchStats {
 }
 
 /// The outcome of one simulation run (execution-driven or synthetic).
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is exact (bit-level on the floating-point fields): the
+/// fused-vs-unfused equivalence suite compares entire results with
+/// `==`.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimResult {
     /// Correct-path instructions committed.
     pub instructions: u64,

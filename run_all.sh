@@ -36,6 +36,7 @@ run ablation_dep_cap          SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_I
 run ablation_reduction_factor SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=1000000
 run ext_inorder               SSIM_QUICK=1 SSIM_PROFILE_INSTR=1500000 SSIM_EDS_INSTR=1000000
 run synth_speed               SSIM_QUICK=1
+run sim_speed                 SSIM_QUICK=1
 # Experiment service: end-to-end smoke (loopback ephemeral port, small
 # sweep checked bit-exact against direct library calls, metrics
 # endpoint, clean drain-on-shutdown), its benchmark, then the fleet
