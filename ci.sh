@@ -11,6 +11,8 @@
 #   ./ci.sh test       # full test suite
 #   ./ci.sh smoke      # serve + fleet loopback end-to-end, plus the
 #                      # fused-engine identity/throughput bench (SSIM_QUICK)
+#   ./ci.sh dse        # surrogate-guided planner vs exhaustive truth
+#                      # on the real §4.6 space (SSIM_QUICK)
 set -euo pipefail
 
 stage() { echo "[ci $(date +%H:%M:%S)] $*"; }
@@ -49,22 +51,34 @@ do_smoke() {
   SSIM_QUICK=1 cargo run --release -q -p ssim-bench --bin sim_speed
 }
 
+do_dse() {
+  # Surrogate-guided DSE planner against exhaustive ground truth on the
+  # real §4.6 space: asserts the budget, Pareto-gap, stratum-error and
+  # byte-determinism gates internally, and writes
+  # results/BENCH_dse.json for perf_report to fold in.
+  stage "dse (planner vs exhaustive, quick space)"
+  mkdir -p results
+  SSIM_QUICK=1 cargo run --release -q -p ssim-bench --bin dse
+}
+
 case "${1:-all}" in
   fmt)    do_fmt ;;
   clippy) do_clippy ;;
   build)  do_build ;;
   test)   do_test ;;
   smoke)  do_smoke ;;
+  dse)    do_dse ;;
   all)
     do_fmt
     do_clippy
     do_build
     do_test
     do_smoke
+    do_dse
     stage "all stages passed"
     ;;
   *)
-    echo "usage: ./ci.sh [fmt|clippy|build|test|smoke|all]" >&2
+    echo "usage: ./ci.sh [fmt|clippy|build|test|smoke|dse|all]" >&2
     exit 2
     ;;
 esac

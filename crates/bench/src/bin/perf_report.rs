@@ -136,6 +136,10 @@ fn main() {
     // per-point sweep throughput, fused vs unfused vs the frozen
     // pre-optimisation reference, bit-identity asserted.
     let sim_section = fold_section("results/BENCH_sim.json", "sim_speed");
+    // `dse` records the surrogate-guided planner: budget fraction,
+    // Pareto/stratum error vs the exhaustive truth, surrogate RMSE, and
+    // the synthetic million-point scaling phase.
+    let dse_section = fold_section("results/BENCH_dse.json", "dse");
 
     // --- report ------------------------------------------------------
     // Per-stage CPU time from the observability timers: these sum the
@@ -189,6 +193,7 @@ fn main() {
          \"sweep_speedup\": {speedup:.2},\n  \
          \"synth\": {},\n  \
          \"sim\": {sim_section},\n  \
+         \"dse\": {dse_section},\n  \
          \"serve\": {serve_section},\n  \
          \"fleet\": {fleet_section},\n  \
          \"stages\": {stages}\n}}\n",

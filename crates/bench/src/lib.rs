@@ -19,11 +19,13 @@
 use ssim::prelude::*;
 use ssim::workloads::Workload;
 
+pub mod dsebench;
 pub mod profile_cache;
 pub mod simbench;
 pub mod synthbench;
 pub mod timing;
 
+pub use dsebench::{measure_dse, sec46_space, DseBench, SynthDse};
 pub use profile_cache::{cache_enabled, cache_stats, profile_cached};
 pub use simbench::{measure_sim_speed, SimSpeed};
 pub use ssim_obs as obs;

@@ -1,0 +1,46 @@
+//! # ssim-dse — surrogate-guided design-space exploration
+//!
+//! The paper's §4.6 study sweeps a 1,792-point design space
+//! exhaustively. This crate is the layer that makes much larger spaces
+//! affordable: a **sweep planner** that decides *which* points to
+//! simulate, spending a fixed point budget where it buys the most
+//! information, in the spirit of two-phase stratified sampling (Ekman)
+//! and learned performance predictors (Ali & Akram, NPS).
+//!
+//! The plan has four moves:
+//!
+//! 1. **Stratify** the space ([`Space::stratify`]): each axis is cut
+//!    into coarse bins; a stratum is one cell of that grid.
+//! 2. **Seed** every stratum with a cheap first phase (seeded hash
+//!    order, house-monotone apportionment by stratum size).
+//! 3. **Fit a surrogate** ([`Surrogate`]) — ridge regression over
+//!    quadratic features plus optional gradient-boosted stumps — on
+//!    the simulated `(config, IPC)` pairs.
+//! 4. **Refine adaptively**: each round splits its budget between the
+//!    predicted Pareto band (IPC vs a cost proxy) and Neyman
+//!    variance allocation across strata, with per-point seed early
+//!    stop reusing the §4.1 CoV convergence rule ([`EarlyStop`]).
+//!
+//! Everything is `std`-only and **byte-deterministic** for a fixed
+//! `(space, config, evaluator)` — across runs, machines and
+//! `SSIM_THREADS` settings. See the determinism contract in
+//! [`planner`] and the test suites under `tests/`.
+//!
+//! The crate is deliberately simulator-agnostic: an [`Evaluator`] is
+//! any pure function of `(space, point id)`. `ssim-bench` provides the
+//! real fused-engine evaluator (the `dse` binary); [`synthetic`]
+//! provides the closed-form surface used for tests and the
+//! million-point scaling runs.
+
+pub mod planner;
+pub mod space;
+pub mod surrogate;
+pub mod synthetic;
+
+pub use planner::{
+    pareto_front, run_adaptive, run_exhaustive, splitmix64, EarlyStop, EvalRecord, Evaluator,
+    ParetoPoint, PlanConfig, PlanReport, Response, StratumReport,
+};
+pub use space::{Axis, Constraint, CostFn, Space, Stratum};
+pub use surrogate::{features, FeatureMap, Gbm, Ridge, Stump, Surrogate, SurrogateConfig};
+pub use synthetic::{big_space, million_point_space, SyntheticEvaluator};

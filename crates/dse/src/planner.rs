@@ -1,0 +1,967 @@
+//! The adaptive sweep planner: stratified first phase, surrogate fit,
+//! variance- and Pareto-guided refinement, deterministic reporting.
+//!
+//! # Determinism contract
+//!
+//! For a fixed `(space, PlanConfig, evaluator)` the planner's output is
+//! **byte-identical** across runs, machines and thread counts:
+//!
+//! * every random choice flows from one `splitmix64` stream keyed by
+//!   `(seed, salt, stratum, point id)` — no global RNG, no iteration
+//!   over hash maps;
+//! * batches are evaluated through the order-preserving
+//!   [`ssim_par::par_map_with`], so results are merged in input order
+//!   no matter the schedule;
+//! * allocation uses D'Hondt greedy apportionment, which is
+//!   house-monotone: growing the budget only ever **adds** phase-1
+//!   points (the `monotone refinement` invariant the tests pin);
+//! * all floating-point reductions run in a fixed order, and the report
+//!   renders `f64` via Rust's shortest-roundtrip `Display`.
+//!
+//! The evaluator must be a pure function of `(space, point id)` — the
+//! synthetic evaluator keys its noise stream by point id and run index,
+//! and the bench evaluator seeds generation per point, so repeated
+//! calls can never observe planner state.
+
+use crate::space::{Space, Stratum};
+use crate::surrogate::{Surrogate, SurrogateConfig};
+use ssim_stats::Summary;
+use std::collections::BTreeMap;
+
+static OBS_PLANS: ssim_obs::Counter = ssim_obs::Counter::new("dse.plans");
+static OBS_POINTS: ssim_obs::Counter = ssim_obs::Counter::new("dse.points");
+static OBS_SIMS: ssim_obs::Counter = ssim_obs::Counter::new("dse.sims");
+static OBS_PHASE1: ssim_obs::Counter = ssim_obs::Counter::new("dse.phase1_points");
+static OBS_PHASE2: ssim_obs::Counter = ssim_obs::Counter::new("dse.phase2_points");
+static OBS_STRATA: ssim_obs::Gauge = ssim_obs::Gauge::new("dse.strata");
+static OBS_SPENT: ssim_obs::Gauge = ssim_obs::Gauge::new("dse.budget_spent");
+static OBS_SAVED: ssim_obs::Gauge = ssim_obs::Gauge::new("dse.budget_saved");
+static OBS_RMSE_PPM: ssim_obs::Gauge = ssim_obs::Gauge::new("dse.surrogate_rmse_ppm");
+
+/// SplitMix64 — the one mixing primitive every planner decision flows
+/// from. Stateless: callers key it with whatever identifies the draw.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+// ---- responses and evaluators ---------------------------------------
+
+/// What simulating one design point produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Response {
+    /// Mean IPC over the early-stop runs.
+    pub ipc: f64,
+    /// Mean branch MPKI over the early-stop runs.
+    pub mpki: f64,
+    /// Simulator runs this point consumed (seeds, under early stop).
+    pub sims: u32,
+}
+
+/// A deterministic design-point evaluator: a pure function of
+/// `(space, raw point id)`.
+pub trait Evaluator: Sync {
+    /// Simulates one point.
+    fn eval(&self, space: &Space, id: u64) -> Response;
+}
+
+/// Per-point seed early stop — the §4.1 convergence rule packaged for
+/// the planner: run seeds until the IPC coefficient of variation falls
+/// under `cov_target` (but at least `min_runs`, at most `max_runs`).
+/// Reuses [`ssim_stats::Summary`], the same CoV machinery
+/// `sec41_convergence` reports with.
+#[derive(Debug, Clone, Copy)]
+pub struct EarlyStop {
+    /// Runs before the CoV rule may stop (≥ 2 for a defined CoV).
+    pub min_runs: u32,
+    /// Hard per-point run cap.
+    pub max_runs: u32,
+    /// Stop once `Summary::cov()` is at or under this.
+    pub cov_target: f64,
+}
+
+impl Default for EarlyStop {
+    fn default() -> Self {
+        EarlyStop {
+            min_runs: 2,
+            max_runs: 4,
+            cov_target: 0.02,
+        }
+    }
+}
+
+impl EarlyStop {
+    /// Drives `observe(run_index)` under the stopping rule; returns the
+    /// mean observation and the number of runs consumed.
+    pub fn run(&self, mut observe: impl FnMut(u32) -> f64) -> (f64, u32) {
+        assert!(self.min_runs >= 1 && self.max_runs >= self.min_runs);
+        let mut s = Summary::new();
+        let mut runs = 0u32;
+        while runs < self.max_runs {
+            s.add(observe(runs));
+            runs += 1;
+            if runs >= self.min_runs && s.cov() <= self.cov_target {
+                break;
+            }
+        }
+        (s.mean(), runs)
+    }
+}
+
+// ---- configuration ---------------------------------------------------
+
+/// Tunables of one planner run.
+#[derive(Debug, Clone)]
+pub struct PlanConfig {
+    /// Root of every random stream.
+    pub seed: u64,
+    /// Total design points the planner may simulate.
+    pub budget: usize,
+    /// Share of the budget spent on the stratified first phase.
+    pub phase1_frac: f64,
+    /// Adaptive refinement rounds after phase 1.
+    pub rounds: usize,
+    /// Share of each refinement round aimed at the predicted Pareto
+    /// band (the rest follows Neyman variance allocation).
+    pub pareto_frac: f64,
+    /// Relative IPC distance below the predicted frontier envelope that
+    /// still counts as a frontier candidate.
+    pub pareto_band: f64,
+    /// Stratification granularity ([`Space::stratify`]).
+    pub bins_per_axis: usize,
+    /// Minimum simulated points per stratum (capped by stratum size and
+    /// the budget), topped up right after phase 1. `0` disables the
+    /// floor. A floor caps the noise of the per-stratum residual
+    /// correction behind [`StratumReport::model_ipc`]: a stratum
+    /// estimated from one sample inherits that sample's full residual.
+    pub stratum_floor: usize,
+    /// Surrogate hyper-parameters.
+    pub surrogate: SurrogateConfig,
+    /// Worker threads for evaluation batches; `None` uses
+    /// [`ssim_par::num_threads`] (the `SSIM_THREADS` setting).
+    pub threads: Option<usize>,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            seed: 0,
+            budget: 0,
+            phase1_frac: 0.4,
+            rounds: 3,
+            pareto_frac: 0.5,
+            pareto_band: 0.03,
+            bins_per_axis: 2,
+            stratum_floor: 0,
+            surrogate: SurrogateConfig::default(),
+            threads: None,
+        }
+    }
+}
+
+// ---- reports ---------------------------------------------------------
+
+/// One simulated point in the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRecord {
+    /// Raw point id.
+    pub id: u64,
+    /// Cost proxy.
+    pub cost: f64,
+    /// Response.
+    pub response: Response,
+}
+
+/// Per-stratum estimate with its error bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratumReport {
+    /// Stratum id ([`Stratum::id`]).
+    pub id: u64,
+    /// Valid points in the stratum.
+    pub size: u64,
+    /// Points simulated in the stratum.
+    pub simulated: u64,
+    /// Mean IPC over the simulated points (0 when none).
+    pub mean_ipc: f64,
+    /// Standard error of the mean (0 when fewer than two samples).
+    pub stderr_ipc: f64,
+    /// Model-assisted (regression-estimator) stratum mean: the
+    /// surrogate's mean prediction over **every** point of the stratum,
+    /// corrected by the mean residual on the simulated ones. The
+    /// correction uses only the seeded-order draws (phase 1, floor,
+    /// variance share, leftover fill) — the Pareto-band picks are an
+    /// informative sample and would bias it — falling back to all
+    /// simulated points when a stratum has none. Falls back to
+    /// `mean_ipc` when no surrogate was fitted; equals the exact mean
+    /// for exhaustive runs (full sample ⇒ the correction cancels the
+    /// model entirely).
+    pub model_ipc: f64,
+}
+
+/// One point of the reported Pareto frontier (maximise IPC, minimise
+/// the cost proxy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Raw point id.
+    pub id: u64,
+    /// Coordinate tuple.
+    pub coords: Vec<u64>,
+    /// Cost proxy.
+    pub cost: f64,
+    /// Measured IPC.
+    pub ipc: f64,
+}
+
+/// Everything one planner (or exhaustive) run decided and measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    /// Valid points in the space.
+    pub space_points: u64,
+    /// Point budget the run was given.
+    pub budget: u64,
+    /// Points actually simulated (= `min(budget, space_points)`).
+    pub simulated: u64,
+    /// Simulator runs consumed, including early-stop repeats.
+    pub sims: u64,
+    /// Phase-1 point ids, ascending (empty for exhaustive runs).
+    pub phase1: Vec<u64>,
+    /// Per-stratum estimates, by stratum id.
+    pub strata: Vec<StratumReport>,
+    /// The Pareto frontier over the simulated points, by id.
+    pub pareto: Vec<ParetoPoint>,
+    /// Surrogate RMSE on its own training set (`None` for exhaustive).
+    pub surrogate_train_rmse: Option<f64>,
+    /// Prequential RMSE: each refinement point was predicted before it
+    /// was simulated; this is the RMSE of those predictions (`None`
+    /// when no refinement round ran).
+    pub surrogate_holdout_rmse: Option<f64>,
+    /// Every simulated point, ascending by id.
+    pub evals: Vec<EvalRecord>,
+}
+
+impl PlanReport {
+    /// Renders the canonical JSON form. Byte-deterministic: map-free
+    /// construction, fixed field order, `f64` via shortest-roundtrip
+    /// `Display`.
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| match v {
+            Some(x) => fmt_f64(x),
+            None => "null".to_string(),
+        };
+        let strata: Vec<String> = self
+            .strata
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"id\": {}, \"size\": {}, \"simulated\": {}, \"mean_ipc\": {}, \
+                     \"stderr_ipc\": {}, \"model_ipc\": {}}}",
+                    s.id,
+                    s.size,
+                    s.simulated,
+                    fmt_f64(s.mean_ipc),
+                    fmt_f64(s.stderr_ipc),
+                    fmt_f64(s.model_ipc)
+                )
+            })
+            .collect();
+        let pareto: Vec<String> = self
+            .pareto
+            .iter()
+            .map(|p| {
+                let coords: Vec<String> = p.coords.iter().map(u64::to_string).collect();
+                format!(
+                    "{{\"id\": {}, \"coords\": [{}], \"cost\": {}, \"ipc\": {}}}",
+                    p.id,
+                    coords.join(", "),
+                    fmt_f64(p.cost),
+                    fmt_f64(p.ipc)
+                )
+            })
+            .collect();
+        let evals: Vec<String> = self
+            .evals
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"id\": {}, \"cost\": {}, \"ipc\": {}, \"mpki\": {}, \"sims\": {}}}",
+                    e.id,
+                    fmt_f64(e.cost),
+                    fmt_f64(e.response.ipc),
+                    fmt_f64(e.response.mpki),
+                    e.response.sims
+                )
+            })
+            .collect();
+        let phase1: Vec<String> = self.phase1.iter().map(u64::to_string).collect();
+        format!
+        (
+            "{{\n  \"space_points\": {},\n  \"budget\": {},\n  \"simulated\": {},\n  \"sims\": {},\n  \
+             \"phase1\": [{}],\n  \"surrogate_train_rmse\": {},\n  \"surrogate_holdout_rmse\": {},\n  \
+             \"strata\": [{}],\n  \"pareto\": [{}],\n  \"evals\": [{}]\n}}\n",
+            self.space_points,
+            self.budget,
+            self.simulated,
+            self.sims,
+            phase1.join(", "),
+            opt(self.surrogate_train_rmse),
+            opt(self.surrogate_holdout_rmse),
+            strata.join(", "),
+            pareto.join(", "),
+            evals.join(", "),
+        )
+    }
+
+    /// FNV-1a digest of [`PlanReport::to_json`] — the value the
+    /// determinism tests and the bench compare across runs and thread
+    /// counts.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.to_json().as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Shortest-roundtrip decimal rendering with NaN/∞ mapped to `null`
+/// (JSON has no non-finite numbers; the planner never produces them,
+/// but the report must stay parseable if an evaluator does).
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // `Display` omits ".0" for integral values; keep it so the
+        // field parses as a float everywhere.
+        if s.contains('.') || s.contains('e') || s.contains("inf") {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+// ---- the Pareto frontier --------------------------------------------
+
+/// The non-dominated subset of `(id, cost, ipc)` points — maximise IPC,
+/// minimise cost; domination requires one strict inequality. Returns
+/// ids ascending.
+pub fn pareto_front(points: &[(u64, f64, f64)]) -> Vec<u64> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<&(u64, f64, f64)> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("finite cost")
+            .then(b.2.partial_cmp(&a.2).expect("finite ipc"))
+            .then(a.0.cmp(&b.0))
+    });
+    let mut front = Vec::new();
+    let mut best_ipc = f64::NEG_INFINITY;
+    let mut i = 0;
+    while i < sorted.len() {
+        // One equal-cost group at a time: only its max-IPC members can
+        // be non-dominated, and only if they beat every cheaper point.
+        let cost = sorted[i].1;
+        let group_max = sorted[i].2; // sorted ipc-descending within cost
+        let mut j = i;
+        while j < sorted.len() && sorted[j].1 == cost {
+            if sorted[j].2 == group_max && group_max > best_ipc {
+                front.push(sorted[j].0);
+            }
+            j += 1;
+        }
+        best_ipc = best_ipc.max(group_max);
+        i = j;
+    }
+    front.sort_unstable();
+    front
+}
+
+// ---- the planner -----------------------------------------------------
+
+/// Exhaustively evaluates the whole space through the same batched
+/// evaluation path the adaptive planner uses (one [`par_map_with`]
+/// fan-out in id order) and reports it in the same shape. This *is*
+/// the sweep-bin shape — a flat order-preserving parallel map over
+/// every valid point — so differential tests compare two consumers of
+/// one evaluation path, not two simulators.
+///
+/// [`par_map_with`]: ssim_par::par_map_with
+pub fn run_exhaustive(space: &Space, cfg: &PlanConfig, eval: &dyn Evaluator) -> PlanReport {
+    let ids: Vec<u64> = space.valid_ids().to_vec();
+    let strata = space.stratify(cfg.bins_per_axis);
+    let responses = eval_batch(space, cfg, eval, &ids);
+    let mut evals = BTreeMap::new();
+    for (&id, &r) in ids.iter().zip(&responses) {
+        evals.insert(id, r);
+    }
+    report(
+        space,
+        cfg,
+        &strata,
+        &evals,
+        &std::collections::BTreeSet::new(),
+        Vec::new(),
+        None,
+        None,
+        None,
+    )
+}
+
+/// Runs the adaptive plan: stratified phase 1, then `cfg.rounds` of
+/// surrogate-guided refinement, then a deterministic fill of any
+/// leftover budget. Simulates exactly `min(budget, space points)`
+/// design points.
+///
+/// # Panics
+///
+/// Panics when `cfg.budget` is zero.
+pub fn run_adaptive(space: &Space, cfg: &PlanConfig, eval: &dyn Evaluator) -> PlanReport {
+    assert!(cfg.budget > 0, "planner needs a non-zero budget");
+    let n = space.points();
+    let budget = cfg.budget.min(n);
+    let strata = space.stratify(cfg.bins_per_axis);
+    OBS_STRATA.set_max(strata.len() as u64);
+
+    // Per-stratum exploration order: a seeded hash shuffle, fixed for
+    // the whole run. Every selection below consumes prefixes of these
+    // orders, which is what makes phase 1 monotone in the budget.
+    let orders: Vec<Vec<u64>> = strata
+        .iter()
+        .map(|st| {
+            let mut ids: Vec<u64> = st
+                .members
+                .iter()
+                .map(|&pos| space.valid_ids()[pos as usize])
+                .collect();
+            ids.sort_by_key(|&id| (splitmix64(cfg.seed ^ (st.id << 20) ^ id), id));
+            ids
+        })
+        .collect();
+    let mut taken = vec![0usize; strata.len()]; // consumed order prefix
+
+    // ---- phase 1: stratified seeding --------------------------------
+    let want1 = ((budget as f64 * cfg.phase1_frac).round() as usize)
+        .max(strata.len().min(budget))
+        .min(budget);
+    let sizes: Vec<u64> = strata.iter().map(|s| s.members.len() as u64).collect();
+    let caps: Vec<usize> = strata.iter().map(|s| s.members.len()).collect();
+    let quota = apportion(&sizes, &caps, want1, true);
+    let mut phase1 = Vec::new();
+    for (h, &q) in quota.iter().enumerate() {
+        let q = q.min(orders[h].len());
+        phase1.extend_from_slice(&orders[h][..q]);
+        taken[h] = q;
+    }
+    phase1.sort_unstable();
+    let mut evals: BTreeMap<u64, Response> = BTreeMap::new();
+    let responses = eval_batch(space, cfg, eval, &phase1);
+    for (&id, &r) in phase1.iter().zip(&responses) {
+        evals.insert(id, r);
+    }
+    OBS_PHASE1.add(phase1.len() as u64);
+    // The probability sample: ids drawn from the seeded per-stratum
+    // orders (or the uniform leftover fill), as opposed to the
+    // informative Pareto-band picks. The model-assisted stratum
+    // estimates restrict their residual correction to this set.
+    let mut seeded: std::collections::BTreeSet<u64> = phase1.iter().copied().collect();
+
+    // ---- stratum floor ----------------------------------------------
+    // Top every stratum up to `stratum_floor` simulated points (as far
+    // as size and budget allow) before any adaptive choice, continuing
+    // each stratum's seeded order. The floor bounds the variance of the
+    // per-stratum residual correction in the final report.
+    if cfg.stratum_floor > 0 {
+        let mut floor_ids = Vec::new();
+        for (h, order) in orders.iter().enumerate() {
+            let want = cfg.stratum_floor.min(order.len());
+            while taken[h] < want && evals.len() + floor_ids.len() < budget {
+                floor_ids.push(order[taken[h]]);
+                taken[h] += 1;
+            }
+        }
+        if !floor_ids.is_empty() {
+            floor_ids.sort_unstable();
+            let responses = eval_batch(space, cfg, eval, &floor_ids);
+            for (&id, &r) in floor_ids.iter().zip(&responses) {
+                evals.insert(id, r);
+            }
+            seeded.extend(floor_ids.iter().copied());
+            OBS_PHASE1.add(floor_ids.len() as u64);
+        }
+    }
+
+    // ---- refinement rounds ------------------------------------------
+    let mut holdout_sse = 0.0;
+    let mut holdout_n = 0u64;
+    let mut surrogate = None;
+    for round in 0..cfg.rounds {
+        let remaining = budget - evals.len();
+        if remaining == 0 {
+            break;
+        }
+        let chunk = remaining.div_ceil(cfg.rounds - round).min(remaining);
+
+        // Fit on everything simulated so far.
+        let (units, ys): (Vec<Vec<f64>>, Vec<f64>) = evals
+            .iter()
+            .map(|(&id, r)| (space.units(id), r.ipc))
+            .unzip();
+        let model = Surrogate::fit(&units, &ys, &cfg.surrogate);
+
+        // Predict the whole space (actual where simulated).
+        let ids: Vec<u64> = space.valid_ids().to_vec();
+        let threads = cfg.threads.unwrap_or_else(ssim_par::num_threads);
+        let preds: Vec<f64> = ssim_par::par_map_with(threads, &ids, |&id| match evals.get(&id) {
+            Some(r) => r.ipc,
+            None => model.predict(&space.units(id)),
+        });
+
+        // Pareto share: unsimulated points within the band under the
+        // predicted frontier envelope, nearest-first.
+        let k_pareto = ((chunk as f64 * cfg.pareto_frac).round() as usize).min(chunk);
+        let all: Vec<(u64, f64, f64)> = ids
+            .iter()
+            .zip(&preds)
+            .map(|(&id, &p)| (id, space.cost(id), p))
+            .collect();
+        let front = pareto_front(&all);
+        let mut env: Vec<(f64, f64)> = front
+            .iter()
+            .map(|&fid| {
+                let k = ids.binary_search(&fid).expect("front id is valid");
+                (all[k].1, all[k].2)
+            })
+            .collect();
+        env.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite cost"));
+        let mut candidates: Vec<(u64, u64)> = Vec::new(); // (scaled deficit, id)
+        for (k, &id) in ids.iter().enumerate() {
+            if evals.contains_key(&id) {
+                continue;
+            }
+            let (cost, pred) = (all[k].1, all[k].2);
+            let mut best = f64::NEG_INFINITY;
+            for &(c, i) in &env {
+                if c > cost {
+                    break;
+                }
+                best = best.max(i);
+            }
+            let deficit = if best <= 0.0 || !best.is_finite() {
+                0.0
+            } else {
+                ((best - pred) / best).max(0.0)
+            };
+            if deficit <= cfg.pareto_band {
+                // Scale to integer so the sort key is total without
+                // f64 comparator plumbing; 1e12 keeps full precision
+                // for band-sized values.
+                candidates.push(((deficit * 1e12) as u64, id));
+            }
+        }
+        candidates.sort_unstable();
+        let mut chosen: Vec<u64> = candidates
+            .iter()
+            .take(k_pareto)
+            .map(|&(_, id)| id)
+            .collect();
+
+        // Variance share: Neyman allocation (weight N_h · s_h) over the
+        // strata, spending each stratum's seeded order. The spread that
+        // matters is the spread the model cannot explain, so s_h is the
+        // stddev of the **residuals** against this round's surrogate —
+        // the allocation that minimises the variance of the
+        // model-assisted stratum estimates the report ships.
+        let k_var = chunk - chosen.len();
+        if k_var > 0 {
+            let chosen_set: std::collections::BTreeSet<u64> = chosen.iter().copied().collect();
+            let stddev: Vec<f64> = strata
+                .iter()
+                .map(|st| {
+                    let mut s = Summary::new();
+                    for &pos in &st.members {
+                        let id = space.valid_ids()[pos as usize];
+                        if let Some(r) = evals.get(&id) {
+                            s.add(r.ipc - model.predict(&space.units(id)));
+                        }
+                    }
+                    if s.count() >= 2 {
+                        s.stddev()
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let headroom: Vec<usize> = strata
+                .iter()
+                .enumerate()
+                .map(|(h, _)| {
+                    orders[h][taken[h]..]
+                        .iter()
+                        .filter(|id| !evals.contains_key(id) && !chosen_set.contains(id))
+                        .count()
+                })
+                .collect();
+            let any_variance = stddev.iter().any(|&s| s > 0.0);
+            let weights: Vec<u64> = strata
+                .iter()
+                .enumerate()
+                .map(|(h, st)| {
+                    if headroom[h] == 0 {
+                        return 0;
+                    }
+                    if any_variance {
+                        (st.members.len() as f64 * stddev[h] * 1e9) as u64
+                    } else {
+                        st.members.len() as u64
+                    }
+                })
+                .collect();
+            let mut alloc = apportion(&weights, &headroom, k_var, false);
+            for (h, a) in alloc.iter_mut().enumerate() {
+                let mut got = 0usize;
+                while got < *a && taken[h] < orders[h].len() {
+                    let id = orders[h][taken[h]];
+                    taken[h] += 1;
+                    if !evals.contains_key(&id) && !chosen_set.contains(&id) {
+                        chosen.push(id);
+                        seeded.insert(id);
+                        got += 1;
+                    }
+                }
+            }
+        }
+
+        if chosen.is_empty() {
+            continue;
+        }
+        chosen.sort_unstable();
+        chosen.truncate(chunk);
+        let responses = eval_batch(space, cfg, eval, &chosen);
+        for (&id, &r) in chosen.iter().zip(&responses) {
+            let k = ids.binary_search(&id).expect("chosen id is valid");
+            let e = preds[k] - r.ipc;
+            holdout_sse += e * e;
+            holdout_n += 1;
+            evals.insert(id, r);
+        }
+        OBS_PHASE2.add(chosen.len() as u64);
+        surrogate = Some(model);
+    }
+
+    // ---- deterministic fill of any leftover budget -------------------
+    if evals.len() < budget {
+        let mut rest: Vec<(u64, u64)> = space
+            .valid_ids()
+            .iter()
+            .filter(|id| !evals.contains_key(id))
+            .map(|&id| (splitmix64(cfg.seed ^ 0xf11f ^ id), id))
+            .collect();
+        rest.sort_unstable();
+        let mut fill: Vec<u64> = rest
+            .iter()
+            .take(budget - evals.len())
+            .map(|&(_, id)| id)
+            .collect();
+        fill.sort_unstable();
+        let responses = eval_batch(space, cfg, eval, &fill);
+        for (&id, &r) in fill.iter().zip(&responses) {
+            evals.insert(id, r);
+        }
+        seeded.extend(fill.iter().copied());
+        OBS_PHASE2.add(fill.len() as u64);
+    }
+    debug_assert_eq!(evals.len(), budget, "budget conservation");
+
+    // Final surrogate for the report: refitted on everything simulated
+    // (the per-round models only ever saw a prefix), powering both the
+    // training RMSE and the model-assisted stratum estimates.
+    let final_model = surrogate.is_some().then(|| {
+        let (units, ys): (Vec<Vec<f64>>, Vec<f64>) = evals
+            .iter()
+            .map(|(&id, r)| (space.units(id), r.ipc))
+            .unzip();
+        let m = Surrogate::fit(&units, &ys, &cfg.surrogate);
+        let rmse = m.rmse(&units, &ys);
+        (m, rmse)
+    });
+    let train_rmse = final_model.as_ref().map(|(_, r)| *r);
+    let holdout_rmse = (holdout_n > 0).then(|| (holdout_sse / holdout_n as f64).sqrt());
+    if let Some(r) = train_rmse {
+        OBS_RMSE_PPM.set_max((r * 1e6) as u64);
+    }
+    report(
+        space,
+        cfg,
+        &strata,
+        &evals,
+        &seeded,
+        phase1,
+        final_model.as_ref().map(|(m, _)| m),
+        train_rmse,
+        holdout_rmse,
+    )
+}
+
+/// Evaluates a batch of points through the order-preserving parallel
+/// map; `ids` must be sorted so the batch layout is canonical.
+fn eval_batch(space: &Space, cfg: &PlanConfig, eval: &dyn Evaluator, ids: &[u64]) -> Vec<Response> {
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "batch ids sorted");
+    let threads = cfg.threads.unwrap_or_else(ssim_par::num_threads);
+    ssim_par::par_map_with(threads, ids, |&id| eval.eval(space, id))
+}
+
+/// Capped greedy D'Hondt apportionment of `seats` over `weights`
+/// (award the next seat to the eligible stratum maximising
+/// `weight / (seats_held + 1)`, ties to the lowest index; a stratum is
+/// eligible while its weight is non-zero and it holds fewer seats than
+/// its cap). With `cover` set, the first seats go one-per-eligible-
+/// stratum in descending weight order, guaranteeing stratum coverage.
+///
+/// The award sequence for fixed `(weights, caps, cover)` does not
+/// depend on `seats`, so the allocation for `seats = k` is a prefix of
+/// the allocation for `seats = k + 1` — the house-monotonicity the
+/// `monotone refinement` invariant test relies on.
+fn apportion(weights: &[u64], caps: &[usize], seats: usize, cover: bool) -> Vec<usize> {
+    assert_eq!(weights.len(), caps.len());
+    let mut out = vec![0usize; weights.len()];
+    let eligible = |out: &[usize], h: usize| weights[h] > 0 && out[h] < caps[h];
+    let mut left = seats;
+    if cover {
+        let mut by_weight: Vec<usize> = (0..weights.len()).collect();
+        by_weight.sort_by_key(|&h| (std::cmp::Reverse(weights[h]), h));
+        for h in by_weight {
+            if left == 0 {
+                break;
+            }
+            if eligible(&out, h) {
+                out[h] += 1;
+                left -= 1;
+            }
+        }
+    }
+    while left > 0 {
+        let mut best: Option<usize> = None;
+        for h in 0..weights.len() {
+            if !eligible(&out, h) {
+                continue;
+            }
+            // Compare w / (n+1) without division:
+            // w_a * (n_b + 1) > w_b * (n_a + 1).
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    weights[h] as u128 * (out[b] as u128 + 1)
+                        > weights[b] as u128 * (out[h] as u128 + 1)
+                }
+            };
+            if better {
+                best = Some(h);
+            }
+        }
+        match best {
+            Some(h) => {
+                out[h] += 1;
+                left -= 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Assembles the final report (shared by adaptive and exhaustive runs)
+/// and publishes the planner metric families.
+#[allow(clippy::too_many_arguments)]
+fn report(
+    space: &Space,
+    cfg: &PlanConfig,
+    strata: &[Stratum],
+    evals: &BTreeMap<u64, Response>,
+    seeded: &std::collections::BTreeSet<u64>,
+    phase1: Vec<u64>,
+    model: Option<&Surrogate>,
+    train_rmse: Option<f64>,
+    holdout_rmse: Option<f64>,
+) -> PlanReport {
+    let records: Vec<EvalRecord> = evals
+        .iter()
+        .map(|(&id, &response)| EvalRecord {
+            id,
+            cost: space.cost(id),
+            response,
+        })
+        .collect();
+    let strata_reports: Vec<StratumReport> = strata
+        .iter()
+        .map(|st| {
+            let mut s = Summary::new();
+            // Model-assisted accumulators: predictions over the whole
+            // stratum, residuals over the simulated subset, both summed
+            // in member order (fixed-order f64 reduction).
+            let mut pred_sum = 0.0;
+            let mut resid_seeded = (0.0, 0u64); // (sum, count) over the probability sample
+            let mut resid_all = 0.0;
+            for &pos in &st.members {
+                let id = space.valid_ids()[pos as usize];
+                let pred = model.map(|m| m.predict(&space.units(id)));
+                if let Some(p) = pred {
+                    pred_sum += p;
+                }
+                if let Some(r) = evals.get(&id) {
+                    s.add(r.ipc);
+                    if let Some(p) = pred {
+                        resid_all += r.ipc - p;
+                        if seeded.contains(&id) {
+                            resid_seeded.0 += r.ipc - p;
+                            resid_seeded.1 += 1;
+                        }
+                    }
+                }
+            }
+            let n = s.count();
+            let mean_ipc = if n > 0 { s.mean() } else { 0.0 };
+            // A fully simulated stratum needs no model: the estimator
+            // reduces to the exact mean (and the report must degenerate
+            // bit-exactly to the exhaustive one at full budget).
+            let model_ipc = match model {
+                Some(_) if n < st.members.len() as u64 => {
+                    let correction = if resid_seeded.1 > 0 {
+                        resid_seeded.0 / resid_seeded.1 as f64
+                    } else if n > 0 {
+                        resid_all / n as f64
+                    } else {
+                        0.0
+                    };
+                    pred_sum / st.members.len() as f64 + correction
+                }
+                _ => mean_ipc,
+            };
+            StratumReport {
+                id: st.id,
+                size: st.members.len() as u64,
+                simulated: n,
+                mean_ipc,
+                stderr_ipc: if n >= 2 {
+                    s.stddev() / (n as f64).sqrt()
+                } else {
+                    0.0
+                },
+                model_ipc,
+            }
+        })
+        .collect();
+    let points: Vec<(u64, f64, f64)> = records
+        .iter()
+        .map(|e| (e.id, e.cost, e.response.ipc))
+        .collect();
+    let pareto: Vec<ParetoPoint> = pareto_front(&points)
+        .into_iter()
+        .map(|id| ParetoPoint {
+            id,
+            coords: space.coords(id),
+            cost: space.cost(id),
+            ipc: evals[&id].ipc,
+        })
+        .collect();
+    let sims: u64 = records.iter().map(|e| e.response.sims as u64).sum();
+    let simulated = records.len() as u64;
+
+    OBS_PLANS.inc();
+    OBS_POINTS.add(simulated);
+    OBS_SIMS.add(sims);
+    OBS_SPENT.set_max(simulated);
+    OBS_SAVED.set_max(space.points() as u64 - simulated);
+
+    PlanReport {
+        space_points: space.points() as u64,
+        budget: cfg.budget.min(space.points()) as u64,
+        simulated,
+        sims,
+        phase1,
+        strata: strata_reports,
+        pareto,
+        surrogate_train_rmse: train_rmse,
+        surrogate_holdout_rmse: holdout_rmse,
+        evals: records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_a_fixed_function() {
+        assert_ne!(splitmix64(1), splitmix64(2));
+        assert_eq!(splitmix64(42), splitmix64(42));
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_points() {
+        // (id, cost, ipc): 2 dominates 1 (cheaper, faster); 3 is the
+        // expensive-but-fastest corner; 4 is dominated by 3.
+        let pts = [(1, 2.0, 1.0), (2, 1.0, 1.5), (3, 3.0, 2.0), (4, 3.0, 1.9)];
+        assert_eq!(pareto_front(&pts), vec![2, 3]);
+    }
+
+    #[test]
+    fn pareto_front_keeps_exact_ties() {
+        let pts = [(1, 1.0, 1.0), (2, 1.0, 1.0), (3, 2.0, 0.5)];
+        assert_eq!(pareto_front(&pts), vec![1, 2]);
+    }
+
+    #[test]
+    fn apportionment_is_house_monotone() {
+        let weights = [50u64, 30, 20, 1];
+        let caps = [40usize, 40, 40, 40];
+        for cover in [false, true] {
+            let mut prev = vec![0usize; weights.len()];
+            for seats in 0..40 {
+                let cur = apportion(&weights, &caps, seats, cover);
+                assert_eq!(cur.iter().sum::<usize>(), seats);
+                for (p, c) in prev.iter().zip(&cur) {
+                    assert!(c >= p, "seats={seats} cover={cover}: allocation retracted");
+                }
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn cover_reaches_every_stratum_before_doubling_up() {
+        let weights = [100u64, 10, 1];
+        let caps = [50usize, 50, 50];
+        let out = apportion(&weights, &caps, 3, true);
+        assert_eq!(out, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn capped_apportionment_respects_caps_and_spills() {
+        let weights = [100u64, 10, 10];
+        let caps = [2usize, 5, 5];
+        let out = apportion(&weights, &caps, 8, false);
+        assert_eq!(out.iter().sum::<usize>(), 8);
+        assert!(out[0] <= 2);
+    }
+
+    #[test]
+    fn early_stop_obeys_min_and_max() {
+        let es = EarlyStop {
+            min_runs: 2,
+            max_runs: 6,
+            cov_target: 0.01,
+        };
+        // Constant observations converge at min_runs.
+        let (mean, runs) = es.run(|_| 1.0);
+        assert_eq!((mean, runs), (1.0, 2));
+        // Wildly noisy observations exhaust max_runs.
+        let (_, runs) = es.run(|i| if i % 2 == 0 { 1.0 } else { 10.0 });
+        assert_eq!(runs, 6);
+    }
+}

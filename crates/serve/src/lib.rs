@@ -49,6 +49,6 @@ pub mod server;
 
 pub use client::{Client, Response};
 pub use fault::FaultPlan;
-pub use fleet::{Fleet, FleetConfig, SweepOutcome, SweepSpec};
+pub use fleet::{BatchSpec, Fleet, FleetConfig, PointSource, SweepOutcome, SweepSpec};
 pub use proto::{MachineSpec, PointResult, ProfileParams, Request};
 pub use server::{Server, ServerConfig};

@@ -21,10 +21,12 @@
 //! itself is resolved through the on-disk profile cache server-side).
 //! Machine configurations travel as *override objects* applied to the
 //! paper's Table 2 baseline (`{"width", "window", "ifq", "in_order",
-//! "perfect_caches", "perfect_bpred"}`), which covers every sweep the
-//! experiment suite runs while keeping the wire format small; the full
-//! resolved `MachineConfig` participates in result-cache keys via its
-//! `Debug` fingerprint, so distinct overrides can never alias.
+//! "perfect_caches", "perfect_bpred"}` plus the fine-grained `{"ruu",
+//! "lsq", "decode", "issue", "commit"}` the design-space planner
+//! submits), which covers every sweep the experiment suite runs while
+//! keeping the wire format small; the full resolved `MachineConfig`
+//! participates in result-cache keys via its `Debug` fingerprint, so
+//! distinct overrides can never alias.
 
 use crate::json::Json;
 use ssim::prelude::*;
@@ -78,6 +80,14 @@ impl ProfileParams {
 }
 
 /// A machine configuration as overrides on [`MachineConfig::baseline`].
+///
+/// The coarse knobs (`width`, `window`) set several fields at once via
+/// the paper's conventions; the fine-grained knobs (`ruu`, `lsq`,
+/// `decode`, `issue`, `commit`) pin single fields and are what the
+/// §4.6 design-space planner submits — its grid decouples RUU from LSQ
+/// and the three widths from each other. Fine-grained overrides are
+/// applied *after* the coarse ones, so `{window: 64, lsq: 16}` means
+/// "RUU 64 with the LSQ pinned to 16", not the §4.5 half-window LSQ.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineSpec {
     /// Processor width (decode = issue = commit), as swept in Table 4.
@@ -86,6 +96,16 @@ pub struct MachineSpec {
     pub window: Option<u64>,
     /// IFQ size.
     pub ifq: Option<u64>,
+    /// RUU size alone (LSQ untouched).
+    pub ruu: Option<u64>,
+    /// LSQ size alone.
+    pub lsq: Option<u64>,
+    /// Decode width alone.
+    pub decode: Option<u64>,
+    /// Issue width alone.
+    pub issue: Option<u64>,
+    /// Commit width alone.
+    pub commit: Option<u64>,
     /// In-order issue with WAW/WAR hazards honoured.
     pub in_order: bool,
     /// Model every cache access as a hit.
@@ -122,6 +142,11 @@ impl MachineSpec {
             width: opt_u64("width")?,
             window: opt_u64("window")?,
             ifq: opt_u64("ifq")?,
+            ruu: opt_u64("ruu")?,
+            lsq: opt_u64("lsq")?,
+            decode: opt_u64("decode")?,
+            issue: opt_u64("issue")?,
+            commit: opt_u64("commit")?,
             in_order: flag("in_order")?,
             perfect_caches: flag("perfect_caches")?,
             perfect_bpred: flag("perfect_bpred")?,
@@ -139,6 +164,17 @@ impl MachineSpec {
         }
         if let Some(i) = self.ifq {
             pairs.push(("ifq", Json::Num(i as f64)));
+        }
+        for (key, v) in [
+            ("ruu", self.ruu),
+            ("lsq", self.lsq),
+            ("decode", self.decode),
+            ("issue", self.issue),
+            ("commit", self.commit),
+        ] {
+            if let Some(n) = v {
+                pairs.push((key, Json::Num(n as f64)));
+            }
         }
         if self.in_order {
             pairs.push(("in_order", Json::Bool(true)));
@@ -163,6 +199,21 @@ impl MachineSpec {
         }
         if let Some(i) = self.ifq {
             cfg = cfg.with_ifq(i as usize);
+        }
+        if let Some(n) = self.ruu {
+            cfg.ruu_size = n as usize;
+        }
+        if let Some(n) = self.lsq {
+            cfg.lsq_size = n as usize;
+        }
+        if let Some(n) = self.decode {
+            cfg.decode_width = n as usize;
+        }
+        if let Some(n) = self.issue {
+            cfg.issue_width = n as usize;
+        }
+        if let Some(n) = self.commit {
+            cfg.commit_width = n as usize;
         }
         if self.in_order {
             cfg = cfg.in_order();
@@ -484,6 +535,34 @@ mod tests {
             .with_ifq(8);
         assert_eq!(spec.resolve(), direct);
         assert_eq!(MachineSpec::default().resolve(), MachineConfig::baseline());
+    }
+
+    #[test]
+    fn fine_grained_fields_roundtrip_and_resolve() {
+        let spec = MachineSpec {
+            window: Some(64),
+            ruu: Some(96),
+            lsq: Some(24),
+            decode: Some(2),
+            issue: Some(8),
+            commit: Some(4),
+            ..Default::default()
+        };
+        let back = MachineSpec::from_json(&Json::parse(&spec.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        let cfg = spec.resolve();
+        // Fine-grained overrides win over the coarse `window` coupling.
+        assert_eq!(cfg.ruu_size, 96);
+        assert_eq!(cfg.lsq_size, 24);
+        assert_eq!(cfg.decode_width, 2);
+        assert_eq!(cfg.issue_width, 8);
+        assert_eq!(cfg.commit_width, 4);
+        // Distinct fine-grained specs must never alias in cache keys.
+        let other = MachineSpec {
+            lsq: Some(32),
+            ..spec.clone()
+        };
+        assert_ne!(format!("{:?}", other.resolve()), format!("{cfg:?}"));
     }
 
     #[test]

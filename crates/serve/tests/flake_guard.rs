@@ -1,37 +1,71 @@
-//! Mechanical flake audit of the serve integration tests.
+//! Mechanical flake audit of every integration-test source in the
+//! workspace.
 //!
-//! Two classes of CI flake keep recurring in socket test suites, and
-//! both are grep-detectable, so this test greps for them:
+//! Two classes of CI flake keep recurring in test suites, and both are
+//! grep-detectable, so this test greps for them — across the facade
+//! crate's `tests/` and every `crates/*/tests/` directory, not just the
+//! suite it happens to live in:
 //!
 //! * **Unconditional sleeps** — `thread::sleep` as a synchronization
 //!   primitive races the scheduler on loaded runners. Tests must poll
 //!   an observable condition via `util::wait_until`, which bounds the
 //!   wait with the suite-wide `SSIM_TEST_TIMEOUT_MS` budget instead.
-//!   (`tests/util/mod.rs` itself hosts the one sanctioned bounded sleep
-//!   inside the polling loop, so it is exempt from the scan.)
+//!   (The shared `tests/util/mod.rs` itself hosts the one sanctioned
+//!   bounded sleep inside the polling loop, so `util/` directories are
+//!   exempt from the scan.)
 //! * **Hard-coded ports** — two test binaries racing for the same fixed
 //!   loopback port fail with EADDRINUSE under `cargo test`'s parallel
 //!   execution. Servers must bind port 0 and publish the OS-assigned
 //!   address.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-fn test_sources() -> Vec<(String, String)> {
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests");
-    let mut out = Vec::new();
-    for entry in std::fs::read_dir(&dir).expect("read tests dir") {
+/// Top-level `.rs` files in one `tests/` directory (skipping `util/`
+/// and other support subdirectories).
+fn tests_in(dir: &Path, out: &mut Vec<(String, String)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return; // crate without integration tests
+    };
+    for entry in entries {
         let path = entry.expect("dir entry").path();
-        // Top-level test files only: util/ holds the sanctioned
-        // primitives the rules are implemented with.
         if path.extension().and_then(|e| e.to_str()) == Some("rs") {
-            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let name = path
+                .strip_prefix(dir.parent().unwrap().parent().unwrap())
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
             let text = std::fs::read_to_string(&path).expect("read test source");
             out.push((name, text));
         }
     }
+}
+
+/// Every integration-test source in the workspace: the facade crate's
+/// `tests/` plus each `crates/<name>/tests/`.
+fn test_sources() -> Vec<(String, String)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let mut out = Vec::new();
+    tests_in(&root.join("tests"), &mut out);
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))
+        .expect("read crates dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    crate_dirs.sort();
+    let mut crates_with_tests = 0;
+    for dir in crate_dirs {
+        let before = out.len();
+        tests_in(&dir.join("tests"), &mut out);
+        crates_with_tests += usize::from(out.len() > before);
+    }
     assert!(
-        out.len() >= 3,
-        "flake guard found too few test files — scan path broken?"
+        out.len() >= 20 && crates_with_tests >= 8,
+        "flake guard found only {} test files across {crates_with_tests} \
+         crates — scan path broken?",
+        out.len()
     );
     out
 }

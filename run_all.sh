@@ -54,5 +54,8 @@ serve smoke
 serve bench
 serve fleet smoke
 serve fleet bench
+# Surrogate-guided design-space planner vs exhaustive truth on the
+# quick §4.6 space; writes results/BENCH_dse.json for perf_report.
+run dse                       SSIM_QUICK=1
 run perf_report               SSIM_QUICK=1
 echo "[$(date +%H:%M:%S)] all experiments complete"
