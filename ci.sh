@@ -9,10 +9,15 @@
 #   ./ci.sh clippy     # clippy, warnings are errors
 #   ./ci.sh build      # release build, all targets
 #   ./ci.sh test       # full test suite
-#   ./ci.sh smoke      # serve + fleet loopback end-to-end, plus the
-#                      # fused-engine identity/throughput bench (SSIM_QUICK)
+#   ./ci.sh smoke      # serve + fleet loopback end-to-end, the
+#                      # fused-engine identity/throughput bench, and the
+#                      # 2-thread sweep-scaling smoke (SSIM_QUICK)
 #   ./ci.sh dse        # surrogate-guided planner vs exhaustive truth
 #                      # on the real §4.6 space (SSIM_QUICK)
+#   ./ci.sh deep       # deep bench tier (not part of `all`; manual or
+#                      # nightly): full §4.6 thread-scaling curve with
+#                      # parallel-efficiency gates, 8-backend fleet
+#                      # scaling, and a perf_report fold of both
 set -euo pipefail
 
 stage() { echo "[ci $(date +%H:%M:%S)] $*"; }
@@ -49,6 +54,12 @@ do_smoke() {
   # fails CI loudly rather than skewing a recorded speedup.
   stage "sim_speed (fused engine identity)"
   SSIM_QUICK=1 cargo run --release -q -p ssim-bench --bin sim_speed
+  # Thread-scaling smoke over the quick §4.6 grid at 2 threads:
+  # asserts byte-identity across thread counts and (on multi-core
+  # hosts) gates speedup(2) >= SSIM_MIN_SPEEDUP2; single-core hosts
+  # record the curve without enforcing.
+  stage "scaling (2-thread sweep smoke)"
+  SSIM_QUICK=1 SSIM_THREADS=2 cargo run --release -q -p ssim-bench --bin scaling
 }
 
 do_dse() {
@@ -61,6 +72,21 @@ do_dse() {
   SSIM_QUICK=1 cargo run --release -q -p ssim-bench --bin dse
 }
 
+do_deep() {
+  # Deep bench tier — the full §4.6 design space across the
+  # threads={1,4,8,16} curve (parallel efficiency gated at threads=4 on
+  # hosts with >= 4 cores) and the fleet's backends={1,3,8} scaling
+  # curve, folded into results/BENCH_parallel.json. Too heavy for the
+  # per-push gate: run manually or from the nightly/dispatch CI job.
+  stage "scaling (deep: full grid, threads={1,4,8,16})"
+  mkdir -p results
+  SSIM_DEEP=1 cargo run --release -q -p ssim-bench --bin scaling
+  stage "fleet bench (deep: backends={1,3,8})"
+  SSIM_DEEP=1 SSIM_QUICK=1 cargo run --release -q -p ssim-serve -- fleet bench
+  stage "perf_report (fold deep curves)"
+  SSIM_QUICK=1 cargo run --release -q -p ssim-bench --bin perf_report
+}
+
 case "${1:-all}" in
   fmt)    do_fmt ;;
   clippy) do_clippy ;;
@@ -68,6 +94,7 @@ case "${1:-all}" in
   test)   do_test ;;
   smoke)  do_smoke ;;
   dse)    do_dse ;;
+  deep)   do_deep ;;
   all)
     do_fmt
     do_clippy
@@ -78,7 +105,7 @@ case "${1:-all}" in
     stage "all stages passed"
     ;;
   *)
-    echo "usage: ./ci.sh [fmt|clippy|build|test|smoke|dse|all]" >&2
+    echo "usage: ./ci.sh [fmt|clippy|build|test|smoke|dse|deep|all]" >&2
     exit 2
     ;;
 esac

@@ -11,6 +11,12 @@
 //!    the reference interpreter) on the reference workload, recorded
 //!    as the `"synth"` section.
 //!
+//! It also folds in the artifacts left by the other bench binaries
+//! (`BENCH_serve.json`, `BENCH_fleet.json`, `BENCH_sim.json`,
+//! `BENCH_dse.json`, and the `scaling` bin's `BENCH_scaling.json`
+//! thread-scaling curve), so `results/BENCH_parallel.json` carries the
+//! whole perf story in one document.
+//!
 //! Emits `results/BENCH_parallel.json` alongside a human-readable
 //! summary on stdout.
 
@@ -63,8 +69,10 @@ fn main() {
     );
 
     // --- sweep: 1 thread vs SSIM_THREADS -----------------------------
-    // The sec46 shape: one synthetic trace, many machine points.
-    let trace = profiles[0].generate(ssim_bench::DEFAULT_R, 1);
+    // The sec46 shape: one synthetic trace, many machine points. The
+    // lowering goes through the sharded sampler cache like every sweep
+    // bin, so this is the production path being measured.
+    let trace = ssim_bench::sampler_cached(&profiles[0], ssim_bench::DEFAULT_R).generate(1);
     let points: Vec<MachineConfig> = [1usize, 2, 4, 8]
         .iter()
         .flat_map(|&w| {
@@ -140,6 +148,11 @@ fn main() {
     // Pareto/stratum error vs the exhaustive truth, surrogate RMSE, and
     // the synthetic million-point scaling phase.
     let dse_section = fold_section("results/BENCH_dse.json", "dse");
+    // `scaling` records the thread-scaling curve over the §4.6 sweep:
+    // wall-clock / speedup / parallel efficiency per thread count, with
+    // byte-identity asserted and the efficiency gates' enforcement
+    // status (deep tier gates eff(4) >= 0.6 on hosts with >= 4 cores).
+    let scaling_section = fold_section("results/BENCH_scaling.json", "scaling");
 
     // --- report ------------------------------------------------------
     // Per-stage CPU time from the observability timers: these sum the
@@ -181,8 +194,10 @@ fn main() {
     );
 
     let names: Vec<String> = suite.iter().map(|w| format!("\"{}\"", w.name())).collect();
+    let avail = ssim_bench::available_parallelism();
     let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"workloads\": [{}],\n  \
+        "{{\n  \"threads\": {threads},\n  \"available_parallelism\": {avail},\n  \
+         \"workloads\": [{}],\n  \
          \"profile_cold_s\": {profile_cold_s:.4},\n  \
          \"profile_warm_s\": {profile_warm_s:.4},\n  \
          \"cache_cold\": {{\"hits\": {}, \"misses\": {}}},\n  \
@@ -196,6 +211,7 @@ fn main() {
          \"dse\": {dse_section},\n  \
          \"serve\": {serve_section},\n  \
          \"fleet\": {fleet_section},\n  \
+         \"scaling\": {scaling_section},\n  \
          \"stages\": {stages}\n}}\n",
         names.join(", "),
         cold.0,

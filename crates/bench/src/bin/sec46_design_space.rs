@@ -7,36 +7,7 @@
 //! within 0.03–1.24% of optimal EDP for the remaining three.
 
 use ssim::prelude::*;
-use ssim_bench::{banner, par_map, profiled, quick, workloads, Budget};
-
-fn grid(quick: bool) -> Vec<MachineConfig> {
-    let base = MachineConfig::baseline();
-    let ruus: &[usize] = &[8, 16, 32, 48, 64, 96, 128];
-    let lsqs: &[usize] = &[4, 8, 16, 24, 32, 48, 64];
-    let widths: &[usize] = if quick { &[2, 8] } else { &[2, 4, 8] };
-    let mut points = Vec::new();
-    for &ruu in ruus {
-        for &lsq in lsqs {
-            if lsq > ruu {
-                continue; // the paper's constraint
-            }
-            for &decode in widths {
-                for &issue in widths {
-                    for &commit in widths {
-                        let mut c = base.clone();
-                        c.ruu_size = ruu;
-                        c.lsq_size = lsq;
-                        c.decode_width = decode;
-                        c.issue_width = issue;
-                        c.commit_width = commit;
-                        points.push(c);
-                    }
-                }
-            }
-        }
-    }
-    points
-}
+use ssim_bench::{banner, par_map, profiled, quick, sec46_grid, workloads, Budget};
 
 fn edp_of(r: &SimResult, cfg: &MachineConfig) -> f64 {
     PowerModel::new(cfg)
@@ -47,7 +18,7 @@ fn edp_of(r: &SimResult, cfg: &MachineConfig) -> f64 {
 fn main() {
     banner("Section 4.6", "EDP design-space exploration");
     let budget = Budget::from_env();
-    let points = grid(quick());
+    let points = sec46_grid(quick());
     println!("design points: {}", points.len());
 
     // Keep synthetic traces short: thousands of simulations per

@@ -169,7 +169,7 @@ fn run_axis(axis: &Axis, suite: &[&Workload], budget: &Budget) {
                         .skip(budget.skip)
                         .instructions(budget.profile),
                 );
-                p.generate(DEFAULT_R, 1)
+                ssim_bench::sampler_cached(&p, DEFAULT_R).generate(1)
             })
         })
         .collect();

@@ -352,7 +352,7 @@ impl DseBench {
     /// the whole of `results/BENCH_dse.json`).
     pub fn json(&self) -> String {
         format!(
-            "{{\"workload\": \"{}\", \"space_points\": {}, \"strata\": {}, \
+            "{{{}, \"workload\": \"{}\", \"space_points\": {}, \"strata\": {}, \
              \"budget\": {}, \"sim_fraction\": {:.4}, \
              \"exhaustive_s\": {:.4}, \"adaptive_s\": {:.4}, \
              \"exhaustive_sims\": {}, \"adaptive_sims\": {}, \
@@ -363,6 +363,7 @@ impl DseBench {
              \"synth\": {{\"points\": {}, \"strata\": {}, \"simulated\": {}, \
              \"fraction\": {:.4}, \"elapsed_s\": {:.4}, \"pareto_len\": {}, \
              \"max_stratum_err_pct\": {:.4}, \"within_3sigma_frac\": {:.4}}}}}",
+            crate::host_header_json(),
             self.workload,
             self.space_points,
             self.strata,

@@ -29,7 +29,7 @@ pub use dsebench::{measure_dse, sec46_space, DseBench, SynthDse};
 pub use profile_cache::{cache_enabled, cache_stats, profile_cached};
 pub use simbench::{measure_sim_speed, SimSpeed};
 pub use ssim_obs as obs;
-pub use ssim_par::{num_threads, par_map, par_map_with};
+pub use ssim_par::{available_parallelism, num_threads, par_map, par_map_with};
 pub use synthbench::{measure_synth_speed, SynthSpeed};
 
 static OBS_EDS_TIME: ssim_obs::TimerStat = ssim_obs::TimerStat::new("eds.time");
@@ -145,27 +145,73 @@ pub fn profiled_with(
 /// Default reduction factor: synthetic traces ~1/15th of the profile.
 pub const DEFAULT_R: u64 = 15;
 
+/// The §4.6 design-space grid — RUU × LSQ × decode × issue × commit
+/// with the paper's LSQ ≤ RUU constraint: 999 machine configurations
+/// in full mode, 296 in quick mode (widths pruned to {2, 8}).
+///
+/// Shared by `sec46_design_space`, the `scaling` bin, and the DSE
+/// planner's real-space phase, so "the §4.6 sweep" means the same
+/// point set everywhere it is measured.
+pub fn sec46_grid(quick: bool) -> Vec<MachineConfig> {
+    let base = MachineConfig::baseline();
+    let ruus: &[usize] = &[8, 16, 32, 48, 64, 96, 128];
+    let lsqs: &[usize] = &[4, 8, 16, 24, 32, 48, 64];
+    let widths: &[usize] = if quick { &[2, 8] } else { &[2, 4, 8] };
+    let mut points = Vec::new();
+    for &ruu in ruus {
+        for &lsq in lsqs {
+            if lsq > ruu {
+                continue; // the paper's constraint
+            }
+            for &decode in widths {
+                for &issue in widths {
+                    for &commit in widths {
+                        let mut c = base.clone();
+                        c.ruu_size = ruu;
+                        c.lsq_size = lsq;
+                        c.decode_width = decode;
+                        c.issue_width = issue;
+                        c.commit_width = commit;
+                        points.push(c);
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
 /// In-process cache of compiled samplers, keyed by
 /// `(profile content hash, r)`. Design-space sweeps simulate hundreds
 /// of machine configurations against one `(profile, r)` pair; the
 /// lowering is identical for all of them, so it is paid once and
 /// shared (the sweep bins fan points out across threads — hence `Arc`).
-type SamplerCache =
-    std::sync::Mutex<std::collections::HashMap<(u64, u64), std::sync::Arc<CompiledSampler>>>;
+///
+/// Sharded ([`ssim_par::ShardedCache`]) so worker threads hitting
+/// different `(profile, r)` pairs never contend on one lock, and
+/// build-once so concurrent misses on the *same* pair lower exactly
+/// once (the old global `Mutex<HashMap>` let racing threads duplicate
+/// the lowering; `sampler_cache_builds` + the regression test in
+/// `tests/sampler_cache.rs` pin the fix).
+type SamplerCache = ssim_par::ShardedCache<(u64, u64), std::sync::Arc<CompiledSampler>>;
 static SAMPLER_CACHE: std::sync::OnceLock<SamplerCache> = std::sync::OnceLock::new();
 
-/// Returns the compiled sampler for `(profile, r)`, lowering at most
-/// once per distinct pair for the process lifetime.
+fn sampler_cache() -> &'static SamplerCache {
+    SAMPLER_CACHE.get_or_init(SamplerCache::default)
+}
+
+/// Returns the compiled sampler for `(profile, r)`, lowering exactly
+/// once per distinct pair for the process lifetime — even when many
+/// threads miss the same pair simultaneously.
 pub fn sampler_cached(profile: &StatisticalProfile, r: u64) -> std::sync::Arc<CompiledSampler> {
     let key = (profile.content_hash(), r);
-    let cache = SAMPLER_CACHE.get_or_init(Default::default);
-    if let Some(s) = cache.lock().unwrap().get(&key) {
-        return std::sync::Arc::clone(s);
-    }
-    // Lower outside the lock: compilation is the expensive part, and
-    // racing threads at worst duplicate work, never results.
-    let s = std::sync::Arc::new(profile.compile(r));
-    std::sync::Arc::clone(cache.lock().unwrap().entry(key).or_insert(s))
+    sampler_cache().get_or_build(key, || std::sync::Arc::new(profile.compile(r)))
+}
+
+/// How many sampler lowerings the in-process cache has performed — one
+/// per distinct `(profile, r)` pair, regardless of thread count.
+pub fn sampler_cache_builds() -> u64 {
+    sampler_cache().builds()
 }
 
 thread_local! {
@@ -186,6 +232,19 @@ pub fn with_engine<T>(f: impl FnOnce(&mut SimEngine) -> T) -> T {
 pub fn ss(profile: &StatisticalProfile, machine: &MachineConfig, seed: u64) -> SimResult {
     let sampler = sampler_cached(profile, DEFAULT_R);
     with_engine(|e| e.simulate_fused(&sampler, seed, machine))
+}
+
+/// The host-parallelism header fields every `BENCH_*.json` carries, as
+/// a JSON fragment (no braces): the effective worker-pool size and the
+/// machine's available parallelism. Recording both keeps the perf
+/// trajectory comparable across runs — a speedup measured with
+/// `threads > available_parallelism` is oversubscription, not scaling.
+pub fn host_header_json() -> String {
+    format!(
+        "\"threads\": {}, \"available_parallelism\": {}",
+        num_threads(),
+        available_parallelism()
+    )
 }
 
 /// Formats a percentage.

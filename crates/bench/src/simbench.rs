@@ -68,11 +68,12 @@ impl SimSpeed {
     /// the whole of `results/BENCH_sim.json`).
     pub fn json(&self) -> String {
         format!(
-            "{{\"r\": {}, \"iters\": {}, \"total_instrs\": {}, \
+            "{{{}, \"r\": {}, \"iters\": {}, \"total_instrs\": {}, \
              \"reference_s\": {:.4}, \"unfused_s\": {:.4}, \"fused_s\": {:.4}, \
              \"reference_instrs_per_s\": {:.0}, \"unfused_instrs_per_s\": {:.0}, \
              \"fused_instrs_per_s\": {:.0}, \
              \"unfused_speedup\": {:.2}, \"fused_speedup\": {:.2}}}",
+            crate::host_header_json(),
             self.r,
             self.iters,
             self.total_instrs,

@@ -1,0 +1,91 @@
+//! Regression test for the sampler-cache duplicate-build race.
+//!
+//! The original cache was a global `Mutex<HashMap>` that looked up
+//! under the lock but lowered *outside* it: two threads missing the
+//! same `(profile, r)` key both paid the lowering and one result was
+//! discarded. The sharded rework (`ssim_par::ShardedCache`) dedups on a
+//! per-key `OnceLock`, so the lowering count must equal the distinct
+//! key count no matter how many threads race — this test pins that.
+
+use ssim::prelude::*;
+use ssim_bench::{sampler_cache_builds, sampler_cached};
+use std::sync::{Arc, Barrier};
+
+fn tiny_profile(instructions: u64) -> StatisticalProfile {
+    // Keep the test off the shared on-disk cache directory and cheap:
+    // a small budget keeps lowering at microseconds while the barrier
+    // still lines every thread up on the same cold key.
+    let workload = ssim::workloads::by_name("gzip").expect("gzip workload");
+    let cfg = ProfileConfig::new(&MachineConfig::baseline()).instructions(instructions);
+    profile(&workload.program(), &cfg)
+}
+
+#[test]
+fn concurrent_misses_lower_exactly_once_per_key() {
+    let p = tiny_profile(15_000);
+    let threads = 8;
+
+    // Round 1: everyone storms the same cold (profile, r) key.
+    let before = sampler_cache_builds();
+    let barrier = Barrier::new(threads);
+    let samplers: Vec<Arc<CompiledSampler>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (p, barrier) = (&p, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    sampler_cached(p, 11)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(
+        sampler_cache_builds() - before,
+        1,
+        "concurrent misses on one key lowered the sampler more than once"
+    );
+    // Every thread shares the one lowering, not merely equal copies.
+    for s in &samplers[1..] {
+        assert!(Arc::ptr_eq(s, &samplers[0]));
+    }
+
+    // Round 2: distinct r values (and a repeat of r=11) from racing
+    // threads — one build per *new* key, zero for the warm one.
+    let before = sampler_cache_builds();
+    let rs: Vec<u64> = vec![11, 12, 13, 14, 12, 13, 14, 11];
+    let barrier = Barrier::new(rs.len());
+    std::thread::scope(|s| {
+        for &r in &rs {
+            let (p, barrier) = (&p, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                sampler_cached(p, r)
+            });
+        }
+    });
+    assert_eq!(
+        sampler_cache_builds() - before,
+        3,
+        "expected exactly one lowering per new (profile, r) key"
+    );
+
+    // The cached sampler still generates byte-identical traces to a
+    // fresh lowering (the dedup must never change results).
+    let fresh = p.compile(11);
+    let a = samplers[0].generate(5);
+    let b = fresh.generate(5);
+    assert_eq!(a.len(), b.len());
+    let digest = |t: &SyntheticTrace| {
+        use std::hash::Hasher;
+        let mut h = ssim::core::FxHasher::default();
+        for i in t.instrs() {
+            h.write_u8(i.class.index() as u8);
+            for dep in i.dep.iter() {
+                h.write_u32(dep.map_or(u32::MAX, |d| d));
+            }
+        }
+        h.finish()
+    };
+    assert_eq!(digest(&a), digest(&b));
+}

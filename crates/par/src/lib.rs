@@ -11,12 +11,15 @@
 //!
 //! * **No external dependencies.** The build environment cannot fetch
 //!   crates, so this is `std::thread::scope` + atomics, not rayon.
-//! * **Work stealing via a shared index.** Workers claim items one at a
-//!   time from an `AtomicUsize` cursor. Sweep points vary wildly in cost
-//!   (a wide-window design point simulates far slower than a narrow
-//!   one), so static chunking would leave cores idle; a shared cursor is
-//!   the degenerate-but-effective form of stealing for fewer than ~10⁶
-//!   items of non-trivial cost.
+//! * **Work stealing via adaptive chunked claiming.** Workers claim
+//!   `max(1, remaining / (threads × K))` items at a time from a shared
+//!   `AtomicUsize` cursor (`K` = [`chunk_factor`], default 8, env
+//!   `SSIM_CHUNK_FACTOR`). Early claims are large — ~10³–10⁶ cheap
+//!   points would otherwise serialise on the cursor's cache line — and
+//!   shrink geometrically toward single items as the queue drains, so
+//!   uneven per-item costs (a wide-window design point simulates far
+//!   slower than a narrow one) still balance at the tail exactly like
+//!   the old one-item cursor did.
 //! * **Deterministic output.** Each worker tags results with the input
 //!   index; the results are merged and sorted at the end. Only the
 //!   *schedule* is nondeterministic, never the output.
@@ -25,17 +28,28 @@
 //!
 //! Thread count comes from `SSIM_THREADS` (default: available
 //! parallelism); `SSIM_THREADS=1` gives the exact serial execution path.
+//!
+//! The sibling [`ShardedCache`] serves the other half of sweep
+//! scalability: keeping the per-process artifact caches (compiled
+//! samplers, results) off a single global lock.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+mod shard;
+pub use shard::{ShardedCache, DEFAULT_SHARDS};
+
 // Observability: fan-out volume and load balance. The per-worker task
 // histogram makes work-stealing skew visible (a flat histogram means
-// the shared-cursor scheduler balanced the sweep).
+// the chunk-claiming scheduler balanced the sweep); the chunk-size
+// histogram shows the claim cadence (geometric decay from n/(t·K) down
+// to 1 as the queue drains).
 static OBS_TASKS: ssim_obs::Counter = ssim_obs::Counter::new("par.tasks");
 static OBS_THREADS: ssim_obs::Gauge = ssim_obs::Gauge::new("par.threads");
 static OBS_TASKS_PER_WORKER: ssim_obs::LogHistogram =
     ssim_obs::LogHistogram::new("par.tasks_per_worker");
+static OBS_CHUNKS: ssim_obs::Counter = ssim_obs::Counter::new("par.chunks");
+static OBS_CHUNK_ITEMS: ssim_obs::LogHistogram = ssim_obs::LogHistogram::new("par.chunk_items");
 
 /// Resolves a raw `SSIM_THREADS` value against a fallback pool size.
 ///
@@ -50,6 +64,16 @@ pub fn resolve_thread_count(raw: Option<&str>, fallback: usize) -> usize {
         .unwrap_or(fallback)
 }
 
+/// The host's available parallelism (floored at one) — recorded in
+/// every `BENCH_*.json` header so speedup numbers are interpretable:
+/// a `threads=4` run on a 1-core box *cannot* show a 4× win, and the
+/// artifact should say so.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// The pool size used by [`par_map`]: `SSIM_THREADS` if set to a
 /// positive integer, otherwise the machine's available parallelism.
 ///
@@ -57,10 +81,11 @@ pub fn resolve_thread_count(raw: Option<&str>, fallback: usize) -> usize {
 pub fn num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
-        let fallback = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        resolve_thread_count(std::env::var("SSIM_THREADS").ok().as_deref(), fallback).max(1)
+        resolve_thread_count(
+            std::env::var("SSIM_THREADS").ok().as_deref(),
+            available_parallelism(),
+        )
+        .max(1)
     })
 }
 
@@ -78,6 +103,22 @@ where
     par_map_with(num_threads(), items, f)
 }
 
+/// The chunk divisor `K`: each claim takes roughly `1/(threads × K)` of
+/// the remaining items, so every worker makes ~`K·log(n)` claims total
+/// instead of `n/threads`. `SSIM_CHUNK_FACTOR` overrides (≥ 1); the
+/// default of 8 keeps tail imbalance under 1/(8·threads) of the sweep
+/// while cutting cursor traffic by orders of magnitude on cheap points.
+pub fn chunk_factor() -> usize {
+    static K: OnceLock<usize> = OnceLock::new();
+    *K.get_or_init(|| {
+        std::env::var("SSIM_CHUNK_FACTOR")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&k| k >= 1)
+            .unwrap_or(8)
+    })
+}
+
 /// [`par_map`] with an explicit thread count (exposed for determinism
 /// tests; experiment code should use [`par_map`]).
 pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
@@ -86,8 +127,22 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_chunked(threads, chunk_factor(), items, f)
+}
+
+/// [`par_map_with`] with an explicit chunk divisor `K` (exposed so the
+/// property tests can sweep adversarial `(threads, K)` combinations;
+/// experiment code should use [`par_map`], which reads
+/// `SSIM_CHUNK_FACTOR`).
+pub fn par_map_chunked<T, R, F>(threads: usize, k: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = items.len();
     let threads = threads.clamp(1, n.max(1));
+    let k = k.max(1);
     OBS_TASKS.add(n as u64);
     OBS_THREADS.set_max(threads as u64);
     if threads == 1 || n <= 1 {
@@ -102,11 +157,25 @@ where
             s.spawn(|| {
                 let mut local = Vec::new();
                 loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    // Size the claim off a racy read of the cursor: a
+                    // stale value only skews the chunk size, never the
+                    // claimed range — `fetch_add` below is what reserves
+                    // `[start, start+chunk)` exclusively.
+                    let claimed = cursor.load(Ordering::Relaxed);
+                    if claimed >= n {
                         break;
                     }
-                    local.push((i, f(&items[i])));
+                    let chunk = ((n - claimed) / threads.saturating_mul(k)).max(1);
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    OBS_CHUNKS.inc();
+                    OBS_CHUNK_ITEMS.record((end - start) as u64);
+                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                        local.push((i, f(item)));
+                    }
                 }
                 OBS_TASKS_PER_WORKER.record(local.len() as u64);
                 // One lock per worker, not per item.
@@ -197,6 +266,23 @@ mod tests {
         });
         for (pos, (i, _)) in got.iter().enumerate() {
             assert_eq!(pos, *i);
+        }
+    }
+
+    #[test]
+    fn chunked_claims_cover_every_index_once() {
+        // Adversarial (n, threads, K) combinations, including chunk
+        // sizes larger than the remaining work and K so big it degrades
+        // to the old one-item cursor.
+        for n in [0usize, 1, 2, 7, 64, 257, 1000] {
+            let items: Vec<usize> = (0..n).collect();
+            let expect: Vec<usize> = items.iter().map(|&x| x + 1).collect();
+            for threads in [1usize, 2, 3, 8, 31] {
+                for k in [1usize, 2, 8, usize::MAX / 2] {
+                    let got = par_map_chunked(threads, k, &items, |&x| x + 1);
+                    assert_eq!(got, expect, "n={n} threads={threads} k={k}");
+                }
+            }
         }
     }
 

@@ -1,0 +1,209 @@
+//! N-way sharded concurrent cache with per-key build deduplication.
+//!
+//! The sweep hot path hits two in-process caches on every design point
+//! (compiled samplers in `ssim-bench`, results and samplers in
+//! `ssim-serve`). A single `Mutex<HashMap>` serialises all of them: at
+//! 16 threads the lock is the sweep, not the simulator. This cache
+//! splits the key space across `N` independently locked shards, so
+//! threads touching different keys never contend, and it fixes the
+//! classic duplicate-build race with one [`OnceLock`] cell per key:
+//!
+//! * a shard lock is held only for map operations (microseconds) —
+//!   **never across a build**;
+//! * concurrent misses on the *same* key rendezvous on the key's cell,
+//!   so the expensive build (profile pass, sampler lowering) runs
+//!   exactly once and every caller gets the same value;
+//! * concurrent misses on *different* keys build in parallel.
+//!
+//! The [`ShardedCache::builds`] counter counts builder invocations —
+//! regression tests assert it stays at one per distinct key no matter
+//! how many threads race.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Shard<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
+
+/// A concurrent map from `K` to `V` whose values are built at most once
+/// per key, sharded `N` ways to keep lock contention off the hot path.
+///
+/// `V` is cloned out on every access, so it should be cheap to clone —
+/// in practice an `Arc<T>` or a small `Copy` struct.
+pub struct ShardedCache<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    hasher: RandomState,
+    builds: AtomicU64,
+    hits: AtomicU64,
+}
+
+/// Default shard count: enough that 16 threads on disjoint keys
+/// collide on a shard lock rarely, small enough to stay cache-friendly.
+pub const DEFAULT_SHARDS: usize = 32;
+
+impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
+    /// An empty cache with `shards` shards (rounded up to a power of
+    /// two, floored at one).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            builds: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        // Shard count is a power of two, so masking the hash is a
+        // uniform shard pick.
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h & (self.shards.len() - 1)]
+    }
+
+    /// Returns the value for `key`, invoking `build` to create it if
+    /// (and only if) no caller has built it yet.
+    ///
+    /// The shard lock is held only to resolve the key's cell; `build`
+    /// runs outside every lock. Concurrent callers for the same key
+    /// block on the cell until the single build finishes, then all
+    /// receive clones of the one value.
+    pub fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> V {
+        let cell = {
+            let mut map = self.shard(&key).lock().unwrap();
+            map.entry(key).or_default().clone()
+        };
+        let mut built = false;
+        let value = cell
+            .get_or_init(|| {
+                built = true;
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                build()
+            })
+            .clone();
+        if !built {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// The value for `key` if a build has completed; `None` for absent
+    /// keys and for builds still in flight.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let map = self.shard(key).lock().unwrap();
+        map.get(key).and_then(|cell| cell.get().cloned())
+    }
+
+    /// How many times a builder closure has run — one per distinct key
+    /// ever requested, regardless of concurrency.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// How many `get_or_build` calls were answered without building.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of keys present (including builds in flight).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the cache holds no keys at all.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().unwrap().is_empty())
+    }
+
+    /// Drops every entry (in-flight cells stay alive for their current
+    /// callers but are no longer reachable through the cache).
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.lock().unwrap().clear();
+        }
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    #[test]
+    fn builds_once_and_shares() {
+        let cache: ShardedCache<u32, Arc<u64>> = ShardedCache::new(4);
+        let a = cache.get_or_build(7, || Arc::new(42));
+        let b = cache.get_or_build(7, || unreachable!("must not rebuild"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.get(&7).as_deref(), Some(&42));
+        assert_eq!(cache.get(&8), None);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_same_key_misses_build_exactly_once() {
+        let cache: ShardedCache<u32, Arc<u64>> = ShardedCache::new(8);
+        let threads = 16;
+        let barrier = Barrier::new(threads);
+        let values: Vec<Arc<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (cache, barrier) = (&cache, &barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        cache.get_or_build(1, || Arc::new(99))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.builds(), 1, "duplicate-build race: lowered twice");
+        assert!(values.iter().all(|v| Arc::ptr_eq(v, &values[0])));
+    }
+
+    #[test]
+    fn distinct_keys_build_independently() {
+        let cache: ShardedCache<usize, usize> = ShardedCache::new(4);
+        let built = AtomicUsize::new(0);
+        let keys: Vec<usize> = (0..257).collect();
+        std::thread::scope(|s| {
+            for chunk in keys.chunks(64) {
+                let (cache, built) = (&cache, &built);
+                s.spawn(move || {
+                    for &k in chunk {
+                        let v = cache.get_or_build(k, || {
+                            built.fetch_add(1, Ordering::Relaxed);
+                            k * 2
+                        });
+                        assert_eq!(v, k * 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.builds(), keys.len() as u64);
+        assert_eq!(built.load(Ordering::Relaxed), keys.len());
+        assert_eq!(cache.len(), keys.len());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shard_count_is_floored_and_rounded() {
+        // Degenerate shard requests must still yield a working cache.
+        for n in [0, 1, 3, 5] {
+            let cache: ShardedCache<u8, u8> = ShardedCache::new(n);
+            assert_eq!(cache.get_or_build(1, || 2), 2);
+            assert!(cache.shards.len().is_power_of_two());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property and stress coverage for the chunked work-stealing scheduler
+//! and the sharded build-once cache — the two primitives the sweep hot
+//! path leans on for multi-core scaling.
+
+use proptest::prelude::*;
+use ssim_par::{par_map_chunked, ShardedCache};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+proptest! {
+    /// Chunked parallel execution is observationally identical to the
+    /// serial map — same values, same order — for adversarial per-item
+    /// cost profiles (the spin loop makes item cost swing by ~100× in
+    /// generated patterns, so completion order scrambles thoroughly).
+    #[test]
+    fn chunked_matches_serial_under_adversarial_costs(
+        costs in prop::collection::vec(0u64..100, 1..400),
+        threads in 1usize..12,
+        k in 1usize..20,
+    ) {
+        let f = |(&i, &cost): &(&usize, &u64)| {
+            let mut acc = i as u64;
+            for step in 0..cost * 50 {
+                acc = acc.wrapping_add(step).rotate_left(7);
+            }
+            (i, acc)
+        };
+        let indices: Vec<usize> = (0..costs.len()).collect();
+        let items: Vec<(&usize, &u64)> = indices.iter().zip(costs.iter()).collect();
+        let serial: Vec<(usize, u64)> = items.iter().map(f).collect();
+        let parallel = par_map_chunked(threads, k, &items, f);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Every index is visited exactly once regardless of how the chunk
+    /// divisor interacts with thread count and item count.
+    #[test]
+    fn chunked_visits_each_index_once(
+        n in 0usize..600,
+        threads in 1usize..16,
+        k in 1usize..32,
+    ) {
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let items: Vec<usize> = (0..n).collect();
+        par_map_chunked(threads, k, &items, |&i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "index {} visited wrong count", i);
+        }
+    }
+}
+
+/// Concurrent same-key hits on a sharded cache all receive the *same*
+/// `Arc` (pointer-identical, not merely equal), and the builder runs
+/// exactly once per key — the duplicate-build race the global
+/// `Mutex<HashMap>` caches used to have.
+#[test]
+fn sharded_cache_same_key_stress() {
+    let cache: ShardedCache<u64, Arc<Vec<u8>>> = ShardedCache::new(16);
+    let threads = 12;
+    let rounds = 40u64;
+    let barrier = Barrier::new(threads);
+    let results: Vec<Vec<Arc<Vec<u8>>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (cache, barrier) = (&cache, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    // Interleave keys so every key sees many concurrent
+                    // first-misses from differently-phased threads.
+                    (0..rounds)
+                        .map(|r| {
+                            let key = (r + t as u64) % rounds;
+                            cache.get_or_build(key, || Arc::new(vec![key as u8; 64]))
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(
+        cache.builds(),
+        rounds,
+        "a key was built more than once under concurrency"
+    );
+    // All threads touching one key got the identical allocation
+    // (thread 0 visits key `k` at round `k`, so it indexes directly).
+    for t in 1..threads {
+        for r in 0..rounds as usize {
+            let key = (r + t) % rounds as usize;
+            assert!(
+                Arc::ptr_eq(&results[t][r], &results[0][key]),
+                "thread {t} key {key}: distinct Arc for the same key"
+            );
+        }
+    }
+}

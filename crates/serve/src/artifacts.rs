@@ -17,12 +17,19 @@
 //!    MachineConfig fingerprint, R, seed)` with FIFO eviction — a
 //!    sweep re-submitted with overlapping points answers the overlap
 //!    from memory.
+//!
+//! All three layers are sharded (`ssim_par::ShardedCache` for the
+//! build-once maps, an N-way sharded FIFO for results), so the worker
+//! pool's hot path never funnels through one global lock: a shard lock
+//! is held only for map operations, and expensive builds (profiling,
+//! sampler lowering) run outside every lock with per-key dedup.
 
 use crate::proto::{PointResult, ProfileParams};
 use ssim::prelude::*;
+use ssim_par::ShardedCache;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hasher;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 static OBS_PROFILE_BUILDS: ssim_obs::Counter = ssim_obs::Counter::new("serve.artifacts.profiles");
 static OBS_SAMPLER_BUILDS: ssim_obs::Counter = ssim_obs::Counter::new("serve.artifacts.samplers");
@@ -35,20 +42,20 @@ pub struct ProfileArtifact {
     pub profile: Arc<StatisticalProfile>,
     /// Content hash of the serialized profile (result-cache key part).
     pub hash: u64,
-    samplers: Mutex<HashMap<u64, Arc<CompiledSampler>>>,
+    samplers: ShardedCache<u64, Arc<CompiledSampler>>,
 }
 
 impl ProfileArtifact {
-    /// The compiled sampler for reduction factor `r`, lowered on first
-    /// use and cached.
+    /// The compiled sampler for reduction factor `r`, lowered exactly
+    /// once per `r` — concurrent first requests for the same `r` dedup
+    /// on the key's cell, and the lowering runs outside every lock (the
+    /// old map held its lock across `compile`, serialising sweeps that
+    /// mixed reduction factors).
     pub fn sampler(&self, r: u64) -> Arc<CompiledSampler> {
-        let mut map = self.samplers.lock().unwrap();
-        map.entry(r)
-            .or_insert_with(|| {
-                OBS_SAMPLER_BUILDS.inc();
-                Arc::new(self.profile.compile(r))
-            })
-            .clone()
+        self.samplers.get_or_build(r, || {
+            OBS_SAMPLER_BUILDS.inc();
+            Arc::new(self.profile.compile(r))
+        })
     }
 }
 
@@ -71,7 +78,8 @@ struct ResultKey {
     seed: u64,
 }
 
-/// A bounded map with FIFO eviction (insertion order).
+/// A bounded map with FIFO eviction (insertion order) — one shard of
+/// the sharded result cache.
 struct ResultCache {
     capacity: usize,
     map: HashMap<ResultKey, PointResult>,
@@ -79,6 +87,14 @@ struct ResultCache {
 }
 
 impl ResultCache {
+    fn with_capacity(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
     fn get(&self, key: &ResultKey) -> Option<PointResult> {
         self.map.get(key).copied()
     }
@@ -98,10 +114,55 @@ impl ResultCache {
     }
 }
 
+/// Shard count for the result cache: a worker pool saturating 16 cores
+/// lands on a given shard lock ~1/16th of the time.
+const RESULT_SHARDS: usize = 16;
+
+/// The result cache sharded by key hash: each shard is an independent
+/// FIFO holding `capacity / RESULT_SHARDS` points, so concurrent sweep
+/// workers recording results stripe across `RESULT_SHARDS` locks
+/// instead of convoying on one.
+struct ShardedResults {
+    shards: Box<[Mutex<ResultCache>]>,
+}
+
+impl ShardedResults {
+    fn new(capacity: usize) -> Self {
+        // Distribute the budget; div_ceil keeps a non-zero capacity
+        // per shard whenever the total is non-zero (capacity 0 still
+        // means "cache disabled" exactly as before).
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(RESULT_SHARDS)
+        };
+        ShardedResults {
+            shards: (0..RESULT_SHARDS)
+                .map(|_| Mutex::new(ResultCache::with_capacity(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &ResultKey) -> &Mutex<ResultCache> {
+        let mut h = ssim::core::FxHasher::default();
+        h.write_u64(key.profile ^ key.machine.rotate_left(17));
+        h.write_u64(key.r ^ key.seed.rotate_left(31));
+        &self.shards[h.finish() as usize % self.shards.len()]
+    }
+
+    fn get(&self, key: &ResultKey) -> Option<PointResult> {
+        self.shard(key).lock().unwrap().get(key)
+    }
+
+    fn insert(&self, key: ResultKey, value: PointResult) {
+        self.shard(&key).lock().unwrap().insert(key, value);
+    }
+}
+
 /// The server's artifact store (shared across workers).
 pub struct ArtifactStore {
-    profiles: Mutex<HashMap<ProfileParams, Arc<OnceLock<Arc<ProfileArtifact>>>>>,
-    results: Mutex<ResultCache>,
+    profiles: ShardedCache<ProfileParams, Arc<ProfileArtifact>>,
+    results: ShardedResults,
 }
 
 impl ArtifactStore {
@@ -109,16 +170,12 @@ impl ArtifactStore {
     /// `result_capacity` points.
     pub fn new(result_capacity: usize) -> Self {
         ArtifactStore {
-            profiles: Mutex::new(HashMap::new()),
-            results: Mutex::new(ResultCache {
-                capacity: result_capacity,
-                map: HashMap::new(),
-                order: VecDeque::new(),
-            }),
+            profiles: ShardedCache::new(8),
+            results: ShardedResults::new(result_capacity),
         }
     }
 
-    /// Resolves (building at most once per key, even under concurrent
+    /// Resolves (building exactly once per key, even under concurrent
     /// requests) the profile artifact for `params`.
     ///
     /// # Errors
@@ -129,30 +186,22 @@ impl ArtifactStore {
         // fails fast instead of poisoning the map.
         let workload = ssim::workloads::by_name(&params.workload)
             .ok_or_else(|| format!("unknown workload {:?}", params.workload))?;
-        let cell = {
-            let mut map = self.profiles.lock().unwrap();
-            map.entry(params.clone())
-                .or_insert_with(|| Arc::new(OnceLock::new()))
-                .clone()
-        };
-        // First caller builds (outside the map lock — profiling is the
-        // expensive pass); concurrent callers for the same key block
-        // here, callers for other keys proceed.
-        Ok(cell
-            .get_or_init(|| {
-                OBS_PROFILE_BUILDS.inc();
-                let cfg = ProfileConfig::new(&MachineConfig::baseline())
-                    .skip(params.skip)
-                    .instructions(params.instructions);
-                let profile = ssim_bench::profile_cached(workload, &cfg);
-                let hash = profile.content_hash();
-                Arc::new(ProfileArtifact {
-                    profile: Arc::new(profile),
-                    hash,
-                    samplers: Mutex::new(HashMap::new()),
-                })
+        // First caller builds (outside the shard lock — profiling is
+        // the expensive pass); concurrent callers for the same key
+        // block on its cell, callers for other keys proceed.
+        Ok(self.profiles.get_or_build(params.clone(), || {
+            OBS_PROFILE_BUILDS.inc();
+            let cfg = ProfileConfig::new(&MachineConfig::baseline())
+                .skip(params.skip)
+                .instructions(params.instructions);
+            let profile = ssim_bench::profile_cached(workload, &cfg);
+            let hash = profile.content_hash();
+            Arc::new(ProfileArtifact {
+                profile: Arc::new(profile),
+                hash,
+                samplers: ShardedCache::new(8),
             })
-            .clone())
+        }))
     }
 
     /// Simulates one design point, answering from the result cache when
@@ -176,7 +225,7 @@ impl ArtifactStore {
             r,
             seed,
         };
-        if let Some(mut hit) = self.results.lock().unwrap().get(&key) {
+        if let Some(mut hit) = self.results.get(&key) {
             OBS_RESULT_HITS.inc();
             hit.cached = true;
             return hit;
@@ -189,7 +238,7 @@ impl ArtifactStore {
             ipc: sim.ipc(),
             cached: false,
         };
-        self.results.lock().unwrap().insert(key, point);
+        self.results.insert(key, point);
         point
     }
 
@@ -217,7 +266,7 @@ impl ArtifactStore {
             r,
             seed,
         };
-        if let Some(mut hit) = self.results.lock().unwrap().get(&key) {
+        if let Some(mut hit) = self.results.get(&key) {
             OBS_RESULT_HITS.inc();
             hit.cached = true;
             return hit;
@@ -231,7 +280,7 @@ impl ArtifactStore {
             ipc: sim.ipc(),
             cached: false,
         };
-        self.results.lock().unwrap().insert(key, point);
+        self.results.insert(key, point);
         point
     }
 }
@@ -342,6 +391,35 @@ mod tests {
         assert_eq!(fused.cycles, direct.cycles);
         assert_eq!(fused.instructions, direct.instructions);
         assert_eq!(fused.ipc.to_bits(), direct.ipc().to_bits());
+    }
+
+    #[test]
+    fn concurrent_same_key_resolves_share_one_artifact() {
+        let store = isolated_store();
+        let barrier = std::sync::Barrier::new(8);
+        let artifacts: Vec<Arc<ProfileArtifact>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let (store, barrier) = (&store, &barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        let a = store.profile(&small_params()).unwrap();
+                        // Sampler storm on the same r while other
+                        // threads are doing the same.
+                        let _ = a.sampler(9);
+                        a
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for a in &artifacts[1..] {
+            assert!(Arc::ptr_eq(a, &artifacts[0]), "profile built twice");
+            assert!(
+                Arc::ptr_eq(&a.sampler(9), &artifacts[0].sampler(9)),
+                "sampler lowered twice for one r"
+            );
+        }
     }
 
     #[test]

@@ -293,6 +293,11 @@ fn cmd_bench() -> i32 {
 
     let doc = Json::obj(vec![
         ("quick", Json::Bool(quick)),
+        ("threads", Json::Num(ssim_bench::num_threads() as f64)),
+        (
+            "available_parallelism",
+            Json::Num(ssim_bench::available_parallelism() as f64),
+        ),
         ("workers", Json::Num(ssim_bench::num_threads() as f64)),
         ("sweep_points", Json::Num(points as f64)),
         ("cold_sweep_s", Json::Num(cold_s)),
@@ -349,7 +354,7 @@ fn cmd_smoke() -> i32 {
             .skip(profile.skip)
             .instructions(profile.instructions),
     );
-    let sampler = direct_profile.compile(r);
+    let sampler = ssim_bench::sampler_cached(&direct_profile, r);
     let mut expected = Vec::new();
     for m in &machines {
         let cfg = m.resolve();
@@ -461,7 +466,7 @@ fn direct_expectation(spec: &SweepSpec) -> Vec<(u64, u64, f64)> {
             .skip(spec.profile.skip)
             .instructions(spec.profile.instructions),
     );
-    let sampler = profile.compile(spec.r);
+    let sampler = ssim_bench::sampler_cached(&profile, spec.r);
     let mut expected = Vec::new();
     for m in &spec.machines {
         let cfg = m.resolve();
@@ -685,6 +690,11 @@ fn cmd_fleet_bench() -> i32 {
     std::env::set_var("SSIM_PROFILE_CACHE_DIR", &cache_dir);
 
     let quick = ssim_bench::quick();
+    // Deep tier (`./ci.sh deep`): extend the backend-scaling curve to 8
+    // backends so BENCH_fleet.json records a real multi-backend curve,
+    // not just the 1-vs-3 pair.
+    let deep = std::env::var("SSIM_DEEP").is_ok_and(|v| v != "0");
+    let backend_counts: &[usize] = if deep { &[1, 3, 8] } else { &[1, 3] };
     let spec = SweepSpec {
         profile: small_profile(if quick { 150_000 } else { 1_000_000 }),
         machines: [2u64, 4, 8]
@@ -729,8 +739,24 @@ fn cmd_fleet_bench() -> i32 {
         (outcome, secs)
     };
 
-    let (single, single_s) = run_phase("1 backend", &[None]);
-    let (fleet3, fleet3_s) = run_phase("3 backends", &[None, None, None]);
+    // Backend-scaling curve: healthy fleets of increasing size. Every
+    // count must merge bit-identically — the fleet's core guarantee.
+    let avail = ssim_bench::available_parallelism();
+    let mut phases: Vec<(usize, ssim_serve::fleet::SweepOutcome, f64)> = Vec::new();
+    for &n in backend_counts {
+        let plans = vec![None; n];
+        let (outcome, secs) = run_phase(
+            &format!("{n} backend{}", if n == 1 { "" } else { "s" }),
+            &plans,
+        );
+        phases.push((n, outcome, secs));
+    }
+    let (single, single_s) = (&phases[0].1, phases[0].2);
+    let fleet3_idx = phases
+        .iter()
+        .position(|&(n, _, _)| n == 3)
+        .expect("3-backend phase");
+    let fleet3_s = phases[fleet3_idx].2;
     let (chaos, chaos_s) = run_phase(
         "3 backends + chaos",
         &[
@@ -741,7 +767,12 @@ fn cmd_fleet_bench() -> i32 {
     );
 
     // The whole point of the fleet: placement must not show in results.
-    for (label, other) in [("3-backend", &fleet3), ("chaos", &chaos)] {
+    let mut checks: Vec<(String, &ssim_serve::fleet::SweepOutcome)> = phases[1..]
+        .iter()
+        .map(|(n, o, _)| (format!("{n}-backend"), o))
+        .collect();
+    checks.push(("chaos".to_string(), &chaos));
+    for (label, other) in &checks {
         for (i, (a, b)) in single.points.iter().zip(other.points.iter()).enumerate() {
             assert!(
                 a.cycles == b.cycles
@@ -751,11 +782,42 @@ fn cmd_fleet_bench() -> i32 {
             );
         }
     }
-    println!("merged results identical across 1-backend, 3-backend and chaos runs");
+    println!(
+        "merged results identical across {:?}-backend and chaos runs",
+        backend_counts
+    );
+
+    // Scaling curve entries: speedup vs the 1-backend run, efficiency
+    // relative to the backend count. Backends here share one host, so
+    // the curve is honest only up to available_parallelism — which is
+    // exactly why it is recorded in the header.
+    let scaling: Vec<Json> = phases
+        .iter()
+        .map(|&(n, _, secs)| {
+            let speedup = single_s / secs.max(1e-12);
+            Json::obj(vec![
+                ("backends", Json::Num(n as f64)),
+                ("wall_s", Json::Num(secs)),
+                ("speedup", Json::Num(speedup)),
+                ("efficiency", Json::Num(speedup / n as f64)),
+            ])
+        })
+        .collect();
 
     let doc = Json::obj(vec![
         ("quick", Json::Bool(quick)),
-        ("workers", Json::Num(ssim_bench::num_threads() as f64)),
+        ("deep", Json::Bool(deep)),
+        ("threads", Json::Num(ssim_bench::num_threads() as f64)),
+        ("available_parallelism", Json::Num(avail as f64)),
+        (
+            "backends",
+            Json::Arr(
+                backend_counts
+                    .iter()
+                    .map(|&n| Json::Num(n as f64))
+                    .collect(),
+            ),
+        ),
         ("sweep_points", Json::Num(points as f64)),
         ("single_backend_s", Json::Num(single_s)),
         ("fleet3_s", Json::Num(fleet3_s)),
@@ -777,6 +839,7 @@ fn cmd_fleet_bench() -> i32 {
             }),
         ),
         ("chaos_stats", stats_json(&chaos.stats)),
+        ("scaling", Json::Arr(scaling)),
         ("identical", Json::Bool(true)),
     ]);
     let _ = std::fs::create_dir_all("results");

@@ -17,6 +17,13 @@
 //!   loopback port fail with EADDRINUSE under `cargo test`'s parallel
 //!   execution. Servers must bind port 0 and publish the OS-assigned
 //!   address.
+//!
+//! A third guard scans *non-test* sources in the hot crates
+//! (`ssim-bench`, `ssim-serve`) for whole-map `Mutex<HashMap<..>>`
+//! caches — the shared-state shape that serialised the sweep workers
+//! and duplicated sampler lowerings before the sharded caches landed.
+//! New caches in those crates must use `ssim_par::ShardedCache`, which
+//! shards the lock and never holds it across a build.
 
 use std::path::{Path, PathBuf};
 
@@ -70,6 +77,23 @@ fn test_sources() -> Vec<(String, String)> {
     out
 }
 
+/// All `.rs` files under one `src/` tree, recursively.
+fn sources_in(dir: &Path, out: &mut Vec<(String, String)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            sources_in(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let name = path.to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("read source");
+            out.push((name, text));
+        }
+    }
+}
+
 #[test]
 fn no_test_sleeps_unconditionally() {
     // Built by concatenation so the guard does not flag itself.
@@ -102,6 +126,38 @@ fn no_test_hardcodes_a_loopback_port() {
                     lineno + 1
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn no_whole_map_mutex_caches_in_hot_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates dir")
+        .to_path_buf();
+    let mut sources = Vec::new();
+    sources_in(&root.join("bench").join("src"), &mut sources);
+    sources_in(&root.join("serve").join("src"), &mut sources);
+    assert!(
+        sources.len() >= 10,
+        "mutex-cache guard found only {} sources — scan path broken?",
+        sources.len()
+    );
+    // Built by concatenation so the guard does not flag itself.
+    let needle = format!("{}<{}", "Mutex", "HashMap");
+    for (name, text) in sources {
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("//") {
+                continue; // prose about the pattern is fine
+            }
+            assert!(
+                !line.contains(&needle),
+                "{name}:{}: whole-map Mutex<HashMap> cache — this shape \
+                 serialises sweep workers and races duplicate builds; \
+                 use ssim_par::ShardedCache instead",
+                lineno + 1
+            );
         }
     }
 }

@@ -2,7 +2,15 @@
 # Regenerates every table and figure of the paper, plus ablations and
 # the in-order extension. Outputs land in results/. SSIM_QUICK=1 for a
 # fast smoke pass; budgets tuned for a single-core box.
+#
+#   ./run_all.sh         # the full artifact set
+#   ./run_all.sh --deep  # additionally runs the deep bench tier
+#                        # (./ci.sh deep): full-grid thread-scaling
+#                        # curve with efficiency gates + 8-backend
+#                        # fleet scaling, folded into BENCH_parallel.json
 set -u -o pipefail
+DEEP=0
+if [ "${1:-}" = "--deep" ]; then DEEP=1; shift; fi
 mkdir -p results
 # Gate through the shared CI script (the same stages the workflow
 # runs): rustfmt-clean, clippy-clean, release build — before any
@@ -57,5 +65,16 @@ serve fleet bench
 # Surrogate-guided design-space planner vs exhaustive truth on the
 # quick §4.6 space; writes results/BENCH_dse.json for perf_report.
 run dse                       SSIM_QUICK=1
+# Thread-scaling curve over the quick §4.6 grid (byte-identity across
+# thread counts asserted; speedup gate enforced on multi-core hosts);
+# writes results/BENCH_scaling.json for perf_report's "scaling" section.
+run scaling                   SSIM_QUICK=1 SSIM_THREADS=2
 run perf_report               SSIM_QUICK=1
+# Deep tier (--deep): rerun scaling on the full grid with the
+# efficiency-gated thread curve, extend the fleet to 8 backends, and
+# refold — overwrites the quick curves in BENCH_parallel.json.
+if [ "$DEEP" = 1 ]; then
+  echo "[$(date +%H:%M:%S)] running deep bench tier (./ci.sh deep)"
+  ./ci.sh deep || exit 1
+fi
 echo "[$(date +%H:%M:%S)] all experiments complete"
