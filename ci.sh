@@ -12,6 +12,9 @@
 #   ./ci.sh smoke      # serve + fleet loopback end-to-end, the
 #                      # fused-engine identity/throughput bench, and the
 #                      # 2-thread sweep-scaling smoke (SSIM_QUICK)
+#   ./ci.sh asm        # assembler front-end: corpus assembles through
+#                      # the real CLI, native workloads re-emit to
+#                      # identical streams, parser fuzz smoke
 #   ./ci.sh dse        # surrogate-guided planner vs exhaustive truth
 #                      # on the real §4.6 space (SSIM_QUICK)
 #   ./ci.sh deep       # deep bench tier (not part of `all`; manual or
@@ -62,6 +65,22 @@ do_smoke() {
   SSIM_QUICK=1 SSIM_THREADS=2 cargo run --release -q -p ssim-bench --bin scaling
 }
 
+do_asm() {
+  # Assembler front-end gate. Three layers: every shipped corpus
+  # program assembles (and bounded-runs) through the real CLI; the
+  # differential harness proves the native workloads re-emit through
+  # text to byte-identical programs and dynamic streams; a deterministic
+  # fuzz pass (token soup + mutated corpus) proves the parser returns
+  # diagnostics instead of panicking.
+  stage "ssim-asm build --run (corpus assembles and halts)"
+  cargo run --release -q -p ssim-asm --bin ssim-asm -- \
+    build --define ROUNDS=2 --run 5000000 programs/*.asm
+  stage "asm differential (native workloads re-emit identically)"
+  cargo test --release -q -p ssim-workloads --test asm_differential
+  stage "asm fuzz smoke (deterministic soup + corpus mutation)"
+  cargo test --release -q -p ssim-asm --test fuzz
+}
+
 do_dse() {
   # Surrogate-guided DSE planner against exhaustive ground truth on the
   # real §4.6 space: asserts the budget, Pareto-gap, stratum-error and
@@ -93,6 +112,7 @@ case "${1:-all}" in
   build)  do_build ;;
   test)   do_test ;;
   smoke)  do_smoke ;;
+  asm)    do_asm ;;
   dse)    do_dse ;;
   deep)   do_deep ;;
   all)
@@ -100,12 +120,13 @@ case "${1:-all}" in
     do_clippy
     do_build
     do_test
+    do_asm
     do_smoke
     do_dse
     stage "all stages passed"
     ;;
   *)
-    echo "usage: ./ci.sh [fmt|clippy|build|test|smoke|dse|deep|all]" >&2
+    echo "usage: ./ci.sh [fmt|clippy|build|test|smoke|asm|dse|deep|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,144 @@
+//! `ssim-asm` — assemble `.asm` files from the command line.
+//!
+//! ```text
+//! ssim-asm build [--emit] [--run N] [--define NAME=VAL]... <file.asm>...
+//! ```
+//!
+//! `build` assembles each file and prints a one-line summary (name,
+//! static instruction count, memory size, initial-data bytes).
+//! `--emit` additionally prints the canonical re-emission
+//! ([`Program::to_asm`]), `--run N` executes up to `N` instructions on
+//! the functional machine and reports the outcome (halted / out of
+//! fuel / fault), and `--define NAME=VAL` overrides `.const` values in
+//! the source, mirroring [`AsmOptions::define`].
+
+use ssim_asm::{assemble_with, AsmOptions};
+use ssim_func::{FuelOutcome, Machine};
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Print to stdout, tolerating a closed pipe (`ssim-asm ... | head`):
+/// a write error is a reader that went away, not a failure.
+macro_rules! out {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    };
+}
+
+const USAGE: &str = "usage: ssim-asm build [--emit] [--run N] [--define NAME=VAL]... <file.asm>...";
+
+struct Cli {
+    emit: bool,
+    run: Option<u64>,
+    defines: Vec<(String, i64)>,
+    files: Vec<String>,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        emit: false,
+        run: None,
+        defines: Vec::new(),
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--emit" => cli.emit = true,
+            "--run" => {
+                let n = it.next().ok_or("--run needs an instruction budget")?;
+                cli.run = Some(n.parse().map_err(|_| format!("bad --run budget {n:?}"))?);
+            }
+            "--define" => {
+                let kv = it.next().ok_or("--define needs NAME=VAL")?;
+                let (name, val) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --define {kv:?}, expected NAME=VAL"))?;
+                let val: i64 = val
+                    .parse()
+                    .map_err(|_| format!("bad --define value {val:?}"))?;
+                cli.defines.push((name.to_string(), val));
+            }
+            _ if arg.starts_with('-') => return Err(format!("unknown flag {arg}")),
+            _ => cli.files.push(arg.clone()),
+        }
+    }
+    if cli.files.is_empty() {
+        return Err("no input files".to_string());
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rest = match args.first().map(String::as_str) {
+        Some("build") => &args[1..],
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cli = match parse_cli(rest) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("ssim-asm: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut opts = AsmOptions::new();
+    for (name, val) in &cli.defines {
+        opts = opts.define(name.clone(), *val);
+    }
+
+    let mut failed = false;
+    for file in &cli.files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("ssim-asm: {file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let program = match assemble_with(&src, &opts) {
+            Ok(p) => p,
+            Err(diag) => {
+                eprintln!("{file}: {diag}");
+                failed = true;
+                continue;
+            }
+        };
+        let data_bytes: usize = program.init_data().iter().map(|(_, b)| b.len()).sum();
+        out!(
+            "{file}: \"{}\" {} instrs, mem {} B, {} data bytes",
+            program.name(),
+            program.len(),
+            program.mem_size(),
+            data_bytes
+        );
+        if cli.emit {
+            let _ = write!(std::io::stdout(), "{program}");
+        }
+        if let Some(fuel) = cli.run {
+            let mut m = Machine::new(&program);
+            match m.run_fuel(fuel) {
+                FuelOutcome::Halted { executed } => {
+                    out!("{file}: halted after {executed} instructions");
+                }
+                FuelOutcome::OutOfFuel => {
+                    out!("{file}: still running after {fuel} instructions");
+                }
+                FuelOutcome::Fault(fault) => {
+                    eprintln!("{file}: fault: {fault}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,148 @@
+//! Rich, source-anchored diagnostics.
+//!
+//! Every failure mode of the assembler — lexical, syntactic, semantic
+//! or a sandbox-limit violation — is reported as one [`Diagnostic`]
+//! carrying a 1-based line/column position, the offending source line
+//! and a caret span, plus an optional `help:` note ("did you mean
+//! `add`?" for opcode typos).
+
+use std::fmt;
+
+/// One assembler diagnostic, anchored to a source position.
+///
+/// The `Display` rendering mimics rustc:
+///
+/// ```text
+/// error: unknown opcode `addo`
+///   --> line 12, column 5
+///    |
+/// 12 |     addo r1, r0, 10
+///    |     ^^^^
+///    = help: did you mean `add`?
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+    /// Caret span width in characters (at least 1).
+    pub len: u32,
+    /// What went wrong.
+    pub message: String,
+    /// Optional `help:` note (e.g. a "did you mean" suggestion).
+    pub help: Option<String>,
+    /// The full text of the offending source line.
+    pub source_line: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no help note and no source line
+    /// attached (the parser fills `source_line` in before returning).
+    pub fn new(line: u32, col: u32, len: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            line,
+            col,
+            len: len.max(1),
+            message: message.into(),
+            help: None,
+            source_line: String::new(),
+        }
+    }
+
+    /// Attaches a `help:` note.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error: {}", self.message)?;
+        let gutter = self.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        writeln!(f, "{pad}--> line {}, column {}", self.line, self.col)?;
+        writeln!(f, "{pad} |")?;
+        writeln!(f, "{gutter} | {}", self.source_line)?;
+        let indent = (self.col.saturating_sub(1) as usize).min(self.source_line.chars().count());
+        writeln!(
+            f,
+            "{pad} | {}{}",
+            " ".repeat(indent),
+            "^".repeat(self.len as usize)
+        )?;
+        if let Some(help) = &self.help {
+            writeln!(f, "{pad} = help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Classic Levenshtein distance, capped for early exit.
+fn edit_distance(a: &str, b: &str, cap: usize) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > cap {
+        return cap + 1;
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within edit distance 2, if any — the engine
+/// behind "did you mean `add`?" suggestions.
+pub fn did_you_mean<'a>(
+    word: &str,
+    candidates: impl IntoIterator<Item = &'a str>,
+) -> Option<&'a str> {
+    let mut best: Option<(usize, &str)> = None;
+    for c in candidates {
+        let d = edit_distance(word, c, 2);
+        if d <= 2 && best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, c));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caret_lands_under_the_span() {
+        let mut d =
+            Diagnostic::new(12, 5, 4, "unknown opcode `addo`").with_help("did you mean `add`?");
+        d.source_line = "    addo r1, r0, 10".into();
+        let text = d.to_string();
+        assert!(text.contains("error: unknown opcode `addo`"));
+        assert!(text.contains("12 |     addo r1, r0, 10"));
+        assert!(text.contains("   |     ^^^^"));
+        assert!(text.contains("help: did you mean `add`?"));
+    }
+
+    #[test]
+    fn suggestions_respect_the_distance_cap() {
+        let ops = ["add", "addi", "sub", "fsqrt"];
+        assert_eq!(did_you_mean("addo", ops), Some("add"));
+        assert_eq!(did_you_mean("fsqtr", ops), Some("fsqrt"));
+        assert_eq!(did_you_mean("zzzzzz", ops), None);
+    }
+
+    #[test]
+    fn exact_short_words_prefer_closest() {
+        assert_eq!(did_you_mean("ad", ["add", "ld"]), Some("add"));
+    }
+}

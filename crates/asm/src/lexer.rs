@@ -1,0 +1,369 @@
+//! Hand-written lexer for `.asm` source.
+//!
+//! Produces a flat stream of position-stamped tokens. Comments run from
+//! `;`, `#` or `//` to end of line; newlines are significant (one
+//! statement per line) and are emitted as tokens.
+
+use crate::diag::Diagnostic;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// A bare word: mnemonic, register, label or constant name.
+    Ident(String),
+    /// A `.directive` word (leading dot included).
+    Directive(String),
+    /// An integer literal (decimal or `0x` hex, optionally negative).
+    Int(i128),
+    /// A double-quoted string literal (escapes already resolved).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// End of line.
+    Newline,
+}
+
+impl Tok {
+    /// Short human name used in "expected X, found Y" messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Directive(s) => format!("`{s}`"),
+            Tok::Int(v) => format!("number `{v}`"),
+            Tok::Str(_) => "string literal".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Newline => "end of line".into(),
+        }
+    }
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+    pub len: u32,
+}
+
+/// Lexes the whole source, or reports the first lexical error.
+///
+/// The returned stream always ends with a `Newline` token, so the
+/// parser can treat end-of-input uniformly.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, Diagnostic> {
+    let mut out = Vec::new();
+    let mut line_no: u32 = 0;
+    for line in src.lines() {
+        line_no += 1;
+        lex_line(line, line_no, &mut out)?;
+        out.push(Spanned {
+            tok: Tok::Newline,
+            line: line_no,
+            col: line.chars().count() as u32 + 1,
+            len: 1,
+        });
+    }
+    if out.is_empty() {
+        out.push(Spanned {
+            tok: Tok::Newline,
+            line: 1,
+            col: 1,
+            len: 1,
+        });
+    }
+    Ok(out)
+}
+
+fn lex_line(line: &str, line_no: u32, out: &mut Vec<Spanned>) -> Result<(), Diagnostic> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let col = i as u32 + 1;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            ';' | '#' => break,
+            '/' if chars.get(i + 1) == Some(&'/') => break,
+            ',' => {
+                out.push(tok(Tok::Comma, line_no, col, 1));
+                i += 1;
+            }
+            ':' => {
+                out.push(tok(Tok::Colon, line_no, col, 1));
+                i += 1;
+            }
+            '(' => {
+                out.push(tok(Tok::LParen, line_no, col, 1));
+                i += 1;
+            }
+            ')' => {
+                out.push(tok(Tok::RParen, line_no, col, 1));
+                i += 1;
+            }
+            '"' => {
+                let (s, consumed) = lex_string(&chars[i..], line_no, col)?;
+                out.push(tok(Tok::Str(s), line_no, col, consumed as u32));
+                i += consumed;
+            }
+            '.' => {
+                let start = i;
+                i += 1;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                if word.len() == 1 {
+                    return Err(Diagnostic::new(line_no, col, 1, "stray `.`")
+                        .with_help("directives look like `.mem 65536`"));
+                }
+                out.push(tok(Tok::Directive(word), line_no, col, (i - start) as u32));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                let value = lex_number(&chars, &mut i, line_no, col)?;
+                out.push(tok(Tok::Int(value), line_no, col, (i - start) as u32));
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                out.push(tok(Tok::Ident(word), line_no, col, (i - start) as u32));
+            }
+            other => {
+                return Err(Diagnostic::new(
+                    line_no,
+                    col,
+                    1,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn tok(t: Tok, line: u32, col: u32, len: u32) -> Spanned {
+    Spanned {
+        tok: t,
+        line,
+        col,
+        len,
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn lex_number(chars: &[char], i: &mut usize, line: u32, col: u32) -> Result<i128, Diagnostic> {
+    let start = *i;
+    let negative = chars[*i] == '-';
+    if negative {
+        *i += 1;
+        if !matches!(chars.get(*i), Some('0'..='9')) {
+            return Err(Diagnostic::new(line, col, 1, "`-` must start a number"));
+        }
+    }
+    let hex = chars.get(*i) == Some(&'0') && matches!(chars.get(*i + 1), Some('x') | Some('X'));
+    let mut value: i128 = 0;
+    let mut digits = 0usize;
+    if hex {
+        *i += 2;
+        while let Some(&c) = chars.get(*i) {
+            if c == '_' {
+                *i += 1;
+                continue;
+            }
+            let Some(d) = c.to_digit(16) else { break };
+            value = value
+                .checked_mul(16)
+                .and_then(|v| v.checked_add(d as i128))
+                .ok_or_else(|| too_large(chars, start, *i, line, col))?;
+            digits += 1;
+            *i += 1;
+        }
+        if digits == 0 {
+            return Err(Diagnostic::new(
+                line,
+                col,
+                (*i - start) as u32,
+                "hex literal has no digits",
+            ));
+        }
+    } else {
+        while let Some(&c) = chars.get(*i) {
+            if c == '_' {
+                *i += 1;
+                continue;
+            }
+            let Some(d) = c.to_digit(10) else { break };
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(d as i128))
+                .ok_or_else(|| too_large(chars, start, *i, line, col))?;
+            digits += 1;
+            *i += 1;
+        }
+        debug_assert!(digits > 0, "caller guarantees a leading digit");
+    }
+    // Reject trailing junk glued to the number (`12abc`).
+    if matches!(chars.get(*i), Some(&c) if is_ident_char(c)) {
+        return Err(Diagnostic::new(
+            line,
+            col,
+            (*i - start + 1) as u32,
+            "malformed numeric literal",
+        ));
+    }
+    if negative {
+        value = -value;
+    }
+    // Everything representable on the wire fits in [i64::MIN, u64::MAX].
+    if value < i64::MIN as i128 || value > u64::MAX as i128 {
+        return Err(too_large(chars, start, *i, line, col));
+    }
+    Ok(value)
+}
+
+fn too_large(chars: &[char], start: usize, end: usize, line: u32, col: u32) -> Diagnostic {
+    let text: String = chars[start..end.min(chars.len())].iter().collect();
+    Diagnostic::new(
+        line,
+        col,
+        (end - start).max(1) as u32,
+        format!("numeric literal `{text}` is out of range"),
+    )
+}
+
+fn lex_string(chars: &[char], line: u32, col: u32) -> Result<(String, usize), Diagnostic> {
+    debug_assert_eq!(chars[0], '"');
+    let mut s = String::new();
+    let mut i = 1usize;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return Ok((s, i + 1)),
+            '\\' => {
+                match chars.get(i + 1) {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    _ => {
+                        return Err(Diagnostic::new(
+                            line,
+                            col + i as u32,
+                            2,
+                            "unknown string escape (only `\\\"` and `\\\\` are supported)",
+                        ));
+                    }
+                }
+                i += 2;
+            }
+            c => {
+                s.push(c);
+                i += 1;
+            }
+        }
+    }
+    Err(Diagnostic::new(
+        line,
+        col,
+        chars.len() as u32,
+        "unterminated string literal",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_instruction_line() {
+        assert_eq!(
+            toks("addi r1, r0, -5"),
+            vec![
+                Tok::Ident("addi".into()),
+                Tok::Ident("r1".into()),
+                Tok::Comma,
+                Tok::Ident("r0".into()),
+                Tok::Comma,
+                Tok::Int(-5),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_labels_and_addressing() {
+        assert_eq!(
+            toks("top: ld r2, 8(r1) ; load\n# full-line\n// also"),
+            vec![
+                Tok::Ident("top".into()),
+                Tok::Colon,
+                Tok::Ident("ld".into()),
+                Tok::Ident("r2".into()),
+                Tok::Comma,
+                Tok::Int(8),
+                Tok::LParen,
+                Tok::Ident("r1".into()),
+                Tok::RParen,
+                Tok::Newline,
+                Tok::Newline,
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn hex_underscores_and_strings() {
+        assert_eq!(
+            toks(".name \"a\\\"b\"\n.mem 0x10_00"),
+            vec![
+                Tok::Directive(".name".into()),
+                Tok::Str("a\"b".into()),
+                Tok::Newline,
+                Tok::Directive(".mem".into()),
+                Tok::Int(0x1000),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn u64_range_is_accepted_and_beyond_rejected() {
+        assert_eq!(
+            toks("18446744073709551615"),
+            vec![Tok::Int(u64::MAX as i128), Tok::Newline]
+        );
+        assert!(lex("18446744073709551616").is_err());
+        assert!(lex("0x1_0000_0000_0000_0000").is_err());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = lex("  addo @").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 8));
+        let e = lex("\"open").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unterminated"));
+        let e = lex("12abc").unwrap_err();
+        assert!(e.message.contains("malformed"));
+    }
+}

@@ -1,0 +1,205 @@
+//! `ssim-asm` — the textual assembler front-end for the ssim mini-RISC
+//! ISA.
+//!
+//! The native workloads are Rust generators driving the
+//! [`ssim_isa::Assembler`] DSL; this crate opens the same pipeline to
+//! *text*: a hand-written lexer and parser for `.asm` files with
+//! labels, data directives, dec/hex literals and `;`/`#`/`//` comments,
+//! lowered through the very same DSL so textual and native programs
+//! are indistinguishable downstream (profiler → synthetic generation →
+//! simulation). Errors come back as a single rich [`Diagnostic`] with
+//! line/column, a caret snippet and "did you mean" hints.
+//!
+//! The inverse direction lives in `ssim-isa`: `Program::to_asm()`
+//! emits canonical text, and the pair round-trips exactly —
+//! `assemble(&p.to_asm()).unwrap() == p` for every assembler-built
+//! program.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//! .name "sum"
+//! .const LIMIT 10
+//!     li r3, LIMIT
+//! top:
+//!     addi r2, r2, 1
+//!     add r1, r1, r2
+//!     blt r2, r3, top
+//!     halt
+//! "#;
+//! let p = ssim_asm::assemble(src).expect("assembles");
+//! assert_eq!(p.name(), "sum");
+//! assert_eq!(p.len(), 5);
+//! // Canonical re-emission assembles back to the identical program.
+//! assert_eq!(ssim_asm::assemble(&p.to_asm()).unwrap(), p);
+//! ```
+
+mod diag;
+mod lexer;
+mod parser;
+
+pub use diag::{did_you_mean, Diagnostic};
+pub use parser::{AsmLimits, AsmOptions, MNEMONICS};
+
+use ssim_isa::Program;
+
+/// Assembles `.asm` source with default options (no constant
+/// overrides, generous [`AsmLimits`]).
+///
+/// # Errors
+///
+/// Returns the first [`Diagnostic`] encountered, with the offending
+/// source line attached.
+pub fn assemble(src: &str) -> Result<Program, Diagnostic> {
+    assemble_with(src, &AsmOptions::new())
+}
+
+/// Assembles `.asm` source with explicit options: constant overrides
+/// (`AsmOptions::define`, which win over in-source `.const` defaults —
+/// how corpus programs expose a tunable `ROUNDS`) and sandbox
+/// [`AsmLimits`].
+///
+/// # Errors
+///
+/// See [`assemble`].
+pub fn assemble_with(src: &str, opts: &AsmOptions) -> Result<Program, Diagnostic> {
+    parser::parse(src, opts).map_err(|mut d| {
+        d.source_line = src
+            .lines()
+            .nth(d.line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .to_string();
+        d
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_isa::{InstrClass, Opcode, Reg};
+
+    #[test]
+    fn minimal_program_assembles() {
+        let p = assemble("halt").unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.name(), "asm");
+        assert_eq!(p.mem_size(), Program::DEFAULT_MEM_SIZE);
+    }
+
+    #[test]
+    fn store_lowering_matches_the_dsl() {
+        let p = assemble("st r5, 8(r4)\nhalt").unwrap();
+        let i = p.instr(0).unwrap();
+        let mut a = ssim_isa::Assembler::new("asm");
+        a.st(Reg::R4, 8, Reg::R5);
+        a.halt();
+        assert_eq!(&a.finish().unwrap().code()[0], i);
+    }
+
+    #[test]
+    fn const_overrides_win() {
+        let src = ".const ROUNDS 5\nli r1, ROUNDS\nhalt";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.instr(0).unwrap().imm, 5);
+        let p = assemble_with(src, &AsmOptions::new().define("ROUNDS", 99)).unwrap();
+        assert_eq!(p.instr(0).unwrap().imm, 99);
+    }
+
+    #[test]
+    fn jump_table_directive_resolves_pcs() {
+        let src = "
+.mem 65536
+.table 4096 a b
+a:  nop
+b:  halt
+";
+        let p = assemble(src).unwrap();
+        let mem = p.initial_memory();
+        let e0 = u64::from_le_bytes(mem[4096..4104].try_into().unwrap());
+        let e1 = u64::from_le_bytes(mem[4104..4112].try_into().unwrap());
+        assert_eq!((e0, e1), (0, 1));
+    }
+
+    #[test]
+    fn typo_suggestions_and_positions() {
+        let e = assemble("    addo r1, r0, 10\nhalt").unwrap_err();
+        assert_eq!((e.line, e.col, e.len), (1, 5, 4));
+        assert_eq!(e.help.as_deref(), Some("did you mean `add`?"));
+        assert_eq!(e.source_line, "    addo r1, r0, 10");
+        let rendered = e.to_string();
+        assert!(rendered.contains("^^^^"));
+    }
+
+    #[test]
+    fn undefined_label_points_at_first_reference() {
+        let e = assemble("top:\n  jmp tpo\n  halt").unwrap_err();
+        assert!(e.message.contains("`tpo` is never defined"));
+        assert_eq!(e.line, 2);
+        assert_eq!(e.help.as_deref(), Some("did you mean `top`?"));
+    }
+
+    #[test]
+    fn missing_halt_is_a_diagnostic() {
+        let e = assemble("nop\nnop").unwrap_err();
+        assert!(e.message.contains("no `halt`"));
+    }
+
+    #[test]
+    fn sandbox_limits_are_enforced() {
+        let tight = AsmLimits {
+            max_source_bytes: 16,
+            ..AsmLimits::default()
+        };
+        let e = assemble_with(
+            "nop\nnop\nnop\nnop\nhalt\n",
+            &AsmOptions::new().limits(tight),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("byte limit"), "{}", e.message);
+
+        let tight = AsmLimits {
+            max_instructions: 2,
+            ..AsmLimits::default()
+        };
+        let e = assemble_with("nop\nnop\nhalt\n", &AsmOptions::new().limits(tight)).unwrap_err();
+        assert!(e.message.contains("instruction limit"), "{}", e.message);
+
+        let tight = AsmLimits {
+            max_mem_bytes: 1 << 20,
+            ..AsmLimits::default()
+        };
+        let e =
+            assemble_with(".mem 2097152\nhalt\n", &AsmOptions::new().limits(tight)).unwrap_err();
+        assert!(e.message.contains("ceiling"), "{}", e.message);
+    }
+
+    #[test]
+    fn data_bounds_checked_without_overflow() {
+        let e = assemble(".mem 4096\n.words 4090 1\nhalt").unwrap_err();
+        assert!(e.message.contains("exceeds memory size"));
+        // Offsets near u64::MAX must not wrap.
+        let e = assemble(".bytes 18446744073709551615 1\nhalt").unwrap_err();
+        assert!(e.message.contains("exceeds memory size"));
+    }
+
+    #[test]
+    fn mem_rules() {
+        assert!(assemble(".mem 12345\nhalt").is_err()); // not a power of two
+        assert!(assemble(".words 4096 1\n.mem 65536\nhalt").is_err()); // data first
+        assert!(assemble(".mem 65536\n.mem 65536\nhalt").is_err()); // twice
+    }
+
+    #[test]
+    fn classes_flow_through() {
+        let p = assemble("fadd f1, f2, f3\nmul r1, r2, r3\nhalt").unwrap();
+        assert_eq!(p.instr(0).unwrap().class(), InstrClass::FpAlu);
+        assert_eq!(p.instr(1).unwrap().op, Opcode::Mul);
+    }
+
+    #[test]
+    fn trailing_label_line_is_accepted() {
+        let p = assemble("jmp end\nhalt\nend:\n").unwrap();
+        assert_eq!(p.instr(0).unwrap().target, Some(2));
+    }
+}

@@ -1,0 +1,863 @@
+//! Parser and lowering: token stream → [`ssim_isa::Assembler`] → `Program`.
+//!
+//! The grammar is line-oriented; see DESIGN.md §14 for the full
+//! reference. In short:
+//!
+//! ```text
+//! line       := labeldef* (directive | instruction)? comment?
+//! labeldef   := IDENT ':'
+//! directive  := '.name' STRING
+//!             | '.mem' INT                  ; power of two, before any data
+//!             | '.const' IDENT INT          ; overridable via AsmOptions::define
+//!             | '.words' INT INT*           ; offset, little-endian u64 words
+//!             | '.bytes' INT INT*           ; offset, byte values 0..=255
+//!             | '.table' INT IDENT+         ; offset, label PCs as u64 words
+//! instruction:= MNEMONIC operands           ; e.g. `ld r2, 8(r1)`
+//! ```
+//!
+//! Lowering reuses the exact [`Assembler`] emitter methods the native
+//! workload generators call, so a textual program and a DSL program
+//! describing the same instructions produce *identical* `Program`
+//! values — the property the round-trip and differential harnesses
+//! pin down.
+
+use crate::diag::{did_you_mean, Diagnostic};
+use crate::lexer::{lex, Spanned, Tok};
+use ssim_isa::{Assembler, FReg, Label, Program, Reg};
+use std::collections::HashMap;
+
+/// Sandbox limits enforced while parsing (all checked *before* the
+/// corresponding allocation happens, so a hostile source cannot make
+/// the assembler itself blow up).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmLimits {
+    /// Maximum accepted source length in bytes.
+    pub max_source_bytes: usize,
+    /// Maximum static instruction count.
+    pub max_instructions: usize,
+    /// Maximum total initial-data bytes across all chunks.
+    pub max_data_bytes: usize,
+    /// Maximum `.mem` data-memory size in bytes.
+    pub max_mem_bytes: usize,
+}
+
+impl Default for AsmLimits {
+    fn default() -> Self {
+        AsmLimits {
+            max_source_bytes: 8 << 20,
+            max_instructions: 1 << 20,
+            max_data_bytes: 32 << 20,
+            max_mem_bytes: 1 << 30,
+        }
+    }
+}
+
+/// Assembly options: named-constant overrides plus sandbox limits.
+///
+/// Overrides win over in-source `.const` definitions, which is how the
+/// corpus programs expose a tunable `ROUNDS` to the workload harness.
+#[derive(Debug, Clone, Default)]
+pub struct AsmOptions {
+    /// `(name, value)` constant definitions that override `.const`.
+    pub defs: Vec<(String, i64)>,
+    /// Sandbox limits (generous defaults; `ssim-serve` tightens them).
+    pub limits: AsmLimits,
+}
+
+impl AsmOptions {
+    /// Default options: no overrides, default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a constant override (wins over any in-source `.const`).
+    pub fn define(mut self, name: impl Into<String>, value: i64) -> Self {
+        self.defs.push((name.into(), value));
+        self
+    }
+
+    /// Replaces the sandbox limits.
+    pub fn limits(mut self, limits: AsmLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+}
+
+/// Every mnemonic the parser accepts (canonical opcodes plus the
+/// `li`/`mv` pseudo-instructions) — the "did you mean" candidate set.
+pub const MNEMONICS: &[&str] = &[
+    "add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu", "addi", "andi", "ori",
+    "xori", "slli", "srli", "srai", "slti", "li", "mv", "nop", "mul", "div", "rem", "ld", "lb",
+    "st", "sb", "fld", "fst", "beq", "bne", "blt", "bge", "bltu", "bgeu", "fbeq", "fblt", "fbge",
+    "jmp", "call", "ret", "jr", "fadd", "fsub", "fmin", "fmax", "fabs", "fneg", "fcvt", "fcvti",
+    "fmul", "fdiv", "fsqrt", "halt",
+];
+
+const DIRECTIVES: &[&str] = &[".name", ".mem", ".const", ".words", ".bytes", ".table"];
+
+/// `(line, col, len)` of the token a deferred diagnostic points at.
+type RefSpan = (u32, u32, u32);
+
+/// A deferred `.table`: word-pool byte offset, the label names still
+/// to resolve, and the directive's span for diagnostics.
+type PendingTable = (u64, Vec<(String, RefSpan)>, RefSpan);
+
+struct LabelEntry {
+    label: Label,
+    pc: Option<usize>,
+    first_ref: Option<RefSpan>,
+    def_line: Option<u32>,
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+    asm: Assembler,
+    limits: AsmLimits,
+    labels: HashMap<String, LabelEntry>,
+    consts: HashMap<String, i64>,
+    locked_consts: Vec<String>,
+    tables: Vec<PendingTable>,
+    named: bool,
+    mem_set: bool,
+    mem_size: usize,
+    data_emitted: bool,
+    data_bytes: usize,
+    last_line: u32,
+}
+
+/// Parses and lowers `src`. Positions in the returned diagnostic are
+/// filled in; the offending `source_line` is attached by the caller
+/// (`crate::assemble_with`).
+pub fn parse(src: &str, opts: &AsmOptions) -> Result<Program, Diagnostic> {
+    if src.len() > opts.limits.max_source_bytes {
+        return Err(Diagnostic::new(
+            1,
+            1,
+            1,
+            format!(
+                "source is {} bytes, over the {}-byte limit",
+                src.len(),
+                opts.limits.max_source_bytes
+            ),
+        ));
+    }
+    let toks = lex(src)?;
+    let last_line = toks.last().map_or(1, |t| t.line);
+    let mut consts = HashMap::new();
+    let mut locked = Vec::new();
+    for (name, value) in &opts.defs {
+        consts.insert(name.clone(), *value);
+        locked.push(name.clone());
+    }
+    let p = Parser {
+        toks,
+        i: 0,
+        asm: Assembler::new("asm"),
+        limits: opts.limits.clone(),
+        labels: HashMap::new(),
+        consts,
+        locked_consts: locked,
+        tables: Vec::new(),
+        named: false,
+        mem_set: false,
+        mem_size: Program::DEFAULT_MEM_SIZE,
+        data_emitted: false,
+        data_bytes: 0,
+        last_line,
+    };
+    p.run()
+}
+
+impl Parser {
+    // ---- token cursor ---------------------------------------------------
+
+    fn peek(&self) -> Spanned {
+        self.toks.get(self.i).cloned().unwrap_or(Spanned {
+            tok: Tok::Newline,
+            line: self.last_line,
+            col: 1,
+            len: 1,
+        })
+    }
+
+    fn next(&mut self) -> Spanned {
+        let t = self.peek();
+        if self.i < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn err(&self, at: &Spanned, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(at.line, at.col, at.len, msg)
+    }
+
+    // ---- driver ---------------------------------------------------------
+
+    fn run(mut self) -> Result<Program, Diagnostic> {
+        while !self.at_end() {
+            self.statement()?;
+        }
+        self.resolve_labels_and_tables()?;
+        let line = self.last_line;
+        self.asm.finish().map_err(|e| match e {
+            ssim_isa::AsmError::MissingHalt => {
+                Diagnostic::new(line, 1, 1, "program contains no `halt` instruction")
+                    .with_help("execution must be able to terminate; add `halt`")
+            }
+            other => Diagnostic::new(line, 1, 1, format!("assembly failed: {other}")),
+        })
+    }
+
+    fn statement(&mut self) -> Result<(), Diagnostic> {
+        // Leading label definitions: `name:` (several may stack).
+        while let Tok::Ident(name) = self.peek().tok.clone() {
+            if !matches!(self.toks.get(self.i + 1).map(|t| &t.tok), Some(Tok::Colon)) {
+                break;
+            }
+            let at = self.next(); // ident
+            self.next(); // colon
+            self.define_label(&name, &at)?;
+        }
+        let t = self.next();
+        match t.tok.clone() {
+            Tok::Newline => Ok(()),
+            Tok::Directive(word) => {
+                self.directive(&word, &t)?;
+                self.expect_newline()
+            }
+            Tok::Ident(word) => {
+                self.instruction(&word, &t)?;
+                if self.asm.here() > self.limits.max_instructions {
+                    return Err(self.err(
+                        &t,
+                        format!(
+                            "program exceeds the static instruction limit ({})",
+                            self.limits.max_instructions
+                        ),
+                    ));
+                }
+                self.expect_newline()
+            }
+            _ => Err(self.err(
+                &t,
+                format!(
+                    "expected an instruction, directive or label, found {}",
+                    t.tok.describe()
+                ),
+            )),
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), Diagnostic> {
+        let t = self.next();
+        if matches!(t.tok, Tok::Newline) {
+            Ok(())
+        } else {
+            Err(self.err(
+                &t,
+                format!("expected end of line, found {}", t.tok.describe()),
+            ))
+        }
+    }
+
+    // ---- labels and constants -------------------------------------------
+
+    fn define_label(&mut self, name: &str, at: &Spanned) -> Result<(), Diagnostic> {
+        if parse_reg(name).is_some() {
+            return Err(self.err(
+                at,
+                format!("`{name}` is a register name and cannot label code"),
+            ));
+        }
+        let pc = self.asm.here();
+        let entry = self.label_entry(name);
+        if let Some(prev) = entry.def_line {
+            return Err(self
+                .err(at, format!("label `{name}` is defined twice"))
+                .with_help(format!("first definition is on line {prev}")));
+        }
+        entry.def_line = Some(at.line);
+        entry.pc = Some(pc);
+        let label = entry.label;
+        self.asm
+            .bind(label)
+            .expect("parser binds each label at most once");
+        Ok(())
+    }
+
+    fn label_entry(&mut self, name: &str) -> &mut LabelEntry {
+        if !self.labels.contains_key(name) {
+            let label = self.asm.label();
+            self.labels.insert(
+                name.to_string(),
+                LabelEntry {
+                    label,
+                    pc: None,
+                    first_ref: None,
+                    def_line: None,
+                },
+            );
+        }
+        self.labels.get_mut(name).expect("inserted above")
+    }
+
+    fn label_ref(&mut self) -> Result<Label, Diagnostic> {
+        let t = self.next();
+        let Tok::Ident(name) = &t.tok else {
+            return Err(self.err(
+                &t,
+                format!("expected a label name, found {}", t.tok.describe()),
+            ));
+        };
+        if parse_reg(name).is_some() {
+            return Err(self.err(&t, format!("`{name}` is a register name, not a label")));
+        }
+        let span = (t.line, t.col, t.len);
+        let entry = self.label_entry(name);
+        entry.first_ref.get_or_insert(span);
+        Ok(entry.label)
+    }
+
+    fn resolve_labels_and_tables(&mut self) -> Result<(), Diagnostic> {
+        let defined: Vec<String> = self
+            .labels
+            .iter()
+            .filter(|(_, e)| e.pc.is_some())
+            .map(|(n, _)| n.clone())
+            .collect();
+        // Report the earliest dangling reference for determinism.
+        let mut dangling: Option<(&str, RefSpan)> = None;
+        for (name, e) in &self.labels {
+            if e.pc.is_none() {
+                let at = e.first_ref.expect("unreferenced labels are always defined");
+                if dangling.is_none_or(|(_, b)| (at.0, at.1) < (b.0, b.1)) {
+                    dangling = Some((name, at));
+                }
+            }
+        }
+        if let Some((name, (line, col, len))) = dangling {
+            let mut d = Diagnostic::new(line, col, len, format!("label `{name}` is never defined"));
+            if let Some(s) = did_you_mean(name, defined.iter().map(|s| s.as_str())) {
+                d = d.with_help(format!("did you mean `{s}`?"));
+            }
+            return Err(d);
+        }
+        for (offset, names, span) in std::mem::take(&mut self.tables) {
+            let mut pcs = Vec::with_capacity(names.len());
+            for (name, (line, col, len)) in &names {
+                let pc = self.labels[name]
+                    .pc
+                    .expect("dangling labels rejected above");
+                let _ = (line, col, len);
+                pcs.push(pc as u64);
+            }
+            let at = Spanned {
+                tok: Tok::Newline,
+                line: span.0,
+                col: span.1,
+                len: span.2,
+            };
+            self.data_chunk(offset, pcs.len() * 8, &at)?;
+            self.asm
+                .words(offset, &pcs)
+                .map_err(|e| self.err(&at, format!("jump table does not fit: {e}")))?;
+        }
+        Ok(())
+    }
+
+    // ---- directives ------------------------------------------------------
+
+    fn directive(&mut self, word: &str, at: &Spanned) -> Result<(), Diagnostic> {
+        match word {
+            ".name" => {
+                let t = self.next();
+                let Tok::Str(name) = &t.tok else {
+                    return Err(self.err(
+                        &t,
+                        format!("`.name` takes a quoted string, found {}", t.tok.describe()),
+                    ));
+                };
+                if self.named {
+                    return Err(self.err(at, "`.name` appears more than once"));
+                }
+                self.named = true;
+                self.asm.set_name(name.clone());
+                Ok(())
+            }
+            ".mem" => {
+                let size = self.expect_u64()?;
+                if self.mem_set {
+                    return Err(self.err(at, "`.mem` appears more than once"));
+                }
+                if self.data_emitted {
+                    return Err(self
+                        .err(at, "`.mem` must come before any data directive")
+                        .with_help("data bounds are checked against the declared size"));
+                }
+                if size < 8 || !size.is_power_of_two() {
+                    return Err(self.err(
+                        at,
+                        format!("memory size {size} is not a power of two (≥ 8)"),
+                    ));
+                }
+                if size > self.limits.max_mem_bytes as u64 {
+                    return Err(self.err(
+                        at,
+                        format!(
+                            "memory size {size} exceeds the {}-byte ceiling",
+                            self.limits.max_mem_bytes
+                        ),
+                    ));
+                }
+                self.mem_set = true;
+                self.mem_size = size as usize;
+                self.asm.set_mem_size(size as usize);
+                Ok(())
+            }
+            ".const" => {
+                let t = self.next();
+                let Tok::Ident(name) = t.tok.clone() else {
+                    return Err(self.err(
+                        &t,
+                        format!("`.const` takes a name, found {}", t.tok.describe()),
+                    ));
+                };
+                if parse_reg(&name).is_some() {
+                    return Err(self.err(
+                        &t,
+                        format!("`{name}` is a register name and cannot be a constant"),
+                    ));
+                }
+                let value = self.expect_imm()?;
+                if self.locked_consts.iter().any(|n| n == &name) {
+                    // An external override (AsmOptions::define) wins;
+                    // the in-source default is ignored.
+                    return Ok(());
+                }
+                if self.consts.insert(name.clone(), value).is_some() {
+                    return Err(self.err(&t, format!("constant `{name}` is defined twice")));
+                }
+                Ok(())
+            }
+            ".words" => {
+                let offset = self.expect_u64()?;
+                let mut values = Vec::new();
+                while !matches!(self.peek().tok, Tok::Newline) {
+                    values.push(self.expect_u64()?);
+                }
+                self.data_chunk(offset, values.len() * 8, at)?;
+                self.asm
+                    .words(offset, &values)
+                    .map_err(|e| self.err(at, format!("{e}")))
+            }
+            ".bytes" => {
+                let offset = self.expect_u64()?;
+                let mut bytes = Vec::new();
+                while !matches!(self.peek().tok, Tok::Newline) {
+                    let t = self.peek();
+                    let v = self.expect_u64()?;
+                    if v > 255 {
+                        return Err(self.err(&t, format!("byte value {v} is out of range 0..=255")));
+                    }
+                    bytes.push(v as u8);
+                }
+                self.data_chunk(offset, bytes.len(), at)?;
+                self.asm
+                    .bytes(offset, &bytes)
+                    .map_err(|e| self.err(at, format!("{e}")))
+            }
+            ".table" => {
+                let offset = self.expect_u64()?;
+                let mut names = Vec::new();
+                while !matches!(self.peek().tok, Tok::Newline) {
+                    let t = self.next();
+                    let Tok::Ident(name) = t.tok.clone() else {
+                        return Err(self.err(
+                            &t,
+                            format!(
+                                "`.table` entries are label names, found {}",
+                                t.tok.describe()
+                            ),
+                        ));
+                    };
+                    if parse_reg(&name).is_some() {
+                        return Err(
+                            self.err(&t, format!("`{name}` is a register name, not a label"))
+                        );
+                    }
+                    let span = (t.line, t.col, t.len);
+                    self.label_entry(&name).first_ref.get_or_insert(span);
+                    names.push((name, span));
+                }
+                if names.is_empty() {
+                    return Err(self.err(at, "`.table` needs at least one label entry"));
+                }
+                // Reserve the data-budget and bounds now; PCs resolve at
+                // the end of the parse.
+                self.data_emitted = true;
+                self.tables.push((offset, names, (at.line, at.col, at.len)));
+                Ok(())
+            }
+            other => {
+                let mut d = self.err(at, format!("unknown directive `{other}`"));
+                if let Some(s) = did_you_mean(other, DIRECTIVES.iter().copied()) {
+                    d = d.with_help(format!("did you mean `{s}`?"));
+                }
+                Err(d)
+            }
+        }
+    }
+
+    /// Accounts a data chunk against the sandbox limits and the declared
+    /// memory size, with overflow-safe math.
+    fn data_chunk(&mut self, offset: u64, len: usize, at: &Spanned) -> Result<(), Diagnostic> {
+        self.data_emitted = true;
+        self.data_bytes = self.data_bytes.saturating_add(len);
+        if self.data_bytes > self.limits.max_data_bytes {
+            return Err(self.err(
+                at,
+                format!(
+                    "total initial data exceeds the {}-byte limit",
+                    self.limits.max_data_bytes
+                ),
+            ));
+        }
+        let mem = self.mem_size as u64;
+        let end = offset.checked_add(len as u64);
+        if end.is_none() || end.unwrap() > mem {
+            return Err(self.err(
+                at,
+                format!("data chunk at offset {offset} of length {len} exceeds memory size {mem}"),
+            ));
+        }
+        Ok(())
+    }
+
+    // ---- instructions ----------------------------------------------------
+
+    fn instruction(&mut self, word: &str, at: &Spanned) -> Result<(), Diagnostic> {
+        let m = word.to_ascii_lowercase();
+        match m.as_str() {
+            "nop" => self.asm.nop(),
+            "halt" => self.asm.halt(),
+            "ret" => self.asm.ret(),
+            "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "slt" | "sltu"
+            | "mul" | "div" | "rem" => {
+                let rd = self.int_reg()?;
+                self.comma()?;
+                let rs1 = self.int_reg()?;
+                self.comma()?;
+                let rs2 = self.int_reg()?;
+                match m.as_str() {
+                    "add" => self.asm.add(rd, rs1, rs2),
+                    "sub" => self.asm.sub(rd, rs1, rs2),
+                    "and" => self.asm.and(rd, rs1, rs2),
+                    "or" => self.asm.or(rd, rs1, rs2),
+                    "xor" => self.asm.xor(rd, rs1, rs2),
+                    "sll" => self.asm.sll(rd, rs1, rs2),
+                    "srl" => self.asm.srl(rd, rs1, rs2),
+                    "sra" => self.asm.sra(rd, rs1, rs2),
+                    "slt" => self.asm.slt(rd, rs1, rs2),
+                    "sltu" => self.asm.sltu(rd, rs1, rs2),
+                    "mul" => self.asm.mul(rd, rs1, rs2),
+                    "div" => self.asm.div(rd, rs1, rs2),
+                    _ => self.asm.rem(rd, rs1, rs2),
+                }
+            }
+            "addi" | "andi" | "ori" | "xori" | "slli" | "srli" | "srai" | "slti" => {
+                let rd = self.int_reg()?;
+                self.comma()?;
+                let rs1 = self.int_reg()?;
+                self.comma()?;
+                let imm = self.expect_imm()?;
+                match m.as_str() {
+                    "addi" => self.asm.addi(rd, rs1, imm),
+                    "andi" => self.asm.andi(rd, rs1, imm),
+                    "ori" => self.asm.ori(rd, rs1, imm),
+                    "xori" => self.asm.xori(rd, rs1, imm),
+                    "slli" => self.asm.slli(rd, rs1, imm),
+                    "srli" => self.asm.srli(rd, rs1, imm),
+                    "srai" => self.asm.srai(rd, rs1, imm),
+                    _ => self.asm.slti(rd, rs1, imm),
+                }
+            }
+            "li" => {
+                let rd = self.int_reg()?;
+                self.comma()?;
+                let imm = self.expect_imm()?;
+                self.asm.li(rd, imm);
+            }
+            "mv" => {
+                let rd = self.int_reg()?;
+                self.comma()?;
+                let rs = self.int_reg()?;
+                self.asm.mv(rd, rs);
+            }
+            "ld" | "lb" => {
+                let rd = self.int_reg()?;
+                self.comma()?;
+                let (base, imm) = self.mem_operand()?;
+                if m == "ld" {
+                    self.asm.ld(rd, base, imm);
+                } else {
+                    self.asm.lb(rd, base, imm);
+                }
+            }
+            "fld" => {
+                let fd = self.fp_reg()?;
+                self.comma()?;
+                let (base, imm) = self.mem_operand()?;
+                self.asm.fld(fd, base, imm);
+            }
+            "st" | "sb" => {
+                let value = self.int_reg()?;
+                self.comma()?;
+                let (base, imm) = self.mem_operand()?;
+                if m == "st" {
+                    self.asm.st(base, imm, value);
+                } else {
+                    self.asm.sb(base, imm, value);
+                }
+            }
+            "fst" => {
+                let value = self.fp_reg()?;
+                self.comma()?;
+                let (base, imm) = self.mem_operand()?;
+                self.asm.fst(base, imm, value);
+            }
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                let rs1 = self.int_reg()?;
+                self.comma()?;
+                let rs2 = self.int_reg()?;
+                self.comma()?;
+                let l = self.label_ref()?;
+                match m.as_str() {
+                    "beq" => self.asm.beq(rs1, rs2, l),
+                    "bne" => self.asm.bne(rs1, rs2, l),
+                    "blt" => self.asm.blt(rs1, rs2, l),
+                    "bge" => self.asm.bge(rs1, rs2, l),
+                    "bltu" => self.asm.bltu(rs1, rs2, l),
+                    _ => self.asm.bgeu(rs1, rs2, l),
+                }
+            }
+            "fbeq" | "fblt" | "fbge" => {
+                let fs1 = self.fp_reg()?;
+                self.comma()?;
+                let fs2 = self.fp_reg()?;
+                self.comma()?;
+                let l = self.label_ref()?;
+                match m.as_str() {
+                    "fbeq" => self.asm.fbeq(fs1, fs2, l),
+                    "fblt" => self.asm.fblt(fs1, fs2, l),
+                    _ => self.asm.fbge(fs1, fs2, l),
+                }
+            }
+            "jmp" => {
+                let l = self.label_ref()?;
+                self.asm.jmp(l);
+            }
+            "call" => {
+                let l = self.label_ref()?;
+                self.asm.call(l);
+            }
+            "jr" => {
+                let rs = self.int_reg()?;
+                self.asm.jr(rs);
+            }
+            "fadd" | "fsub" | "fmul" | "fdiv" | "fmin" | "fmax" => {
+                let fd = self.fp_reg()?;
+                self.comma()?;
+                let fs1 = self.fp_reg()?;
+                self.comma()?;
+                let fs2 = self.fp_reg()?;
+                match m.as_str() {
+                    "fadd" => self.asm.fadd(fd, fs1, fs2),
+                    "fsub" => self.asm.fsub(fd, fs1, fs2),
+                    "fmul" => self.asm.fmul(fd, fs1, fs2),
+                    "fdiv" => self.asm.fdiv(fd, fs1, fs2),
+                    "fmin" => self.asm.fmin(fd, fs1, fs2),
+                    _ => self.asm.fmax(fd, fs1, fs2),
+                }
+            }
+            "fsqrt" | "fabs" | "fneg" => {
+                let fd = self.fp_reg()?;
+                self.comma()?;
+                let fs = self.fp_reg()?;
+                match m.as_str() {
+                    "fsqrt" => self.asm.fsqrt(fd, fs),
+                    "fabs" => self.asm.fabs(fd, fs),
+                    _ => self.asm.fneg(fd, fs),
+                }
+            }
+            "fcvt" => {
+                let fd = self.fp_reg()?;
+                self.comma()?;
+                let rs = self.int_reg()?;
+                self.asm.fcvt(fd, rs);
+            }
+            "fcvti" => {
+                let rd = self.int_reg()?;
+                self.comma()?;
+                let fs = self.fp_reg()?;
+                self.asm.fcvti(rd, fs);
+            }
+            other => {
+                let mut d = self.err(at, format!("unknown opcode `{other}`"));
+                if let Some(s) = did_you_mean(other, MNEMONICS.iter().copied()) {
+                    d = d.with_help(format!("did you mean `{s}`?"));
+                }
+                return Err(d);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- operand helpers -------------------------------------------------
+
+    fn comma(&mut self) -> Result<(), Diagnostic> {
+        let t = self.next();
+        if matches!(t.tok, Tok::Comma) {
+            Ok(())
+        } else {
+            Err(self.err(&t, format!("expected `,`, found {}", t.tok.describe())))
+        }
+    }
+
+    fn int_reg(&mut self) -> Result<Reg, Diagnostic> {
+        let t = self.next();
+        match &t.tok {
+            Tok::Ident(w) => match parse_reg(w) {
+                Some(RegRef::Int(r)) => Ok(r),
+                Some(RegRef::Fp(_)) => Err(self.err(
+                    &t,
+                    format!("expected an integer register (r0–r31), found `{w}`"),
+                )),
+                None => Err(self.err(
+                    &t,
+                    format!("expected an integer register (r0–r31), found `{w}`"),
+                )),
+            },
+            other => Err(self.err(
+                &t,
+                format!(
+                    "expected an integer register (r0–r31), found {}",
+                    other.describe()
+                ),
+            )),
+        }
+    }
+
+    fn fp_reg(&mut self) -> Result<FReg, Diagnostic> {
+        let t = self.next();
+        match &t.tok {
+            Tok::Ident(w) => match parse_reg(w) {
+                Some(RegRef::Fp(r)) => Ok(r),
+                _ => Err(self.err(
+                    &t,
+                    format!("expected a floating-point register (f0–f31), found `{w}`"),
+                )),
+            },
+            other => Err(self.err(
+                &t,
+                format!(
+                    "expected a floating-point register (f0–f31), found {}",
+                    other.describe()
+                ),
+            )),
+        }
+    }
+
+    /// `imm(reg)` addressing: returns `(base, offset)`.
+    fn mem_operand(&mut self) -> Result<(Reg, i64), Diagnostic> {
+        let imm = self.expect_imm()?;
+        let t = self.next();
+        if !matches!(t.tok, Tok::LParen) {
+            return Err(self.err(
+                &t,
+                format!(
+                    "expected `(` of an `imm(reg)` address, found {}",
+                    t.tok.describe()
+                ),
+            ));
+        }
+        let base = self.int_reg()?;
+        let t = self.next();
+        if !matches!(t.tok, Tok::RParen) {
+            return Err(self.err(&t, format!("expected `)`, found {}", t.tok.describe())));
+        }
+        Ok((base, imm))
+    }
+
+    /// An immediate: a literal or a `.const`/`define` name. Hex values
+    /// up to `u64::MAX` wrap two's-complement into `i64` (so
+    /// `0xffffffffffffffff` is `-1`).
+    fn expect_imm(&mut self) -> Result<i64, Diagnostic> {
+        let t = self.next();
+        match &t.tok {
+            Tok::Int(v) => Ok(*v as i64),
+            Tok::Ident(name) => match self.consts.get(name) {
+                Some(v) => Ok(*v),
+                None => {
+                    let mut d = self.err(
+                        &t,
+                        format!("unknown constant `{name}` in immediate position"),
+                    );
+                    if let Some(s) = did_you_mean(name, self.consts.keys().map(|s| s.as_str())) {
+                        d = d.with_help(format!("did you mean `{s}`?"));
+                    } else {
+                        d = d.with_help("declare it with `.const NAME VALUE`");
+                    }
+                    Err(d)
+                }
+            },
+            other => Err(self.err(
+                &t,
+                format!(
+                    "expected an immediate (number or constant), found {}",
+                    other.describe()
+                ),
+            )),
+        }
+    }
+
+    /// An unsigned value (offset, word, byte or size): negative values
+    /// are interpreted two's-complement (`-1` ⇒ `u64::MAX`) to match
+    /// `expect_imm`.
+    fn expect_u64(&mut self) -> Result<u64, Diagnostic> {
+        self.expect_imm().map(|v| v as u64)
+    }
+}
+
+enum RegRef {
+    Int(Reg),
+    Fp(FReg),
+}
+
+/// `r0`–`r31` / `f0`–`f31`, case-insensitive; anything else is not a
+/// register.
+fn parse_reg(word: &str) -> Option<RegRef> {
+    let mut chars = word.chars();
+    let kind = chars.next()?.to_ascii_lowercase();
+    if kind != 'r' && kind != 'f' {
+        return None;
+    }
+    let rest = chars.as_str();
+    if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) || rest.len() > 2 {
+        return None;
+    }
+    let n: u8 = rest.parse().ok()?;
+    if n >= 32 {
+        return None;
+    }
+    Some(if kind == 'r' {
+        RegRef::Int(Reg::new(n))
+    } else {
+        RegRef::Fp(FReg::new(n))
+    })
+}

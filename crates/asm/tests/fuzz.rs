@@ -1,0 +1,177 @@
+//! Fuzzing the assembler front-end: hostile text must produce
+//! diagnostics, never panics.
+//!
+//! Two generators drive the parser:
+//!
+//! * **token soup** — random sequences drawn from the assembler's own
+//!   vocabulary (mnemonics, directives, registers, labels, literals,
+//!   punctuation), which lands far deeper in the parser than raw random
+//!   bytes would;
+//! * **mutated corpus** — the real `programs/*.asm` files with seeded
+//!   byte flips, truncations and line splices, exercising the
+//!   recovery paths around almost-valid programs.
+//!
+//! The in-repo proptest stand-in derives its RNG stream from the test
+//! name, so every run (and every CI shard) sees the same cases —
+//! failures reproduce deterministically, per the flake-guard rules.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use ssim_asm::{assemble_with, AsmLimits, AsmOptions, MNEMONICS};
+
+/// Tight limits so fuzz cases that *do* assemble stay cheap.
+fn fuzz_opts() -> AsmOptions {
+    AsmOptions::new().limits(AsmLimits {
+        max_source_bytes: 1 << 20,
+        max_instructions: 4096,
+        max_data_bytes: 1 << 16,
+        max_mem_bytes: 1 << 24,
+    })
+}
+
+/// The parser either accepts or diagnoses; both are fine. What it may
+/// not do is panic — the `proptest!` harness turns one into a failure
+/// with the offending source attached.
+fn feed(src: &str) {
+    let _ = assemble_with(src, &fuzz_opts());
+}
+
+const PUNCT: &[&str] = &[",", ":", "(", ")", "\n", "\n", " ", "  "];
+const WORDS: &[&str] = &[
+    "r0", "r1", "r31", "r32", "f0", "f7", "loop", "x", "_l", "L0", "done",
+];
+const DIRECTIVES: &[&str] = &[
+    ".name", ".mem", ".const", ".words", ".bytes", ".table", ".bogus",
+];
+const LITERALS: &[&str] = &[
+    "0",
+    "1",
+    "-1",
+    "255",
+    "4096",
+    "0x10",
+    "0xffff_ffff_ffff_ffff",
+    "18446744073709551615",
+    "18446744073709551616",
+    "-9223372036854775808",
+    "\"s\"",
+    "\"unterminated",
+];
+
+fn soup_atom(rng: &mut TestRng) -> &'static str {
+    let pick =
+        |xs: &'static [&'static str], rng: &mut TestRng| xs[rng.below(xs.len() as u64) as usize];
+    match rng.below(5) {
+        0 => pick(MNEMONICS, rng),
+        1 => pick(PUNCT, rng),
+        2 => pick(WORDS, rng),
+        3 => pick(DIRECTIVES, rng),
+        _ => pick(LITERALS, rng),
+    }
+}
+
+const CORPUS: &[&str] = &[
+    include_str!("../../../programs/rle.asm"),
+    include_str!("../../../programs/bytecode.asm"),
+    include_str!("../../../programs/listwalk.asm"),
+];
+
+/// Applies one seeded mutation to a corpus file.
+fn mutate(src: &str, rng: &mut TestRng) -> String {
+    let mut bytes = src.as_bytes().to_vec();
+    match rng.below(4) {
+        // Byte flips (possibly producing invalid UTF-8 → lossy text).
+        0 => {
+            for _ in 0..=rng.below(8) {
+                let i = rng.below(bytes.len() as u64) as usize;
+                bytes[i] ^= (rng.below(255) + 1) as u8;
+            }
+        }
+        // Truncation mid-file.
+        1 => bytes.truncate(rng.below(bytes.len() as u64) as usize),
+        // Splice a random line from another corpus file at a random
+        // line boundary.
+        2 => {
+            let other = CORPUS[rng.below(CORPUS.len() as u64) as usize];
+            let lines: Vec<&str> = other.lines().collect();
+            let line = lines[rng.below(lines.len() as u64) as usize];
+            let mut out: Vec<&str> = src.lines().collect();
+            let at = rng.below(out.len() as u64 + 1) as usize;
+            out.insert(at, line);
+            return out.join("\n");
+        }
+        // Delete a random line (labels and halts vanish).
+        _ => {
+            let mut out: Vec<&str> = src.lines().collect();
+            out.remove(rng.below(out.len() as u64) as usize);
+            return out.join("\n");
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Token soup: valid vocabulary in random order.
+    #[test]
+    fn token_soup_never_panics(seed in any::<u64>()) {
+        let mut rng = TestRng::from_seed(seed);
+        let n = rng.below(120) + 1;
+        let mut src = String::new();
+        for _ in 0..n {
+            src.push_str(soup_atom(&mut rng));
+            if rng.below(3) == 0 {
+                src.push(' ');
+            }
+        }
+        feed(&src);
+    }
+
+    /// Mutated corpus: real programs, lightly damaged.
+    #[test]
+    fn mutated_corpus_never_panics(seed in any::<u64>()) {
+        let mut rng = TestRng::from_seed(seed);
+        let base = CORPUS[rng.below(CORPUS.len() as u64) as usize];
+        let mut src = base.to_string();
+        for _ in 0..=rng.below(3) {
+            src = mutate(&src, &mut rng);
+        }
+        feed(&src);
+    }
+
+    /// Raw byte noise (mostly lexer territory).
+    #[test]
+    fn byte_noise_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        feed(&String::from_utf8_lossy(&bytes));
+    }
+}
+
+/// A handful of historically nasty shapes, pinned explicitly so they
+/// outlive any change to the generators.
+#[test]
+fn regression_shapes_never_panic() {
+    for src in [
+        "",
+        "\n\n\n",
+        ":",
+        "x:",
+        ".mem 0",
+        ".mem 18446744073709551615",
+        ".words 18446744073709551615 1",
+        ".bytes 4096 256",
+        ".table 0 nowhere",
+        ".const x 1\n.const x 2",
+        "addi r1, r0,",
+        "ld r1, (r2)",
+        "st 8(r4), r5",
+        "beq r1, r2, 12345",
+        "jmp",
+        "halt extra",
+        ".name \"\\q\"",
+        "addi r1, r0, 0x",
+        "li r1, UNDEFINED_CONST\nhalt",
+    ] {
+        feed(src);
+    }
+}

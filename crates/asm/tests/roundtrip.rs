@@ -1,0 +1,150 @@
+//! Round-trip: `assemble(p.to_asm()) == p` for DSL-built programs.
+//!
+//! The emitter (`crates/isa/src/emit.rs`) and the parser lower through
+//! the same `Assembler` methods, so re-assembling a canonical emission
+//! must reproduce the program image exactly — name, memory size, code
+//! (including operand roles and branch targets) and initial-data chunks.
+//! These tests pin that contract over every opcode and every data shape.
+
+use ssim_asm::assemble;
+use ssim_isa::{Assembler, FReg, Program, Reg};
+
+fn roundtrip(p: &Program) {
+    let text = p.to_asm();
+    let back = assemble(&text).unwrap_or_else(|d| panic!("re-assembly failed:\n{d}\n--\n{text}"));
+    assert_eq!(&back, p, "round-trip changed the program:\n{text}");
+}
+
+/// Every opcode in one program: all 3-reg ALU forms, all immediates,
+/// loads/stores (byte and word, int and float), every branch, direct
+/// and indirect transfers, every FP op, and the pseudo-ops.
+#[test]
+fn every_opcode_roundtrips() {
+    let mut a = Assembler::new("all-ops");
+    a.set_mem_size(1 << 16);
+    let skip = a.label();
+    let sub = a.label();
+    let end = a.label();
+
+    a.add(Reg::R1, Reg::R2, Reg::R3);
+    a.sub(Reg::R4, Reg::R5, Reg::R6);
+    a.and(Reg::R7, Reg::R8, Reg::R9);
+    a.or(Reg::R10, Reg::R11, Reg::R12);
+    a.xor(Reg::R13, Reg::R14, Reg::R15);
+    a.sll(Reg::R16, Reg::R17, Reg::R18);
+    a.srl(Reg::R19, Reg::R20, Reg::R21);
+    a.sra(Reg::R22, Reg::R23, Reg::R24);
+    a.slt(Reg::R25, Reg::R26, Reg::R27);
+    a.sltu(Reg::R28, Reg::R29, Reg::R30);
+    a.mul(Reg::R31, Reg::R1, Reg::R2);
+    a.div(Reg::R3, Reg::R4, Reg::R5);
+    a.rem(Reg::R6, Reg::R7, Reg::R8);
+    a.addi(Reg::R1, Reg::R2, -5);
+    a.andi(Reg::R3, Reg::R4, 0xff);
+    a.ori(Reg::R5, Reg::R6, 0x10);
+    a.xori(Reg::R7, Reg::R8, 1);
+    a.slli(Reg::R9, Reg::R10, 3);
+    a.srli(Reg::R11, Reg::R12, 7);
+    a.srai(Reg::R13, Reg::R14, 2);
+    a.slti(Reg::R15, Reg::R16, 100);
+    a.li(Reg::R17, i64::MIN);
+    a.mv(Reg::R18, Reg::R17);
+    a.nop();
+    a.ld(Reg::R1, Reg::R2, 8);
+    a.lb(Reg::R3, Reg::R4, -1);
+    a.st(Reg::R5, 16, Reg::R6);
+    a.sb(Reg::R7, 0, Reg::R8);
+    a.fld(FReg::F1, Reg::R9, 24);
+    a.fst(Reg::R10, 32, FReg::F2);
+    a.beq(Reg::R1, Reg::R2, skip);
+    a.bne(Reg::R3, Reg::R4, skip);
+    a.blt(Reg::R5, Reg::R6, skip);
+    a.bge(Reg::R7, Reg::R8, skip);
+    a.bltu(Reg::R9, Reg::R10, skip);
+    a.bgeu(Reg::R11, Reg::R12, skip);
+    a.fbeq(FReg::F1, FReg::F2, skip);
+    a.fblt(FReg::F3, FReg::F4, skip);
+    a.fbge(FReg::F5, FReg::F6, skip);
+    a.bind(skip).unwrap();
+    a.call(sub);
+    a.jr(Reg::R20);
+    a.bind(sub).unwrap();
+    a.fadd(FReg::F1, FReg::F2, FReg::F3);
+    a.fsub(FReg::F4, FReg::F5, FReg::F6);
+    a.fmul(FReg::F7, FReg::F8, FReg::F9);
+    a.fdiv(FReg::F10, FReg::F11, FReg::F12);
+    a.fmin(FReg::F13, FReg::F14, FReg::F15);
+    a.fmax(FReg::F16, FReg::F17, FReg::F18);
+    a.fsqrt(FReg::F19, FReg::F20);
+    a.fabs(FReg::F21, FReg::F22);
+    a.fneg(FReg::F23, FReg::F24);
+    a.fcvt(FReg::F25, Reg::R21);
+    a.fcvti(Reg::R22, FReg::F26);
+    a.fconst(FReg::F27, -0.125);
+    a.ret();
+    a.jmp(end);
+    a.bind(end).unwrap();
+    a.halt();
+
+    roundtrip(&a.finish().unwrap());
+}
+
+/// Data chunks survive: word-aligned chunks, ragged byte chunks, a
+/// float constant pool, and a jump table all re-assemble byte-for-byte.
+#[test]
+fn data_shapes_roundtrip() {
+    let mut a = Assembler::new("data");
+    a.set_mem_size(1 << 14);
+    let buf = a.alloc_words(4);
+    a.words(buf, &[u64::MAX, 0, 1, 0xdead_beef]).unwrap();
+    let raw = a.alloc(5);
+    a.bytes(raw, &[0, 1, 2, 254, 255]).unwrap();
+    let pool = a.alloc_words(1);
+    a.fword(pool, -1.5e300).unwrap();
+    let h0 = a.label();
+    let h1 = a.label();
+    let table = a.jump_table(&[h0, h1, h0]);
+    a.li(Reg::R1, table as i64);
+    a.ld(Reg::R2, Reg::R1, 0);
+    a.jr(Reg::R2);
+    a.bind(h0).unwrap();
+    a.halt();
+    a.bind(h1).unwrap();
+    a.halt();
+
+    roundtrip(&a.finish().unwrap());
+}
+
+/// Names with characters needing escapes survive the `.name` string.
+#[test]
+fn escaped_names_roundtrip() {
+    let mut a = Assembler::new(r#"we "ird\name"#);
+    a.halt();
+    roundtrip(&a.finish().unwrap());
+}
+
+/// A label bound one past the last instruction (reachable only by
+/// branching) survives as the trailing `L<len>:` definition.
+#[test]
+fn trailing_label_roundtrips() {
+    let mut a = Assembler::new("tail");
+    let end = a.label();
+    a.beq(Reg::R1, Reg::R2, end);
+    a.halt();
+    a.bind(end).unwrap();
+    roundtrip(&a.finish().unwrap());
+}
+
+/// The corpus `.asm` files are a fixed point of emit∘assemble:
+/// re-assembling the canonical emission reproduces the same program.
+#[test]
+fn corpus_emissions_are_stable() {
+    for src in [
+        include_str!("../../../programs/rle.asm"),
+        include_str!("../../../programs/bytecode.asm"),
+        include_str!("../../../programs/listwalk.asm"),
+    ] {
+        let p = assemble(src).unwrap_or_else(|d| panic!("corpus program failed:\n{d}"));
+        roundtrip(&p);
+    }
+}

@@ -46,6 +46,24 @@ fn main() {
     let suite = workloads();
     println!("threads: {threads}, workloads: {}", suite.len());
 
+    // --- corpus assembly ---------------------------------------------
+    // The `.asm` corpus ships as text and is assembled on every use, so
+    // front-end cost is part of the pipeline's startup story. Recorded
+    // in the report header to keep parser regressions visible.
+    let t = Instant::now();
+    let mut corpus_static = 0usize;
+    for (name, src) in ssim::workloads::CORPUS_SOURCES {
+        let p = ssim_asm::assemble(src)
+            .unwrap_or_else(|d| panic!("corpus program `{name}` failed to assemble:\n{d}"));
+        corpus_static += p.len();
+    }
+    let corpus_asm_s = t.elapsed().as_secs_f64();
+    println!(
+        "corpus assembly: {} programs, {corpus_static} static instrs in {:.1}ms",
+        ssim::workloads::CORPUS_SOURCES.len(),
+        corpus_asm_s * 1e3
+    );
+
     // --- profile cache: cold vs warm ---------------------------------
     let (h0, m0) = cache_stats();
     let t = Instant::now();
@@ -198,6 +216,8 @@ fn main() {
     let json = format!(
         "{{\n  \"threads\": {threads},\n  \"available_parallelism\": {avail},\n  \
          \"workloads\": [{}],\n  \
+         \"corpus_asm\": {{\"programs\": {}, \"static_instructions\": {corpus_static}, \
+         \"assemble_s\": {corpus_asm_s:.6}}},\n  \
          \"profile_cold_s\": {profile_cold_s:.4},\n  \
          \"profile_warm_s\": {profile_warm_s:.4},\n  \
          \"cache_cold\": {{\"hits\": {}, \"misses\": {}}},\n  \
@@ -214,6 +234,7 @@ fn main() {
          \"scaling\": {scaling_section},\n  \
          \"stages\": {stages}\n}}\n",
         names.join(", "),
+        ssim::workloads::CORPUS_SOURCES.len(),
         cold.0,
         cold.1,
         warm_stats.0,

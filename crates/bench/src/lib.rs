@@ -26,7 +26,7 @@ pub mod synthbench;
 pub mod timing;
 
 pub use dsebench::{measure_dse, sec46_space, DseBench, SynthDse};
-pub use profile_cache::{cache_enabled, cache_stats, profile_cached};
+pub use profile_cache::{cache_enabled, cache_stats, profile_cached, profile_cached_keyed};
 pub use simbench::{measure_sim_speed, SimSpeed};
 pub use ssim_obs as obs;
 pub use ssim_par::{available_parallelism, num_threads, par_map, par_map_with};

@@ -30,6 +30,7 @@
 //! `SSIM_NO_PROFILE_CACHE=1` bypasses the cache entirely (reads *and*
 //! writes), which the determinism tests and cold-cache benchmarks use.
 
+use ssim::isa::Program;
 use ssim::prelude::*;
 use ssim::workloads::Workload;
 use std::fs;
@@ -94,10 +95,25 @@ pub fn cache_path(workload: &str, cfg: &ProfileConfig) -> PathBuf {
 /// profiling and overwrite the bad entry; save failures are ignored
 /// (the cache is an optimisation, never a correctness dependency).
 pub fn profile_cached(workload: &Workload, cfg: &ProfileConfig) -> StatisticalProfile {
+    profile_cached_keyed(workload.name(), cfg, || workload.program())
+}
+
+/// Keyed variant of [`profile_cached`] for programs that are not suite
+/// workloads — e.g. `ssim-serve` submissions, cached under their
+/// content-hash registry name (`program-<hash>`). `key` must be
+/// filesystem-safe (it lands in the cache file name verbatim) and must
+/// uniquely identify the program image: two different programs sharing
+/// a key would alias each other's profiles. `build` runs only on a
+/// miss.
+pub fn profile_cached_keyed(
+    key: &str,
+    cfg: &ProfileConfig,
+    build: impl FnOnce() -> Program,
+) -> StatisticalProfile {
     if !cache_enabled() {
-        return profile(&workload.program(), cfg);
+        return profile(&build(), cfg);
     }
-    let path = cache_path(workload.name(), cfg);
+    let path = cache_path(key, cfg);
     if let Ok(file) = fs::File::open(&path) {
         match StatisticalProfile::load(&mut BufReader::new(file)) {
             Ok(p) => {
@@ -111,7 +127,7 @@ pub fn profile_cached(workload: &Workload, cfg: &ProfileConfig) -> StatisticalPr
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
     OBS_MISSES.inc();
-    let p = profile(&workload.program(), cfg);
+    let p = profile(&build(), cfg);
     let _ = store(&path, &p);
     p
 }

@@ -1,0 +1,35 @@
+//! The textual corpus flows through the full statistical pipeline.
+//!
+//! The `programs/*.asm` corpus (assembled through `ssim-asm` by
+//! `ssim_workloads::corpus`) must be a first-class citizen: each
+//! program profiles, generates a synthetic trace, and simulates to a
+//! sane IPC — the exact path the native ten-benchmark suite takes.
+
+use ssim_core::{profile, simulate_trace, ProfileConfig};
+use ssim_uarch::MachineConfig;
+use ssim_workloads::corpus;
+
+#[test]
+fn corpus_programs_profile_generate_and_simulate() {
+    let cfg = MachineConfig::baseline();
+    for w in corpus() {
+        let program = w.program();
+        let prof = profile(
+            &program,
+            &ProfileConfig::new(&cfg).skip(10_000).instructions(200_000),
+        );
+        let trace = prof.generate(10, 42);
+        assert!(
+            !trace.is_empty(),
+            "{}: synthetic trace came out empty",
+            w.name()
+        );
+        let result = simulate_trace(&trace, &cfg);
+        let ipc = result.ipc();
+        assert!(
+            ipc > 0.05 && ipc < 8.0,
+            "{}: implausible synthetic IPC {ipc}",
+            w.name()
+        );
+    }
+}

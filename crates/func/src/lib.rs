@@ -40,4 +40,4 @@ mod exec;
 mod machine;
 
 pub use exec::Executed;
-pub use machine::Machine;
+pub use machine::{ExecFault, FaultKind, FuelOutcome, Machine};

@@ -2,6 +2,64 @@
 
 use crate::exec::Executed;
 use ssim_isa::{FReg, Opcode, Program, Reg, RegId};
+use std::fmt;
+
+/// An execution fault: control left the program's code.
+///
+/// Trusted workloads never fault (their jump tables are assembler-
+/// resolved), so [`Machine::step`] turns faults into panics. Untrusted
+/// text programs submitted over the wire are executed through
+/// [`Machine::try_step`] / [`Machine::run_fuel`] instead, where a fault
+/// is an ordinary, reportable value — a hostile `jr` can reject a
+/// submission but never kill a server worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecFault {
+    /// PC of the faulting instruction (or the out-of-range PC itself).
+    pub pc: usize,
+    /// What went wrong.
+    pub kind: FaultKind,
+}
+
+/// The kinds of [`ExecFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The PC ran off the end of the code without a `Halt`.
+    PcOffEnd,
+    /// A `Ret`/`Jr` targeted a PC outside the code.
+    IndirectOutOfRange {
+        /// The out-of-range target.
+        target: usize,
+    },
+}
+
+impl fmt::Display for ExecFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::PcOffEnd => write!(f, "pc {} ran off the end of the code", self.pc),
+            FaultKind::IndirectOutOfRange { target } => write!(
+                f,
+                "indirect transfer at pc {} targets {}, outside the code",
+                self.pc, target
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecFault {}
+
+/// Result of [`Machine::run_fuel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuelOutcome {
+    /// The program executed `Halt` within the budget.
+    Halted {
+        /// Instructions executed before the halt.
+        executed: u64,
+    },
+    /// The budget ran out with the program still running.
+    OutOfFuel,
+    /// Execution faulted.
+    Fault(ExecFault),
+}
 
 /// Architectural state of one program execution.
 ///
@@ -120,17 +178,61 @@ impl<'p> Machine<'p> {
     ///
     /// Panics if control transfers outside the program's code (a
     /// malformed jump table or a return past the entry frame), or if the
-    /// PC runs off the end of the code without a `Halt`.
-    #[allow(clippy::too_many_lines)] // one arm per opcode; splitting obscures
+    /// PC runs off the end of the code without a `Halt`. Use
+    /// [`Machine::try_step`] to observe those faults as values instead.
     pub fn step(&mut self) -> Option<Executed> {
+        self.try_step().unwrap_or_else(|fault| panic!("{fault}"))
+    }
+
+    /// Executes up to `fuel` instructions (a sandbox budget).
+    ///
+    /// Never panics on program behaviour: faults come back as
+    /// [`FuelOutcome::Fault`]. This is the pre-flight check `ssim-serve`
+    /// runs on submitted programs — execution is deterministic, so a
+    /// clean fuelled run proves the same prefix cannot fault when the
+    /// profiler replays it.
+    pub fn run_fuel(&mut self, fuel: u64) -> FuelOutcome {
+        let start = self.icount;
+        loop {
+            if self.icount - start >= fuel {
+                return if self.halted {
+                    FuelOutcome::Halted {
+                        executed: self.icount - start,
+                    }
+                } else {
+                    FuelOutcome::OutOfFuel
+                };
+            }
+            match self.try_step() {
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    return FuelOutcome::Halted {
+                        executed: self.icount - start,
+                    }
+                }
+                Err(fault) => return FuelOutcome::Fault(fault),
+            }
+        }
+    }
+
+    /// Executes one instruction, reporting faults as values.
+    ///
+    /// Returns `Ok(None)` once the machine has halted, and
+    /// `Err(ExecFault)` if control leaves the code (the machine also
+    /// halts, so subsequent calls return `Ok(None)`).
+    #[allow(clippy::too_many_lines)] // one arm per opcode; splitting obscures
+    pub fn try_step(&mut self) -> Result<Option<Executed>, ExecFault> {
         if self.halted {
-            return None;
+            return Ok(None);
         }
         let pc = self.pc;
-        let instr = *self
-            .program
-            .instr(pc)
-            .unwrap_or_else(|| panic!("pc {pc} ran off the end of the code"));
+        let Some(&instr) = self.program.instr(pc) else {
+            self.halted = true;
+            return Err(ExecFault {
+                pc,
+                kind: FaultKind::PcOffEnd,
+            });
+        };
         let a = self.int_src(instr.srcs[0]);
         let b = self.int_src(instr.srcs[1]);
         let fa = self.fp_src(instr.srcs[0]);
@@ -248,10 +350,13 @@ impl<'p> Machine<'p> {
             Opcode::Ret | Opcode::Jr => {
                 taken = true;
                 let t = a as usize;
-                assert!(
-                    t < self.program.len(),
-                    "indirect transfer at pc {pc} targets {t}, outside the code"
-                );
+                if t >= self.program.len() {
+                    self.halted = true;
+                    return Err(ExecFault {
+                        pc,
+                        kind: FaultKind::IndirectOutOfRange { target: t },
+                    });
+                }
                 next_pc = t;
             }
             Opcode::Fadd => fwr!(fa + fb),
@@ -267,19 +372,19 @@ impl<'p> Machine<'p> {
             Opcode::Fcvti => wr!((fa as i64) as u64),
             Opcode::Halt => {
                 self.halted = true;
-                return None;
+                return Ok(None);
             }
         }
 
         self.pc = next_pc;
         self.icount += 1;
-        Some(Executed {
+        Ok(Some(Executed {
             pc,
             instr,
             next_pc,
             taken,
             mem_addr,
-        })
+        }))
     }
 }
 
@@ -468,5 +573,68 @@ mod tests {
         assert!(m.halted());
         assert_eq!(m.icount(), 1);
         assert!(m.step().is_none(), "step after halt stays halted");
+    }
+
+    #[test]
+    fn try_step_reports_indirect_fault_and_halts() {
+        let mut a = Assembler::new("t");
+        a.li(Reg::R1, 9999);
+        a.jr(Reg::R1);
+        a.halt();
+        let program = a.finish().unwrap();
+        let mut m = Machine::new(&program);
+        assert!(m.try_step().unwrap().is_some());
+        let fault = m.try_step().unwrap_err();
+        assert_eq!(
+            fault,
+            ExecFault {
+                pc: 1,
+                kind: FaultKind::IndirectOutOfRange { target: 9999 },
+            }
+        );
+        assert!(
+            fault.to_string().contains("targets 9999"),
+            "fault display names the target: {fault}"
+        );
+        assert!(m.halted(), "a fault halts the machine");
+        assert!(m.try_step().unwrap().is_none());
+    }
+
+    #[test]
+    fn run_fuel_halts_runs_dry_and_faults() {
+        // Halts within budget.
+        let mut a = Assembler::new("t");
+        a.nop();
+        a.nop();
+        a.halt();
+        let program = a.finish().unwrap();
+        let mut m = Machine::new(&program);
+        assert_eq!(m.run_fuel(100), FuelOutcome::Halted { executed: 2 });
+        assert_eq!(m.run_fuel(100), FuelOutcome::Halted { executed: 0 });
+
+        // Runs out of fuel mid-loop, then finishes on a refill.
+        let mut a = Assembler::new("t");
+        let top = a.here_label();
+        a.addi(Reg::R1, Reg::R1, 1);
+        a.li(Reg::R2, 50);
+        a.blt(Reg::R1, Reg::R2, top);
+        a.halt();
+        let program = a.finish().unwrap();
+        let mut m = Machine::new(&program);
+        assert_eq!(m.run_fuel(10), FuelOutcome::OutOfFuel);
+        assert_eq!(m.icount(), 10, "fuel is an exact instruction budget");
+        assert!(matches!(m.run_fuel(1_000), FuelOutcome::Halted { .. }));
+
+        // Faults surface as values, not panics.
+        let mut a = Assembler::new("t");
+        a.li(Reg::R1, 1234);
+        a.jr(Reg::R1);
+        a.halt();
+        let program = a.finish().unwrap();
+        let mut m = Machine::new(&program);
+        let FuelOutcome::Fault(fault) = m.run_fuel(100) else {
+            panic!("expected a fault");
+        };
+        assert_eq!(fault.kind, FaultKind::IndirectOutOfRange { target: 1234 });
     }
 }

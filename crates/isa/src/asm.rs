@@ -113,6 +113,13 @@ impl Assembler {
         self
     }
 
+    /// Renames the program (used by the text front-end, where the
+    /// `.name` directive arrives after construction).
+    pub fn set_name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = name.into();
+        self
+    }
+
     /// Current PC (index of the next emitted instruction).
     pub fn here(&self) -> usize {
         self.code.len()

@@ -1,0 +1,267 @@
+//! Canonical `.asm` text emission for [`Program`]s.
+//!
+//! This is the other half of the textual assembler front-end
+//! (`crates/asm`): the emitter renders a program image back into the
+//! `.asm` grammar the parser accepts, and the pair round-trips —
+//! for every [`Assembler`](crate::Assembler)-built program `p`,
+//! `ssim_asm::assemble(&p.to_asm())` yields a `Program` equal to `p`
+//! (same name, code, memory size and initial-data chunks, in order).
+//!
+//! The canonical form is:
+//!
+//! ```text
+//! .name "gzip"
+//! .mem 16777216
+//! .words 4096 10 20 30
+//! .bytes 8192 0xde 0xad
+//!
+//! L0:
+//!     addi r1, r0, 5
+//!     beq r1, r0, L3
+//! ```
+//!
+//! Design notes that keep the round-trip exact:
+//!
+//! * Pseudo-instructions are *not* re-sugared: `li`/`mv` assemble to
+//!   `addi`, and `fconst` to an `fld` off `r0`, so that is what the
+//!   emitter prints. The parser lowers every mnemonic through the same
+//!   [`Assembler`](crate::Assembler) emitter methods, so operand roles
+//!   (e.g. a store's `[base, value]` source order) match by
+//!   construction.
+//! * Every branch-target PC gets a `L<pc>:` label definition, including
+//!   a trailing label when a target sits one past the last instruction.
+//! * Data chunks are emitted in assembly order, one directive per
+//!   chunk: `.words` when the chunk is a whole number of words (how
+//!   `word`/`words`/`fword`/`jump_table` chunks are born), `.bytes`
+//!   otherwise. Both re-assemble to byte-identical `init_data` entries.
+
+use crate::instr::{Instr, Opcode};
+use crate::program::Program;
+use crate::regs::RegId;
+use std::collections::BTreeSet;
+use std::fmt::{self, Write};
+
+impl Program {
+    /// Renders the program as canonical `.asm` text (see module docs).
+    pub fn to_asm(&self) -> String {
+        let mut out = String::new();
+        emit_asm(self, &mut out).expect("writing to a String cannot fail");
+        out
+    }
+}
+
+/// `Display` renders the canonical `.asm` text, so `format!("{p}")` and
+/// [`Program::to_asm`] agree.
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        emit_asm(self, f)
+    }
+}
+
+/// The canonical mnemonic for an opcode (the spelling the parser
+/// accepts).
+pub fn mnemonic(op: Opcode) -> &'static str {
+    use Opcode::*;
+    match op {
+        Add => "add",
+        Sub => "sub",
+        And => "and",
+        Or => "or",
+        Xor => "xor",
+        Sll => "sll",
+        Srl => "srl",
+        Sra => "sra",
+        Slt => "slt",
+        Sltu => "sltu",
+        AddI => "addi",
+        AndI => "andi",
+        OrI => "ori",
+        XorI => "xori",
+        SllI => "slli",
+        SrlI => "srli",
+        SraI => "srai",
+        SltI => "slti",
+        Nop => "nop",
+        Mul => "mul",
+        Div => "div",
+        Rem => "rem",
+        Ld => "ld",
+        Lb => "lb",
+        St => "st",
+        Sb => "sb",
+        FLd => "fld",
+        FSt => "fst",
+        Beq => "beq",
+        Bne => "bne",
+        Blt => "blt",
+        Bge => "bge",
+        Bltu => "bltu",
+        Bgeu => "bgeu",
+        FBeq => "fbeq",
+        FBlt => "fblt",
+        FBge => "fbge",
+        Jmp => "jmp",
+        Call => "call",
+        Ret => "ret",
+        Jr => "jr",
+        Fadd => "fadd",
+        Fsub => "fsub",
+        Fmin => "fmin",
+        Fmax => "fmax",
+        Fabs => "fabs",
+        Fneg => "fneg",
+        Fcvt => "fcvt",
+        Fcvti => "fcvti",
+        Fmul => "fmul",
+        Fdiv => "fdiv",
+        Fsqrt => "fsqrt",
+        Halt => "halt",
+    }
+}
+
+fn emit_asm(p: &Program, out: &mut dyn Write) -> fmt::Result {
+    debug_assert_eq!(p.entry(), 0, "assembler programs always enter at 0");
+    write!(out, ".name \"")?;
+    for c in p.name().chars() {
+        match c {
+            '"' | '\\' => write!(out, "\\{c}")?,
+            _ => write!(out, "{c}")?,
+        }
+    }
+    writeln!(out, "\"")?;
+    writeln!(out, ".mem {}", p.mem_size())?;
+    for (offset, bytes) in p.init_data() {
+        if !bytes.is_empty() && bytes.len() % 8 == 0 {
+            write!(out, ".words {offset}")?;
+            for chunk in bytes.chunks_exact(8) {
+                let w = u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8 bytes"));
+                write!(out, " {w}")?;
+            }
+        } else {
+            write!(out, ".bytes {offset}")?;
+            for b in bytes {
+                write!(out, " {b:#04x}")?;
+            }
+        }
+        writeln!(out)?;
+    }
+    writeln!(out)?;
+    let targets: BTreeSet<usize> = p.code().iter().filter_map(|i| i.target).collect();
+    for (pc, i) in p.code().iter().enumerate() {
+        if targets.contains(&pc) {
+            writeln!(out, "L{pc}:")?;
+        }
+        write!(out, "    ")?;
+        emit_instr(i, out)?;
+        writeln!(out)?;
+    }
+    // A label may legitimately sit one past the last instruction (bound
+    // but only reached, never fallen through from).
+    if targets.contains(&p.len()) {
+        writeln!(out, "L{}:", p.len())?;
+    }
+    Ok(())
+}
+
+fn emit_instr(i: &Instr, out: &mut dyn Write) -> fmt::Result {
+    use Opcode::*;
+    let m = mnemonic(i.op);
+    let dest = || i.dest.expect("canonical instruction has a destination");
+    let src = |n: usize| -> RegId { i.srcs[n].expect("canonical instruction has this source") };
+    let target = || i.target.expect("direct transfers carry a resolved target");
+    match i.op {
+        Nop | Halt | Ret => write!(out, "{m}"),
+        Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Mul | Div | Rem | Fadd
+        | Fsub | Fmul | Fdiv | Fmin | Fmax => {
+            write!(out, "{m} {}, {}, {}", dest(), src(0), src(1))
+        }
+        AddI | AndI | OrI | XorI | SllI | SrlI | SraI | SltI => {
+            write!(out, "{m} {}, {}, {}", dest(), src(0), i.imm)
+        }
+        Ld | Lb | FLd => write!(out, "{m} {}, {}({})", dest(), i.imm, src(0)),
+        // Stores read [base, value]; the value register is written first
+        // in text, mirroring `st rs2, imm(rs1)`.
+        St | Sb | FSt => write!(out, "{m} {}, {}({})", src(1), i.imm, src(0)),
+        Beq | Bne | Blt | Bge | Bltu | Bgeu | FBeq | FBlt | FBge => {
+            write!(out, "{m} {}, {}, L{}", src(0), src(1), target())
+        }
+        Jmp | Call => write!(out, "{m} L{}", target()),
+        Jr => write!(out, "{m} {}", src(0)),
+        Fsqrt | Fabs | Fneg | Fcvt | Fcvti => write!(out, "{m} {}, {}", dest(), src(0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::asm::Assembler;
+    use crate::regs::{FReg, Reg};
+
+    #[test]
+    fn header_data_and_labels_render() {
+        let mut a = Assembler::new("t");
+        a.set_mem_size(1 << 16);
+        let buf = a.alloc_words(2);
+        a.words(buf, &[7, 9]).unwrap();
+        a.bytes(buf + 16, &[1, 2, 3]).unwrap();
+        let top = a.here_label();
+        a.addi(Reg::R1, Reg::R1, 1);
+        a.blt(Reg::R1, Reg::R2, top);
+        a.halt();
+        let text = a.finish().unwrap().to_asm();
+        assert!(text.contains(".name \"t\""));
+        assert!(text.contains(".mem 65536"));
+        assert!(text.contains(&format!(".words {buf} 7 9")));
+        assert!(text.contains(&format!(".bytes {} 0x01 0x02 0x03", buf + 16)));
+        assert!(text.contains("L0:"));
+        assert!(text.contains("blt r1, r2, L0"));
+    }
+
+    #[test]
+    fn store_value_then_base_addressing() {
+        let mut a = Assembler::new("t");
+        a.st(Reg::R4, 8, Reg::R5);
+        a.fst(Reg::R6, -16, FReg::F2);
+        a.ld(Reg::R7, Reg::R8, 24);
+        a.halt();
+        let text = a.finish().unwrap().to_asm();
+        assert!(text.contains("st r5, 8(r4)"));
+        assert!(text.contains("fst f2, -16(r6)"));
+        assert!(text.contains("ld r7, 24(r8)"));
+    }
+
+    #[test]
+    fn pseudo_ops_emit_their_lowered_form() {
+        let mut a = Assembler::new("t");
+        a.li(Reg::R1, 42);
+        a.mv(Reg::R2, Reg::R1);
+        a.fconst(FReg::F1, 2.5);
+        a.halt();
+        let text = a.finish().unwrap().to_asm();
+        assert!(text.contains("addi r1, r0, 42"));
+        assert!(text.contains("addi r2, r1, 0"));
+        assert!(text.contains("fld f1, 4096(r0)"));
+        assert!(text.contains(".words 4096 4612811918334230528"));
+    }
+
+    #[test]
+    fn trailing_label_targets_are_emitted() {
+        let mut a = Assembler::new("t");
+        let end = a.label();
+        a.jmp(end);
+        a.halt();
+        a.bind(end).unwrap();
+        let p = a.finish().unwrap();
+        let text = p.to_asm();
+        assert!(text.contains("jmp L2"));
+        assert!(text.trim_end().ends_with("L2:"));
+    }
+
+    #[test]
+    fn display_matches_to_asm() {
+        let mut a = Assembler::new("t");
+        a.nop();
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(format!("{p}"), p.to_asm());
+    }
+}

@@ -35,11 +35,13 @@
 //! ```
 
 mod asm;
+mod emit;
 mod instr;
 mod program;
 mod regs;
 
 pub use asm::{AsmError, Assembler, Label};
+pub use emit::mnemonic;
 pub use instr::{Instr, InstrClass, Opcode};
 pub use program::Program;
 pub use regs::{FReg, Reg, RegId};

@@ -77,6 +77,14 @@ impl Program {
         self.mem_size
     }
 
+    /// The `(offset, bytes)` initial-data chunks, in assembly order.
+    ///
+    /// The canonical `.asm` emitter (`Program::to_asm`) re-emits these
+    /// one directive per chunk, preserving order and content exactly.
+    pub fn init_data(&self) -> &[(u64, Vec<u8>)] {
+        &self.init_data
+    }
+
     /// Builds the initial data-memory image.
     pub fn initial_memory(&self) -> Vec<u8> {
         let mut mem = vec![0u8; self.mem_size];

@@ -25,6 +25,7 @@
 //! sampler lowering) run outside every lock with per-key dedup.
 
 use crate::proto::{PointResult, ProfileParams};
+use ssim::isa::Program;
 use ssim::prelude::*;
 use ssim_par::ShardedCache;
 use std::collections::{HashMap, VecDeque};
@@ -35,6 +36,23 @@ static OBS_PROFILE_BUILDS: ssim_obs::Counter = ssim_obs::Counter::new("serve.art
 static OBS_SAMPLER_BUILDS: ssim_obs::Counter = ssim_obs::Counter::new("serve.artifacts.samplers");
 static OBS_RESULT_HITS: ssim_obs::Counter = ssim_obs::Counter::new("serve.result_cache.hits");
 static OBS_RESULT_MISSES: ssim_obs::Counter = ssim_obs::Counter::new("serve.result_cache.misses");
+static OBS_PROGRAMS: ssim_obs::Counter = ssim_obs::Counter::new("serve.artifacts.programs");
+
+/// Content hash of a program image: the FxHash of its canonical `.asm`
+/// emission, which spells out the name, memory size, every data chunk
+/// and every instruction — two programs hash equal iff they are the
+/// same image. Registry names (`program:<hash>`) and the on-disk
+/// profile-cache keys for submitted programs both derive from this.
+pub fn program_hash(p: &Program) -> u64 {
+    let mut h = ssim::core::FxHasher::default();
+    h.write(p.to_asm().as_bytes());
+    h.finish()
+}
+
+/// The registry name a program resolves under (`program:<hex-hash>`).
+pub fn program_name(hash: u64) -> String {
+    format!("program:{hash:016x}")
+}
 
 /// A resolved profile plus its per-`R` compiled samplers.
 pub struct ProfileArtifact {
@@ -159,10 +177,23 @@ impl ShardedResults {
     }
 }
 
+/// How a `workload` name in [`ProfileParams`] resolves to a program.
+enum ProgramSource {
+    /// A suite or corpus workload (`ssim_workloads::by_name`).
+    Workload(&'static ssim::workloads::Workload),
+    /// A registered submission (`program:<hash>`).
+    Submitted { hash: u64, program: Arc<Program> },
+}
+
 /// The server's artifact store (shared across workers).
 pub struct ArtifactStore {
     profiles: ShardedCache<ProfileParams, Arc<ProfileArtifact>>,
     results: ShardedResults,
+    /// Submitted programs, keyed by [`program_hash`]. Registered images
+    /// are immutable and content-addressed, so re-submitting the same
+    /// text (or equivalent text — hashing happens after assembly) is
+    /// idempotent.
+    programs: ShardedCache<u64, Arc<Program>>,
 }
 
 impl ArtifactStore {
@@ -172,7 +203,45 @@ impl ArtifactStore {
         ArtifactStore {
             profiles: ShardedCache::new(8),
             results: ShardedResults::new(result_capacity),
+            programs: ShardedCache::new(8),
         }
+    }
+
+    /// Registers a submitted program under its content hash and returns
+    /// the hash. Idempotent: the same image registers once.
+    pub fn register_program(&self, program: Program) -> u64 {
+        let hash = program_hash(&program);
+        let mut fresh = false;
+        self.programs.get_or_build(hash, || {
+            fresh = true;
+            Arc::new(program)
+        });
+        if fresh {
+            OBS_PROGRAMS.inc();
+        }
+        hash
+    }
+
+    /// Looks a registered program up by its content hash.
+    pub fn lookup_program(&self, hash: u64) -> Option<Arc<Program>> {
+        self.programs.get(&hash)
+    }
+
+    /// Resolves a `workload` name from [`ProfileParams`]: either a
+    /// suite/corpus workload or `program:<hash>` naming a registered
+    /// submission.
+    fn resolve_program(&self, name: &str) -> Result<ProgramSource, String> {
+        if let Some(hex) = name.strip_prefix("program:") {
+            let hash = u64::from_str_radix(hex, 16)
+                .map_err(|_| format!("malformed program name {name:?}"))?;
+            let program = self
+                .lookup_program(hash)
+                .ok_or_else(|| format!("unknown program {name:?} (submit it first)"))?;
+            return Ok(ProgramSource::Submitted { hash, program });
+        }
+        ssim::workloads::by_name(name)
+            .map(ProgramSource::Workload)
+            .ok_or_else(|| format!("unknown workload {name:?}"))
     }
 
     /// Resolves (building exactly once per key, even under concurrent
@@ -180,12 +249,11 @@ impl ArtifactStore {
     ///
     /// # Errors
     ///
-    /// Returns a message for unknown workload names.
+    /// Returns a message for unknown workload or program names.
     pub fn profile(&self, params: &ProfileParams) -> Result<Arc<ProfileArtifact>, String> {
-        // Validate the workload name before committing a cell, so a typo
-        // fails fast instead of poisoning the map.
-        let workload = ssim::workloads::by_name(&params.workload)
-            .ok_or_else(|| format!("unknown workload {:?}", params.workload))?;
+        // Validate the name before committing a cell, so a typo fails
+        // fast instead of poisoning the map.
+        let source = self.resolve_program(&params.workload)?;
         // First caller builds (outside the shard lock — profiling is
         // the expensive pass); concurrent callers for the same key
         // block on its cell, callers for other keys proceed.
@@ -194,7 +262,17 @@ impl ArtifactStore {
             let cfg = ProfileConfig::new(&MachineConfig::baseline())
                 .skip(params.skip)
                 .instructions(params.instructions);
-            let profile = ssim_bench::profile_cached(workload, &cfg);
+            let profile = match &source {
+                ProgramSource::Workload(w) => ssim_bench::profile_cached(w, &cfg),
+                ProgramSource::Submitted { hash, program } => {
+                    // Submitted programs share the on-disk cache under
+                    // their content hash (filesystem-safe, aliasing-free
+                    // — see `program_hash`).
+                    ssim_bench::profile_cached_keyed(&format!("program-{hash:016x}"), &cfg, || {
+                        (**program).clone()
+                    })
+                }
+            };
             let hash = profile.content_hash();
             Arc::new(ProfileArtifact {
                 profile: Arc::new(profile),

@@ -4,6 +4,7 @@
 //! ```text
 //! ssim-serve serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]
 //! ssim-serve client <addr> (<request-json> | metrics | shutdown)
+//! ssim-serve submit <addr> <file.asm> [--instructions N] [--skip N]
 //! ssim-serve bench          # writes results/BENCH_serve.json
 //! ssim-serve smoke          # loopback end-to-end check (run_all.sh gate)
 //! ssim-serve fleet sweep <sweep-json> <addr>...   # shard a sweep across backends
@@ -29,6 +30,7 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("bench") => cmd_bench(),
         Some("smoke") => cmd_smoke(),
         Some("fleet") => cmd_fleet(&args[1..]),
@@ -36,6 +38,7 @@ fn main() {
             eprintln!(
                 "usage: ssim-serve serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]\n\
                  \x20      ssim-serve client <addr> (<request-json> | metrics | shutdown)\n\
+                 \x20      ssim-serve submit <addr> <file.asm> [--instructions N] [--skip N]\n\
                  \x20      ssim-serve bench\n\
                  \x20      ssim-serve smoke\n\
                  \x20      ssim-serve fleet sweep <sweep-json> <addr>...\n\
@@ -152,6 +155,66 @@ fn cmd_client(args: &[String]) -> i32 {
         }
         Err(e) => {
             eprintln!("request failed: {e}");
+            1
+        }
+    }
+}
+
+// ---- submit ---------------------------------------------------------
+
+/// Submits a `.asm` file to a running server and prints the response
+/// (registry name, static shape, profile metadata).
+fn cmd_submit(args: &[String]) -> i32 {
+    let mut instructions = 1_000_000u64;
+    let mut skip = 0u64;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--instructions" | "--skip" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("{arg} needs an integer value");
+                    return 2;
+                };
+                if arg == "--skip" {
+                    skip = v;
+                } else {
+                    instructions = v;
+                }
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let [addr, file] = positional.as_slice() else {
+        eprintln!("usage: ssim-serve submit <addr> <file.asm> [--instructions N] [--skip N]");
+        return 2;
+    };
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return 1;
+        }
+    };
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            return 1;
+        }
+    };
+    let req = Request::SubmitProgram {
+        source,
+        instructions,
+        skip,
+    };
+    match client.call_retry(&req, None, 10) {
+        Ok(resp) => {
+            println!("{}", resp.body.render());
+            i32::from(!resp.ok)
+        }
+        Err(e) => {
+            eprintln!("submit failed: {e}");
             1
         }
     }

@@ -11,8 +11,15 @@
 //! * **Protocol** ([`proto`]): newline-delimited JSON, hand-rolled on
 //!   `std` only ([`json`]). Requests carry a correlation `id` and an
 //!   optional `deadline_ms`; responses may arrive out of submission
-//!   order. Kinds: `profile`, `synth`, `simulate`, `sweep`, `metrics`,
-//!   `shutdown`.
+//!   order. Kinds: `profile`, `synth`, `simulate`, `sweep`, `assemble`,
+//!   `submit-program`, `metrics`, `shutdown`.
+//! * **Program submission**: untrusted `.asm` text is assembled under
+//!   parse-size/memory ceilings (`ssim-asm` sandbox limits), proven
+//!   fault-free by a fuel-bounded functional pre-run, profiled, and
+//!   registered under a content-addressed `program:<hash>` name that
+//!   later `synth`/`simulate`/`sweep` requests resolve like any
+//!   workload. Every rejection is a structured error, visible as the
+//!   `serve.program.rejected` counter.
 //! * **Server** ([`server`]): bounded job queue with explicit
 //!   backpressure (reject + `retry_after_ms`, never block or drop),
 //!   worker pool layered on `ssim-par`'s sizing, per-job deadlines,
@@ -47,6 +54,7 @@ pub mod json;
 pub mod proto;
 pub mod server;
 
+pub use artifacts::{program_hash, program_name};
 pub use client::{Client, Response};
 pub use fault::FaultPlan;
 pub use fleet::{BatchSpec, Fleet, FleetConfig, PointSource, SweepOutcome, SweepSpec};

@@ -11,6 +11,7 @@
 //! ```text
 //! request  := {"id": N, "kind": KIND, ...params} "\n"
 //! KIND     := "profile" | "synth" | "simulate" | "sweep"
+//!           | "assemble" | "submit-program"
 //!           | "metrics" | "shutdown"
 //! response := {"id": N, "ok": true,  ...payload} "\n"
 //!           | {"id": N, "ok": false, "error": S[, "retry_after_ms": N]} "\n"
@@ -19,6 +20,17 @@
 //! `profile`, `synth`, `simulate` and `sweep` identify their profile by
 //! `{workload, instructions, skip}` (the profiling budget — the profile
 //! itself is resolved through the on-disk profile cache server-side).
+//! The `workload` name is either a suite/corpus workload
+//! (`ssim_workloads::by_name`) or `program:<hash>` naming a previously
+//! submitted program.
+//!
+//! `assemble` carries untrusted `.asm` text in `source` and returns the
+//! program's static shape without executing it; `submit-program`
+//! additionally sandbox-checks the program (bounded functional pre-run
+//! under the server's instruction budget), profiles it, and registers
+//! it under `program:<hash>` for later `synth`/`simulate`/`sweep`
+//! requests. Both are subject to the server's parse-size, memory and
+//! budget ceilings — violations come back as structured errors.
 //! Machine configurations travel as *override objects* applied to the
 //! paper's Table 2 baseline (`{"width", "window", "ifq", "in_order",
 //! "perfect_caches", "perfect_bpred"}` plus the fine-grained `{"ruu",
@@ -262,6 +274,23 @@ pub enum Request {
         /// Seeds, inner loop of the result order.
         seeds: Vec<u64>,
     },
+    /// Assemble untrusted `.asm` text and return its static shape —
+    /// no execution, no profiling (the dry-run half of submission).
+    Assemble {
+        /// `.asm` source text.
+        source: String,
+    },
+    /// Assemble, sandbox-check and profile an untrusted textual
+    /// program, registering it under `program:<hash>` for later
+    /// `synth`/`simulate`/`sweep` requests.
+    SubmitProgram {
+        /// `.asm` source text.
+        source: String,
+        /// Instructions to profile.
+        instructions: u64,
+        /// Instructions to skip before profiling.
+        skip: u64,
+    },
     /// Return the server's observability registry as JSON.
     Metrics,
     /// Stop accepting work, drain accepted jobs, reply, exit.
@@ -283,6 +312,17 @@ fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| format!("missing \"{key}\""))
+}
+
+fn req_source(v: &Json) -> Result<String, String> {
+    let source = v
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or("missing \"source\"")?;
+    if source.is_empty() {
+        return Err("\"source\" must be non-empty".to_string());
+    }
+    Ok(source.to_string())
 }
 
 impl Envelope {
@@ -344,6 +384,25 @@ impl Envelope {
                     seeds,
                 }
             }
+            "assemble" => Request::Assemble {
+                source: req_source(&v)?,
+            },
+            "submit-program" => {
+                let instructions = req_u64(&v, "instructions")?;
+                if instructions == 0 {
+                    return Err("\"instructions\" must be positive".to_string());
+                }
+                Request::SubmitProgram {
+                    source: req_source(&v)?,
+                    instructions,
+                    skip: match v.get("skip") {
+                        None => 0,
+                        Some(s) => s
+                            .as_u64()
+                            .ok_or("\"skip\" must be a non-negative integer")?,
+                    },
+                }
+            }
             "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
             other => return Err(format!("unknown kind {other:?}")),
@@ -401,6 +460,20 @@ impl Envelope {
                     "seeds",
                     Json::Arr(seeds.iter().map(|&s| Json::Num(s as f64)).collect()),
                 ));
+            }
+            Request::Assemble { source } => {
+                pairs.push(("kind", Json::str("assemble")));
+                pairs.push(("source", Json::str(source)));
+            }
+            Request::SubmitProgram {
+                source,
+                instructions,
+                skip,
+            } => {
+                pairs.push(("kind", Json::str("submit-program")));
+                pairs.push(("source", Json::str(source)));
+                pairs.push(("instructions", Json::Num(*instructions as f64)));
+                pairs.push(("skip", Json::Num(*skip as f64)));
             }
             Request::Metrics => pairs.push(("kind", Json::str("metrics"))),
             Request::Shutdown => pairs.push(("kind", Json::str("shutdown"))),
@@ -566,6 +639,46 @@ mod tests {
     }
 
     #[test]
+    fn program_requests_roundtrip_with_hostile_source() {
+        // Newlines, quotes and backslashes in the source must survive
+        // the NDJSON framing (one request per line).
+        let source = ".name \"x\\y\"\n; comment\n    halt\n".to_string();
+        let env = Envelope {
+            id: 9,
+            deadline_ms: None,
+            req: Request::SubmitProgram {
+                source: source.clone(),
+                instructions: 50_000,
+                skip: 1_000,
+            },
+        };
+        let line = env.render();
+        assert!(!line.contains('\n'), "request must stay one line");
+        match Envelope::parse(&line).unwrap().req {
+            Request::SubmitProgram {
+                source: s,
+                instructions,
+                skip,
+            } => {
+                assert_eq!(s, source);
+                assert_eq!(instructions, 50_000);
+                assert_eq!(skip, 1_000);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let asm = Envelope {
+            id: 10,
+            deadline_ms: None,
+            req: Request::Assemble { source },
+        }
+        .render();
+        assert!(matches!(
+            Envelope::parse(&asm).unwrap().req,
+            Request::Assemble { .. }
+        ));
+    }
+
+    #[test]
     fn malformed_requests_are_rejected() {
         for bad in [
             "{}",
@@ -575,6 +688,11 @@ mod tests {
             "{\"id\": 1, \"kind\": \"profile\", \"workload\": \"gzip\", \"instructions\": 0}",
             "{\"id\": 1, \"kind\": \"sweep\", \"workload\": \"gzip\", \"instructions\": 5, \
              \"machines\": [], \"r\": 1}",
+            "{\"id\": 1, \"kind\": \"assemble\"}",
+            "{\"id\": 1, \"kind\": \"assemble\", \"source\": \"\"}",
+            "{\"id\": 1, \"kind\": \"submit-program\", \"source\": \"halt\"}",
+            "{\"id\": 1, \"kind\": \"submit-program\", \"source\": \"halt\", \
+             \"instructions\": 0}",
             "not json at all",
         ] {
             assert!(Envelope::parse(bad).is_err(), "{bad:?} accepted");

@@ -59,6 +59,10 @@ static OBS_REQ_SYNTH: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.synt
 static OBS_REQ_SIMULATE: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.simulate");
 static OBS_REQ_SWEEP: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.sweep");
 static OBS_REQ_METRICS: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.metrics");
+static OBS_REQ_ASSEMBLE: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.assemble");
+static OBS_REQ_SUBMIT: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.submit_program");
+static OBS_PROGRAM_ACCEPTED: ssim_obs::Counter = ssim_obs::Counter::new("serve.program.accepted");
+static OBS_PROGRAM_REJECTED: ssim_obs::Counter = ssim_obs::Counter::new("serve.program.rejected");
 static OBS_SWEEP_POINTS: ssim_obs::Counter = ssim_obs::Counter::new("serve.sweep_points");
 static OBS_LAT_PROFILE: ssim_obs::LogHistogram =
     ssim_obs::LogHistogram::new("serve.latency_us.profile");
@@ -86,6 +90,19 @@ pub struct ServerConfig {
     pub default_deadline_ms: u64,
     /// In-memory result cache capacity (design points).
     pub result_cache_capacity: usize,
+    /// Sandbox ceiling: largest `.asm` source (bytes) an `assemble` or
+    /// `submit-program` request may carry. Checked on the connection
+    /// thread, before the job is queued and before the assembler sees a
+    /// byte.
+    pub max_program_source_bytes: usize,
+    /// Sandbox ceiling: largest profiling budget (`skip +
+    /// instructions`) a submitted program may request — also the fuel
+    /// for the pre-flight functional run that proves the program cannot
+    /// fault under that budget.
+    pub max_program_instructions: u64,
+    /// Sandbox ceiling: largest `.mem` size (bytes) a submitted program
+    /// may declare.
+    pub max_program_mem_bytes: usize,
     /// Deterministic fault plan for chaos testing (defaults to
     /// `SSIM_FAULT_PLAN` when `None`; see [`crate::fault`]).
     pub fault: Option<FaultPlan>,
@@ -99,6 +116,9 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             default_deadline_ms: 120_000,
             result_cache_capacity: 4096,
+            max_program_source_bytes: 1 << 20,
+            max_program_instructions: 50_000_000,
+            max_program_mem_bytes: 64 << 20,
             fault: None,
         }
     }
@@ -213,7 +233,10 @@ impl Shared {
             Request::Synth { .. } => OBS_LAT_SYNTH.record(latency_us),
             Request::Simulate { .. } => OBS_LAT_SIMULATE.record(latency_us),
             Request::Sweep { .. } => OBS_LAT_SWEEP.record(latency_us),
-            Request::Metrics | Request::Shutdown => {}
+            // Program requests are dominated by profiling; they share
+            // the profile latency histogram.
+            Request::SubmitProgram { .. } => OBS_LAT_PROFILE.record(latency_us),
+            Request::Assemble { .. } | Request::Metrics | Request::Shutdown => {}
         }
         let _ = job.reply.send(line);
     }
@@ -324,9 +347,88 @@ impl Shared {
                     ),
                 ])
             }
+            Request::Assemble { source } => {
+                OBS_REQ_ASSEMBLE.inc();
+                let program = self.assemble_submission(source)?;
+                let hash = crate::artifacts::program_hash(&program);
+                Ok(program_shape(&program, hash))
+            }
+            Request::SubmitProgram {
+                source,
+                instructions,
+                skip,
+            } => {
+                OBS_REQ_SUBMIT.inc();
+                let program = self.assemble_submission(source)?;
+                let budget = skip.saturating_add(*instructions);
+                if budget > self.cfg.max_program_instructions {
+                    OBS_PROGRAM_REJECTED.inc();
+                    return Err(format!(
+                        "program rejected: profiling budget {budget} exceeds the server \
+                         ceiling of {} instructions",
+                        self.cfg.max_program_instructions
+                    ));
+                }
+                // Pre-flight: run the submitted program functionally for
+                // the full budget. Execution is deterministic, so a
+                // clean bounded run here proves the profiler's replay of
+                // the same prefix cannot fault — a hostile `jr` is
+                // rejected with a structured error instead of killing a
+                // worker (or hanging: the fuel is the budget, so this
+                // terminates even for infinite loops).
+                let mut machine = ssim::func::Machine::new(&program);
+                if let ssim::func::FuelOutcome::Fault(fault) = machine.run_fuel(budget) {
+                    OBS_PROGRAM_REJECTED.inc();
+                    return Err(format!("program rejected: execution fault: {fault}"));
+                }
+                let hash = self.store.register_program(program);
+                let params = crate::proto::ProfileParams {
+                    workload: crate::artifacts::program_name(hash),
+                    instructions: *instructions,
+                    skip: *skip,
+                };
+                let artifact = self.store.profile(&params)?;
+                OBS_PROGRAM_ACCEPTED.inc();
+                let registered = self
+                    .store
+                    .lookup_program(hash)
+                    .expect("just-registered program resolves");
+                let mut payload = program_shape(&registered, hash);
+                payload.extend([
+                    ("profile_hash", Json::hex_u64(artifact.hash)),
+                    (
+                        "nodes",
+                        Json::Num(artifact.profile.sfg().node_count() as f64),
+                    ),
+                    (
+                        "contexts",
+                        Json::Num(artifact.profile.context_count() as f64),
+                    ),
+                    (
+                        "profiled_instructions",
+                        Json::Num(artifact.profile.instructions() as f64),
+                    ),
+                    ("mpki", Json::Num(artifact.profile.branch_mpki())),
+                ]);
+                Ok(payload)
+            }
             // Metrics and shutdown are handled on the connection thread.
             Request::Metrics | Request::Shutdown => unreachable!("not queued"),
         }
+    }
+
+    /// Parses untrusted `.asm` text under the server's sandbox limits.
+    /// Every failure path is a diagnostic, counted as a rejection.
+    fn assemble_submission(&self, source: &str) -> Result<ssim::isa::Program, String> {
+        let opts = ssim_asm::AsmOptions::new().limits(ssim_asm::AsmLimits {
+            max_source_bytes: self.cfg.max_program_source_bytes,
+            max_mem_bytes: self.cfg.max_program_mem_bytes,
+            ..ssim_asm::AsmLimits::default()
+        });
+        ssim_asm::assemble_with(source, &opts).map_err(|d| {
+            OBS_PROGRAM_REJECTED.inc();
+            format!("program rejected: {d}")
+        })
     }
 
     /// Blocks until the queue is empty and no job is in flight.
@@ -472,10 +574,42 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// rather than buffering without limit.
 const MAX_LINE_BYTES: u64 = 16 * 1024 * 1024;
 
+/// The static shape of an assembled program, shared by `assemble` and
+/// `submit-program` responses.
+fn program_shape(p: &ssim::isa::Program, hash: u64) -> Vec<(&'static str, Json)> {
+    let data_bytes: usize = p.init_data().iter().map(|(_, b)| b.len()).sum();
+    vec![
+        ("program", Json::str(&crate::artifacts::program_name(hash))),
+        ("name", Json::str(p.name())),
+        ("static_instructions", Json::Num(p.len() as f64)),
+        ("mem_bytes", Json::Num(p.mem_size() as f64)),
+        ("data_bytes", Json::Num(data_bytes as f64)),
+    ]
+}
+
 /// Routes one parsed request: metrics and shutdown are answered on the
 /// connection thread, everything else is queued (or rejected by
 /// [`Shared::submit`]).
 fn dispatch(shared: &Arc<Shared>, tx: &Sender<String>, cancelled: &Arc<AtomicBool>, env: Envelope) {
+    // Oversized program sources are rejected here, on the connection
+    // thread — before the job queue and before the assembler parses a
+    // byte. (The NDJSON framing already caps whole lines at
+    // MAX_LINE_BYTES; this is the finer, configurable program ceiling.)
+    if let Request::Assemble { source } | Request::SubmitProgram { source, .. } = &env.req {
+        if source.len() > shared.cfg.max_program_source_bytes {
+            OBS_PROGRAM_REJECTED.inc();
+            let _ = tx.send(err_response(
+                env.id,
+                &format!(
+                    "program rejected: source is {} bytes, over the server's {}-byte limit",
+                    source.len(),
+                    shared.cfg.max_program_source_bytes
+                ),
+                None,
+            ));
+            return;
+        }
+    }
     match env.req {
         Request::Metrics => {
             let _ = tx.send(shared.metrics_response(env.id));

@@ -1,0 +1,294 @@
+//! End-to-end program submission over the wire.
+//!
+//! A real server on an ephemeral loopback port receives untrusted
+//! `.asm` text and must: profile accepted programs byte-identically to
+//! a direct library call; reject over-budget, faulting, malformed and
+//! oversized submissions with structured errors (never a hang or a
+//! dead worker); and surface every rejection through the
+//! `serve.program.rejected` counter.
+
+use ssim::prelude::*;
+use ssim_serve::json::Json;
+use ssim_serve::proto::ProfileParams;
+use ssim_serve::{Client, Request, Server, ServerConfig};
+use std::sync::Once;
+
+fn setup_env() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let dir = std::env::temp_dir().join(format!("ssim-submit-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("SSIM_PROFILE_CACHE_DIR", &dir);
+    });
+}
+
+fn start_server(cfg: ServerConfig) -> Server {
+    setup_env();
+    Server::start(cfg).expect("server starts on an ephemeral port")
+}
+
+const RLE_SRC: &str = include_str!("../../../programs/rle.asm");
+
+fn counter(metrics: &Json, name: &str) -> u64 {
+    metrics
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+/// The headline acceptance test: submit a corpus program over the
+/// wire, then profile the same program directly through the library —
+/// the profile content hashes must be identical.
+#[test]
+fn submitted_corpus_program_profiles_byte_identically() {
+    let server = start_server(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let (instructions, skip) = (60_000u64, 5_000u64);
+    let resp = client
+        .call(
+            &Request::SubmitProgram {
+                source: RLE_SRC.to_string(),
+                instructions,
+                skip,
+            },
+            None,
+        )
+        .expect("transport");
+    assert!(resp.ok, "submission failed: {:?}", resp.error);
+    assert_eq!(
+        resp.body.get("name").and_then(Json::as_str),
+        Some("rle"),
+        "program name survives the wire"
+    );
+    let registered = resp
+        .body
+        .get("program")
+        .and_then(Json::as_str)
+        .expect("registry name in response")
+        .to_string();
+    assert!(registered.starts_with("program:"));
+    let wire_hash = resp
+        .body
+        .get("profile_hash")
+        .and_then(Json::as_str)
+        .expect("profile hash in response")
+        .to_string();
+
+    // Direct library call over the identical program and budget.
+    let program = ssim_asm::assemble(RLE_SRC).expect("corpus assembles");
+    let direct = profile(
+        &program,
+        &ProfileConfig::new(&MachineConfig::baseline())
+            .skip(skip)
+            .instructions(instructions),
+    );
+    assert_eq!(
+        wire_hash,
+        format!("{:016x}", direct.content_hash()),
+        "wire profile differs from the direct library profile"
+    );
+
+    // The registered name now resolves like any workload: a simulate
+    // request against program:<hash> succeeds.
+    let sim = client
+        .call(
+            &Request::Simulate {
+                profile: ProfileParams {
+                    workload: registered,
+                    instructions,
+                    skip,
+                },
+                machine: Default::default(),
+                r: 10,
+                seed: 1,
+            },
+            None,
+        )
+        .expect("transport");
+    assert!(
+        sim.ok,
+        "simulate against submitted program: {:?}",
+        sim.error
+    );
+    assert!(sim.body.get("ipc").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+
+    client
+        .call(&Request::Shutdown, None)
+        .expect("shutdown acked");
+    server.join();
+}
+
+/// Sandbox rejections: over-budget, faulting, and malformed programs
+/// come back as structured errors (ok=false with a message, the
+/// connection stays usable), and each increments
+/// `serve.program.rejected`.
+#[test]
+fn hostile_submissions_are_rejected_with_structured_errors() {
+    let server = start_server(ServerConfig {
+        max_program_instructions: 100_000,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let rejected_before = {
+        let m = client.call(&Request::Metrics, None).expect("metrics");
+        counter(&m.body, "serve.program.rejected")
+    };
+
+    // 1. Over budget: an infinite loop asking for more instructions
+    //    than the server allows — rejected up front, no execution.
+    let resp = client
+        .call(
+            &Request::SubmitProgram {
+                source: "spin:\n    jmp spin\n    halt\n".to_string(),
+                instructions: 200_000,
+                skip: 0,
+            },
+            None,
+        )
+        .expect("transport");
+    assert!(!resp.ok, "over-budget program accepted");
+    assert!(
+        resp.error.as_deref().unwrap_or("").contains("budget"),
+        "unexpected error: {:?}",
+        resp.error
+    );
+
+    // 2. Within budget but faulting: a jr into the void must be caught
+    //    by the pre-run, not panic a worker.
+    let resp = client
+        .call(
+            &Request::SubmitProgram {
+                source: "    li r1, 99999\n    jr r1\n    halt\n".to_string(),
+                instructions: 1_000,
+                skip: 0,
+            },
+            None,
+        )
+        .expect("transport");
+    assert!(!resp.ok, "faulting program accepted");
+    assert!(
+        resp.error.as_deref().unwrap_or("").contains("fault"),
+        "unexpected error: {:?}",
+        resp.error
+    );
+
+    // 3. An infinite loop *within* budget is fine — the pre-run burns
+    //    the fuel and the profiler takes its bounded prefix. This also
+    //    proves the two rejections above left the workers healthy.
+    let resp = client
+        .call(
+            &Request::SubmitProgram {
+                source: "spin:\n    addi r1, r1, 1\n    jmp spin\n    halt\n".to_string(),
+                instructions: 50_000,
+                skip: 0,
+            },
+            None,
+        )
+        .expect("transport");
+    assert!(resp.ok, "bounded spin rejected: {:?}", resp.error);
+
+    // 4. Malformed text: diagnostic comes back in the error.
+    let resp = client
+        .call(
+            &Request::SubmitProgram {
+                source: "    addl r1, r0, 5\n    halt\n".to_string(),
+                instructions: 1_000,
+                skip: 0,
+            },
+            None,
+        )
+        .expect("transport");
+    assert!(!resp.ok, "malformed program accepted");
+    assert!(
+        resp.error.as_deref().unwrap_or("").contains("did you mean"),
+        "diagnostic (with its did-you-mean) missing: {:?}",
+        resp.error
+    );
+
+    // 5. A mem declaration over the server's ceiling.
+    let resp = client
+        .call(
+            &Request::SubmitProgram {
+                source: ".mem 1073741824\n    halt\n".to_string(),
+                instructions: 1_000,
+                skip: 0,
+            },
+            None,
+        )
+        .expect("transport");
+    assert!(!resp.ok, "oversized mem accepted");
+
+    let m = client.call(&Request::Metrics, None).expect("metrics");
+    let rejected_after = counter(&m.body, "serve.program.rejected");
+    assert!(
+        rejected_after >= rejected_before + 4,
+        "rejections not counted: {rejected_before} -> {rejected_after}"
+    );
+
+    client
+        .call(&Request::Shutdown, None)
+        .expect("shutdown acked");
+    server.join();
+}
+
+/// Oversized sources are rejected on the connection thread — before
+/// the queue and before the assembler parses a byte — and `assemble`
+/// dry-runs return the program's static shape without profiling.
+#[test]
+fn oversized_sources_bounce_and_assemble_dry_runs() {
+    let server = start_server(ServerConfig {
+        max_program_source_bytes: 4 * 1024,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // A source over the configured ceiling, made of comments so it
+    // would parse fine if it ever reached the assembler — the size
+    // check alone must bounce it.
+    let big = "; padding padding padding\n".repeat(400);
+    assert!(big.len() > 4 * 1024);
+    let resp = client
+        .call(
+            &Request::Assemble {
+                source: big.clone(),
+            },
+            None,
+        )
+        .expect("transport");
+    assert!(!resp.ok, "oversized source accepted");
+    assert!(
+        resp.error.as_deref().unwrap_or("").contains("byte limit")
+            || resp.error.as_deref().unwrap_or("").contains("-byte"),
+        "unexpected error: {:?}",
+        resp.error
+    );
+
+    // Small source: assemble returns the static shape.
+    let resp = client
+        .call(
+            &Request::Assemble {
+                source: "    li r1, 5\n    halt\n".to_string(),
+            },
+            None,
+        )
+        .expect("transport");
+    assert!(resp.ok, "assemble failed: {:?}", resp.error);
+    assert_eq!(
+        resp.body.get("static_instructions").and_then(Json::as_u64),
+        Some(2)
+    );
+    assert!(resp
+        .body
+        .get("program")
+        .and_then(Json::as_str)
+        .is_some_and(|p| p.starts_with("program:")));
+
+    client
+        .call(&Request::Shutdown, None)
+        .expect("shutdown acked");
+    server.join();
+}

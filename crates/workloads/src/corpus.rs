@@ -1,0 +1,105 @@
+//! The textual program corpus: `.asm` sources under `programs/`,
+//! assembled on demand through `ssim-asm`.
+//!
+//! These are first-class workloads — same [`Workload`] surface as the
+//! ten native SPEC-archetype programs, flowing through the profiler,
+//! synthetic generation and simulation unchanged — but they are born as
+//! text, so they also exercise the whole assembler front-end every time
+//! the suite runs. The sources are embedded at compile time
+//! (`include_str!`), and each declares `.const ROUNDS`, which
+//! [`Workload::program_with_rounds`] overrides via
+//! [`ssim_asm::AsmOptions::define`].
+
+use crate::{Workload, UNBOUNDED_ROUNDS};
+use ssim_asm::AsmOptions;
+use ssim_isa::Program;
+
+/// The embedded corpus sources, `(name, source)`, in suite order.
+pub const CORPUS_SOURCES: &[(&str, &str)] = &[
+    ("rle", include_str!("../../../programs/rle.asm")),
+    ("bytecode", include_str!("../../../programs/bytecode.asm")),
+    ("listwalk", include_str!("../../../programs/listwalk.asm")),
+];
+
+fn build(name: &str, rounds: u64) -> Program {
+    let (_, src) = CORPUS_SOURCES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .expect("corpus source is embedded");
+    // ROUNDS caps at i64::MAX in the .const namespace; the unbounded
+    // sentinel (1 << 40) fits comfortably.
+    let opts = AsmOptions::new().define("ROUNDS", i64::try_from(rounds).unwrap_or(i64::MAX));
+    ssim_asm::assemble_with(src, &opts)
+        .unwrap_or_else(|d| panic!("embedded corpus program {name} failed to assemble:\n{d}"))
+}
+
+fn build_rle(rounds: u64) -> Program {
+    build("rle", rounds)
+}
+fn build_bytecode(rounds: u64) -> Program {
+    build("bytecode", rounds)
+}
+fn build_listwalk(rounds: u64) -> Program {
+    build("listwalk", rounds)
+}
+
+/// The textual corpus, as workloads. Kept separate from [`crate::all`]
+/// (whose ten-benchmark shape is pinned by the paper's Table 1);
+/// [`crate::by_name`] resolves both sets.
+pub fn corpus() -> &'static [Workload] {
+    static CORPUS: [Workload; 3] = [
+        Workload {
+            name: "rle",
+            spec_analog: "corpus/.asm",
+            description: "run-length compression kernel assembled from programs/rle.asm",
+            build: build_rle,
+            default_rounds: UNBOUNDED_ROUNDS,
+        },
+        Workload {
+            name: "bytecode",
+            spec_analog: "corpus/.asm",
+            description: "stack-machine interpreter loop assembled from programs/bytecode.asm",
+            build: build_bytecode,
+            default_rounds: UNBOUNDED_ROUNDS,
+        },
+        Workload {
+            name: "listwalk",
+            spec_analog: "corpus/.asm",
+            description: "pointer-chasing list walk assembled from programs/listwalk.asm",
+            build: build_listwalk,
+            default_rounds: UNBOUNDED_ROUNDS,
+        },
+    ];
+    &CORPUS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::by_name;
+
+    #[test]
+    fn corpus_has_three_programs_resolvable_by_name() {
+        assert_eq!(corpus().len(), 3);
+        for w in corpus() {
+            assert_eq!(by_name(w.name()).unwrap().name(), w.name());
+            assert_eq!(w.spec_analog(), "corpus/.asm");
+        }
+        assert_eq!(
+            crate::all().len(),
+            10,
+            "corpus must not join the paper suite"
+        );
+    }
+
+    #[test]
+    fn rounds_override_reaches_the_const() {
+        // ROUNDS controls the outer loop, so 1 round must execute far
+        // fewer instructions than 3.
+        let w = by_name("rle").unwrap();
+        let one = ssim_func::Machine::new(&w.program_with_rounds(1)).count();
+        let three = ssim_func::Machine::new(&w.program_with_rounds(3)).count();
+        assert!(one > 1_000, "one round still does real work: {one}");
+        assert!(three > 2 * one, "rounds scale the run: {one} vs {three}");
+    }
+}

@@ -23,6 +23,10 @@
 //! running for billions of instructions so experiments can simply take
 //! the first *N* dynamic instructions.
 //!
+//! Alongside the native suite, [`corpus`] exposes the textual program
+//! corpus (`programs/*.asm`, assembled through `ssim-asm`) as
+//! first-class workloads; [`by_name`] resolves both sets.
+//!
 //! # Examples
 //!
 //! ```
@@ -36,8 +40,11 @@
 //! assert!(executed > 100);
 //! ```
 
+mod corpus;
 mod programs;
 mod util;
+
+pub use corpus::{corpus, CORPUS_SOURCES};
 
 use ssim_isa::Program;
 
@@ -160,9 +167,10 @@ pub fn all() -> &'static [Workload] {
     &SUITE
 }
 
-/// Looks a workload up by name.
+/// Looks a workload up by name, across the paper suite and the
+/// textual corpus ([`corpus`]).
 pub fn by_name(name: &str) -> Option<&'static Workload> {
-    all().iter().find(|w| w.name == name)
+    all().iter().chain(corpus().iter()).find(|w| w.name == name)
 }
 
 #[cfg(test)]

@@ -1,0 +1,75 @@
+//! Differential harness: the textual assembler against the native
+//! generators.
+//!
+//! Every native workload is re-emitted as canonical `.asm` text
+//! (`Program::to_asm`) and fed back through `ssim_asm::assemble`. The
+//! result must be *the same program* — equal as a value (name, code,
+//! memory size, initial data) — and, as a belt-and-braces check on the
+//! semantics of that equality, the functional machine must produce an
+//! identical dynamic instruction stream from both images. This pins the
+//! emitter, the parser and the `Assembler` lowering to one another: a
+//! divergence in any of the three fails here with the first differing
+//! record.
+
+use ssim_asm::assemble;
+use ssim_func::Machine;
+use ssim_workloads::{all, corpus};
+
+/// Dynamic instructions to compare per workload. Enough to get out of
+/// warm-up and through several outer-loop rounds, small enough to keep
+/// the suite quick.
+const STREAM_LEN: usize = 200_000;
+
+#[test]
+fn native_workloads_reassemble_to_identical_programs() {
+    for w in all() {
+        let native = w.program_with_rounds(50);
+        let text = native.to_asm();
+        let back =
+            assemble(&text).unwrap_or_else(|d| panic!("{}: re-assembly failed:\n{d}", w.name()));
+        assert_eq!(
+            back,
+            native,
+            "{}: textual round-trip changed the program",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn native_workloads_reassemble_to_identical_streams() {
+    for w in all() {
+        let native = w.program_with_rounds(50);
+        let back = assemble(&native.to_asm())
+            .unwrap_or_else(|d| panic!("{}: re-assembly failed:\n{d}", w.name()));
+        let mut a = Machine::new(&native);
+        let mut b = Machine::new(&back);
+        for i in 0..STREAM_LEN {
+            let (ra, rb) = (a.next(), b.next());
+            assert_eq!(
+                ra,
+                rb,
+                "{}: dynamic streams diverge at instruction {i}",
+                w.name()
+            );
+            if ra.is_none() {
+                break; // both halted
+            }
+        }
+    }
+}
+
+/// The corpus is a fixed point too: assemble → emit → assemble is
+/// stable, and the emitted canonical text keeps the dynamic stream.
+#[test]
+fn corpus_workloads_survive_reemission() {
+    for w in corpus() {
+        let p = w.program_with_rounds(5);
+        let back = assemble(&p.to_asm())
+            .unwrap_or_else(|d| panic!("{}: re-assembly failed:\n{d}", w.name()));
+        assert_eq!(back, p, "{}: re-emission changed the program", w.name());
+        let executed: Vec<_> = Machine::new(&p).take(STREAM_LEN).collect();
+        let replayed: Vec<_> = Machine::new(&back).take(STREAM_LEN).collect();
+        assert_eq!(executed, replayed, "{}: stream changed", w.name());
+    }
+}

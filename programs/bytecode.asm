@@ -1,0 +1,87 @@
+; bytecode — a stack-machine interpreter inner loop.
+;
+; A 13-byte bytecode program (a multiply-and-count-down loop) runs to
+; completion each round. Dispatch is a first-class jump table (`.table`
+; + `jr`), the classic hard case for control-flow modeling: one static
+; indirect branch whose dynamic targets spread over eight handlers.
+;
+; Bytecode ops: 0 PUSHI imm8 · 1 ADD · 2 SUB · 3 DUP · 4 JNZ ip8 ·
+; 5 END · 6 MUL · 7 DROP.
+
+.name "bytecode"
+.mem 1048576
+.const ROUNDS 400
+.const PROG 4096
+.const STACK 8192
+.table 2048 op_pushi op_add op_sub op_dup op_jnz op_end op_mul op_drop
+; PUSHI 200; loop: PUSHI 1; SUB; DUP; DUP; MUL; DROP; DUP; JNZ loop; END
+.bytes 4096 0x00 0xc8 0x00 0x01 0x02 0x03 0x03 0x06 0x07 0x03 0x04 0x02 0x05
+
+    li r1, ROUNDS
+round:
+    li r10, 0              ; ip
+    li r11, STACK          ; sp (grows up; push = store, then +8)
+fetch:
+    li r6, PROG
+    add r6, r6, r10
+    lb r2, 0(r6)           ; opcode
+    slli r3, r2, 3
+    ld r4, 2048(r3)        ; handler PC from the jump table
+    jr r4
+
+op_pushi:
+    li r6, PROG
+    add r6, r6, r10
+    lb r2, 1(r6)
+    st r2, 0(r11)
+    addi r11, r11, 8
+    addi r10, r10, 2
+    jmp fetch
+op_add:
+    addi r11, r11, -8
+    ld r2, 0(r11)
+    ld r3, -8(r11)
+    add r3, r3, r2
+    st r3, -8(r11)
+    addi r10, r10, 1
+    jmp fetch
+op_sub:
+    addi r11, r11, -8
+    ld r2, 0(r11)
+    ld r3, -8(r11)
+    sub r3, r3, r2
+    st r3, -8(r11)
+    addi r10, r10, 1
+    jmp fetch
+op_mul:
+    addi r11, r11, -8
+    ld r2, 0(r11)
+    ld r3, -8(r11)
+    mul r3, r3, r2
+    st r3, -8(r11)
+    addi r10, r10, 1
+    jmp fetch
+op_dup:
+    ld r2, -8(r11)
+    st r2, 0(r11)
+    addi r11, r11, 8
+    addi r10, r10, 1
+    jmp fetch
+op_drop:
+    addi r11, r11, -8
+    addi r10, r10, 1
+    jmp fetch
+op_jnz:
+    addi r11, r11, -8
+    ld r2, 0(r11)          ; condition
+    li r6, PROG
+    add r6, r6, r10
+    lb r3, 1(r6)           ; target ip
+    addi r10, r10, 2
+    beq r2, r0, fetch
+    mv r10, r3
+    jmp fetch
+op_end:
+    addi r1, r1, -1
+    bne r1, r0, round
+    halt

@@ -1,0 +1,55 @@
+; listwalk — pointer-chasing linked-list traversal.
+;
+; Builds a 512-node singly linked list whose nodes are threaded in
+; full-period LCG order (x -> 5x + 3 mod 512), so successive hops jump
+; around the 8 KiB node arena. Each round walks the whole cycle,
+; summing integer payloads and folding them into a floating-point
+; accumulator — serial address-dependent loads are the defining trait.
+
+.name "listwalk"
+.mem 1048576
+.const ROUNDS 3000
+.const BASE 4096
+.const N 512
+.const MASK 511
+.const RESULT 65536
+
+    li r1, ROUNDS
+    ; ---- build: node[x] = { next: &node[(5x+3) & MASK], payload: x }
+    li r2, 0               ; x
+    li r3, N
+build:
+    slli r4, r2, 4
+    li r5, BASE
+    add r4, r4, r5         ; &node[x]
+    slli r6, r2, 2
+    add r6, r6, r2         ; 5x
+    addi r6, r6, 3
+    andi r6, r6, MASK      ; next index
+    slli r7, r6, 4
+    add r7, r7, r5
+    st r7, 0(r4)           ; next pointer
+    st r2, 8(r4)           ; payload
+    mv r2, r6
+    addi r3, r3, -1
+    bne r3, r0, build
+round:
+    li r4, BASE            ; p = &node[0]
+    li r5, 0               ; sum
+    li r3, N
+    fcvt f1, r0            ; acc = 0.0
+walk:
+    ld r6, 8(r4)           ; payload
+    add r5, r5, r6
+    fcvt f2, r6
+    fadd f1, f1, f2
+    ld r4, 0(r4)           ; chase the pointer
+    addi r3, r3, -1
+    bne r3, r0, walk
+    fsqrt f1, f1
+    li r8, RESULT
+    st r5, 0(r8)
+    fst f1, 8(r8)
+    addi r1, r1, -1
+    bne r1, r0, round
+    halt

@@ -1,0 +1,74 @@
+; rle — run-length compression kernel.
+;
+; Each round refills a 4 KiB source buffer with runs of slowly-varying
+; bytes (a xorshift stream occasionally breaks a run), then encodes it
+; as (value, length) pairs. Exercises byte loads/stores, data-dependent
+; run-break branches, and a small call/ret flush helper.
+;
+; ROUNDS is overridable from the harness (AsmOptions::define), so the
+; workload driver can run it unbounded under an instruction budget.
+
+.name "rle"
+.mem 1048576
+.const ROUNDS 40
+.const SRC 4096
+.const DST 16384
+.const LEN 4096
+
+    li r1, ROUNDS          ; rounds remaining
+    li r9, 0x9e3779b9      ; refill seed
+round:
+    ; ---- refill: src[i] = ((i >> 4) + run_break) & 0xff ------------
+    li r2, 0               ; i
+    mv r10, r9             ; x = seed
+fill:
+    srli r3, r2, 4         ; run index
+    slli r4, r10, 13       ; xorshift64 step
+    xor r10, r10, r4
+    srli r4, r10, 7
+    xor r10, r10, r4
+    slli r4, r10, 17
+    xor r10, r10, r4
+    andi r4, r10, 0x1f
+    slti r5, r4, 2         ; ~6% of bytes break the run
+    add r3, r3, r5
+    andi r3, r3, 0xff
+    li r6, SRC
+    add r6, r6, r2
+    sb r3, 0(r6)
+    addi r2, r2, 1
+    li r6, LEN
+    blt r2, r6, fill
+    ; ---- encode ----------------------------------------------------
+    li r2, 1               ; read index (0 consumed below)
+    li r7, DST             ; write pointer
+    li r6, SRC
+    lb r3, 0(r6)           ; current run value
+    li r4, 1               ; current run length
+scan:
+    li r6, LEN
+    bge r2, r6, last
+    li r6, SRC
+    add r6, r6, r2
+    lb r5, 0(r6)
+    addi r2, r2, 1
+    beq r5, r3, extend
+    call flush             ; run broke: emit (value, length)
+    mv r3, r5
+    li r4, 1
+    jmp scan
+extend:
+    addi r4, r4, 1
+    jmp scan
+last:
+    call flush
+    addi r9, r9, 0x61c88647
+    addi r1, r1, -1
+    bne r1, r0, round
+    halt
+
+flush:                     ; emit (r3, r4) at r7, advance r7
+    sb r3, 0(r7)
+    st r4, 8(r7)
+    addi r7, r7, 16
+    ret

@@ -18,6 +18,9 @@ mkdir -p results
 ./ci.sh fmt || exit 1
 ./ci.sh clippy || exit 1
 ./ci.sh build || exit 1
+# Assembler front-end gate: corpus assembles + halts through the CLI,
+# native workloads re-emit to identical streams, parser fuzz smoke.
+./ci.sh asm || exit 1
 # Every run emits machine-readable pipeline metrics by default
 # (results/METRICS_<bin>.json); export SSIM_METRICS=0 to opt out.
 SSIM_METRICS="${SSIM_METRICS:-json}"
