@@ -4,7 +4,8 @@
 # so CI can never disagree with a developer box: if `./ci.sh` passes
 # locally, the workflow's check jobs pass too.
 #
-#   ./ci.sh            # everything (fmt, clippy, build, test, smoke)
+#   ./ci.sh            # everything (fmt, clippy, build, test, asm,
+#                      # smoke, dse, load)
 #   ./ci.sh fmt        # rustfmt, check only
 #   ./ci.sh clippy     # clippy, warnings are errors
 #   ./ci.sh build      # release build, all targets
@@ -17,10 +18,15 @@
 #                      # identical streams, parser fuzz smoke
 #   ./ci.sh dse        # surrogate-guided planner vs exhaustive truth
 #                      # on the real §4.6 space (SSIM_QUICK)
+#   ./ci.sh load       # loadgen chaos gate: open-loop load through a
+#                      # gateway over fault-injecting backends, zero
+#                      # lost/duplicated acks (SSIM_QUICK)
 #   ./ci.sh deep       # deep bench tier (not part of `all`; manual or
 #                      # nightly): full §4.6 thread-scaling curve with
 #                      # parallel-efficiency gates, 8-backend fleet
-#                      # scaling, and a perf_report fold of both
+#                      # scaling, the journal kill-and-resume chaos
+#                      # test, the 10k-connection load story, and a
+#                      # perf_report fold of all of it
 set -euo pipefail
 
 stage() { echo "[ci $(date +%H:%M:%S)] $*"; }
@@ -91,17 +97,70 @@ do_dse() {
   SSIM_QUICK=1 cargo run --release -q -p ssim-bench --bin dse
 }
 
+# Shared body of the load stages: three fault-injecting backends, a
+# gateway over them, and the open-loop loadgen with its zero-lost /
+# zero-duplicated ack gate. Runs in a subshell so the EXIT trap always
+# reaps the servers and the temp dir, pass or fail. Scale comes from
+# the caller's SSIM_QUICK / SSIM_DEEP (and the SSIM_LOAD_* knobs).
+run_loadgen() (
+  set -euo pipefail
+  tmp="$(mktemp -d)"
+  pids=()
+  trap '[ "${#pids[@]}" -gt 0 ] && kill "${pids[@]}" 2>/dev/null; rm -rf "$tmp"' EXIT
+  # Thousands of concurrent sockets need headroom over the default
+  # soft fd limit (best effort — the hard limit is the ceiling).
+  ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
+  SSIM_FAULT_PLAN="drop:0.05,delay:1ms@7" target/release/ssim-serve serve \
+    --addr 127.0.0.1:0 --port-file "$tmp/b0.port" --workers 2 >"$tmp/b0.log" 2>&1 &
+  pids+=($!)
+  SSIM_FAULT_PLAN="reject:0.1@11" target/release/ssim-serve serve \
+    --addr 127.0.0.1:0 --port-file "$tmp/b1.port" --workers 2 >"$tmp/b1.log" 2>&1 &
+  pids+=($!)
+  target/release/ssim-serve serve \
+    --addr 127.0.0.1:0 --port-file "$tmp/b2.port" --workers 2 >"$tmp/b2.log" 2>&1 &
+  pids+=($!)
+  for _ in $(seq 1 300); do
+    [ -f "$tmp/b0.port" ] && [ -f "$tmp/b1.port" ] && [ -f "$tmp/b2.port" ] && break
+    sleep 0.1
+  done
+  [ -f "$tmp/b2.port" ] || { echo "backends never wrote their port files" >&2; exit 1; }
+  target/release/ssim-serve gateway --addr 127.0.0.1:0 --port-file "$tmp/gw.port" \
+    "$(cat "$tmp/b0.port")" "$(cat "$tmp/b1.port")" "$(cat "$tmp/b2.port")" \
+    >"$tmp/gw.log" 2>&1 &
+  pids+=($!)
+  for _ in $(seq 1 300); do [ -f "$tmp/gw.port" ] && break; sleep 0.1; done
+  [ -f "$tmp/gw.port" ] || { echo "gateway never wrote its port file" >&2; exit 1; }
+  mkdir -p results
+  target/release/loadgen "$(cat "$tmp/gw.port")"
+)
+
+do_load() {
+  # The chaos/load gate: a gateway over backends that drop, delay and
+  # reject must still lose or duplicate zero acknowledgements under
+  # 1k-connection open-loop load. Writes results/BENCH_load.json.
+  do_build
+  stage "loadgen (gateway over chaos backends, SSIM_QUICK)"
+  SSIM_QUICK=1 run_loadgen
+}
+
 do_deep() {
   # Deep bench tier — the full §4.6 design space across the
   # threads={1,4,8,16} curve (parallel efficiency gated at threads=4 on
-  # hosts with >= 4 cores) and the fleet's backends={1,3,8} scaling
-  # curve, folded into results/BENCH_parallel.json. Too heavy for the
-  # per-push gate: run manually or from the nightly/dispatch CI job.
+  # hosts with >= 4 cores), the fleet's backends={1,3,8} scaling
+  # curve, the journal kill-and-resume chaos test, and the
+  # 10k-connection load story, folded into results/BENCH_parallel.json.
+  # Too heavy for the per-push gate: run manually or from the
+  # nightly/dispatch CI job.
+  do_build
   stage "scaling (deep: full grid, threads={1,4,8,16})"
   mkdir -p results
   SSIM_DEEP=1 cargo run --release -q -p ssim-bench --bin scaling
   stage "fleet bench (deep: backends={1,3,8})"
   SSIM_DEEP=1 SSIM_QUICK=1 cargo run --release -q -p ssim-serve -- fleet bench
+  stage "journal chaos (SIGKILL mid-sweep, resume, byte-identical digest)"
+  target/release/ssim-serve journal-chaos
+  stage "loadgen (deep: 10k connections)"
+  SSIM_DEEP=1 run_loadgen
   stage "perf_report (fold deep curves)"
   SSIM_QUICK=1 cargo run --release -q -p ssim-bench --bin perf_report
 }
@@ -114,6 +173,7 @@ case "${1:-all}" in
   smoke)  do_smoke ;;
   asm)    do_asm ;;
   dse)    do_dse ;;
+  load)   do_load ;;
   deep)   do_deep ;;
   all)
     do_fmt
@@ -123,10 +183,11 @@ case "${1:-all}" in
     do_asm
     do_smoke
     do_dse
+    do_load
     stage "all stages passed"
     ;;
   *)
-    echo "usage: ./ci.sh [fmt|clippy|build|test|smoke|asm|dse|deep|all]" >&2
+    echo "usage: ./ci.sh [fmt|clippy|build|test|smoke|asm|dse|load|deep|all]" >&2
     exit 2
     ;;
 esac

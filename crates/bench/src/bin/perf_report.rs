@@ -171,6 +171,10 @@ fn main() {
     // byte-identity asserted and the efficiency gates' enforcement
     // status (deep tier gates eff(4) >= 0.6 on hosts with >= 4 cores).
     let scaling_section = fold_section("results/BENCH_scaling.json", "scaling");
+    // `loadgen` records the gateway load story: concurrent connections
+    // sustained, open-loop arrival rate, ack accounting (zero lost or
+    // duplicated), and latency percentiles under chaos backends.
+    let load_section = fold_section("results/BENCH_load.json", "loadgen");
 
     // --- report ------------------------------------------------------
     // Per-stage CPU time from the observability timers: these sum the
@@ -232,6 +236,7 @@ fn main() {
          \"serve\": {serve_section},\n  \
          \"fleet\": {fleet_section},\n  \
          \"scaling\": {scaling_section},\n  \
+         \"load\": {load_section},\n  \
          \"stages\": {stages}\n}}\n",
         names.join(", "),
         ssim::workloads::CORPUS_SOURCES.len(),

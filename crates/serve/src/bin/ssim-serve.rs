@@ -3,6 +3,9 @@
 //!
 //! ```text
 //! ssim-serve serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]
+//!                  [--journal <path>] [--port-file <path>]
+//! ssim-serve gateway [--addr A] [--port-file <path>] [--io-threads N]
+//!                    [--workers N] [--queue N] <backend>...
 //! ssim-serve client <addr> (<request-json> | metrics | shutdown)
 //! ssim-serve submit <addr> <file.asm> [--instructions N] [--skip N]
 //! ssim-serve bench          # writes results/BENCH_serve.json
@@ -10,18 +13,22 @@
 //! ssim-serve fleet sweep <sweep-json> <addr>...   # shard a sweep across backends
 //! ssim-serve fleet smoke    # 3 faulty loopback backends, bit-exact merge
 //! ssim-serve fleet bench    # writes results/BENCH_fleet.json
+//! ssim-serve journal-chaos  # SIGKILL mid-sweep, resume, digest must match
 //! ```
 //!
-//! `bench`, `smoke` and the `fleet` self-tests start in-process servers
-//! on ephemeral loopback ports, so none needs a running daemon or a
-//! fixed port.
+//! `bench`, `smoke`, the `fleet` self-tests and `journal-chaos` start
+//! servers on ephemeral loopback ports, so none needs a running daemon
+//! or a fixed port. `--port-file` writes the resolved address (for
+//! `--addr host:0`) atomically once the server is listening — the
+//! hand-off `ci.sh load` and `journal-chaos` use to find their
+//! children.
 
 use ssim::prelude::*;
 use ssim_serve::json::Json;
-use ssim_serve::proto::ProfileParams;
+use ssim_serve::proto::{Envelope, ProfileParams};
 use ssim_serve::{
-    Client, FaultPlan, Fleet, FleetConfig, MachineSpec, PointResult, PointSource, Request, Server,
-    ServerConfig, SweepSpec,
+    Client, FaultPlan, Fleet, FleetConfig, Gateway, GatewayConfig, MachineSpec, PointResult,
+    PointSource, Request, Server, ServerConfig, SweepSpec,
 };
 use std::time::Instant;
 
@@ -29,26 +36,42 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
+        Some("gateway") => cmd_gateway(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("bench") => cmd_bench(),
         Some("smoke") => cmd_smoke(),
         Some("fleet") => cmd_fleet(&args[1..]),
+        Some("journal-chaos") => cmd_journal_chaos(),
         _ => {
             eprintln!(
-                "usage: ssim-serve serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]\n\
+                "usage: ssim-serve serve [--addr A] [--workers N] [--queue N] [--deadline-ms N] \
+                 [--journal P] [--port-file P]\n\
+                 \x20      ssim-serve gateway [--addr A] [--port-file P] [--io-threads N] \
+                 [--workers N] [--queue N] <backend>...\n\
                  \x20      ssim-serve client <addr> (<request-json> | metrics | shutdown)\n\
                  \x20      ssim-serve submit <addr> <file.asm> [--instructions N] [--skip N]\n\
                  \x20      ssim-serve bench\n\
                  \x20      ssim-serve smoke\n\
                  \x20      ssim-serve fleet sweep <sweep-json> <addr>...\n\
                  \x20      ssim-serve fleet smoke\n\
-                 \x20      ssim-serve fleet bench"
+                 \x20      ssim-serve fleet bench\n\
+                 \x20      ssim-serve journal-chaos"
             );
             2
         }
     };
     std::process::exit(code);
+}
+
+/// Publishes the resolved listen address atomically (write a temp file,
+/// rename over the target), so a parent polling the path never reads a
+/// half-written line.
+fn write_port_file(path: &str, addr: &std::net::SocketAddr) -> std::io::Result<()> {
+    let target = std::path::Path::new(path);
+    let tmp = target.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, format!("{addr}\n"))?;
+    std::fs::rename(&tmp, target)
 }
 
 // ---- serve ----------------------------------------------------------
@@ -58,6 +81,7 @@ fn cmd_serve(args: &[String]) -> i32 {
         addr: "127.0.0.1:7807".to_string(),
         ..ServerConfig::default()
     };
+    let mut port_file: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let Some(value) = it.next() else {
@@ -82,6 +106,14 @@ fn cmd_serve(args: &[String]) -> i32 {
                 .parse()
                 .map(|n| cfg.result_cache_capacity = n)
                 .map_err(|_| ()),
+            "--journal" => {
+                cfg.journal = Some(std::path::PathBuf::from(value));
+                Ok(())
+            }
+            "--port-file" => {
+                port_file = Some(value.clone());
+                Ok(())
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 return 2;
@@ -95,12 +127,87 @@ fn cmd_serve(args: &[String]) -> i32 {
     match Server::start(cfg) {
         Ok(server) => {
             println!("ssim-serve listening on {}", server.addr());
+            if let Some(path) = port_file {
+                if let Err(e) = write_port_file(&path, &server.addr()) {
+                    eprintln!("failed to write port file {path}: {e}");
+                    return 1;
+                }
+            }
             server.join();
             println!("ssim-serve drained and stopped");
             0
         }
         Err(e) => {
             eprintln!("failed to start server: {e}");
+            1
+        }
+    }
+}
+
+// ---- gateway --------------------------------------------------------
+
+fn cmd_gateway(args: &[String]) -> i32 {
+    let mut cfg = GatewayConfig {
+        addr: "127.0.0.1:7808".to_string(),
+        ..GatewayConfig::default()
+    };
+    let mut port_file: Option<String> = None;
+    let mut backends = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if !arg.starts_with("--") {
+            backends.push(arg.clone());
+            continue;
+        }
+        let Some(value) = it.next() else {
+            eprintln!("flag {arg} needs a value");
+            return 2;
+        };
+        let parsed = match arg.as_str() {
+            "--addr" => {
+                cfg.addr = value.clone();
+                Ok(())
+            }
+            "--port-file" => {
+                port_file = Some(value.clone());
+                Ok(())
+            }
+            "--io-threads" => value.parse().map(|n| cfg.io_threads = n).map_err(|_| ()),
+            "--workers" => value.parse().map(|n| cfg.workers = n).map_err(|_| ()),
+            "--queue" => value
+                .parse()
+                .map(|n| cfg.queue_capacity = n)
+                .map_err(|_| ()),
+            other => {
+                eprintln!("unknown flag {other}");
+                return 2;
+            }
+        };
+        if parsed.is_err() {
+            eprintln!("bad value for {arg}: {value}");
+            return 2;
+        }
+    }
+    if backends.is_empty() {
+        eprintln!("gateway needs at least one backend address");
+        return 2;
+    }
+    cfg.backends = backends;
+    match Gateway::start(cfg) {
+        Ok(gw) => {
+            println!("ssim-gateway listening on {}", gw.addr());
+            if let Some(path) = port_file {
+                if let Err(e) = write_port_file(&path, &gw.addr()) {
+                    eprintln!("failed to write port file {path}: {e}");
+                    return 1;
+                }
+            }
+            gw.join();
+            println!("ssim-gateway drained and stopped");
+            0
+        }
+        Err(e) => {
+            eprintln!("failed to start gateway: {e}");
             1
         }
     }
@@ -914,5 +1021,266 @@ fn cmd_fleet_bench() -> i32 {
     println!("wrote {path}");
     let _ = std::fs::remove_dir_all(&cache_dir);
     ssim_bench::obs_finish("ssim-fleet-bench");
+    0
+}
+
+// ---- journal chaos --------------------------------------------------
+
+/// Kill-and-resume gate for the job journal (nightly `ci.sh deep`):
+///
+/// 1. spawn a child server with `--journal`, submit a journaled
+///    `sweep-stream` job and wait for streaming frames to prove the
+///    sweep is mid-flight;
+/// 2. SIGKILL the child (no drain, no cleanup — `Child::kill` is
+///    `SIGKILL` on Unix);
+/// 3. restart on the same journal, poll `job-result` until the resumed
+///    job completes;
+/// 4. the resumed digest must be byte-identical to an uninterrupted
+///    blocking sweep of the same spec, and re-submitting the key must
+///    re-ack instantly from the journal.
+fn cmd_journal_chaos() -> i32 {
+    use std::io::{BufRead, BufReader, Write};
+
+    let dir = std::env::temp_dir().join(format!("ssim-journal-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create chaos dir");
+    let journal = dir.join("journal.ndjson");
+    let port_file = dir.join("serve.port");
+    let cache_dir = dir.join("profile-cache");
+    let exe = std::env::current_exe().expect("current exe");
+
+    let spawn_server = || {
+        // A private profile cache and no inherited fault plan: the test
+        // measures journal recovery, not cache luck or injected chaos.
+        std::process::Command::new(&exe)
+            .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+            .arg("--journal")
+            .arg(&journal)
+            .arg("--port-file")
+            .arg(&port_file)
+            .env("SSIM_PROFILE_CACHE_DIR", &cache_dir)
+            .env_remove("SSIM_FAULT_PLAN")
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn child server")
+    };
+    let wait_port = || -> String {
+        let deadline = Instant::now() + std::time::Duration::from_secs(60);
+        loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                let s = s.trim();
+                if !s.is_empty() {
+                    return s.to_string();
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "child server never published its port"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    };
+
+    // Enough points that the SIGKILL lands mid-sweep: frames arrive per
+    // fan-out chunk, so two frames in means most chunks are still
+    // pending on the 2-worker child.
+    let spec = SweepSpec {
+        profile: small_profile(150_000),
+        machines: [2u64, 4, 8]
+            .iter()
+            .flat_map(|&w| {
+                [16u64, 32, 64, 128].iter().map(move |&win| MachineSpec {
+                    width: Some(w),
+                    window: Some(win),
+                    ..MachineSpec::default()
+                })
+            })
+            .collect(),
+        r: 12,
+        seeds: (1..=8).collect(),
+    };
+    let req = Request::SweepStream {
+        profile: spec.profile.clone(),
+        machines: spec.machines.clone(),
+        r: spec.r,
+        seeds: spec.seeds.clone(),
+    };
+    let key = "chaos-1";
+
+    let mut child = spawn_server();
+    let addr = wait_port();
+    println!(
+        "journal-chaos: child on {addr}, journal at {}",
+        journal.display()
+    );
+
+    // Submit the journaled job raw (the blocking client API hides
+    // frames behind a full merge; here two frames are the kill signal).
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let env = Envelope {
+        id: 1,
+        deadline_ms: None,
+        job: Some(key.to_string()),
+        req: req.clone(),
+    };
+    writer
+        .write_all(format!("{}\n", env.render()).as_bytes())
+        .expect("submit job");
+    let mut reader = BufReader::new(stream);
+    let mut frames = 0usize;
+    while frames < 2 {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read frame") > 0,
+            "server closed the stream before two frames"
+        );
+        let v = Json::parse(line.trim()).expect("frame json");
+        if v.get("frame").and_then(Json::as_str) == Some("point") {
+            frames += 1;
+        } else {
+            assert!(
+                v.get("ok").and_then(Json::as_bool) == Some(true),
+                "job rejected before streaming: {line}"
+            );
+            // The whole sweep finished before we could kill — rare on
+            // any real box, but then resume degenerates to re-ack,
+            // which the tail of this test still verifies.
+            break;
+        }
+    }
+    println!("journal-chaos: {frames} frames seen, sending SIGKILL");
+    child.kill().expect("kill child");
+    let _ = child.wait();
+    drop(reader);
+
+    // Restart on the same journal; the accepted-but-incomplete job must
+    // resume without any client re-submitting it.
+    let _ = std::fs::remove_file(&port_file);
+    let mut child = spawn_server();
+    let addr = wait_port();
+    println!("journal-chaos: restarted on {addr}");
+    let mut cl = Client::connect(addr.as_str()).expect("connect restarted");
+    let poll = Request::JobResult {
+        job: key.to_string(),
+    };
+    let deadline = Instant::now() + std::time::Duration::from_secs(300);
+    let resumed = loop {
+        let resp = cl.call(&poll, None).expect("poll job-result");
+        if resp.ok {
+            break resp;
+        }
+        let msg = resp.error.clone().unwrap_or_default();
+        assert!(
+            msg.contains("pending"),
+            "job neither pending nor done after restart: {msg}"
+        );
+        assert!(Instant::now() < deadline, "resumed job never completed");
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    };
+    let resumed_digest = resumed
+        .body
+        .get("digest")
+        .and_then(Json::as_hex_u64)
+        .expect("resumed digest");
+    let resumed_points: Vec<PointResult> = resumed
+        .body
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("resumed results")
+        .iter()
+        .map(|p| PointResult::from_json(p).expect("point"))
+        .collect();
+    println!(
+        "journal-chaos: resumed job completed, {} points, digest {resumed_digest:016x}",
+        resumed_points.len()
+    );
+
+    // Reference: an uninterrupted blocking sweep of the same spec on
+    // the restarted server. `cached` flags differ (the resumed run
+    // repopulated the result cache), so the comparison is the digest
+    // plus the digest-covered fields per point.
+    let reference = cl
+        .call(
+            &Request::Sweep {
+                profile: spec.profile.clone(),
+                machines: spec.machines.clone(),
+                r: spec.r,
+                seeds: spec.seeds.clone(),
+            },
+            None,
+        )
+        .expect("reference sweep");
+    assert!(
+        reference.ok,
+        "reference sweep failed: {:?}",
+        reference.error
+    );
+    let reference_digest = reference
+        .body
+        .get("digest")
+        .and_then(Json::as_hex_u64)
+        .expect("reference digest");
+    assert_eq!(
+        resumed_digest, reference_digest,
+        "resumed sweep digest differs from the uninterrupted run"
+    );
+    let reference_points: Vec<PointResult> = reference
+        .body
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("reference results")
+        .iter()
+        .map(|p| PointResult::from_json(p).expect("point"))
+        .collect();
+    assert_eq!(resumed_points.len(), reference_points.len());
+    for (i, (a, b)) in resumed_points
+        .iter()
+        .zip(reference_points.iter())
+        .enumerate()
+    {
+        assert!(
+            a.cycles == b.cycles
+                && a.instructions == b.instructions
+                && a.ipc.to_bits() == b.ipc.to_bits(),
+            "point {i} differs between resumed and uninterrupted runs"
+        );
+    }
+    println!(
+        "journal-chaos: digest and all {} points byte-identical",
+        reference_points.len()
+    );
+
+    // Idempotent re-ack: the same key replays the journaled response
+    // instantly (no frames, no recomputation).
+    let reack = cl
+        .submit_job(&req, None, Some(key))
+        .and_then(|_| cl.recv())
+        .expect("re-ack");
+    assert!(reack.ok, "re-ack failed: {:?}", reack.error);
+    assert_eq!(
+        reack.body.get("digest").and_then(Json::as_hex_u64),
+        Some(resumed_digest),
+        "re-ack digest differs"
+    );
+    let metrics = cl.call(&Request::Metrics, None).expect("metrics");
+    let reacked = metrics
+        .body
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("serve.journal.reacked"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(
+        reacked >= 1,
+        "serve.journal.reacked = {reacked}, expected >= 1"
+    );
+    println!("journal-chaos: re-ack replayed from journal ({reacked} re-acks)");
+
+    let shut = cl.call(&Request::Shutdown, None).expect("shutdown");
+    assert!(shut.ok, "shutdown failed: {:?}", shut.error);
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("journal-chaos: OK");
     0
 }

@@ -9,7 +9,7 @@
 //! a foreign id.
 
 use crate::json::Json;
-use crate::proto::{Envelope, Request};
+use crate::proto::{sweep_digest, Envelope, PointResult, Request};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -103,11 +103,28 @@ impl Client {
     ///
     /// Propagates socket write failures.
     pub fn submit(&mut self, req: &Request, deadline_ms: Option<u64>) -> std::io::Result<u64> {
+        self.submit_job(req, deadline_ms, None)
+    }
+
+    /// Like [`Client::submit`], with an optional journal idempotency
+    /// key: the server records the job durably before queueing it and
+    /// replays the stored response if the key was already completed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn submit_job(
+        &mut self,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        job: Option<&str>,
+    ) -> std::io::Result<u64> {
         let id = self.next_id;
         self.next_id += 1;
         let env = Envelope {
             id,
             deadline_ms,
+            job: job.map(str::to_string),
             req: req.clone(),
         };
         self.writer.write_all(env.render().as_bytes())?;
@@ -123,6 +140,12 @@ impl Client {
     ///
     /// Fails on EOF, socket errors, or an unparseable response.
     pub fn recv(&mut self) -> std::io::Result<Response> {
+        Response::from_json(self.recv_json()?)
+    }
+
+    /// Reads the next line as raw JSON — responses *and* streaming
+    /// progress frames, which carry no `ok` key.
+    fn recv_json(&mut self) -> std::io::Result<Json> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(std::io::Error::new(
@@ -130,13 +153,12 @@ impl Client {
                 "server closed the connection",
             ));
         }
-        let body = Json::parse(line.trim()).map_err(|e| {
+        Json::parse(line.trim()).map_err(|e| {
             std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 format!("bad response line: {e}"),
             )
-        })?;
-        Response::from_json(body)
+        })
     }
 
     /// One request, one response (no pipelining).
@@ -182,4 +204,117 @@ impl Client {
             std::thread::sleep(Duration::from_millis(hint));
         }
     }
+
+    /// Runs a [`Request::SweepStream`], merging the progress frames
+    /// client-side into index order and verifying the merge against
+    /// the final response's digest. Backpressure rejections resubmit
+    /// the whole sweep (frames only start once the job is accepted, so
+    /// nothing is lost); any other failure is an error.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, a non-backpressure rejection, an incomplete
+    /// frame set, or a digest mismatch between the merged frames and
+    /// the final response.
+    pub fn sweep_stream(
+        &mut self,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        max_retries: u32,
+    ) -> std::io::Result<StreamedSweep> {
+        let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+        assert!(
+            matches!(req, Request::SweepStream { .. }),
+            "sweep_stream needs a SweepStream request"
+        );
+        let mut attempts = 0;
+        'attempt: loop {
+            let id = self.submit(req, deadline_ms)?;
+            // Completion order is not index order (a gateway shards
+            // the sweep across backends), so frames land in a sparse
+            // index map and are sealed by the final response.
+            let mut merged: std::collections::BTreeMap<usize, PointResult> =
+                std::collections::BTreeMap::new();
+            let mut frames = 0usize;
+            loop {
+                let body = self.recv_json()?;
+                if body.get("frame").and_then(Json::as_str) == Some("point") {
+                    if body.get("id").and_then(Json::as_u64) != Some(id) {
+                        continue; // stale frame from an abandoned id
+                    }
+                    let index = body
+                        .get("index")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("frame missing index".to_string()))?
+                        as usize;
+                    let point = body
+                        .get("point")
+                        .ok_or_else(|| bad("frame missing point".to_string()))
+                        .and_then(|p| PointResult::from_json(p).map_err(bad))?;
+                    if merged.insert(index, point).is_some() {
+                        return Err(bad(format!("duplicate frame for point {index}")));
+                    }
+                    frames += 1;
+                    continue;
+                }
+                let resp = Response::from_json(body)?;
+                if resp.id != id {
+                    return Err(bad(format!("response id {} for request {id}", resp.id)));
+                }
+                if resp.is_backpressure() && attempts < max_retries {
+                    attempts += 1;
+                    let hint = resp.retry_after_ms.unwrap_or(10).clamp(1, 1000);
+                    std::thread::sleep(Duration::from_millis(hint));
+                    continue 'attempt;
+                }
+                if !resp.ok {
+                    return Err(std::io::Error::other(
+                        resp.error
+                            .unwrap_or_else(|| "sweep-stream failed".to_string()),
+                    ));
+                }
+                let expect = resp
+                    .body
+                    .get("results")
+                    .and_then(Json::as_arr)
+                    .map(<[Json]>::len)
+                    .ok_or_else(|| bad("sweep response missing results".to_string()))?;
+                let digest = resp
+                    .body
+                    .get("digest")
+                    .and_then(Json::as_hex_u64)
+                    .ok_or_else(|| bad("sweep response missing digest".to_string()))?;
+                let mut points = Vec::with_capacity(expect);
+                for i in 0..expect {
+                    points.push(
+                        *merged
+                            .get(&i)
+                            .ok_or_else(|| bad(format!("no frame for point {i}")))?,
+                    );
+                }
+                if sweep_digest(&points) != digest {
+                    return Err(bad("merged frames do not match sweep digest".to_string()));
+                }
+                return Ok(StreamedSweep {
+                    points,
+                    digest,
+                    frames,
+                    final_body: resp.body,
+                });
+            }
+        }
+    }
+}
+
+/// The verified outcome of a streamed sweep.
+#[derive(Debug, Clone)]
+pub struct StreamedSweep {
+    /// Per-point results merged from the frames, in index order.
+    pub points: Vec<PointResult>,
+    /// The server's digest (already verified against `points`).
+    pub digest: u64,
+    /// Number of progress frames received.
+    pub frames: usize,
+    /// The final response body (carries `results`, `digest`, etc.).
+    pub final_body: Json,
 }

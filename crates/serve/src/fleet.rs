@@ -275,10 +275,14 @@ struct SweepState {
     stats: FleetStats,
 }
 
-struct Coordinator {
+struct Coordinator<'a> {
     cfg: FleetConfig,
     state: Mutex<SweepState>,
     changed: Condvar,
+    /// Progress hook: called once per point, by the worker that wins
+    /// the result slot, outside the state lock. Drives streaming
+    /// sweeps ([`Fleet::sweep_streaming`]); `None` for blocking runs.
+    on_point: Option<&'a (dyn Fn(usize, PointResult) + Sync)>,
 }
 
 /// Per-backend metric handles (interned, so repeated fleets reuse the
@@ -333,7 +337,7 @@ fn retryable_error(msg: &str) -> bool {
 /// queue for another backend.
 const MAX_INPLACE_RETRIES: u32 = 4;
 
-impl Coordinator {
+impl Coordinator<'_> {
     /// Picks the next task for worker `bi`, blocking until work exists,
     /// the worker should probe, or the sweep is over (`None`).
     fn next_task(&self, bi: usize, healthy: bool) -> Option<Task> {
@@ -478,7 +482,8 @@ impl Coordinator {
                 OBS_INFLIGHT.sub(1);
             }
         }
-        if st.results[i].is_none() {
+        let won = st.results[i].is_none();
+        if won {
             // Placement history must not leak into the merged output.
             point.cached = false;
             st.results[i] = Some(point);
@@ -491,6 +496,14 @@ impl Coordinator {
             }
         }
         drop(st);
+        if won {
+            if let Some(cb) = self.on_point {
+                // Outside the lock: the hook may do socket I/O. `point`
+                // is the normalized (cached=false) value that will land
+                // in the merged output.
+                cb(i, point);
+            }
+        }
         self.changed.notify_all();
     }
 
@@ -656,7 +669,26 @@ impl Fleet {
     /// exhausts its attempt budget, or the sweep times out — never by
     /// silently dropping points.
     pub fn sweep(&self, spec: &SweepSpec) -> Result<SweepOutcome, String> {
-        self.run(spec)
+        self.run_with(spec, None)
+    }
+
+    /// Like [`Fleet::sweep`], but invokes `on_point` with
+    /// `(index, point)` as each design point completes — in completion
+    /// order, not index order, exactly once per point. The returned
+    /// outcome is byte-identical to [`Fleet::sweep`] on the same spec;
+    /// the hook only adds progress visibility. Used by the gateway to
+    /// relay `sweep-stream` frames while the sweep is sharded across
+    /// backends.
+    ///
+    /// # Errors
+    ///
+    /// Same failure contract as [`Fleet::sweep`].
+    pub fn sweep_streaming(
+        &self,
+        spec: &SweepSpec,
+        on_point: &(dyn Fn(usize, PointResult) + Sync),
+    ) -> Result<SweepOutcome, String> {
+        self.run_with(spec, Some(on_point))
     }
 
     /// Runs one planner-chosen batch: same sharding, retry, stealing
@@ -667,10 +699,14 @@ impl Fleet {
     ///
     /// Same failure contract as [`Fleet::sweep`].
     pub fn run_batch(&self, batch: &BatchSpec) -> Result<SweepOutcome, String> {
-        self.run(batch)
+        self.run_with(batch, None)
     }
 
-    fn run(&self, spec: &dyn PointSource) -> Result<SweepOutcome, String> {
+    fn run_with(
+        &self,
+        spec: &dyn PointSource,
+        on_point: Option<&(dyn Fn(usize, PointResult) + Sync)>,
+    ) -> Result<SweepOutcome, String> {
         let n = spec.points();
         if n == 0 {
             return Err("sweep has no points".to_string());
@@ -696,6 +732,7 @@ impl Fleet {
             }),
             changed: Condvar::new(),
             cfg: self.cfg.clone(),
+            on_point,
         };
         let deadline = Instant::now() + Duration::from_millis(self.cfg.sweep_timeout_ms);
         std::thread::scope(|scope| {

@@ -1,0 +1,342 @@
+//! Crash-safe append-only job journal.
+//!
+//! The journal is the durability layer behind `ssim-serve`'s job API:
+//! a request submitted with a `"job"` key is recorded as *accepted*
+//! before it is queued, and recorded as *completed* — with its full
+//! response payload — before the acknowledgement is sent to the
+//! client. On startup the server replays the journal; jobs with an
+//! accepted record but no completed record are re-enqueued, so a
+//! SIGKILLed server resumes incomplete sweeps, and an ack, once sent,
+//! always refers to work that survives a restart (at-least-once
+//! execution, exactly-once acknowledgement by job key).
+//!
+//! # On-disk format
+//!
+//! One record per line:
+//!
+//! ```text
+//! <16 hex digits: FxHash-64 of the JSON bytes> <single-line JSON>\n
+//! ```
+//!
+//! The JSON is either
+//!
+//! ```text
+//! {"rec":"accepted","job":KEY,"request":{...envelope...}}
+//! {"rec":"completed","job":KEY,"ok":BOOL,"payload":...}
+//! ```
+//!
+//! where `request` is the job's request re-rendered through
+//! [`crate::proto::Envelope`] (id 0 — ids are per-connection and not
+//! part of a job's identity) and `payload` is the response body (an
+//! object for successes, the error string for failures — failures are
+//! journaled too, so a job that fails deterministically is not re-run
+//! forever).
+//!
+//! # Recovery invariants
+//!
+//! Replay accepts the longest prefix of intact records and stops at
+//! the first line that is torn (no trailing newline), fails its
+//! checksum, or does not parse. Because appends are
+//! `write + flush + sync_data` and a crash can only tear the *last*
+//! record, everything before the tear is trusted. Recovery then
+//! rewrites the valid prefix through the same temp-file + atomic-rename
+//! discipline as the profile-cache store, so the journal a recovered
+//! server appends to never carries torn bytes in the middle.
+
+use crate::json::Json;
+use std::fs::{self, File, OpenOptions};
+use std::hash::Hasher;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One journal entry. `Accepted` is written before a job is queued;
+/// `Completed` is written before the job's ack leaves the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A job was accepted for durable execution. `request` is the
+    /// envelope-rendered request (id 0) so replay can reconstruct it.
+    Accepted {
+        /// Client-chosen idempotency key.
+        job: String,
+        /// The request, as a parsed envelope JSON object.
+        request: Json,
+    },
+    /// A job finished; `payload` is the response body (object on
+    /// success, error string on failure).
+    Completed {
+        /// Client-chosen idempotency key.
+        job: String,
+        /// Whether the job succeeded.
+        ok: bool,
+        /// Response payload to replay on re-acknowledgement.
+        payload: Json,
+    },
+}
+
+impl Record {
+    /// Renders the record's JSON body (without checksum or newline).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Record::Accepted { job, request } => Json::obj(vec![
+                ("rec", Json::str("accepted")),
+                ("job", Json::str(job)),
+                ("request", request.clone()),
+            ]),
+            Record::Completed { job, ok, payload } => Json::obj(vec![
+                ("rec", Json::str("completed")),
+                ("job", Json::str(job)),
+                ("ok", Json::Bool(*ok)),
+                ("payload", payload.clone()),
+            ]),
+        }
+    }
+
+    /// Parses a record body previously produced by [`Record::to_json`].
+    pub fn from_json(v: &Json) -> Result<Record, String> {
+        let job = v
+            .get("job")
+            .and_then(Json::as_str)
+            .ok_or("record missing \"job\"")?
+            .to_string();
+        match v.get("rec").and_then(Json::as_str) {
+            Some("accepted") => {
+                let request = v
+                    .get("request")
+                    .ok_or("accepted record missing \"request\"")?;
+                Ok(Record::Accepted {
+                    job,
+                    request: request.clone(),
+                })
+            }
+            Some("completed") => {
+                let ok = v
+                    .get("ok")
+                    .and_then(Json::as_bool)
+                    .ok_or("completed record missing \"ok\"")?;
+                let payload = v
+                    .get("payload")
+                    .ok_or("completed record missing \"payload\"")?;
+                Ok(Record::Completed {
+                    job,
+                    ok,
+                    payload: payload.clone(),
+                })
+            }
+            _ => Err("unknown record kind".to_string()),
+        }
+    }
+
+    /// The job key this record refers to.
+    pub fn job(&self) -> &str {
+        match self {
+            Record::Accepted { job, .. } | Record::Completed { job, .. } => job,
+        }
+    }
+}
+
+/// Checksum used for line integrity: FxHash-64 over the JSON bytes,
+/// rendered as 16 lowercase hex digits. Fast, stable across releases
+/// (the same hash pins the compiled-sampler lowering digest), and
+/// plenty for detecting torn or bit-flipped tails.
+fn checksum(body: &str) -> u64 {
+    let mut h = ssim::core::FxHasher::default();
+    h.write(body.as_bytes());
+    h.finish()
+}
+
+/// Renders one full journal line, newline included.
+pub fn render_line(rec: &Record) -> String {
+    let body = rec.to_json().render();
+    format!("{:016x} {}\n", checksum(&body), body)
+}
+
+/// Parses one line (without its newline). Returns `None` if the line
+/// is malformed or fails its checksum.
+fn parse_line(line: &str) -> Option<Record> {
+    let (crc, body) = line.split_at_checked(16)?;
+    let body = body.strip_prefix(' ')?;
+    let crc = u64::from_str_radix(crc, 16).ok()?;
+    if crc != checksum(body) {
+        return None;
+    }
+    Record::from_json(&Json::parse(body).ok()?).ok()
+}
+
+/// Scans raw journal bytes and returns the intact record prefix plus
+/// the byte length it spans. Exposed so recovery tests can check the
+/// torn-tail behaviour without going through the filesystem.
+pub fn replay_bytes(bytes: &[u8]) -> (Vec<Record>, usize) {
+    let mut records = Vec::new();
+    let mut valid = 0usize;
+    let mut pos = 0usize;
+    while let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') {
+        let line = &bytes[pos..pos + nl];
+        let Ok(line) = std::str::from_utf8(line) else {
+            break;
+        };
+        let Some(rec) = parse_line(line) else { break };
+        records.push(rec);
+        pos += nl + 1;
+        valid = pos;
+    }
+    (records, valid)
+}
+
+/// Append-only journal handle. All appends are serialised through one
+/// file handle and flushed + fsynced before `append` returns, so a
+/// record that has been appended survives a SIGKILL.
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, replays the intact
+    /// record prefix, and discards any torn tail by rewriting the
+    /// valid prefix via temp-file + atomic rename.
+    pub fn open(path: &Path) -> io::Result<(Journal, Vec<Record>)> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let (records, valid) = replay_bytes(&bytes);
+        if valid < bytes.len() {
+            // Torn or corrupt tail: rewrite the valid prefix so the
+            // file we append to is clean. Readers (and a crash between
+            // write and rename) see either the old file or the
+            // rewritten one, never a partial rewrite.
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            {
+                let mut w = File::create(&tmp)?;
+                w.write_all(&bytes[..valid])?;
+                w.sync_data()?;
+            }
+            fs::rename(&tmp, path).inspect_err(|_| {
+                let _ = fs::remove_file(&tmp);
+            })?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok((
+            Journal {
+                path: path.to_path_buf(),
+                file: Mutex::new(file),
+            },
+            records,
+        ))
+    }
+
+    /// Durably appends one record: the write is flushed and fsynced
+    /// before this returns. Callers must not acknowledge work whose
+    /// record has not been appended successfully.
+    pub fn append(&self, rec: &Record) -> io::Result<()> {
+        let line = render_line(rec);
+        let mut f = self.file.lock().expect("journal lock poisoned");
+        f.write_all(line.as_bytes())?;
+        f.sync_data()
+    }
+
+    /// Path this journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Accepted {
+                job: "sweep-1".to_string(),
+                request: Json::obj(vec![
+                    ("id", Json::Num(0.0)),
+                    ("kind", Json::str("sweep")),
+                    ("workload", Json::str("gzip")),
+                ]),
+            },
+            Record::Completed {
+                job: "sweep-1".to_string(),
+                ok: true,
+                payload: Json::obj(vec![("digest", Json::hex_u64(0xdead_beef))]),
+            },
+            Record::Completed {
+                job: "odd \"quoted\"\nkey".to_string(),
+                ok: false,
+                payload: Json::str("deadline exceeded"),
+            },
+        ]
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        for rec in sample_records() {
+            let parsed = Record::from_json(&rec.to_json()).expect("roundtrip");
+            assert_eq!(parsed, rec);
+        }
+    }
+
+    #[test]
+    fn replay_stops_at_corruption() {
+        let recs = sample_records();
+        let mut bytes = Vec::new();
+        for r in &recs {
+            bytes.extend_from_slice(render_line(r).as_bytes());
+        }
+        let clean_len = bytes.len();
+        // Intact bytes replay fully.
+        let (all, valid) = replay_bytes(&bytes);
+        assert_eq!(all, recs);
+        assert_eq!(valid, clean_len);
+        // A flipped byte in the last record drops exactly that record.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 10;
+        flipped[last] ^= 0x20;
+        let (prefix, valid) = replay_bytes(&flipped);
+        assert_eq!(prefix, recs[..recs.len() - 1]);
+        assert!(valid < clean_len);
+        // A torn (newline-less) tail is ignored.
+        bytes.extend_from_slice(b"0123456789abcdef {\"rec\":\"acce");
+        let (prefix, valid) = replay_bytes(&bytes);
+        assert_eq!(prefix, recs);
+        assert_eq!(valid, clean_len);
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_and_appends() {
+        let dir = std::env::temp_dir().join(format!("ssim-journal-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.ndjson");
+        let _ = fs::remove_file(&path);
+        let recs = sample_records();
+        {
+            let (j, replayed) = Journal::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            for r in &recs[..2] {
+                j.append(r).unwrap();
+            }
+        }
+        // Tear the tail mid-record, then reopen: the torn record is
+        // dropped, and a fresh append lands after the valid prefix.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        {
+            let (j, replayed) = Journal::open(&path).unwrap();
+            assert_eq!(replayed, recs[..1]);
+            j.append(&recs[2]).unwrap();
+        }
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed, vec![recs[0].clone(), recs[2].clone()]);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -12,7 +12,10 @@
 //!   `std` only ([`json`]). Requests carry a correlation `id` and an
 //!   optional `deadline_ms`; responses may arrive out of submission
 //!   order. Kinds: `profile`, `synth`, `simulate`, `sweep`, `assemble`,
-//!   `submit-program`, `metrics`, `shutdown`.
+//!   `submit-program`, `metrics`, `shutdown` — plus `sweep-stream`
+//!   (per-point NDJSON progress frames, digest-verified client merge),
+//!   and the journal pair: an envelope-level `"job"` idempotency key
+//!   and `job-result` polls.
 //! * **Program submission**: untrusted `.asm` text is assembled under
 //!   parse-size/memory ceilings (`ssim-asm` sandbox limits), proven
 //!   fault-free by a fuel-bounded functional pre-run, profiled, and
@@ -39,6 +42,15 @@
 //! * **Fault injection** ([`fault`]): a seeded, deterministic
 //!   `SSIM_FAULT_PLAN` layer (drops, delays, backpressure rejects) so
 //!   chaos tests are reproducible.
+//! * **Journal** ([`journal`]): crash-safe append-only job log
+//!   (checksummed NDJSON, fsync before ack, torn-tail truncation on
+//!   replay) — a SIGKILLed server resumes incomplete jobs on restart
+//!   and never re-acks lost work.
+//! * **Gateway** ([`gateway`]): the fleet coordinator as a server-side
+//!   endpoint — clients speak the ordinary protocol to one address and
+//!   sharding, hedging, health tracking and retries happen behind it,
+//!   over non-blocking connection event loops sized for tens of
+//!   thousands of concurrent sockets.
 //!
 //! Results served over the wire are **byte-identical** to direct
 //! library calls: traces come from the compiled sampler (itself
@@ -50,13 +62,17 @@ pub mod artifacts;
 pub mod client;
 pub mod fault;
 pub mod fleet;
+pub mod gateway;
+pub mod journal;
 pub mod json;
 pub mod proto;
 pub mod server;
 
 pub use artifacts::{program_hash, program_name};
-pub use client::{Client, Response};
+pub use client::{Client, Response, StreamedSweep};
 pub use fault::FaultPlan;
 pub use fleet::{BatchSpec, Fleet, FleetConfig, PointSource, SweepOutcome, SweepSpec};
-pub use proto::{MachineSpec, PointResult, ProfileParams, Request};
+pub use gateway::{Gateway, GatewayConfig};
+pub use journal::{Journal, Record};
+pub use proto::{sweep_digest, MachineSpec, PointResult, ProfileParams, Request};
 pub use server::{Server, ServerConfig};

@@ -9,13 +9,28 @@
 //! # Grammar
 //!
 //! ```text
-//! request  := {"id": N, "kind": KIND, ...params} "\n"
-//! KIND     := "profile" | "synth" | "simulate" | "sweep"
-//!           | "assemble" | "submit-program"
+//! request  := {"id": N[, "job": S], "kind": KIND, ...params} "\n"
+//! KIND     := "profile" | "synth" | "simulate" | "sweep" | "sweep-stream"
+//!           | "assemble" | "submit-program" | "job-result"
 //!           | "metrics" | "shutdown"
 //! response := {"id": N, "ok": true,  ...payload} "\n"
 //!           | {"id": N, "ok": false, "error": S[, "retry_after_ms": N]} "\n"
+//! frame    := {"id": N, "frame": "point", "index": N, "point": {...}} "\n"
 //! ```
+//!
+//! `sweep-stream` is `sweep` with progress: the server emits one
+//! `frame` line per finished design point (in completion order, which
+//! under a fleet gateway is not index order) before the final `ok`
+//! response. Both sweep kinds carry a `digest` — an order-sensitive
+//! FxHash-64 over `(cycles, instructions, ipc)` per point — so a
+//! client that merges frames by `index` can verify its merge is
+//! byte-identical to the blocking result ([`sweep_digest`]).
+//!
+//! The optional envelope-level `"job"` key names a client-chosen
+//! idempotency key: the server journals the job before queueing it and
+//! journals its result before acknowledging, so acks survive a crash
+//! and re-submissions of a completed key replay the stored response.
+//! `job-result` polls a key's outcome without re-submitting.
 //!
 //! `profile`, `synth`, `simulate` and `sweep` identify their profile by
 //! `{workload, instructions, skip}` (the profiling budget — the profile
@@ -274,6 +289,23 @@ pub enum Request {
         /// Seeds, inner loop of the result order.
         seeds: Vec<u64>,
     },
+    /// `Sweep` with streaming progress: a `frame` line per finished
+    /// design point, then the blocking response (digest included).
+    SweepStream {
+        /// The profile to sample.
+        profile: ProfileParams,
+        /// Machine overrides, outer loop of the result order.
+        machines: Vec<MachineSpec>,
+        /// Reduction factor.
+        r: u64,
+        /// Seeds, inner loop of the result order.
+        seeds: Vec<u64>,
+    },
+    /// Poll the outcome of a journaled job without re-submitting it.
+    JobResult {
+        /// The job key to look up.
+        job: String,
+    },
     /// Assemble untrusted `.asm` text and return its static shape —
     /// no execution, no profiling (the dry-run half of submission).
     Assemble {
@@ -304,6 +336,9 @@ pub struct Envelope {
     pub id: u64,
     /// Optional per-job deadline in milliseconds from receipt.
     pub deadline_ms: Option<u64>,
+    /// Optional idempotency key routing the request through the
+    /// server's crash-safe job journal.
+    pub job: Option<String>,
     /// The request body.
     pub req: Request,
 }
@@ -334,6 +369,16 @@ impl Envelope {
             None | Some(Json::Null) => None,
             Some(d) => Some(d.as_u64().ok_or("\"deadline_ms\" must be an integer")?),
         };
+        let mut job = match v.get("job") {
+            None | Some(Json::Null) => None,
+            Some(j) => {
+                let s = j.as_str().ok_or("\"job\" must be a string")?;
+                if s.is_empty() || s.len() > 200 {
+                    return Err("\"job\" must be 1..=200 bytes".to_string());
+                }
+                Some(s.to_string())
+            }
+        };
         let kind = v
             .get("kind")
             .and_then(Json::as_str)
@@ -354,7 +399,7 @@ impl Envelope {
                 r: req_u64(&v, "r")?.max(1),
                 seed: req_u64(&v, "seed")?,
             },
-            "sweep" => {
+            "sweep" | "sweep-stream" => {
                 let machines = v
                     .get("machines")
                     .and_then(Json::as_arr)
@@ -377,11 +422,22 @@ impl Envelope {
                 if seeds.is_empty() {
                     return Err("\"seeds\" must be non-empty".to_string());
                 }
-                Request::Sweep {
-                    profile: ProfileParams::from_json(&v)?,
-                    machines,
-                    r: req_u64(&v, "r")?.max(1),
-                    seeds,
+                let profile = ProfileParams::from_json(&v)?;
+                let r = req_u64(&v, "r")?.max(1);
+                if kind == "sweep" {
+                    Request::Sweep {
+                        profile,
+                        machines,
+                        r,
+                        seeds,
+                    }
+                } else {
+                    Request::SweepStream {
+                        profile,
+                        machines,
+                        r,
+                        seeds,
+                    }
                 }
             }
             "assemble" => Request::Assemble {
@@ -403,6 +459,12 @@ impl Envelope {
                     },
                 }
             }
+            "job-result" => {
+                // The key doubles as the lookup target; a poll is
+                // never itself journaled.
+                let key = job.take().ok_or("\"job-result\" needs a \"job\" key")?;
+                Request::JobResult { job: key }
+            }
             "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
             other => return Err(format!("unknown kind {other:?}")),
@@ -410,6 +472,7 @@ impl Envelope {
         Ok(Envelope {
             id,
             deadline_ms,
+            job,
             req,
         })
     }
@@ -419,6 +482,11 @@ impl Envelope {
         let mut pairs: Vec<(&str, Json)> = vec![("id", Json::Num(self.id as f64))];
         if let Some(d) = self.deadline_ms {
             pairs.push(("deadline_ms", Json::Num(d as f64)));
+        }
+        if let Some(job) = &self.job {
+            if !matches!(self.req, Request::JobResult { .. }) {
+                pairs.push(("job", Json::str(job)));
+            }
         }
         match &self.req {
             Request::Profile(p) => {
@@ -448,8 +516,19 @@ impl Envelope {
                 machines,
                 r,
                 seeds,
+            }
+            | Request::SweepStream {
+                profile,
+                machines,
+                r,
+                seeds,
             } => {
-                pairs.push(("kind", Json::str("sweep")));
+                let kind = if matches!(self.req, Request::Sweep { .. }) {
+                    "sweep"
+                } else {
+                    "sweep-stream"
+                };
+                pairs.push(("kind", Json::str(kind)));
                 pairs.extend(profile.to_pairs());
                 pairs.push((
                     "machines",
@@ -474,6 +553,10 @@ impl Envelope {
                 pairs.push(("source", Json::str(source)));
                 pairs.push(("instructions", Json::Num(*instructions as f64)));
                 pairs.push(("skip", Json::Num(*skip as f64)));
+            }
+            Request::JobResult { job } => {
+                pairs.push(("kind", Json::str("job-result")));
+                pairs.push(("job", Json::str(job)));
             }
             Request::Metrics => pairs.push(("kind", Json::str("metrics"))),
             Request::Shutdown => pairs.push(("kind", Json::str("shutdown"))),
@@ -520,6 +603,53 @@ impl PointResult {
     }
 }
 
+/// Order-sensitive digest over a sweep's point results: FxHash-64 of
+/// `(cycles, instructions, ipc bits)` per point, in result order. The
+/// `cached` flag is deliberately excluded — cache hits and placement
+/// history must never change what a sweep computed, so a streamed,
+/// resumed, or fleet-sharded run digests identically to a cold
+/// single-server run.
+pub fn sweep_digest(points: &[PointResult]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = ssim::core::FxHasher::default();
+    for p in points {
+        h.write_u64(p.cycles);
+        h.write_u64(p.instructions);
+        h.write_u64(p.ipc.to_bits());
+    }
+    h.finish()
+}
+
+/// Builds one streaming progress frame: design point `index` of the
+/// sweep identified by request `id` just finished.
+pub fn point_frame(id: u64, index: usize, point: &PointResult) -> String {
+    Json::obj(vec![
+        ("id", Json::Num(id as f64)),
+        ("frame", Json::str("point")),
+        ("index", Json::Num(index as f64)),
+        ("point", point.to_json()),
+    ])
+    .render()
+}
+
+/// Re-renders a journaled completion under a fresh request id. The
+/// payload is the stored response body: an object of payload pairs for
+/// successes, the error string for failures.
+pub fn completed_response(id: u64, ok: bool, payload: &Json) -> String {
+    if ok {
+        let mut pairs = vec![
+            ("id".to_string(), Json::Num(id as f64)),
+            ("ok".to_string(), Json::Bool(true)),
+        ];
+        if let Json::Obj(p) = payload {
+            pairs.extend(p.iter().cloned());
+        }
+        Json::Obj(pairs).render()
+    } else {
+        err_response(id, payload.as_str().unwrap_or("unknown error"), None)
+    }
+}
+
 /// Builds a success response line.
 pub fn ok_response(id: u64, mut payload: Vec<(&str, Json)>) -> String {
     let mut pairs = vec![("id", Json::Num(id as f64)), ("ok", Json::Bool(true))];
@@ -550,6 +680,7 @@ mod tests {
         let env = Envelope {
             id: 7,
             deadline_ms: Some(250),
+            job: Some("nightly-sweep-1".to_string()),
             req: Request::Sweep {
                 profile: ProfileParams {
                     workload: "gzip".to_string(),
@@ -575,6 +706,7 @@ mod tests {
         let back = Envelope::parse(&line).unwrap();
         assert_eq!(back.id, 7);
         assert_eq!(back.deadline_ms, Some(250));
+        assert_eq!(back.job.as_deref(), Some("nightly-sweep-1"));
         match back.req {
             Request::Sweep {
                 profile,
@@ -646,6 +778,7 @@ mod tests {
         let env = Envelope {
             id: 9,
             deadline_ms: None,
+            job: None,
             req: Request::SubmitProgram {
                 source: source.clone(),
                 instructions: 50_000,
@@ -669,6 +802,7 @@ mod tests {
         let asm = Envelope {
             id: 10,
             deadline_ms: None,
+            job: None,
             req: Request::Assemble { source },
         }
         .render();
@@ -693,10 +827,100 @@ mod tests {
             "{\"id\": 1, \"kind\": \"submit-program\", \"source\": \"halt\"}",
             "{\"id\": 1, \"kind\": \"submit-program\", \"source\": \"halt\", \
              \"instructions\": 0}",
+            "{\"id\": 1, \"kind\": \"job-result\"}",
+            "{\"id\": 1, \"kind\": \"job-result\", \"job\": \"\"}",
+            "{\"id\": 1, \"kind\": \"sweep-stream\", \"workload\": \"gzip\", \
+             \"instructions\": 5, \"machines\": [], \"r\": 1}",
+            "{\"id\": 1, \"job\": 7, \"kind\": \"metrics\"}",
             "not json at all",
         ] {
             assert!(Envelope::parse(bad).is_err(), "{bad:?} accepted");
         }
+    }
+
+    #[test]
+    fn stream_and_job_requests_roundtrip() {
+        let env = Envelope {
+            id: 11,
+            deadline_ms: None,
+            job: Some("k1".to_string()),
+            req: Request::SweepStream {
+                profile: ProfileParams {
+                    workload: "gzip".to_string(),
+                    instructions: 40_000,
+                    skip: 0,
+                },
+                machines: vec![MachineSpec {
+                    width: Some(2),
+                    ..Default::default()
+                }],
+                r: 10,
+                seeds: vec![4, 5],
+            },
+        };
+        let back = Envelope::parse(&env.render()).unwrap();
+        assert_eq!(back.job.as_deref(), Some("k1"));
+        match back.req {
+            Request::SweepStream { seeds, .. } => assert_eq!(seeds, vec![4, 5]),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let poll = Envelope {
+            id: 12,
+            deadline_ms: None,
+            job: None,
+            req: Request::JobResult {
+                job: "k1".to_string(),
+            },
+        };
+        let back = Envelope::parse(&poll.render()).unwrap();
+        // The poll target rides in the request, not the envelope — a
+        // poll must never be journaled as a job itself.
+        assert!(back.job.is_none());
+        match back.req {
+            Request::JobResult { job } => assert_eq!(job, "k1"),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn digest_ignores_cached_and_orders_points() {
+        let a = PointResult {
+            cycles: 100,
+            instructions: 250,
+            ipc: 2.5,
+            cached: false,
+        };
+        let b = PointResult { cached: true, ..a };
+        let c = PointResult { cycles: 101, ..a };
+        assert_eq!(sweep_digest(&[a, c]), sweep_digest(&[b, c]));
+        assert_ne!(sweep_digest(&[a, c]), sweep_digest(&[c, a]));
+        assert_ne!(sweep_digest(&[a]), sweep_digest(&[a, a]));
+    }
+
+    #[test]
+    fn frames_and_completions_render() {
+        let p = PointResult {
+            cycles: 7,
+            instructions: 21,
+            ipc: 3.0,
+            cached: false,
+        };
+        let frame = Json::parse(&point_frame(5, 2, &p)).unwrap();
+        assert_eq!(frame.get("id").unwrap().as_u64(), Some(5));
+        assert_eq!(frame.get("frame").unwrap().as_str(), Some("point"));
+        assert_eq!(frame.get("index").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            PointResult::from_json(frame.get("point").unwrap()).unwrap(),
+            p
+        );
+        // A frame is not a response: it has no "ok" key to confuse a
+        // blocking client's reply matching.
+        assert!(frame.get("ok").is_none());
+        let stored = Json::obj(vec![("digest", Json::hex_u64(42))]);
+        let ok = completed_response(9, true, &stored);
+        assert_eq!(ok, ok_response(9, vec![("digest", Json::hex_u64(42))]));
+        let err = completed_response(9, false, &Json::str("deadline exceeded"));
+        assert_eq!(err, err_response(9, "deadline exceeded", None));
     }
 
     #[test]

@@ -31,14 +31,38 @@
 //! client that receives the shutdown acknowledgement knows every
 //! previously accepted job has produced its response. Submissions that
 //! race with shutdown are rejected with a non-retryable error.
+//!
+//! # Durability (the job journal)
+//!
+//! With [`ServerConfig::journal`] set, requests carrying a `"job"` key
+//! run through the crash-safe journal ([`crate::journal`]): accepted
+//! before queueing, completed — payload included — before the ack is
+//! sent. Journaled jobs bypass the queue-capacity rejection (the
+//! journal *is* the backlog), survive client disconnects, and are
+//! re-enqueued on startup if the server died mid-flight. Re-submitting
+//! a completed key replays the stored response; `job-result` polls
+//! without re-submitting. Sweeps are deterministic, so a resumed job
+//! re-executes from scratch and digests identically.
+//!
+//! # Streaming sweeps
+//!
+//! `sweep-stream` runs exactly like `sweep` but emits one progress
+//! frame per finished design point through the connection's writer; the
+//! final response is the blocking payload plus a `digest` the client
+//! verifies its frame merge against.
 
 use crate::artifacts::{trace_digest, ArtifactStore};
 use crate::fault::{FaultAction, FaultInjector, FaultPlan};
+use crate::journal::{Journal, Record};
 use crate::json::Json;
-use crate::proto::{err_response, ok_response, Envelope, Request};
-use std::collections::VecDeque;
+use crate::proto::{
+    completed_response, err_response, ok_response, point_frame, sweep_digest, Envelope,
+    MachineSpec, PointResult, ProfileParams, Request,
+};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
@@ -63,7 +87,14 @@ static OBS_REQ_ASSEMBLE: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.a
 static OBS_REQ_SUBMIT: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.submit_program");
 static OBS_PROGRAM_ACCEPTED: ssim_obs::Counter = ssim_obs::Counter::new("serve.program.accepted");
 static OBS_PROGRAM_REJECTED: ssim_obs::Counter = ssim_obs::Counter::new("serve.program.rejected");
+static OBS_REQ_SWEEP_STREAM: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.sweep_stream");
+static OBS_REQ_JOB_RESULT: ssim_obs::Counter = ssim_obs::Counter::new("serve.req.job_result");
 static OBS_SWEEP_POINTS: ssim_obs::Counter = ssim_obs::Counter::new("serve.sweep_points");
+static OBS_STREAM_FRAMES: ssim_obs::Counter = ssim_obs::Counter::new("serve.stream_frames");
+static OBS_JOURNAL_ACCEPTED: ssim_obs::Counter = ssim_obs::Counter::new("serve.journal.accepted");
+static OBS_JOURNAL_COMPLETED: ssim_obs::Counter = ssim_obs::Counter::new("serve.journal.completed");
+static OBS_JOURNAL_RESUMED: ssim_obs::Counter = ssim_obs::Counter::new("serve.journal.resumed");
+static OBS_JOURNAL_REACKED: ssim_obs::Counter = ssim_obs::Counter::new("serve.journal.reacked");
 static OBS_LAT_PROFILE: ssim_obs::LogHistogram =
     ssim_obs::LogHistogram::new("serve.latency_us.profile");
 static OBS_LAT_SYNTH: ssim_obs::LogHistogram =
@@ -106,6 +137,10 @@ pub struct ServerConfig {
     /// Deterministic fault plan for chaos testing (defaults to
     /// `SSIM_FAULT_PLAN` when `None`; see [`crate::fault`]).
     pub fault: Option<FaultPlan>,
+    /// Path of the crash-safe job journal. `None` (the default) rejects
+    /// requests that carry a `"job"` key; `Some` replays the journal on
+    /// startup and resumes incomplete jobs.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -120,6 +155,7 @@ impl Default for ServerConfig {
             max_program_instructions: 50_000_000,
             max_program_mem_bytes: 64 << 20,
             fault: None,
+            journal: None,
         }
     }
 }
@@ -131,6 +167,18 @@ struct Job {
     cancelled: Arc<AtomicBool>,
     deadline: Instant,
     accepted_at: Instant,
+    /// Journal idempotency key; `Some` makes the job durable — it
+    /// survives client disconnects and server restarts.
+    job_key: Option<String>,
+}
+
+/// In-memory view of a journaled job (rebuilt from the journal on
+/// startup, kept in lockstep with it afterwards).
+enum JobState {
+    /// Accepted, not yet completed.
+    Pending,
+    /// Completed; the stored payload is replayed on re-submission.
+    Done { ok: bool, payload: Json },
 }
 
 #[derive(Default)]
@@ -147,6 +195,10 @@ struct Shared {
     shutdown: AtomicBool,
     store: ArtifactStore,
     fault: Option<FaultInjector>,
+    journal: Option<Journal>,
+    /// Job-key → state map mirroring the journal (ordered map: keys are
+    /// few and small, and iteration order is deterministic).
+    jobs: Mutex<BTreeMap<String, JobState>>,
 }
 
 impl Shared {
@@ -177,6 +229,137 @@ impl Shared {
         OBS_QUEUE_DEPTH_MAX.set_max(q.jobs.len() as u64);
         drop(q);
         self.work_ready.notify_one();
+    }
+
+    /// Enqueues a job under a journal key. First submission journals an
+    /// `Accepted` record (durably, before queueing); a re-submission of
+    /// a completed key replays the stored response; a re-submission of
+    /// an in-flight key is told to poll. Journaled jobs bypass the
+    /// queue-capacity rejection — the journal is the backlog, and a
+    /// rejected-but-journaled job would be resumed on restart anyway.
+    fn submit_journaled(&self, key: String, job: Job) {
+        let Some(journal) = &self.journal else {
+            let _ = job.reply.send(err_response(
+                job.id,
+                "server has no journal (start with --journal)",
+                None,
+            ));
+            return;
+        };
+        if self.shutdown.load(Relaxed) {
+            OBS_REJECT_SHUTDOWN.inc();
+            let _ = job
+                .reply
+                .send(err_response(job.id, "server is shutting down", None));
+            return;
+        }
+        // The jobs lock is held across the Accepted append so two
+        // connections racing on one key cannot both journal it.
+        let mut jobs = self.jobs.lock().unwrap();
+        match jobs.get(&key) {
+            Some(JobState::Done { ok, payload }) => {
+                OBS_JOURNAL_REACKED.inc();
+                let line = completed_response(job.id, *ok, payload);
+                drop(jobs);
+                let _ = job.reply.send(line);
+            }
+            Some(JobState::Pending) => {
+                drop(jobs);
+                let _ = job.reply.send(err_response(
+                    job.id,
+                    &format!("job {key:?} is already in flight; poll with job-result"),
+                    Some(100),
+                ));
+            }
+            None => {
+                let rec = Record::Accepted {
+                    job: key.clone(),
+                    request: journaled_request(&key, &job.req),
+                };
+                if let Err(e) = journal.append(&rec) {
+                    drop(jobs);
+                    let _ = job.reply.send(err_response(
+                        job.id,
+                        &format!("journal write failed: {e}"),
+                        None,
+                    ));
+                    return;
+                }
+                jobs.insert(key, JobState::Pending);
+                drop(jobs);
+                OBS_JOURNAL_ACCEPTED.inc();
+                let mut q = self.queue.lock().unwrap();
+                q.jobs.push_back(job);
+                OBS_QUEUE_DEPTH.set(q.jobs.len() as u64);
+                OBS_QUEUE_DEPTH_MAX.set_max(q.jobs.len() as u64);
+                drop(q);
+                self.work_ready.notify_one();
+            }
+        }
+    }
+
+    /// Answers a `job-result` poll from the in-memory job map.
+    fn job_result_response(&self, id: u64, key: &str) -> String {
+        OBS_REQ_JOB_RESULT.inc();
+        if self.journal.is_none() {
+            return err_response(id, "server has no journal (start with --journal)", None);
+        }
+        let jobs = self.jobs.lock().unwrap();
+        match jobs.get(key) {
+            Some(JobState::Done { ok, payload }) => completed_response(id, *ok, payload),
+            Some(JobState::Pending) => {
+                err_response(id, &format!("job {key:?} is pending"), Some(100))
+            }
+            None => err_response(id, &format!("unknown job {key:?}"), None),
+        }
+    }
+
+    /// Finishes a job: for journaled jobs, the completion is appended
+    /// to the journal and mirrored in the job map *before* the response
+    /// line is returned — the ack never promises what a crash could
+    /// lose. Failures are journaled too (a deterministic failure must
+    /// not re-run forever on every restart).
+    fn complete(&self, job: &Job, result: Result<Vec<(&'static str, Json)>, String>) -> String {
+        let (ok, payload) = match result {
+            Ok(pairs) => (
+                true,
+                Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()),
+            ),
+            Err(msg) => (false, Json::Str(msg)),
+        };
+        if let Some(key) = &job.job_key {
+            let journal = self
+                .journal
+                .as_ref()
+                .expect("journaled job on a journaling server");
+            let rec = Record::Completed {
+                job: key.clone(),
+                ok,
+                payload: payload.clone(),
+            };
+            let mut jobs = self.jobs.lock().unwrap();
+            if let Err(e) = journal.append(&rec) {
+                // Not durable: answer with an error so the client does
+                // not treat the work as acknowledged. The in-memory
+                // state still serves job-result polls for this
+                // process's lifetime; a restart re-runs the job.
+                jobs.insert(key.clone(), JobState::Done { ok, payload });
+                return err_response(
+                    job.id,
+                    &format!("job {key:?} finished but its completion could not be journaled: {e}"),
+                    None,
+                );
+            }
+            jobs.insert(
+                key.clone(),
+                JobState::Done {
+                    ok,
+                    payload: payload.clone(),
+                },
+            );
+            OBS_JOURNAL_COMPLETED.inc();
+        }
+        completed_response(job.id, ok, &payload)
     }
 
     /// Worker body: pop-execute until shutdown *and* empty queue.
@@ -212,31 +395,33 @@ impl Shared {
     }
 
     fn execute(&self, job: Job) {
-        if job.cancelled.load(Relaxed) {
+        // A journaled job outlives its client: the durable contract is
+        // with the key, not the connection, so only ephemeral jobs are
+        // dropped on disconnect.
+        if job.job_key.is_none() && job.cancelled.load(Relaxed) {
             OBS_CANCELLED.inc();
             return;
         }
-        if Instant::now() > job.deadline {
+        let result = if Instant::now() > job.deadline {
             OBS_DEADLINE.inc();
-            let _ = job
-                .reply
-                .send(err_response(job.id, "deadline exceeded in queue", None));
-            return;
-        }
-        let line = match self.run_request(&job) {
-            Ok(payload) => ok_response(job.id, payload),
-            Err(msg) => err_response(job.id, &msg, None),
+            Err("deadline exceeded in queue".to_string())
+        } else {
+            self.run_request(&job)
         };
+        let line = self.complete(&job, result);
         let latency_us = job.accepted_at.elapsed().as_micros() as u64;
         match &job.req {
             Request::Profile(_) => OBS_LAT_PROFILE.record(latency_us),
             Request::Synth { .. } => OBS_LAT_SYNTH.record(latency_us),
             Request::Simulate { .. } => OBS_LAT_SIMULATE.record(latency_us),
-            Request::Sweep { .. } => OBS_LAT_SWEEP.record(latency_us),
+            Request::Sweep { .. } | Request::SweepStream { .. } => OBS_LAT_SWEEP.record(latency_us),
             // Program requests are dominated by profiling; they share
             // the profile latency histogram.
             Request::SubmitProgram { .. } => OBS_LAT_PROFILE.record(latency_us),
-            Request::Assemble { .. } | Request::Metrics | Request::Shutdown => {}
+            Request::Assemble { .. }
+            | Request::JobResult { .. }
+            | Request::Metrics
+            | Request::Shutdown => {}
         }
         let _ = job.reply.send(line);
     }
@@ -304,48 +489,25 @@ impl Shared {
                 seeds,
             } => {
                 OBS_REQ_SWEEP.inc();
-                let artifact = self.store.profile(profile)?;
-                // Lower once up front; the fan-out workers then stream
-                // each point through the fused engine (no materialised
-                // traces, per-thread simulator buffers reused).
-                let _ = artifact.sampler(*r);
-                let configs: Vec<_> = machines.iter().map(|m| m.resolve()).collect();
-                let points: Vec<(usize, usize)> = (0..configs.len())
-                    .flat_map(|m| (0..seeds.len()).map(move |s| (m, s)))
-                    .collect();
-                OBS_SWEEP_POINTS.add(points.len() as u64);
-                let mut results = Vec::with_capacity(points.len());
-                // Chunked fan-out: each chunk runs on ssim-par's pool;
-                // between chunks the job re-checks its deadline and
-                // whether the client is still there.
-                let chunk = (ssim_par::num_threads() * 4).max(8);
-                for batch in points.chunks(chunk) {
-                    if job.cancelled.load(Relaxed) {
-                        OBS_CANCELLED.inc();
-                        return Err("client disconnected".to_string());
-                    }
-                    if Instant::now() > job.deadline {
-                        OBS_DEADLINE.inc();
-                        return Err(format!(
-                            "deadline exceeded after {} of {} points",
-                            results.len(),
-                            points.len()
-                        ));
-                    }
-                    results.extend(ssim_par::par_map(batch, |&(m, s)| {
-                        self.store
-                            .simulate_point_fused(&artifact, &configs[m], *r, seeds[s])
-                    }));
-                }
-                Ok(vec![
-                    ("profile_hash", Json::hex_u64(artifact.hash)),
-                    ("machines", Json::Num(machines.len() as f64)),
-                    ("seeds", Json::Num(seeds.len() as f64)),
-                    (
-                        "results",
-                        Json::Arr(results.iter().map(|p| p.to_json()).collect()),
-                    ),
-                ])
+                self.sweep_core(job, profile, machines, *r, seeds, &mut |_, _| {})
+            }
+            Request::SweepStream {
+                profile,
+                machines,
+                r,
+                seeds,
+            } => {
+                OBS_REQ_SWEEP_STREAM.inc();
+                let reply = job.reply.clone();
+                let id = job.id;
+                // Frames ride the connection's writer; a resumed job
+                // has no connection and its sends fall on the floor,
+                // which is fine — the durable artifact is the final
+                // payload, not the progress frames.
+                self.sweep_core(job, profile, machines, *r, seeds, &mut |index, point| {
+                    OBS_STREAM_FRAMES.inc();
+                    let _ = reply.send(point_frame(id, index, point));
+                })
             }
             Request::Assemble { source } => {
                 OBS_REQ_ASSEMBLE.inc();
@@ -412,9 +574,76 @@ impl Shared {
                 ]);
                 Ok(payload)
             }
-            // Metrics and shutdown are handled on the connection thread.
-            Request::Metrics | Request::Shutdown => unreachable!("not queued"),
+            // Metrics, shutdown and job polls are handled on the
+            // connection thread.
+            Request::JobResult { .. } | Request::Metrics | Request::Shutdown => {
+                unreachable!("not queued")
+            }
         }
+    }
+
+    /// The sweep engine shared by `sweep` and `sweep-stream`: chunked
+    /// fan-out over `ssim_par`, `emit` called once per finished point
+    /// (in index order within each chunk) as chunks complete. The
+    /// payload carries an order-sensitive digest so any re-assembly of
+    /// the points — streamed, resumed, fleet-sharded — can be verified
+    /// against the blocking result.
+    fn sweep_core(
+        &self,
+        job: &Job,
+        profile: &ProfileParams,
+        machines: &[MachineSpec],
+        r: u64,
+        seeds: &[u64],
+        emit: &mut dyn FnMut(usize, &PointResult),
+    ) -> Result<Vec<(&'static str, Json)>, String> {
+        let artifact = self.store.profile(profile)?;
+        // Lower once up front; the fan-out workers then stream
+        // each point through the fused engine (no materialised
+        // traces, per-thread simulator buffers reused).
+        let _ = artifact.sampler(r);
+        let configs: Vec<_> = machines.iter().map(|m| m.resolve()).collect();
+        let points: Vec<(usize, usize)> = (0..configs.len())
+            .flat_map(|m| (0..seeds.len()).map(move |s| (m, s)))
+            .collect();
+        OBS_SWEEP_POINTS.add(points.len() as u64);
+        let mut results: Vec<PointResult> = Vec::with_capacity(points.len());
+        // Chunked fan-out: each chunk runs on ssim-par's pool;
+        // between chunks the job re-checks its deadline and
+        // whether the client is still there.
+        let chunk = (ssim_par::num_threads() * 4).max(8);
+        for batch in points.chunks(chunk) {
+            if job.job_key.is_none() && job.cancelled.load(Relaxed) {
+                OBS_CANCELLED.inc();
+                return Err("client disconnected".to_string());
+            }
+            if Instant::now() > job.deadline {
+                OBS_DEADLINE.inc();
+                return Err(format!(
+                    "deadline exceeded after {} of {} points",
+                    results.len(),
+                    points.len()
+                ));
+            }
+            let base = results.len();
+            results.extend(ssim_par::par_map(batch, |&(m, s)| {
+                self.store
+                    .simulate_point_fused(&artifact, &configs[m], r, seeds[s])
+            }));
+            for (offset, point) in results[base..].iter().enumerate() {
+                emit(base + offset, point);
+            }
+        }
+        Ok(vec![
+            ("profile_hash", Json::hex_u64(artifact.hash)),
+            ("machines", Json::Num(machines.len() as f64)),
+            ("seeds", Json::Num(seeds.len() as f64)),
+            (
+                "results",
+                Json::Arr(results.iter().map(|p| p.to_json()).collect()),
+            ),
+            ("digest", Json::hex_u64(sweep_digest(&results))),
+        ])
     }
 
     /// Parses untrusted `.asm` text under the server's sandbox limits.
@@ -483,6 +712,49 @@ impl Server {
             .or_else(FaultPlan::from_env)
             .filter(FaultPlan::is_active)
             .map(FaultInjector::new);
+        // Replay the journal (if any) before the workers exist: jobs
+        // that were accepted but never completed are re-enqueued, in
+        // journal order, ahead of any new traffic.
+        let mut journal = None;
+        let mut jobs = BTreeMap::new();
+        let mut resume: Vec<(String, Request)> = Vec::new();
+        if let Some(path) = &cfg.journal {
+            let (j, records) = Journal::open(path)?;
+            for rec in records {
+                match rec {
+                    Record::Accepted { job, request } => {
+                        if jobs.contains_key(&job) {
+                            continue; // duplicate accept: first wins
+                        }
+                        match Envelope::parse(&request.render()) {
+                            Ok(env) => {
+                                resume.push((job.clone(), env.req));
+                                jobs.insert(job, JobState::Pending);
+                            }
+                            // The checksum makes this near-impossible,
+                            // but an unparseable request must not wedge
+                            // the key in Pending forever.
+                            Err(e) => {
+                                jobs.insert(
+                                    job,
+                                    JobState::Done {
+                                        ok: false,
+                                        payload: Json::Str(format!(
+                                            "resume failed: journaled request unparseable: {e}"
+                                        )),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    Record::Completed { job, ok, payload } => {
+                        resume.retain(|(k, _)| k != &job);
+                        jobs.insert(job, JobState::Done { ok, payload });
+                    }
+                }
+            }
+            journal = Some(j);
+        }
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::default()),
             work_ready: Condvar::new(),
@@ -490,8 +762,27 @@ impl Server {
             shutdown: AtomicBool::new(false),
             store: ArtifactStore::new(cfg.result_cache_capacity),
             fault,
+            journal,
+            jobs: Mutex::new(jobs),
             cfg,
         });
+        for (key, req) in resume {
+            // No client is attached to a resumed job: replies go to a
+            // closed channel and the result is served via job-result.
+            let (tx, _rx) = std::sync::mpsc::channel();
+            let now = Instant::now();
+            let mut q = shared.queue.lock().unwrap();
+            q.jobs.push_back(Job {
+                id: 0,
+                req,
+                reply: tx,
+                cancelled: Arc::new(AtomicBool::new(false)),
+                deadline: now + Duration::from_millis(shared.cfg.default_deadline_ms),
+                accepted_at: now,
+                job_key: Some(key),
+            });
+            OBS_JOURNAL_RESUMED.inc();
+        }
 
         let mut threads = Vec::new();
         for i in 0..shared.cfg.workers {
@@ -614,6 +905,9 @@ fn dispatch(shared: &Arc<Shared>, tx: &Sender<String>, cancelled: &Arc<AtomicBoo
         Request::Metrics => {
             let _ = tx.send(shared.metrics_response(env.id));
         }
+        Request::JobResult { ref job } => {
+            let _ = tx.send(shared.job_result_response(env.id, job));
+        }
         Request::Shutdown => {
             // Gate first (no new work), then drain, then ack — the ack
             // certifies every accepted job responded.
@@ -625,16 +919,36 @@ fn dispatch(shared: &Arc<Shared>, tx: &Sender<String>, cancelled: &Arc<AtomicBoo
         req => {
             let deadline_ms = env.deadline_ms.unwrap_or(shared.cfg.default_deadline_ms);
             let now = Instant::now();
-            shared.submit(Job {
+            let job = Job {
                 id: env.id,
                 req,
                 reply: tx.clone(),
                 cancelled: Arc::clone(cancelled),
                 deadline: now + Duration::from_millis(deadline_ms),
                 accepted_at: now,
-            });
+                job_key: env.job.clone(),
+            };
+            match env.job {
+                Some(key) => shared.submit_journaled(key, job),
+                None => shared.submit(job),
+            }
         }
     }
+}
+
+/// Renders a request as the JSON object stored in an `Accepted` journal
+/// record: envelope framing with id 0 (ids are per-connection and not
+/// part of a job's identity) and the job key attached, so replay goes
+/// straight back through [`Envelope::parse`].
+fn journaled_request(key: &str, req: &Request) -> Json {
+    let line = Envelope {
+        id: 0,
+        deadline_ms: None,
+        job: Some(key.to_string()),
+        req: req.clone(),
+    }
+    .render();
+    Json::parse(&line).expect("rendered envelope parses")
 }
 
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {

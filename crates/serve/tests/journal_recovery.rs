@@ -1,0 +1,281 @@
+//! Recovery tests for the crash-safe job journal.
+//!
+//! The journal's whole contract is what survives a crash: replay must
+//! accept exactly the longest intact record prefix no matter where a
+//! write was torn or a byte rotted, and a server restarted over a
+//! journal with an accepted-but-incomplete job must finish that job
+//! and answer `job-result` polls — without re-running jobs whose
+//! completion was already durable. The property suites drive the
+//! byte-level invariants over arbitrary torn points; the loopback test
+//! at the bottom drives the full resume path through a real server.
+
+use proptest::prelude::*;
+use ssim_serve::journal::{render_line, replay_bytes, Journal, Record};
+use ssim_serve::json::Json;
+use ssim_serve::proto::{Envelope, ProfileParams};
+use ssim_serve::{Client, MachineSpec, Request, Server, ServerConfig};
+use std::sync::Once;
+
+#[path = "../../../tests/util/mod.rs"]
+mod util;
+
+fn setup_env() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let dir = std::env::temp_dir().join(format!("ssim-serve-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("SSIM_PROFILE_CACHE_DIR", &dir);
+        // Chaos from an outer harness must not leak into these tests.
+        std::env::remove_var("SSIM_FAULT_PLAN");
+    });
+}
+
+/// Builds a deterministic record from a generated `(kind, tag)` pair —
+/// varied shapes (accepted/completed, success/failure payloads, keys of
+/// different lengths) so line lengths differ across the journal.
+fn make_record(kind: u8, tag: u64) -> Record {
+    let job = format!("job-{}-{}", tag % 7, "k".repeat((tag % 23) as usize + 1));
+    match kind % 3 {
+        0 => Record::Accepted {
+            job,
+            request: Json::obj(vec![
+                ("id", Json::Num(0.0)),
+                ("kind", Json::str("sweep")),
+                ("workload", Json::str("gzip")),
+                ("seed", Json::Num(tag as f64)),
+            ]),
+        },
+        1 => Record::Completed {
+            job,
+            ok: true,
+            payload: Json::obj(vec![
+                (
+                    "digest",
+                    Json::hex_u64(tag.wrapping_mul(0x9e3779b97f4a7c15)),
+                ),
+                ("points", Json::Num((tag % 97) as f64)),
+            ]),
+        },
+        _ => Record::Completed {
+            job,
+            ok: false,
+            payload: Json::str("deadline exceeded"),
+        },
+    }
+}
+
+/// Renders records and returns `(bytes, line byte offsets)` — offset
+/// `i` is where line `i` starts; a final entry holds the total length.
+fn render_journal(recs: &[Record]) -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = Vec::new();
+    let mut offsets = vec![0usize];
+    for r in recs {
+        bytes.extend_from_slice(render_line(r).as_bytes());
+        offsets.push(bytes.len());
+    }
+    (bytes, offsets)
+}
+
+proptest! {
+    /// Truncating the journal at *any* byte recovers exactly the
+    /// records whose lines fit completely before the cut.
+    #[test]
+    fn truncation_recovers_longest_prefix(
+        specs in prop::collection::vec((0u8..3, 0u64..10_000), 1..12),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let recs: Vec<Record> = specs.iter().map(|&(k, t)| make_record(k, t)).collect();
+        let (bytes, offsets) = render_journal(&recs);
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        let keep = offsets.iter().filter(|&&o| o > 0 && o <= cut).count();
+        let (replayed, valid) = replay_bytes(&bytes[..cut]);
+        prop_assert_eq!(&replayed[..], &recs[..keep]);
+        prop_assert_eq!(valid, offsets[keep]);
+    }
+
+    /// Flipping any single byte invalidates the line it lands in (the
+    /// checksum seals body and framing alike): replay keeps everything
+    /// strictly before that line and nothing after.
+    #[test]
+    fn byte_flip_drops_from_damaged_line(
+        specs in prop::collection::vec((0u8..3, 0u64..10_000), 1..10),
+        flip_frac in 0.0f64..1.0,
+    ) {
+        let recs: Vec<Record> = specs.iter().map(|&(k, t)| make_record(k, t)).collect();
+        let (mut bytes, offsets) = render_journal(&recs);
+        let pos = ((bytes.len() - 1) as f64 * flip_frac) as usize;
+        bytes[pos] ^= 0x01;
+        // The line containing `pos` (its trailing newline included).
+        let damaged = offsets.iter().filter(|&&o| o > 0 && o <= pos).count();
+        let (replayed, valid) = replay_bytes(&bytes);
+        prop_assert_eq!(&replayed[..], &recs[..damaged]);
+        prop_assert_eq!(valid, offsets[damaged]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// The file-level torn-tail discipline: `Journal::open` over an
+    /// arbitrarily truncated file replays the intact prefix, rewrites
+    /// the file clean, and subsequent appends land correctly — the
+    /// journal never carries torn bytes in the middle.
+    #[test]
+    fn open_recovers_truncated_file_and_appends(
+        specs in prop::collection::vec((0u8..3, 0u64..10_000), 1..8),
+        cut_frac in 0.0f64..1.0,
+        case_tag in 0u64..u64::MAX,
+    ) {
+        let recs: Vec<Record> = specs.iter().map(|&(k, t)| make_record(k, t)).collect();
+        let (bytes, offsets) = render_journal(&recs);
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        let keep = offsets.iter().filter(|&&o| o > 0 && o <= cut).count();
+
+        let dir = std::env::temp_dir().join(format!(
+            "ssim-journal-prop-{}-{case_tag:x}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.ndjson");
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        let appended = make_record(1, case_tag);
+        {
+            let (journal, replayed) = Journal::open(&path).unwrap();
+            prop_assert_eq!(&replayed[..], &recs[..keep]);
+            journal.append(&appended).unwrap();
+        }
+        // Reopen: the torn tail is gone for good, the append is intact.
+        let (_, replayed) = Journal::open(&path).unwrap();
+        let mut expect = recs[..keep].to_vec();
+        expect.push(appended);
+        prop_assert_eq!(replayed, expect);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// A server started over a journal holding an accepted-but-incomplete
+/// sweep must run that sweep to completion unprompted, answer
+/// `job-result` polls with the stored payload, and re-acknowledge a
+/// duplicate submission of the same job key idempotently — with a
+/// digest byte-identical to a fresh blocking sweep.
+#[test]
+fn restart_resumes_incomplete_job_and_reacks() {
+    setup_env();
+    let dir = std::env::temp_dir().join(format!("ssim-journal-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.ndjson");
+
+    let job_key = "resume-sweep-1";
+    let sweep = Request::Sweep {
+        profile: ProfileParams {
+            workload: "gzip".to_string(),
+            instructions: 40_000,
+            skip: 0,
+        },
+        machines: vec![
+            MachineSpec::default(),
+            MachineSpec {
+                width: Some(2),
+                ..MachineSpec::default()
+            },
+        ],
+        r: 10,
+        seeds: vec![1, 2],
+    };
+    // Pre-seed the journal exactly as a crashed server would have left
+    // it: the job accepted and durable, the completion never written.
+    let env = Envelope {
+        id: 0,
+        deadline_ms: None,
+        job: Some(job_key.to_string()),
+        req: sweep.clone(),
+    };
+    let request = Json::parse(&env.render()).unwrap();
+    std::fs::write(
+        &path,
+        render_line(&Record::Accepted {
+            job: job_key.to_string(),
+            request,
+        }),
+    )
+    .unwrap();
+
+    let server = Server::start(ServerConfig {
+        journal: Some(path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // The resumed job completes with no client prompting; `job-result`
+    // polls flip from a retryable "pending" to the stored payload.
+    let mut cl = Client::connect(addr).unwrap();
+    let poll = Request::JobResult {
+        job: job_key.to_string(),
+    };
+    let mut last = None;
+    util::wait_until("resumed journal job completes", || {
+        let resp = cl.call(&poll, None).unwrap();
+        let done = resp.ok;
+        if !done {
+            assert!(
+                resp.is_backpressure(),
+                "pending job-result must be retryable: {:?}",
+                resp.error
+            );
+        }
+        last = Some(resp);
+        done
+    });
+    let resumed = last.unwrap();
+    let resumed_digest = resumed
+        .body
+        .get("digest")
+        .and_then(Json::as_hex_u64)
+        .expect("resumed job payload carries the sweep digest");
+
+    // Byte-identical to a fresh blocking sweep of the same spec.
+    let fresh = cl.call_retry(&sweep, None, 50).unwrap();
+    assert!(fresh.ok, "fresh sweep failed: {:?}", fresh.error);
+    assert_eq!(
+        fresh.body.get("digest").and_then(Json::as_hex_u64),
+        Some(resumed_digest),
+        "resumed digest differs from a fresh sweep"
+    );
+
+    // Re-submitting the same job key replays the stored ack instead of
+    // re-running the sweep.
+    let id = cl.submit_job(&sweep, None, Some(job_key)).unwrap();
+    let reack = cl.recv().unwrap();
+    assert_eq!(reack.id, id);
+    assert!(reack.ok, "re-ack failed: {:?}", reack.error);
+    assert_eq!(
+        reack.body.get("digest").and_then(Json::as_hex_u64),
+        Some(resumed_digest),
+        "re-ack payload differs from the journaled completion"
+    );
+
+    // The journal now holds the completion durably: a second restart
+    // re-acks without resuming anything.
+    let shut = cl.call(&Request::Shutdown, None).unwrap();
+    assert!(shut.ok);
+    server.join();
+
+    let server = Server::start(ServerConfig {
+        journal: Some(path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut cl = Client::connect(server.addr()).unwrap();
+    let resp = cl.call(&poll, None).unwrap();
+    assert!(resp.ok, "restarted server lost the completion");
+    assert_eq!(
+        resp.body.get("digest").and_then(Json::as_hex_u64),
+        Some(resumed_digest)
+    );
+    let shut = cl.call(&Request::Shutdown, None).unwrap();
+    assert!(shut.ok);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

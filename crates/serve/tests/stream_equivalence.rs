@@ -1,0 +1,267 @@
+//! Streaming / non-streaming equivalence under fault injection.
+//!
+//! A `sweep-stream` is only worth trusting if it is *exactly* a sweep
+//! with progress: the frames, merged client-side into index order, must
+//! reproduce the blocking sweep's points bit-for-bit and hash to the
+//! same digest — on a healthy server, on a server injecting retryable
+//! chaos (rejections, delays), and through the gateway sharding the
+//! sweep across backends one of which randomly drops connections. The
+//! property suite drives randomized grids through all three targets;
+//! the plain tests below pin the gateway's single-request forwarding
+//! and its journal-key rejection.
+//!
+//! Servers and the gateway are started once and shared across cases
+//! (leaked at process exit — shutting them down per-case would
+//! dominate the suite's runtime).
+
+use proptest::prelude::*;
+use ssim_serve::json::Json;
+use ssim_serve::{
+    Client, FaultPlan, Gateway, GatewayConfig, MachineSpec, ProfileParams, Request, Server,
+    ServerConfig,
+};
+use std::net::SocketAddr;
+use std::sync::{Once, OnceLock};
+
+#[path = "../../../tests/util/mod.rs"]
+mod util;
+
+fn setup_env() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let dir = std::env::temp_dir().join(format!("ssim-serve-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("SSIM_PROFILE_CACHE_DIR", &dir);
+        std::env::remove_var("SSIM_FAULT_PLAN");
+    });
+}
+
+struct Targets {
+    /// Healthy standalone server.
+    healthy: SocketAddr,
+    /// Server injecting retryable chaos (rejections + delays; no drops
+    /// — a dropped connection kills the stream by design, and direct
+    /// streaming clients are expected to resubmit at a higher level).
+    chaotic: SocketAddr,
+    /// Gateway sharding sweeps over three backends, one of which drops
+    /// connections; the fleet layer inside the gateway masks it.
+    gateway: SocketAddr,
+    #[allow(dead_code)]
+    keep_alive: (Vec<Server>, Gateway),
+}
+
+fn targets() -> &'static Targets {
+    static TARGETS: OnceLock<Targets> = OnceLock::new();
+    TARGETS.get_or_init(|| {
+        setup_env();
+        let healthy = Server::start(ServerConfig::default()).unwrap();
+        let chaotic = Server::start(ServerConfig {
+            fault: Some(FaultPlan::parse("reject:0.2,delay:2ms@11").unwrap()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let b_drop = Server::start(ServerConfig {
+            fault: Some(FaultPlan::parse("drop:0.15@5").unwrap()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let b_ok = Server::start(ServerConfig::default()).unwrap();
+        let gateway = Gateway::start(GatewayConfig {
+            backends: vec![
+                b_drop.addr().to_string(),
+                b_ok.addr().to_string(),
+                healthy.addr().to_string(),
+            ],
+            ..GatewayConfig::default()
+        })
+        .unwrap();
+        Targets {
+            healthy: healthy.addr(),
+            chaotic: chaotic.addr(),
+            gateway: gateway.addr(),
+            keep_alive: (vec![healthy, chaotic, b_drop, b_ok], gateway),
+        }
+    })
+}
+
+/// The machine palette cases index into — distinct shapes so reordered
+/// or cross-wired results cannot collide.
+fn palette() -> Vec<MachineSpec> {
+    vec![
+        MachineSpec::default(),
+        MachineSpec {
+            width: Some(2),
+            ..MachineSpec::default()
+        },
+        MachineSpec {
+            width: Some(8),
+            window: Some(64),
+            ..MachineSpec::default()
+        },
+        MachineSpec {
+            in_order: true,
+            ..MachineSpec::default()
+        },
+        MachineSpec {
+            ruu: Some(32),
+            lsq: Some(16),
+            ..MachineSpec::default()
+        },
+    ]
+}
+
+fn sweep_requests(machine_idx: &[usize], seeds: &[u64], r: u64) -> (Request, Request) {
+    let palette = palette();
+    let machines: Vec<MachineSpec> = machine_idx
+        .iter()
+        .map(|&i| palette[i % palette.len()].clone())
+        .collect();
+    let profile = ProfileParams {
+        workload: "gzip".to_string(),
+        instructions: 40_000,
+        skip: 0,
+    };
+    let blocking = Request::Sweep {
+        profile: profile.clone(),
+        machines: machines.clone(),
+        r,
+        seeds: seeds.to_vec(),
+    };
+    let streaming = Request::SweepStream {
+        profile,
+        machines,
+        r,
+        seeds: seeds.to_vec(),
+    };
+    (blocking, streaming)
+}
+
+/// Runs the blocking and streaming forms against one address and
+/// asserts bit-level equivalence: same digest, same per-point numbers,
+/// one frame per point.
+fn assert_equivalent(addr: SocketAddr, blocking: &Request, streaming: &Request) {
+    let mut cl = Client::connect(addr).unwrap();
+    let resp = cl.call_retry(blocking, None, 100).unwrap();
+    assert!(resp.ok, "blocking sweep failed: {:?}", resp.error);
+    let digest = resp
+        .body
+        .get("digest")
+        .and_then(Json::as_hex_u64)
+        .expect("sweep digest");
+    let results = resp
+        .body
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("sweep results");
+
+    let streamed = cl.sweep_stream(streaming, None, 100).unwrap();
+    assert_eq!(streamed.digest, digest, "stream digest != blocking digest");
+    assert_eq!(streamed.points.len(), results.len());
+    assert_eq!(
+        streamed.frames,
+        results.len(),
+        "expected exactly one frame per point"
+    );
+    for (i, (point, expect)) in streamed.points.iter().zip(results).enumerate() {
+        let cycles = expect.get("cycles").and_then(Json::as_u64).unwrap();
+        let instrs = expect.get("instructions").and_then(Json::as_u64).unwrap();
+        let ipc = expect.get("ipc").and_then(Json::as_f64).unwrap();
+        assert_eq!(point.cycles, cycles, "point {i} cycles");
+        assert_eq!(point.instructions, instrs, "point {i} instructions");
+        assert_eq!(point.ipc.to_bits(), ipc.to_bits(), "point {i} ipc bits");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// Random grids through all three targets: a streamed sweep is the
+    /// blocking sweep, frame-merged — healthy, under retryable chaos,
+    /// and sharded across drop-faulty backends by the gateway.
+    #[test]
+    fn streaming_equals_blocking_everywhere(
+        machine_idx in prop::collection::vec(0usize..5, 1..4),
+        seeds in prop::collection::vec(1u64..1_000, 1..4),
+        r in 8u64..=12,
+    ) {
+        let t = targets();
+        let (blocking, streaming) = sweep_requests(&machine_idx, &seeds, r);
+        assert_equivalent(t.healthy, &blocking, &streaming);
+        assert_equivalent(t.chaotic, &blocking, &streaming);
+        assert_equivalent(t.gateway, &blocking, &streaming);
+    }
+}
+
+/// The gateway forwards single-point requests transparently: a
+/// `simulate` through the gateway is byte-identical to the same
+/// request on a direct backend, and gateway metrics identify the
+/// gateway's own registry.
+#[test]
+fn gateway_forwards_singles_transparently() {
+    let t = targets();
+    let req = Request::Simulate {
+        profile: ProfileParams {
+            workload: "gzip".to_string(),
+            instructions: 40_000,
+            skip: 0,
+        },
+        machine: MachineSpec {
+            width: Some(4),
+            ..MachineSpec::default()
+        },
+        r: 10,
+        seed: 77,
+    };
+    let mut direct = Client::connect(t.healthy).unwrap();
+    let want = direct.call_retry(&req, None, 100).unwrap();
+    assert!(want.ok, "direct simulate failed: {:?}", want.error);
+
+    let mut gw = Client::connect(t.gateway).unwrap();
+    let got = gw.call_retry(&req, None, 100).unwrap();
+    assert!(got.ok, "gateway simulate failed: {:?}", got.error);
+    for key in ["cycles", "instructions", "ipc"] {
+        assert_eq!(
+            got.body.get(key).map(Json::render),
+            want.body.get(key).map(Json::render),
+            "gateway forward altered {key}"
+        );
+    }
+
+    let metrics = gw.call(&Request::Metrics, None).unwrap();
+    assert!(metrics.ok);
+    assert_eq!(
+        metrics
+            .body
+            .get("metrics")
+            .and_then(|m| m.get("bin"))
+            .and_then(Json::as_str),
+        Some("ssim-gateway"),
+        "gateway must answer metrics itself, not proxy a backend's"
+    );
+}
+
+/// The gateway refuses journaled submissions: durability lives on the
+/// backends, and silently forwarding a job key would break the
+/// client's crash-recovery contract (the gateway might route a retry
+/// to a different backend than the original).
+#[test]
+fn gateway_rejects_journaled_jobs() {
+    let t = targets();
+    let mut gw = Client::connect(t.gateway).unwrap();
+    let req = Request::Profile(ProfileParams {
+        workload: "gzip".to_string(),
+        instructions: 40_000,
+        skip: 0,
+    });
+    let id = gw.submit_job(&req, None, Some("gw-job-1")).unwrap();
+    let resp = gw.recv().unwrap();
+    assert_eq!(resp.id, id);
+    assert!(!resp.ok, "gateway accepted a journaled job");
+    assert!(
+        !resp.is_backpressure(),
+        "journal rejection must not be retryable"
+    );
+    assert!(
+        resp.error.unwrap_or_default().contains("journal"),
+        "rejection should explain the journal policy"
+    );
+}

@@ -6,8 +6,10 @@
 #   ./run_all.sh         # the full artifact set
 #   ./run_all.sh --deep  # additionally runs the deep bench tier
 #                        # (./ci.sh deep): full-grid thread-scaling
-#                        # curve with efficiency gates + 8-backend
-#                        # fleet scaling, folded into BENCH_parallel.json
+#                        # curve with efficiency gates, 8-backend
+#                        # fleet scaling, journal kill-and-resume
+#                        # chaos, and the 10k-connection load story,
+#                        # folded into BENCH_parallel.json
 set -u -o pipefail
 DEEP=0
 if [ "${1:-}" = "--deep" ]; then DEEP=1; shift; fi
@@ -65,6 +67,10 @@ serve smoke
 serve bench
 serve fleet smoke
 serve fleet bench
+# Gateway + load story: open-loop loadgen through a gateway over
+# fault-injecting backends with the zero-lost/zero-duplicated ack gate;
+# writes results/BENCH_load.json for perf_report's "load" section.
+./ci.sh load || exit 1
 # Surrogate-guided design-space planner vs exhaustive truth on the
 # quick §4.6 space; writes results/BENCH_dse.json for perf_report.
 run dse                       SSIM_QUICK=1
